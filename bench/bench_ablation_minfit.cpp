@@ -1,0 +1,71 @@
+// Design ablation (ours): accuracy of the analytic expected-minimum-fitness
+// approximation (paper eq. (2) / appendix F) against Monte-Carlo ground
+// truth, and the effect of the batch size B on the MFS-optimal relaxation
+// parameter.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "harness/experiments.hpp"
+#include "qross/min_fitness.hpp"
+#include "qross/strategies.hpp"
+#include "surrogate/pipeline.hpp"
+
+using namespace qross;
+using namespace qross::bench;
+
+int main() {
+  std::printf("== Ablation: expected-minimum-fitness integral ==\n\n");
+
+  // Part 1: analytic vs Monte-Carlo across the (pf, B) grid.
+  std::printf("--- analytic integral vs Monte-Carlo (mean 100, std 10) ---\n");
+  CsvTable accuracy({"pf", "batch_size", "analytic", "monte_carlo",
+                     "abs_error"});
+  for (const double pf : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    for (const std::size_t batch : {16UL, 64UL, 128UL}) {
+      const double analytic = core::expected_min_fitness(pf, 100.0, 10.0, batch);
+      const double mc = core::expected_min_fitness_monte_carlo(
+          pf, 100.0, 10.0, batch, 40000, 0xAB2);
+      accuracy.add_row(std::vector<double>{pf, double(batch), analytic, mc,
+                                           std::abs(analytic - mc)});
+    }
+  }
+  accuracy.write_pretty(std::cout);
+  std::printf("\n");
+
+  // Part 2: the MFS proposal as a function of B on a trained surrogate.
+  // Larger batches tolerate lower Pf (more draws on the slope), so the
+  // optimal A should shift left (or stay) as B grows.
+  const ExperimentConfig config = default_config();
+  const Cache cache;
+  const auto surrogate = get_or_train_surrogate(cache, SolverKind::kDa, config);
+  const auto instance = synthetic_test_instances(config).front();
+  const surrogate::PreparedTspInstance prepared(instance);
+
+  core::StrategyContext context;
+  context.surrogate = &surrogate;
+  context.features = surrogate::extract_features(prepared.prepared());
+  context.anchor = surrogate::scale_anchor(context.features);
+  context.a_min = config.a_min;
+  context.a_max = config.a_max;
+
+  std::printf("--- MFS proposal vs batch size (instance %s) ---\n",
+              instance.name().c_str());
+  CsvTable proposals({"batch_size", "proposed_A", "predicted_pf"});
+  const core::MinimumFitnessStrategy mfs;
+  for (const std::size_t batch : {1UL, 4UL, 16UL, 64UL, 128UL}) {
+    context.batch_size = batch;
+    const double a = mfs.propose(context);
+    const auto prediction =
+        surrogate.predict(context.features, context.anchor, a);
+    proposals.add_row(std::vector<double>{double(batch), a, prediction.pf});
+  }
+  proposals.write_pretty(std::cout);
+
+  std::printf("\nCheck: analytic and Monte-Carlo estimates agree to within\n"
+              "a fraction of the energy stddev, and the proposed A does not\n"
+              "increase as the batch size grows.\n");
+  return 0;
+}

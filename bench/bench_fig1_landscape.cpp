@@ -1,0 +1,61 @@
+// Reproduces paper Fig. 1: probability of feasibility Pf(A) and the
+// objective-energy envelope versus the relaxation parameter A, for the
+// Digital Annealer (top row) and Simulated Annealing (bottom row).
+//
+// Expected shape (paper §3.1): Pf rises sigmoidally in A; the minimum
+// energy per batch traces a "dipper" whose bottom — the optimal parameter —
+// sits on the sigmoid slope (0 < Pf < 1).  The SA dip is shallower and its
+// solution quality flatter/worse, which the paper attributes to SA getting
+// stuck in local minima.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "harness/experiments.hpp"
+#include "problems/tsp/generators.hpp"
+#include "problems/tsp/heuristics.hpp"
+#include "solvers/batch_runner.hpp"
+#include "surrogate/pipeline.hpp"
+
+using namespace qross;
+using namespace qross::bench;
+
+int main() {
+  const auto instance = tsp::generate_uniform(11, 0xF161);
+  const surrogate::PreparedTspInstance prepared(instance);
+  const double reference = tsp::reference_solution(instance).length;
+
+  std::printf("== Fig. 1: Pf and objective energy vs relaxation parameter ==\n");
+  std::printf("instance: %s (11 cities), reference tour length %.2f\n\n",
+              instance.name().c_str(), reference);
+
+  for (const SolverKind kind : {SolverKind::kDa, SolverKind::kSa}) {
+    auto options = make_solve_options(kind, 0xF1);
+    options.num_replicas = 48;  // denser Pf resolution for the figure
+    solvers::BatchRunner runner(prepared.problem(), make_solver(kind),
+                                options);
+    CsvTable table({"A", "Pf", "E_avg", "E_std", "min_fitness",
+                    "min_fitness_original", "gap"});
+    for (double a = 5.0; a <= 60.0 + 1e-9; a += 2.5) {
+      const auto sample = runner.run(a);
+      const double original =
+          sample.stats.has_feasible()
+              ? prepared.to_original_length(sample.stats.min_fitness)
+              : -1.0;
+      table.add_row(std::vector<double>{
+          a, sample.stats.pf, sample.stats.energy_avg, sample.stats.energy_std,
+          sample.stats.has_feasible() ? sample.stats.min_fitness : -1.0,
+          original, original > 0.0 ? original / reference - 1.0 : -1.0});
+    }
+    std::printf("--- solver: %s (B = %zu, %zu sweeps) ---\n",
+                solver_label(kind).c_str(), options.num_replicas,
+                options.num_sweeps);
+    table.write_pretty(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Check: Pf rises 0 -> 1 sigmoidally; the min-fitness dip sits where\n"
+      "0 < Pf < 1; SA's dip is shallower and its gaps larger than DA's.\n");
+  return 0;
+}

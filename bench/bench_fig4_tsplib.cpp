@@ -1,0 +1,54 @@
+// Reproduces paper Fig. 4: normalised optimality gap versus number of
+// trials on the out-of-distribution "real-world" (TSPLIB-like) set, DA
+// backend.  The surrogate is trained on the synthetic split only — this is
+// the paper's out-of-distribution generalisation experiment (§5.2): the
+// evaluation instances are larger (15-20 cities vs 8-14 training) and have
+// clustered geometry instead of uniform/exponential.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "harness/experiments.hpp"
+#include "problems/tsp/testset.hpp"
+
+using namespace qross;
+using namespace qross::bench;
+
+int main() {
+  const ExperimentConfig config = default_config();
+  const Cache cache;
+
+  const auto instances = tsplib_test_instances(config);
+  std::printf("== Fig. 4: optimality gap vs trials (TSPLIB-like, DA) ==\n");
+  std::printf("instances:");
+  for (const auto& inst : instances) {
+    std::printf(" %s(n=%zu)", inst.name().c_str(), inst.num_cities());
+  }
+  std::printf("\ntrials: %zu%s\n\n", config.trials,
+              config.fast ? " [FAST MODE]" : "");
+
+  const Method methods[] = {Method::kQross, Method::kTpe, Method::kBo,
+                            Method::kRandom};
+  std::vector<GapSeries> series;
+  for (const Method method : methods) {
+    series.push_back(get_or_run_comparison(cache, method, SolverKind::kDa,
+                                           SolverKind::kDa, kTsplibTestSet,
+                                           config));
+  }
+
+  CsvTable table({"trial", "qross", "qross_ci", "tpe", "tpe_ci", "bo",
+                  "bo_ci", "random", "random_ci"});
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    table.add_row(std::vector<double>{
+        static_cast<double>(t + 1), series[0].mean[t], series[0].ci95[t],
+        series[1].mean[t], series[1].ci95[t], series[2].mean[t],
+        series[2].ci95[t], series[3].mean[t], series[3].ci95[t]});
+  }
+  table.write_pretty(std::cout);
+
+  std::printf("\nCheck: QROSS leads from the first (offline) trials on this\n"
+              "out-of-distribution set; gaps are larger than Fig. 3's\n"
+              "in-distribution gaps for every method.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Reproduces paper Fig. 6 (appendix B): objective energy, normalised to the
+// best energy discovered in the run, versus the MVC penalty weight sigma on
+// a log scale — for plain Simulated Annealing ("sa") and for a noisy
+// annealer ("qa": SA wrapped in the analog-control-error decorator standing
+// in for the DW_2000Q).
+//
+// Paper workload: G(65, 0.5) random graphs, vertex weights U[0,1), averaged
+// over 4 seeds.  We scale the graph to 24 vertices (single-core budget);
+// the mechanism under test — penalty domination amplifying coefficient
+// error — is size-independent.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <limits>
+#include <memory>
+
+#include "common/csv.hpp"
+#include "problems/mvc/mvc.hpp"
+#include "solvers/analog_noise.hpp"
+#include "solvers/simulated_annealer.hpp"
+
+using namespace qross;
+
+namespace {
+
+constexpr std::size_t kNumVertices = 24;
+constexpr double kEdgeProbability = 0.5;
+constexpr std::size_t kNumSeeds = 4;
+
+/// Best (lowest) feasible cover weight in a batch; +inf if none feasible.
+double best_cover_weight(const mvc::MvcInstance& instance,
+                         const qubo::SolveBatch& batch) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& result : batch.results) {
+    if (instance.is_cover(result.assignment)) {
+      best = std::min(best, instance.cover_weight(result.assignment));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 6: MVC energy (normalised to optimal) vs penalty weight ==\n");
+  std::printf("graphs: G(%zu, %.1f), weights U[0,1), %zu seeds\n\n",
+              kNumVertices, kEdgeProbability, kNumSeeds);
+
+  const auto sa_kernel = std::make_shared<solvers::SimulatedAnnealer>();
+  // "sa": classical annealer with finite-precision arithmetic.  The paper
+  // attributes the classical curve's drift to floating-point error when the
+  // penalty dominates; we model it as a tiny relative coefficient error
+  // (the MVC coefficient magnitude is ~degree * sigma, so the absolute
+  // error grows with the penalty weight while the objective signal stays
+  // O(1) — precisely the mechanism appendix B describes).
+  solvers::AnalogNoiseParams fp_noise;
+  fp_noise.relative_precision = 5e-5;
+  const auto sa =
+      std::make_shared<solvers::AnalogNoiseSolver>(sa_kernel, fp_noise);
+  // "qa": analog control error of a quantum annealer, orders of magnitude
+  // coarser than classical floating point.
+  solvers::AnalogNoiseParams analog_noise;
+  analog_noise.relative_precision = 2e-3;
+  const auto qa =
+      std::make_shared<solvers::AnalogNoiseSolver>(sa_kernel, analog_noise);
+
+  // Penalty weights 10^0 .. 10^4, three points per decade (paper's x-range).
+  std::vector<double> sigmas;
+  for (double exponent = 0.0; exponent <= 4.0 + 1e-9; exponent += 1.0 / 3.0) {
+    sigmas.push_back(std::pow(10.0, exponent));
+  }
+
+  // energy[solver][sigma] accumulated over seeds, normalised per seed by
+  // the optimal cover weight (we can afford the exact optimum at n = 24,
+  // which is stronger than the paper's "best seen in run" normaliser).
+  std::vector<std::vector<double>> normalised(2,
+      std::vector<double>(sigmas.size(), 0.0));
+  std::vector<std::vector<std::size_t>> feasible_counts(2,
+      std::vector<std::size_t>(sigmas.size(), 0));
+
+  for (std::size_t seed = 0; seed < kNumSeeds; ++seed) {
+    const auto instance =
+        mvc::generate_random_mvc(kNumVertices, kEdgeProbability, 0xF16'6 + seed);
+    const double optimal = mvc::solve_exact_cover(instance).weight;
+    for (std::size_t s = 0; s < sigmas.size(); ++s) {
+      const auto model = instance.to_qubo(sigmas[s]);
+      solvers::SolveOptions options;
+      options.num_replicas = 16;
+      options.num_sweeps = 300;
+      options.seed = 0xE0 + seed;
+      int which = 0;
+      for (const solvers::SolverPtr& solver :
+           {solvers::SolverPtr(sa), solvers::SolverPtr(qa)}) {
+        const auto batch = solver->solve(model, options);
+        const double best = best_cover_weight(instance, batch);
+        if (std::isfinite(best)) {
+          normalised[which][s] += best / optimal;
+          feasible_counts[which][s] += 1;
+        }
+        ++which;
+      }
+    }
+  }
+
+  CsvTable table({"penalty_weight", "sa_energy_normalised",
+                  "qa_energy_normalised", "sa_feasible_runs",
+                  "qa_feasible_runs"});
+  for (std::size_t s = 0; s < sigmas.size(); ++s) {
+    const double sa_norm = feasible_counts[0][s] > 0
+        ? normalised[0][s] / double(feasible_counts[0][s]) : -1.0;
+    const double qa_norm = feasible_counts[1][s] > 0
+        ? normalised[1][s] / double(feasible_counts[1][s]) : -1.0;
+    table.add_row(std::vector<double>{sigmas[s], sa_norm, qa_norm,
+                                      double(feasible_counts[0][s]),
+                                      double(feasible_counts[1][s])});
+  }
+  table.write_pretty(std::cout);
+
+  std::printf("\nCheck (paper Fig. 6 shape): both curves drift up as the\n"
+              "penalty weight grows past the feasibility threshold (~1);\n"
+              "the noisy 'qa' curve degrades at least as fast as 'sa',\n"
+              "because penalty domination amplifies analog coefficient\n"
+              "error relative to the objective signal.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Verifies the paper's central hypothesis (§3.1): "Optimal solutions appear
+// within 0 < Pf < 1, i.e., on the slope of the Sigmoid shape."  The paper
+// confirmed it on every TSPLIB instance with the Digital Annealer and every
+// QAPLIB instance with simulated annealing; we check the same two
+// (problem, solver) pairings on our instance families.
+//
+// Procedure per instance: sweep A over a log grid, record (Pf, best
+// fitness) per point, and locate the *leftmost* A whose batch reaches the
+// best fitness seen (within 0.5%).  Strong solvers tie at the optimum over
+// a wide plateau of A values, so the leftmost near-optimal point — where
+// the optimum FIRST appears as A grows — is the faithful reading of
+// "optimal solutions appear within 0 < Pf < 1".  The check passes if that
+// point (or a grid neighbour, absorbing batch noise) has fractional Pf.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+#include "harness/experiments.hpp"
+#include "problems/qap/qap.hpp"
+#include "problems/tsp/generators.hpp"
+#include "solvers/batch_runner.hpp"
+#include "surrogate/pipeline.hpp"
+
+using namespace qross;
+using namespace qross::bench;
+
+namespace {
+
+struct SweepOutcome {
+  double best_a = 0.0;
+  double pf_at_best = -1.0;
+  bool on_slope = false;  // 0 < Pf < 1 at the optimum or a grid neighbour
+};
+
+SweepOutcome sweep_and_locate(solvers::BatchRunner& runner, double a_lo,
+                              double a_hi, std::size_t points) {
+  std::vector<double> pf(points), fitness(points), grid(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    const double t = static_cast<double>(k) / static_cast<double>(points - 1);
+    grid[k] = a_lo * std::pow(a_hi / a_lo, t);
+    const auto sample = runner.run(grid[k]);
+    pf[k] = sample.stats.pf;
+    fitness[k] = sample.stats.min_fitness;
+  }
+  SweepOutcome outcome;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < points; ++k) best = std::min(best, fitness[k]);
+  if (!std::isfinite(best)) return outcome;  // nothing feasible at all
+  // Leftmost grid point whose batch is within 0.5% of the best fitness.
+  std::size_t best_index = points;
+  for (std::size_t k = 0; k < points; ++k) {
+    if (fitness[k] <= best * 1.005 + 1e-12) {
+      best_index = k;
+      break;
+    }
+  }
+  QROSS_ASSERT(best_index < points);
+  outcome.best_a = grid[best_index];
+  outcome.pf_at_best = pf[best_index];
+  auto on_slope = [&](std::size_t k) {
+    return k < points && pf[k] > 0.0 && pf[k] < 1.0;
+  };
+  outcome.on_slope = on_slope(best_index) ||
+                     (best_index > 0 && on_slope(best_index - 1)) ||
+                     on_slope(best_index + 1);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Hypothesis check: optimal A lies on the Pf slope ==\n\n");
+  CsvTable table({"problem", "instance", "solver", "best_A", "Pf_at_best",
+                  "on_slope"});
+  int total = 0, confirmed = 0;
+
+  // TSP with the Digital Annealer (the paper's TSPLIB pairing).
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto instance = tsp::generate_uniform(11 + seed % 3, 0x44C0 + seed);
+    const surrogate::PreparedTspInstance prepared(instance);
+    auto options = make_solve_options(SolverKind::kDa, 0x31 + seed);
+    options.num_replicas = 48;  // denser Pf resolution, as in Fig. 1
+    solvers::BatchRunner runner(prepared.problem(),
+                                make_solver(SolverKind::kDa), options);
+    const SweepOutcome outcome = sweep_and_locate(runner, 5.0, 100.0, 20);
+    table.add_row(std::vector<std::string>{
+        "tsp", instance.name(), "da", format_double(outcome.best_a, 1),
+        format_double(outcome.pf_at_best, 3), outcome.on_slope ? "yes" : "NO"});
+    ++total;
+    confirmed += outcome.on_slope ? 1 : 0;
+  }
+
+  // QAP with simulated annealing (the paper's QAPLIB pairing).
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto instance = qap::generate_random_qap(7 + seed % 3, 0x9A7 + seed);
+    const auto problem = qap::build_qap_problem(instance);
+    auto options = make_solve_options(SolverKind::kSa, 0x32 + seed);
+    options.num_replicas = 48;
+    solvers::BatchRunner runner(problem, make_solver(SolverKind::kSa),
+                                options);
+    // QAP objective coefficients are products flow*distance (~O(100)), so
+    // the useful A range sits higher than TSP's.
+    const SweepOutcome outcome = sweep_and_locate(runner, 20.0, 4000.0, 20);
+    table.add_row(std::vector<std::string>{
+        "qap", instance.name(), "sa", format_double(outcome.best_a, 1),
+        format_double(outcome.pf_at_best, 3), outcome.on_slope ? "yes" : "NO"});
+    ++total;
+    confirmed += outcome.on_slope ? 1 : 0;
+  }
+
+  table.write_pretty(std::cout);
+  std::printf("\nconfirmed on %d / %d instances\n", confirmed, total);
+  std::printf("Check: the hypothesis should hold on (nearly) every instance,\n"
+              "matching the paper's TSPLIB/DA and QAPLIB/SA validation.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark): QUBO evaluation and solver kernel
+// throughput, plus surrogate inference latency.  Backs the paper's premise
+// that "an evaluation on the solver surrogate is much cheaper/faster than
+// a call to a QUBO solver" (§1) with concrete numbers on this machine.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "problems/tsp/formulation.hpp"
+#include "problems/tsp/generators.hpp"
+#include "qross/min_fitness.hpp"
+#include "qubo/incremental.hpp"
+#include "solvers/digital_annealer.hpp"
+#include "solvers/simulated_annealer.hpp"
+#include "surrogate/dataset.hpp"
+#include "surrogate/features.hpp"
+#include "surrogate/model.hpp"
+#include "surrogate/pipeline.hpp"
+
+namespace {
+
+using namespace qross;
+
+qubo::QuboModel make_tsp_qubo(std::size_t cities) {
+  const auto instance = tsp::generate_uniform(cities, 0xBE);
+  const auto problem = tsp::build_tsp_problem(instance);
+  return problem.to_qubo(25.0);
+}
+
+void BM_QuboFullEnergy(benchmark::State& state) {
+  const auto model = make_tsp_qubo(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  qubo::Bits x(model.num_vars());
+  for (auto& b : x) b = rng.bernoulli(0.5) ? 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.energy(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QuboFullEnergy)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_IncrementalFlip(benchmark::State& state) {
+  const auto model = make_tsp_qubo(static_cast<std::size_t>(state.range(0)));
+  qubo::IncrementalEvaluator eval(model);
+  Rng rng(2);
+  qubo::Bits x(model.num_vars());
+  for (auto& b : x) b = rng.bernoulli(0.5) ? 1 : 0;
+  eval.set_state(x);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    eval.apply_flip(i);
+    i = (i + 17) % model.num_vars();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IncrementalFlip)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_SimulatedAnnealerCall(benchmark::State& state) {
+  const auto model = make_tsp_qubo(static_cast<std::size_t>(state.range(0)));
+  const solvers::SimulatedAnnealer solver;
+  solvers::SolveOptions options;
+  options.num_replicas = 4;
+  options.num_sweeps = 50;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    options.seed = ++seed;
+    benchmark::DoNotOptimize(solver.solve(model, options));
+  }
+}
+BENCHMARK(BM_SimulatedAnnealerCall)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_DigitalAnnealerCall(benchmark::State& state) {
+  const auto model = make_tsp_qubo(static_cast<std::size_t>(state.range(0)));
+  const solvers::DigitalAnnealer solver;
+  solvers::SolveOptions options;
+  options.num_replicas = 4;
+  options.num_sweeps = 50;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    options.seed = ++seed;
+    benchmark::DoNotOptimize(solver.solve(model, options));
+  }
+}
+BENCHMARK(BM_DigitalAnnealerCall)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto instance =
+      tsp::generate_uniform(static_cast<std::size_t>(state.range(0)), 0xFE);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(surrogate::extract_features(instance));
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(10)->Arg(20);
+
+/// Surrogate inference vs a solver call — the paper's core speed claim.
+void BM_SurrogatePredict(benchmark::State& state) {
+  // Train a tiny surrogate once, outside the timed region.
+  static const surrogate::SolverSurrogate* model = [] {
+    surrogate::Dataset dataset;
+    Rng rng(5);
+    for (std::size_t id = 0; id < 6; ++id) {
+      const auto inst = tsp::generate_uniform(8, id);
+      const surrogate::PreparedTspInstance prepared(inst);
+      surrogate::DatasetRow row;
+      row.features = surrogate::extract_features(prepared.prepared());
+      row.scale_anchor = surrogate::scale_anchor(row.features);
+      for (int k = 0; k < 12; ++k) {
+        row.instance_id = id;
+        row.relaxation_parameter = std::exp(rng.uniform(0.0, 5.0));
+        row.pf = rng.uniform();
+        row.energy_avg = row.scale_anchor * rng.uniform(0.9, 1.4);
+        row.energy_std = row.scale_anchor * 0.05;
+        dataset.rows.push_back(row);
+      }
+    }
+    surrogate::SurrogateConfig config;
+    config.pf_training.max_epochs = 50;
+    config.pf_training.patience = 50;
+    config.energy_training.max_epochs = 50;
+    auto* m = new surrogate::SolverSurrogate(config);
+    m->train(dataset);
+    return m;
+  }();
+  const auto instance = tsp::generate_uniform(10, 0x51);
+  const surrogate::PreparedTspInstance prepared(instance);
+  const auto features = surrogate::extract_features(prepared.prepared());
+  const double anchor = surrogate::scale_anchor(features);
+  double a = 1.0;
+  for (auto _ : state) {
+    a = a > 90.0 ? 1.0 : a + 1.0;
+    benchmark::DoNotOptimize(model->predict(features, anchor, a));
+  }
+}
+BENCHMARK(BM_SurrogatePredict);
+
+void BM_ExpectedMinFitness(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::expected_min_fitness(0.4, 100.0, 12.0, 64));
+  }
+}
+BENCHMARK(BM_ExpectedMinFitness);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+#include "harness/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace qross::bench {
+
+namespace {
+
+std::string default_directory() {
+  if (const char* env = std::getenv("QROSS_CACHE_DIR"); env != nullptr) {
+    return env;
+  }
+  return "qross_cache";
+}
+
+std::string sanitize(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+Cache::Cache() : Cache(default_directory()) {}
+
+Cache::Cache(std::string directory) : directory_(std::move(directory)) {
+  std::filesystem::create_directories(directory_);
+}
+
+std::string Cache::path(const std::string& key) const {
+  return directory_ + "/" + sanitize(key);
+}
+
+bool Cache::has(const std::string& key) const {
+  return std::filesystem::exists(path(key));
+}
+
+std::optional<std::string> Cache::read(const std::string& key) const {
+  std::ifstream file(path(key), std::ios::binary);
+  if (!file.good()) return std::nullopt;
+  std::ostringstream ss;
+  ss << file.rdbuf();
+  return ss.str();
+}
+
+void Cache::write(const std::string& key, const std::string& content) const {
+  // Write-then-rename keeps readers from seeing half-written artifacts.
+  const std::string final_path = path(key);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
+    QROSS_REQUIRE(file.good(), "cannot write cache file: " + tmp_path);
+    file << content;
+  }
+  std::filesystem::rename(tmp_path, final_path);
+}
+
+}  // namespace qross::bench

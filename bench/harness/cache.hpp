@@ -1,0 +1,35 @@
+#pragma once
+
+// File-backed artifact cache for the benchmark harness.
+//
+// Datasets, trained surrogates, and gap trajectories are expensive to
+// regenerate (they require thousands of solver calls), so every bench
+// binary shares them through this cache.  The cache directory defaults to
+// ./qross_cache and can be redirected with QROSS_CACHE_DIR.  Delete the
+// directory to force full regeneration.
+
+#include <optional>
+#include <string>
+
+namespace qross::bench {
+
+class Cache {
+ public:
+  /// Uses QROSS_CACHE_DIR or "qross_cache"; creates the directory.
+  Cache();
+  explicit Cache(std::string directory);
+
+  const std::string& directory() const { return directory_; }
+
+  /// Filesystem path for a key (keys are sanitised into file names).
+  std::string path(const std::string& key) const;
+
+  bool has(const std::string& key) const;
+  std::optional<std::string> read(const std::string& key) const;
+  void write(const std::string& key, const std::string& content) const;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace qross::bench

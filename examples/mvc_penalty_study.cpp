@@ -1,0 +1,65 @@
+// Minimum-Vertex-Cover penalty study (paper appendix B, interactive-sized).
+//
+// Demonstrates why penalty-weight tuning matters even when "any sigma >
+// max weight" is theoretically sufficient: on an imperfect solver, larger
+// penalties drown the objective in coefficient error and the recovered
+// covers get heavier.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "problems/mvc/mvc.hpp"
+#include "solvers/analog_noise.hpp"
+#include "solvers/simulated_annealer.hpp"
+
+using namespace qross;
+
+int main() {
+  const auto instance = mvc::generate_random_mvc(20, 0.5, 0xC0FE);
+  const auto exact = mvc::solve_exact_cover(instance);
+  const auto greedy = mvc::greedy_cover(instance);
+  std::printf("G(20, 0.5): %zu edges; optimal cover weight %.3f, greedy %.3f\n\n",
+              instance.edges().size(), exact.weight,
+              instance.cover_weight(greedy));
+
+  const auto clean = std::make_shared<solvers::SimulatedAnnealer>();
+  solvers::AnalogNoiseParams noise;
+  noise.relative_precision = 2e-3;  // analog control error (appendix B)
+  const auto noisy = std::make_shared<solvers::AnalogNoiseSolver>(clean, noise);
+
+  std::printf("%-10s %-22s %-22s\n", "sigma", "ideal solver", "noisy solver");
+  std::printf("%-10s %-22s %-22s\n", "", "(best weight / feas)", "(best weight / feas)");
+  for (double exponent = 0.0; exponent <= 4.0; exponent += 0.5) {
+    const double sigma = std::pow(10.0, exponent);
+    const auto model = instance.to_qubo(sigma);
+    solvers::SolveOptions options;
+    options.num_replicas = 12;
+    options.num_sweeps = 250;
+    options.seed = 11;
+
+    std::printf("%-10.1f", sigma);
+    for (const solvers::SolverPtr& solver :
+         {solvers::SolverPtr(clean), solvers::SolverPtr(noisy)}) {
+      const auto batch = solver->solve(model, options);
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t feasible = 0;
+      for (const auto& r : batch.results) {
+        if (instance.is_cover(r.assignment)) {
+          ++feasible;
+          best = std::min(best, instance.cover_weight(r.assignment));
+        }
+      }
+      if (feasible > 0) {
+        std::printf(" %8.3f (x%.2f) %2zu/12 ", best, best / exact.weight,
+                    feasible);
+      } else {
+        std::printf(" %-22s", "  infeasible");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nsigma <= max weight (~1) risks uncovered edges; huge sigma\n"
+              "degrades the noisy solver's covers — tune, don't guess.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Warehouse task allocation — the paper's other motivating workload ("a
+// logistic company has to manage allocations in a warehouse repeatedly").
+//
+// Demonstrates the inequality-constrained side of the library: per-station
+// capacity limits enter the QUBO through binary slack variables, and the
+// relaxation parameter A trades feasibility (capacity + one-hot penalties)
+// against assignment cost exactly as in the TSP case study.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "problems/allocation/allocation.hpp"
+#include "solvers/batch_runner.hpp"
+#include "solvers/simulated_annealer.hpp"
+
+using namespace qross;
+
+int main() {
+  // 8 picking tasks onto 3 packing stations.
+  const auto instance = allocation::generate_random_allocation(8, 3, 0x77A3);
+  std::printf("instance %s: %zu tasks -> %zu stations\n",
+              instance.name().c_str(), instance.num_tasks(),
+              instance.num_machines());
+  std::printf("station capacities:");
+  for (std::size_t k = 0; k < instance.num_machines(); ++k) {
+    std::printf(" %.0f", instance.capacity(k));
+  }
+  std::printf("\n");
+
+  const auto exact = allocation::solve_exact_allocation(instance);
+  std::printf("exact optimum: cost %.0f, assignment:", exact.cost);
+  for (std::size_t machine : exact.assignment) std::printf(" %zu", machine);
+  std::printf("\n\n");
+
+  const auto qubo = allocation::build_allocation_problem(instance);
+  std::printf("QUBO: %zu variables (%zu decision + %zu capacity slack), "
+              "%zu constraints\n\n",
+              qubo.problem.num_vars(),
+              instance.num_tasks() * instance.num_machines(),
+              qubo.problem.num_vars() -
+                  instance.num_tasks() * instance.num_machines(),
+              qubo.problem.num_constraints());
+
+  solvers::BatchRunner runner(qubo.problem,
+                              std::make_shared<solvers::SimulatedAnnealer>(),
+                              solvers::SolveOptions{.num_replicas = 16,
+                                                    .num_sweeps = 400,
+                                                    .seed = 5});
+  std::printf("%8s %6s %10s %8s\n", "A", "Pf", "best_cost", "vs_opt");
+  for (double a : {2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0}) {
+    const auto sample = runner.run(a);
+    if (sample.stats.has_feasible()) {
+      const auto decoded = allocation::decode_allocation(
+          instance, *sample.stats.best_feasible);
+      const double cost = instance.total_cost(*decoded);
+      std::printf("%8.0f %6.2f %10.0f %+7.1f%%\n", a, sample.stats.pf, cost,
+                  100.0 * (cost / exact.cost - 1.0));
+    } else {
+      std::printf("%8.0f %6.2f %10s %8s\n", a, sample.stats.pf, "-", "-");
+    }
+  }
+  std::printf("\nSame story as TSP: too-small A leaves capacities violated,\n"
+              "too-large A buries the cost signal; the sweet spot sits on\n"
+              "the Pf slope — which is exactly what QROSS learns to find.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#pragma once
+
+// Contract-checking macros used across the QROSS libraries.
+//
+// QROSS_ASSERT checks internal invariants; violations indicate a programming
+// error and abort with a diagnostic.  QROSS_REQUIRE validates caller-supplied
+// preconditions at public API boundaries and throws std::invalid_argument so
+// that misuse is recoverable and testable.
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace qross {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "QROSS_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace qross
+
+#define QROSS_ASSERT(expr)                                      \
+  do {                                                          \
+    if (!(expr)) ::qross::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define QROSS_ASSERT_MSG(expr, msg)                                \
+  do {                                                             \
+    if (!(expr)) ::qross::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define QROSS_REQUIRE(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      throw std::invalid_argument(std::string("QROSS precondition: ") +   \
+                                  (msg) + " [" #expr "]");                \
+  } while (false)

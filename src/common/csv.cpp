@@ -1,0 +1,86 @@
+#include "common/csv.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace qross {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  QROSS_REQUIRE(!header_.empty(), "CSV table needs at least one column");
+}
+
+void CsvTable::add_row(std::vector<std::string> cells) {
+  QROSS_REQUIRE(cells.size() == header_.size(),
+                "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void CsvTable::add_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double c : cells) formatted.push_back(format_double(c, precision));
+  add_row(std::move(formatted));
+}
+
+namespace {
+
+std::string escape_csv(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvTable::write_csv(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << escape_csv(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << escape_csv(row[i]);
+    }
+    os << '\n';
+  }
+}
+
+void CsvTable::write_pretty(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << row[i];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::string rule;
+  for (std::size_t w : widths) rule += std::string(w + 2, '-');
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+}  // namespace qross

@@ -1,0 +1,43 @@
+#pragma once
+
+// Minimal CSV table builder for the benchmark harness.  Each bench binary
+// prints the rows/series of the paper table or figure it regenerates; this
+// type keeps column alignment and escaping in one place.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qross {
+
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+
+  std::size_t num_columns() const { return header_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Adds a row of already-formatted cells.  Must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::vector<double>& cells, int precision = 6);
+
+  /// Writes RFC-4180-style CSV (quotes cells containing , " or newline).
+  void write_csv(std::ostream& os) const;
+
+  /// Writes a human-readable aligned table (for terminal output).
+  void write_pretty(std::ostream& os) const;
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string format_double(double value, int precision = 6);
+
+}  // namespace qross

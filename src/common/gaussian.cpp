@@ -1,0 +1,84 @@
+#include "common/gaussian.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace qross {
+
+double normal_pdf(double z) {
+  static const double inv_sqrt_2pi = 1.0 / std::sqrt(2.0 * std::numbers::pi);
+  return inv_sqrt_2pi * std::exp(-0.5 * z * z);
+}
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+double normal_cdf(double z, double mean, double stddev) {
+  QROSS_ASSERT(stddev >= 0.0);
+  if (stddev == 0.0) return z < mean ? 0.0 : 1.0;
+  return normal_cdf((z - mean) / stddev);
+}
+
+namespace {
+
+// Acklam's inverse normal CDF approximation.
+double acklam_quantile(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1.0 - plow;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > phigh) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace
+
+double normal_quantile(double p) {
+  QROSS_REQUIRE(p > 0.0 && p < 1.0, "normal_quantile requires p in (0, 1)");
+  double x = acklam_quantile(p);
+  // One Halley refinement step drives the error below 1e-12.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * std::numbers::pi) * std::exp(x * x / 2);
+  x -= u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double log_normal_cdf(double z) {
+  if (z > -8.0) return std::log(normal_cdf(z));
+  // Asymptotic expansion for large negative z:
+  //   Phi(z) ~ phi(z)/(-z) * (1 - 1/z^2 + 3/z^4 - ...)
+  const double z2 = z * z;
+  const double series = 1.0 - 1.0 / z2 + 3.0 / (z2 * z2);
+  return -0.5 * z2 - 0.5 * std::log(2.0 * std::numbers::pi) - std::log(-z) +
+         std::log(series);
+}
+
+}  // namespace qross

@@ -1,0 +1,24 @@
+#pragma once
+
+// Gaussian distribution math used by the expected-minimum-fitness integral
+// (paper eq. (2) / appendix F) and by the Bayesian-optimisation baseline.
+
+namespace qross {
+
+/// Standard normal probability density.
+double normal_pdf(double z);
+
+/// Standard normal cumulative distribution function, Phi(z).
+double normal_cdf(double z);
+
+/// CDF of N(mean, stddev^2) at z.  stddev == 0 degenerates to a step.
+double normal_cdf(double z, double mean, double stddev);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined by
+/// one Halley step; |error| < 1e-12 over (1e-300, 1-1e-16)).
+double normal_quantile(double p);
+
+/// log(Phi(z)) computed without underflow for very negative z.
+double log_normal_cdf(double z);
+
+}  // namespace qross

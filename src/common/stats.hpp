@@ -1,0 +1,65 @@
+#pragma once
+
+// Streaming and batch statistics used throughout QROSS: solver batches are
+// summarised into (mean, stddev, min, ...) before being fed to the surrogate.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qross {
+
+/// Welford online mean/variance accumulator.  Numerically stable and usable
+/// as a single-pass reducer over solver batches.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Population variance (divides by n).  Zero for n < 2.
+  double variance() const;
+  /// Sample variance (divides by n-1).  Zero for n < 2.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample, computed in one pass.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population stddev
+  double min = 0.0;
+  double max = 0.0;
+};
+
+SampleSummary summarize(std::span<const double> values);
+
+/// Linearly-interpolated quantile of an unsorted sample, q in [0, 1].
+double quantile(std::span<const double> values, double q);
+
+/// Several quantiles at once (single sort).
+std::vector<double> quantiles(std::span<const double> values,
+                              std::span<const double> qs);
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Population standard deviation; 0 for fewer than 2 values.
+double stddev(std::span<const double> values);
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace qross

@@ -1,0 +1,37 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace qross::nn {
+
+Adam::Adam(std::size_t num_parameters, AdamConfig config)
+    : config_(config), m_(num_parameters, 0.0), v_(num_parameters, 0.0) {
+  QROSS_REQUIRE(config_.learning_rate > 0.0, "learning rate must be positive");
+  QROSS_REQUIRE(config_.beta1 >= 0.0 && config_.beta1 < 1.0, "beta1 in [0,1)");
+  QROSS_REQUIRE(config_.beta2 >= 0.0 && config_.beta2 < 1.0, "beta2 in [0,1)");
+}
+
+void Adam::step(const std::vector<double*>& params,
+                const std::vector<double*>& grads) {
+  QROSS_REQUIRE(params.size() == m_.size() && grads.size() == m_.size(),
+                "parameter count mismatch");
+  ++t_;
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double g = *grads[i];
+    m_[i] = config_.beta1 * m_[i] + (1.0 - config_.beta1) * g;
+    v_[i] = config_.beta2 * v_[i] + (1.0 - config_.beta2) * g * g;
+    const double mhat = m_[i] / bias1;
+    const double vhat = v_[i] / bias2;
+    double update = config_.learning_rate * mhat / (std::sqrt(vhat) + config_.epsilon);
+    if (config_.weight_decay > 0.0) {
+      update += config_.learning_rate * config_.weight_decay * *params[i];
+    }
+    *params[i] -= update;
+  }
+}
+
+}  // namespace qross::nn

@@ -1,0 +1,36 @@
+#pragma once
+
+// Adam optimiser (Kingma & Ba) over the MLP's flattened parameter views.
+
+#include <cstddef>
+#include <vector>
+
+namespace qross::nn {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;  // decoupled (AdamW-style) when nonzero
+};
+
+class Adam {
+ public:
+  explicit Adam(std::size_t num_parameters, AdamConfig config = {});
+
+  /// One update: params[i] -= lr * mhat / (sqrt(vhat) + eps), reading
+  /// grads[i] and writing through params[i].
+  void step(const std::vector<double*>& params,
+            const std::vector<double*>& grads);
+
+  std::size_t iterations() const { return t_; }
+
+ private:
+  AdamConfig config_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace qross::nn

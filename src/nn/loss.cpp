@@ -1,0 +1,87 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace qross::nn {
+
+double sigmoid(double x) {
+  if (x >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+namespace {
+
+void check_shapes(const Matrix& predictions, const Matrix& targets,
+                  Matrix& grad) {
+  QROSS_REQUIRE(predictions.rows() == targets.rows() &&
+                    predictions.cols() == targets.cols(),
+                "loss shape mismatch");
+  grad = Matrix(predictions.rows(), predictions.cols(), 0.0);
+}
+
+}  // namespace
+
+double BceWithLogitsLoss::evaluate(const Matrix& predictions,
+                                   const Matrix& targets, Matrix& grad) const {
+  check_shapes(predictions, targets, grad);
+  const double inv_n = 1.0 / static_cast<double>(predictions.size());
+  double total = 0.0;
+  for (std::size_t r = 0; r < predictions.rows(); ++r) {
+    for (std::size_t c = 0; c < predictions.cols(); ++c) {
+      const double z = predictions(r, c);
+      const double y = targets(r, c);
+      QROSS_REQUIRE(y >= 0.0 && y <= 1.0, "BCE target outside [0, 1]");
+      // log(1 + e^{-|z|}) + max(z, 0) - z*y is the stable form of
+      // -y*log(sigmoid) - (1-y)*log(1-sigmoid).
+      total += std::log1p(std::exp(-std::abs(z))) + std::max(z, 0.0) - z * y;
+      grad(r, c) = (sigmoid(z) - y) * inv_n;
+    }
+  }
+  return total * inv_n;
+}
+
+HuberLoss::HuberLoss(double delta) : delta_(delta) {
+  QROSS_REQUIRE(delta_ > 0.0, "Huber delta must be positive");
+}
+
+double HuberLoss::evaluate(const Matrix& predictions, const Matrix& targets,
+                           Matrix& grad) const {
+  check_shapes(predictions, targets, grad);
+  const double inv_n = 1.0 / static_cast<double>(predictions.size());
+  double total = 0.0;
+  for (std::size_t r = 0; r < predictions.rows(); ++r) {
+    for (std::size_t c = 0; c < predictions.cols(); ++c) {
+      const double e = predictions(r, c) - targets(r, c);
+      if (std::abs(e) <= delta_) {
+        total += 0.5 * e * e;
+        grad(r, c) = e * inv_n;
+      } else {
+        total += delta_ * (std::abs(e) - 0.5 * delta_);
+        grad(r, c) = (e > 0.0 ? delta_ : -delta_) * inv_n;
+      }
+    }
+  }
+  return total * inv_n;
+}
+
+double MseLoss::evaluate(const Matrix& predictions, const Matrix& targets,
+                         Matrix& grad) const {
+  check_shapes(predictions, targets, grad);
+  const double inv_n = 1.0 / static_cast<double>(predictions.size());
+  double total = 0.0;
+  for (std::size_t r = 0; r < predictions.rows(); ++r) {
+    for (std::size_t c = 0; c < predictions.cols(); ++c) {
+      const double e = predictions(r, c) - targets(r, c);
+      total += e * e;
+      grad(r, c) = 2.0 * e * inv_n;
+    }
+  }
+  return total * inv_n;
+}
+
+}  // namespace qross::nn

@@ -1,0 +1,51 @@
+#pragma once
+
+// Loss functions for the surrogate heads (paper appendix G): binary cross
+// entropy with logits for the Pf head, Huber for the energy heads (the
+// paper picks Huber because solver stochasticity produces outliers).
+//
+// Each loss returns the mean loss over the batch and writes dL/d(prediction)
+// (already divided by the batch size) into `grad`.
+
+#include "nn/matrix.hpp"
+
+namespace qross::nn {
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  /// Mean loss; `grad` is resized/overwritten with dL/dpred.
+  virtual double evaluate(const Matrix& predictions, const Matrix& targets,
+                          Matrix& grad) const = 0;
+};
+
+/// Numerically-stable BCE on raw logits; targets in [0, 1] (soft labels such
+/// as empirical Pf estimates are fine).
+class BceWithLogitsLoss final : public Loss {
+ public:
+  double evaluate(const Matrix& predictions, const Matrix& targets,
+                  Matrix& grad) const override;
+};
+
+/// Huber (smooth-L1) with transition point delta.
+class HuberLoss final : public Loss {
+ public:
+  explicit HuberLoss(double delta = 1.0);
+  double evaluate(const Matrix& predictions, const Matrix& targets,
+                  Matrix& grad) const override;
+
+ private:
+  double delta_;
+};
+
+/// Plain mean squared error (reference / tests).
+class MseLoss final : public Loss {
+ public:
+  double evaluate(const Matrix& predictions, const Matrix& targets,
+                  Matrix& grad) const override;
+};
+
+/// Logistic sigmoid (exposed because strategy code converts Pf logits).
+double sigmoid(double x);
+
+}  // namespace qross::nn

@@ -1,0 +1,89 @@
+#include "nn/matrix.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace qross::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  QROSS_REQUIRE(data_.size() == rows_ * cols_, "matrix data size mismatch");
+}
+
+void Matrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  QROSS_REQUIRE(cols_ == other.rows_, "multiply shape mismatch");
+  Matrix out(rows_, other.cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = data_.data() + r * cols_;
+    double* o = out.data_.data() + r * other.cols_;
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double av = a[k];
+      if (av == 0.0) continue;
+      const double* b = other.data_.data() + k * other.cols_;
+      for (std::size_t c = 0; c < other.cols_; ++c) o[c] += av * b[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose_multiply(const Matrix& other) const {
+  QROSS_REQUIRE(rows_ == other.rows_, "transpose_multiply shape mismatch");
+  Matrix out(cols_, other.cols_, 0.0);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const double* a = data_.data() + k * cols_;
+    const double* b = other.data_.data() + k * other.cols_;
+    for (std::size_t r = 0; r < cols_; ++r) {
+      const double av = a[r];
+      if (av == 0.0) continue;
+      double* o = out.data_.data() + r * other.cols_;
+      for (std::size_t c = 0; c < other.cols_; ++c) o[c] += av * b[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::multiply_transpose(const Matrix& other) const {
+  QROSS_REQUIRE(cols_ == other.cols_, "multiply_transpose shape mismatch");
+  Matrix out(rows_, other.rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < other.rows_; ++c) {
+      const double* b = other.data_.data() + c * other.cols_;
+      double sum = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) sum += a[k] * b[k];
+      out(r, c) = sum;
+    }
+  }
+  return out;
+}
+
+Matrix& Matrix::add_in_place(const Matrix& other) {
+  QROSS_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                "add shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::scale_in_place(double factor) {
+  for (double& v : data_) v *= factor;
+  return *this;
+}
+
+Matrix Matrix::column_sums() const {
+  Matrix out(1, cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) out(0, c) += a[c];
+  }
+  return out;
+}
+
+}  // namespace qross::nn

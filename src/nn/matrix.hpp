@@ -1,0 +1,66 @@
+#pragma once
+
+// Dense row-major matrix for the surrogate's MLP.  Deliberately small:
+// the surrogate has two hidden layers of a few dozen units, so clarity and
+// determinism win over BLAS-grade performance.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace qross::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  void fill(double value);
+
+  /// this (r x k) times other (k x c) -> (r x c).
+  Matrix multiply(const Matrix& other) const;
+
+  /// this^T (k x r) times other (k x c) -> (r x c); avoids materialising the
+  /// transpose in the backward pass.
+  Matrix transpose_multiply(const Matrix& other) const;
+
+  /// this (r x k) times other^T (c x k) -> (r x c).
+  Matrix multiply_transpose(const Matrix& other) const;
+
+  Matrix& add_in_place(const Matrix& other);
+  Matrix& scale_in_place(double factor);
+
+  /// Column-wise sum -> 1 x cols (bias gradients).
+  Matrix column_sums() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace qross::nn

@@ -1,0 +1,191 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace qross::nn {
+
+double apply_activation(Activation act, double x) {
+  switch (act) {
+    case Activation::kReLU:
+      return x > 0.0 ? x : 0.0;
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kIdentity:
+      return x;
+  }
+  QROSS_ASSERT_MSG(false, "unknown activation");
+  return 0.0;
+}
+
+double activation_derivative(Activation act, double pre_activation) {
+  switch (act) {
+    case Activation::kReLU:
+      return pre_activation > 0.0 ? 1.0 : 0.0;
+    case Activation::kTanh: {
+      const double t = std::tanh(pre_activation);
+      return 1.0 - t * t;
+    }
+    case Activation::kIdentity:
+      return 1.0;
+  }
+  QROSS_ASSERT_MSG(false, "unknown activation");
+  return 0.0;
+}
+
+Mlp::Mlp(std::vector<std::size_t> layer_sizes, Activation hidden_activation,
+         std::uint64_t seed) {
+  QROSS_REQUIRE(layer_sizes.size() >= 2, "need at least input and output");
+  for (std::size_t s : layer_sizes) {
+    QROSS_REQUIRE(s >= 1, "layer sizes must be positive");
+  }
+  Rng rng(seed);
+  layers_.resize(layer_sizes.size() - 1);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const std::size_t in = layer_sizes[l];
+    const std::size_t out = layer_sizes[l + 1];
+    auto& layer = layers_[l];
+    layer.weights = Matrix(in, out);
+    layer.bias = Matrix(1, out, 0.0);
+    layer.weight_grad = Matrix(in, out, 0.0);
+    layer.bias_grad = Matrix(1, out, 0.0);
+    layer.activation = l + 1 < layers_.size() ? hidden_activation
+                                              : Activation::kIdentity;
+    // He initialisation keeps ReLU variances stable through depth.
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    for (double& w : layer.weights.data()) w = rng.normal(0.0, scale);
+  }
+}
+
+std::size_t Mlp::input_dim() const { return layers_.front().weights.rows(); }
+std::size_t Mlp::output_dim() const { return layers_.back().weights.cols(); }
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t count = 0;
+  for (const auto& layer : layers_) {
+    count += layer.weights.size() + layer.bias.size();
+  }
+  return count;
+}
+
+Matrix Mlp::forward(const Matrix& batch) {
+  QROSS_REQUIRE(batch.cols() == input_dim(), "input dimension mismatch");
+  Matrix current = batch;
+  for (auto& layer : layers_) {
+    layer.input = current;
+    Matrix z = current.multiply(layer.weights);
+    for (std::size_t r = 0; r < z.rows(); ++r) {
+      for (std::size_t c = 0; c < z.cols(); ++c) z(r, c) += layer.bias(0, c);
+    }
+    layer.pre_activation = z;
+    for (double& v : z.data()) v = apply_activation(layer.activation, v);
+    current = std::move(z);
+  }
+  return current;
+}
+
+Matrix Mlp::predict(const Matrix& batch) const {
+  QROSS_REQUIRE(batch.cols() == input_dim(), "input dimension mismatch");
+  Matrix current = batch;
+  for (const auto& layer : layers_) {
+    Matrix z = current.multiply(layer.weights);
+    for (std::size_t r = 0; r < z.rows(); ++r) {
+      for (std::size_t c = 0; c < z.cols(); ++c) z(r, c) += layer.bias(0, c);
+    }
+    for (double& v : z.data()) v = apply_activation(layer.activation, v);
+    current = std::move(z);
+  }
+  return current;
+}
+
+Matrix Mlp::backward(const Matrix& output_grad) {
+  Matrix grad = output_grad;
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    auto& layer = layers_[l];
+    QROSS_REQUIRE(grad.rows() == layer.pre_activation.rows() &&
+                      grad.cols() == layer.pre_activation.cols(),
+                  "backward called without matching forward");
+    // Through the activation.
+    for (std::size_t r = 0; r < grad.rows(); ++r) {
+      for (std::size_t c = 0; c < grad.cols(); ++c) {
+        grad(r, c) *=
+            activation_derivative(layer.activation, layer.pre_activation(r, c));
+      }
+    }
+    layer.weight_grad.add_in_place(layer.input.transpose_multiply(grad));
+    layer.bias_grad.add_in_place(grad.column_sums());
+    if (l > 0) grad = grad.multiply_transpose(layer.weights);
+  }
+  return grad;
+}
+
+void Mlp::zero_gradients() {
+  for (auto& layer : layers_) {
+    layer.weight_grad.fill(0.0);
+    layer.bias_grad.fill(0.0);
+  }
+}
+
+std::vector<double*> Mlp::parameters() {
+  std::vector<double*> out;
+  for (auto& layer : layers_) {
+    for (double& w : layer.weights.data()) out.push_back(&w);
+    for (double& b : layer.bias.data()) out.push_back(&b);
+  }
+  return out;
+}
+
+std::vector<double*> Mlp::gradients() {
+  std::vector<double*> out;
+  for (auto& layer : layers_) {
+    for (double& w : layer.weight_grad.data()) out.push_back(&w);
+    for (double& b : layer.bias_grad.data()) out.push_back(&b);
+  }
+  return out;
+}
+
+void Mlp::save(std::ostream& os) const {
+  os << "mlp " << layers_.size() << "\n";
+  os.precision(17);
+  for (const auto& layer : layers_) {
+    os << layer.weights.rows() << ' ' << layer.weights.cols() << ' '
+       << static_cast<int>(layer.activation) << "\n";
+    for (double w : layer.weights.data()) os << w << ' ';
+    os << "\n";
+    for (double b : layer.bias.data()) os << b << ' ';
+    os << "\n";
+  }
+}
+
+Mlp Mlp::load(std::istream& is) {
+  std::string magic;
+  std::size_t num_layers = 0;
+  QROSS_REQUIRE(static_cast<bool>(is >> magic >> num_layers) && magic == "mlp",
+                "bad MLP header");
+  Mlp mlp;
+  mlp.layers_.resize(num_layers);
+  for (auto& layer : mlp.layers_) {
+    std::size_t in = 0, out = 0;
+    int act = 0;
+    QROSS_REQUIRE(static_cast<bool>(is >> in >> out >> act),
+                  "bad MLP layer header");
+    layer.weights = Matrix(in, out);
+    layer.bias = Matrix(1, out);
+    layer.weight_grad = Matrix(in, out, 0.0);
+    layer.bias_grad = Matrix(1, out, 0.0);
+    layer.activation = static_cast<Activation>(act);
+    for (double& w : layer.weights.data()) {
+      QROSS_REQUIRE(static_cast<bool>(is >> w), "bad MLP weight data");
+    }
+    for (double& b : layer.bias.data()) {
+      QROSS_REQUIRE(static_cast<bool>(is >> b), "bad MLP bias data");
+    }
+  }
+  return mlp;
+}
+
+}  // namespace qross::nn

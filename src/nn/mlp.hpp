@@ -1,0 +1,75 @@
+#pragma once
+
+// Multi-layer perceptron with manual backpropagation.
+//
+// This is the whole "deep learning framework" the solver surrogate needs:
+// fully-connected layers, ReLU / tanh hidden activations, linear outputs
+// (losses apply their own link, e.g. sigmoid inside BCE-with-logits).
+// Weights use He initialisation from an explicit seed; forward/backward
+// operate on row-major batches (one sample per row).
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace qross::nn {
+
+enum class Activation { kReLU, kTanh, kIdentity };
+
+double apply_activation(Activation act, double x);
+double activation_derivative(Activation act, double pre_activation);
+
+struct LinearLayer {
+  Matrix weights;  // in x out
+  Matrix bias;     // 1 x out
+  Matrix weight_grad;
+  Matrix bias_grad;
+  Activation activation = Activation::kIdentity;
+
+  // Forward-pass caches consumed by backward().
+  Matrix input;
+  Matrix pre_activation;
+};
+
+class Mlp {
+ public:
+  /// layer_sizes = {in, hidden..., out}; hidden layers use
+  /// `hidden_activation`, the output layer is linear.
+  Mlp(std::vector<std::size_t> layer_sizes, Activation hidden_activation,
+      std::uint64_t seed);
+
+  std::size_t input_dim() const;
+  std::size_t output_dim() const;
+  std::size_t num_parameters() const;
+
+  /// Forward pass on a batch (rows = samples).  Caches activations for the
+  /// subsequent backward() call.
+  Matrix forward(const Matrix& batch);
+
+  /// Forward pass without caching (thread-safe w.r.t. other const calls).
+  Matrix predict(const Matrix& batch) const;
+
+  /// Backpropagates dL/d(output); accumulates parameter gradients.
+  /// Returns dL/d(input) (used by gradient checking).
+  Matrix backward(const Matrix& output_grad);
+
+  void zero_gradients();
+
+  /// Flattened views over all parameters / gradients, in a fixed order, for
+  /// the optimiser and for serialisation.
+  std::vector<double*> parameters();
+  std::vector<double*> gradients();
+
+  void save(std::ostream& os) const;
+  static Mlp load(std::istream& is);
+
+  const std::vector<LinearLayer>& layers() const { return layers_; }
+
+ private:
+  Mlp() = default;
+  std::vector<LinearLayer> layers_;
+};
+
+}  // namespace qross::nn

@@ -1,0 +1,116 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace qross::nn {
+
+namespace {
+
+Matrix gather_rows(const Matrix& source, const std::vector<std::size_t>& rows,
+                   std::size_t begin, std::size_t end) {
+  Matrix out(end - begin, source.cols());
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto src = source.row(rows[i]);
+    std::copy(src.begin(), src.end(), out.row(i - begin).begin());
+  }
+  return out;
+}
+
+}  // namespace
+
+double evaluate_loss(const Mlp& mlp, const Matrix& inputs,
+                     const Matrix& targets, const Loss& loss) {
+  Matrix grad;
+  const Matrix predictions = mlp.predict(inputs);
+  return loss.evaluate(predictions, targets, grad);
+}
+
+TrainHistory train_mlp(Mlp& mlp, const Matrix& inputs, const Matrix& targets,
+                       const Loss& loss, const TrainConfig& config) {
+  QROSS_REQUIRE(inputs.rows() == targets.rows(), "sample count mismatch");
+  QROSS_REQUIRE(inputs.rows() >= 2, "need at least two samples");
+  QROSS_REQUIRE(config.batch_size >= 1, "batch size must be positive");
+  QROSS_REQUIRE(config.validation_fraction >= 0.0 &&
+                    config.validation_fraction < 1.0,
+                "validation fraction in [0, 1)");
+
+  const std::size_t num_samples = inputs.rows();
+  Rng rng(config.seed);
+  std::vector<std::size_t> order = rng.permutation(num_samples);
+
+  std::size_t num_val = static_cast<std::size_t>(
+      config.validation_fraction * static_cast<double>(num_samples));
+  if (config.validation_fraction > 0.0) {
+    num_val = std::clamp<std::size_t>(num_val, 1, num_samples - 1);
+  }
+  const std::size_t num_train = num_samples - num_val;
+
+  const Matrix val_x = gather_rows(inputs, order, num_train, num_samples);
+  const Matrix val_y = gather_rows(targets, order, num_train, num_samples);
+  std::vector<std::size_t> train_rows(order.begin(),
+                                      order.begin() + static_cast<std::ptrdiff_t>(num_train));
+
+  Adam optimiser(mlp.num_parameters(), config.adam);
+  TrainHistory history;
+  history.best_val_loss = std::numeric_limits<double>::infinity();
+
+  // Snapshot for early-stopping restoration.
+  std::vector<double> best_params(mlp.num_parameters());
+  auto snapshot = [&] {
+    const auto params = mlp.parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) best_params[i] = *params[i];
+  };
+  auto restore = [&] {
+    const auto params = mlp.parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) *params[i] = best_params[i];
+  };
+  snapshot();
+
+  std::size_t epochs_since_best = 0;
+  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    rng.shuffle(train_rows);
+    double epoch_loss = 0.0;
+    std::size_t num_batches = 0;
+    for (std::size_t begin = 0; begin < num_train;
+         begin += config.batch_size) {
+      const std::size_t end = std::min(begin + config.batch_size, num_train);
+      const Matrix batch_x = gather_rows(inputs, train_rows, begin, end);
+      const Matrix batch_y = gather_rows(targets, train_rows, begin, end);
+      mlp.zero_gradients();
+      const Matrix predictions = mlp.forward(batch_x);
+      Matrix grad;
+      epoch_loss += loss.evaluate(predictions, batch_y, grad);
+      mlp.backward(grad);
+      optimiser.step(mlp.parameters(), mlp.gradients());
+      ++num_batches;
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(num_batches, 1));
+    history.train_loss.push_back(epoch_loss);
+
+    const double val_loss =
+        num_val > 0 ? evaluate_loss(mlp, val_x, val_y, loss) : epoch_loss;
+    history.val_loss.push_back(val_loss);
+    if (config.verbose) {
+      std::printf("epoch %3zu  train %.6f  val %.6f\n", epoch, epoch_loss,
+                  val_loss);
+    }
+
+    if (val_loss < history.best_val_loss - 1e-12) {
+      history.best_val_loss = val_loss;
+      history.best_epoch = epoch;
+      epochs_since_best = 0;
+      snapshot();
+    } else if (++epochs_since_best > config.patience) {
+      break;
+    }
+  }
+  restore();
+  return history;
+}
+
+}  // namespace qross::nn

@@ -1,0 +1,43 @@
+#pragma once
+
+// Mini-batch training loop with shuffling, a validation split, and
+// early stopping on validation loss (restoring the best parameters).
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/adam.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+
+namespace qross::nn {
+
+struct TrainConfig {
+  std::size_t max_epochs = 300;
+  std::size_t batch_size = 32;
+  double validation_fraction = 0.15;
+  /// Early stopping: epochs without validation improvement before halting.
+  std::size_t patience = 30;
+  AdamConfig adam;
+  std::uint64_t seed = 17;
+  bool verbose = false;
+};
+
+struct TrainHistory {
+  std::vector<double> train_loss;  // one entry per epoch
+  std::vector<double> val_loss;
+  std::size_t best_epoch = 0;
+  double best_val_loss = 0.0;
+};
+
+/// Trains `mlp` to map inputs -> targets under `loss`.  Rows are samples.
+/// Returns per-epoch history; the network is left holding the parameters of
+/// the best validation epoch.
+TrainHistory train_mlp(Mlp& mlp, const Matrix& inputs, const Matrix& targets,
+                       const Loss& loss, const TrainConfig& config);
+
+/// Mean loss of `mlp` over a dataset (no parameter update).
+double evaluate_loss(const Mlp& mlp, const Matrix& inputs,
+                     const Matrix& targets, const Loss& loss);
+
+}  // namespace qross::nn

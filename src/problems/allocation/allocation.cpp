@@ -1,0 +1,206 @@
+#include "problems/allocation/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace qross::allocation {
+
+AllocationInstance::AllocationInstance(std::string name, std::size_t num_tasks,
+                                       std::size_t num_machines,
+                                       std::vector<double> costs,
+                                       std::vector<double> loads,
+                                       std::vector<double> capacities)
+    : name_(std::move(name)),
+      tasks_(num_tasks),
+      machines_(num_machines),
+      costs_(std::move(costs)),
+      loads_(std::move(loads)),
+      capacities_(std::move(capacities)) {
+  QROSS_REQUIRE(tasks_ >= 1 && machines_ >= 1, "need tasks and machines");
+  QROSS_REQUIRE(costs_.size() == tasks_ * machines_, "cost matrix size");
+  QROSS_REQUIRE(loads_.size() == tasks_, "load vector size");
+  QROSS_REQUIRE(capacities_.size() == machines_, "capacity vector size");
+  for (double c : costs_) QROSS_REQUIRE(c >= 0.0, "negative cost");
+  for (double l : loads_) QROSS_REQUIRE(l >= 0.0, "negative load");
+  for (double c : capacities_) QROSS_REQUIRE(c >= 0.0, "negative capacity");
+}
+
+double AllocationInstance::total_cost(
+    std::span<const std::size_t> assignment) const {
+  QROSS_REQUIRE(assignment.size() == tasks_, "assignment size mismatch");
+  double total = 0.0;
+  for (std::size_t t = 0; t < tasks_; ++t) {
+    QROSS_REQUIRE(assignment[t] < machines_, "machine index out of range");
+    total += cost(t, assignment[t]);
+  }
+  return total;
+}
+
+double AllocationInstance::machine_load(std::span<const std::size_t> assignment,
+                                        std::size_t machine) const {
+  QROSS_REQUIRE(assignment.size() == tasks_, "assignment size mismatch");
+  double total = 0.0;
+  for (std::size_t t = 0; t < tasks_; ++t) {
+    if (assignment[t] == machine) total += loads_[t];
+  }
+  return total;
+}
+
+bool AllocationInstance::respects_capacities(
+    std::span<const std::size_t> assignment) const {
+  for (std::size_t k = 0; k < machines_; ++k) {
+    if (machine_load(assignment, k) > capacities_[k] + 1e-9) return false;
+  }
+  return true;
+}
+
+AllocationQubo build_allocation_problem(const AllocationInstance& instance,
+                                        double slack_granularity) {
+  const std::size_t tasks = instance.num_tasks();
+  const std::size_t machines = instance.num_machines();
+  AllocationQubo out{qubo::ConstrainedProblem(tasks * machines), {}};
+
+  // Linear objective on the decision block.
+  for (std::size_t t = 0; t < tasks; ++t) {
+    for (std::size_t k = 0; k < machines; ++k) {
+      const std::size_t v = variable_index(t, k, machines);
+      out.problem.add_objective_term(v, v, instance.cost(t, k));
+    }
+  }
+  // One-hot per task.
+  for (std::size_t t = 0; t < tasks; ++t) {
+    qubo::LinearConstraint c;
+    c.rhs = 1.0;
+    for (std::size_t k = 0; k < machines; ++k) {
+      c.vars.push_back(variable_index(t, k, machines));
+      c.coeffs.push_back(1.0);
+    }
+    out.problem.add_constraint(std::move(c));
+  }
+  // Capacity inequality per machine, slack-expanded.
+  out.capacity_slack.reserve(machines);
+  for (std::size_t k = 0; k < machines; ++k) {
+    qubo::LinearInequality inequality;
+    inequality.rhs = instance.capacity(k);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      inequality.vars.push_back(variable_index(t, k, machines));
+      inequality.coeffs.push_back(instance.load(t));
+    }
+    out.capacity_slack.push_back(
+        out.problem.add_inequality_constraint(inequality, slack_granularity));
+  }
+  return out;
+}
+
+std::optional<Assignment> decode_allocation(
+    const AllocationInstance& instance, std::span<const std::uint8_t> bits) {
+  const std::size_t tasks = instance.num_tasks();
+  const std::size_t machines = instance.num_machines();
+  QROSS_REQUIRE(bits.size() >= tasks * machines,
+                "assignment too short for the decision block");
+  Assignment assignment(tasks, machines);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    for (std::size_t k = 0; k < machines; ++k) {
+      if (bits[variable_index(t, k, machines)] == 0) continue;
+      if (assignment[t] != machines) return std::nullopt;  // two machines
+      assignment[t] = k;
+    }
+    if (assignment[t] == machines) return std::nullopt;  // unassigned
+  }
+  return assignment;
+}
+
+std::vector<std::uint8_t> encode_allocation(
+    const AllocationQubo& qubo, const AllocationInstance& instance,
+    std::span<const std::size_t> assignment) {
+  QROSS_REQUIRE(assignment.size() == instance.num_tasks(),
+                "assignment size mismatch");
+  std::vector<std::uint8_t> bits(qubo.problem.num_vars(), 0);
+  const std::size_t machines = instance.num_machines();
+  for (std::size_t t = 0; t < assignment.size(); ++t) {
+    QROSS_REQUIRE(assignment[t] < machines, "machine index out of range");
+    bits[variable_index(t, assignment[t], machines)] = 1;
+  }
+  // Choose slack bits to absorb each machine's spare capacity (greedy
+  // binary decomposition; exact when the spare is a multiple of the
+  // granularity used at build time).
+  for (std::size_t k = 0; k < machines; ++k) {
+    double spare = instance.capacity(k) - instance.machine_load(assignment, k);
+    const auto& slack_vars = qubo.capacity_slack[k];
+    for (std::size_t j = slack_vars.size(); j-- > 0;) {
+      // Weight of slack bit j is granularity * 2^j; recover it from the
+      // registered constraint rather than re-deriving: the builder appended
+      // coeffs in bit order, so weight = coeff in the final constraint.
+      const auto& constraint =
+          qubo.problem.constraints()[instance.num_tasks() + k];
+      const double weight =
+          constraint.coeffs[constraint.coeffs.size() - slack_vars.size() + j];
+      if (spare + 1e-9 >= weight) {
+        bits[slack_vars[j]] = 1;
+        spare -= weight;
+      }
+    }
+  }
+  return bits;
+}
+
+AllocationInstance generate_random_allocation(std::size_t num_tasks,
+                                              std::size_t num_machines,
+                                              std::uint64_t seed,
+                                              double slack_factor) {
+  QROSS_REQUIRE(slack_factor >= 1.0, "slack factor must be >= 1");
+  Rng rng(seed);
+  std::vector<double> costs(num_tasks * num_machines);
+  for (double& c : costs) c = static_cast<double>(rng.uniform_int(1, 20));
+  std::vector<double> loads(num_tasks);
+  double total_load = 0.0;
+  for (double& l : loads) {
+    l = static_cast<double>(rng.uniform_int(1, 8));
+    total_load += l;
+  }
+  std::vector<double> capacities(num_machines);
+  const double base =
+      std::ceil(slack_factor * total_load / static_cast<double>(num_machines));
+  for (double& c : capacities) {
+    c = base + static_cast<double>(rng.uniform_int(0, 3));
+  }
+  return AllocationInstance(
+      "alloc_t" + std::to_string(num_tasks) + "m" +
+          std::to_string(num_machines) + "_s" + std::to_string(seed),
+      num_tasks, num_machines, std::move(costs), std::move(loads),
+      std::move(capacities));
+}
+
+AllocationExact solve_exact_allocation(const AllocationInstance& instance) {
+  const std::size_t tasks = instance.num_tasks();
+  const std::size_t machines = instance.num_machines();
+  double combos = std::pow(static_cast<double>(machines),
+                           static_cast<double>(tasks));
+  QROSS_REQUIRE(combos <= 2e6, "exact allocation limited to m^n <= 2e6");
+
+  AllocationExact best;
+  best.cost = std::numeric_limits<double>::infinity();
+  Assignment assignment(tasks, 0);
+  const auto total = static_cast<std::uint64_t>(combos);
+  for (std::uint64_t code = 0; code < total; ++code) {
+    std::uint64_t c = code;
+    for (std::size_t t = 0; t < tasks; ++t) {
+      assignment[t] = static_cast<std::size_t>(c % machines);
+      c /= machines;
+    }
+    if (!instance.respects_capacities(assignment)) continue;
+    const double cost = instance.total_cost(assignment);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.assignment = assignment;
+      best.feasible = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace qross::allocation

@@ -1,0 +1,118 @@
+#pragma once
+
+// Capacitated task-allocation problem — the paper's second motivating
+// industry workload ("a logistic company has to manage allocations in a
+// warehouse repeatedly", §3.1): assign each of n tasks to one of m machines
+// at minimum cost while respecting per-machine capacity.
+//
+//   min  sum_{t,k} cost[t][k] * x_{t,k}
+//   s.t. sum_k x_{t,k} == 1                 for every task t   (one-hot)
+//        sum_t load[t] * x_{t,k} <= cap[k]  for every machine k
+//
+// The capacities become QUBO penalties through the binary slack expansion
+// (qubo::ConstrainedProblem::add_inequality_constraint), so this module
+// doubles as the worked example for inequality-constrained relaxations.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qubo/builder.hpp"
+
+namespace qross::allocation {
+
+/// Task t runs on machine assignment[t].
+using Assignment = std::vector<std::size_t>;
+
+class AllocationInstance {
+ public:
+  /// costs: row-major tasks x machines; loads: per task; capacities: per
+  /// machine.  All non-negative.
+  AllocationInstance(std::string name, std::size_t num_tasks,
+                     std::size_t num_machines, std::vector<double> costs,
+                     std::vector<double> loads,
+                     std::vector<double> capacities);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_tasks() const { return tasks_; }
+  std::size_t num_machines() const { return machines_; }
+
+  double cost(std::size_t task, std::size_t machine) const {
+    return costs_[task * machines_ + machine];
+  }
+  double load(std::size_t task) const { return loads_[task]; }
+  double capacity(std::size_t machine) const { return capacities_[machine]; }
+
+  /// Total cost of an assignment (requires one machine per task, in range).
+  double total_cost(std::span<const std::size_t> assignment) const;
+
+  /// Load placed on `machine` by the assignment.
+  double machine_load(std::span<const std::size_t> assignment,
+                      std::size_t machine) const;
+
+  /// True iff every machine's capacity holds.
+  bool respects_capacities(std::span<const std::size_t> assignment) const;
+
+ private:
+  std::string name_;
+  std::size_t tasks_;
+  std::size_t machines_;
+  std::vector<double> costs_;
+  std::vector<double> loads_;
+  std::vector<double> capacities_;
+};
+
+/// Index of decision variable "task t on machine k" in the QUBO space.
+/// Slack variables introduced by the capacity constraints live above
+/// num_tasks * num_machines.
+inline std::size_t variable_index(std::size_t task, std::size_t machine,
+                                  std::size_t num_machines) {
+  return task * num_machines + machine;
+}
+
+struct AllocationQubo {
+  qubo::ConstrainedProblem problem;
+  /// Slack-variable indices per machine (for inspection / tests).
+  std::vector<std::vector<std::size_t>> capacity_slack;
+};
+
+/// Builds the constrained problem; `slack_granularity` controls the
+/// resolution of the capacity slack encoding (loads and capacities should
+/// be multiples of it for exact feasibility).
+AllocationQubo build_allocation_problem(const AllocationInstance& instance,
+                                        double slack_granularity = 1.0);
+
+/// Decodes the decision-variable block of a QUBO assignment (slack bits are
+/// ignored).  nullopt unless every task has exactly one machine.  Capacity
+/// feasibility must be checked separately via respects_capacities — the
+/// QUBO-level feasibility check already includes it through the slack
+/// equalities.
+std::optional<Assignment> decode_allocation(
+    const AllocationInstance& instance, std::span<const std::uint8_t> bits);
+
+/// Encodes an assignment into the decision block, choosing slack bits that
+/// satisfy the capacity equalities when possible (bits sized to the full
+/// problem including slack).
+std::vector<std::uint8_t> encode_allocation(const AllocationQubo& qubo,
+                                            const AllocationInstance& instance,
+                                            std::span<const std::size_t> assignment);
+
+/// Random instance: integer loads in [1, max_load], capacities sized so a
+/// balanced split has ~`slack_factor` headroom, integer costs in
+/// [1, max_cost].
+AllocationInstance generate_random_allocation(std::size_t num_tasks,
+                                              std::size_t num_machines,
+                                              std::uint64_t seed,
+                                              double slack_factor = 1.3);
+
+/// Exhaustive optimum over all m^n assignments; requires m^n <= ~2e6.
+struct AllocationExact {
+  Assignment assignment;
+  double cost = 0.0;
+  bool feasible = false;
+};
+AllocationExact solve_exact_allocation(const AllocationInstance& instance);
+
+}  // namespace qross::allocation

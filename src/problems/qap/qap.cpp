@@ -1,0 +1,255 @@
+#include "problems/qap/qap.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace qross::qap {
+
+QapInstance::QapInstance(std::string name, std::size_t size,
+                         std::vector<double> flows,
+                         std::vector<double> distances)
+    : name_(std::move(name)),
+      n_(size),
+      flows_(std::move(flows)),
+      distances_(std::move(distances)) {
+  QROSS_REQUIRE(n_ >= 1, "QAP needs at least one facility");
+  QROSS_REQUIRE(flows_.size() == n_ * n_, "flow matrix size mismatch");
+  QROSS_REQUIRE(distances_.size() == n_ * n_, "distance matrix size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) {
+    QROSS_REQUIRE(flows_[i * n_ + i] == 0.0, "nonzero flow diagonal");
+    QROSS_REQUIRE(distances_[i * n_ + i] == 0.0, "nonzero distance diagonal");
+  }
+  for (double f : flows_) QROSS_REQUIRE(f >= 0.0, "negative flow");
+  for (double d : distances_) QROSS_REQUIRE(d >= 0.0, "negative distance");
+}
+
+double QapInstance::cost(std::span<const std::size_t> assignment) const {
+  QROSS_REQUIRE(is_valid_assignment(assignment), "invalid QAP assignment");
+  double total = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i != j) total += flow(i, j) * distance(assignment[i], assignment[j]);
+    }
+  }
+  return total;
+}
+
+bool QapInstance::is_valid_assignment(
+    std::span<const std::size_t> assignment) const {
+  if (assignment.size() != n_) return false;
+  std::vector<bool> used(n_, false);
+  for (std::size_t location : assignment) {
+    if (location >= n_ || used[location]) return false;
+    used[location] = true;
+  }
+  return true;
+}
+
+qubo::ConstrainedProblem build_qap_problem(const QapInstance& instance) {
+  const std::size_t n = instance.size();
+  qubo::ConstrainedProblem problem(n * n);
+
+  // Objective: F[i][j] * D[l][m] whenever facility i sits at l and j at m.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double f = instance.flow(i, j);
+      if (f == 0.0) continue;
+      for (std::size_t l = 0; l < n; ++l) {
+        for (std::size_t m = 0; m < n; ++m) {
+          if (l == m) continue;
+          const double d = instance.distance(l, m);
+          if (d == 0.0) continue;
+          problem.add_objective_term(variable_index(i, l, n),
+                                     variable_index(j, m, n), f * d);
+        }
+      }
+    }
+  }
+
+  // One-hot rows: each facility at exactly one location...
+  for (std::size_t i = 0; i < n; ++i) {
+    qubo::LinearConstraint c;
+    c.rhs = 1.0;
+    for (std::size_t l = 0; l < n; ++l) {
+      c.vars.push_back(variable_index(i, l, n));
+      c.coeffs.push_back(1.0);
+    }
+    problem.add_constraint(std::move(c));
+  }
+  // ... and each location hosting exactly one facility.
+  for (std::size_t l = 0; l < n; ++l) {
+    qubo::LinearConstraint c;
+    c.rhs = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      c.vars.push_back(variable_index(i, l, n));
+      c.coeffs.push_back(1.0);
+    }
+    problem.add_constraint(std::move(c));
+  }
+  return problem;
+}
+
+std::optional<Assignment> decode_assignment(
+    const QapInstance& instance, std::span<const std::uint8_t> bits) {
+  const std::size_t n = instance.size();
+  QROSS_REQUIRE(bits.size() == n * n, "assignment size mismatch");
+  Assignment assignment(n, n);
+  std::vector<bool> location_used(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t l = 0; l < n; ++l) {
+      if (bits[variable_index(i, l, n)] == 0) continue;
+      if (assignment[i] != n || location_used[l]) return std::nullopt;
+      assignment[i] = l;
+      location_used[l] = true;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (assignment[i] == n) return std::nullopt;
+  }
+  return assignment;
+}
+
+std::vector<std::uint8_t> encode_assignment(
+    const QapInstance& instance, std::span<const std::size_t> assignment) {
+  const std::size_t n = instance.size();
+  QROSS_REQUIRE(instance.is_valid_assignment(assignment),
+                "invalid QAP assignment");
+  std::vector<std::uint8_t> bits(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    bits[variable_index(i, assignment[i], n)] = 1;
+  }
+  return bits;
+}
+
+QapInstance generate_random_qap(std::size_t size, std::uint64_t seed,
+                                double max_value) {
+  QROSS_REQUIRE(max_value > 0.0, "max value must be positive");
+  Rng rng(seed);
+  std::vector<double> flows(size * size, 0.0);
+  std::vector<double> distances(size * size, 0.0);
+  for (std::size_t i = 0; i < size; ++i) {
+    for (std::size_t j = i + 1; j < size; ++j) {
+      const double f = rng.uniform(0.0, max_value);
+      const double d = rng.uniform(0.0, max_value);
+      flows[i * size + j] = flows[j * size + i] = f;
+      distances[i * size + j] = distances[j * size + i] = d;
+    }
+  }
+  return QapInstance("qap_n" + std::to_string(size) + "_s" +
+                         std::to_string(seed),
+                     size, std::move(flows), std::move(distances));
+}
+
+QapInstance parse_qaplib(std::istream& input, std::string name) {
+  std::size_t n = 0;
+  QROSS_REQUIRE(static_cast<bool>(input >> n) && n >= 1,
+                "bad QAPLIB dimension");
+  auto read_matrix = [&](const char* what) {
+    std::vector<double> values(n * n);
+    for (double& v : values) {
+      QROSS_REQUIRE(static_cast<bool>(input >> v),
+                    std::string("truncated QAPLIB ") + what);
+    }
+    return values;
+  };
+  auto flows = read_matrix("flow matrix");
+  auto distances = read_matrix("distance matrix");
+  return QapInstance(std::move(name), n, std::move(flows),
+                     std::move(distances));
+}
+
+QapInstance parse_qaplib_string(const std::string& text, std::string name) {
+  std::istringstream ss(text);
+  return parse_qaplib(ss, std::move(name));
+}
+
+namespace {
+
+void exact_recurse(const QapInstance& instance, Assignment& assignment,
+                   std::vector<bool>& used, std::size_t depth, double cost,
+                   QapExact& best) {
+  const std::size_t n = instance.size();
+  if (cost >= best.cost) return;  // costs only grow (non-negative terms)
+  if (depth == n) {
+    best.cost = cost;
+    best.assignment = assignment;
+    return;
+  }
+  for (std::size_t l = 0; l < n; ++l) {
+    if (used[l]) continue;
+    // Incremental cost of placing facility `depth` at l against all
+    // previously placed facilities.
+    double delta = 0.0;
+    for (std::size_t j = 0; j < depth; ++j) {
+      delta += instance.flow(depth, j) * instance.distance(l, assignment[j]);
+      delta += instance.flow(j, depth) * instance.distance(assignment[j], l);
+    }
+    used[l] = true;
+    assignment[depth] = l;
+    exact_recurse(instance, assignment, used, depth + 1, cost + delta, best);
+    used[l] = false;
+  }
+}
+
+}  // namespace
+
+QapExact solve_exact_qap(const QapInstance& instance) {
+  QROSS_REQUIRE(instance.size() <= 10, "exact QAP limited to 10 facilities");
+  QapExact best;
+  best.cost = std::numeric_limits<double>::infinity();
+  Assignment assignment(instance.size(), 0);
+  std::vector<bool> used(instance.size(), false);
+  exact_recurse(instance, assignment, used, 0, 0.0, best);
+  return best;
+}
+
+Assignment local_search_qap(const QapInstance& instance, Assignment start,
+                            std::size_t max_passes) {
+  const std::size_t n = instance.size();
+  QROSS_REQUIRE(instance.is_valid_assignment(start), "invalid start");
+  double current = instance.cost(start);
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        std::swap(start[i], start[j]);
+        const double cand = instance.cost(start);
+        if (cand < current - 1e-12) {
+          current = cand;
+          improved = true;
+        } else {
+          std::swap(start[i], start[j]);  // revert
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return start;
+}
+
+QapExact reference_qap(const QapInstance& instance, std::uint64_t seed,
+                       std::size_t restarts) {
+  if (instance.size() <= 8) {
+    return solve_exact_qap(instance);
+  }
+  Rng rng(seed);
+  QapExact best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < restarts; ++r) {
+    const Assignment polished =
+        local_search_qap(instance, rng.permutation(instance.size()));
+    const double cost = instance.cost(polished);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.assignment = polished;
+    }
+  }
+  return best;
+}
+
+}  // namespace qross::qap

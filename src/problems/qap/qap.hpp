@@ -1,0 +1,106 @@
+#pragma once
+
+// Quadratic Assignment Problem (QAP).
+//
+// The paper validates its central hypothesis — "optimal solutions appear
+// within 0 < Pf < 1" — on QAPLIB instances solved with simulated annealing
+// (§3.1, footnote 2).  This module supplies that substrate: instance type,
+// QAPLIB-format parser, random generators, the one-hot QUBO relaxation, and
+// exact/heuristic references.
+//
+// A QAP instance assigns n facilities to n locations.  Given a flow matrix
+// F (facility pairs) and a distance matrix D (location pairs), the cost of
+// an assignment p (facility i -> location p[i]) is
+//
+//   cost(p) = sum_{i,j} F[i][j] * D[p[i]][p[j]] .
+//
+// QUBO form: variables x_{i,l} ("facility i at location l", index i*n+l),
+// objective sum over pairs, and 2n one-hot constraints exactly like the TSP
+// formulation.
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qubo/builder.hpp"
+
+namespace qross::qap {
+
+using Assignment = std::vector<std::size_t>;  // facility -> location
+
+class QapInstance {
+ public:
+  /// Row-major n x n flow and distance matrices; both must be non-negative
+  /// with zero diagonals (the standard QAPLIB convention).
+  QapInstance(std::string name, std::size_t size, std::vector<double> flows,
+              std::vector<double> distances);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return n_; }
+
+  double flow(std::size_t i, std::size_t j) const { return flows_[i * n_ + j]; }
+  double distance(std::size_t a, std::size_t b) const {
+    return distances_[a * n_ + b];
+  }
+
+  /// Assignment cost; requires a valid permutation.
+  double cost(std::span<const std::size_t> assignment) const;
+
+  bool is_valid_assignment(std::span<const std::size_t> assignment) const;
+
+ private:
+  std::string name_;
+  std::size_t n_;
+  std::vector<double> flows_;
+  std::vector<double> distances_;
+};
+
+/// Variable index of "facility i at location l".
+inline std::size_t variable_index(std::size_t i, std::size_t l,
+                                  std::size_t n) {
+  return i * n + l;
+}
+
+/// One-hot QUBO relaxation (objective + 2n equality constraints).
+qubo::ConstrainedProblem build_qap_problem(const QapInstance& instance);
+
+/// Decodes a binary assignment into facility->location; nullopt unless it
+/// is exactly a permutation matrix.
+std::optional<Assignment> decode_assignment(
+    const QapInstance& instance, std::span<const std::uint8_t> bits);
+
+/// Encodes an assignment into QUBO variables.
+std::vector<std::uint8_t> encode_assignment(
+    const QapInstance& instance, std::span<const std::size_t> assignment);
+
+/// Random instance: flows and distances i.i.d. U[0, max_value); symmetric,
+/// zero diagonal (the Taillard-style uniform family).
+QapInstance generate_random_qap(std::size_t size, std::uint64_t seed,
+                                double max_value = 10.0);
+
+/// Parses the QAPLIB text format: n, then the n x n flow matrix, then the
+/// n x n distance matrix, whitespace separated.
+QapInstance parse_qaplib(std::istream& input, std::string name = "qaplib");
+QapInstance parse_qaplib_string(const std::string& text,
+                                std::string name = "qaplib");
+
+/// Exhaustive optimum for n <= 10.
+struct QapExact {
+  Assignment assignment;
+  double cost = 0.0;
+};
+QapExact solve_exact_qap(const QapInstance& instance);
+
+/// 2-exchange local search from a given start; never returns a worse
+/// assignment.  Reference heuristic for larger instances.
+Assignment local_search_qap(const QapInstance& instance, Assignment start,
+                            std::size_t max_passes = 64);
+
+/// Best of `restarts` random starts, each polished with local search.
+QapExact reference_qap(const QapInstance& instance, std::uint64_t seed = 7,
+                       std::size_t restarts = 8);
+
+}  // namespace qross::qap

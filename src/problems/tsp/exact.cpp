@@ -1,0 +1,105 @@
+#include "problems/tsp/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace qross::tsp {
+
+ExactResult solve_held_karp(const TspInstance& instance) {
+  const std::size_t n = instance.num_cities();
+  QROSS_REQUIRE(n <= 24, "Held-Karp limited to 24 cities");
+  if (n == 1) return {{0}, 0.0};
+
+  // dp[mask][k]: cheapest path visiting exactly `mask` (always containing
+  // city 0), starting at 0 and ending at k.
+  const std::size_t full = std::size_t{1} << n;
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(full * n, inf);
+  std::vector<std::int32_t> parent(full * n, -1);
+  dp[(std::size_t{1} << 0) * n + 0] = 0.0;
+
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    if ((mask & 1) == 0) continue;  // paths always include city 0
+    for (std::size_t k = 0; k < n; ++k) {
+      if ((mask & (std::size_t{1} << k)) == 0) continue;
+      const double cost = dp[mask * n + k];
+      if (cost == inf) continue;
+      for (std::size_t m = 1; m < n; ++m) {
+        if (mask & (std::size_t{1} << m)) continue;
+        const std::size_t next_mask = mask | (std::size_t{1} << m);
+        const double cand = cost + instance.distance(k, m);
+        if (cand < dp[next_mask * n + m]) {
+          dp[next_mask * n + m] = cand;
+          parent[next_mask * n + m] = static_cast<std::int32_t>(k);
+        }
+      }
+    }
+  }
+
+  const std::size_t all = full - 1;
+  double best = inf;
+  std::size_t best_end = 0;
+  for (std::size_t k = 1; k < n; ++k) {
+    const double cand = dp[all * n + k] + instance.distance(k, 0);
+    if (cand < best) {
+      best = cand;
+      best_end = k;
+    }
+  }
+
+  // Reconstruct the path 0 -> ... -> best_end.
+  Tour tour(n);
+  std::size_t mask = all;
+  std::size_t k = best_end;
+  for (std::size_t pos = n; pos-- > 1;) {
+    tour[pos] = k;
+    const auto p = static_cast<std::size_t>(parent[mask * n + k]);
+    mask ^= (std::size_t{1} << k);
+    k = p;
+  }
+  tour[0] = 0;
+  QROSS_ASSERT(instance.is_valid_tour(tour));
+  return {std::move(tour), best};
+}
+
+namespace {
+
+void brute_force_recurse(const TspInstance& instance, Tour& tour,
+                         std::size_t depth, double length, ExactResult& best) {
+  const std::size_t n = instance.num_cities();
+  if (depth == n) {
+    const double total = length + instance.distance(tour[n - 1], tour[0]);
+    if (total < best.length) {
+      best.length = total;
+      best.tour = tour;
+    }
+    return;
+  }
+  for (std::size_t i = depth; i < n; ++i) {
+    std::swap(tour[depth], tour[i]);
+    const double step = instance.distance(tour[depth - 1], tour[depth]);
+    if (length + step < best.length) {
+      brute_force_recurse(instance, tour, depth + 1, length + step, best);
+    }
+    std::swap(tour[depth], tour[i]);
+  }
+}
+
+}  // namespace
+
+ExactResult solve_brute_force(const TspInstance& instance) {
+  const std::size_t n = instance.num_cities();
+  QROSS_REQUIRE(n <= 10, "brute force limited to 10 cities");
+  if (n == 1) return {{0}, 0.0};
+  Tour tour(n);
+  for (std::size_t i = 0; i < n; ++i) tour[i] = i;
+  ExactResult best;
+  best.length = std::numeric_limits<double>::infinity();
+  brute_force_recurse(instance, tour, 1, 0.0, best);
+  return best;
+}
+
+}  // namespace qross::tsp

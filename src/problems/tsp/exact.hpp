@@ -1,0 +1,28 @@
+#pragma once
+
+// Exact TSP solvers for reference optima.
+//
+// The benchmark harness normalises solution quality as an optimality gap, so
+// it needs the true optimum (small n: Held–Karp) or a strong reference
+// (larger n: multi-start nearest-neighbour + 2-opt, see heuristics.hpp).
+
+#include <cstddef>
+
+#include "problems/tsp/instance.hpp"
+
+namespace qross::tsp {
+
+struct ExactResult {
+  Tour tour;
+  double length = 0.0;
+};
+
+/// Held–Karp dynamic program, O(n^2 * 2^n) time and O(n * 2^n) memory.
+/// Practical up to ~20 cities; QROSS_REQUIREs n <= 24 as a guard.
+ExactResult solve_held_karp(const TspInstance& instance);
+
+/// Brute-force enumeration of all (n-1)!/2 tours; for cross-checking the DP
+/// in tests.  Requires n <= 10.
+ExactResult solve_brute_force(const TspInstance& instance);
+
+}  // namespace qross::tsp

@@ -1,0 +1,79 @@
+#include "problems/tsp/formulation.hpp"
+
+#include "common/assert.hpp"
+
+namespace qross::tsp {
+
+qubo::ConstrainedProblem build_tsp_problem(const TspInstance& instance) {
+  const std::size_t n = instance.num_cities();
+  qubo::ConstrainedProblem problem(n * n);
+
+  // Objective HB: distance between consecutive slots, cyclically.
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const double d = instance.distance(u, v);
+      if (d == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t next = (j + 1) % n;
+        problem.add_objective_term(variable_index(u, j, n),
+                                   variable_index(v, next, n), d);
+      }
+    }
+  }
+
+  // Constraint rows: each city in exactly one slot.
+  for (std::size_t v = 0; v < n; ++v) {
+    qubo::LinearConstraint c;
+    c.rhs = 1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      c.vars.push_back(variable_index(v, j, n));
+      c.coeffs.push_back(1.0);
+    }
+    problem.add_constraint(std::move(c));
+  }
+  // Each slot holds exactly one city.
+  for (std::size_t j = 0; j < n; ++j) {
+    qubo::LinearConstraint c;
+    c.rhs = 1.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      c.vars.push_back(variable_index(v, j, n));
+      c.coeffs.push_back(1.0);
+    }
+    problem.add_constraint(std::move(c));
+  }
+  return problem;
+}
+
+std::optional<Tour> decode_tour(const TspInstance& instance,
+                                std::span<const std::uint8_t> assignment) {
+  const std::size_t n = instance.num_cities();
+  QROSS_REQUIRE(assignment.size() == n * n, "assignment size mismatch");
+  Tour tour(n, n);  // n == "unset"
+  std::vector<bool> city_used(n, false);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (assignment[variable_index(v, j, n)] == 0) continue;
+      if (tour[j] != n || city_used[v]) return std::nullopt;  // clash
+      tour[j] = v;
+      city_used[v] = true;
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (tour[j] == n) return std::nullopt;  // empty slot
+  }
+  return tour;
+}
+
+std::vector<std::uint8_t> encode_tour(const TspInstance& instance,
+                                      std::span<const std::size_t> tour) {
+  const std::size_t n = instance.num_cities();
+  QROSS_REQUIRE(instance.is_valid_tour(tour), "not a valid tour");
+  std::vector<std::uint8_t> x(n * n, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    x[variable_index(tour[j], j, n)] = 1;
+  }
+  return x;
+}
+
+}  // namespace qross::tsp

@@ -1,0 +1,43 @@
+#pragma once
+
+// QUBO formulation of the TSP (Lucas 2014; paper §4.1, eqs. (4)-(6)).
+//
+// An n-city instance uses n^2 binary variables x_{v,j} ("city v is visited
+// j-th", variable index v*n + j).  The objective
+//
+//   HB(x) = sum_{u != v} d_uv sum_j x_{u,j} x_{v,(j+1) mod n}
+//
+// is the tour length, and the 2n equality constraints
+//
+//   sum_j x_{v,j} = 1  (every city once)      sum_v x_{v,j} = 1  (every slot)
+//
+// enter the QUBO as the penalty A * HA(x).  Feasible assignments are exactly
+// the permutation matrices, and on them the QUBO energy equals the tour
+// length.
+
+#include <optional>
+
+#include "qubo/builder.hpp"
+#include "problems/tsp/instance.hpp"
+
+namespace qross::tsp {
+
+/// Index of variable "city v in slot j" for an n-city instance.
+inline std::size_t variable_index(std::size_t v, std::size_t j,
+                                  std::size_t n) {
+  return v * n + j;
+}
+
+/// Builds the constrained problem whose QUBO relaxation is eq. (4).
+qubo::ConstrainedProblem build_tsp_problem(const TspInstance& instance);
+
+/// Decodes an assignment into a tour.  Returns nullopt unless the assignment
+/// is exactly a permutation matrix (i.e. feasible).
+std::optional<Tour> decode_tour(const TspInstance& instance,
+                                std::span<const std::uint8_t> assignment);
+
+/// Encodes a tour into the corresponding binary assignment.
+std::vector<std::uint8_t> encode_tour(const TspInstance& instance,
+                                      std::span<const std::size_t> tour);
+
+}  // namespace qross::tsp

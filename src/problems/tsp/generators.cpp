@@ -1,0 +1,108 @@
+#include "problems/tsp/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace qross::tsp {
+
+TspInstance generate_uniform(std::size_t num_cities, std::uint64_t seed,
+                             const UniformGenConfig& config) {
+  QROSS_REQUIRE(num_cities >= 1, "need at least one city");
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(num_cities);
+  for (std::size_t i = 0; i < num_cities; ++i) {
+    pts.push_back({rng.uniform(0.0, config.width),
+                   rng.uniform(0.0, config.height)});
+  }
+  return TspInstance("uniform_n" + std::to_string(num_cities) + "_s" +
+                         std::to_string(seed),
+                     std::move(pts));
+}
+
+TspInstance generate_exponential(std::size_t num_cities, std::uint64_t seed,
+                                 const ExponentialGenConfig& config) {
+  QROSS_REQUIRE(num_cities >= 1, "need at least one city");
+  QROSS_REQUIRE(config.min_rate > 0.0 && config.max_rate >= config.min_rate,
+                "invalid exponential rate range");
+  Rng rng(seed);
+  const double rate = rng.uniform(config.min_rate, config.max_rate);
+  std::vector<Point> pts;
+  pts.reserve(num_cities);
+  for (std::size_t i = 0; i < num_cities; ++i) {
+    pts.push_back({rng.exponential(rate), rng.exponential(rate)});
+  }
+  return TspInstance("exponential_n" + std::to_string(num_cities) + "_s" +
+                         std::to_string(seed),
+                     std::move(pts));
+}
+
+TspInstance generate_clustered(std::size_t num_cities, std::uint64_t seed,
+                               const ClusteredGenConfig& config) {
+  QROSS_REQUIRE(num_cities >= 1, "need at least one city");
+  QROSS_REQUIRE(config.min_clusters >= 1 &&
+                    config.max_clusters >= config.min_clusters,
+                "invalid cluster count range");
+  Rng rng(seed);
+  const auto num_clusters = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(config.min_clusters),
+      static_cast<std::int64_t>(config.max_clusters)));
+  std::vector<Point> centers;
+  centers.reserve(num_clusters);
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    centers.push_back({rng.uniform(0.0, config.width),
+                       rng.uniform(0.0, config.height)});
+  }
+  const double diag = std::hypot(config.width, config.height);
+  const double spread = config.cluster_spread * diag;
+
+  std::vector<Point> pts;
+  pts.reserve(num_cities);
+  for (std::size_t i = 0; i < num_cities; ++i) {
+    if (rng.uniform() < config.outlier_fraction) {
+      pts.push_back({rng.uniform(0.0, config.width),
+                     rng.uniform(0.0, config.height)});
+      continue;
+    }
+    const auto& center =
+        centers[static_cast<std::size_t>(rng.uniform_int(centers.size()))];
+    const double x =
+        std::clamp(rng.normal(center.x, spread), 0.0, config.width);
+    const double y =
+        std::clamp(rng.normal(center.y, spread), 0.0, config.height);
+    pts.push_back({x, y});
+  }
+  return TspInstance("clustered_n" + std::to_string(num_cities) + "_s" +
+                         std::to_string(seed),
+                     std::move(pts));
+}
+
+std::vector<TspInstance> generate_synthetic_dataset(std::size_t num_instances,
+                                                    std::size_t min_cities,
+                                                    std::size_t max_cities,
+                                                    std::uint64_t seed) {
+  QROSS_REQUIRE(min_cities >= 1 && max_cities >= min_cities,
+                "invalid city range");
+  Rng rng(seed);
+  std::vector<TspInstance> instances;
+  instances.reserve(num_instances);
+  for (std::size_t i = 0; i < num_instances; ++i) {
+    const auto n = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(min_cities),
+                        static_cast<std::int64_t>(max_cities)));
+    const std::uint64_t child = derive_seed(seed, i);
+    // Alternate the two coordinate distributions of appendix D.
+    if (i % 2 == 0) {
+      instances.push_back(generate_uniform(n, child));
+    } else {
+      instances.push_back(generate_exponential(n, child));
+    }
+  }
+  return instances;
+}
+
+}  // namespace qross::tsp

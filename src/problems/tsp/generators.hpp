@@ -1,0 +1,60 @@
+#pragma once
+
+// Synthetic TSP instance generators (paper appendix D).
+//
+// The paper's synthetic dataset draws city coordinates from uniform and
+// exponential distributions (the exponential rate itself drawn uniformly
+// from a range).  The clustered generator produces the out-of-distribution
+// "real-world-like" test set standing in for TSPLIB (cities in dense urban
+// clusters with a few outliers), used by the Fig. 4 / Table 1 experiments.
+
+#include <cstdint>
+#include <vector>
+
+#include "problems/tsp/instance.hpp"
+
+namespace qross::tsp {
+
+struct UniformGenConfig {
+  double width = 100.0;
+  double height = 100.0;
+};
+
+/// Cities i.i.d. uniform on [0, width] x [0, height].
+TspInstance generate_uniform(std::size_t num_cities, std::uint64_t seed,
+                             const UniformGenConfig& config = {});
+
+struct ExponentialGenConfig {
+  /// The exponential rate is drawn from U[min_rate, max_rate] per instance.
+  double min_rate = 0.02;
+  double max_rate = 0.10;
+};
+
+/// Coordinates with exponentially-distributed components (heavy corner
+/// density, long tail), per paper appendix D.
+TspInstance generate_exponential(std::size_t num_cities, std::uint64_t seed,
+                                 const ExponentialGenConfig& config = {});
+
+struct ClusteredGenConfig {
+  double width = 100.0;
+  double height = 100.0;
+  std::size_t min_clusters = 2;
+  std::size_t max_clusters = 5;
+  /// Cluster radius as a fraction of the bounding-box diagonal.
+  double cluster_spread = 0.06;
+  /// Fraction of cities scattered uniformly instead of in clusters.
+  double outlier_fraction = 0.15;
+};
+
+/// Cities grouped into Gaussian clusters plus uniform outliers.
+TspInstance generate_clustered(std::size_t num_cities, std::uint64_t seed,
+                               const ClusteredGenConfig& config = {});
+
+/// The paper's synthetic dataset recipe: a mix of uniform and exponential
+/// instances with sizes drawn uniformly from [min_cities, max_cities].
+std::vector<TspInstance> generate_synthetic_dataset(std::size_t num_instances,
+                                                    std::size_t min_cities,
+                                                    std::size_t max_cities,
+                                                    std::uint64_t seed);
+
+}  // namespace qross::tsp

@@ -1,0 +1,148 @@
+#include "problems/tsp/heuristics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "problems/tsp/exact.hpp"
+
+namespace qross::tsp {
+
+Tour nearest_neighbor_tour(const TspInstance& instance, std::size_t start) {
+  const std::size_t n = instance.num_cities();
+  QROSS_REQUIRE(start < n, "start city out of range");
+  Tour tour;
+  tour.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::size_t current = start;
+  tour.push_back(current);
+  visited[current] = true;
+  for (std::size_t step = 1; step < n; ++step) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t next = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (visited[v]) continue;
+      const double d = instance.distance(current, v);
+      if (d < best) {
+        best = d;
+        next = v;
+      }
+    }
+    QROSS_ASSERT(next < n);
+    tour.push_back(next);
+    visited[next] = true;
+    current = next;
+  }
+  return tour;
+}
+
+Tour two_opt(const TspInstance& instance, Tour tour, std::size_t max_passes) {
+  const std::size_t n = tour.size();
+  QROSS_REQUIRE(instance.is_valid_tour(tour), "two_opt needs a valid tour");
+  if (n < 4) return tour;
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (std::size_t k = i + 2; k < n; ++k) {
+        if (i == 0 && k == n - 1) continue;  // same edge pair
+        const std::size_t a = tour[i], b = tour[i + 1];
+        const std::size_t c = tour[k], d = tour[(k + 1) % n];
+        const double delta = instance.distance(a, c) + instance.distance(b, d) -
+                             instance.distance(a, b) - instance.distance(c, d);
+        if (delta < -1e-12) {
+          std::reverse(tour.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                       tour.begin() + static_cast<std::ptrdiff_t>(k) + 1);
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return tour;
+}
+
+Tour or_opt(const TspInstance& instance, Tour tour, std::size_t max_passes) {
+  const std::size_t n = tour.size();
+  QROSS_REQUIRE(instance.is_valid_tour(tour), "or_opt needs a valid tour");
+  if (n < 5) return tour;
+  auto length = [&](const Tour& t) { return instance.tour_length(t); };
+  double best_len = length(tour);
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t seg = 1; seg <= 3; ++seg) {
+      for (std::size_t i = 0; i + seg <= n; ++i) {
+        // Remove tour[i .. i+seg) and reinsert at every other position.
+        Tour removed(tour.begin() + static_cast<std::ptrdiff_t>(i),
+                     tour.begin() + static_cast<std::ptrdiff_t>(i + seg));
+        Tour rest;
+        rest.reserve(n - seg);
+        rest.insert(rest.end(), tour.begin(),
+                    tour.begin() + static_cast<std::ptrdiff_t>(i));
+        rest.insert(rest.end(),
+                    tour.begin() + static_cast<std::ptrdiff_t>(i + seg),
+                    tour.end());
+        for (std::size_t pos = 0; pos <= rest.size(); ++pos) {
+          if (pos == i) continue;  // original position
+          Tour candidate;
+          candidate.reserve(n);
+          candidate.insert(candidate.end(), rest.begin(),
+                           rest.begin() + static_cast<std::ptrdiff_t>(pos));
+          candidate.insert(candidate.end(), removed.begin(), removed.end());
+          candidate.insert(candidate.end(),
+                           rest.begin() + static_cast<std::ptrdiff_t>(pos),
+                           rest.end());
+          const double cand_len = length(candidate);
+          if (cand_len < best_len - 1e-12) {
+            tour = std::move(candidate);
+            best_len = cand_len;
+            improved = true;
+            break;
+          }
+        }
+        if (improved) break;
+      }
+      if (improved) break;
+    }
+    if (!improved) break;
+  }
+  return tour;
+}
+
+ReferenceSolution reference_solution(const TspInstance& instance,
+                                     std::uint64_t seed,
+                                     std::size_t random_restarts) {
+  const std::size_t n = instance.num_cities();
+  if (n <= 14) {
+    ExactResult exact = solve_held_karp(instance);
+    return {std::move(exact.tour), exact.length, true};
+  }
+
+  ReferenceSolution best;
+  best.length = std::numeric_limits<double>::infinity();
+  auto consider = [&](Tour candidate) {
+    candidate = two_opt(instance, std::move(candidate));
+    candidate = or_opt(instance, std::move(candidate));
+    candidate = two_opt(instance, std::move(candidate));
+    const double len = instance.tour_length(candidate);
+    if (len < best.length) {
+      best.length = len;
+      best.tour = std::move(candidate);
+    }
+  };
+
+  // Nearest-neighbour from every start (sampled when n is large).
+  Rng rng(seed);
+  const std::size_t nn_starts = std::min<std::size_t>(n, 16);
+  auto starts = rng.permutation(n);
+  starts.resize(nn_starts);
+  for (std::size_t start : starts) {
+    consider(nearest_neighbor_tour(instance, start));
+  }
+  for (std::size_t r = 0; r < random_restarts; ++r) {
+    consider(rng.permutation(n));
+  }
+  return best;
+}
+
+}  // namespace qross::tsp

@@ -1,0 +1,42 @@
+#pragma once
+
+// TSP construction and improvement heuristics.
+//
+// Used (a) as the reference "near-optimal fitness" for gap normalisation on
+// instances too large for Held–Karp, and (b) by the feature extractor, which
+// feeds the greedy tour length to the surrogate as a scale indicator.
+
+#include <cstdint>
+
+#include "problems/tsp/instance.hpp"
+
+namespace qross::tsp {
+
+/// Greedy nearest-neighbour tour from the given start city.
+Tour nearest_neighbor_tour(const TspInstance& instance, std::size_t start = 0);
+
+/// 2-opt local search: repeatedly reverses segments while that shortens the
+/// tour; first-improvement sweeps until a full pass finds nothing.  Returns
+/// the improved tour (never longer than the input).
+Tour two_opt(const TspInstance& instance, Tour tour,
+             std::size_t max_passes = 64);
+
+/// Or-opt: relocates segments of length 1-3 to better positions; applied
+/// after 2-opt it escapes some of its local minima.
+Tour or_opt(const TspInstance& instance, Tour tour,
+            std::size_t max_passes = 16);
+
+/// Strong reference solution: Held–Karp when n is small enough, otherwise
+/// the best of nearest-neighbour starts (all cities for small n, sampled for
+/// large) plus random restarts, each polished with 2-opt and Or-opt.
+struct ReferenceSolution {
+  Tour tour;
+  double length = 0.0;
+  bool exact = false;  ///< true if produced by Held–Karp
+};
+
+ReferenceSolution reference_solution(const TspInstance& instance,
+                                     std::uint64_t seed = 7,
+                                     std::size_t random_restarts = 4);
+
+}  // namespace qross::tsp

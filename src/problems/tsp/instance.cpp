@@ -1,0 +1,105 @@
+#include "problems/tsp/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace qross::tsp {
+
+double euclidean(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+TspInstance::TspInstance(std::string name, std::size_t num_cities,
+                         std::vector<double> distances)
+    : name_(std::move(name)), n_(num_cities), distances_(std::move(distances)) {
+  QROSS_REQUIRE(n_ >= 1, "TSP needs at least one city");
+  QROSS_REQUIRE(distances_.size() == n_ * n_, "distance matrix size mismatch");
+  for (std::size_t u = 0; u < n_; ++u) {
+    QROSS_REQUIRE(distances_[u * n_ + u] == 0.0, "nonzero self-distance");
+    for (std::size_t v = u + 1; v < n_; ++v) {
+      QROSS_REQUIRE(
+          std::abs(distances_[u * n_ + v] - distances_[v * n_ + u]) < 1e-9,
+          "distance matrix must be symmetric");
+    }
+  }
+}
+
+TspInstance::TspInstance(std::string name, std::vector<Point> coordinates)
+    : name_(std::move(name)), n_(coordinates.size()) {
+  QROSS_REQUIRE(n_ >= 1, "TSP needs at least one city");
+  distances_.resize(n_ * n_, 0.0);
+  for (std::size_t u = 0; u < n_; ++u) {
+    for (std::size_t v = u + 1; v < n_; ++v) {
+      const double d = euclidean(coordinates[u], coordinates[v]);
+      distances_[u * n_ + v] = d;
+      distances_[v * n_ + u] = d;
+    }
+  }
+  coordinates_ = std::move(coordinates);
+}
+
+TspInstance::TspInstance(std::string name, std::vector<Point> coordinates,
+                         std::vector<double> distances)
+    : TspInstance(std::move(name), coordinates.size(), std::move(distances)) {
+  coordinates_ = std::move(coordinates);
+}
+
+double TspInstance::tour_length(std::span<const std::size_t> tour) const {
+  QROSS_REQUIRE(tour.size() == n_, "tour length mismatch");
+  double total = 0.0;
+  for (std::size_t k = 0; k < n_; ++k) {
+    total += distance(tour[k], tour[(k + 1) % n_]);
+  }
+  return total;
+}
+
+bool TspInstance::is_valid_tour(std::span<const std::size_t> tour) const {
+  if (tour.size() != n_) return false;
+  std::vector<bool> seen(n_, false);
+  for (std::size_t city : tour) {
+    if (city >= n_ || seen[city]) return false;
+    seen[city] = true;
+  }
+  return true;
+}
+
+double TspInstance::max_distance() const {
+  double m = 0.0;
+  for (double d : distances_) m = std::max(m, d);
+  return m;
+}
+
+double TspInstance::min_positive_distance() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (double d : distances_) {
+    if (d > 0.0) m = std::min(m, d);
+  }
+  return std::isfinite(m) ? m : 0.0;
+}
+
+double TspInstance::mean_distance() const {
+  if (n_ < 2) return 0.0;
+  double sum = 0.0;
+  for (std::size_t u = 0; u < n_; ++u) {
+    for (std::size_t v = u + 1; v < n_; ++v) sum += distance(u, v);
+  }
+  return sum / (static_cast<double>(n_) * static_cast<double>(n_ - 1) / 2.0);
+}
+
+TspInstance TspInstance::with_shifted_distances(std::span<const double> pi,
+                                                std::string new_name) const {
+  QROSS_REQUIRE(pi.size() == n_, "potential vector size mismatch");
+  std::vector<double> shifted(n_ * n_, 0.0);
+  for (std::size_t u = 0; u < n_; ++u) {
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (u == v) continue;
+      shifted[u * n_ + v] = distance(u, v) - pi[u] - pi[v];
+    }
+  }
+  return TspInstance(std::move(new_name), n_, std::move(shifted));
+}
+
+}  // namespace qross::tsp

@@ -1,0 +1,75 @@
+#pragma once
+
+// Travelling Salesman Problem instance: a complete weighted graph given by a
+// symmetric distance matrix, optionally backed by 2-D city coordinates.
+// Tours are permutations of {0..n-1}; tour length closes the cycle.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qross::tsp {
+
+using Tour = std::vector<std::size_t>;
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class TspInstance {
+ public:
+  /// From an explicit symmetric distance matrix (row-major n x n).
+  TspInstance(std::string name, std::size_t num_cities,
+              std::vector<double> distances);
+
+  /// From Euclidean coordinates; the distance matrix is computed.
+  TspInstance(std::string name, std::vector<Point> coordinates);
+
+  /// From coordinates plus an explicit (possibly rounded, e.g. TSPLIB
+  /// EUC_2D) distance matrix.  Coordinates are kept for feature extraction.
+  TspInstance(std::string name, std::vector<Point> coordinates,
+              std::vector<double> distances);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_cities() const { return n_; }
+
+  double distance(std::size_t u, std::size_t v) const {
+    return distances_[u * n_ + v];
+  }
+  std::span<const double> distance_matrix() const { return distances_; }
+  const std::optional<std::vector<Point>>& coordinates() const {
+    return coordinates_;
+  }
+
+  /// Length of the closed tour visiting cities in the given order.
+  double tour_length(std::span<const std::size_t> tour) const;
+
+  /// True iff `tour` is a permutation of {0..n-1}.
+  bool is_valid_tour(std::span<const std::size_t> tour) const;
+
+  /// Largest / smallest nonzero pairwise distance and the mean distance;
+  /// used for feature extraction and parameter-range heuristics.
+  double max_distance() const;
+  double min_positive_distance() const;
+  double mean_distance() const;
+
+  /// Returns a copy with every distance replaced by d'(u,v) = d(u,v) - pi[u]
+  /// - pi[v] (Held–Karp shift; see preprocess.hpp).  Coordinates are dropped
+  /// since the shifted matrix is generally non-Euclidean.
+  TspInstance with_shifted_distances(std::span<const double> pi,
+                                     std::string new_name) const;
+
+ private:
+  std::string name_;
+  std::size_t n_;
+  std::vector<double> distances_;
+  std::optional<std::vector<Point>> coordinates_;
+};
+
+/// Euclidean distance between two points.
+double euclidean(const Point& a, const Point& b);
+
+}  // namespace qross::tsp

@@ -1,0 +1,101 @@
+#include "problems/tsp/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+
+namespace qross::tsp {
+
+double offdiagonal_variance(const TspInstance& instance) {
+  const std::size_t n = instance.num_cities();
+  RunningStats rs;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u != v) rs.add(instance.distance(u, v));
+    }
+  }
+  return rs.variance();
+}
+
+std::vector<double> minimize_distance_variance(const TspInstance& instance,
+                                               std::size_t max_iterations,
+                                               double tolerance) {
+  const std::size_t n = instance.num_cities();
+  std::vector<double> pi(n, 0.0);
+  if (n < 3) return pi;  // fewer than 3 cities: variance already trivial
+
+  // Minimise F(pi, c) = sum_{u != v} (d_uv - pi_u - pi_v - c)^2 by
+  // Gauss-Seidel.  Stationarity:
+  //   pi_k = mean_{j != k} (d_kj - pi_j) - c
+  //   c    = mean_{u != v} (d_uv - pi_u - pi_v)
+  double c = instance.mean_distance();
+  double pi_sum = 0.0;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    double max_change = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      double row_sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != k) row_sum += instance.distance(k, j) - pi[j];
+      }
+      const double updated = row_sum / static_cast<double>(n - 1) - c;
+      max_change = std::max(max_change, std::abs(updated - pi[k]));
+      pi_sum += updated - pi[k];
+      pi[k] = updated;
+    }
+    // Refresh c from the residual means (O(n) via precomputed sums).
+    double d_sum = 0.0;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) d_sum += instance.distance(u, v);
+    }
+    const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+    c = (d_sum - static_cast<double>(n - 1) * pi_sum) / pairs;
+    if (max_change < tolerance) break;
+  }
+  return pi;
+}
+
+double MvodmResult::to_original_length(double shifted_length,
+                                       std::size_t num_cities,
+                                       double pi_total) const {
+  // d' = d - pi_u - pi_v + s over n tour edges:
+  //   L' = L - 2 * sum(pi) + n * s
+  return shifted_length + 2.0 * pi_total -
+         static_cast<double>(num_cities) * edge_offset;
+}
+
+MvodmResult mvodm_preprocess(const TspInstance& instance, double min_edge) {
+  const std::size_t n = instance.num_cities();
+  if (min_edge < 0.0) min_edge = 0.01 * instance.mean_distance();
+
+  std::vector<double> pi = minimize_distance_variance(instance);
+
+  // Smallest shifted off-diagonal value determines the positivity offset.
+  double min_shifted = std::numeric_limits<double>::infinity();
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u == v) continue;
+      min_shifted = std::min(min_shifted, instance.distance(u, v) - pi[u] - pi[v]);
+    }
+  }
+  if (!std::isfinite(min_shifted)) min_shifted = 0.0;
+  const double offset = std::max(0.0, min_edge - min_shifted);
+
+  std::vector<double> shifted(n * n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u == v) continue;
+      shifted[u * n + v] = instance.distance(u, v) - pi[u] - pi[v] + offset;
+    }
+  }
+
+  MvodmResult result{
+      TspInstance(instance.name() + "_mvodm", n, std::move(shifted)),
+      std::move(pi), offset, offdiagonal_variance(instance), 0.0};
+  result.shifted_variance = offdiagonal_variance(result.shifted);
+  return result;
+}
+
+}  // namespace qross::tsp

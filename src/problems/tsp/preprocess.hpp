@@ -1,0 +1,51 @@
+#pragma once
+
+// MVODM distance-matrix pre-processing (paper appendix E).
+//
+// Held & Karp showed that shifting d'(u,v) = d(u,v) - pi_u - pi_v changes
+// every closed tour's length by the same constant (-2 * sum_u pi_u), so the
+// optimal tour is invariant.  Wang, Rao & Hong's MVODM picks pi minimising
+// the variance of the shifted off-diagonal entries, which flattens the
+// distance scale; the paper applies it before building the QUBO so that
+// instances land on comparable relaxation-parameter ranges.
+//
+// We additionally re-offset edges so the shifted distances stay positive
+// (the minimum-fitness integral of eq. (2) assumes non-negative fitness);
+// a uniform per-edge offset s changes every tour by n*s, preserving the
+// optimum as well.
+
+#include <span>
+#include <vector>
+
+#include "problems/tsp/instance.hpp"
+
+namespace qross::tsp {
+
+struct MvodmResult {
+  TspInstance shifted;          ///< pre-processed instance fed to the QUBO
+  std::vector<double> pi;       ///< Held–Karp potentials
+  double edge_offset = 0.0;     ///< uniform per-edge offset applied after the shift
+  double original_variance = 0.0;
+  double shifted_variance = 0.0;
+
+  /// Maps a tour length measured on `shifted` back to the original metric.
+  double to_original_length(double shifted_length, std::size_t num_cities,
+                            double pi_sum) const;
+};
+
+/// Potentials minimising the variance of {d(u,v) - pi_u - pi_v : u != v},
+/// found by Gauss–Seidel on the (convex) normal equations.
+std::vector<double> minimize_distance_variance(const TspInstance& instance,
+                                               std::size_t max_iterations = 200,
+                                               double tolerance = 1e-12);
+
+/// Full MVODM pipeline: potentials, shift, and positivity re-offset so that
+/// every off-diagonal shifted distance is at least `min_edge` (default: 1% of
+/// the original mean distance).
+MvodmResult mvodm_preprocess(const TspInstance& instance,
+                             double min_edge = -1.0);
+
+/// Variance of the off-diagonal entries of the instance's distance matrix.
+double offdiagonal_variance(const TspInstance& instance);
+
+}  // namespace qross::tsp

@@ -1,0 +1,206 @@
+#include "problems/tsp/tsplib.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace qross::tsp {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+/// TSPLIB pseudo-Euclidean distance for ATT instances.
+double att_distance(const Point& a, const Point& b) {
+  const double xd = a.x - b.x;
+  const double yd = a.y - b.y;
+  const double rij = std::sqrt((xd * xd + yd * yd) / 10.0);
+  const double tij = std::round(rij);
+  return tij < rij ? tij + 1.0 : tij;
+}
+
+}  // namespace
+
+TspInstance parse_tsplib(std::istream& input) {
+  std::string name = "unnamed";
+  std::string edge_weight_type;
+  std::string edge_weight_format;
+  std::size_t dimension = 0;
+  std::vector<Point> coords;
+  std::vector<double> weights;  // flattened values of EDGE_WEIGHT_SECTION
+
+  std::string line;
+  std::string section;
+  while (std::getline(input, line)) {
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::string upper_line = upper(line);
+    if (upper_line == "EOF") break;
+
+    // Keyword lines have the form KEY : VALUE (colon optional spacing).
+    const auto colon = line.find(':');
+    const bool is_section = upper_line.find("SECTION") != std::string::npos;
+    if (!is_section && colon != std::string::npos) {
+      const std::string key = upper(trim(line.substr(0, colon)));
+      const std::string value = trim(line.substr(colon + 1));
+      if (key == "NAME") {
+        name = value;
+      } else if (key == "TYPE") {
+        const std::string t = upper(value);
+        QROSS_REQUIRE(t == "TSP", "only TYPE: TSP supported");
+      } else if (key == "DIMENSION") {
+        dimension = static_cast<std::size_t>(std::stoul(value));
+      } else if (key == "EDGE_WEIGHT_TYPE") {
+        edge_weight_type = upper(value);
+      } else if (key == "EDGE_WEIGHT_FORMAT") {
+        edge_weight_format = upper(value);
+      }
+      // COMMENT, DISPLAY_DATA_TYPE etc. are ignored.
+      continue;
+    }
+
+    if (is_section) {
+      section = upper_line;
+      continue;
+    }
+
+    if (section == "NODE_COORD_SECTION") {
+      std::istringstream ss(line);
+      std::size_t index = 0;
+      Point p;
+      QROSS_REQUIRE(static_cast<bool>(ss >> index >> p.x >> p.y),
+                    "malformed node coordinate line");
+      coords.push_back(p);
+    } else if (section == "EDGE_WEIGHT_SECTION") {
+      std::istringstream ss(line);
+      double w = 0.0;
+      while (ss >> w) weights.push_back(w);
+    } else if (section == "DISPLAY_DATA_SECTION") {
+      // Display coordinates are cosmetic; skip.
+    } else if (!section.empty()) {
+      throw std::invalid_argument("unsupported TSPLIB section: " + section);
+    }
+  }
+
+  QROSS_REQUIRE(dimension >= 1, "missing or invalid DIMENSION");
+
+  if (edge_weight_type == "EUC_2D" || edge_weight_type == "CEIL_2D" ||
+      edge_weight_type == "ATT") {
+    QROSS_REQUIRE(coords.size() == dimension,
+                  "coordinate count does not match DIMENSION");
+    std::vector<double> dist(dimension * dimension, 0.0);
+    for (std::size_t u = 0; u < dimension; ++u) {
+      for (std::size_t v = u + 1; v < dimension; ++v) {
+        double d = 0.0;
+        if (edge_weight_type == "EUC_2D") {
+          // TSPLIB rounds Euclidean distances to the nearest integer.
+          d = std::round(euclidean(coords[u], coords[v]));
+        } else if (edge_weight_type == "CEIL_2D") {
+          d = std::ceil(euclidean(coords[u], coords[v]));
+        } else {
+          d = att_distance(coords[u], coords[v]);
+        }
+        dist[u * dimension + v] = d;
+        dist[v * dimension + u] = d;
+      }
+    }
+    // Keep the (rounded, per TSPLIB convention) matrix and the coordinates.
+    return TspInstance(name, std::move(coords), std::move(dist));
+  }
+
+  if (edge_weight_type == "EXPLICIT") {
+    std::vector<double> dist(dimension * dimension, 0.0);
+    const std::string fmt =
+        edge_weight_format.empty() ? "FULL_MATRIX" : edge_weight_format;
+    if (fmt == "FULL_MATRIX") {
+      QROSS_REQUIRE(weights.size() == dimension * dimension,
+                    "FULL_MATRIX weight count mismatch");
+      dist = weights;
+    } else if (fmt == "UPPER_ROW") {
+      QROSS_REQUIRE(weights.size() == dimension * (dimension - 1) / 2,
+                    "UPPER_ROW weight count mismatch");
+      std::size_t k = 0;
+      for (std::size_t u = 0; u < dimension; ++u) {
+        for (std::size_t v = u + 1; v < dimension; ++v) {
+          dist[u * dimension + v] = weights[k];
+          dist[v * dimension + u] = weights[k];
+          ++k;
+        }
+      }
+    } else if (fmt == "LOWER_DIAG_ROW") {
+      QROSS_REQUIRE(weights.size() == dimension * (dimension + 1) / 2,
+                    "LOWER_DIAG_ROW weight count mismatch");
+      std::size_t k = 0;
+      for (std::size_t u = 0; u < dimension; ++u) {
+        for (std::size_t v = 0; v <= u; ++v) {
+          dist[u * dimension + v] = weights[k];
+          dist[v * dimension + u] = weights[k];
+          ++k;
+        }
+      }
+    } else {
+      throw std::invalid_argument("unsupported EDGE_WEIGHT_FORMAT: " + fmt);
+    }
+    return TspInstance(name, dimension, std::move(dist));
+  }
+
+  throw std::invalid_argument("unsupported EDGE_WEIGHT_TYPE: " +
+                              (edge_weight_type.empty() ? "<missing>"
+                                                        : edge_weight_type));
+}
+
+TspInstance parse_tsplib_string(const std::string& text) {
+  std::istringstream ss(text);
+  return parse_tsplib(ss);
+}
+
+TspInstance load_tsplib_file(const std::string& path) {
+  std::ifstream file(path);
+  QROSS_REQUIRE(file.good(), "cannot open TSPLIB file: " + path);
+  return parse_tsplib(file);
+}
+
+void write_tsplib(std::ostream& output, const TspInstance& instance) {
+  const std::size_t n = instance.num_cities();
+  output << "NAME : " << instance.name() << "\n";
+  output << "TYPE : TSP\n";
+  output << "COMMENT : written by qross\n";
+  output << "DIMENSION : " << n << "\n";
+  if (instance.coordinates().has_value()) {
+    output << "EDGE_WEIGHT_TYPE : EUC_2D\n";
+    output << "NODE_COORD_SECTION\n";
+    const auto& coords = *instance.coordinates();
+    output.precision(12);
+    for (std::size_t i = 0; i < n; ++i) {
+      output << (i + 1) << ' ' << coords[i].x << ' ' << coords[i].y << "\n";
+    }
+  } else {
+    output << "EDGE_WEIGHT_TYPE : EXPLICIT\n";
+    output << "EDGE_WEIGHT_FORMAT : FULL_MATRIX\n";
+    output << "EDGE_WEIGHT_SECTION\n";
+    output.precision(12);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = 0; v < n; ++v) {
+        output << instance.distance(u, v) << (v + 1 == n ? "\n" : " ");
+      }
+    }
+  }
+  output << "EOF\n";
+}
+
+}  // namespace qross::tsp

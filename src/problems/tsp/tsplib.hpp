@@ -1,0 +1,33 @@
+#pragma once
+
+// TSPLIB file format support (Reinelt 1991).
+//
+// Parses the subset of the format the paper's real-world experiments need:
+// symmetric instances with EUC_2D / CEIL_2D / ATT node coordinates, or
+// EXPLICIT edge weights in FULL_MATRIX, UPPER_ROW or LOWER_DIAG_ROW layout.
+// A writer is provided so the embedded test set round-trips through the
+// genuine on-disk format.
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "problems/tsp/instance.hpp"
+
+namespace qross::tsp {
+
+/// Parses a TSPLIB instance from a stream.  Throws std::invalid_argument on
+/// malformed input or unsupported edge-weight types.
+TspInstance parse_tsplib(std::istream& input);
+
+/// Parses from a string (convenience wrapper).
+TspInstance parse_tsplib_string(const std::string& text);
+
+/// Parses from a file path.
+TspInstance load_tsplib_file(const std::string& path);
+
+/// Writes an instance in TSPLIB format: NODE_COORD_SECTION when coordinates
+/// are available (EUC_2D), otherwise an EXPLICIT FULL_MATRIX.
+void write_tsplib(std::ostream& output, const TspInstance& instance);
+
+}  // namespace qross::tsp

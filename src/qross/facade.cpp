@@ -1,0 +1,124 @@
+#include "qross/facade.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "problems/tsp/formulation.hpp"
+#include "solvers/batch_runner.hpp"
+#include "surrogate/pipeline.hpp"
+
+namespace qross::core {
+
+namespace {
+
+StrategyContext make_context(
+    const surrogate::SolverSurrogate& surrogate,
+    const std::array<double, surrogate::kNumTspFeatures>& features,
+    const TuneOptions& options, std::size_t batch_size) {
+  StrategyContext context;
+  context.surrogate = &surrogate;
+  context.features = features;
+  context.anchor = surrogate::scale_anchor(features);
+  context.a_min = options.a_min;
+  context.a_max = options.a_max;
+  context.batch_size = batch_size;
+  return context;
+}
+
+}  // namespace
+
+QrossTuner::QrossTuner(surrogate::SolverSurrogate surrogate,
+                       solvers::SolveOptions solve_options)
+    : surrogate_(std::move(surrogate)), solve_options_(solve_options) {
+  QROSS_REQUIRE(surrogate_.is_trained(), "tuner needs a trained surrogate");
+}
+
+QrossTuner QrossTuner::fit(const std::vector<tsp::TspInstance>& history,
+                           solvers::SolverPtr solver,
+                           const solvers::SolveOptions& solve_options,
+                           const surrogate::SweepConfig& sweep,
+                           const surrogate::SurrogateConfig& config) {
+  QROSS_REQUIRE(!history.empty(), "history must not be empty");
+  const surrogate::Dataset dataset =
+      surrogate::build_dataset(history, std::move(solver), solve_options, sweep);
+  surrogate::SolverSurrogate surrogate(config);
+  surrogate.train(dataset);
+  return QrossTuner(std::move(surrogate), solve_options);
+}
+
+void QrossTuner::save(std::ostream& os) const {
+  os << "qross_tuner_v1 " << solve_options_.num_replicas << ' '
+     << solve_options_.num_sweeps << ' ' << solve_options_.seed << "\n";
+  surrogate_.save(os);
+}
+
+QrossTuner QrossTuner::load(std::istream& is) {
+  std::string magic;
+  solvers::SolveOptions options;
+  QROSS_REQUIRE(static_cast<bool>(is >> magic >> options.num_replicas >>
+                                  options.num_sweeps >> options.seed) &&
+                    magic == "qross_tuner_v1",
+                "bad tuner header");
+  return QrossTuner(surrogate::SolverSurrogate::load(is), options);
+}
+
+double QrossTuner::propose(const tsp::TspInstance& instance,
+                           std::optional<double> pf_target,
+                           const TuneOptions& options) const {
+  const surrogate::PreparedTspInstance prepared(instance);
+  const auto features = surrogate::extract_features(prepared.prepared());
+  const StrategyContext context =
+      make_context(surrogate_, features, options, solve_options_.num_replicas);
+  if (pf_target.has_value()) {
+    return PfBasedStrategy(*pf_target).propose(context);
+  }
+  return MinimumFitnessStrategy(options.strategy.min_fitness).propose(context);
+}
+
+TuneOutcome QrossTuner::tune(const tsp::TspInstance& instance,
+                             const solvers::SolverPtr& solver,
+                             const TuneOptions& options) const {
+  QROSS_REQUIRE(solver != nullptr, "solver required");
+  QROSS_REQUIRE(options.trials >= 1, "at least one trial");
+
+  const surrogate::PreparedTspInstance prepared(instance);
+  const auto features = surrogate::extract_features(prepared.prepared());
+  const StrategyContext context =
+      make_context(surrogate_, features, options, solve_options_.num_replicas);
+
+  solvers::SolveOptions solve_options = solve_options_;
+  solve_options.seed = derive_seed(options.seed, 0x7e);
+  solvers::BatchRunner runner(prepared.problem(), solver, solve_options);
+  ComposedStrategy strategy(options.strategy, derive_seed(options.seed, 1));
+
+  TuneOutcome outcome;
+  outcome.best_length = std::numeric_limits<double>::infinity();
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    const double a = strategy.propose(context);
+    const solvers::SolverSample sample = runner.run(a);
+    strategy.observe(sample);
+
+    if (sample.stats.has_feasible()) {
+      const auto tour =
+          tsp::decode_tour(prepared.prepared(), *sample.stats.best_feasible);
+      QROSS_ASSERT(tour.has_value());
+      const double length = instance.tour_length(*tour);
+      if (length < outcome.best_length) {
+        outcome.best_length = length;
+        outcome.best_tour = *tour;
+        outcome.best_parameter = a;
+      }
+    }
+    outcome.trials.push_back(
+        {a, sample.stats.pf,
+         outcome.feasible() ? outcome.best_length
+                            : std::numeric_limits<double>::infinity()});
+  }
+  return outcome;
+}
+
+}  // namespace qross::core

@@ -1,0 +1,91 @@
+#pragma once
+
+// High-level QROSS facade: one object that owns the trained surrogate and
+// turns "tune this TSP instance on that solver" into a single call.  This
+// wraps the full pipeline (MVODM preparation, feature extraction, strategy
+// context, composed proposal schedule, solver session) behind the API most
+// applications want; the lower-level pieces remain available for custom
+// workflows.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+
+#include "problems/tsp/instance.hpp"
+#include "qross/session.hpp"
+#include "qross/strategies.hpp"
+#include "solvers/solver.hpp"
+#include "surrogate/dataset.hpp"
+#include "surrogate/model.hpp"
+
+namespace qross::core {
+
+struct TuneOptions {
+  /// Number of solver calls allowed for the instance.
+  std::size_t trials = 10;
+  /// Relaxation-parameter search box (prepared-instance units).
+  double a_min = 1.0;
+  double a_max = 100.0;
+  std::uint64_t seed = 1;
+  /// Composed-strategy configuration (PBS targets, risk aversion, ...).
+  ComposedStrategy::Config strategy;
+};
+
+struct TuneOutcome {
+  /// Best tour found, in original-instance city indices; empty if no trial
+  /// produced a feasible solution.
+  tsp::Tour best_tour;
+  /// Its length on the ORIGINAL distance matrix; +inf if infeasible.
+  double best_length = 0.0;
+  /// Relaxation parameter of the winning trial (prepared units).
+  double best_parameter = 0.0;
+  /// Per-trial history: (A, Pf, best-so-far original length).
+  struct Trial {
+    double relaxation_parameter = 0.0;
+    double pf = 0.0;
+    double best_length_so_far = 0.0;
+  };
+  std::vector<Trial> trials;
+
+  bool feasible() const { return !best_tour.empty(); }
+};
+
+class QrossTuner {
+ public:
+  /// Takes ownership of a trained surrogate.
+  explicit QrossTuner(surrogate::SolverSurrogate surrogate,
+                      solvers::SolveOptions solve_options = {});
+
+  /// Trains a surrogate from a history of instances and wraps it.
+  static QrossTuner fit(const std::vector<tsp::TspInstance>& history,
+                        solvers::SolverPtr solver,
+                        const solvers::SolveOptions& solve_options,
+                        const surrogate::SweepConfig& sweep = {},
+                        const surrogate::SurrogateConfig& config = {});
+
+  /// Loads a previously saved tuner (surrogate + solve options).
+  static QrossTuner load(std::istream& is);
+  void save(std::ostream& os) const;
+
+  const surrogate::SolverSurrogate& surrogate() const { return surrogate_; }
+
+  /// Proposes a relaxation parameter for `instance` WITHOUT calling the
+  /// solver: the minimum-fitness proposal, or the Pf-target proposal when
+  /// `pf_target` is given (paper §3.4).
+  double propose(const tsp::TspInstance& instance,
+                 std::optional<double> pf_target = std::nullopt,
+                 const TuneOptions& options = {}) const;
+
+  /// Full tuning session: `options.trials` solver calls steered by the
+  /// composed strategy; returns the best decoded tour.
+  TuneOutcome tune(const tsp::TspInstance& instance,
+                   const solvers::SolverPtr& solver,
+                   const TuneOptions& options = {}) const;
+
+ private:
+  surrogate::SolverSurrogate surrogate_;
+  solvers::SolveOptions solve_options_;
+};
+
+}  // namespace qross::core

@@ -1,0 +1,94 @@
+#include "qross/min_fitness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/gaussian.hpp"
+#include "common/rng.hpp"
+
+namespace qross::core {
+
+double expected_min_fitness(double pf, double energy_avg, double energy_std,
+                            std::size_t batch_size,
+                            const MinFitnessConfig& config) {
+  QROSS_REQUIRE(pf >= 0.0 && pf <= 1.0, "pf in [0, 1]");
+  QROSS_REQUIRE(energy_std >= 0.0, "energy std must be non-negative");
+  QROSS_REQUIRE(batch_size >= 1, "batch size must be positive");
+  QROSS_REQUIRE(config.panels >= 2 && config.panels % 2 == 0,
+                "panels must be even and >= 2");
+
+  if (config.risk_aversion > 0.0) {
+    const double se =
+        std::sqrt(pf * (1.0 - pf) / static_cast<double>(batch_size));
+    pf = std::max(0.0, pf - config.risk_aversion * se);
+  }
+  const double m = pf * static_cast<double>(batch_size);
+  if (pf <= config.pf_floor) {
+    return std::numeric_limits<double>::infinity();  // paper: lim_{Pf->0}
+  }
+  if (energy_std == 0.0) {
+    // Degenerate distribution: the minimum is the (non-negative) mean.
+    return std::max(energy_avg, 0.0);
+  }
+
+  // Integrand S(z) = (1 - Phi(z; mu, sigma))^m = exp(m * log(1 - Phi)).
+  const double mu = energy_avg;
+  const double sigma = energy_std;
+  auto survival_pow = [&](double z) {
+    const double t = (z - mu) / sigma;
+    // log(1 - Phi(t)) == log(Phi(-t)); use the underflow-safe form.
+    return std::exp(m * log_normal_cdf(-t));
+  };
+
+  // Below mu - 8 sigma the integrand is 1 to machine precision, so that
+  // stretch contributes its own length; integrate the transition region
+  // with composite Simpson.  The transition widens like sigma/sqrt(m) for
+  // m < 1, hence the adaptive upper bound.
+  const double tail_scale =
+      config.tail_sigmas / std::sqrt(std::min(1.0, std::max(m, 1e-4)));
+  const double lo = std::max(0.0, mu - 8.0 * sigma);
+  const double hi = std::max(lo + 1e-12, mu + std::min(tail_scale, 80.0) * sigma);
+
+  const std::size_t panels = config.panels;
+  const double h = (hi - lo) / static_cast<double>(panels);
+  double sum = survival_pow(lo) + survival_pow(hi);
+  for (std::size_t k = 1; k < panels; ++k) {
+    const double z = lo + h * static_cast<double>(k);
+    sum += survival_pow(z) * (k % 2 == 1 ? 4.0 : 2.0);
+  }
+  const double transition = sum * h / 3.0;
+  return lo + transition;
+}
+
+double expected_min_fitness_monte_carlo(double pf, double energy_avg,
+                                        double energy_std,
+                                        std::size_t batch_size,
+                                        std::size_t num_trials,
+                                        std::uint64_t seed) {
+  QROSS_REQUIRE(pf >= 0.0 && pf <= 1.0, "pf in [0, 1]");
+  QROSS_REQUIRE(num_trials >= 1, "need at least one trial");
+  Rng rng(seed);
+  double total = 0.0;
+  std::size_t trials_with_feasible = 0;
+  for (std::size_t trial = 0; trial < num_trials; ++trial) {
+    double min_fitness = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      if (!rng.bernoulli(pf)) continue;
+      // Truncate at zero to mirror the analytic non-negativity assumption.
+      const double d = std::max(rng.normal(energy_avg, energy_std), 0.0);
+      min_fitness = std::min(min_fitness, d);
+    }
+    if (std::isfinite(min_fitness)) {
+      total += min_fitness;
+      ++trials_with_feasible;
+    }
+  }
+  if (trials_with_feasible == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return total / static_cast<double>(trials_with_feasible);
+}
+
+}  // namespace qross::core

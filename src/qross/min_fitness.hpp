@@ -1,0 +1,52 @@
+#pragma once
+
+// Expected minimum fitness of a solver batch (paper eq. (2), appendix F).
+//
+// Under the paper's modelling assumptions — a batch of B solutions of which
+// m = Pf * B are feasible, with feasible fitnesses i.i.d. Gaussian
+// N(Eavg, Estd^2) and non-negative — the expected minimum fitness is
+//
+//   E[min] ≈ ∫_0^∞ (1 - Φ(z; Eavg, Estd))^m dz ,
+//
+// which trades off feasibility (more feasible samples push the minimum
+// down) against the energy distribution's location.  Its minimiser over A
+// is the Minimum Fitness Strategy's proposal.  lim_{Pf→0} E[min] = +∞ by
+// convention (no feasible solution exists to take a minimum over).
+
+#include <cstdint>
+
+namespace qross::core {
+
+struct MinFitnessConfig {
+  /// Simpson integration panels (must be even; accuracy ~ (range/panels)^4).
+  std::size_t panels = 512;
+  /// Integration upper bound in standard deviations above the mean.
+  double tail_sigmas = 10.0;
+  /// Pf below this is treated as "no feasible solutions" (returns +inf).
+  double pf_floor = 1e-6;
+  /// Risk aversion z: the integral uses the lower confidence bound
+  ///   pf_eff = max(0, pf - z * sqrt(pf (1-pf) / B))
+  /// instead of pf itself, accounting for the binomial uncertainty of a
+  /// finite batch.  0 reproduces the paper's formula exactly; the effect of
+  /// positive z vanishes as B grows (at the paper's B = 128 it is
+  /// negligible), but at small B it keeps the minimiser from betting on a
+  /// sliver of predicted feasibility.
+  double risk_aversion = 0.0;
+};
+
+/// Analytic approximation of E[min fitness].  `batch_size` is the paper's B.
+/// Returns +infinity when pf <= pf_floor.
+double expected_min_fitness(double pf, double energy_avg, double energy_std,
+                            std::size_t batch_size,
+                            const MinFitnessConfig& config = {});
+
+/// Monte-Carlo estimate of the same quantity (ground truth for tests and
+/// the bench_ablation_minfit study): draws `num_trials` batches and averages
+/// the minimum over the Binomial(B, pf)-sized feasible subsets.
+double expected_min_fitness_monte_carlo(double pf, double energy_avg,
+                                        double energy_std,
+                                        std::size_t batch_size,
+                                        std::size_t num_trials,
+                                        std::uint64_t seed);
+
+}  // namespace qross::core

@@ -1,0 +1,151 @@
+#include "qross/optimizers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace qross::opt {
+
+OptimumResult brent_minimize(const Objective& objective, double lo, double hi,
+                             double tolerance, std::size_t max_iterations) {
+  QROSS_REQUIRE(lo < hi, "invalid interval");
+  const double golden = 0.5 * (3.0 - std::sqrt(5.0));
+  OptimumResult result;
+
+  double a = lo, b = hi;
+  double x = a + golden * (b - a);
+  double w = x, v = x;
+  auto eval = [&](double t) {
+    ++result.evaluations;
+    return objective(t);
+  };
+  double fx = eval(x);
+  double fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+
+  for (std::size_t iter = 0;
+       iter < max_iterations && result.evaluations < max_iterations * 2;
+       ++iter) {
+    const double m = 0.5 * (a + b);
+    const double tol = tolerance * std::abs(x) + 1e-12;
+    if (std::abs(x - m) <= 2.0 * tol - 0.5 * (b - a)) break;
+
+    bool use_golden = true;
+    if (std::abs(e) > tol) {
+      // Parabolic interpolation through (v, fv), (w, fw), (x, fx).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      if (std::abs(p) < std::abs(0.5 * q * e) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        e = d;
+        d = p / q;
+        const double u = x + d;
+        if (u - a < 2.0 * tol || b - u < 2.0 * tol) {
+          d = x < m ? tol : -tol;
+        }
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x < m ? b : a) - x;
+      d = golden * e;
+    }
+    const double u = x + (std::abs(d) >= tol ? d : (d > 0.0 ? tol : -tol));
+    const double fu = eval(u);
+    if (fu <= fx) {
+      if (u < x) b = x; else a = x;
+      v = w; fv = fw;
+      w = x; fw = fx;
+      x = u; fx = fu;
+    } else {
+      if (u < x) a = u; else b = u;
+      if (fu <= fw || w == x) {
+        v = w; fv = fw;
+        w = u; fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u; fv = fu;
+      }
+    }
+  }
+  result.x = x;
+  result.value = fx;
+  return result;
+}
+
+double bisect_root(const Objective& function, double lo, double hi,
+                   double tolerance, std::size_t max_iterations) {
+  QROSS_REQUIRE(lo < hi, "invalid interval");
+  double flo = function(lo);
+  double fhi = function(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  QROSS_REQUIRE(flo * fhi < 0.0, "bisection requires a sign change");
+  for (std::size_t iter = 0; iter < max_iterations && hi - lo > tolerance;
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = function(mid);
+    if (fmid == 0.0) return mid;
+    if (flo * fmid < 0.0) {
+      hi = mid;
+      fhi = fmid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+OptimumResult shgo_minimize(const Objective& objective, double lo, double hi,
+                            const ShgoConfig& config) {
+  QROSS_REQUIRE(lo < hi, "invalid interval");
+  QROSS_REQUIRE(config.num_samples >= 2, "need at least two samples");
+  OptimumResult result;
+  result.value = std::numeric_limits<double>::infinity();
+
+  // Additive-recurrence (golden ratio) low-discrepancy sequence: an even,
+  // deterministic cover of the interval, denser than a plain grid's worst
+  // gaps for the same budget.
+  constexpr double kGoldenFraction = 0.6180339887498949;
+  std::vector<std::pair<double, double>> samples;  // (value, x)
+  samples.reserve(config.num_samples);
+  double t = 0.5;
+  for (std::size_t k = 0; k < config.num_samples; ++k) {
+    const double x = lo + t * (hi - lo);
+    const double fx = objective(x);
+    ++result.evaluations;
+    samples.emplace_back(fx, x);
+    t += kGoldenFraction;
+    if (t >= 1.0) t -= 1.0;
+  }
+  std::sort(samples.begin(), samples.end());
+
+  // Local refinement around the best candidates.
+  const double span = (hi - lo) / static_cast<double>(config.num_samples);
+  const std::size_t refinements =
+      std::min(config.num_refinements, samples.size());
+  result.x = samples.front().second;
+  result.value = samples.front().first;
+  for (std::size_t k = 0; k < refinements; ++k) {
+    const double center = samples[k].second;
+    const double a = std::max(lo, center - 2.0 * span);
+    const double b = std::min(hi, center + 2.0 * span);
+    if (a >= b) continue;
+    const OptimumResult local =
+        brent_minimize(objective, a, b, config.tolerance);
+    result.evaluations += local.evaluations;
+    if (local.value < result.value) {
+      result.value = local.value;
+      result.x = local.x;
+    }
+  }
+  return result;
+}
+
+}  // namespace qross::opt

@@ -1,0 +1,46 @@
+#pragma once
+
+// One-dimensional optimisation utilities for the parameter-selection
+// strategies: Brent's method for local minimisation, bisection for root
+// finding on monotone responses, and ShgoLite — a low-discrepancy sampling +
+// local-refinement global minimiser standing in for scipy's `shgo` (paper
+// §3.4.1: "We use shgo optimiser from scipy to search parameter search").
+
+#include <functional>
+#include <vector>
+
+namespace qross::opt {
+
+using Objective = std::function<double(double)>;
+
+struct OptimumResult {
+  double x = 0.0;
+  double value = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Brent's method (golden section + successive parabolic interpolation) on
+/// [lo, hi].  Finds a local minimum to within `tolerance`.
+OptimumResult brent_minimize(const Objective& objective, double lo, double hi,
+                             double tolerance = 1e-8,
+                             std::size_t max_iterations = 200);
+
+/// Bisection root finding for f(x) = 0 on [lo, hi]; requires a sign change.
+/// Returns the midpoint of the final bracket.
+double bisect_root(const Objective& function, double lo, double hi,
+                   double tolerance = 1e-10, std::size_t max_iterations = 200);
+
+struct ShgoConfig {
+  /// Initial stratified samples over the domain.
+  std::size_t num_samples = 64;
+  /// How many of the best samples seed local Brent refinements.
+  std::size_t num_refinements = 3;
+  double tolerance = 1e-8;
+};
+
+/// Global minimisation on [lo, hi]: stratified low-discrepancy sampling
+/// followed by Brent refinement around the best candidates.
+OptimumResult shgo_minimize(const Objective& objective, double lo, double hi,
+                            const ShgoConfig& config = {});
+
+}  // namespace qross::opt

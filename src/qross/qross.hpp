@@ -1,0 +1,59 @@
+#pragma once
+
+// Umbrella header: includes the full public QROSS API.
+//
+//   #include "qross/qross.hpp"
+//
+// pulls in the QUBO substrate, the solver kernels, the TSP/QAP/MVC problem
+// modules, the surrogate pipeline, the parameter-selection strategies, the
+// baseline tuners, and the high-level QrossTuner facade.
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+#include "qubo/batch.hpp"
+#include "qubo/builder.hpp"
+#include "qubo/incremental.hpp"
+#include "qubo/model.hpp"
+
+#include "solvers/analog_noise.hpp"
+#include "solvers/batch_runner.hpp"
+#include "solvers/digital_annealer.hpp"
+#include "solvers/parallel_tempering.hpp"
+#include "solvers/qbsolv.hpp"
+#include "solvers/simulated_annealer.hpp"
+#include "solvers/solver.hpp"
+#include "solvers/tabu_search.hpp"
+
+#include "problems/allocation/allocation.hpp"
+#include "problems/mvc/mvc.hpp"
+#include "problems/qap/qap.hpp"
+#include "problems/tsp/exact.hpp"
+#include "problems/tsp/formulation.hpp"
+#include "problems/tsp/generators.hpp"
+#include "problems/tsp/heuristics.hpp"
+#include "problems/tsp/instance.hpp"
+#include "problems/tsp/preprocess.hpp"
+#include "problems/tsp/testset.hpp"
+#include "problems/tsp/tsplib.hpp"
+
+#include "nn/mlp.hpp"
+#include "nn/trainer.hpp"
+
+#include "surrogate/dataset.hpp"
+#include "surrogate/features.hpp"
+#include "surrogate/model.hpp"
+#include "surrogate/normalizer.hpp"
+#include "surrogate/pipeline.hpp"
+
+#include "qross/facade.hpp"
+#include "qross/min_fitness.hpp"
+#include "qross/optimizers.hpp"
+#include "qross/session.hpp"
+#include "qross/sigmoid_fit.hpp"
+#include "qross/strategies.hpp"
+
+#include "tuning/bayes_opt.hpp"
+#include "tuning/random_search.hpp"
+#include "tuning/tpe.hpp"
+#include "tuning/tuner.hpp"

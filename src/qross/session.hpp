@@ -1,0 +1,30 @@
+#pragma once
+
+// Tuning-session loop shared by QROSS strategies and baseline tuners: at
+// each trial a proposer picks A, the runner makes exactly one solver call,
+// and the observer sees the result.  The trajectory of best-feasible-fitness
+// per trial is the paper's central metric (Figs. 3-5, Table 1).
+
+#include <functional>
+#include <vector>
+
+#include "solvers/batch_runner.hpp"
+
+namespace qross::core {
+
+struct TuningResult {
+  std::vector<solvers::SolverSample> samples;  ///< one per trial
+  /// Best (lowest) feasible fitness after each trial; +inf until the first
+  /// feasible solution appears.
+  std::vector<double> best_fitness;
+};
+
+using ProposeFn = std::function<double()>;
+using ObserveFn = std::function<void(const solvers::SolverSample&)>;
+
+/// Runs `num_trials` trials.  `observe` may be null.
+TuningResult run_tuning_loop(solvers::BatchRunner& runner,
+                             std::size_t num_trials, const ProposeFn& propose,
+                             const ObserveFn& observe = nullptr);
+
+}  // namespace qross::core

@@ -1,0 +1,113 @@
+#include "qross/sigmoid_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace qross::core {
+
+double SigmoidParams::operator()(double a) const {
+  const double z = a * theta_s - theta_o;
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+double SigmoidParams::inverse(double p) const {
+  QROSS_REQUIRE(p > 0.0 && p < 1.0, "inverse requires p in (0, 1)");
+  QROSS_REQUIRE(theta_s != 0.0, "degenerate sigmoid (theta_s == 0)");
+  return (std::log(p / (1.0 - p)) + theta_o) / theta_s;
+}
+
+SigmoidFitResult fit_sigmoid(std::span<const double> a_values,
+                             std::span<const double> pf_values,
+                             std::size_t max_iterations, double tolerance) {
+  QROSS_REQUIRE(a_values.size() == pf_values.size(), "length mismatch");
+  QROSS_REQUIRE(a_values.size() >= 2, "need at least two points");
+  const std::size_t n = a_values.size();
+
+  const auto [min_it, max_it] =
+      std::minmax_element(a_values.begin(), a_values.end());
+  const double a_lo = *min_it;
+  const double a_hi = *max_it;
+  const double a_span = std::max(a_hi - a_lo, 1e-9);
+
+  SigmoidFitResult result;
+  // Initial guess: slope spanning the observed range, centred where Pf
+  // crosses one half (or the mid-range when it never does).
+  double center = 0.5 * (a_lo + a_hi);
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double gap = std::abs(pf_values[i] - 0.5);
+    if (gap < best_gap) {
+      best_gap = gap;
+      center = a_values[i];
+    }
+  }
+  result.params.theta_s = 8.0 / a_span;
+  result.params.theta_o = result.params.theta_s * center;
+
+  auto sum_squared_residual = [&](const SigmoidParams& p) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = p(a_values[i]) - pf_values[i];
+      s += r * r;
+    }
+    return s;
+  };
+
+  double lambda = 1e-3;  // Levenberg damping
+  double current = sum_squared_residual(result.params);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Jacobian of residuals r_i = S(a_i) - pf_i w.r.t. (theta_s, theta_o):
+    //   dS/dtheta_s =  a * S(1-S),   dS/dtheta_o = -S(1-S)
+    double jtj00 = 0.0, jtj01 = 0.0, jtj11 = 0.0;
+    double jtr0 = 0.0, jtr1 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double s = result.params(a_values[i]);
+      const double ds = s * (1.0 - s);
+      const double j0 = a_values[i] * ds;
+      const double j1 = -ds;
+      const double r = s - pf_values[i];
+      jtj00 += j0 * j0;
+      jtj01 += j0 * j1;
+      jtj11 += j1 * j1;
+      jtr0 += j0 * r;
+      jtr1 += j1 * r;
+    }
+    // Solve (JtJ + lambda I) delta = -Jtr.
+    const double d00 = jtj00 + lambda;
+    const double d11 = jtj11 + lambda;
+    const double det = d00 * d11 - jtj01 * jtj01;
+    if (std::abs(det) < 1e-300) break;
+    const double delta_s = (-jtr0 * d11 + jtr1 * jtj01) / det;
+    const double delta_o = (-jtr1 * d00 + jtr0 * jtj01) / det;
+
+    SigmoidParams trial = result.params;
+    trial.theta_s += delta_s;
+    trial.theta_o += delta_o;
+    const double trial_residual = sum_squared_residual(trial);
+    if (trial_residual < current) {
+      const double improvement = current - trial_residual;
+      result.params = trial;
+      current = trial_residual;
+      lambda = std::max(lambda * 0.5, 1e-12);
+      if (improvement < tolerance) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      lambda *= 4.0;
+      if (lambda > 1e12) break;
+    }
+  }
+  result.residual = current;
+  // A downhill-fitted sigmoid with near-zero slope signals a degenerate
+  // history; report non-convergence so callers fall back to exploration.
+  if (std::abs(result.params.theta_s) < 1e-12) result.converged = false;
+  return result;
+}
+
+}  // namespace qross::core

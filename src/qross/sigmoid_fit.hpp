@@ -1,0 +1,37 @@
+#pragma once
+
+// Sigmoid ansatz fitting for the Online Fitting Strategy (paper eq. (7)):
+//
+//   S(A; θs, θo) = 1 / (1 + exp(-A*θs + θo))
+//
+// fitted to observed (A, Pf) pairs by damped Gauss–Newton least squares.
+
+#include <span>
+
+namespace qross::core {
+
+struct SigmoidParams {
+  double theta_s = 1.0;  ///< scale (slope) along A
+  double theta_o = 0.0;  ///< offset
+
+  double operator()(double a) const;
+
+  /// A at which S(A) == p; requires theta_s != 0 and p in (0, 1).
+  double inverse(double p) const;
+};
+
+struct SigmoidFitResult {
+  SigmoidParams params;
+  double residual = 0.0;  ///< final sum of squared residuals
+  bool converged = false;
+};
+
+/// Least-squares fit of the ansatz to (a_values[i], pf_values[i]).  Requires
+/// at least two points.  Degenerate histories (all Pf equal) return a fit
+/// centred between the extreme A values with `converged == false`.
+SigmoidFitResult fit_sigmoid(std::span<const double> a_values,
+                             std::span<const double> pf_values,
+                             std::size_t max_iterations = 100,
+                             double tolerance = 1e-10);
+
+}  // namespace qross::core

@@ -1,0 +1,43 @@
+#include "qubo/batch.hpp"
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+
+namespace qross::qubo {
+
+std::size_t SolveBatch::best_index() const {
+  QROSS_REQUIRE(!results.empty(), "best_index of empty batch");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (results[i].qubo_energy < results[best].qubo_energy) best = i;
+  }
+  return best;
+}
+
+BatchStats evaluate_batch(const ConstrainedProblem& problem,
+                          const SolveBatch& batch,
+                          double feasibility_tolerance) {
+  BatchStats stats;
+  stats.batch_size = batch.size();
+  if (batch.empty()) return stats;
+
+  RunningStats objective_stats;
+  std::size_t feasible = 0;
+  for (const auto& result : batch.results) {
+    const double obj = problem.objective(result.assignment);
+    objective_stats.add(obj);
+    if (problem.is_feasible(result.assignment, feasibility_tolerance)) {
+      ++feasible;
+      if (obj < stats.min_fitness) {
+        stats.min_fitness = obj;
+        stats.best_feasible = result.assignment;
+      }
+    }
+  }
+  stats.pf = static_cast<double>(feasible) / static_cast<double>(batch.size());
+  stats.energy_avg = objective_stats.mean();
+  stats.energy_std = objective_stats.stddev();
+  return stats;
+}
+
+}  // namespace qross::qubo

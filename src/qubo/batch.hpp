@@ -1,0 +1,61 @@
+#pragma once
+
+// Solver output types.  Heuristic QUBO solvers are stochastic and return a
+// *batch* of B solutions per call (paper §3.3); the surrogate only ever sees
+// the batch statistics (Pf, Eavg, Estd) plus the best feasible fitness.
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "qubo/builder.hpp"
+#include "qubo/model.hpp"
+
+namespace qross::qubo {
+
+/// One solution returned by a solver, with its QUBO energy.
+struct SolveResult {
+  Bits assignment;
+  double qubo_energy = 0.0;
+};
+
+/// A batch of solutions from a single solver call.
+struct SolveBatch {
+  std::vector<SolveResult> results;
+
+  std::size_t size() const { return results.size(); }
+  bool empty() const { return results.empty(); }
+
+  /// Index of the minimum-QUBO-energy result; requires non-empty batch.
+  std::size_t best_index() const;
+};
+
+/// Batch statistics evaluated against the *original* constrained problem:
+/// the exact quantities the solver surrogate learns to predict (§3.2, §3.3).
+struct BatchStats {
+  /// Number of solutions in the batch (paper's B).
+  std::size_t batch_size = 0;
+  /// Probability of feasibility: feasible count / batch size (paper eq. (1)).
+  double pf = 0.0;
+  /// Mean of the original-objective energies across the whole batch.  Using
+  /// the objective (not the penalised QUBO energy) keeps the target defined
+  /// even when no solution is feasible — the paper's §3.2 workaround.
+  double energy_avg = 0.0;
+  /// Population standard deviation of the same.
+  double energy_std = 0.0;
+  /// Minimum original objective among *feasible* solutions ("fitness"); +inf
+  /// when the batch contains no feasible solution.
+  double min_fitness = std::numeric_limits<double>::infinity();
+  /// Best feasible assignment, if any.
+  std::optional<Bits> best_feasible;
+
+  bool has_feasible() const { return best_feasible.has_value(); }
+};
+
+/// Computes BatchStats for `batch` relative to `problem`.
+BatchStats evaluate_batch(const ConstrainedProblem& problem,
+                          const SolveBatch& batch,
+                          double feasibility_tolerance = 1e-9);
+
+}  // namespace qross::qubo

@@ -1,0 +1,119 @@
+#include "qubo/builder.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace qross::qubo {
+
+ConstrainedProblem::ConstrainedProblem(std::size_t num_vars)
+    : num_vars_(num_vars), objective_(num_vars), penalty_(num_vars) {}
+
+void ConstrainedProblem::add_objective_term(std::size_t i, std::size_t j,
+                                            double weight) {
+  objective_.add_term(i, j, weight);
+}
+
+void ConstrainedProblem::add_objective_offset(double delta) {
+  objective_.add_offset(delta);
+}
+
+void ConstrainedProblem::add_constraint(LinearConstraint constraint) {
+  QROSS_REQUIRE(constraint.vars.size() == constraint.coeffs.size(),
+                "constraint vars/coeffs length mismatch");
+  for (std::size_t v : constraint.vars) {
+    QROSS_REQUIRE(v < num_vars_, "constraint variable out of range");
+  }
+  // Expand (sum_i c_i x_i - b)^2 =
+  //   sum_i c_i^2 x_i + 2 sum_{i<j} c_i c_j x_i x_j - 2 b sum_i c_i x_i + b^2
+  // (using x_i^2 == x_i) and accumulate into the penalty model.
+  const auto& vars = constraint.vars;
+  const auto& coeffs = constraint.coeffs;
+  const double b = constraint.rhs;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    penalty_.add_term(vars[i], vars[i], coeffs[i] * coeffs[i] - 2.0 * b * coeffs[i]);
+    for (std::size_t j = i + 1; j < vars.size(); ++j) {
+      penalty_.add_term(vars[i], vars[j], 2.0 * coeffs[i] * coeffs[j]);
+    }
+  }
+  penalty_.add_offset(b * b);
+  constraints_.push_back(std::move(constraint));
+}
+
+std::vector<std::size_t> ConstrainedProblem::add_inequality_constraint(
+    const LinearInequality& inequality, double granularity) {
+  QROSS_REQUIRE(inequality.vars.size() == inequality.coeffs.size(),
+                "inequality vars/coeffs length mismatch");
+  QROSS_REQUIRE(granularity > 0.0, "granularity must be positive");
+  for (std::size_t v : inequality.vars) {
+    QROSS_REQUIRE(v < num_vars_, "inequality variable out of range");
+  }
+  // Smallest achievable left-hand side (each binary var independently 0/1).
+  double min_lhs = 0.0;
+  for (double c : inequality.coeffs) min_lhs += std::min(c, 0.0);
+  const double range = inequality.rhs - min_lhs;
+  QROSS_REQUIRE(range >= 0.0,
+                "inequality is infeasible for every binary assignment");
+
+  // Slack bits with power-of-two weights: (2^k - 1) * g >= range.
+  const auto steps = static_cast<std::uint64_t>(std::ceil(range / granularity));
+  std::size_t bits = 0;
+  while (((std::uint64_t{1} << bits) - 1) < steps) ++bits;
+  if (bits == 0 && range > 0.0) bits = 1;
+
+  // Append the slack variables to all models.
+  const std::size_t first_slack = num_vars_;
+  num_vars_ += bits;
+  objective_.resize(num_vars_);
+  penalty_.resize(num_vars_);
+
+  // Equality: sum c_i x_i + g * sum 2^j s_j == rhs.
+  LinearConstraint equality;
+  equality.vars = inequality.vars;
+  equality.coeffs = inequality.coeffs;
+  equality.rhs = inequality.rhs;
+  std::vector<std::size_t> slack_vars;
+  slack_vars.reserve(bits);
+  for (std::size_t j = 0; j < bits; ++j) {
+    const std::size_t slack = first_slack + j;
+    slack_vars.push_back(slack);
+    equality.vars.push_back(slack);
+    equality.coeffs.push_back(granularity *
+                              static_cast<double>(std::uint64_t{1} << j));
+  }
+  add_constraint(std::move(equality));
+  return slack_vars;
+}
+
+double ConstrainedProblem::objective(std::span<const std::uint8_t> x) const {
+  return objective_.energy(x);
+}
+
+double ConstrainedProblem::violation(std::span<const std::uint8_t> x) const {
+  QROSS_REQUIRE(x.size() == num_vars_, "assignment size mismatch");
+  double total = 0.0;
+  for (const auto& c : constraints_) {
+    double lhs = 0.0;
+    for (std::size_t k = 0; k < c.vars.size(); ++k) {
+      if (x[c.vars[k]] != 0) lhs += c.coeffs[k];
+    }
+    const double r = lhs - c.rhs;
+    total += r * r;
+  }
+  return total;
+}
+
+bool ConstrainedProblem::is_feasible(std::span<const std::uint8_t> x,
+                                     double tolerance) const {
+  return violation(x) <= tolerance;
+}
+
+QuboModel ConstrainedProblem::to_qubo(double relaxation_parameter) const {
+  QROSS_REQUIRE(std::isfinite(relaxation_parameter),
+                "relaxation parameter must be finite");
+  QuboModel q = objective_;
+  q.add_scaled(penalty_, relaxation_parameter);
+  return q;
+}
+
+}  // namespace qross::qubo

@@ -1,0 +1,97 @@
+#pragma once
+
+// Constrained binary problem and its QUBO relaxation.
+//
+// Represents problems of the paper's canonical form
+//
+//   min_x  x^T P x + c^T x          subject to  a_r^T x = b_r  (r = 1..m)
+//
+// and relaxes them into
+//
+//   min_x  x^T P x + c^T x + A * sum_r (a_r^T x - b_r)^2
+//
+// where A is the relaxation parameter QROSS tunes.  The objective and the
+// penalty are kept as separate QuboModels so that to_qubo(A) is a cheap
+// linear combination and solvers can also report the pure objective
+// ("fitness") of any assignment.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "qubo/model.hpp"
+
+namespace qross::qubo {
+
+/// One linear equality constraint: sum_i coeffs[i] * x[vars[i]] == rhs.
+struct LinearConstraint {
+  std::vector<std::size_t> vars;
+  std::vector<double> coeffs;
+  double rhs = 0.0;
+};
+
+/// One linear inequality: sum_i coeffs[i] * x[vars[i]] <= rhs.  Relaxed into
+/// QUBO form via binary slack expansion (see add_inequality_constraint).
+struct LinearInequality {
+  std::vector<std::size_t> vars;
+  std::vector<double> coeffs;
+  double rhs = 0.0;
+};
+
+class ConstrainedProblem {
+ public:
+  explicit ConstrainedProblem(std::size_t num_vars);
+
+  std::size_t num_vars() const { return num_vars_; }
+
+  /// Objective terms (quadratic with i == j allowed for linear parts).
+  void add_objective_term(std::size_t i, std::size_t j, double weight);
+  void add_objective_offset(double delta);
+
+  /// Registers an equality constraint; its squared violation joins the
+  /// penalty model.
+  void add_constraint(LinearConstraint constraint);
+
+  /// Registers an inequality sum c_i x_i <= b by introducing binary slack
+  /// variables s (appended to the variable space; returns their indices)
+  /// and the equality sum c_i x_i + granularity * (1 s_0 + 2 s_1 + 4 s_2 +
+  /// ...) == b.  Enough slack bits are added to cover the full range
+  /// [0, b - min_achievable_lhs] in steps of `granularity`.  Requires
+  /// integer-representable ranges for exact feasibility (the standard QUBO
+  /// slack-encoding caveat); with granularity g, any assignment whose slack
+  /// b - lhs is a multiple of g in range is exactly feasible.
+  ///
+  /// NOTE: this grows num_vars(); call before building solvers/evaluators.
+  std::vector<std::size_t> add_inequality_constraint(
+      const LinearInequality& inequality, double granularity = 1.0);
+
+  std::size_t num_constraints() const { return constraints_.size(); }
+  const std::vector<LinearConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Pure original objective value of an assignment.
+  double objective(std::span<const std::uint8_t> x) const;
+
+  /// Total squared constraint violation sum_r (a_r^T x - b_r)^2.
+  double violation(std::span<const std::uint8_t> x) const;
+
+  /// True iff every constraint holds exactly (violation below tolerance).
+  bool is_feasible(std::span<const std::uint8_t> x,
+                   double tolerance = 1e-9) const;
+
+  /// QUBO relaxation with penalty weight A:  objective + A * penalty.
+  QuboModel to_qubo(double relaxation_parameter) const;
+
+  /// The two components separately (objective part, penalty part).
+  const QuboModel& objective_model() const { return objective_; }
+  const QuboModel& penalty_model() const { return penalty_; }
+
+ private:
+  std::size_t num_vars_;
+  QuboModel objective_;
+  QuboModel penalty_;
+  std::vector<LinearConstraint> constraints_;
+};
+
+}  // namespace qross::qubo

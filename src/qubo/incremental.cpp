@@ -1,0 +1,57 @@
+#include "qubo/incremental.hpp"
+
+#include "common/assert.hpp"
+
+namespace qross::qubo {
+
+IncrementalEvaluator::IncrementalEvaluator(const QuboModel& model)
+    : n_(model.num_vars()),
+      offset_(model.offset()),
+      weights_(n_ * n_, 0.0),
+      x_(n_, 0),
+      fields_(n_, 0.0) {
+  // Symmetrise: weights_[i*n+j] == weights_[j*n+i] == total interaction,
+  // diagonal holds the linear coefficient.
+  for (std::size_t i = 0; i < n_; ++i) {
+    weights_[i * n_ + i] = model.linear(i);
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      const double w = model.coefficient(i, j);
+      weights_[i * n_ + j] = w;
+      weights_[j * n_ + i] = w;
+    }
+  }
+  set_state(x_);
+}
+
+void IncrementalEvaluator::set_state(std::span<const std::uint8_t> x) {
+  QROSS_REQUIRE(x.size() == n_, "state size mismatch");
+  x_.assign(x.begin(), x.end());
+  energy_ = offset_;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double* row = weights_.data() + i * n_;
+    double field = row[i];
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (j != i && x_[j] != 0) field += row[j];
+    }
+    fields_[i] = field;
+    if (x_[i] != 0) {
+      energy_ += row[i];
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        if (x_[j] != 0) energy_ += row[j];
+      }
+    }
+  }
+}
+
+void IncrementalEvaluator::apply_flip(std::size_t i) {
+  QROSS_ASSERT(i < n_);
+  energy_ += flip_delta(i);
+  const double sign = x_[i] == 0 ? 1.0 : -1.0;
+  x_[i] ^= 1;
+  const double* row = weights_.data() + i * n_;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j != i) fields_[j] += sign * row[j];
+  }
+}
+
+}  // namespace qross::qubo

@@ -1,0 +1,63 @@
+#pragma once
+
+// Incremental single-flip evaluation for local-search QUBO solvers.
+//
+// Maintains, for the current assignment x, the local field
+//
+//   L_i = q(i,i) + sum_{j != i} w(i,j) x_j        (w = symmetrised weight)
+//
+// so that the energy delta of flipping bit i is
+//
+//   delta_i = (1 - 2 x_i) * L_i                    — an O(1) read.
+//
+// Applying a flip updates all fields in O(n).  This is the inner loop of the
+// simulated/digital annealers and the tabu search, so it avoids virtual
+// dispatch and bounds checks in release builds.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qubo/model.hpp"
+
+namespace qross::qubo {
+
+class IncrementalEvaluator {
+ public:
+  /// Caches the symmetrised dense weight matrix of `model`.  The evaluator
+  /// keeps a reference-independent copy, so the model may be destroyed.
+  explicit IncrementalEvaluator(const QuboModel& model);
+
+  std::size_t num_vars() const { return n_; }
+
+  /// Resets the tracked state to x (O(n^2)).
+  void set_state(std::span<const std::uint8_t> x);
+
+  const Bits& state() const { return x_; }
+  double energy() const { return energy_; }
+
+  /// Energy delta of flipping bit i (O(1)).
+  double flip_delta(std::size_t i) const {
+    return x_[i] == 0 ? fields_[i] : -fields_[i];
+  }
+
+  /// Applies the flip of bit i, updating energy and all local fields (O(n)).
+  void apply_flip(std::size_t i);
+
+  /// Convenience: delta then apply.
+  double flip(std::size_t i) {
+    const double d = flip_delta(i);
+    apply_flip(i);
+    return d;
+  }
+
+ private:
+  std::size_t n_;
+  double offset_;
+  std::vector<double> weights_;  // symmetrised dense n x n, diag = linear
+  Bits x_;
+  std::vector<double> fields_;
+  double energy_ = 0.0;
+};
+
+}  // namespace qross::qubo

@@ -1,0 +1,106 @@
+#include "qubo/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace qross::qubo {
+
+QuboModel::QuboModel(std::size_t num_vars) : n_(num_vars), q_(n_ * n_, 0.0) {}
+
+void QuboModel::add_term(std::size_t i, std::size_t j, double weight) {
+  QROSS_REQUIRE(i < n_ && j < n_, "QUBO term index out of range");
+  if (i > j) std::swap(i, j);
+  q_[index(i, j)] += weight;
+}
+
+double QuboModel::coefficient(std::size_t i, std::size_t j) const {
+  QROSS_REQUIRE(i < n_ && j < n_, "QUBO coefficient index out of range");
+  if (i > j) std::swap(i, j);
+  return q_[index(i, j)];
+}
+
+double QuboModel::interaction(std::size_t i, std::size_t j) const {
+  if (i == j) return 0.0;
+  return coefficient(i, j);
+}
+
+double QuboModel::energy(std::span<const std::uint8_t> x) const {
+  QROSS_REQUIRE(x.size() == n_, "assignment size mismatch");
+  double e = offset_;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (x[i] == 0) continue;
+    const double* row = q_.data() + i * n_;
+    e += row[i];
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      if (x[j] != 0) e += row[j];
+    }
+  }
+  return e;
+}
+
+double QuboModel::flip_delta(std::span<const std::uint8_t> x,
+                             std::size_t i) const {
+  QROSS_REQUIRE(x.size() == n_, "assignment size mismatch");
+  QROSS_REQUIRE(i < n_, "flip index out of range");
+  // Local field: linear term plus interactions with currently-set bits.
+  double field = q_[index(i, i)];
+  for (std::size_t j = 0; j < i; ++j) {
+    if (x[j] != 0) field += q_[index(j, i)];
+  }
+  for (std::size_t j = i + 1; j < n_; ++j) {
+    if (x[j] != 0) field += q_[index(i, j)];
+  }
+  return x[i] == 0 ? field : -field;
+}
+
+double QuboModel::max_abs_coefficient() const {
+  double m = 0.0;
+  for (double v : q_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::size_t QuboModel::num_nonzeros() const {
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i; j < n_; ++j) {
+      if (q_[index(i, j)] != 0.0) ++nnz;
+    }
+  }
+  return nnz;
+}
+
+void QuboModel::scale(double factor) {
+  for (double& v : q_) v *= factor;
+  offset_ *= factor;
+}
+
+void QuboModel::resize(std::size_t new_num_vars) {
+  QROSS_REQUIRE(new_num_vars >= n_, "resize cannot shrink the model");
+  if (new_num_vars == n_) return;
+  std::vector<double> grown(new_num_vars * new_num_vars, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i; j < n_; ++j) {
+      grown[i * new_num_vars + j] = q_[index(i, j)];
+    }
+  }
+  n_ = new_num_vars;
+  q_ = std::move(grown);
+}
+
+void QuboModel::add_scaled(const QuboModel& other, double factor) {
+  QROSS_REQUIRE(other.n_ == n_, "QUBO size mismatch in add_scaled");
+  for (std::size_t k = 0; k < q_.size(); ++k) q_[k] += factor * other.q_[k];
+  offset_ += factor * other.offset_;
+}
+
+bool is_valid_assignment(const QuboModel& model,
+                         std::span<const std::uint8_t> x) {
+  if (x.size() != model.num_vars()) return false;
+  return std::all_of(x.begin(), x.end(),
+                     [](std::uint8_t b) { return b == 0 || b == 1; });
+}
+
+}  // namespace qross::qubo

@@ -1,0 +1,86 @@
+#pragma once
+
+// Quadratic Unconstrained Binary Optimisation model:
+//
+//   E(x) = offset + sum_i q(i,i) x_i + sum_{i<j} q(i,j) x_i x_j,  x in {0,1}^n
+//
+// Coefficients are stored densely in upper-triangular canonical form: adding
+// a term (i, j, w) with i > j accumulates into (j, i).  The diagonal holds
+// linear terms (x_i^2 == x_i).  A constant offset is carried along so that
+// penalty expansions A*(a^T x - b)^2 keep their absolute energy scale —
+// important because the paper's fitness values are compared across A.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qross::qubo {
+
+/// A candidate solution: one bit per variable.
+using Bits = std::vector<std::uint8_t>;
+
+class QuboModel {
+ public:
+  QuboModel() = default;
+  explicit QuboModel(std::size_t num_vars);
+
+  std::size_t num_vars() const { return n_; }
+  double offset() const { return offset_; }
+  void set_offset(double offset) { offset_ = offset; }
+  void add_offset(double delta) { offset_ += delta; }
+
+  /// Accumulates weight onto the (i, j) coefficient (canonicalised to the
+  /// upper triangle; i == j is the linear term).
+  void add_term(std::size_t i, std::size_t j, double weight);
+
+  /// Coefficient in canonical form (i <= j after swap).
+  double coefficient(std::size_t i, std::size_t j) const;
+
+  /// Linear (diagonal) coefficient of variable i.
+  double linear(std::size_t i) const { return coefficient(i, i); }
+
+  /// Symmetrised off-diagonal weight: q(i,j) + q(j,i) as stored, i.e. the
+  /// total interaction between i and j.  Zero when i == j.
+  double interaction(std::size_t i, std::size_t j) const;
+
+  /// Full energy evaluation, O(n^2).
+  double energy(std::span<const std::uint8_t> x) const;
+
+  /// Energy change from flipping bit i in state x, O(n).
+  double flip_delta(std::span<const std::uint8_t> x, std::size_t i) const;
+
+  /// Largest absolute coefficient (used by noise models and scaling).
+  double max_abs_coefficient() const;
+
+  /// Number of structurally non-zero coefficients.
+  std::size_t num_nonzeros() const;
+
+  /// In-place scaling of all coefficients and the offset.
+  void scale(double factor);
+
+  /// Grows the variable space to `new_num_vars` (>= current), keeping all
+  /// existing coefficients; new variables start with zero terms.  Used by
+  /// the slack-variable expansion of inequality constraints.
+  void resize(std::size_t new_num_vars);
+
+  /// Adds `other` (same size) coefficient-wise with a multiplier; used to
+  /// compose objective + A * penalty without rebuilding either part.
+  void add_scaled(const QuboModel& other, double factor);
+
+  /// Raw dense storage (row-major n x n, upper triangular), for solvers that
+  /// precompute their own adjacency.
+  std::span<const double> raw() const { return q_; }
+
+ private:
+  std::size_t index(std::size_t i, std::size_t j) const { return i * n_ + j; }
+
+  std::size_t n_ = 0;
+  double offset_ = 0.0;
+  std::vector<double> q_;  // dense upper-triangular, row-major
+};
+
+/// Validates that x has exactly model.num_vars() entries, all 0/1.
+bool is_valid_assignment(const QuboModel& model, std::span<const std::uint8_t> x);
+
+}  // namespace qross::qubo

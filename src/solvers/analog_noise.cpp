@@ -1,0 +1,68 @@
+#include "solvers/analog_noise.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace qross::solvers {
+
+qubo::QuboModel perturb_coefficients(const qubo::QuboModel& model,
+                                     double noise_stddev, std::uint64_t seed) {
+  QROSS_REQUIRE(noise_stddev >= 0.0, "noise stddev must be non-negative");
+  const std::size_t n = model.num_vars();
+  qubo::QuboModel noisy(n);
+  noisy.set_offset(model.offset());
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double w = model.coefficient(i, j);
+      if (w == 0.0) continue;  // absent couplers carry no analog error
+      noisy.add_term(i, j, w + rng.normal(0.0, noise_stddev));
+    }
+  }
+  return noisy;
+}
+
+AnalogNoiseSolver::AnalogNoiseSolver(SolverPtr inner, AnalogNoiseParams params)
+    : inner_(std::move(inner)), params_(params) {
+  QROSS_REQUIRE(inner_ != nullptr, "inner solver required");
+  QROSS_REQUIRE(params_.relative_precision >= 0.0,
+                "relative precision must be non-negative");
+  QROSS_REQUIRE(params_.num_noise_samples >= 1, "at least one noise sample");
+}
+
+std::string AnalogNoiseSolver::name() const {
+  return inner_->name() + "+analog_noise";
+}
+
+qubo::SolveBatch AnalogNoiseSolver::solve(const qubo::QuboModel& model,
+                                          const SolveOptions& options) const {
+  const double noise_stddev =
+      params_.relative_precision * model.max_abs_coefficient();
+  const std::size_t samples =
+      std::min(params_.num_noise_samples, std::max<std::size_t>(options.num_replicas, 1));
+
+  qubo::SolveBatch combined;
+  combined.results.reserve(options.num_replicas);
+  std::size_t remaining = options.num_replicas;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::size_t share = remaining / (samples - s);
+    remaining -= share;
+    if (share == 0) continue;
+    const qubo::QuboModel noisy = perturb_coefficients(
+        model, noise_stddev, derive_seed(options.seed, 0xa0a0ULL + s));
+    SolveOptions inner_options = options;
+    inner_options.num_replicas = share;
+    inner_options.seed = derive_seed(options.seed, s);
+    qubo::SolveBatch inner_batch = inner_->solve(noisy, inner_options);
+    for (auto& result : inner_batch.results) {
+      // Report the true energy of the solution found on the noisy landscape.
+      result.qubo_energy = model.energy(result.assignment);
+      combined.results.push_back(std::move(result));
+    }
+  }
+  return combined;
+}
+
+}  // namespace qross::solvers

@@ -1,0 +1,47 @@
+#pragma once
+
+// Analog control-error decorator (paper appendix B).
+//
+// Physical annealers implement Hamiltonian coefficients imperfectly: the
+// realised coefficient differs from the intended one by a small analog error
+// proportional to the device's dynamic range.  When the penalty weight
+// dominates the QUBO, the original objective sinks below this error floor
+// and solution quality degrades — the mechanism behind Fig. 6.
+//
+// AnalogNoiseSolver wraps any QuboSolver.  Before each inner solve it
+// perturbs every nonzero coefficient with Gaussian noise of standard
+// deviation `relative_precision * max_abs_coefficient`, i.e. a fixed number
+// of effective bits over the full coefficient range, then reports the
+// *true* (unperturbed) energies of the returned solutions.
+
+#include "solvers/solver.hpp"
+
+namespace qross::solvers {
+
+struct AnalogNoiseParams {
+  /// Noise stddev as a fraction of the largest |coefficient|.  The DW_2000Q
+  /// integrated control error is of order 1e-2 relative to full scale.
+  double relative_precision = 0.02;
+  /// Independent noise draws (solver calls); replicas are split across them.
+  std::size_t num_noise_samples = 4;
+};
+
+class AnalogNoiseSolver final : public QuboSolver {
+ public:
+  AnalogNoiseSolver(SolverPtr inner, AnalogNoiseParams params = {});
+
+  std::string name() const override;
+  qubo::SolveBatch solve(const qubo::QuboModel& model,
+                         const SolveOptions& options) const override;
+
+ private:
+  SolverPtr inner_;
+  AnalogNoiseParams params_;
+};
+
+/// Returns a copy of `model` with Gaussian coefficient noise applied.
+/// Exposed for testing and for the Fig. 6 bench.
+qubo::QuboModel perturb_coefficients(const qubo::QuboModel& model,
+                                     double noise_stddev, std::uint64_t seed);
+
+}  // namespace qross::solvers

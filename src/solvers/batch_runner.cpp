@@ -1,0 +1,39 @@
+#include "solvers/batch_runner.hpp"
+
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace qross::solvers {
+
+BatchRunner::BatchRunner(const qubo::ConstrainedProblem& problem,
+                         SolverPtr solver, SolveOptions options)
+    : problem_(problem), solver_(std::move(solver)), options_(options) {
+  QROSS_REQUIRE(solver_ != nullptr, "solver required");
+  QROSS_REQUIRE(options_.num_replicas >= 1, "batch size must be positive");
+}
+
+SolverSample BatchRunner::run(double relaxation_parameter) {
+  const qubo::QuboModel model = problem_.to_qubo(relaxation_parameter);
+  SolveOptions call_options = options_;
+  call_options.seed = derive_seed(options_.seed, num_calls_);
+  const qubo::SolveBatch batch = solver_->solve(model, call_options);
+  ++num_calls_;
+
+  SolverSample sample;
+  sample.relaxation_parameter = relaxation_parameter;
+  sample.stats = qubo::evaluate_batch(problem_, batch);
+  history_.push_back(sample);
+  return sample;
+}
+
+double BatchRunner::best_fitness() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& sample : history_) {
+    if (sample.stats.min_fitness < best) best = sample.stats.min_fitness;
+  }
+  return best;
+}
+
+}  // namespace qross::solvers

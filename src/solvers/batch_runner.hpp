@@ -1,0 +1,53 @@
+#pragma once
+
+// BatchRunner — the "one call to the QUBO solver" of the paper.
+//
+// Given a constrained problem and a relaxation parameter A, it builds the
+// QUBO relaxation, runs the solver once, and reduces the batch to the
+// quantities QROSS consumes: (Pf, Eavg, Estd, min fitness).  It also counts
+// calls, since the paper's central metric is solution quality *per number of
+// solver calls*.
+
+#include <cstddef>
+#include <vector>
+
+#include "qubo/batch.hpp"
+#include "qubo/builder.hpp"
+#include "solvers/solver.hpp"
+
+namespace qross::solvers {
+
+/// One labelled observation of the solver's response at parameter A.
+struct SolverSample {
+  double relaxation_parameter = 0.0;
+  qubo::BatchStats stats;
+};
+
+class BatchRunner {
+ public:
+  /// `problem` must outlive the runner.  Each call uses a fresh seed derived
+  /// from (base_seed, call index) so repeated calls at the same A differ,
+  /// like repeated submissions to a real annealer.
+  BatchRunner(const qubo::ConstrainedProblem& problem, SolverPtr solver,
+              SolveOptions options);
+
+  /// One solver call at relaxation parameter A.
+  SolverSample run(double relaxation_parameter);
+
+  std::size_t num_calls() const { return num_calls_; }
+  const std::vector<SolverSample>& history() const { return history_; }
+  const qubo::ConstrainedProblem& problem() const { return problem_; }
+
+  /// Best (lowest) feasible fitness observed over all calls so far; +inf if
+  /// no feasible solution has been seen.
+  double best_fitness() const;
+
+ private:
+  const qubo::ConstrainedProblem& problem_;
+  SolverPtr solver_;
+  SolveOptions options_;
+  std::size_t num_calls_ = 0;
+  std::vector<SolverSample> history_;
+};
+
+}  // namespace qross::solvers

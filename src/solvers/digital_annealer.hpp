@@ -1,0 +1,45 @@
+#pragma once
+
+// CPU simulator of the Fujitsu Digital Annealer algorithm.
+//
+// Implements the published DA Monte-Carlo kernel (Aramon, Rosenberg,
+// Valiante, Miyazawa, Tamura, Katzgraber, "Physics-inspired optimization for
+// quadratic unconstrained problems using a digital annealer", Frontiers in
+// Physics 2019):
+//
+//  * parallel trial — at each step the acceptance test is applied to *every*
+//    variable in parallel, and one of the accepted flips is chosen uniformly
+//    at random (instead of testing a single random variable as in SA);
+//  * dynamic offset — if no flip is accepted, an energy offset that relaxes
+//    the Metropolis criterion is increased, helping escape local minima; the
+//    offset resets to zero after any accepted move.
+//
+// This substitutes for the DA hardware used in the paper: QROSS only
+// consumes batch statistics, and this kernel reproduces the sigmoid-Pf /
+// dipper-energy behaviour of Fig. 1 (see bench_fig1_landscape).
+
+#include "solvers/solver.hpp"
+
+namespace qross::solvers {
+
+struct DaParams {
+  double initial_acceptance = 0.7;
+  double final_acceptance = 0.005;
+  /// Dynamic-offset increment, as a fraction of the typical |delta| probed
+  /// from the model.
+  double offset_increase_rate = 0.3;
+};
+
+class DigitalAnnealer final : public QuboSolver {
+ public:
+  explicit DigitalAnnealer(DaParams params = {});
+
+  std::string name() const override { return "da"; }
+  qubo::SolveBatch solve(const qubo::QuboModel& model,
+                         const SolveOptions& options) const override;
+
+ private:
+  DaParams params_;
+};
+
+}  // namespace qross::solvers

@@ -1,0 +1,43 @@
+#pragma once
+
+// Parallel tempering (replica exchange) QUBO solver.
+//
+// The Digital Annealer reference this library's DA kernel follows (Aramon
+// et al. 2019) evaluates a parallel-tempering mode alongside plain
+// annealing; we provide it as a fifth solver kernel.  A ladder of replicas
+// runs Metropolis sweeps at geometrically-spaced fixed temperatures, and
+// after every sweep adjacent temperatures attempt a state exchange with
+// probability min(1, exp((1/T_i - 1/T_j)(E_i - E_j))).  Cold replicas
+// exploit while hot replicas ferry the walk across barriers.
+//
+// Batch semantics: options.num_replicas chains make up the ladder, and each
+// chain reports the best state it ever visited, so one call returns the
+// usual B solutions with naturally varied quality.
+
+#include "solvers/solver.hpp"
+
+namespace qross::solvers {
+
+struct PtParams {
+  /// Acceptance targeted by the hottest temperature (sets the ladder top).
+  double hot_acceptance = 0.8;
+  /// Ratio T_cold / T_hot for the ladder bottom.
+  double temperature_ratio = 1e-3;
+  /// Exchange attempts per sweep as a fraction of ladder size (1.0 = every
+  /// adjacent pair once per sweep, alternating even/odd pairs).
+  double exchange_rate = 1.0;
+};
+
+class ParallelTempering final : public QuboSolver {
+ public:
+  explicit ParallelTempering(PtParams params = {});
+
+  std::string name() const override { return "pt"; }
+  qubo::SolveBatch solve(const qubo::QuboModel& model,
+                         const SolveOptions& options) const override;
+
+ private:
+  PtParams params_;
+};
+
+}  // namespace qross::solvers

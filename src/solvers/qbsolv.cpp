@@ -1,0 +1,116 @@
+#include "solvers/qbsolv.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "qubo/incremental.hpp"
+#include "solvers/simulated_annealer.hpp"
+#include "solvers/tabu_search.hpp"
+
+namespace qross::solvers {
+
+qubo::QuboModel clamp_subproblem(const qubo::QuboModel& model,
+                                 const std::vector<std::size_t>& subset,
+                                 const qubo::Bits& x) {
+  const std::size_t n = model.num_vars();
+  QROSS_REQUIRE(x.size() == n, "clamp state size mismatch");
+  std::vector<bool> in_subset(n, false);
+  for (std::size_t v : subset) {
+    QROSS_REQUIRE(v < n, "subset variable out of range");
+    QROSS_REQUIRE(!in_subset[v], "duplicate variable in subset");
+    in_subset[v] = true;
+  }
+
+  qubo::QuboModel sub(subset.size());
+
+  // Constant part: fixed-variable energy (subset bits treated as 0).
+  double constant = model.offset();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in_subset[i] || x[i] == 0) continue;
+    constant += model.linear(i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!in_subset[j] && x[j] != 0) constant += model.coefficient(i, j);
+    }
+  }
+  sub.set_offset(constant);
+
+  // Linear terms pick up interactions with the clamped-on variables.
+  for (std::size_t a = 0; a < subset.size(); ++a) {
+    const std::size_t i = subset[a];
+    double lin = model.linear(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i && !in_subset[j] && x[j] != 0) lin += model.interaction(i, j);
+    }
+    sub.add_term(a, a, lin);
+    for (std::size_t b = a + 1; b < subset.size(); ++b) {
+      const double w = model.interaction(i, subset[b]);
+      if (w != 0.0) sub.add_term(a, b, w);
+    }
+  }
+  return sub;
+}
+
+Qbsolv::Qbsolv(QbsolvParams params) : params_(params) {
+  QROSS_REQUIRE(params_.num_rounds >= 1, "at least one round");
+  QROSS_REQUIRE(params_.subsolver_sweeps >= 1, "at least one sub-solver sweep");
+}
+
+qubo::SolveBatch Qbsolv::solve(const qubo::QuboModel& model,
+                               const SolveOptions& options) const {
+  const std::size_t n = model.num_vars();
+  qubo::SolveBatch batch;
+  batch.results.resize(options.num_replicas);
+  if (n == 0) {
+    for (auto& r : batch.results) r.qubo_energy = model.offset();
+    return batch;
+  }
+
+  const std::size_t sub_size =
+      params_.subproblem_size != 0
+          ? std::min(params_.subproblem_size, n)
+          : std::min(n, std::max<std::size_t>(16, n / 3));
+  const SimulatedAnnealer subsolver;
+  const TabuParams tabu_params;
+
+  for (std::size_t replica = 0; replica < options.num_replicas; ++replica) {
+    Rng rng(derive_seed(options.seed, replica));
+    qubo::Bits x(n);
+    for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
+    double energy = model.energy(x);
+
+    for (std::size_t round = 0; round < params_.num_rounds; ++round) {
+      // Phase 1: global tabu improvement, budget ~ one pass worth of flips.
+      auto [improved, improved_energy] = TabuSearch::improve(
+          model, x, tabu_params, options.num_sweeps * n / params_.num_rounds + n,
+          derive_seed(options.seed, (replica << 8) | (round << 1)));
+      if (improved_energy <= energy) {
+        x = std::move(improved);
+        energy = improved_energy;
+      }
+
+      // Phase 2: random-subspace sub-QUBO refinement.
+      auto perm = rng.permutation(n);
+      perm.resize(sub_size);
+      std::sort(perm.begin(), perm.end());
+      const qubo::QuboModel sub = clamp_subproblem(model, perm, x);
+      SolveOptions sub_options;
+      sub_options.num_replicas = 1;
+      sub_options.num_sweeps = params_.subsolver_sweeps;
+      sub_options.seed = derive_seed(options.seed, (replica << 8) | (round << 1) | 1);
+      const qubo::SolveBatch sub_batch = subsolver.solve(sub, sub_options);
+      const auto& sub_best = sub_batch.results[sub_batch.best_index()];
+      if (sub_best.qubo_energy <= energy) {
+        for (std::size_t a = 0; a < perm.size(); ++a) {
+          x[perm[a]] = sub_best.assignment[a];
+        }
+        energy = sub_best.qubo_energy;
+      }
+    }
+    batch.results[replica].assignment = std::move(x);
+    batch.results[replica].qubo_energy = energy;
+  }
+  return batch;
+}
+
+}  // namespace qross::solvers

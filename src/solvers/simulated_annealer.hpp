@@ -1,0 +1,41 @@
+#pragma once
+
+// Classic single-flip simulated annealing on QUBO with a geometric
+// temperature schedule.  This is the paper's "Simulated Annealing on CPU"
+// baseline solver (Fig. 1 bottom row, QAPLIB experiments, appendix B).
+//
+// The start temperature is derived from the model automatically: T_start is
+// set so that an average uphill move (probed on random states) is accepted
+// with probability `initial_acceptance`.  T_end is a fixed fraction of
+// T_start rather than a probed quantity — on penalty-relaxed QUBOs the
+// smallest delta at a *random* state is penalty-scale, wildly larger than
+// the objective-scale deltas near feasibility, and deriving T_end from it
+// leaves the walk hot forever.  A fixed ratio keeps one parameter set usable
+// across the whole range of penalty weights A the tuning experiments sweep.
+
+#include "solvers/solver.hpp"
+
+namespace qross::solvers {
+
+struct SaParams {
+  double initial_acceptance = 0.8;
+  /// T_end = temperature_ratio * T_start (geometric cooling in between).
+  double temperature_ratio = 2e-4;
+  /// Restarts per replica from a fresh random state keep replicas cheap but
+  /// diverse; the best state over restarts is returned per replica.
+  std::size_t restarts = 1;
+};
+
+class SimulatedAnnealer final : public QuboSolver {
+ public:
+  explicit SimulatedAnnealer(SaParams params = {});
+
+  std::string name() const override { return "sa"; }
+  qubo::SolveBatch solve(const qubo::QuboModel& model,
+                         const SolveOptions& options) const override;
+
+ private:
+  SaParams params_;
+};
+
+}  // namespace qross::solvers

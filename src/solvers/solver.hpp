@@ -1,0 +1,43 @@
+#pragma once
+
+// Abstract QUBO solver interface.
+//
+// All solvers are stochastic batch solvers: one call returns `num_replicas`
+// independent solutions, mirroring how the Fujitsu Digital Annealer and
+// Qbsolv are used in the paper (128 solutions per call, paper Fig. 1).
+// Determinism: the same (model, options.seed) pair always yields the same
+// batch.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "qubo/batch.hpp"
+#include "qubo/model.hpp"
+
+namespace qross::solvers {
+
+struct SolveOptions {
+  /// Number of independent solutions per call (the paper's batch size B).
+  std::size_t num_replicas = 32;
+  /// Monte-Carlo sweeps (full variable passes) per replica, where relevant.
+  std::size_t num_sweeps = 100;
+  /// Master seed; replica k uses derive_seed(seed, k).
+  std::uint64_t seed = 1;
+};
+
+class QuboSolver {
+ public:
+  virtual ~QuboSolver() = default;
+
+  /// Human-readable solver name ("sa", "da", "qbsolv", ...).
+  virtual std::string name() const = 0;
+
+  /// Solves `model`, returning options.num_replicas solutions.
+  virtual qubo::SolveBatch solve(const qubo::QuboModel& model,
+                                 const SolveOptions& options) const = 0;
+};
+
+using SolverPtr = std::shared_ptr<const QuboSolver>;
+
+}  // namespace qross::solvers

@@ -1,0 +1,98 @@
+#include "solvers/tabu_search.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "qubo/incremental.hpp"
+
+namespace qross::solvers {
+
+TabuSearch::TabuSearch(TabuParams params) : params_(params) {}
+
+std::pair<qubo::Bits, double> TabuSearch::improve(const qubo::QuboModel& model,
+                                                  const qubo::Bits& start,
+                                                  const TabuParams& params,
+                                                  std::size_t max_iterations,
+                                                  std::uint64_t seed) {
+  const std::size_t n = model.num_vars();
+  QROSS_REQUIRE(start.size() == n, "start state size mismatch");
+  if (n == 0) return {qubo::Bits{}, model.offset()};
+
+  const std::size_t tenure =
+      params.tenure != 0 ? params.tenure : std::max<std::size_t>(7, n / 10);
+  const std::size_t patience =
+      params.patience != 0 ? params.patience : 4 * n;
+
+  Rng rng(seed);
+  qubo::IncrementalEvaluator eval(model);
+  eval.set_state(start);
+
+  qubo::Bits best_state = eval.state();
+  double best_energy = eval.energy();
+  std::vector<std::size_t> tabu_until(n, 0);
+  std::size_t stall = 0;
+
+  for (std::size_t iter = 1; iter <= max_iterations && stall < patience;
+       ++iter) {
+    // Best-improvement scan; ties broken randomly so replicas diverge.
+    double best_delta = std::numeric_limits<double>::infinity();
+    std::size_t best_var = n;
+    std::size_t num_ties = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta = eval.flip_delta(i);
+      const bool is_tabu = tabu_until[i] > iter;
+      const bool aspiration = eval.energy() + delta < best_energy;
+      if (is_tabu && !aspiration) continue;
+      if (delta < best_delta - 1e-15) {
+        best_delta = delta;
+        best_var = i;
+        num_ties = 1;
+      } else if (delta <= best_delta + 1e-15) {
+        // Reservoir-sample among ties.
+        ++num_ties;
+        if (rng.uniform_int(num_ties) == 0) best_var = i;
+      }
+    }
+    if (best_var == n) {
+      // Everything tabu and nothing aspires: clear the oldest restriction.
+      std::fill(tabu_until.begin(), tabu_until.end(), 0);
+      continue;
+    }
+    eval.apply_flip(best_var);
+    tabu_until[best_var] = iter + tenure;
+    if (eval.energy() < best_energy - 1e-15) {
+      best_energy = eval.energy();
+      best_state = eval.state();
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+  return {std::move(best_state), best_energy};
+}
+
+qubo::SolveBatch TabuSearch::solve(const qubo::QuboModel& model,
+                                   const SolveOptions& options) const {
+  const std::size_t n = model.num_vars();
+  qubo::SolveBatch batch;
+  batch.results.resize(options.num_replicas);
+  if (n == 0) {
+    for (auto& r : batch.results) r.qubo_energy = model.offset();
+    return batch;
+  }
+  const std::size_t max_iters = options.num_sweeps * n;
+  for (std::size_t replica = 0; replica < options.num_replicas; ++replica) {
+    Rng rng(derive_seed(options.seed, replica));
+    qubo::Bits x(n);
+    for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
+    auto [state, energy] =
+        improve(model, x, params_, max_iters, derive_seed(options.seed, replica ^ 0x7ab0ULL));
+    batch.results[replica].assignment = std::move(state);
+    batch.results[replica].qubo_energy = energy;
+  }
+  return batch;
+}
+
+}  // namespace qross::solvers

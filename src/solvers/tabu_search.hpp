@@ -1,0 +1,42 @@
+#pragma once
+
+// Deterministic-greedy tabu search over single-bit flips.
+//
+// Used both standalone and as the sub-problem / global improver inside the
+// Qbsolv hybrid (Booth, Reinhardt & Roy 2017).  Classic scheme: pick the
+// best non-tabu flip (best-improvement), make it even if uphill, mark the
+// variable tabu for `tenure` iterations, with the aspiration criterion that
+// a move beating the incumbent best is always allowed.
+
+#include "solvers/solver.hpp"
+
+namespace qross::solvers {
+
+struct TabuParams {
+  /// Tabu tenure; 0 means auto (max(7, n/10)).
+  std::size_t tenure = 0;
+  /// Iterations without improvement before the search stops.
+  std::size_t patience = 0;  // 0 means auto (4 * n)
+};
+
+class TabuSearch final : public QuboSolver {
+ public:
+  explicit TabuSearch(TabuParams params = {});
+
+  std::string name() const override { return "tabu"; }
+  qubo::SolveBatch solve(const qubo::QuboModel& model,
+                         const SolveOptions& options) const override;
+
+  /// Single tabu run from a given start state; returns the best state found.
+  /// `max_iterations` bounds total flips.  Exposed for the Qbsolv hybrid.
+  static std::pair<qubo::Bits, double> improve(const qubo::QuboModel& model,
+                                               const qubo::Bits& start,
+                                               const TabuParams& params,
+                                               std::size_t max_iterations,
+                                               std::uint64_t seed);
+
+ private:
+  TabuParams params_;
+};
+
+}  // namespace qross::solvers

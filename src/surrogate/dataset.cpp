@@ -1,0 +1,162 @@
+#include "surrogate/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace qross::surrogate {
+
+void Dataset::save_csv(std::ostream& os) const {
+  os << "instance_id";
+  for (const auto& name : feature_names()) os << ',' << name;
+  os << ",scale_anchor,relaxation_parameter,pf,energy_avg,energy_std\n";
+  os.precision(17);
+  for (const auto& row : rows) {
+    os << row.instance_id;
+    for (double f : row.features) os << ',' << f;
+    os << ',' << row.scale_anchor << ',' << row.relaxation_parameter << ','
+       << row.pf << ',' << row.energy_avg << ',' << row.energy_std << "\n";
+  }
+}
+
+Dataset Dataset::load_csv(std::istream& is) {
+  Dataset dataset;
+  std::string line;
+  QROSS_REQUIRE(static_cast<bool>(std::getline(is, line)), "missing CSV header");
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    DatasetRow row;
+    char comma = 0;
+    QROSS_REQUIRE(static_cast<bool>(ss >> row.instance_id), "bad instance id");
+    for (double& f : row.features) {
+      QROSS_REQUIRE(static_cast<bool>(ss >> comma >> f), "bad feature value");
+    }
+    QROSS_REQUIRE(static_cast<bool>(ss >> comma >> row.scale_anchor >> comma >>
+                                    row.relaxation_parameter >> comma >>
+                                    row.pf >> comma >> row.energy_avg >>
+                                    comma >> row.energy_std),
+                  "bad dataset row");
+    dataset.rows.push_back(row);
+  }
+  return dataset;
+}
+
+SlopeBounds find_slope_bounds(solvers::BatchRunner& runner,
+                              double initial_guess,
+                              const SweepConfig& config) {
+  QROSS_REQUIRE(initial_guess > 0.0, "initial guess must be positive");
+  SlopeBounds bounds;
+
+  auto probe = [&](double a) {
+    const auto sample = runner.run(a);
+    bounds.probes.push_back(sample);
+    return sample.stats.pf;
+  };
+
+  // Walk down by halving until Pf hits 0 (paper Algorithm 1 line 1).
+  double a_left = std::clamp(initial_guess, config.a_min, config.a_max);
+  double pf_left = probe(a_left);
+  std::size_t steps = 0;
+  while (pf_left > 0.0 && a_left > config.a_min &&
+         steps++ < config.max_bound_steps) {
+    a_left = std::max(a_left / 2.0, config.a_min);
+    pf_left = probe(a_left);
+  }
+  // Walk up by doubling until Pf hits 1 (line 2).
+  double a_right = std::clamp(initial_guess * 2.0, config.a_min, config.a_max);
+  double pf_right = probe(a_right);
+  steps = 0;
+  while (pf_right < 1.0 && a_right < config.a_max &&
+         steps++ < config.max_bound_steps) {
+    a_right = std::min(a_right * 2.0, config.a_max);
+    pf_right = probe(a_right);
+  }
+  // Geometric bisection tightens the bracket around the transition; any
+  // fractional-Pf probe is itself a valuable slope sample and stays in
+  // `probes`.
+  for (std::size_t step = 0; step < config.bisection_steps; ++step) {
+    if (a_right <= a_left * 1.05) break;  // bracket already tight
+    const double mid = std::sqrt(a_left * a_right);
+    const double pf_mid = probe(mid);
+    if (pf_mid == 0.0) {
+      a_left = mid;
+    } else if (pf_mid == 1.0) {
+      a_right = mid;
+    } else {
+      break;  // found the slope: stop shrinking, sample it uniformly below
+    }
+  }
+  bounds.a_left = a_left;
+  bounds.a_right = a_right;
+  return bounds;
+}
+
+std::vector<solvers::SolverSample> sweep_instance(solvers::BatchRunner& runner,
+                                                  double initial_guess,
+                                                  const SweepConfig& config) {
+  SlopeBounds bounds = find_slope_bounds(runner, initial_guess, config);
+  std::vector<solvers::SolverSample> samples = std::move(bounds.probes);
+
+  // Uniform coverage of the slope bracket (paper: "make sure that
+  // {A | 0 < Pf < 1} are well sampled").
+  const double lo = bounds.a_left;
+  const double hi = std::max(bounds.a_right, lo * (1.0 + 1e-9));
+  for (std::size_t k = 0; k < config.slope_points; ++k) {
+    const double t = (static_cast<double>(k) + 0.5) /
+                     static_cast<double>(config.slope_points);
+    samples.push_back(runner.run(lo + t * (hi - lo)));
+  }
+  // Plateau coverage on both sides (the paper's overfitting guard).
+  for (std::size_t k = 0; k < config.plateau_points; ++k) {
+    const double f = 1.0 + 0.4 * static_cast<double>(k + 1);
+    samples.push_back(runner.run(std::max(lo / f, config.a_min)));
+    samples.push_back(runner.run(std::min(hi * f, config.a_max)));
+  }
+  return samples;
+}
+
+Dataset build_dataset(const std::vector<tsp::TspInstance>& instances,
+                      solvers::SolverPtr solver,
+                      const solvers::SolveOptions& solve_options,
+                      const SweepConfig& sweep_config, bool verbose) {
+  Dataset dataset;
+  for (std::size_t id = 0; id < instances.size(); ++id) {
+    const PreparedTspInstance prepared(instances[id]);
+    const auto features = extract_features(prepared.prepared());
+    const double anchor = scale_anchor(features);
+
+    solvers::SolveOptions options = solve_options;
+    options.seed = derive_seed(solve_options.seed, id);
+    solvers::BatchRunner runner(prepared.problem(), solver, options);
+
+    const double guess =
+        sweep_config.initial_guess_factor * prepared.prepared().mean_distance();
+    const auto samples = sweep_instance(runner, guess, sweep_config);
+    for (const auto& sample : samples) {
+      DatasetRow row;
+      row.instance_id = id;
+      row.features = features;
+      row.scale_anchor = anchor;
+      row.relaxation_parameter = sample.relaxation_parameter;
+      row.pf = sample.stats.pf;
+      row.energy_avg = sample.stats.energy_avg;
+      row.energy_std = sample.stats.energy_std;
+      dataset.rows.push_back(row);
+    }
+    if (verbose) {
+      std::fprintf(stderr, "[dataset] instance %zu/%zu (%s): %zu samples\n",
+                   id + 1, instances.size(), instances[id].name().c_str(),
+                   samples.size());
+    }
+  }
+  return dataset;
+}
+
+}  // namespace qross::surrogate

@@ -1,0 +1,88 @@
+#pragma once
+
+// Surrogate training data (paper §3.3 "Data Preparation").
+//
+// Each row records one solver call: the instance's feature vector, the
+// relaxation parameter A, and the measured batch statistics (Pf, Eavg,
+// Estd).  The builder sweeps A adaptively per instance so that the sigmoid
+// slope {A : 0 < Pf < 1} is densely covered and both plateaus contribute a
+// sizable number of samples (the paper's overfitting guard).
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "problems/tsp/instance.hpp"
+#include "solvers/batch_runner.hpp"
+#include "solvers/solver.hpp"
+#include "surrogate/features.hpp"
+#include "surrogate/pipeline.hpp"
+
+namespace qross::surrogate {
+
+struct DatasetRow {
+  std::size_t instance_id = 0;
+  std::array<double, kNumTspFeatures> features{};
+  double scale_anchor = 1.0;  ///< 2-opt tour length of the prepared instance
+  double relaxation_parameter = 0.0;
+  double pf = 0.0;
+  double energy_avg = 0.0;
+  double energy_std = 0.0;
+};
+
+struct Dataset {
+  std::vector<DatasetRow> rows;
+
+  void save_csv(std::ostream& os) const;
+  static Dataset load_csv(std::istream& is);
+};
+
+struct SweepConfig {
+  /// Points sampled on the sigmoid slope {A : 0 < Pf < 1}.
+  std::size_t slope_points = 10;
+  /// Points sampled on each plateau (Pf == 0 and Pf == 1 regions).
+  std::size_t plateau_points = 3;
+  /// Initial guess multiplier: the bound search starts from
+  /// `initial_guess_factor * mean_distance` of the prepared instance.
+  double initial_guess_factor = 1.0;
+  /// Hard bounds on the A search (prepared-instance units).
+  double a_min = 1e-3;
+  double a_max = 1e4;
+  /// Maximum doubling/halving steps in the bound search.
+  std::size_t max_bound_steps = 24;
+  /// Geometric bisection probes that tighten the bracket after the
+  /// doubling/halving phase.  Strong solvers (e.g. the Qbsolv hybrid) have
+  /// very sharp Pf transitions; without refinement the slope samples all
+  /// land on the plateaus and the dataset never sees fractional Pf.
+  std::size_t bisection_steps = 4;
+};
+
+/// Result of the A-bound search: the bracket of the sigmoid slope.
+struct SlopeBounds {
+  double a_left = 0.0;   ///< largest probed A with Pf == 0
+  double a_right = 0.0;  ///< smallest probed A with Pf == 1
+  std::vector<solvers::SolverSample> probes;  ///< all samples taken
+};
+
+/// Finds [a_left, a_right] bracketing the Pf transition by doubling/halving
+/// (paper Algorithm 1, lines 1-2).  Uses `runner` (one solver call per
+/// probe).
+SlopeBounds find_slope_bounds(solvers::BatchRunner& runner,
+                              double initial_guess, const SweepConfig& config);
+
+/// Full sweep of one instance: bound search, then uniform slope samples and
+/// plateau samples.  Returns all solver samples taken (each one dataset row).
+std::vector<solvers::SolverSample> sweep_instance(
+    solvers::BatchRunner& runner, double initial_guess,
+    const SweepConfig& config);
+
+/// Builds a training dataset over `instances` with the given solver.
+/// `solve_options.seed` is re-derived per instance.  Emits progress lines to
+/// stderr when `verbose`.
+Dataset build_dataset(const std::vector<tsp::TspInstance>& instances,
+                      solvers::SolverPtr solver,
+                      const solvers::SolveOptions& solve_options,
+                      const SweepConfig& sweep_config, bool verbose = false);
+
+}  // namespace qross::surrogate

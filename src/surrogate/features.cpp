@@ -1,0 +1,143 @@
+#include "surrogate/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+#include "problems/tsp/heuristics.hpp"
+
+namespace qross::surrogate {
+
+namespace {
+
+/// Prim's algorithm over the complete graph, O(n^2).
+std::vector<double> mst_edge_lengths(const tsp::TspInstance& instance) {
+  const std::size_t n = instance.num_cities();
+  if (n < 2) return {};
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<double> edges;
+  edges.reserve(n - 1);
+  in_tree[0] = true;
+  for (std::size_t v = 1; v < n; ++v) best[v] = instance.distance(0, v);
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t pick = n;
+    double pick_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v] && best[v] < pick_cost) {
+        pick_cost = best[v];
+        pick = v;
+      }
+    }
+    QROSS_ASSERT(pick < n);
+    in_tree[pick] = true;
+    edges.push_back(pick_cost);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_tree[v]) best[v] = std::min(best[v], instance.distance(pick, v));
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::array<double, kNumTspFeatures> extract_features(
+    const tsp::TspInstance& instance) {
+  const std::size_t n = instance.num_cities();
+  std::array<double, kNumTspFeatures> f{};
+  f[0] = static_cast<double>(n);
+  f[1] = std::log(static_cast<double>(n));
+
+  // Pairwise distance distribution.
+  std::vector<double> dists;
+  dists.reserve(n * (n - 1) / 2);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) dists.push_back(instance.distance(u, v));
+  }
+  if (dists.empty()) dists.push_back(0.0);
+  const SampleSummary ds = summarize(dists);
+  f[2] = ds.mean;
+  f[3] = ds.stddev;
+  f[4] = instance.min_positive_distance();
+  f[5] = ds.max;
+  f[6] = ds.mean > 0.0 ? ds.stddev / ds.mean : 0.0;
+  const std::array<double, 5> qlevels{0.1, 0.25, 0.5, 0.75, 0.9};
+  const auto qs = quantiles(dists, qlevels);
+  for (std::size_t i = 0; i < qs.size(); ++i) f[7 + i] = qs[i];
+
+  // Nearest-neighbour structure.
+  std::vector<double> nn1(n, 0.0), nn2(n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    double first = std::numeric_limits<double>::infinity();
+    double second = std::numeric_limits<double>::infinity();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == u) continue;
+      const double d = instance.distance(u, v);
+      if (d < first) {
+        second = first;
+        first = d;
+      } else if (d < second) {
+        second = d;
+      }
+    }
+    nn1[u] = std::isfinite(first) ? first : 0.0;
+    nn2[u] = std::isfinite(second) ? second : nn1[u];
+  }
+  const SampleSummary nns = summarize(nn1);
+  f[12] = nns.mean;
+  f[13] = nns.stddev;
+  f[14] = mean(nn2);
+
+  // Minimum spanning tree.
+  const auto mst = mst_edge_lengths(instance);
+  if (!mst.empty()) {
+    const SampleSummary ms = summarize(mst);
+    f[15] = ms.mean * static_cast<double>(mst.size());
+    f[16] = ms.mean;
+    f[17] = ms.stddev;
+  }
+
+  // Construction-heuristic tour lengths (cheap scale anchors).
+  if (n >= 2) {
+    const tsp::Tour greedy = tsp::nearest_neighbor_tour(instance, 0);
+    const double greedy_len = instance.tour_length(greedy);
+    const tsp::Tour improved = tsp::two_opt(instance, greedy, 8);
+    const double improved_len = instance.tour_length(improved);
+    f[18] = greedy_len;
+    f[19] = improved_len;
+    f[20] = improved_len > 0.0 ? greedy_len / improved_len : 1.0;
+  }
+
+  // Eccentricity profile.
+  std::vector<double> ecc(n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    double sum = 0.0;
+    for (std::size_t v = 0; v < n; ++v) sum += instance.distance(u, v);
+    ecc[u] = n > 1 ? sum / static_cast<double>(n - 1) : 0.0;
+  }
+  const SampleSummary es = summarize(ecc);
+  f[21] = es.mean;
+  f[22] = es.stddev;
+  f[23] = ds.mean > 0.0 ? nns.mean / ds.mean : 0.0;
+  return f;
+}
+
+double scale_anchor(const std::array<double, kNumTspFeatures>& features) {
+  // 2-opt tour length; falls back to the mean distance for degenerate cases.
+  return features[19] > 0.0 ? features[19] : std::max(features[2], 1.0);
+}
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = {
+      "num_cities",    "log_num_cities", "dist_mean",     "dist_std",
+      "dist_min_pos",  "dist_max",       "dist_cv",       "dist_q10",
+      "dist_q25",      "dist_q50",       "dist_q75",      "dist_q90",
+      "nn1_mean",      "nn1_std",        "nn2_mean",      "mst_total",
+      "mst_edge_mean", "mst_edge_std",   "greedy_len",    "two_opt_len",
+      "greedy_ratio",  "ecc_mean",       "ecc_std",       "nn_density"};
+  return names;
+}
+
+}  // namespace qross::surrogate

@@ -1,0 +1,57 @@
+#pragma once
+
+// Graph-level TSP feature extraction (paper appendix C/G substitution).
+//
+// The paper aggregates edge-level features from a pre-trained graph
+// convolutional network into graph-level vectors.  Offline we substitute a
+// deterministic, hand-crafted graph descriptor computed from the distance
+// matrix alone (no coordinates required): distance moments and quantiles,
+// nearest-neighbour structure, minimum-spanning-tree statistics, and cheap
+// construction-heuristic tour lengths.  These capture the "common structure
+// of instances of a problem" that the surrogate conditions on, and ablation
+// bench `bench_ablation_features` quantifies their contribution.
+
+#include <array>
+#include <vector>
+
+#include "problems/tsp/instance.hpp"
+
+namespace qross::surrogate {
+
+/// Number of entries in the feature vector (see extract_features).
+inline constexpr std::size_t kNumTspFeatures = 24;
+
+/// Deterministic graph-level descriptor of a TSP instance.
+/// Layout (indices):
+///   0  num_cities
+///   1  log(num_cities)
+///   2  mean pairwise distance
+///   3  stddev of pairwise distances
+///   4  min positive distance
+///   5  max distance
+///   6  coefficient of variation (std/mean)
+///   7-11  distance quantiles 0.1 / 0.25 / 0.5 / 0.75 / 0.9
+///   12 mean nearest-neighbour distance
+///   13 stddev of nearest-neighbour distances
+///   14 mean second-nearest-neighbour distance
+///   15 MST total length
+///   16 MST mean edge length
+///   17 MST edge-length stddev
+///   18 greedy (nearest-neighbour) tour length
+///   19 2-opt-improved greedy tour length
+///   20 greedy / 2-opt ratio (local-optimality hardness proxy)
+///   21 mean per-city eccentricity (mean distance from each city)
+///   22 stddev of per-city eccentricities (cluster structure indicator)
+///   23 mean-NN / mean-distance ratio (density contrast)
+std::array<double, kNumTspFeatures> extract_features(
+    const tsp::TspInstance& instance);
+
+/// The feature used to anchor energy scales across instances: the 2-opt
+/// greedy tour length (index 19).  Energies are divided by this before
+/// standardisation so the surrogate transfers across instance sizes.
+double scale_anchor(const std::array<double, kNumTspFeatures>& features);
+
+/// Human-readable feature names, aligned with extract_features indices.
+const std::vector<std::string>& feature_names();
+
+}  // namespace qross::surrogate

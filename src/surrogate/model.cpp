@@ -1,0 +1,180 @@
+#include "surrogate/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+
+namespace qross::surrogate {
+
+namespace {
+
+std::vector<std::size_t> layer_sizes(std::size_t inputs, std::size_t hidden,
+                                     std::size_t depth, std::size_t outputs) {
+  std::vector<std::size_t> sizes{inputs};
+  for (std::size_t i = 0; i < depth; ++i) sizes.push_back(hidden);
+  sizes.push_back(outputs);
+  return sizes;
+}
+
+}  // namespace
+
+SolverSurrogate::SolverSurrogate(SurrogateConfig config)
+    : config_(std::move(config)) {
+  QROSS_REQUIRE(config_.hidden_units >= 1, "hidden units must be positive");
+  QROSS_REQUIRE(config_.hidden_layers >= 1, "hidden layers must be positive");
+}
+
+std::pair<nn::TrainHistory, nn::TrainHistory> SolverSurrogate::train(
+    const Dataset& dataset) {
+  QROSS_REQUIRE(dataset.rows.size() >= 8, "dataset too small to train on");
+
+  // Assemble raw input rows [features..., log A] and fit the standardiser.
+  const std::size_t input_dim = kNumTspFeatures + 1;
+  std::vector<std::vector<double>> raw_inputs;
+  raw_inputs.reserve(dataset.rows.size());
+  std::vector<std::vector<double>> raw_energies;
+  raw_energies.reserve(dataset.rows.size());
+  for (const auto& row : dataset.rows) {
+    QROSS_REQUIRE(row.scale_anchor > 0.0, "non-positive scale anchor");
+    std::vector<double> input(row.features.begin(), row.features.end());
+    input.push_back(transform_relaxation(row.relaxation_parameter));
+    raw_inputs.push_back(std::move(input));
+    raw_energies.push_back({row.energy_avg / row.scale_anchor,
+                            row.energy_std / row.scale_anchor});
+  }
+  input_standardizer_.fit(raw_inputs);
+  energy_standardizer_.fit(raw_energies);
+
+  nn::Matrix inputs(dataset.rows.size(), input_dim);
+  nn::Matrix pf_targets(dataset.rows.size(), 1);
+  nn::Matrix energy_targets(dataset.rows.size(), 2);
+  for (std::size_t r = 0; r < dataset.rows.size(); ++r) {
+    const auto standardized = input_standardizer_.transform(raw_inputs[r]);
+    std::copy(standardized.begin(), standardized.end(), inputs.row(r).begin());
+    pf_targets(r, 0) = dataset.rows[r].pf;
+    const auto e = energy_standardizer_.transform(raw_energies[r]);
+    energy_targets(r, 0) = e[0];
+    energy_targets(r, 1) = e[1];
+  }
+
+  pf_net_ = std::make_unique<nn::Mlp>(
+      layer_sizes(input_dim, config_.hidden_units, config_.hidden_layers, 1),
+      nn::Activation::kReLU, derive_seed(config_.seed, 1));
+  energy_net_ = std::make_unique<nn::Mlp>(
+      layer_sizes(input_dim, config_.hidden_units, config_.hidden_layers, 2),
+      nn::Activation::kReLU, derive_seed(config_.seed, 2));
+
+  const nn::BceWithLogitsLoss bce;
+  const nn::HuberLoss huber(config_.huber_delta);
+  auto pf_history = nn::train_mlp(*pf_net_, inputs, pf_targets, bce,
+                                  config_.pf_training);
+  auto energy_history = nn::train_mlp(*energy_net_, inputs, energy_targets,
+                                      huber, config_.energy_training);
+  trained_ = true;
+  return {std::move(pf_history), std::move(energy_history)};
+}
+
+std::pair<nn::TrainHistory, nn::TrainHistory> SolverSurrogate::fine_tune(
+    const Dataset& dataset, std::size_t max_epochs, double learning_rate) {
+  QROSS_REQUIRE(trained_, "fine_tune requires a trained surrogate");
+  QROSS_REQUIRE(dataset.rows.size() >= 2, "dataset too small to adapt on");
+
+  nn::Matrix inputs(dataset.rows.size(), kNumTspFeatures + 1);
+  nn::Matrix pf_targets(dataset.rows.size(), 1);
+  nn::Matrix energy_targets(dataset.rows.size(), 2);
+  for (std::size_t r = 0; r < dataset.rows.size(); ++r) {
+    const auto& row = dataset.rows[r];
+    QROSS_REQUIRE(row.scale_anchor > 0.0, "non-positive scale anchor");
+    const auto standardized =
+        make_input(row.features, row.relaxation_parameter);
+    std::copy(standardized.begin(), standardized.end(), inputs.row(r).begin());
+    pf_targets(r, 0) = row.pf;
+    const auto e = energy_standardizer_.transform(std::vector<double>{
+        row.energy_avg / row.scale_anchor, row.energy_std / row.scale_anchor});
+    energy_targets(r, 0) = e[0];
+    energy_targets(r, 1) = e[1];
+  }
+
+  nn::TrainConfig tune_config;
+  tune_config.max_epochs = max_epochs;
+  tune_config.patience = max_epochs;
+  tune_config.adam.learning_rate = learning_rate;
+  tune_config.validation_fraction =
+      dataset.rows.size() >= 16 ? 0.15 : 0.0;
+  tune_config.seed = derive_seed(config_.seed, 0xF17E);
+
+  const nn::BceWithLogitsLoss bce;
+  const nn::HuberLoss huber(config_.huber_delta);
+  auto pf_history =
+      nn::train_mlp(*pf_net_, inputs, pf_targets, bce, tune_config);
+  auto energy_history =
+      nn::train_mlp(*energy_net_, inputs, energy_targets, huber, tune_config);
+  return {std::move(pf_history), std::move(energy_history)};
+}
+
+std::vector<double> SolverSurrogate::make_input(
+    const std::array<double, kNumTspFeatures>& features, double a) const {
+  std::vector<double> input(features.begin(), features.end());
+  input.push_back(transform_relaxation(a));
+  return input_standardizer_.transform(input);
+}
+
+SurrogatePrediction SolverSurrogate::predict(
+    const std::array<double, kNumTspFeatures>& features, double anchor,
+    double a) const {
+  return predict_sweep(features, anchor, std::array<double, 1>{a}).front();
+}
+
+std::vector<SurrogatePrediction> SolverSurrogate::predict_sweep(
+    const std::array<double, kNumTspFeatures>& features, double anchor,
+    std::span<const double> a_values) const {
+  QROSS_REQUIRE(trained_, "surrogate not trained");
+  QROSS_REQUIRE(anchor > 0.0, "anchor must be positive");
+  nn::Matrix batch(a_values.size(), kNumTspFeatures + 1);
+  for (std::size_t r = 0; r < a_values.size(); ++r) {
+    const auto input = make_input(features, a_values[r]);
+    std::copy(input.begin(), input.end(), batch.row(r).begin());
+  }
+  const nn::Matrix pf_logits = pf_net_->predict(batch);
+  const nn::Matrix energies = energy_net_->predict(batch);
+  std::vector<SurrogatePrediction> out(a_values.size());
+  for (std::size_t r = 0; r < a_values.size(); ++r) {
+    out[r].pf = nn::sigmoid(pf_logits(r, 0));
+    const double eavg =
+        energy_standardizer_.inverse_dim(0, energies(r, 0)) * anchor;
+    const double estd =
+        energy_standardizer_.inverse_dim(1, energies(r, 1)) * anchor;
+    out[r].energy_avg = eavg;
+    out[r].energy_std = std::max(estd, 1e-9 * anchor);
+  }
+  return out;
+}
+
+void SolverSurrogate::save(std::ostream& os) const {
+  QROSS_REQUIRE(trained_, "cannot save untrained surrogate");
+  os << "solver_surrogate_v1\n";
+  input_standardizer_.save(os);
+  energy_standardizer_.save(os);
+  pf_net_->save(os);
+  energy_net_->save(os);
+}
+
+SolverSurrogate SolverSurrogate::load(std::istream& is) {
+  std::string magic;
+  QROSS_REQUIRE(static_cast<bool>(is >> magic) && magic == "solver_surrogate_v1",
+                "bad surrogate header");
+  SolverSurrogate surrogate;
+  surrogate.input_standardizer_ = Standardizer::load(is);
+  surrogate.energy_standardizer_ = Standardizer::load(is);
+  surrogate.pf_net_ = std::make_unique<nn::Mlp>(nn::Mlp::load(is));
+  surrogate.energy_net_ = std::make_unique<nn::Mlp>(nn::Mlp::load(is));
+  surrogate.trained_ = true;
+  return surrogate;
+}
+
+}  // namespace qross::surrogate

@@ -1,0 +1,93 @@
+#include "surrogate/normalizer.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+
+namespace qross::surrogate {
+
+void Standardizer::fit(const std::vector<std::vector<double>>& rows) {
+  QROSS_REQUIRE(!rows.empty(), "cannot fit standardizer on empty data");
+  const std::size_t dim = rows.front().size();
+  QROSS_REQUIRE(dim >= 1, "rows must be non-empty");
+  std::vector<RunningStats> stats(dim);
+  for (const auto& row : rows) {
+    QROSS_REQUIRE(row.size() == dim, "ragged rows");
+    for (std::size_t c = 0; c < dim; ++c) stats[c].add(row[c]);
+  }
+  means_.resize(dim);
+  stds_.resize(dim);
+  for (std::size_t c = 0; c < dim; ++c) {
+    means_[c] = stats[c].mean();
+    const double s = stats[c].stddev();
+    stds_[c] = s > 1e-12 ? s : 1.0;
+  }
+}
+
+std::vector<double> Standardizer::transform(std::span<const double> row) const {
+  QROSS_REQUIRE(is_fitted(), "standardizer not fitted");
+  QROSS_REQUIRE(row.size() == means_.size(), "dimension mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - means_[c]) / stds_[c];
+  }
+  return out;
+}
+
+std::vector<double> Standardizer::inverse(std::span<const double> row) const {
+  QROSS_REQUIRE(is_fitted(), "standardizer not fitted");
+  QROSS_REQUIRE(row.size() == means_.size(), "dimension mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = row[c] * stds_[c] + means_[c];
+  }
+  return out;
+}
+
+double Standardizer::transform_dim(std::size_t dim, double value) const {
+  QROSS_REQUIRE(dim < means_.size(), "dimension out of range");
+  return (value - means_[dim]) / stds_[dim];
+}
+
+double Standardizer::inverse_dim(std::size_t dim, double value) const {
+  QROSS_REQUIRE(dim < means_.size(), "dimension out of range");
+  return value * stds_[dim] + means_[dim];
+}
+
+void Standardizer::save(std::ostream& os) const {
+  os << "standardizer " << means_.size() << "\n";
+  os.precision(17);
+  for (double m : means_) os << m << ' ';
+  os << "\n";
+  for (double s : stds_) os << s << ' ';
+  os << "\n";
+}
+
+Standardizer Standardizer::load(std::istream& is) {
+  std::string magic;
+  std::size_t dim = 0;
+  QROSS_REQUIRE(static_cast<bool>(is >> magic >> dim) && magic == "standardizer",
+                "bad standardizer header");
+  Standardizer s;
+  s.means_.resize(dim);
+  s.stds_.resize(dim);
+  for (double& m : s.means_) {
+    QROSS_REQUIRE(static_cast<bool>(is >> m), "bad standardizer means");
+  }
+  for (double& sd : s.stds_) {
+    QROSS_REQUIRE(static_cast<bool>(is >> sd), "bad standardizer stds");
+  }
+  return s;
+}
+
+double transform_relaxation(double a) {
+  QROSS_REQUIRE(a > 0.0, "relaxation parameter must be positive");
+  return std::log(a);
+}
+
+double inverse_transform_relaxation(double t) { return std::exp(t); }
+
+}  // namespace qross::surrogate

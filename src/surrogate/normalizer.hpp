@@ -1,0 +1,50 @@
+#pragma once
+
+// Input/target normalisation (paper §3.3 "Data Preparation"): per-dimension
+// standardisation of features, log transform of the relaxation parameter,
+// and scale-anchored energy normalisation, all fit on the training split
+// only and serialisable alongside the model.
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace qross::surrogate {
+
+/// Per-dimension z-score standardiser: x' = (x - mean) / std.
+class Standardizer {
+ public:
+  Standardizer() = default;
+
+  /// Fits mean/std per column; rows = samples.  Constant columns get
+  /// std == 1 so they pass through centred.
+  void fit(const std::vector<std::vector<double>>& rows);
+
+  bool is_fitted() const { return !means_.empty(); }
+  std::size_t dim() const { return means_.size(); }
+
+  std::vector<double> transform(std::span<const double> row) const;
+  std::vector<double> inverse(std::span<const double> row) const;
+
+  /// Single-dimension helpers (for scalar targets).
+  double transform_dim(std::size_t dim, double value) const;
+  double inverse_dim(std::size_t dim, double value) const;
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stds() const { return stds_; }
+
+  void save(std::ostream& os) const;
+  static Standardizer load(std::istream& is);
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+/// The relaxation parameter transform used for the surrogate input:
+/// a = log(A) (paper: "shifting or scaling moves A of different problems to
+/// the same order of magnitude").  A must be positive.
+double transform_relaxation(double a);
+double inverse_transform_relaxation(double t);
+
+}  // namespace qross::surrogate

@@ -1,0 +1,54 @@
+#include "surrogate/pipeline.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "problems/tsp/formulation.hpp"
+
+namespace qross::surrogate {
+
+namespace {
+
+tsp::TspInstance scale_instance(const tsp::TspInstance& instance,
+                                double factor) {
+  const std::size_t n = instance.num_cities();
+  std::vector<double> scaled(n * n, 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u != v) scaled[u * n + v] = instance.distance(u, v) * factor;
+    }
+  }
+  return tsp::TspInstance(instance.name() + "_scaled", n, std::move(scaled));
+}
+
+}  // namespace
+
+PreparedTspInstance::PreparedTspInstance(const tsp::TspInstance& original,
+                                         double target_mean_distance)
+    : original_(original),
+      mvodm_(tsp::mvodm_preprocess(original)),
+      prepared_(mvodm_.shifted) {
+  QROSS_REQUIRE(target_mean_distance > 0.0, "target mean must be positive");
+  for (double p : mvodm_.pi) pi_sum_ += p;
+  const double mean = mvodm_.shifted.mean_distance();
+  scale_ = mean > 0.0 ? target_mean_distance / mean : 1.0;
+  prepared_ = scale_instance(mvodm_.shifted, scale_);
+  problem_ = std::make_shared<const qubo::ConstrainedProblem>(
+      tsp::build_tsp_problem(prepared_));
+}
+
+double PreparedTspInstance::to_original_length(double prepared_length) const {
+  const double shifted_length = prepared_length / scale_;
+  return mvodm_.to_original_length(shifted_length, original_.num_cities(),
+                                   pi_sum_);
+}
+
+double PreparedTspInstance::original_tour_length(
+    std::span<const std::uint8_t> assignment) const {
+  const auto tour = tsp::decode_tour(prepared_, assignment);
+  if (!tour.has_value()) return std::numeric_limits<double>::infinity();
+  return original_.tour_length(*tour);
+}
+
+}  // namespace qross::surrogate

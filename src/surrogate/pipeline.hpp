@@ -1,0 +1,61 @@
+#pragma once
+
+// TSP instance preparation pipeline (paper §3.3 + appendix E).
+//
+// Before an instance reaches the QUBO builder it is
+//   1. MVODM-shifted (variance-minimised distance matrix, tour-invariant),
+//   2. rescaled so its mean off-diagonal distance hits a common target —
+//      this moves every instance's useful relaxation-parameter range onto
+//      the same order of magnitude, which is what lets one surrogate (and
+//      the paper's fixed A in [1, 100] search box) serve all instances.
+//
+// Fitness values measured on the prepared instance map back to the original
+// metric via `to_original_length`, and decoded tours are re-scored on the
+// original matrix (appendix E post-processing).
+
+#include <memory>
+
+#include "problems/tsp/instance.hpp"
+#include "problems/tsp/preprocess.hpp"
+#include "qubo/builder.hpp"
+
+namespace qross::surrogate {
+
+/// Mean off-diagonal distance every prepared instance is scaled to.  25
+/// places the feasibility transition of the scaled-down instances well
+/// inside the paper's A-in-[1, 100] search box (calibrated with
+/// bench_fig1_landscape).
+inline constexpr double kTargetMeanDistance = 25.0;
+
+class PreparedTspInstance {
+ public:
+  explicit PreparedTspInstance(const tsp::TspInstance& original,
+                               double target_mean_distance = kTargetMeanDistance);
+
+  const tsp::TspInstance& original() const { return original_; }
+  const tsp::TspInstance& prepared() const { return prepared_; }
+
+  /// The constrained problem built from the prepared instance.
+  const qubo::ConstrainedProblem& problem() const { return *problem_; }
+
+  /// Maps a tour length in prepared units back to the original metric.
+  double to_original_length(double prepared_length) const;
+
+  /// Re-scores a decoded assignment's tour on the *original* matrix
+  /// (appendix E); returns +inf if the assignment is infeasible.
+  double original_tour_length(std::span<const std::uint8_t> assignment) const;
+
+  double scale_factor() const { return scale_; }
+  double pi_sum() const { return pi_sum_; }
+  const tsp::MvodmResult& mvodm() const { return mvodm_; }
+
+ private:
+  tsp::TspInstance original_;
+  tsp::MvodmResult mvodm_;
+  double scale_ = 1.0;
+  double pi_sum_ = 0.0;
+  tsp::TspInstance prepared_;
+  std::shared_ptr<const qubo::ConstrainedProblem> problem_;
+};
+
+}  // namespace qross::surrogate

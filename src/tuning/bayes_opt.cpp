@@ -1,0 +1,70 @@
+#include "tuning/bayes_opt.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace qross::tuning {
+
+BayesOptTuner::BayesOptTuner(double lo, double hi, std::uint64_t seed)
+    : BayesOptTuner(lo, hi, BayesOptConfig{}, seed) {}
+
+BayesOptTuner::BayesOptTuner(double lo, double hi, BayesOptConfig config,
+                             std::uint64_t seed)
+    : lo_(lo), hi_(hi), config_(config), rng_(seed), gp_(config.gp) {
+  QROSS_REQUIRE(lo_ < hi_, "invalid search interval");
+  QROSS_REQUIRE(config_.acquisition_grid >= 8, "grid too coarse");
+}
+
+void BayesOptTuner::refit() {
+  if (!gp_dirty_ || history_.empty()) return;
+  std::vector<double> xs, ys;
+  xs.reserve(history_.size());
+  ys.reserve(history_.size());
+  for (const auto& obs : history_) {
+    xs.push_back(obs.x);
+    ys.push_back(obs.value);
+  }
+  gp_.fit(std::move(xs), std::move(ys));
+  gp_dirty_ = false;
+}
+
+double BayesOptTuner::propose() {
+  if (history_.size() < config_.warmup_trials) {
+    return rng_.uniform(lo_, hi_);
+  }
+  refit();
+  double best_value = std::numeric_limits<double>::infinity();
+  for (const auto& obs : history_) best_value = std::min(best_value, obs.value);
+
+  double best_x = 0.5 * (lo_ + hi_);
+  double best_ei = -1.0;
+  for (std::size_t i = 0; i < config_.acquisition_grid; ++i) {
+    // Jittered grid avoids repeatedly proposing identical points on flat
+    // acquisition surfaces.
+    const double t = (static_cast<double>(i) + rng_.uniform()) /
+                     static_cast<double>(config_.acquisition_grid);
+    const double x = lo_ + t * (hi_ - lo_);
+    const auto post = gp_.predict(x);
+    const double ei = expected_improvement(post.mean, post.stddev, best_value,
+                                           config_.exploration_xi);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_x = x;
+    }
+  }
+  return best_x;
+}
+
+void BayesOptTuner::observe(const TunerObservation& observation) {
+  record(observation);
+  gp_dirty_ = true;
+}
+
+GaussianProcess::Posterior BayesOptTuner::posterior(double x) const {
+  QROSS_REQUIRE(gp_.is_fitted(), "GP not fitted yet");
+  return gp_.predict(x);
+}
+
+}  // namespace qross::tuning

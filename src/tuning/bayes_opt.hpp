@@ -1,0 +1,44 @@
+#pragma once
+
+// GP-based Bayesian Optimisation baseline (paper §5.1): 5 uniform warm-up
+// samples ("BO requires some random samples before the actual exploration
+// and exploitation ... we draw 5 random samples"), then maximise expected
+// improvement over a dense candidate grid.
+
+#include "common/rng.hpp"
+#include "tuning/gp.hpp"
+#include "tuning/tuner.hpp"
+
+namespace qross::tuning {
+
+struct BayesOptConfig {
+  std::size_t warmup_trials = 5;
+  std::size_t acquisition_grid = 256;
+  double exploration_xi = 0.01;
+  GpConfig gp;
+};
+
+class BayesOptTuner final : public Tuner {
+ public:
+  BayesOptTuner(double lo, double hi, std::uint64_t seed);
+  BayesOptTuner(double lo, double hi, BayesOptConfig config,
+                std::uint64_t seed);
+
+  std::string name() const override { return "bo"; }
+  double propose() override;
+  void observe(const TunerObservation& observation) override;
+
+  /// Posterior at x after the latest fit (exposed for tests).
+  GaussianProcess::Posterior posterior(double x) const;
+
+ private:
+  double lo_;
+  double hi_;
+  BayesOptConfig config_;
+  Rng rng_;
+  GaussianProcess gp_;
+  bool gp_dirty_ = true;
+  void refit();
+};
+
+}  // namespace qross::tuning

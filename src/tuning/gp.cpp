@@ -1,0 +1,125 @@
+#include "tuning/gp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/gaussian.hpp"
+#include "common/stats.hpp"
+
+namespace qross::tuning {
+
+GaussianProcess::GaussianProcess(GpConfig config) : config_(config) {}
+
+double GaussianProcess::kernel(double a, double b) const {
+  const double d = (a - b) / length_scale_;
+  return signal_variance_ * std::exp(-0.5 * d * d);
+}
+
+void GaussianProcess::fit(std::vector<double> xs, std::vector<double> ys) {
+  QROSS_REQUIRE(xs.size() == ys.size(), "x/y length mismatch");
+  QROSS_REQUIRE(!xs.empty(), "GP needs at least one point");
+  xs_ = std::move(xs);
+  ys_ = std::move(ys);
+  const std::size_t n = xs_.size();
+
+  y_mean_ = mean(ys_);
+  const double y_std = std::max(stddev(ys_), 1e-9);
+  signal_variance_ = y_std * y_std;
+  noise_ = std::max(config_.noise_fraction * y_std, 1e-9);
+
+  // Length scale: configured fraction of the span, or the median pairwise
+  // gap heuristic.
+  const auto [xmin_it, xmax_it] = std::minmax_element(xs_.begin(), xs_.end());
+  const double span = std::max(*xmax_it - *xmin_it, 1e-9);
+  if (config_.length_scale_fraction > 0.0) {
+    length_scale_ = config_.length_scale_fraction * span;
+  } else if (n >= 2) {
+    std::vector<double> gaps;
+    std::vector<double> sorted = xs_;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 1; i < n; ++i) {
+      const double gap = sorted[i] - sorted[i - 1];
+      if (gap > 0.0) gaps.push_back(gap);
+    }
+    length_scale_ =
+        gaps.empty() ? 0.2 * span : std::max(2.0 * quantile(gaps, 0.5), 0.05 * span);
+  } else {
+    length_scale_ = 0.2 * span;
+  }
+
+  // K + noise^2 I, Cholesky-factorised in place.
+  chol_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double k = kernel(xs_[i], xs_[j]);
+      if (i == j) k += noise_ * noise_ + config_.jitter * signal_variance_;
+      chol_[i * n + j] = k;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = chol_[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= chol_[i * n + k] * chol_[j * n + k];
+      }
+      if (i == j) {
+        QROSS_ASSERT_MSG(sum > 0.0, "kernel matrix not positive definite");
+        chol_[i * n + j] = std::sqrt(sum);
+      } else {
+        chol_[i * n + j] = sum / chol_[j * n + j];
+      }
+    }
+  }
+
+  // alpha = K^{-1} (y - mean) via two triangular solves.
+  std::vector<double> centered(n);
+  for (std::size_t i = 0; i < n; ++i) centered[i] = ys_[i] - y_mean_;
+  // L z = centered
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = centered[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= chol_[i * n + k] * z[k];
+    z[i] = sum / chol_[i * n + i];
+  }
+  // L^T alpha = z
+  alpha_.assign(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = z[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= chol_[k * n + i] * alpha_[k];
+    alpha_[i] = sum / chol_[i * n + i];
+  }
+}
+
+GaussianProcess::Posterior GaussianProcess::predict(double x) const {
+  QROSS_REQUIRE(is_fitted(), "GP not fitted");
+  const std::size_t n = xs_.size();
+  std::vector<double> kstar(n);
+  for (std::size_t i = 0; i < n; ++i) kstar[i] = kernel(x, xs_[i]);
+
+  Posterior post;
+  post.mean = y_mean_;
+  for (std::size_t i = 0; i < n; ++i) post.mean += kstar[i] * alpha_[i];
+
+  // v = L^{-1} kstar; variance = k(x,x) - v.v
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = kstar[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= chol_[i * n + k] * v[k];
+    v[i] = sum / chol_[i * n + i];
+  }
+  double variance = kernel(x, x);
+  for (std::size_t i = 0; i < n; ++i) variance -= v[i] * v[i];
+  post.stddev = std::sqrt(std::max(variance, 0.0));
+  return post;
+}
+
+double expected_improvement(double mean, double stddev, double best_value,
+                            double xi) {
+  const double improvement = best_value - mean - xi;
+  if (stddev <= 1e-12) return std::max(improvement, 0.0);
+  const double z = improvement / stddev;
+  return improvement * normal_cdf(z) + stddev * normal_pdf(z);
+}
+
+}  // namespace qross::tuning

@@ -1,0 +1,62 @@
+#pragma once
+
+// One-dimensional Gaussian-process regression with an RBF kernel, the model
+// inside the Bayesian-optimisation baseline.  Exact inference via Cholesky;
+// hyper-parameters (signal variance, length scale, noise) are set by simple
+// data-driven heuristics refreshed at each fit, which is robust for the
+// few-dozen-point regimes these experiments run in.
+
+#include <cstddef>
+#include <vector>
+
+namespace qross::tuning {
+
+struct GpConfig {
+  /// Length scale as a fraction of the input span; <= 0 means heuristic
+  /// (median pairwise distance).
+  double length_scale_fraction = -1.0;
+  /// Observation noise stddev as a fraction of the output stddev.
+  double noise_fraction = 0.1;
+  /// Jitter added to the kernel diagonal for numerical stability.
+  double jitter = 1e-10;
+};
+
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(GpConfig config = {});
+
+  /// Fits the posterior to (xs, ys).  Requires at least one point.
+  void fit(std::vector<double> xs, std::vector<double> ys);
+
+  bool is_fitted() const { return !xs_.empty(); }
+  std::size_t num_points() const { return xs_.size(); }
+
+  struct Posterior {
+    double mean = 0.0;
+    double stddev = 0.0;
+  };
+  Posterior predict(double x) const;
+
+  double length_scale() const { return length_scale_; }
+  double noise_stddev() const { return noise_; }
+
+ private:
+  double kernel(double a, double b) const;
+
+  GpConfig config_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  double y_mean_ = 0.0;
+  double signal_variance_ = 1.0;
+  double length_scale_ = 1.0;
+  double noise_ = 0.1;
+  std::vector<double> chol_;   // lower-triangular Cholesky factor, row-major
+  std::vector<double> alpha_;  // K^{-1} (y - mean)
+};
+
+/// Expected improvement (minimisation) of a Gaussian posterior over the
+/// current best value.  xi is the exploration margin.
+double expected_improvement(double mean, double stddev, double best_value,
+                            double xi = 0.01);
+
+}  // namespace qross::tuning

@@ -1,0 +1,24 @@
+#include "tuning/random_search.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace qross::tuning {
+
+double finite_objective(double min_fitness, double infeasible_value) {
+  return std::isfinite(min_fitness) ? min_fitness : infeasible_value;
+}
+
+RandomSearch::RandomSearch(double lo, double hi, std::uint64_t seed)
+    : lo_(lo), hi_(hi), rng_(seed) {
+  QROSS_REQUIRE(lo_ < hi_, "invalid search interval");
+}
+
+double RandomSearch::propose() { return rng_.uniform(lo_, hi_); }
+
+void RandomSearch::observe(const TunerObservation& observation) {
+  record(observation);
+}
+
+}  // namespace qross::tuning

@@ -1,0 +1,25 @@
+#pragma once
+
+// Uniform random search over [lo, hi] — the paper's exhaustive-method
+// representative.
+
+#include "common/rng.hpp"
+#include "tuning/tuner.hpp"
+
+namespace qross::tuning {
+
+class RandomSearch final : public Tuner {
+ public:
+  RandomSearch(double lo, double hi, std::uint64_t seed);
+
+  std::string name() const override { return "random"; }
+  double propose() override;
+  void observe(const TunerObservation& observation) override;
+
+ private:
+  double lo_;
+  double hi_;
+  Rng rng_;
+};
+
+}  // namespace qross::tuning

@@ -1,0 +1,103 @@
+#include "tuning/tpe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/gaussian.hpp"
+
+namespace qross::tuning {
+
+TpeTuner::TpeTuner(double lo, double hi, std::uint64_t seed)
+    : TpeTuner(lo, hi, TpeConfig{}, seed) {}
+
+TpeTuner::TpeTuner(double lo, double hi, TpeConfig config, std::uint64_t seed)
+    : lo_(lo), hi_(hi), config_(config), rng_(seed) {
+  QROSS_REQUIRE(lo_ < hi_, "invalid search interval");
+  QROSS_REQUIRE(config_.gamma > 0.0 && config_.gamma < 1.0, "gamma in (0,1)");
+  QROSS_REQUIRE(config_.candidates >= 1, "need at least one candidate");
+}
+
+double TpeTuner::Parzen::density(double x) const {
+  // Mixture of per-point Gaussians plus a uniform prior component; the
+  // prior keeps densities positive everywhere so the l/g ratio is defined.
+  const double span = hi - lo;
+  double total = 1.0 / span;  // prior weight
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double z = (x - points[i]) / bandwidths[i];
+    total += normal_pdf(z) / bandwidths[i];
+  }
+  return total / (static_cast<double>(points.size()) + 1.0);
+}
+
+double TpeTuner::Parzen::sample(Rng& rng) const {
+  const std::size_t components = points.size() + 1;
+  const auto pick = static_cast<std::size_t>(rng.uniform_int(components));
+  if (pick == points.size()) {
+    return rng.uniform(lo, hi);  // prior component
+  }
+  const double x = rng.normal(points[pick], bandwidths[pick]);
+  return std::clamp(x, lo, hi);
+}
+
+TpeTuner::Parzen TpeTuner::build_parzen(
+    const std::vector<double>& points) const {
+  Parzen parzen;
+  parzen.lo = lo_;
+  parzen.hi = hi_;
+  parzen.points = points;
+  std::vector<double> sorted = points;
+  std::sort(sorted.begin(), sorted.end());
+  const double min_bw = config_.min_bandwidth_fraction * (hi_ - lo_);
+  parzen.bandwidths.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    // Hyperopt-style adaptive bandwidth: distance to nearest neighbours.
+    const auto it = std::lower_bound(sorted.begin(), sorted.end(), points[i]);
+    const std::size_t idx = static_cast<std::size_t>(it - sorted.begin());
+    double left = idx > 0 ? points[i] - sorted[idx - 1] : hi_ - lo_;
+    double right = idx + 1 < sorted.size() ? sorted[idx + 1] - points[i]
+                                           : hi_ - lo_;
+    parzen.bandwidths[i] = std::clamp(std::max(left, right), min_bw, hi_ - lo_);
+  }
+  return parzen;
+}
+
+double TpeTuner::propose() {
+  if (history_.size() < config_.startup_trials) {
+    return rng_.uniform(lo_, hi_);
+  }
+  // Split history into good (lowest gamma-quantile) and bad.
+  std::vector<TunerObservation> sorted = history_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TunerObservation& a, const TunerObservation& b) {
+              return a.value < b.value;
+            });
+  const std::size_t num_good = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::ceil(
+          config_.gamma * static_cast<double>(sorted.size()))),
+      1, sorted.size() - 1);
+  std::vector<double> good, bad;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    (i < num_good ? good : bad).push_back(sorted[i].x);
+  }
+  const Parzen l = build_parzen(good);
+  const Parzen g = build_parzen(bad);
+
+  double best_x = 0.5 * (lo_ + hi_);
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < config_.candidates; ++c) {
+    const double x = l.sample(rng_);
+    const double score = std::log(l.density(x)) - std::log(g.density(x));
+    if (score > best_score) {
+      best_score = score;
+      best_x = x;
+    }
+  }
+  return best_x;
+}
+
+void TpeTuner::observe(const TunerObservation& observation) {
+  record(observation);
+}
+
+}  // namespace qross::tuning

@@ -1,0 +1,58 @@
+#pragma once
+
+// Tree-structured Parzen Estimator (Bergstra et al. 2011; the algorithm
+// behind Hyperopt, the paper's "TPE" baseline), one-dimensional continuous
+// variant.
+//
+// The history is split by objective value into a "good" quantile (fraction
+// gamma) and the rest.  Each side gets a Parzen (Gaussian-kernel) density —
+// l(x) over good points, g(x) over the rest — and the next proposal is the
+// candidate drawn from l with the best l(x)/g(x) ratio, i.e. the point most
+// associated with good outcomes and least with bad ones.
+
+#include "common/rng.hpp"
+#include "tuning/tuner.hpp"
+
+namespace qross::tuning {
+
+struct TpeConfig {
+  /// Fraction of history treated as "good".
+  double gamma = 0.25;
+  /// Random startup trials before the model kicks in.
+  std::size_t startup_trials = 5;
+  /// Candidates drawn from l(x) per proposal.
+  std::size_t candidates = 24;
+  /// Kernel bandwidth floor as a fraction of the search span.
+  double min_bandwidth_fraction = 0.01;
+};
+
+class TpeTuner final : public Tuner {
+ public:
+  TpeTuner(double lo, double hi, std::uint64_t seed);
+  TpeTuner(double lo, double hi, TpeConfig config, std::uint64_t seed);
+
+  std::string name() const override { return "tpe"; }
+  double propose() override;
+  void observe(const TunerObservation& observation) override;
+
+ private:
+  /// Parzen mixture over `points` with per-point bandwidths; uniform prior
+  /// component over [lo, hi] regularises empty/degenerate sides.
+  struct Parzen {
+    std::vector<double> points;
+    std::vector<double> bandwidths;
+    double lo = 0.0, hi = 1.0;
+
+    double density(double x) const;
+    double sample(Rng& rng) const;
+  };
+
+  Parzen build_parzen(const std::vector<double>& points) const;
+
+  double lo_;
+  double hi_;
+  TpeConfig config_;
+  Rng rng_;
+};
+
+}  // namespace qross::tuning

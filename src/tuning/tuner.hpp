@@ -1,0 +1,47 @@
+#pragma once
+
+// Baseline hyper-parameter tuners (paper §5.1): Random Search, TPE, and
+// GP-based Bayesian Optimisation, all minimising a black-box f(A) over a
+// fixed interval.  They see exactly what the paper's baselines see — the
+// solver result at each tried A — and no surrogate knowledge.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace qross::tuning {
+
+/// One completed trial.
+struct TunerObservation {
+  double x = 0.0;      ///< tried relaxation parameter
+  double value = 0.0;  ///< objective (lower is better); finite
+};
+
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+  virtual std::string name() const = 0;
+
+  /// Next point to try, in [lo, hi].
+  virtual double propose() = 0;
+
+  /// Feedback for the most recent (or any) proposal.
+  virtual void observe(const TunerObservation& observation) = 0;
+
+  const std::vector<TunerObservation>& history() const { return history_; }
+
+ protected:
+  void record(const TunerObservation& observation) {
+    history_.push_back(observation);
+  }
+
+  std::vector<TunerObservation> history_;
+};
+
+/// Maps a possibly-infeasible solver result to the finite objective the
+/// baselines minimise: the batch's best feasible fitness, or a fixed bad
+/// value (`infeasible_value`) when the batch had no feasible solution.
+double finite_objective(double min_fitness, double infeasible_value);
+
+}  // namespace qross::tuning

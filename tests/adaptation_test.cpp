@@ -1,0 +1,109 @@
+// Tests for the surrogate adaptation path (paper abstract: "with simple
+// adaptation methods, QROSS is shown to generalise well to
+// out-of-distribution datasets"): fine_tune() on fresh observations from a
+// drifted solver response must move predictions toward the new truth.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "problems/tsp/generators.hpp"
+#include "surrogate/dataset.hpp"
+#include "surrogate/model.hpp"
+#include "surrogate/pipeline.hpp"
+
+namespace qross::surrogate {
+namespace {
+
+/// Analytic sigmoid world with an adjustable midpoint (in log A).
+Dataset analytic_dataset(double mid_shift, std::size_t instances,
+                         std::size_t points, std::uint64_t seed) {
+  Dataset dataset;
+  Rng rng(seed);
+  for (std::size_t id = 0; id < instances; ++id) {
+    const auto inst = tsp::generate_uniform(6 + id % 4, derive_seed(seed, id));
+    const PreparedTspInstance prepared(inst);
+    const auto features = extract_features(prepared.prepared());
+    const double anchor = scale_anchor(features);
+    const double mid = std::log(20.0) + mid_shift;
+    for (std::size_t k = 0; k < points; ++k) {
+      const double a = std::exp(rng.uniform(std::log(2.0), std::log(200.0)));
+      DatasetRow row;
+      row.instance_id = id;
+      row.features = features;
+      row.scale_anchor = anchor;
+      row.relaxation_parameter = a;
+      row.pf = 1.0 / (1.0 + std::exp(-3.0 * (std::log(a) - mid)));
+      row.energy_avg = anchor * (1.0 + 0.1 * std::log(a));
+      row.energy_std = anchor * 0.05;
+      dataset.rows.push_back(row);
+    }
+  }
+  return dataset;
+}
+
+double pf_error_against(const SolverSurrogate& surrogate, double mid_shift,
+                        std::uint64_t seed) {
+  const auto inst = tsp::generate_uniform(7, seed);
+  const PreparedTspInstance prepared(inst);
+  const auto features = extract_features(prepared.prepared());
+  const double anchor = scale_anchor(features);
+  const double mid = std::log(20.0) + mid_shift;
+  double error = 0.0;
+  int count = 0;
+  for (double a : {5.0, 12.0, 20.0, 35.0, 70.0, 140.0}) {
+    const auto pred = surrogate.predict(features, anchor, a);
+    const double truth = 1.0 / (1.0 + std::exp(-3.0 * (std::log(a) - mid)));
+    error += std::abs(pred.pf - truth);
+    ++count;
+  }
+  return error / count;
+}
+
+TEST(Adaptation, FineTuneTracksDriftedResponse) {
+  // Train on the original response (midpoint log 20).
+  SolverSurrogate surrogate;
+  surrogate.train(analytic_dataset(0.0, 10, 24, 5));
+
+  // The solver's behaviour drifts: transition moves right by ~0.7 nats.
+  const double drift = 0.7;
+  const double before = pf_error_against(surrogate, drift, 4242);
+
+  // Adapt on a modest batch of fresh observations from the drifted world.
+  surrogate.fine_tune(analytic_dataset(drift, 6, 16, 6), 400, 3e-3);
+  const double after = pf_error_against(surrogate, drift, 4242);
+
+  EXPECT_LT(after, before * 0.6)
+      << "fine-tuning failed to track the drifted response (before=" << before
+      << ", after=" << after << ")";
+  EXPECT_LT(after, 0.15);
+}
+
+TEST(Adaptation, FineTuneKeepsPredictionsValid) {
+  SolverSurrogate surrogate;
+  const auto dataset = analytic_dataset(0.0, 6, 16, 7);
+  surrogate.train(dataset);
+  surrogate.fine_tune(dataset, 50, 1e-3);
+  const auto& row = dataset.rows.front();
+  for (double a : {1.0, 30.0, 500.0}) {
+    const auto pred = surrogate.predict(row.features, row.scale_anchor, a);
+    EXPECT_GE(pred.pf, 0.0);
+    EXPECT_LE(pred.pf, 1.0);
+    EXPECT_GT(pred.energy_std, 0.0);
+  }
+}
+
+TEST(Adaptation, FineTuneGuards) {
+  SolverSurrogate untrained;
+  EXPECT_THROW(untrained.fine_tune(analytic_dataset(0.0, 2, 4, 8)),
+               std::invalid_argument);
+  SolverSurrogate surrogate;
+  surrogate.train(analytic_dataset(0.0, 6, 16, 9));
+  Dataset tiny;
+  tiny.rows.resize(1);
+  EXPECT_THROW(surrogate.fine_tune(tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qross::surrogate

@@ -1,0 +1,198 @@
+// Tests for the capacitated allocation module and the slack-variable
+// inequality expansion it exercises.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "problems/allocation/allocation.hpp"
+#include "qubo/builder.hpp"
+#include "solvers/batch_runner.hpp"
+#include "solvers/simulated_annealer.hpp"
+
+namespace qross::allocation {
+namespace {
+
+AllocationInstance tiny() {
+  // 3 tasks, 2 machines.  Loads {2, 3, 4}; capacities {5, 5} force a split.
+  return AllocationInstance("tiny", 3, 2,
+                            {1, 4,    // task 0: cheap on machine 0
+                             5, 2,    // task 1: cheap on machine 1
+                             3, 3},   // task 2: indifferent
+                            {2, 3, 4}, {5, 5});
+}
+
+TEST(Allocation, CostAndLoadAccounting) {
+  const AllocationInstance inst = tiny();
+  const Assignment a{0, 1, 0};  // machine 0 gets tasks 0 and 2
+  EXPECT_DOUBLE_EQ(inst.total_cost(a), 1 + 2 + 3);
+  EXPECT_DOUBLE_EQ(inst.machine_load(a, 0), 6.0);
+  EXPECT_DOUBLE_EQ(inst.machine_load(a, 1), 3.0);
+  EXPECT_FALSE(inst.respects_capacities(a));  // 6 > 5
+  // The only feasible splits pair tasks {0, 1} against task {2}.
+  EXPECT_TRUE(inst.respects_capacities(Assignment{0, 0, 1}));
+  EXPECT_TRUE(inst.respects_capacities(Assignment{1, 1, 0}));
+  EXPECT_FALSE(inst.respects_capacities(Assignment{0, 1, 1}));  // 3+4 > 5
+}
+
+TEST(Allocation, ValidationRejectsBadInput) {
+  EXPECT_THROW(AllocationInstance("x", 2, 2, {1, 2, 3}, {1, 1}, {2, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      AllocationInstance("x", 1, 1, {-1}, {1}, {2}),
+      std::invalid_argument);
+  const AllocationInstance inst = tiny();
+  EXPECT_THROW(inst.total_cost(Assignment{0, 1, 5}), std::invalid_argument);
+}
+
+// --- slack-variable inequality expansion (qubo::ConstrainedProblem) -----------
+
+TEST(Inequality, SlackMakesSatisfiedInequalitiesFeasible) {
+  // x0 + 2 x1 + 3 x2 <= 3 over binary x.
+  qubo::ConstrainedProblem problem(3);
+  qubo::LinearInequality ineq;
+  ineq.vars = {0, 1, 2};
+  ineq.coeffs = {1.0, 2.0, 3.0};
+  ineq.rhs = 3.0;
+  const auto slack = problem.add_inequality_constraint(ineq);
+  ASSERT_EQ(slack.size(), 2u);  // range 3 -> 2 bits cover {0..3}
+  EXPECT_EQ(problem.num_vars(), 5u);
+
+  // Every binary assignment of (x0, x1, x2): feasibility of the QUBO
+  // (with the best slack choice) must equal satisfaction of the inequality.
+  for (std::size_t mask = 0; mask < 8; ++mask) {
+    std::vector<std::uint8_t> x(5, 0);
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      x[i] = (mask >> i) & 1;
+      lhs += x[i] * ineq.coeffs[i];
+    }
+    bool some_slack_feasible = false;
+    for (std::size_t s = 0; s < 4; ++s) {
+      x[3] = s & 1;
+      x[4] = (s >> 1) & 1;
+      if (problem.is_feasible(x)) some_slack_feasible = true;
+    }
+    EXPECT_EQ(some_slack_feasible, lhs <= ineq.rhs) << "mask " << mask;
+  }
+}
+
+TEST(Inequality, GranularityControlsBitCount) {
+  qubo::ConstrainedProblem problem(2);
+  qubo::LinearInequality ineq;
+  ineq.vars = {0, 1};
+  ineq.coeffs = {10.0, 10.0};
+  ineq.rhs = 20.0;
+  // Range 20 at granularity 10 -> 2 steps -> 2 bits; at 1 -> 20 steps -> 5.
+  qubo::ConstrainedProblem coarse(2);
+  const auto coarse_slack = coarse.add_inequality_constraint(ineq, 10.0);
+  EXPECT_EQ(coarse_slack.size(), 2u);
+  qubo::ConstrainedProblem fine(2);
+  const auto fine_slack = fine.add_inequality_constraint(ineq, 1.0);
+  EXPECT_EQ(fine_slack.size(), 5u);
+}
+
+TEST(Inequality, RejectsInfeasibleAndMalformed) {
+  qubo::ConstrainedProblem problem(2);
+  qubo::LinearInequality bad;
+  bad.vars = {0};
+  bad.coeffs = {1.0, 2.0};
+  EXPECT_THROW(problem.add_inequality_constraint(bad), std::invalid_argument);
+  qubo::LinearInequality impossible;
+  impossible.vars = {0, 1};
+  impossible.coeffs = {-1.0, -1.0};
+  impossible.rhs = -5.0;  // lhs minimum is -2 > rhs: never satisfiable
+  EXPECT_THROW(problem.add_inequality_constraint(impossible),
+               std::invalid_argument);
+  EXPECT_THROW(problem.add_inequality_constraint(qubo::LinearInequality{}, 0.0),
+               std::invalid_argument);
+}
+
+// --- QUBO round trip -----------------------------------------------------------
+
+TEST(AllocationQuboTest, EncodeIsFeasibleAndCostsMatch) {
+  const AllocationInstance inst = tiny();
+  const AllocationQubo qubo = build_allocation_problem(inst);
+  // Decision block 6 vars + slack for two capacity rows.
+  EXPECT_GT(qubo.problem.num_vars(), 6u);
+
+  const Assignment good{0, 0, 1};
+  ASSERT_TRUE(inst.respects_capacities(good));
+  const auto bits = encode_allocation(qubo, inst, good);
+  EXPECT_TRUE(qubo.problem.is_feasible(bits))
+      << "capacity-respecting assignment must be QUBO-feasible";
+  EXPECT_NEAR(qubo.problem.objective(bits), inst.total_cost(good), 1e-9);
+
+  const auto decoded = decode_allocation(inst, bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, good);
+}
+
+TEST(AllocationQuboTest, OverloadedAssignmentIsInfeasibleForAllSlack) {
+  const AllocationInstance inst = tiny();
+  const AllocationQubo qubo = build_allocation_problem(inst);
+  const Assignment overloaded{0, 0, 0};  // load 9 on capacity-5 machine
+  auto bits = encode_allocation(qubo, inst, overloaded);
+  // No slack setting can fix an exceeded capacity: scan all slack combos.
+  const std::size_t decision = inst.num_tasks() * inst.num_machines();
+  const std::size_t slack_bits = qubo.problem.num_vars() - decision;
+  bool any_feasible = false;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << slack_bits); ++mask) {
+    for (std::size_t j = 0; j < slack_bits; ++j) {
+      bits[decision + j] = (mask >> j) & 1;
+    }
+    if (qubo.problem.is_feasible(bits)) any_feasible = true;
+  }
+  EXPECT_FALSE(any_feasible);
+}
+
+class AllocationEndToEnd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocationEndToEnd, SaFindsFeasibleNearOptimalAllocation) {
+  const AllocationInstance inst =
+      generate_random_allocation(6, 3, GetParam());
+  const AllocationExact exact = solve_exact_allocation(inst);
+  ASSERT_TRUE(exact.feasible);
+
+  const AllocationQubo qubo = build_allocation_problem(inst);
+  solvers::BatchRunner runner(qubo.problem,
+                              std::make_shared<solvers::SimulatedAnnealer>(),
+                              solvers::SolveOptions{.num_replicas = 16,
+                                                    .num_sweeps = 400,
+                                                    .seed = GetParam()});
+  // Penalty weight: comfortably above the largest cost coefficient.
+  const auto sample = runner.run(60.0);
+  ASSERT_TRUE(sample.stats.has_feasible()) << "SA found no feasible allocation";
+  const auto decoded = decode_allocation(inst, *sample.stats.best_feasible);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(inst.respects_capacities(*decoded));
+  EXPECT_GE(inst.total_cost(*decoded), exact.cost - 1e-9);
+  EXPECT_LE(inst.total_cost(*decoded), exact.cost * 1.5)
+      << "solver allocation more than 50% above optimal";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocationEndToEnd,
+                         ::testing::Values(1, 2, 3));
+
+TEST(AllocationExactTest, MatchesHandComputedOptimum) {
+  const AllocationInstance inst = tiny();
+  const AllocationExact exact = solve_exact_allocation(inst);
+  ASSERT_TRUE(exact.feasible);
+  // Capacities only allow pairing tasks {0, 1} against task {2}:
+  //   {0, 0, 1}: loads (5, 4), cost 1 + 5 + 3 = 9
+  //   {1, 1, 0}: loads (4, 5), cost 4 + 2 + 3 = 9
+  EXPECT_DOUBLE_EQ(exact.cost, 9.0);
+}
+
+TEST(AllocationGenerator, DeterministicAndFeasibleByConstruction) {
+  const AllocationInstance a = generate_random_allocation(8, 3, 7);
+  const AllocationInstance b = generate_random_allocation(8, 3, 7);
+  EXPECT_EQ(a.name(), b.name());
+  for (std::size_t t = 0; t < 8; ++t) EXPECT_EQ(a.load(t), b.load(t));
+  // With slack factor 1.3 a feasible assignment must exist.
+  EXPECT_TRUE(solve_exact_allocation(a).feasible);
+}
+
+}  // namespace
+}  // namespace qross::allocation

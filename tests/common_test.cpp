@@ -1,0 +1,311 @@
+// Tests for src/common: RNG, statistics, Gaussian math, CSV, thread pool.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <atomic>
+
+#include "common/csv.hpp"
+#include "common/gaussian.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+
+namespace qross {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformIntCoversSupportWithoutBias) {
+  Rng rng(3);
+  std::array<int, 5> counts{};
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) counts[rng.uniform_int(std::uint64_t{5})]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / draws, 0.2, 0.02);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(0.25));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(23);
+  const auto perm = rng.permutation(50);
+  std::set<std::size_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 49u);
+}
+
+TEST(Rng, DeriveSeedDecorrelatesStreams) {
+  const auto s0 = derive_seed(42, 0);
+  const auto s1 = derive_seed(42, 1);
+  EXPECT_NE(s0, s1);
+  Rng a(s0), b(s1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 6.2);
+  EXPECT_NEAR(rs.variance(), 29.76, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 16.0);
+}
+
+TEST(RunningStats, MergeEquivalentToSequential) {
+  Rng rng(31);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, QuantileRejectsBadInput) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, 1.5), std::invalid_argument);
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, QuantilesMatchSingleCalls) {
+  const std::vector<double> xs{5.0, 3.0, 9.0, 1.0, 7.0};
+  const std::vector<double> qs{0.1, 0.5, 0.9};
+  const auto result = quantiles(xs, qs);
+  ASSERT_EQ(result.size(), 3u);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result[i], quantile(xs, qs[i]));
+  }
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg(ys.rbegin(), ys.rend());
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantIsZero) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Gaussian, CdfSymmetry) {
+  for (double z : {0.0, 0.5, 1.0, 2.5}) {
+    EXPECT_NEAR(normal_cdf(z) + normal_cdf(-z), 1.0, 1e-14);
+  }
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+}
+
+TEST(Gaussian, PdfIntegratesToCdfDifference) {
+  // Trapezoid integral of pdf over [-1, 1] equals Phi(1) - Phi(-1).
+  const int steps = 20000;
+  double integral = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double z0 = -1.0 + 2.0 * i / steps;
+    const double z1 = -1.0 + 2.0 * (i + 1) / steps;
+    integral += 0.5 * (normal_pdf(z0) + normal_pdf(z1)) * (z1 - z0);
+  }
+  EXPECT_NEAR(integral, normal_cdf(1.0) - normal_cdf(-1.0), 1e-8);
+}
+
+TEST(Gaussian, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(Gaussian, QuantileRejectsBoundary) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(Gaussian, ScaledCdf) {
+  EXPECT_DOUBLE_EQ(normal_cdf(10.0, 10.0, 2.0), 0.5);
+  EXPECT_NEAR(normal_cdf(12.0, 10.0, 2.0), normal_cdf(1.0), 1e-14);
+  // Degenerate stddev behaves like a step function.
+  EXPECT_DOUBLE_EQ(normal_cdf(9.9, 10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(normal_cdf(10.1, 10.0, 0.0), 1.0);
+}
+
+TEST(Gaussian, LogCdfMatchesDirectInOverlap) {
+  for (double z : {-7.0, -4.0, -1.0, 0.0, 2.0}) {
+    EXPECT_NEAR(log_normal_cdf(z), std::log(normal_cdf(z)), 1e-6) << z;
+  }
+}
+
+TEST(Gaussian, LogCdfFiniteFarInTail) {
+  const double v = log_normal_cdf(-40.0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_LT(v, -700.0);  // direct log would be -inf here
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  CsvTable table({"a", "b"});
+  table.add_row(std::vector<std::string>{"1", "x"});
+  table.add_row(std::vector<double>{2.5, 3.25}, 2);
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,x\n2.50,3.25\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvTable table({"v"});
+  table.add_row({std::string("hello, \"world\"")});
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_EQ(os.str(), "v\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Csv, RejectsMismatchedRow) {
+  CsvTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({std::string("only-one")}), std::invalid_argument);
+}
+
+TEST(Csv, PrettyOutputAligned) {
+  CsvTable table({"name", "v"});
+  table.add_row(std::vector<std::string>{"x", "1"});
+  std::ostringstream os;
+  table.write_pretty(os);
+  EXPECT_NE(os.str().find("name"), std::string::npos);
+  EXPECT_NE(os.str().find("----"), std::string::npos);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerSequential) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(8, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&done] { done++; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 10);
+}
+
+}  // namespace
+}  // namespace qross

@@ -1,0 +1,120 @@
+// Tests for the high-level QrossTuner facade and the umbrella header.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qross/qross.hpp"  // umbrella header must compile standalone
+
+namespace qross::core {
+namespace {
+
+solvers::SolverPtr fast_solver() {
+  solvers::QbsolvParams params;
+  params.num_rounds = 1;
+  params.subsolver_sweeps = 10;
+  return std::make_shared<solvers::Qbsolv>(params);
+}
+
+solvers::SolveOptions fast_options() {
+  solvers::SolveOptions options;
+  options.num_replicas = 8;
+  options.num_sweeps = 10;
+  options.seed = 3;
+  return options;
+}
+
+class FacadeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto history = tsp::generate_synthetic_dataset(8, 6, 9, 0xFACADE);
+    surrogate::SweepConfig sweep;
+    sweep.slope_points = 5;
+    sweep.plateau_points = 1;
+    sweep.bisection_steps = 5;
+    tuner_ = new QrossTuner(
+        QrossTuner::fit(history, fast_solver(), fast_options(), sweep));
+  }
+  static void TearDownTestSuite() {
+    delete tuner_;
+    tuner_ = nullptr;
+  }
+  static QrossTuner* tuner_;
+};
+
+QrossTuner* FacadeTest::tuner_ = nullptr;
+
+TEST_F(FacadeTest, ProposeWithoutSolverCalls) {
+  const auto instance = tsp::generate_uniform(8, 0xAA01);
+  const double mfs = tuner_->propose(instance);
+  EXPECT_GE(mfs, 1.0);
+  EXPECT_LE(mfs, 100.0);
+  const double pbs_low = tuner_->propose(instance, 0.2);
+  const double pbs_high = tuner_->propose(instance, 0.9);
+  EXPECT_LT(pbs_low, pbs_high) << "Pf targets must order the proposals";
+}
+
+TEST_F(FacadeTest, TuneReturnsValidTour) {
+  const auto instance = tsp::generate_uniform(8, 0xAA02);
+  TuneOptions options;
+  options.trials = 5;
+  const TuneOutcome outcome = tuner_->tune(instance, fast_solver(), options);
+  ASSERT_EQ(outcome.trials.size(), 5u);
+  ASSERT_TRUE(outcome.feasible());
+  EXPECT_TRUE(instance.is_valid_tour(outcome.best_tour));
+  EXPECT_NEAR(instance.tour_length(outcome.best_tour), outcome.best_length,
+              1e-9);
+  // Best-so-far column is non-increasing once feasible.
+  double previous = std::numeric_limits<double>::infinity();
+  for (const auto& trial : outcome.trials) {
+    EXPECT_LE(trial.best_length_so_far, previous + 1e-9);
+    previous = trial.best_length_so_far;
+  }
+}
+
+TEST_F(FacadeTest, TuneQualityIsReasonable) {
+  const auto instance = tsp::generate_uniform(9, 0xAA03);
+  TuneOptions options;
+  options.trials = 6;
+  const TuneOutcome outcome = tuner_->tune(instance, fast_solver(), options);
+  ASSERT_TRUE(outcome.feasible());
+  const double reference = tsp::reference_solution(instance).length;
+  EXPECT_LT(outcome.best_length, reference * 1.25)
+      << "tuned result more than 25% above the 2-opt reference";
+}
+
+TEST_F(FacadeTest, SaveLoadRoundTrip) {
+  std::stringstream stream;
+  tuner_->save(stream);
+  const QrossTuner loaded = QrossTuner::load(stream);
+  const auto instance = tsp::generate_uniform(8, 0xAA04);
+  EXPECT_DOUBLE_EQ(loaded.propose(instance), tuner_->propose(instance));
+}
+
+TEST_F(FacadeTest, DeterministicTuning) {
+  const auto instance = tsp::generate_uniform(8, 0xAA05);
+  TuneOptions options;
+  options.trials = 4;
+  options.seed = 99;
+  const TuneOutcome a = tuner_->tune(instance, fast_solver(), options);
+  const TuneOutcome b = tuner_->tune(instance, fast_solver(), options);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trials[i].relaxation_parameter,
+                     b.trials[i].relaxation_parameter);
+  }
+  EXPECT_EQ(a.best_tour, b.best_tour);
+}
+
+TEST(FacadeGuards, RejectsUntrainedAndBadInput) {
+  EXPECT_THROW(QrossTuner(surrogate::SolverSurrogate{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      QrossTuner::fit({}, fast_solver(), fast_options()),
+      std::invalid_argument);
+  std::stringstream garbage("nonsense");
+  EXPECT_THROW(QrossTuner::load(garbage), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qross::core

@@ -1,0 +1,127 @@
+// Tests for src/problems/mvc (appendix-B case study).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "problems/mvc/mvc.hpp"
+
+namespace qross::mvc {
+namespace {
+
+MvcInstance triangle() {
+  return MvcInstance(3, {{0, 1}, {1, 2}, {0, 2}});
+}
+
+TEST(Mvc, CoverChecks) {
+  const MvcInstance inst = triangle();
+  EXPECT_TRUE(inst.is_cover(std::vector<std::uint8_t>{1, 1, 0}));
+  EXPECT_FALSE(inst.is_cover(std::vector<std::uint8_t>{1, 0, 0}));
+  EXPECT_EQ(inst.uncovered_edges(std::vector<std::uint8_t>{0, 0, 0}), 3u);
+  EXPECT_EQ(inst.uncovered_edges(std::vector<std::uint8_t>{0, 1, 0}), 1u);
+}
+
+TEST(Mvc, CoverWeightSumsSelection) {
+  const MvcInstance inst(3, {{0, 1}}, {0.5, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(inst.cover_weight(std::vector<std::uint8_t>{1, 0, 1}), 4.5);
+}
+
+TEST(Mvc, ValidationRejectsBadInput) {
+  EXPECT_THROW(MvcInstance(2, {{0, 0}}), std::invalid_argument);  // loop
+  EXPECT_THROW(MvcInstance(2, {{0, 5}}), std::invalid_argument);  // range
+  EXPECT_THROW(MvcInstance(2, {}, {1.0}), std::invalid_argument); // weights
+  EXPECT_THROW(MvcInstance(2, {}, {1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Mvc, QuboEnergyMatchesAppendixFormula) {
+  // E(u) = sum_i w_i u_i + sigma * (#uncovered edges): verify over all
+  // assignments of a small weighted instance.
+  const MvcInstance inst(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}},
+                         {0.3, 0.7, 1.1, 0.2});
+  for (double sigma : {0.5, 2.0, 100.0}) {
+    const qubo::QuboModel model = inst.to_qubo(sigma);
+    for (std::size_t mask = 0; mask < 16; ++mask) {
+      std::vector<std::uint8_t> u(4);
+      for (std::size_t i = 0; i < 4; ++i) u[i] = (mask >> i) & 1;
+      const double expected =
+          inst.cover_weight(u) +
+          sigma * static_cast<double>(inst.uncovered_edges(u));
+      EXPECT_NEAR(model.energy(u), expected, 1e-9);
+    }
+  }
+}
+
+TEST(Mvc, GeneratorIsDeterministicAndInRange) {
+  const MvcInstance a = generate_random_mvc(20, 0.5, 3);
+  const MvcInstance b = generate_random_mvc(20, 0.5, 3);
+  EXPECT_EQ(a.edges().size(), b.edges().size());
+  EXPECT_EQ(a.num_vertices(), 20u);
+  for (double w : a.weights()) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, 1.0);
+  }
+  // p = 0.5 should give roughly half of the 190 possible edges.
+  EXPECT_GT(a.edges().size(), 60u);
+  EXPECT_LT(a.edges().size(), 130u);
+}
+
+TEST(Mvc, GeneratorEdgeProbabilityExtremes) {
+  EXPECT_EQ(generate_random_mvc(10, 0.0, 1).edges().size(), 0u);
+  EXPECT_EQ(generate_random_mvc(10, 1.0, 1).edges().size(), 45u);
+}
+
+TEST(Mvc, GreedyProducesCover) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const MvcInstance inst = generate_random_mvc(18, 0.4, seed);
+    const auto cover = greedy_cover(inst);
+    EXPECT_TRUE(inst.is_cover(cover)) << "seed " << seed;
+  }
+}
+
+class MvcExactParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MvcExactParam, ExactIsOptimalAndBeatsGreedy) {
+  const MvcInstance inst = generate_random_mvc(12, 0.4, GetParam());
+  const ExactCover exact = solve_exact_cover(inst);
+  EXPECT_TRUE(inst.is_cover(exact.selection));
+  EXPECT_NEAR(exact.weight, inst.cover_weight(exact.selection), 1e-9);
+  const auto greedy = greedy_cover(inst);
+  EXPECT_LE(exact.weight, inst.cover_weight(greedy) + 1e-9);
+
+  // Brute-force cross-check on this small size.
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t mask = 0; mask < (1u << 12); ++mask) {
+    std::vector<std::uint8_t> u(12);
+    for (std::size_t i = 0; i < 12; ++i) u[i] = (mask >> i) & 1;
+    if (inst.is_cover(u)) best = std::min(best, inst.cover_weight(u));
+  }
+  EXPECT_NEAR(exact.weight, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MvcExactParam, ::testing::Values(1, 2, 3, 4));
+
+TEST(Mvc, ExactGuardsSize) {
+  const MvcInstance inst = generate_random_mvc(31, 0.1, 1);
+  EXPECT_THROW(solve_exact_cover(inst), std::invalid_argument);
+}
+
+TEST(Mvc, LargePenaltyMakesCoversDominant) {
+  // With sigma > max weight, the QUBO minimum over all assignments is a
+  // cover (appendix B's theoretical claim).
+  const MvcInstance inst = generate_random_mvc(10, 0.5, 9);
+  const qubo::QuboModel model = inst.to_qubo(1.5);  // weights < 1
+  double best_energy = std::numeric_limits<double>::infinity();
+  std::vector<std::uint8_t> best(10);
+  for (std::size_t mask = 0; mask < 1024; ++mask) {
+    std::vector<std::uint8_t> u(10);
+    for (std::size_t i = 0; i < 10; ++i) u[i] = (mask >> i) & 1;
+    const double e = model.energy(u);
+    if (e < best_energy) {
+      best_energy = e;
+      best = u;
+    }
+  }
+  EXPECT_TRUE(inst.is_cover(best));
+}
+
+}  // namespace
+}  // namespace qross::mvc

@@ -1,0 +1,140 @@
+// Tests for the parallel-tempering solver kernel.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "problems/tsp/formulation.hpp"
+#include "problems/tsp/generators.hpp"
+#include "qubo/batch.hpp"
+#include "solvers/parallel_tempering.hpp"
+#include "solvers/simulated_annealer.hpp"
+
+namespace qross::solvers {
+namespace {
+
+using qubo::Bits;
+using qubo::QuboModel;
+
+QuboModel planted_model() {
+  QuboModel m(4);
+  m.add_term(0, 0, -10.0);
+  m.add_term(2, 2, -10.0);
+  m.add_term(1, 1, 5.0);
+  m.add_term(3, 3, 5.0);
+  m.add_term(0, 2, -1.0);
+  m.add_term(1, 3, 8.0);
+  m.add_term(0, 1, 2.0);
+  return m;
+}
+
+TEST(ParallelTempering, FindsPlantedOptimum) {
+  const QuboModel model = planted_model();
+  const ParallelTempering solver;
+  SolveOptions options;
+  options.num_replicas = 8;
+  options.num_sweeps = 100;
+  options.seed = 5;
+  const auto batch = solver.solve(model, options);
+  ASSERT_EQ(batch.size(), 8u);
+  const auto& best = batch.results[batch.best_index()];
+  EXPECT_NEAR(best.qubo_energy, -21.0, 1e-9);
+  EXPECT_EQ(best.assignment, (Bits{1, 0, 1, 0}));
+  for (const auto& r : batch.results) {
+    EXPECT_NEAR(r.qubo_energy, model.energy(r.assignment), 1e-9);
+  }
+}
+
+TEST(ParallelTempering, DeterministicUnderSeed) {
+  const QuboModel model = planted_model();
+  const ParallelTempering solver;
+  SolveOptions options;
+  options.num_replicas = 6;
+  options.num_sweeps = 40;
+  options.seed = 11;
+  const auto a = solver.solve(model, options);
+  const auto b = solver.solve(model, options);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.results[i].assignment, b.results[i].assignment);
+  }
+}
+
+TEST(ParallelTempering, SingleChainDegeneratesToFixedTemperature) {
+  const QuboModel model = planted_model();
+  const ParallelTempering solver;
+  SolveOptions options;
+  options.num_replicas = 1;
+  options.num_sweeps = 200;
+  options.seed = 3;
+  const auto batch = solver.solve(model, options);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(qubo::is_valid_assignment(model, batch.results[0].assignment));
+}
+
+TEST(ParallelTempering, ZeroVariableModel) {
+  const QuboModel model(0);
+  const ParallelTempering solver;
+  SolveOptions options;
+  options.num_replicas = 3;
+  EXPECT_EQ(solver.solve(model, options).size(), 3u);
+}
+
+TEST(ParallelTempering, ReachesFeasibilityOnTspQubo) {
+  // The exchange mechanism should cross the TSP penalty barriers at least
+  // as reliably as plain SA with the same sweep budget.
+  const auto instance = tsp::generate_uniform(8, 77);
+  const auto problem = tsp::build_tsp_problem(instance);
+  const auto model = problem.to_qubo(0.8 * instance.max_distance());
+  SolveOptions options;
+  options.num_replicas = 12;
+  options.num_sweeps = 300;
+  options.seed = 9;
+  const ParallelTempering pt;
+  std::size_t feasible = 0;
+  for (const auto& r : pt.solve(model, options).results) {
+    if (problem.is_feasible(r.assignment)) ++feasible;
+  }
+  EXPECT_GT(feasible, 0u) << "PT found no feasible tour at a generous A";
+}
+
+TEST(ParallelTempering, ColdChainsOutperformPureRandom) {
+  Rng rng(21);
+  QuboModel model(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = i; j < 16; ++j) {
+      model.add_term(i, j, rng.uniform(-4.0, 4.0));
+    }
+  }
+  SolveOptions options;
+  options.num_replicas = 8;
+  options.num_sweeps = 60;
+  options.seed = 2;
+  const ParallelTempering solver;
+  const auto batch = solver.solve(model, options);
+  // Mean random-assignment energy as the null reference.
+  qross::RunningStats random_energy;
+  Bits x(16);
+  for (int rep = 0; rep < 512; ++rep) {
+    for (auto& b : x) b = rng.bernoulli(0.5) ? 1 : 0;
+    random_energy.add(model.energy(x));
+  }
+  EXPECT_LT(batch.results[batch.best_index()].qubo_energy,
+            random_energy.mean() - 2.0 * random_energy.stddev());
+}
+
+TEST(ParallelTempering, RejectsBadParams) {
+  PtParams params;
+  params.hot_acceptance = 1.5;
+  EXPECT_THROW(ParallelTempering{params}, std::invalid_argument);
+  PtParams params2;
+  params2.temperature_ratio = 2.0;
+  EXPECT_THROW(ParallelTempering{params2}, std::invalid_argument);
+  PtParams params3;
+  params3.exchange_rate = 0.0;
+  EXPECT_THROW(ParallelTempering{params3}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qross::solvers

@@ -1,0 +1,300 @@
+// Cross-module property tests: randomised invariants checked over
+// parameterised sweeps (sizes x seeds x solvers).  These complement the
+// per-module unit tests with the "for all" style guarantees the library's
+// correctness argument rests on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/gaussian.hpp"
+#include "common/rng.hpp"
+#include "problems/qap/qap.hpp"
+#include "problems/tsp/exact.hpp"
+#include "problems/tsp/formulation.hpp"
+#include "problems/tsp/generators.hpp"
+#include "problems/tsp/heuristics.hpp"
+#include "problems/tsp/preprocess.hpp"
+#include "qross/min_fitness.hpp"
+#include "qross/optimizers.hpp"
+#include "qubo/builder.hpp"
+#include "qubo/incremental.hpp"
+#include "solvers/digital_annealer.hpp"
+#include "solvers/qbsolv.hpp"
+#include "solvers/simulated_annealer.hpp"
+#include "solvers/tabu_search.hpp"
+#include "tuning/gp.hpp"
+
+namespace qross {
+namespace {
+
+using qubo::Bits;
+using qubo::QuboModel;
+
+QuboModel random_model(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  QuboModel model(n);
+  model.set_offset(rng.uniform(-2.0, 2.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      if (rng.uniform() < 0.6) model.add_term(i, j, rng.uniform(-5.0, 5.0));
+    }
+  }
+  return model;
+}
+
+// --- property: every solver reports energies consistent with assignments ----
+
+struct SolverCase {
+  std::string label;
+  solvers::SolverPtr solver;
+};
+
+class SolverConsistency
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {
+ protected:
+  static solvers::SolverPtr solver_for(int index) {
+    switch (index) {
+      case 0: return std::make_shared<solvers::SimulatedAnnealer>();
+      case 1: return std::make_shared<solvers::DigitalAnnealer>();
+      case 2: return std::make_shared<solvers::TabuSearch>();
+      default: return std::make_shared<solvers::Qbsolv>();
+    }
+  }
+};
+
+TEST_P(SolverConsistency, EnergiesMatchAndBatchSizeHonoured) {
+  const auto [solver_index, size] = GetParam();
+  const auto solver = solver_for(solver_index);
+  const QuboModel model = random_model(size, 100 + size);
+  solvers::SolveOptions options;
+  options.num_replicas = 6;
+  options.num_sweeps = 20;
+  options.seed = 77;
+  const auto batch = solver->solve(model, options);
+  ASSERT_EQ(batch.size(), 6u);
+  for (const auto& result : batch.results) {
+    ASSERT_EQ(result.assignment.size(), size);
+    EXPECT_TRUE(qubo::is_valid_assignment(model, result.assignment));
+    EXPECT_NEAR(result.qubo_energy, model.energy(result.assignment), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SolverConsistency,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(std::size_t{2}, std::size_t{7},
+                                         std::size_t{15})));
+
+// --- property: solvers never beat the exhaustive ground state ----------------
+
+class SolverLowerBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverLowerBound, NoSolverBeatsBruteForce) {
+  const QuboModel model = random_model(8, GetParam());
+  double ground = std::numeric_limits<double>::infinity();
+  for (std::size_t mask = 0; mask < 256; ++mask) {
+    Bits x(8);
+    for (std::size_t i = 0; i < 8; ++i) x[i] = (mask >> i) & 1;
+    ground = std::min(ground, model.energy(x));
+  }
+  solvers::SolveOptions options;
+  options.num_replicas = 4;
+  options.num_sweeps = 40;
+  options.seed = GetParam();
+  for (const solvers::SolverPtr& solver :
+       {solvers::SolverPtr(std::make_shared<solvers::SimulatedAnnealer>()),
+        solvers::SolverPtr(std::make_shared<solvers::DigitalAnnealer>()),
+        solvers::SolverPtr(std::make_shared<solvers::TabuSearch>()),
+        solvers::SolverPtr(std::make_shared<solvers::Qbsolv>())}) {
+    const auto batch = solver->solve(model, options);
+    EXPECT_GE(batch.results[batch.best_index()].qubo_energy, ground - 1e-9)
+        << solver->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverLowerBound,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// --- property: TSP QUBO energy identity over random A and tours --------------
+
+class TspQuboIdentity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TspQuboIdentity, EnergySplitsIntoObjectiveAndPenalty) {
+  Rng rng(GetParam());
+  const auto instance = tsp::generate_uniform(6, GetParam());
+  const auto problem = tsp::build_tsp_problem(instance);
+  for (int rep = 0; rep < 16; ++rep) {
+    // Random (mostly infeasible) assignments.
+    std::vector<std::uint8_t> x(36);
+    for (auto& b : x) b = rng.bernoulli(0.3) ? 1 : 0;
+    const double a = rng.uniform(0.1, 80.0);
+    EXPECT_NEAR(problem.to_qubo(a).energy(x),
+                problem.objective(x) + a * problem.violation(x), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TspQuboIdentity,
+                         ::testing::Values(3, 5, 7, 9));
+
+// --- property: MVODM + scaling chain preserves tour RANKING ------------------
+
+class RankingPreservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RankingPreservation, MvodmKeepsPairwiseOrder) {
+  Rng rng(GetParam());
+  const auto instance = tsp::generate_clustered(9, GetParam());
+  const auto result = tsp::mvodm_preprocess(instance);
+  for (int rep = 0; rep < 12; ++rep) {
+    const tsp::Tour a = rng.permutation(9);
+    const tsp::Tour b = rng.permutation(9);
+    const double delta_original =
+        instance.tour_length(a) - instance.tour_length(b);
+    const double delta_shifted =
+        result.shifted.tour_length(a) - result.shifted.tour_length(b);
+    // Same difference (the shift is tour-independent), hence same ranking.
+    EXPECT_NEAR(delta_original, delta_shifted, 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankingPreservation,
+                         ::testing::Values(2, 4, 6, 8));
+
+// --- property: heuristic chain is monotone ------------------------------------
+
+class HeuristicMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeuristicMonotone, EachStageNeverWorsens) {
+  Rng rng(GetParam());
+  const auto instance = tsp::generate_uniform(12, 500 + GetParam());
+  const tsp::Tour start = rng.permutation(12);
+  const double l0 = instance.tour_length(start);
+  const tsp::Tour after2opt = tsp::two_opt(instance, start);
+  const double l1 = instance.tour_length(after2opt);
+  const tsp::Tour afterOrOpt = tsp::or_opt(instance, after2opt);
+  const double l2 = instance.tour_length(afterOrOpt);
+  EXPECT_LE(l1, l0 + 1e-9);
+  EXPECT_LE(l2, l1 + 1e-9);
+  // And all stay >= the exact optimum.
+  const double opt = tsp::solve_held_karp(instance).length;
+  EXPECT_GE(l2, opt - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicMonotone,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// --- property: expected-min-fitness is monotone in its arguments ---------------
+
+class MinFitnessMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(MinFitnessMonotone, MonotoneInMeanAndPf) {
+  const double pf = GetParam();
+  // Increasing the mean shifts the expectation up.
+  double previous = -1.0;
+  for (double mean : {50.0, 80.0, 120.0, 200.0}) {
+    const double v = core::expected_min_fitness(pf, mean, 10.0, 32);
+    EXPECT_GT(v, previous);
+    previous = v;
+  }
+  // Increasing pf can only help (weakly).
+  const double lo = core::expected_min_fitness(pf, 100.0, 10.0, 32);
+  const double hi =
+      core::expected_min_fitness(std::min(1.0, pf + 0.2), 100.0, 10.0, 32);
+  EXPECT_LE(hi, lo + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PfLevels, MinFitnessMonotone,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.8));
+
+// --- property: Brent matches dense scan on random smooth functions --------------
+
+class BrentVsScan : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BrentVsScan, FindsValueNoWorseThanGridScan) {
+  Rng rng(GetParam());
+  // Random quartic with positive leading coefficient: smooth, at most two
+  // local minima on the interval.
+  const double a4 = rng.uniform(0.05, 0.6);
+  const double a3 = rng.uniform(-1.0, 1.0);
+  const double a2 = rng.uniform(-3.0, 3.0);
+  const double a1 = rng.uniform(-3.0, 3.0);
+  auto f = [&](double x) {
+    return a4 * x * x * x * x + a3 * x * x * x + a2 * x * x + a1 * x;
+  };
+  const auto shgo = opt::shgo_minimize(f, -4.0, 4.0);
+  double scan_best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= 4000; ++i) {
+    scan_best = std::min(scan_best, f(-4.0 + 8.0 * i / 4000.0));
+  }
+  EXPECT_LE(shgo.value, scan_best + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BrentVsScan,
+                         ::testing::Values(10, 20, 30, 40, 50, 60, 70, 80));
+
+// --- property: GP posterior collapses as noise -> 0 -----------------------------
+
+class GpNoiseCollapse : public ::testing::TestWithParam<double> {};
+
+TEST_P(GpNoiseCollapse, LowNoiseFitsTighter) {
+  const double noise_fraction = GetParam();
+  tuning::GpConfig config;
+  config.noise_fraction = noise_fraction;
+  tuning::GaussianProcess gp(config);
+  Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 12; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(std::sin(0.5 * i) + rng.normal(0.0, 0.01));
+  }
+  gp.fit(xs, ys);
+  double total_residual = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    total_residual += std::abs(gp.predict(xs[i]).mean - ys[i]);
+  }
+  // Residual bound scales with the assumed noise level.
+  EXPECT_LT(total_residual / static_cast<double>(xs.size()),
+            0.05 + noise_fraction);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, GpNoiseCollapse,
+                         ::testing::Values(0.01, 0.05, 0.2));
+
+// --- property: Gaussian quantile/CDF inverse pair across a dense sweep ----------
+
+class QuantileSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileSweep, RoundTripAccurate) {
+  const double p = static_cast<double>(GetParam()) / 1000.0;
+  const double z = normal_quantile(p);
+  EXPECT_NEAR(normal_cdf(z), p, 1e-9);
+  // Symmetry: quantile(1-p) == -quantile(p).
+  EXPECT_NEAR(normal_quantile(1.0 - p), -z, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, QuantileSweep,
+                         ::testing::Values(1, 5, 25, 100, 250, 400, 500, 600,
+                                           750, 900, 975, 995, 999));
+
+// --- property: QAP QUBO identity across random instances -------------------------
+
+class QapQuboIdentity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QapQuboIdentity, FeasibleEnergyEqualsCost) {
+  Rng rng(GetParam());
+  const auto instance = qap::generate_random_qap(5, GetParam());
+  const auto problem = qap::build_qap_problem(instance);
+  for (int rep = 0; rep < 8; ++rep) {
+    const qap::Assignment assignment = rng.permutation(5);
+    const auto bits = qap::encode_assignment(instance, assignment);
+    const double a = rng.uniform(1.0, 500.0);
+    EXPECT_NEAR(problem.to_qubo(a).energy(bits), instance.cost(assignment),
+                1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QapQuboIdentity,
+                         ::testing::Values(12, 34, 56, 78));
+
+}  // namespace
+}  // namespace qross

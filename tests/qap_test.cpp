@@ -1,0 +1,169 @@
+// Tests for src/problems/qap: the QAPLIB substrate used by the hypothesis
+// check (paper §3.1 footnote 2).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "problems/qap/qap.hpp"
+
+namespace qross::qap {
+namespace {
+
+QapInstance tiny() {
+  // 3 facilities; flows and distances chosen so the optimum pairs the
+  // heavy flow (0<->1, weight 9) with the short edge (0<->1, length 1).
+  return QapInstance("tiny", 3,
+                     {0, 9, 1,   //
+                      9, 0, 1,   //
+                      1, 1, 0},
+                     {0, 1, 5,   //
+                      1, 0, 5,   //
+                      5, 5, 0});
+}
+
+TEST(Qap, CostMatchesHandComputation) {
+  const QapInstance inst = tiny();
+  // identity assignment: cost = sum F_ij * D_ij over ordered pairs.
+  const Assignment identity{0, 1, 2};
+  EXPECT_DOUBLE_EQ(inst.cost(identity), 2 * (9 * 1 + 1 * 5 + 1 * 5));
+  // swap facilities 1 and 2: heavy flow now spans the long edge.
+  const Assignment swapped{0, 2, 1};
+  EXPECT_DOUBLE_EQ(inst.cost(swapped), 2 * (9 * 5 + 1 * 5 + 1 * 1));
+}
+
+TEST(Qap, ValidationRejectsBadInput) {
+  EXPECT_THROW(QapInstance("bad", 2, {0, 1, 1, 1}, {0, 1, 1, 0}),
+               std::invalid_argument);  // nonzero flow diagonal
+  EXPECT_THROW(QapInstance("bad", 2, {0, -1, -1, 0}, {0, 1, 1, 0}),
+               std::invalid_argument);  // negative flow
+  EXPECT_THROW(QapInstance("bad", 2, {0, 1}, {0, 1, 1, 0}),
+               std::invalid_argument);  // wrong size
+  const QapInstance inst = tiny();
+  EXPECT_FALSE(inst.is_valid_assignment(Assignment{0, 1}));
+  EXPECT_FALSE(inst.is_valid_assignment(Assignment{0, 1, 1}));
+  EXPECT_FALSE(inst.is_valid_assignment(Assignment{0, 1, 3}));
+  EXPECT_THROW(inst.cost(Assignment{0, 0, 0}), std::invalid_argument);
+}
+
+TEST(Qap, EncodeDecodeRoundTrip) {
+  const QapInstance inst = tiny();
+  const Assignment assignment{2, 0, 1};
+  const auto bits = encode_assignment(inst, assignment);
+  const auto decoded = decode_assignment(inst, bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, assignment);
+}
+
+TEST(Qap, DecodeRejectsNonPermutations) {
+  const QapInstance inst = tiny();
+  std::vector<std::uint8_t> bits(9, 0);
+  EXPECT_FALSE(decode_assignment(inst, bits).has_value());
+  bits[variable_index(0, 0, 3)] = 1;
+  bits[variable_index(1, 0, 3)] = 1;  // two facilities at location 0
+  EXPECT_FALSE(decode_assignment(inst, bits).has_value());
+}
+
+TEST(Qap, QuboEnergyEqualsCostOnFeasible) {
+  Rng rng(4);
+  const QapInstance inst = generate_random_qap(5, 11);
+  const auto problem = build_qap_problem(inst);
+  EXPECT_EQ(problem.num_vars(), 25u);
+  EXPECT_EQ(problem.num_constraints(), 10u);
+  for (int rep = 0; rep < 12; ++rep) {
+    const Assignment assignment = rng.permutation(5);
+    const auto bits = encode_assignment(inst, assignment);
+    EXPECT_TRUE(problem.is_feasible(bits));
+    EXPECT_NEAR(problem.objective(bits), inst.cost(assignment), 1e-9);
+    EXPECT_NEAR(problem.to_qubo(33.0).energy(bits), inst.cost(assignment),
+                1e-9);
+  }
+}
+
+TEST(Qap, QuboPenalisesInfeasible) {
+  const QapInstance inst = tiny();
+  const auto problem = build_qap_problem(inst);
+  std::vector<std::uint8_t> empty(9, 0);
+  EXPECT_DOUBLE_EQ(problem.violation(empty), 6.0);  // 2n unit violations
+}
+
+class QapExactParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QapExactParam, ExactBeatsLocalSearchAndIsPermutationOptimal) {
+  const QapInstance inst = generate_random_qap(6, GetParam());
+  const QapExact exact = solve_exact_qap(inst);
+  EXPECT_TRUE(inst.is_valid_assignment(exact.assignment));
+  EXPECT_NEAR(inst.cost(exact.assignment), exact.cost, 1e-9);
+
+  // Exhaustive check against all 720 permutations.
+  Assignment p{0, 1, 2, 3, 4, 5};
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    best = std::min(best, inst.cost(p));
+  } while (std::next_permutation(p.begin(), p.end()));
+  EXPECT_NEAR(exact.cost, best, 1e-9);
+
+  // Local search from any start can only match or exceed the optimum.
+  Rng rng(GetParam());
+  const Assignment polished = local_search_qap(inst, rng.permutation(6));
+  EXPECT_GE(inst.cost(polished), exact.cost - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QapExactParam, ::testing::Values(1, 2, 3, 4));
+
+TEST(Qap, LocalSearchNeverWorsens) {
+  Rng rng(9);
+  const QapInstance inst = generate_random_qap(9, 21);
+  for (int rep = 0; rep < 6; ++rep) {
+    const Assignment start = rng.permutation(9);
+    const double before = inst.cost(start);
+    const Assignment after = local_search_qap(inst, start);
+    EXPECT_LE(inst.cost(after), before + 1e-9);
+  }
+}
+
+TEST(Qap, ReferenceUsesExactForSmall) {
+  const QapInstance inst = generate_random_qap(7, 31);
+  const QapExact reference = reference_qap(inst);
+  EXPECT_NEAR(reference.cost, solve_exact_qap(inst).cost, 1e-9);
+}
+
+TEST(Qap, QaplibParserRoundTrip) {
+  const std::string text =
+      "3\n"
+      "0 9 1\n"
+      "9 0 1\n"
+      "1 1 0\n"
+      "\n"
+      "0 1 5\n"
+      "1 0 5\n"
+      "5 5 0\n";
+  const QapInstance parsed = parse_qaplib_string(text, "tiny");
+  const QapInstance expected = tiny();
+  EXPECT_EQ(parsed.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(parsed.flow(i, j), expected.flow(i, j));
+      EXPECT_DOUBLE_EQ(parsed.distance(i, j), expected.distance(i, j));
+    }
+  }
+}
+
+TEST(Qap, QaplibParserRejectsTruncation) {
+  EXPECT_THROW(parse_qaplib_string("3\n0 1 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_qaplib_string(""), std::invalid_argument);
+}
+
+TEST(Qap, GeneratorDeterministicSymmetric) {
+  const QapInstance a = generate_random_qap(8, 5);
+  const QapInstance b = generate_random_qap(8, 5);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(a.flow(i, j), b.flow(i, j));
+      EXPECT_DOUBLE_EQ(a.flow(i, j), a.flow(j, i));
+      EXPECT_DOUBLE_EQ(a.distance(i, j), a.distance(j, i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qross::qap

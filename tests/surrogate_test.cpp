@@ -1,0 +1,409 @@
+// Tests for src/surrogate: features, normalisers, the preparation pipeline,
+// dataset generation (against a stub solver with a known response), and the
+// surrogate model's ability to learn a synthetic solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "problems/tsp/exact.hpp"
+#include "problems/tsp/formulation.hpp"
+#include "problems/tsp/generators.hpp"
+#include "surrogate/dataset.hpp"
+#include "surrogate/features.hpp"
+#include "surrogate/model.hpp"
+#include "surrogate/normalizer.hpp"
+#include "surrogate/pipeline.hpp"
+
+namespace qross::surrogate {
+namespace {
+
+TEST(Features, DeterministicAndDocumented) {
+  const auto inst = tsp::generate_uniform(12, 3);
+  const auto a = extract_features(inst);
+  const auto b = extract_features(inst);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(feature_names().size(), kNumTspFeatures);
+  EXPECT_DOUBLE_EQ(a[0], 12.0);
+  EXPECT_NEAR(a[1], std::log(12.0), 1e-12);
+}
+
+TEST(Features, ScaleLinearity) {
+  // Scaling every coordinate by c scales all distance-valued features by c.
+  std::vector<tsp::Point> pts{{0, 0}, {1, 0}, {2, 3}, {5, 1}, {4, 4}};
+  std::vector<tsp::Point> scaled;
+  for (auto p : pts) scaled.push_back({p.x * 3.0, p.y * 3.0});
+  const auto f1 = extract_features(tsp::TspInstance("a", pts));
+  const auto f2 = extract_features(tsp::TspInstance("b", scaled));
+  // Distance-scale features (indices 2-5, 7-19, 21-22) triple; ratios and
+  // counts (0, 1, 6, 20, 23) stay put.
+  for (std::size_t i : {2u, 3u, 4u, 5u, 12u, 15u, 18u, 19u, 21u}) {
+    EXPECT_NEAR(f2[i], 3.0 * f1[i], 1e-9) << "feature " << i;
+  }
+  for (std::size_t i : {0u, 1u, 6u, 20u, 23u}) {
+    EXPECT_NEAR(f2[i], f1[i], 1e-9) << "feature " << i;
+  }
+}
+
+TEST(Features, MstOfPathGraph) {
+  // Collinear evenly-spaced points: MST is the path, total length n-1 gaps.
+  std::vector<tsp::Point> pts{{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  const auto f = extract_features(tsp::TspInstance("path", pts));
+  EXPECT_NEAR(f[15], 3.0, 1e-9);   // MST total
+  EXPECT_NEAR(f[16], 1.0, 1e-9);   // MST mean edge
+  EXPECT_NEAR(f[17], 0.0, 1e-9);   // MST edge stddev
+}
+
+TEST(Features, AnchorPositive) {
+  const auto f = extract_features(tsp::generate_clustered(10, 7));
+  EXPECT_GT(scale_anchor(f), 0.0);
+}
+
+TEST(Standardizer, RoundTrips) {
+  Standardizer s;
+  s.fit({{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}});
+  const std::vector<double> row{2.5, 15.0};
+  const auto t = s.transform(row);
+  const auto back = s.inverse(t);
+  EXPECT_NEAR(back[0], row[0], 1e-12);
+  EXPECT_NEAR(back[1], row[1], 1e-12);
+  // Transformed training data has mean 0 / std 1 per column.
+  const auto t1 = s.transform(std::vector<double>{1.0, 10.0});
+  const auto t3 = s.transform(std::vector<double>{3.0, 30.0});
+  EXPECT_NEAR(t1[0] + t3[0], 0.0, 1e-12);
+}
+
+TEST(Standardizer, ConstantColumnPassesThroughCentred) {
+  Standardizer s;
+  s.fit({{5.0}, {5.0}, {5.0}});
+  EXPECT_DOUBLE_EQ(s.transform(std::vector<double>{5.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.transform(std::vector<double>{6.0})[0], 1.0);
+}
+
+TEST(Standardizer, SaveLoadRoundTrip) {
+  Standardizer s;
+  s.fit({{1.0, -2.0}, {3.0, 4.0}, {-1.0, 0.5}});
+  std::stringstream stream;
+  s.save(stream);
+  const Standardizer loaded = Standardizer::load(stream);
+  const std::vector<double> probe{0.7, 1.3};
+  EXPECT_EQ(s.transform(probe), loaded.transform(probe));
+}
+
+TEST(Standardizer, GuardsMisuse) {
+  Standardizer s;
+  EXPECT_THROW(s.transform(std::vector<double>{1.0}), std::invalid_argument);
+  s.fit({{1.0}, {2.0}});
+  EXPECT_THROW(s.transform(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(RelaxationTransform, LogRoundTrip) {
+  for (double a : {0.1, 1.0, 25.0, 900.0}) {
+    EXPECT_NEAR(inverse_transform_relaxation(transform_relaxation(a)), a,
+                1e-12);
+  }
+  EXPECT_THROW(transform_relaxation(0.0), std::invalid_argument);
+}
+
+TEST(Pipeline, PreservesOptimalTour) {
+  const auto inst = tsp::generate_uniform(8, 11);
+  const PreparedTspInstance prepared(inst);
+  // Optimal tour of the prepared instance maps back to the original optimum.
+  const auto prep_opt = tsp::solve_held_karp(prepared.prepared());
+  const auto orig_opt = tsp::solve_held_karp(inst);
+  EXPECT_NEAR(inst.tour_length(prep_opt.tour), orig_opt.length, 1e-6);
+  EXPECT_NEAR(prepared.to_original_length(prep_opt.length), orig_opt.length,
+              1e-6);
+}
+
+TEST(Pipeline, NormalisesScale) {
+  for (std::uint64_t seed : {1, 5, 9}) {
+    const auto inst = tsp::generate_exponential(10, seed);
+    const PreparedTspInstance prepared(inst);
+    EXPECT_NEAR(prepared.prepared().mean_distance(), kTargetMeanDistance,
+                1e-6);
+  }
+}
+
+TEST(Pipeline, OriginalTourLengthScoresDecodedAssignments) {
+  const auto inst = tsp::generate_uniform(6, 12);
+  const PreparedTspInstance prepared(inst);
+  Rng rng(13);
+  const tsp::Tour tour = rng.permutation(6);
+  const auto x = tsp::encode_tour(prepared.prepared(), tour);
+  EXPECT_NEAR(prepared.original_tour_length(x), inst.tour_length(tour), 1e-9);
+  // Infeasible assignment scores +inf.
+  std::vector<std::uint8_t> bad(36, 0);
+  EXPECT_TRUE(std::isinf(prepared.original_tour_length(bad)));
+}
+
+// --- dataset ------------------------------------------------------------------
+
+/// Stub solver with an exactly-known sigmoid feasibility response: it emits
+/// `pf(A) * B` encoded random tours and fills the rest with infeasible
+/// assignments.  Lets us test the sweep logic without solver noise.
+class StubSigmoidSolver final : public solvers::QuboSolver {
+ public:
+  StubSigmoidSolver(const tsp::TspInstance& instance, double a_mid,
+                    double steepness)
+      : instance_(instance), a_mid_(a_mid), steepness_(steepness) {}
+
+  std::string name() const override { return "stub"; }
+
+  // The runner passes the *relaxed* QUBO; recover A from the model's linear
+  // coefficients?  Simpler: the stub keeps its own call log through
+  // `last_a`, set by the test via the penalty scale.  Instead we infer A
+  // from the energy of the all-ones assignment, which grows linearly in A.
+  qubo::SolveBatch solve(const qubo::QuboModel& model,
+                         const solvers::SolveOptions& options) const override {
+    // For the TSP penalty builder, E(0...0) = A * sum_r b_r^2 = A * 2n.
+    const std::size_t n = instance_.num_cities();
+    const double a =
+        model.energy(qubo::Bits(model.num_vars(), 0)) / (2.0 * double(n));
+    const double pf =
+        1.0 / (1.0 + std::exp(-steepness_ * (a - a_mid_)));
+    Rng rng(options.seed);
+    qubo::SolveBatch batch;
+    for (std::size_t r = 0; r < options.num_replicas; ++r) {
+      qubo::SolveResult result;
+      if ((static_cast<double>(r) + 0.5) / double(options.num_replicas) < pf) {
+        result.assignment = tsp::encode_tour(instance_, rng.permutation(n));
+      } else {
+        result.assignment = qubo::Bits(model.num_vars(), 0);
+      }
+      result.qubo_energy = model.energy(result.assignment);
+      batch.results.push_back(std::move(result));
+    }
+    return batch;
+  }
+
+ private:
+  const tsp::TspInstance& instance_;
+  double a_mid_;
+  double steepness_;
+};
+
+TEST(Dataset, SlopeBoundsBracketTheTransition) {
+  const auto inst = tsp::generate_uniform(6, 21);
+  const auto problem = tsp::build_tsp_problem(inst);
+  auto solver = std::make_shared<StubSigmoidSolver>(inst, 20.0, 0.8);
+  solvers::SolveOptions options;
+  options.num_replicas = 16;
+  solvers::BatchRunner runner(problem, solver, options);
+
+  SweepConfig config;
+  const SlopeBounds bounds = find_slope_bounds(runner, 20.0, config);
+  EXPECT_LT(bounds.a_left, 20.0);
+  EXPECT_GT(bounds.a_right, 20.0);
+  EXPECT_FALSE(bounds.probes.empty());
+}
+
+TEST(Dataset, SweepCoversSlopeAndPlateaus) {
+  const auto inst = tsp::generate_uniform(6, 22);
+  const auto problem = tsp::build_tsp_problem(inst);
+  auto solver = std::make_shared<StubSigmoidSolver>(inst, 15.0, 1.0);
+  solvers::SolveOptions options;
+  options.num_replicas = 16;
+  solvers::BatchRunner runner(problem, solver, options);
+
+  SweepConfig config;
+  config.slope_points = 8;
+  config.plateau_points = 2;
+  const auto samples = sweep_instance(runner, 15.0, config);
+  int slope = 0, low_plateau = 0, high_plateau = 0;
+  for (const auto& s : samples) {
+    if (s.stats.pf == 0.0) ++low_plateau;
+    else if (s.stats.pf == 1.0) ++high_plateau;
+    else ++slope;
+  }
+  EXPECT_GE(slope, 4) << "sigmoid slope under-sampled";
+  EXPECT_GE(low_plateau, 1);
+  EXPECT_GE(high_plateau, 1);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  Dataset dataset;
+  for (int i = 0; i < 3; ++i) {
+    DatasetRow row;
+    row.instance_id = static_cast<std::size_t>(i);
+    for (std::size_t f = 0; f < kNumTspFeatures; ++f) {
+      row.features[f] = 0.25 * static_cast<double>(f) + i;
+    }
+    row.scale_anchor = 10.0 + i;
+    row.relaxation_parameter = 3.5 * (i + 1);
+    row.pf = 0.125 * (i + 1);
+    row.energy_avg = 100.0 + i;
+    row.energy_std = 5.0 - i;
+    dataset.rows.push_back(row);
+  }
+  std::stringstream stream;
+  dataset.save_csv(stream);
+  const Dataset loaded = Dataset::load_csv(stream);
+  ASSERT_EQ(loaded.rows.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(loaded.rows[i].instance_id, dataset.rows[i].instance_id);
+    EXPECT_EQ(loaded.rows[i].features, dataset.rows[i].features);
+    EXPECT_DOUBLE_EQ(loaded.rows[i].pf, dataset.rows[i].pf);
+    EXPECT_DOUBLE_EQ(loaded.rows[i].energy_avg, dataset.rows[i].energy_avg);
+  }
+}
+
+TEST(Dataset, BuildDatasetProducesLabelledRows) {
+  std::vector<tsp::TspInstance> instances;
+  instances.push_back(tsp::generate_uniform(6, 31));
+  instances.push_back(tsp::generate_uniform(7, 32));
+  // Use the stub against the *prepared* instances: build_dataset prepares
+  // internally, so the stub must tolerate any instance; we approximate by
+  // letting pf depend only on A, which the stub computes from the model.
+  // Simplest: run with a real (cheap) solver instead.
+  auto solver = std::make_shared<StubSigmoidSolver>(instances[0], 25.0, 0.7);
+  // NOTE: decode against instance 0's size only works when sizes match, so
+  // keep both instances at size 6 for the stub:
+  instances.pop_back();
+  instances.push_back(tsp::generate_uniform(6, 33));
+
+  solvers::SolveOptions options;
+  options.num_replicas = 8;
+  SweepConfig sweep;
+  sweep.slope_points = 4;
+  sweep.plateau_points = 1;
+  const Dataset dataset = build_dataset(instances, solver, options, sweep);
+  EXPECT_GT(dataset.rows.size(), instances.size() * 5);
+  for (const auto& row : dataset.rows) {
+    EXPECT_LT(row.instance_id, instances.size());
+    EXPECT_GT(row.scale_anchor, 0.0);
+    EXPECT_GE(row.pf, 0.0);
+    EXPECT_LE(row.pf, 1.0);
+    EXPECT_GT(row.relaxation_parameter, 0.0);
+  }
+}
+
+// --- surrogate model -------------------------------------------------------------
+
+/// Builds a synthetic dataset from an analytic "solver": Pf is a sigmoid in
+/// log A whose midpoint depends on the instance's mean distance, and the
+/// energies are smooth functions of A.  If the surrogate can't learn this,
+/// it can't learn a real solver either.
+Dataset synthetic_dataset(std::size_t instances, std::size_t points,
+                          std::uint64_t seed) {
+  Dataset dataset;
+  Rng rng(seed);
+  for (std::size_t id = 0; id < instances; ++id) {
+    const auto inst = tsp::generate_uniform(6 + id % 4, derive_seed(seed, id));
+    const PreparedTspInstance prepared(inst);
+    const auto features = extract_features(prepared.prepared());
+    const double anchor = scale_anchor(features);
+    const double mid = std::log(20.0) + 0.1 * (features[0] - 8.0);
+    for (std::size_t k = 0; k < points; ++k) {
+      const double a = std::exp(rng.uniform(std::log(2.0), std::log(200.0)));
+      DatasetRow row;
+      row.instance_id = id;
+      row.features = features;
+      row.scale_anchor = anchor;
+      row.relaxation_parameter = a;
+      row.pf = 1.0 / (1.0 + std::exp(-3.0 * (std::log(a) - mid)));
+      row.energy_avg = anchor * (1.0 + 0.1 * std::log(a));
+      row.energy_std = anchor * 0.05;
+      dataset.rows.push_back(row);
+    }
+  }
+  return dataset;
+}
+
+TEST(SurrogateModel, LearnsAnalyticSolverResponse) {
+  const Dataset dataset = synthetic_dataset(10, 24, 5);
+  SolverSurrogate surrogate;  // default (full) training budget
+  surrogate.train(dataset);
+
+  // Check predictions on a held-out instance from the same generator family.
+  const auto inst = tsp::generate_uniform(7, 999);
+  const PreparedTspInstance prepared(inst);
+  const auto features = extract_features(prepared.prepared());
+  const double anchor = scale_anchor(features);
+  const double mid = std::log(20.0) + 0.1 * (features[0] - 8.0);
+
+  double pf_error = 0.0;
+  double energy_rel_error = 0.0;
+  int count = 0;
+  for (double a : {3.0, 8.0, 15.0, 25.0, 60.0, 150.0}) {
+    const auto pred = surrogate.predict(features, anchor, a);
+    const double true_pf =
+        1.0 / (1.0 + std::exp(-3.0 * (std::log(a) - mid)));
+    const double true_eavg = anchor * (1.0 + 0.1 * std::log(a));
+    pf_error += std::abs(pred.pf - true_pf);
+    energy_rel_error += std::abs(pred.energy_avg - true_eavg) / true_eavg;
+    ++count;
+  }
+  EXPECT_LT(pf_error / count, 0.12) << "mean Pf error too large";
+  EXPECT_LT(energy_rel_error / count, 0.10) << "mean Eavg error too large";
+}
+
+TEST(SurrogateModel, PredictionsAreProbabilitiesAndPositiveStd) {
+  const Dataset dataset = synthetic_dataset(6, 16, 7);
+  SurrogateConfig config;
+  config.pf_training.max_epochs = 60;
+  config.energy_training.max_epochs = 60;
+  SolverSurrogate surrogate(config);
+  surrogate.train(dataset);
+  const auto& row = dataset.rows.front();
+  for (double a : {1.0, 10.0, 400.0}) {
+    const auto pred = surrogate.predict(row.features, row.scale_anchor, a);
+    EXPECT_GE(pred.pf, 0.0);
+    EXPECT_LE(pred.pf, 1.0);
+    EXPECT_GT(pred.energy_std, 0.0);
+  }
+}
+
+TEST(SurrogateModel, SaveLoadRoundTrip) {
+  const Dataset dataset = synthetic_dataset(5, 12, 9);
+  SurrogateConfig config;
+  config.pf_training.max_epochs = 40;
+  config.energy_training.max_epochs = 40;
+  SolverSurrogate surrogate(config);
+  surrogate.train(dataset);
+
+  std::stringstream stream;
+  surrogate.save(stream);
+  const SolverSurrogate loaded = SolverSurrogate::load(stream);
+  const auto& row = dataset.rows.front();
+  for (double a : {2.0, 20.0, 90.0}) {
+    const auto p1 = surrogate.predict(row.features, row.scale_anchor, a);
+    const auto p2 = loaded.predict(row.features, row.scale_anchor, a);
+    EXPECT_DOUBLE_EQ(p1.pf, p2.pf);
+    EXPECT_DOUBLE_EQ(p1.energy_avg, p2.energy_avg);
+    EXPECT_DOUBLE_EQ(p1.energy_std, p2.energy_std);
+  }
+}
+
+TEST(SurrogateModel, GuardsMisuse) {
+  SolverSurrogate surrogate;
+  const std::array<double, kNumTspFeatures> features{};
+  EXPECT_THROW(surrogate.predict(features, 1.0, 10.0), std::invalid_argument);
+  Dataset tiny;
+  tiny.rows.resize(2);
+  EXPECT_THROW(surrogate.train(tiny), std::invalid_argument);
+}
+
+TEST(SurrogateModel, PredictSweepMatchesPointwise) {
+  const Dataset dataset = synthetic_dataset(5, 12, 11);
+  SurrogateConfig config;
+  config.pf_training.max_epochs = 30;
+  config.energy_training.max_epochs = 30;
+  SolverSurrogate surrogate(config);
+  surrogate.train(dataset);
+  const auto& row = dataset.rows.front();
+  const std::vector<double> grid{1.0, 5.0, 25.0, 125.0};
+  const auto sweep = surrogate.predict_sweep(row.features, row.scale_anchor, grid);
+  ASSERT_EQ(sweep.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto point = surrogate.predict(row.features, row.scale_anchor, grid[i]);
+    EXPECT_DOUBLE_EQ(sweep[i].pf, point.pf);
+    EXPECT_DOUBLE_EQ(sweep[i].energy_avg, point.energy_avg);
+  }
+}
+
+}  // namespace
+}  // namespace qross::surrogate

@@ -1,0 +1,466 @@
+// Tests for src/problems/tsp: instances, generators, the Lucas QUBO
+// formulation, MVODM preprocessing, exact solvers, heuristics, and TSPLIB.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "problems/tsp/exact.hpp"
+#include "problems/tsp/formulation.hpp"
+#include "problems/tsp/generators.hpp"
+#include "problems/tsp/heuristics.hpp"
+#include "problems/tsp/instance.hpp"
+#include "problems/tsp/preprocess.hpp"
+#include "problems/tsp/testset.hpp"
+#include "problems/tsp/tsplib.hpp"
+
+namespace qross::tsp {
+namespace {
+
+TspInstance square_instance() {
+  // Unit square; optimal tour is the perimeter, length 4.
+  return TspInstance("square", {{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+}
+
+TEST(Instance, EuclideanDistances) {
+  const TspInstance inst = square_instance();
+  EXPECT_DOUBLE_EQ(inst.distance(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 2), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(inst.distance(2, 0), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(inst.distance(3, 3), 0.0);
+}
+
+TEST(Instance, TourLengthClosesCycle) {
+  const TspInstance inst = square_instance();
+  const Tour perimeter{0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(inst.tour_length(perimeter), 4.0);
+  const Tour crossed{0, 2, 1, 3};
+  EXPECT_NEAR(inst.tour_length(crossed), 2.0 + 2.0 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(Instance, ValidTourChecks) {
+  const TspInstance inst = square_instance();
+  EXPECT_TRUE(inst.is_valid_tour(Tour{2, 0, 3, 1}));
+  EXPECT_FALSE(inst.is_valid_tour(Tour{0, 1, 2}));      // too short
+  EXPECT_FALSE(inst.is_valid_tour(Tour{0, 1, 2, 2}));   // repeat
+  EXPECT_FALSE(inst.is_valid_tour(Tour{0, 1, 2, 4}));   // out of range
+}
+
+TEST(Instance, MatrixConstructorValidates) {
+  EXPECT_THROW(TspInstance("bad", 2, {0.0, 1.0, 2.0, 0.0}),
+               std::invalid_argument);  // asymmetric
+  EXPECT_THROW(TspInstance("bad", 2, {1.0, 1.0, 1.0, 0.0}),
+               std::invalid_argument);  // nonzero diagonal
+  EXPECT_THROW(TspInstance("bad", 3, {0.0}), std::invalid_argument);
+}
+
+TEST(Instance, DistanceStatistics) {
+  const TspInstance inst = square_instance();
+  EXPECT_DOUBLE_EQ(inst.max_distance(), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(inst.min_positive_distance(), 1.0);
+  EXPECT_NEAR(inst.mean_distance(), (4.0 + 2.0 * std::sqrt(2.0)) / 6.0, 1e-12);
+}
+
+TEST(Generators, UniformRespectsBoundsAndSeed) {
+  const TspInstance a = generate_uniform(20, 5);
+  const TspInstance b = generate_uniform(20, 5);
+  const TspInstance c = generate_uniform(20, 6);
+  EXPECT_EQ(a.num_cities(), 20u);
+  ASSERT_TRUE(a.coordinates().has_value());
+  for (const auto& p : *a.coordinates()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 100.0);
+  }
+  EXPECT_EQ(a.distance_matrix().size(), b.distance_matrix().size());
+  for (std::size_t i = 0; i < a.distance_matrix().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.distance_matrix()[i], b.distance_matrix()[i]);
+  }
+  // Different seed, different instance.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.distance_matrix().size(); ++i) {
+    if (a.distance_matrix()[i] != c.distance_matrix()[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generators, ExponentialProducesPositiveCoords) {
+  const TspInstance inst = generate_exponential(15, 8);
+  ASSERT_TRUE(inst.coordinates().has_value());
+  for (const auto& p : *inst.coordinates()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_GE(p.y, 0.0);
+  }
+}
+
+TEST(Generators, ClusteredStaysInBox) {
+  const TspInstance inst = generate_clustered(30, 9);
+  ASSERT_TRUE(inst.coordinates().has_value());
+  for (const auto& p : *inst.coordinates()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 100.0);
+  }
+}
+
+TEST(Generators, SyntheticDatasetMixesSizes) {
+  const auto dataset = generate_synthetic_dataset(12, 8, 14, 77);
+  ASSERT_EQ(dataset.size(), 12u);
+  for (const auto& inst : dataset) {
+    EXPECT_GE(inst.num_cities(), 8u);
+    EXPECT_LE(inst.num_cities(), 14u);
+  }
+  // Deterministic regeneration.
+  const auto again = generate_synthetic_dataset(12, 8, 14, 77);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(dataset[i].num_cities(), again[i].num_cities());
+    EXPECT_EQ(dataset[i].name(), again[i].name());
+  }
+}
+
+// --- QUBO formulation --------------------------------------------------------
+
+TEST(Formulation, EncodeDecodeRoundTrip) {
+  const TspInstance inst = square_instance();
+  const Tour tour{2, 0, 3, 1};
+  const auto x = encode_tour(inst, tour);
+  const auto decoded = decode_tour(inst, x);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, tour);
+}
+
+TEST(Formulation, DecodeRejectsNonPermutations) {
+  const TspInstance inst = square_instance();
+  std::vector<std::uint8_t> x(16, 0);
+  EXPECT_FALSE(decode_tour(inst, x).has_value());  // all empty
+  x[variable_index(0, 0, 4)] = 1;
+  x[variable_index(0, 1, 4)] = 1;  // city 0 twice
+  EXPECT_FALSE(decode_tour(inst, x).has_value());
+}
+
+TEST(Formulation, FeasibleEnergyEqualsTourLength) {
+  Rng rng(21);
+  const TspInstance inst = generate_uniform(7, 3);
+  const auto problem = build_tsp_problem(inst);
+  for (int rep = 0; rep < 20; ++rep) {
+    Tour tour = rng.permutation(7);
+    const auto x = encode_tour(inst, tour);
+    EXPECT_TRUE(problem.is_feasible(x));
+    EXPECT_NEAR(problem.objective(x), inst.tour_length(tour), 1e-9);
+    // The QUBO energy at any A equals the tour length for feasible x.
+    EXPECT_NEAR(problem.to_qubo(57.0).energy(x), inst.tour_length(tour), 1e-9);
+  }
+}
+
+TEST(Formulation, InfeasibleAssignmentsPayPenalty) {
+  const TspInstance inst = square_instance();
+  const auto problem = build_tsp_problem(inst);
+  std::vector<std::uint8_t> x(16, 0);  // nothing assigned
+  EXPECT_FALSE(problem.is_feasible(x));
+  // 2n unit violations (each constraint misses by exactly 1).
+  EXPECT_DOUBLE_EQ(problem.violation(x), 8.0);
+  EXPECT_DOUBLE_EQ(problem.to_qubo(3.0).energy(x), 24.0);
+}
+
+TEST(Formulation, ConstraintCount) {
+  const TspInstance inst = generate_uniform(6, 4);
+  const auto problem = build_tsp_problem(inst);
+  EXPECT_EQ(problem.num_vars(), 36u);
+  EXPECT_EQ(problem.num_constraints(), 12u);
+}
+
+// --- MVODM preprocessing ------------------------------------------------------
+
+class MvodmParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MvodmParam, ShiftPreservesOptimalTourAndReducesVariance) {
+  const TspInstance inst = generate_uniform(9, GetParam());
+  const MvodmResult result = mvodm_preprocess(inst);
+  EXPECT_LE(result.shifted_variance, result.original_variance + 1e-9);
+
+  // Every tour's length changes by the same constant, so rankings (and the
+  // exact optimum) are invariant.
+  const ExactResult original_opt = solve_held_karp(inst);
+  const ExactResult shifted_opt = solve_held_karp(result.shifted);
+  EXPECT_NEAR(inst.tour_length(shifted_opt.tour), original_opt.length, 1e-6);
+
+  double pi_sum = 0.0;
+  for (double p : result.pi) pi_sum += p;
+  EXPECT_NEAR(result.to_original_length(shifted_opt.length, 9, pi_sum),
+              original_opt.length, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MvodmParam, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Mvodm, ConstantTourShift) {
+  Rng rng(6);
+  const TspInstance inst = generate_uniform(8, 10);
+  const MvodmResult result = mvodm_preprocess(inst);
+  double pi_sum = 0.0;
+  for (double p : result.pi) pi_sum += p;
+  // d' = d - pi_u - pi_v + s  =>  L' = L - 2*sum(pi) + n*s for every tour.
+  for (int rep = 0; rep < 10; ++rep) {
+    const Tour tour = rng.permutation(8);
+    const double expected =
+        inst.tour_length(tour) - 2.0 * pi_sum + 8.0 * result.edge_offset;
+    EXPECT_NEAR(result.shifted.tour_length(tour), expected, 1e-8);
+  }
+}
+
+TEST(Mvodm, ShiftedDistancesArePositive) {
+  const TspInstance inst = generate_clustered(12, 13);
+  const MvodmResult result = mvodm_preprocess(inst);
+  EXPECT_GT(result.shifted.min_positive_distance(), 0.0);
+  for (std::size_t u = 0; u < 12; ++u) {
+    for (std::size_t v = 0; v < 12; ++v) {
+      if (u != v) EXPECT_GT(result.shifted.distance(u, v), 0.0);
+    }
+  }
+}
+
+TEST(Mvodm, PotentialsSatisfyStationarity) {
+  const TspInstance inst = generate_uniform(10, 14);
+  const auto pi = minimize_distance_variance(inst);
+  // At the optimum, perturbing any single pi_k must not reduce the variance.
+  const auto variance_with = [&](std::span<const double> p) {
+    const auto shifted = inst.with_shifted_distances(p, "tmp");
+    return offdiagonal_variance(shifted);
+  };
+  const double base = variance_with(pi);
+  for (std::size_t k = 0; k < pi.size(); ++k) {
+    for (double eps : {-0.05, 0.05}) {
+      auto perturbed = pi;
+      perturbed[k] += eps;
+      EXPECT_GE(variance_with(perturbed), base - 1e-9);
+    }
+  }
+}
+
+// --- exact solvers ------------------------------------------------------------
+
+class ExactParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactParam, HeldKarpMatchesBruteForce) {
+  const TspInstance inst = generate_uniform(8, 300 + GetParam());
+  const ExactResult hk = solve_held_karp(inst);
+  const ExactResult bf = solve_brute_force(inst);
+  EXPECT_NEAR(hk.length, bf.length, 1e-9);
+  EXPECT_TRUE(inst.is_valid_tour(hk.tour));
+  EXPECT_NEAR(inst.tour_length(hk.tour), hk.length, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactParam,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+TEST(Exact, TrivialSizes) {
+  const TspInstance one("one", {{0.0, 0.0}});
+  EXPECT_DOUBLE_EQ(solve_held_karp(one).length, 0.0);
+  const TspInstance two("two", {{0.0, 0.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(solve_held_karp(two).length, 10.0);  // there and back
+  const TspInstance three("three", {{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}});
+  EXPECT_NEAR(solve_held_karp(three).length, 2.0 + std::sqrt(2.0), 1e-12);
+}
+
+TEST(Exact, SizeGuards) {
+  std::vector<Point> many(25, Point{});
+  EXPECT_THROW(solve_held_karp(TspInstance("big", many)),
+               std::invalid_argument);
+  std::vector<Point> eleven(11, Point{});
+  EXPECT_THROW(solve_brute_force(TspInstance("big", eleven)),
+               std::invalid_argument);
+}
+
+// --- heuristics ----------------------------------------------------------------
+
+TEST(Heuristics, NearestNeighborIsValidTour) {
+  const TspInstance inst = generate_uniform(15, 31);
+  for (std::size_t start = 0; start < 15; start += 3) {
+    const Tour tour = nearest_neighbor_tour(inst, start);
+    EXPECT_TRUE(inst.is_valid_tour(tour));
+    EXPECT_EQ(tour.front(), start);
+  }
+}
+
+TEST(Heuristics, TwoOptNeverWorsens) {
+  Rng rng(41);
+  const TspInstance inst = generate_uniform(14, 32);
+  for (int rep = 0; rep < 8; ++rep) {
+    const Tour initial = rng.permutation(14);
+    const double before = inst.tour_length(initial);
+    const Tour improved = two_opt(inst, initial);
+    EXPECT_TRUE(inst.is_valid_tour(improved));
+    EXPECT_LE(inst.tour_length(improved), before + 1e-9);
+  }
+}
+
+TEST(Heuristics, TwoOptRemovesCrossing) {
+  const TspInstance inst = square_instance();
+  const Tour crossed{0, 2, 1, 3};
+  const Tour improved = two_opt(inst, crossed);
+  EXPECT_NEAR(inst.tour_length(improved), 4.0, 1e-12);
+}
+
+TEST(Heuristics, OrOptNeverWorsens) {
+  Rng rng(43);
+  const TspInstance inst = generate_clustered(13, 33);
+  const Tour initial = rng.permutation(13);
+  const double before = inst.tour_length(initial);
+  const Tour improved = or_opt(inst, initial);
+  EXPECT_TRUE(inst.is_valid_tour(improved));
+  EXPECT_LE(inst.tour_length(improved), before + 1e-9);
+}
+
+TEST(Heuristics, ReferenceSolutionIsExactForSmallInstances) {
+  const TspInstance inst = generate_uniform(9, 34);
+  const ReferenceSolution ref = reference_solution(inst);
+  EXPECT_TRUE(ref.exact);
+  EXPECT_NEAR(ref.length, solve_held_karp(inst).length, 1e-9);
+}
+
+TEST(Heuristics, ReferenceSolutionNearOptimalForMediumInstances) {
+  // For n = 16 we can still afford Held-Karp as the yardstick in a test.
+  const TspInstance inst = generate_uniform(16, 35);
+  const ReferenceSolution ref = reference_solution(inst);
+  EXPECT_FALSE(ref.exact);
+  EXPECT_TRUE(inst.is_valid_tour(ref.tour));
+  const ExactResult opt = solve_held_karp(inst);
+  EXPECT_LE(ref.length, opt.length * 1.05) << "2-opt reference worse than 5%";
+  EXPECT_GE(ref.length, opt.length - 1e-9);
+}
+
+// --- TSPLIB ----------------------------------------------------------------------
+
+TEST(Tsplib, ParsesEuc2d) {
+  const std::string text =
+      "NAME : tiny\n"
+      "TYPE : TSP\n"
+      "COMMENT : three cities\n"
+      "DIMENSION : 3\n"
+      "EDGE_WEIGHT_TYPE : EUC_2D\n"
+      "NODE_COORD_SECTION\n"
+      "1 0.0 0.0\n"
+      "2 3.0 0.0\n"
+      "3 0.0 4.0\n"
+      "EOF\n";
+  const TspInstance inst = parse_tsplib_string(text);
+  EXPECT_EQ(inst.name(), "tiny");
+  EXPECT_EQ(inst.num_cities(), 3u);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(inst.distance(1, 2), 5.0);
+  EXPECT_TRUE(inst.coordinates().has_value());
+}
+
+TEST(Tsplib, Euc2dRoundsToNearestInteger) {
+  const std::string text =
+      "NAME : round\nTYPE : TSP\nDIMENSION : 2\n"
+      "EDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n"
+      "1 0 0\n"
+      "2 1.2 0\n"
+      "EOF\n";
+  EXPECT_DOUBLE_EQ(parse_tsplib_string(text).distance(0, 1), 1.0);
+}
+
+TEST(Tsplib, ParsesFullMatrix) {
+  const std::string text =
+      "NAME : m\nTYPE : TSP\nDIMENSION : 3\n"
+      "EDGE_WEIGHT_TYPE : EXPLICIT\nEDGE_WEIGHT_FORMAT : FULL_MATRIX\n"
+      "EDGE_WEIGHT_SECTION\n"
+      "0 1 2\n"
+      "1 0 3\n"
+      "2 3 0\n"
+      "EOF\n";
+  const TspInstance inst = parse_tsplib_string(text);
+  EXPECT_DOUBLE_EQ(inst.distance(1, 2), 3.0);
+  EXPECT_FALSE(inst.coordinates().has_value());
+}
+
+TEST(Tsplib, ParsesUpperRow) {
+  const std::string text =
+      "NAME : u\nTYPE : TSP\nDIMENSION : 3\n"
+      "EDGE_WEIGHT_TYPE : EXPLICIT\nEDGE_WEIGHT_FORMAT : UPPER_ROW\n"
+      "EDGE_WEIGHT_SECTION\n"
+      "5 6\n"
+      "7\n"
+      "EOF\n";
+  const TspInstance inst = parse_tsplib_string(text);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 2), 6.0);
+  EXPECT_DOUBLE_EQ(inst.distance(1, 2), 7.0);
+}
+
+TEST(Tsplib, ParsesLowerDiagRow) {
+  const std::string text =
+      "NAME : l\nTYPE : TSP\nDIMENSION : 3\n"
+      "EDGE_WEIGHT_TYPE : EXPLICIT\nEDGE_WEIGHT_FORMAT : LOWER_DIAG_ROW\n"
+      "EDGE_WEIGHT_SECTION\n"
+      "0\n"
+      "5 0\n"
+      "6 7 0\n"
+      "EOF\n";
+  const TspInstance inst = parse_tsplib_string(text);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(inst.distance(0, 2), 6.0);
+  EXPECT_DOUBLE_EQ(inst.distance(1, 2), 7.0);
+}
+
+TEST(Tsplib, RejectsUnsupportedContent) {
+  EXPECT_THROW(parse_tsplib_string("DIMENSION : 2\n"
+                                   "EDGE_WEIGHT_TYPE : GEO\nEOF\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_tsplib_string("EDGE_WEIGHT_TYPE : EUC_2D\nEOF\n"),
+               std::invalid_argument);  // missing dimension
+  EXPECT_THROW(parse_tsplib_string("TYPE : ATSP\nDIMENSION : 2\nEOF\n"),
+               std::invalid_argument);
+}
+
+TEST(Tsplib, ExplicitMatrixRoundTrip) {
+  const TspInstance original("rt", 3, {0, 1.5, 2.25, 1.5, 0, 3.75, 2.25, 3.75, 0});
+  std::ostringstream out;
+  write_tsplib(out, original);
+  const TspInstance parsed = parse_tsplib_string(out.str());
+  EXPECT_EQ(parsed.num_cities(), 3u);
+  for (std::size_t u = 0; u < 3; ++u) {
+    for (std::size_t v = 0; v < 3; ++v) {
+      EXPECT_DOUBLE_EQ(parsed.distance(u, v), original.distance(u, v));
+    }
+  }
+}
+
+TEST(Tsplib, Euc2dWriteParseKeepsRoundedDistances) {
+  const TspInstance original = generate_uniform(10, 50);
+  std::ostringstream out;
+  write_tsplib(out, original);
+  const TspInstance parsed = parse_tsplib_string(out.str());
+  ASSERT_EQ(parsed.num_cities(), original.num_cities());
+  for (std::size_t u = 0; u < 10; ++u) {
+    for (std::size_t v = 0; v < 10; ++v) {
+      // Parsed distances are TSPLIB-rounded versions of the originals.
+      EXPECT_NEAR(parsed.distance(u, v), original.distance(u, v), 0.5 + 1e-9);
+    }
+  }
+}
+
+TEST(Testset, ElevenInstancesWithDocumentedSizes) {
+  const auto sizes = tsplib_like_sizes();
+  ASSERT_EQ(sizes.size(), 11u);
+  const auto instances = tsplib_like_testset();
+  ASSERT_EQ(instances.size(), 11u);
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(instances[i].num_cities(), sizes[i]);
+    EXPECT_TRUE(instances[i].coordinates().has_value());
+  }
+}
+
+TEST(Testset, DeterministicAcrossCalls) {
+  const auto a = tsplib_like_testset_text();
+  const auto b = tsplib_like_testset_text();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace qross::tsp

@@ -1,0 +1,194 @@
+// Tests for src/tuning: Random Search, TPE, Gaussian process + expected
+// improvement, and the BO loop on analytic objectives.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tuning/bayes_opt.hpp"
+#include "tuning/gp.hpp"
+#include "tuning/random_search.hpp"
+#include "tuning/tpe.hpp"
+
+namespace qross::tuning {
+namespace {
+
+double run_tuner(Tuner& tuner, const std::function<double(double)>& objective,
+                 int trials) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int t = 0; t < trials; ++t) {
+    const double x = tuner.propose();
+    const double value = objective(x);
+    best = std::min(best, value);
+    tuner.observe({x, value});
+  }
+  return best;
+}
+
+TEST(FiniteObjective, MapsInfinityToPenalty) {
+  EXPECT_DOUBLE_EQ(finite_objective(5.0, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(
+      finite_objective(std::numeric_limits<double>::infinity(), 100.0), 100.0);
+}
+
+TEST(RandomSearch, ProposalsInBounds) {
+  RandomSearch tuner(2.0, 9.0, 4);
+  for (int i = 0; i < 200; ++i) {
+    const double x = tuner.propose();
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 9.0);
+  }
+}
+
+TEST(RandomSearch, RecordsHistory) {
+  RandomSearch tuner(0.0, 1.0, 4);
+  tuner.observe({0.5, 1.0});
+  tuner.observe({0.25, 2.0});
+  EXPECT_EQ(tuner.history().size(), 2u);
+  EXPECT_EQ(tuner.name(), "random");
+}
+
+TEST(RandomSearch, DeterministicUnderSeed) {
+  RandomSearch a(0.0, 1.0, 7), b(0.0, 1.0, 7);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(a.propose(), b.propose());
+}
+
+TEST(Tpe, StartupIsRandomInBounds) {
+  TpeTuner tuner(1.0, 100.0, 5);
+  for (int i = 0; i < 5; ++i) {
+    const double x = tuner.propose();
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+    tuner.observe({x, 1.0});
+  }
+}
+
+TEST(Tpe, ConcentratesNearGoodRegion) {
+  // After observing a clear quadratic structure, TPE proposals should land
+  // near the minimum more often than uniform random would (~10% for the
+  // middle tenth of the interval).
+  TpeTuner tuner(0.0, 100.0, 6);
+  auto objective = [](double x) { return (x - 50.0) * (x - 50.0); };
+  for (int t = 0; t < 30; ++t) {
+    const double x = tuner.propose();
+    tuner.observe({x, objective(x)});
+  }
+  int near = 0;
+  const int probes = 40;
+  for (int t = 0; t < probes; ++t) {
+    const double x = tuner.propose();
+    if (std::abs(x - 50.0) < 15.0) ++near;
+    tuner.observe({x, objective(x)});
+  }
+  EXPECT_GT(near, probes / 3) << "TPE not exploiting the good region";
+}
+
+TEST(Tpe, BeatsItsOwnStartupPhase) {
+  auto objective = [](double x) {
+    return std::pow(x - 30.0, 2) + 10.0 * std::sin(x);
+  };
+  TpeTuner tuner(0.0, 100.0, 8);
+  const double best = run_tuner(tuner, objective, 40);
+  // Global minimum value is ~ -9.5 at x ~ 29.5; 40 trials should get close.
+  EXPECT_LT(best, 10.0);
+}
+
+TEST(Gp, PosteriorInterpolatesTrainingPoints) {
+  GaussianProcess gp;
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 2.0, 0.5, -1.0};
+  gp.fit(xs, ys);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto post = gp.predict(xs[i]);
+    EXPECT_NEAR(post.mean, ys[i], 0.35) << "x=" << xs[i];
+    // Posterior uncertainty at a training point is below the prior scale.
+    EXPECT_LT(post.stddev, 1.0);
+  }
+}
+
+TEST(Gp, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp;
+  gp.fit({0.0, 1.0}, {0.0, 1.0});
+  const auto near = gp.predict(0.5);
+  const auto far = gp.predict(30.0);
+  EXPECT_GT(far.stddev, near.stddev);
+  // Far from data the mean reverts toward the training mean.
+  EXPECT_NEAR(far.mean, 0.5, 0.1);
+}
+
+TEST(Gp, SinglePointFit) {
+  GaussianProcess gp;
+  gp.fit({2.0}, {7.0});
+  EXPECT_NEAR(gp.predict(2.0).mean, 7.0, 1e-6);
+}
+
+TEST(Gp, RejectsMisuse) {
+  GaussianProcess gp;
+  EXPECT_THROW(gp.predict(0.0), std::invalid_argument);
+  EXPECT_THROW(gp.fit({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(ExpectedImprovement, ZeroWhenCertainAndWorse) {
+  EXPECT_DOUBLE_EQ(expected_improvement(10.0, 0.0, 5.0), 0.0);
+  EXPECT_NEAR(expected_improvement(1.0, 0.0, 5.0, 0.0), 4.0, 1e-12);
+}
+
+TEST(ExpectedImprovement, IncreasesWithUncertainty) {
+  const double low = expected_improvement(5.0, 0.1, 5.0);
+  const double high = expected_improvement(5.0, 2.0, 5.0);
+  EXPECT_GT(high, low);
+  EXPECT_GT(low, 0.0);
+}
+
+TEST(BayesOpt, WarmupCountMatchesPaperSetting) {
+  BayesOptTuner tuner(1.0, 100.0, 9);
+  // The paper draws 5 uniform samples before modelling; our default too.
+  for (int i = 0; i < 5; ++i) {
+    const double x = tuner.propose();
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+    tuner.observe({x, 1.0 + i});
+  }
+  EXPECT_EQ(tuner.history().size(), 5u);
+  // Next proposal is model-based and must not throw.
+  const double x = tuner.propose();
+  EXPECT_GE(x, 1.0);
+  EXPECT_LE(x, 100.0);
+}
+
+TEST(BayesOpt, FindsSmoothMinimum) {
+  auto objective = [](double x) { return (x - 42.0) * (x - 42.0) / 100.0; };
+  BayesOptTuner tuner(0.0, 100.0, 10);
+  const double best = run_tuner(tuner, objective, 25);
+  EXPECT_LT(best, 0.5) << "BO failed to approach the minimum";
+}
+
+TEST(BayesOpt, OutperformsSingleRandomDraw) {
+  // Sanity: 20 BO trials on a smooth function beat the expected quality of
+  // a few random draws.
+  auto objective = [](double x) {
+    return 5.0 + std::sin(x / 5.0) + 0.002 * (x - 60.0) * (x - 60.0);
+  };
+  BayesOptTuner bo(0.0, 100.0, 12);
+  const double bo_best = run_tuner(bo, objective, 20);
+  RandomSearch rs(0.0, 100.0, 12);
+  const double rs_best = run_tuner(rs, objective, 5);
+  EXPECT_LE(bo_best, rs_best + 1e-9);
+}
+
+TEST(BayesOpt, PosteriorAccessor) {
+  BayesOptTuner tuner(0.0, 10.0, 13);
+  EXPECT_THROW(tuner.posterior(1.0), std::invalid_argument);
+  for (int i = 0; i < 6; ++i) {
+    const double x = tuner.propose();
+    tuner.observe({x, x * x});
+  }
+  tuner.propose();  // triggers fit
+  const auto post = tuner.posterior(5.0);
+  EXPECT_TRUE(std::isfinite(post.mean));
+  EXPECT_GE(post.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace qross::tuning

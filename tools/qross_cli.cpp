@@ -1,0 +1,262 @@
+// qross — command-line front end for the QROSS library.
+//
+// Subcommands:
+//   generate  — write synthetic TSP instances as TSPLIB files
+//   sweep     — sweep the relaxation parameter on one instance and print
+//               the (A, Pf, Eavg, Estd, best fitness) response curve
+//   train     — build a dataset from TSPLIB files and train a tuner
+//   propose   — offline parameter proposal for an instance (no solver call)
+//   tune      — full tuning session on an instance, printing the best tour
+//
+// Examples:
+//   qross generate --count 8 --cities 10 --out-dir instances/
+//   qross sweep --instance instances/synthetic_0.tsp --solver da
+//   qross train --instances instances/ --solver da --out tuner.qross
+//   qross propose --tuner tuner.qross --instance new.tsp --pf 0.9
+//   qross tune --tuner tuner.qross --instance new.tsp --solver da --trials 10
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qross/qross.hpp"
+
+using namespace qross;
+
+namespace {
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
+  std::fprintf(stderr, R"(usage: qross <command> [options]
+
+commands:
+  generate --count N --cities N [--seed S] [--kind uniform|exponential|clustered]
+           --out-dir DIR
+  sweep    --instance FILE.tsp [--solver da|sa|qbsolv|tabu|pt] [--replicas B]
+           [--sweeps N] [--a-min X] [--a-max X] [--points N]
+  train    --instances DIR --out FILE [--solver NAME] [--replicas B] [--sweeps N]
+  propose  --tuner FILE --instance FILE.tsp [--pf P]
+  tune     --tuner FILE --instance FILE.tsp [--solver NAME] [--trials N]
+           [--seed S]
+)");
+  std::exit(2);
+}
+
+using Args = std::map<std::string, std::string>;
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage(("unexpected argument: " + key).c_str());
+    if (i + 1 >= argc) usage(("missing value for " + key).c_str());
+    args[key.substr(2)] = argv[++i];
+  }
+  return args;
+}
+
+std::string get_or(const Args& args, const std::string& key,
+                   const std::string& fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+std::string require(const Args& args, const std::string& key) {
+  const auto it = args.find(key);
+  if (it == args.end()) usage(("missing required option --" + key).c_str());
+  return it->second;
+}
+
+solvers::SolverPtr make_cli_solver(const std::string& name) {
+  if (name == "da") return std::make_shared<solvers::DigitalAnnealer>();
+  if (name == "sa") return std::make_shared<solvers::SimulatedAnnealer>();
+  if (name == "qbsolv") return std::make_shared<solvers::Qbsolv>();
+  if (name == "tabu") return std::make_shared<solvers::TabuSearch>();
+  if (name == "pt") return std::make_shared<solvers::ParallelTempering>();
+  usage(("unknown solver: " + name).c_str());
+}
+
+solvers::SolveOptions cli_solve_options(const Args& args,
+                                        const std::string& solver) {
+  solvers::SolveOptions options;
+  // Per-kind defaults mirror the benchmark calibration.
+  if (solver == "sa" || solver == "pt") {
+    options.num_replicas = 16;
+    options.num_sweeps = 200;
+  } else if (solver == "da") {
+    options.num_replicas = 16;
+    options.num_sweeps = 60;
+  } else {
+    options.num_replicas = 8;
+    options.num_sweeps = 20;
+  }
+  options.num_replicas = std::stoul(
+      get_or(args, "replicas", std::to_string(options.num_replicas)));
+  options.num_sweeps = std::stoul(
+      get_or(args, "sweeps", std::to_string(options.num_sweeps)));
+  options.seed = std::stoull(get_or(args, "seed", "1"));
+  return options;
+}
+
+std::vector<tsp::TspInstance> load_instances_from_dir(
+    const std::string& directory) {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+    if (entry.is_regular_file()) {
+      const auto ext = entry.path().extension().string();
+      if (ext == ".tsp" || ext == ".tsplib") paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<tsp::TspInstance> instances;
+  for (const auto& path : paths) {
+    instances.push_back(tsp::load_tsplib_file(path));
+    std::fprintf(stderr, "loaded %s (%zu cities)\n", path.c_str(),
+                 instances.back().num_cities());
+  }
+  if (instances.empty()) usage("no .tsp files found in --instances directory");
+  return instances;
+}
+
+int cmd_generate(const Args& args) {
+  const auto count = std::stoul(require(args, "count"));
+  const auto cities = std::stoul(require(args, "cities"));
+  const auto out_dir = require(args, "out-dir");
+  const auto seed = std::stoull(get_or(args, "seed", "1"));
+  const auto kind = get_or(args, "kind", "uniform");
+  std::filesystem::create_directories(out_dir);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t child = derive_seed(seed, i);
+    tsp::TspInstance instance = [&] {
+      if (kind == "uniform") return tsp::generate_uniform(cities, child);
+      if (kind == "exponential") return tsp::generate_exponential(cities, child);
+      if (kind == "clustered") return tsp::generate_clustered(cities, child);
+      usage(("unknown kind: " + kind).c_str());
+    }();
+    const std::string path =
+        out_dir + "/" + kind + "_" + std::to_string(i) + ".tsp";
+    std::ofstream file(path);
+    tsp::write_tsplib(file, instance);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const auto instance = tsp::load_tsplib_file(require(args, "instance"));
+  const auto solver_name = get_or(args, "solver", "da");
+  const auto solver = make_cli_solver(solver_name);
+  const auto options = cli_solve_options(args, solver_name);
+  const double a_min = std::stod(get_or(args, "a-min", "1"));
+  const double a_max = std::stod(get_or(args, "a-max", "100"));
+  const auto points = std::stoul(get_or(args, "points", "16"));
+
+  const surrogate::PreparedTspInstance prepared(instance);
+  solvers::BatchRunner runner(prepared.problem(), solver, options);
+  std::printf("A,pf,energy_avg,energy_std,best_fitness_original\n");
+  for (std::size_t k = 0; k < points; ++k) {
+    const double t =
+        points > 1 ? double(k) / double(points - 1) : 0.5;
+    const double a = a_min * std::pow(a_max / a_min, t);
+    const auto sample = runner.run(a);
+    std::printf("%.4f,%.4f,%.4f,%.4f,%.4f\n", a, sample.stats.pf,
+                sample.stats.energy_avg, sample.stats.energy_std,
+                sample.stats.has_feasible()
+                    ? prepared.to_original_length(sample.stats.min_fitness)
+                    : -1.0);
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const auto instances = load_instances_from_dir(require(args, "instances"));
+  const auto out = require(args, "out");
+  const auto solver_name = get_or(args, "solver", "da");
+  const auto solver = make_cli_solver(solver_name);
+  const auto options = cli_solve_options(args, solver_name);
+
+  std::fprintf(stderr, "building dataset from %zu instances...\n",
+               instances.size());
+  const auto tuner =
+      core::QrossTuner::fit(instances, solver, options);
+  std::ofstream file(out);
+  if (!file.good()) usage(("cannot write " + out).c_str());
+  tuner.save(file);
+  std::printf("tuner written to %s\n", out.c_str());
+  return 0;
+}
+
+core::QrossTuner load_tuner(const Args& args) {
+  const auto path = require(args, "tuner");
+  std::ifstream file(path);
+  if (!file.good()) usage(("cannot read tuner file " + path).c_str());
+  return core::QrossTuner::load(file);
+}
+
+int cmd_propose(const Args& args) {
+  const auto tuner = load_tuner(args);
+  const auto instance = tsp::load_tsplib_file(require(args, "instance"));
+  std::optional<double> pf_target;
+  if (args.contains("pf")) pf_target = std::stod(args.at("pf"));
+  const double a = tuner.propose(instance, pf_target);
+  if (pf_target.has_value()) {
+    std::printf("PBS(%.0f%%) proposal: A = %.4f\n", 100.0 * *pf_target, a);
+  } else {
+    std::printf("MFS proposal: A = %.4f\n", a);
+  }
+  return 0;
+}
+
+int cmd_tune(const Args& args) {
+  const auto tuner = load_tuner(args);
+  const auto instance = tsp::load_tsplib_file(require(args, "instance"));
+  const auto solver_name = get_or(args, "solver", "da");
+  const auto solver = make_cli_solver(solver_name);
+  core::TuneOptions options;
+  options.trials = std::stoul(get_or(args, "trials", "10"));
+  options.seed = std::stoull(get_or(args, "seed", "1"));
+
+  const core::TuneOutcome outcome = tuner.tune(instance, solver, options);
+  std::printf("trial  A         Pf     best_so_far\n");
+  for (std::size_t t = 0; t < outcome.trials.size(); ++t) {
+    const auto& trial = outcome.trials[t];
+    std::printf("%-6zu %-9.3f %-6.2f %s\n", t + 1,
+                trial.relaxation_parameter, trial.pf,
+                std::isfinite(trial.best_length_so_far)
+                    ? std::to_string(trial.best_length_so_far).c_str()
+                    : "-");
+  }
+  if (!outcome.feasible()) {
+    std::printf("no feasible tour found in %zu trials\n", options.trials);
+    return 1;
+  }
+  std::printf("\nbest tour (length %.4f, found at A = %.3f):",
+              outcome.best_length, outcome.best_parameter);
+  for (std::size_t city : outcome.best_tour) std::printf(" %zu", city);
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "propose") return cmd_propose(args);
+    if (command == "tune") return cmd_tune(args);
+    usage(("unknown command: " + command).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
