@@ -10,11 +10,14 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "problems/mvc/mvc.hpp"
 #include "problems/tsp/formulation.hpp"
 #include "problems/tsp/generators.hpp"
 #include "qross/min_fitness.hpp"
 #include "qubo/incremental.hpp"
+#include "qubo/sparse.hpp"
 #include "solvers/digital_annealer.hpp"
+#include "solvers/qbsolv.hpp"
 #include "solvers/simulated_annealer.hpp"
 #include "surrogate/dataset.hpp"
 #include "surrogate/features.hpp"
@@ -31,6 +34,84 @@ qubo::QuboModel make_tsp_qubo(std::size_t cities) {
   return problem.to_qubo(25.0);
 }
 
+qubo::QuboModel make_mvc_qubo(std::size_t vertices) {
+  const auto instance = mvc::generate_random_mvc(vertices, 0.06, 0xBEEF);
+  return instance.to_qubo(2.0);
+}
+
+void report_sparsity(benchmark::State& state, const qubo::QuboModel& model) {
+  const auto adj = qubo::SparseAdjacency::build(model);
+  state.counters["n"] = static_cast<double>(model.num_vars());
+  state.counters["nnz"] = static_cast<double>(adj->num_nonzeros());
+  state.counters["density"] = adj->density();
+}
+
+/// The seed's dense evaluator (symmetrised n x n matrix copied per replica,
+/// O(n) apply_flip): kept here as the baseline the sparse CSR path is
+/// measured against.
+class DenseEvaluator {
+ public:
+  explicit DenseEvaluator(const qubo::QuboModel& model)
+      : n_(model.num_vars()),
+        offset_(model.offset()),
+        weights_(n_ * n_, 0.0),
+        x_(n_, 0),
+        fields_(n_, 0.0) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      weights_[i * n_ + i] = model.linear(i);
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        const double w = model.coefficient(i, j);
+        weights_[i * n_ + j] = w;
+        weights_[j * n_ + i] = w;
+      }
+    }
+    set_state(x_);
+  }
+
+  void set_state(const qubo::Bits& x) {
+    x_ = x;
+    energy_ = offset_;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double* row = weights_.data() + i * n_;
+      double field = row[i];
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (j != i && x_[j] != 0) field += row[j];
+      }
+      fields_[i] = field;
+      if (x_[i] != 0) {
+        energy_ += row[i];
+        for (std::size_t j = i + 1; j < n_; ++j) {
+          if (x_[j] != 0) energy_ += row[j];
+        }
+      }
+    }
+  }
+
+  double flip_delta(std::size_t i) const {
+    return x_[i] == 0 ? fields_[i] : -fields_[i];
+  }
+
+  void apply_flip(std::size_t i) {
+    energy_ += flip_delta(i);
+    const double sign = x_[i] == 0 ? 1.0 : -1.0;
+    x_[i] ^= 1;
+    const double* row = weights_.data() + i * n_;
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (j != i) fields_[j] += sign * row[j];
+    }
+  }
+
+  double energy() const { return energy_; }
+
+ private:
+  std::size_t n_;
+  double offset_;
+  std::vector<double> weights_;
+  qubo::Bits x_;
+  std::vector<double> fields_;
+  double energy_ = 0.0;
+};
+
 void BM_QuboFullEnergy(benchmark::State& state) {
   const auto model = make_tsp_qubo(static_cast<std::size_t>(state.range(0)));
   Rng rng(1);
@@ -40,8 +121,25 @@ void BM_QuboFullEnergy(benchmark::State& state) {
     benchmark::DoNotOptimize(model.energy(x));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  report_sparsity(state, model);
 }
 BENCHMARK(BM_QuboFullEnergy)->Arg(8)->Arg(12)->Arg(16);
+
+/// Sparse counterpart of BM_QuboFullEnergy — also the cost of the energy
+/// rescore qbsolv runs per replica (formerly a dense model.energy call).
+void BM_SparseFullEnergy(benchmark::State& state) {
+  const auto model = make_tsp_qubo(static_cast<std::size_t>(state.range(0)));
+  const auto adj = qubo::SparseAdjacency::build(model);
+  Rng rng(1);
+  qubo::Bits x(model.num_vars());
+  for (auto& b : x) b = rng.bernoulli(0.5) ? 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj->energy(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  report_sparsity(state, model);
+}
+BENCHMARK(BM_SparseFullEnergy)->Arg(8)->Arg(12)->Arg(16);
 
 void BM_IncrementalFlip(benchmark::State& state) {
   const auto model = make_tsp_qubo(static_cast<std::size_t>(state.range(0)));
@@ -56,8 +154,60 @@ void BM_IncrementalFlip(benchmark::State& state) {
     i = (i + 17) % model.num_vars();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  report_sparsity(state, model);
 }
 BENCHMARK(BM_IncrementalFlip)->Arg(8)->Arg(12)->Arg(16);
+
+// --- dense vs sparse sweep throughput --------------------------------------
+//
+// One "sweep" applies a flip at every variable in turn — the unit of work
+// all solver kernels are built from.  Dense is the seed's per-replica
+// matrix-copy evaluator; sparse is the shared-CSR IncrementalEvaluator.
+// items_processed counts flips, so compare items_per_second directly.
+
+template <typename Evaluator, typename Model>
+void run_sweep_bench(benchmark::State& state, const Model& model,
+                     Evaluator& eval) {
+  const std::size_t n = model.num_vars();
+  Rng rng(3);
+  qubo::Bits x(n);
+  for (auto& b : x) b = rng.bernoulli(0.5) ? 1 : 0;
+  eval.set_state(x);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) eval.apply_flip(i);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * n));
+  report_sparsity(state, model);
+}
+
+void BM_SweepDenseTsp(benchmark::State& state) {
+  const auto model = make_tsp_qubo(static_cast<std::size_t>(state.range(0)));
+  DenseEvaluator eval(model);
+  run_sweep_bench(state, model, eval);
+}
+BENCHMARK(BM_SweepDenseTsp)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_SweepSparseTsp(benchmark::State& state) {
+  const auto model = make_tsp_qubo(static_cast<std::size_t>(state.range(0)));
+  qubo::IncrementalEvaluator eval(qubo::SparseAdjacency::build(model));
+  run_sweep_bench(state, model, eval);
+}
+BENCHMARK(BM_SweepSparseTsp)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_SweepDenseMvc(benchmark::State& state) {
+  const auto model = make_mvc_qubo(static_cast<std::size_t>(state.range(0)));
+  DenseEvaluator eval(model);
+  run_sweep_bench(state, model, eval);
+}
+BENCHMARK(BM_SweepDenseMvc)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SweepSparseMvc(benchmark::State& state) {
+  const auto model = make_mvc_qubo(static_cast<std::size_t>(state.range(0)));
+  qubo::IncrementalEvaluator eval(qubo::SparseAdjacency::build(model));
+  run_sweep_bench(state, model, eval);
+}
+BENCHMARK(BM_SweepSparseMvc)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_SimulatedAnnealerCall(benchmark::State& state) {
   const auto model = make_tsp_qubo(static_cast<std::size_t>(state.range(0)));
@@ -86,6 +236,23 @@ void BM_DigitalAnnealerCall(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DigitalAnnealerCall)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+/// Full qbsolv call on an MVC instance — the hybrid whose per-replica
+/// energy rescore used to be a dense O(n^2) model.energy.
+void BM_QbsolvCallMvc(benchmark::State& state) {
+  const auto model = make_mvc_qubo(static_cast<std::size_t>(state.range(0)));
+  const solvers::Qbsolv solver;
+  solvers::SolveOptions options;
+  options.num_replicas = 4;
+  options.num_sweeps = 20;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    options.seed = ++seed;
+    benchmark::DoNotOptimize(solver.solve(model, options));
+  }
+  report_sparsity(state, model);
+}
+BENCHMARK(BM_QbsolvCallMvc)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
 
 void BM_FeatureExtraction(benchmark::State& state) {
   const auto instance =

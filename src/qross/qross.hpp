@@ -15,6 +15,7 @@
 #include "qubo/builder.hpp"
 #include "qubo/incremental.hpp"
 #include "qubo/model.hpp"
+#include "qubo/sparse.hpp"
 
 #include "solvers/analog_noise.hpp"
 #include "solvers/batch_runner.hpp"

@@ -4,40 +4,33 @@
 
 namespace qross::qubo {
 
-IncrementalEvaluator::IncrementalEvaluator(const QuboModel& model)
-    : n_(model.num_vars()),
-      offset_(model.offset()),
-      weights_(n_ * n_, 0.0),
+IncrementalEvaluator::IncrementalEvaluator(SparseAdjacencyPtr adjacency)
+    : adjacency_(std::move(adjacency)),
+      n_(adjacency_ ? adjacency_->num_vars() : 0),
       x_(n_, 0),
       fields_(n_, 0.0) {
-  // Symmetrise: weights_[i*n+j] == weights_[j*n+i] == total interaction,
-  // diagonal holds the linear coefficient.
-  for (std::size_t i = 0; i < n_; ++i) {
-    weights_[i * n_ + i] = model.linear(i);
-    for (std::size_t j = i + 1; j < n_; ++j) {
-      const double w = model.coefficient(i, j);
-      weights_[i * n_ + j] = w;
-      weights_[j * n_ + i] = w;
-    }
-  }
+  QROSS_REQUIRE(adjacency_ != nullptr, "adjacency required");
   set_state(x_);
 }
 
 void IncrementalEvaluator::set_state(std::span<const std::uint8_t> x) {
   QROSS_REQUIRE(x.size() == n_, "state size mismatch");
+  const SparseAdjacency& adj = *adjacency_;
   x_.assign(x.begin(), x.end());
-  energy_ = offset_;
+  energy_ = adj.offset();
   for (std::size_t i = 0; i < n_; ++i) {
-    const double* row = weights_.data() + i * n_;
-    double field = row[i];
-    for (std::size_t j = 0; j < n_; ++j) {
-      if (j != i && x_[j] != 0) field += row[j];
+    const auto neighbors = adj.neighbors(i);
+    const auto weights = adj.weights(i);
+    double field = adj.diagonal(i);
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      if (x_[neighbors[k]] != 0) field += weights[k];
     }
     fields_[i] = field;
     if (x_[i] != 0) {
-      energy_ += row[i];
-      for (std::size_t j = i + 1; j < n_; ++j) {
-        if (x_[j] != 0) energy_ += row[j];
+      energy_ += adj.diagonal(i);
+      for (std::size_t k = 0; k < neighbors.size(); ++k) {
+        const std::uint32_t j = neighbors[k];
+        if (j > i && x_[j] != 0) energy_ += weights[k];
       }
     }
   }
@@ -48,9 +41,11 @@ void IncrementalEvaluator::apply_flip(std::size_t i) {
   energy_ += flip_delta(i);
   const double sign = x_[i] == 0 ? 1.0 : -1.0;
   x_[i] ^= 1;
-  const double* row = weights_.data() + i * n_;
-  for (std::size_t j = 0; j < n_; ++j) {
-    if (j != i) fields_[j] += sign * row[j];
+  const SparseAdjacency& adj = *adjacency_;
+  const auto neighbors = adj.neighbors(i);
+  const auto weights = adj.weights(i);
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    fields_[neighbors[k]] += sign * weights[k];
   }
 }
 

@@ -10,27 +10,41 @@
 //
 //   delta_i = (1 - 2 x_i) * L_i                    — an O(1) read.
 //
-// Applying a flip updates all fields in O(n).  This is the inner loop of the
-// simulated/digital annealers and the tabu search, so it avoids virtual
-// dispatch and bounds checks in release builds.
+// The weights live in a shared immutable SparseAdjacency: applying a flip
+// updates only the deg(i) neighbouring fields, and set_state costs
+// O(n + nnz).  Every replica / chain / worker thread holds its own
+// evaluator (state vector + fields, O(n) each) over the *same* adjacency,
+// so a batch of B replicas costs O(nnz + B·n) memory instead of the dense
+// O(B·n^2).  This is the inner loop of all solver kernels, so it avoids
+// virtual dispatch and bounds checks in release builds.
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "qubo/model.hpp"
+#include "qubo/sparse.hpp"
 
 namespace qross::qubo {
 
 class IncrementalEvaluator {
  public:
-  /// Caches the symmetrised dense weight matrix of `model`.  The evaluator
-  /// keeps a reference-independent copy, so the model may be destroyed.
-  explicit IncrementalEvaluator(const QuboModel& model);
+  /// Convenience constructor building a private adjacency from `model`.
+  /// Call sites evaluating from several replicas should build the adjacency
+  /// once with SparseAdjacency::build and share it instead.
+  explicit IncrementalEvaluator(const QuboModel& model)
+      : IncrementalEvaluator(SparseAdjacency::build(model)) {}
+
+  /// Shares `adjacency`; the evaluator only allocates per-state storage.
+  explicit IncrementalEvaluator(SparseAdjacencyPtr adjacency);
 
   std::size_t num_vars() const { return n_; }
 
-  /// Resets the tracked state to x (O(n^2)).
+  /// The shared adjacency this evaluator runs on.
+  const SparseAdjacencyPtr& adjacency() const { return adjacency_; }
+
+  /// Resets the tracked state to x (O(n + nnz)).
   void set_state(std::span<const std::uint8_t> x);
 
   const Bits& state() const { return x_; }
@@ -41,7 +55,8 @@ class IncrementalEvaluator {
     return x_[i] == 0 ? fields_[i] : -fields_[i];
   }
 
-  /// Applies the flip of bit i, updating energy and all local fields (O(n)).
+  /// Applies the flip of bit i, updating energy and the deg(i) affected
+  /// local fields (O(deg(i))).
   void apply_flip(std::size_t i);
 
   /// Convenience: delta then apply.
@@ -52,9 +67,8 @@ class IncrementalEvaluator {
   }
 
  private:
+  SparseAdjacencyPtr adjacency_;
   std::size_t n_;
-  double offset_;
-  std::vector<double> weights_;  // symmetrised dense n x n, diag = linear
   Bits x_;
   std::vector<double> fields_;
   double energy_ = 0.0;

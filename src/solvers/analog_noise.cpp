@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "qubo/sparse.hpp"
 
 namespace qross::solvers {
 
@@ -43,6 +44,10 @@ qubo::SolveBatch AnalogNoiseSolver::solve(const qubo::QuboModel& model,
   const std::size_t samples =
       std::min(params_.num_noise_samples, std::max<std::size_t>(options.num_replicas, 1));
 
+  // True-energy rescoring of every returned solution runs on one sparse
+  // adjacency of the clean model, O(nnz) per solution.
+  const qubo::SparseAdjacencyPtr clean = qubo::SparseAdjacency::build(model);
+
   qubo::SolveBatch combined;
   combined.results.reserve(options.num_replicas);
   std::size_t remaining = options.num_replicas;
@@ -58,7 +63,7 @@ qubo::SolveBatch AnalogNoiseSolver::solve(const qubo::QuboModel& model,
     qubo::SolveBatch inner_batch = inner_->solve(noisy, inner_options);
     for (auto& result : inner_batch.results) {
       // Report the true energy of the solution found on the noisy landscape.
-      result.qubo_energy = model.energy(result.assignment);
+      result.qubo_energy = clean->energy(result.assignment);
       combined.results.push_back(std::move(result));
     }
   }

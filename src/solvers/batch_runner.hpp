@@ -7,6 +7,12 @@
 // quantities QROSS consumes: (Pf, Eavg, Estd, min fitness).  It also counts
 // calls, since the paper's central metric is solution quality *per number of
 // solver calls*.
+//
+// Parallelism: set SolveOptions::num_threads > 1 (or 0 for all hardware
+// threads) and the solver fans its independent replicas across a thread
+// pool — one shared sparse adjacency, per-worker evaluator state — with
+// bit-identical results to the sequential path.  (Parallel tempering's
+// exchange-coupled ladder is the exception; it runs sequentially.)
 
 #include <cstddef>
 #include <vector>

@@ -1,0 +1,40 @@
+#include "solvers/delta_scale.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stats.hpp"
+#include "qubo/incremental.hpp"
+
+namespace qross::solvers {
+
+DeltaScale probe_delta_scale(const qubo::SparseAdjacencyPtr& adjacency,
+                             Rng& rng) {
+  const std::size_t n = adjacency->num_vars();
+  qubo::IncrementalEvaluator eval(adjacency);
+  qubo::Bits x(n, 0);
+  DeltaScale scale;
+  RunningStats magnitudes;
+  double minimal = std::numeric_limits<double>::infinity();
+  const std::size_t probes =
+      std::max<std::size_t>(4, 128 / std::max<std::size_t>(n, 1));
+  for (std::size_t p = 0; p < probes; ++p) {
+    for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
+    eval.set_state(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = std::abs(eval.flip_delta(i));
+      if (d > 0.0) {
+        magnitudes.add(d);
+        minimal = std::min(minimal, d);
+      }
+    }
+  }
+  if (!magnitudes.empty()) {
+    scale.typical = magnitudes.mean();
+    scale.minimal = std::isfinite(minimal) ? minimal : scale.typical;
+  }
+  return scale;
+}
+
+}  // namespace qross::solvers

@@ -1,0 +1,29 @@
+#pragma once
+
+// Shared delta-scale probe for annealing-style solvers.
+//
+// Temperature schedules are derived from the model itself: T_start is set
+// so that a typical uphill move (probed on random states) is accepted with
+// the solver's configured probability.  Every annealing kernel (SA, DA,
+// parallel tempering) needs the same probe, so it lives here once, running
+// on the shared sparse adjacency the solve call already built.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "qubo/sparse.hpp"
+
+namespace qross::solvers {
+
+/// Typical uphill move magnitude over random states.
+struct DeltaScale {
+  double typical = 1.0;  // mean |delta| over probes
+  double minimal = 1.0;  // smallest nonzero |delta| seen
+};
+
+/// Probes |flip_delta| over a handful of random states.  Deterministic for
+/// a given (adjacency, rng-state) pair.
+DeltaScale probe_delta_scale(const qubo::SparseAdjacencyPtr& adjacency,
+                             Rng& rng);
+
+}  // namespace qross::solvers

@@ -2,34 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
-#include "common/stats.hpp"
 #include "qubo/incremental.hpp"
+#include "qubo/sparse.hpp"
+#include "solvers/delta_scale.hpp"
+#include "solvers/replica_for.hpp"
 
 namespace qross::solvers {
-
-namespace {
-
-double probe_typical_delta(const qubo::QuboModel& model, Rng& rng) {
-  const std::size_t n = model.num_vars();
-  qubo::IncrementalEvaluator eval(model);
-  qubo::Bits x(n, 0);
-  RunningStats magnitudes;
-  const std::size_t probes = std::max<std::size_t>(4, 128 / std::max<std::size_t>(n, 1));
-  for (std::size_t p = 0; p < probes; ++p) {
-    for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
-    eval.set_state(x);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double d = std::abs(eval.flip_delta(i));
-      if (d > 0.0) magnitudes.add(d);
-    }
-  }
-  return magnitudes.empty() ? 1.0 : magnitudes.mean();
-}
-
-}  // namespace
 
 DigitalAnnealer::DigitalAnnealer(DaParams params) : params_(params) {
   QROSS_REQUIRE(params_.initial_acceptance > 0.0 &&
@@ -52,8 +34,10 @@ qubo::SolveBatch DigitalAnnealer::solve(const qubo::QuboModel& model,
     return batch;
   }
 
+  const qubo::SparseAdjacencyPtr adjacency = qubo::SparseAdjacency::build(model);
+
   Rng probe_rng(derive_seed(options.seed, 0xda0ULL));
-  const double typical_delta = probe_typical_delta(model, probe_rng);
+  const double typical_delta = probe_delta_scale(adjacency, probe_rng).typical;
   const double t_start = typical_delta / -std::log(params_.initial_acceptance);
   const double t_end = std::max(
       typical_delta * 1e-3 / -std::log(params_.final_acceptance),
@@ -66,52 +50,54 @@ qubo::SolveBatch DigitalAnnealer::solve(const qubo::QuboModel& model,
                             1.0 / static_cast<double>(sweeps - 1))
                  : 1.0;
 
-  qubo::IncrementalEvaluator eval(model);
-  std::vector<std::size_t> accepted;
-  accepted.reserve(n);
-  for (std::size_t replica = 0; replica < options.num_replicas; ++replica) {
-    Rng rng(derive_seed(options.seed, replica));
-    qubo::Bits x(n);
-    for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
-    eval.set_state(x);
+  for_each_replica(
+      options.num_replicas, options.num_threads, [&](std::size_t replica) {
+        Rng rng(derive_seed(options.seed, replica));
+        qubo::IncrementalEvaluator eval(adjacency);
+        std::vector<std::size_t> accepted;
+        accepted.reserve(n);
+        qubo::Bits x(n);
+        for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
+        eval.set_state(x);
 
-    double temperature = t_start;
-    double offset = 0.0;
-    double best_energy = eval.energy();
-    qubo::Bits best_state = eval.state();
+        double temperature = t_start;
+        double offset = 0.0;
+        double best_energy = eval.energy();
+        qubo::Bits best_state = eval.state();
 
-    // One DA "sweep" performs n parallel-trial steps, matching the per-sweep
-    // flip-attempt budget of the SA kernel for fair comparisons.
-    for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
-      for (std::size_t step = 0; step < n; ++step) {
-        accepted.clear();
-        // Parallel trial: every variable runs the Metropolis test with the
-        // dynamic offset relaxing the effective delta.
-        for (std::size_t i = 0; i < n; ++i) {
-          const double delta = eval.flip_delta(i) - offset;
-          if (delta <= 0.0 ||
-              rng.uniform() < std::exp(-delta / temperature)) {
-            accepted.push_back(i);
+        // One DA "sweep" performs n parallel-trial steps, matching the
+        // per-sweep flip-attempt budget of the SA kernel for fair
+        // comparisons.
+        for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+          for (std::size_t step = 0; step < n; ++step) {
+            accepted.clear();
+            // Parallel trial: every variable runs the Metropolis test with
+            // the dynamic offset relaxing the effective delta.
+            for (std::size_t i = 0; i < n; ++i) {
+              const double delta = eval.flip_delta(i) - offset;
+              if (delta <= 0.0 ||
+                  rng.uniform() < std::exp(-delta / temperature)) {
+                accepted.push_back(i);
+              }
+            }
+            if (accepted.empty()) {
+              offset += offset_step;  // escape pressure grows
+              continue;
+            }
+            const std::size_t pick = accepted[static_cast<std::size_t>(
+                rng.uniform_int(accepted.size()))];
+            eval.apply_flip(pick);
+            offset = 0.0;  // reset after an accepted move
+            if (eval.energy() < best_energy) {
+              best_energy = eval.energy();
+              best_state = eval.state();
+            }
           }
+          temperature *= cooling;
         }
-        if (accepted.empty()) {
-          offset += offset_step;  // escape pressure grows
-          continue;
-        }
-        const std::size_t pick =
-            accepted[static_cast<std::size_t>(rng.uniform_int(accepted.size()))];
-        eval.apply_flip(pick);
-        offset = 0.0;  // reset after an accepted move
-        if (eval.energy() < best_energy) {
-          best_energy = eval.energy();
-          best_state = eval.state();
-        }
-      }
-      temperature *= cooling;
-    }
-    batch.results[replica].assignment = std::move(best_state);
-    batch.results[replica].qubo_energy = best_energy;
-  }
+        batch.results[replica].assignment = std::move(best_state);
+        batch.results[replica].qubo_energy = best_energy;
+      });
   return batch;
 }
 

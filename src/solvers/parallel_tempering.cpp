@@ -2,36 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
+#include <limits>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
-#include "common/stats.hpp"
 #include "qubo/incremental.hpp"
+#include "qubo/sparse.hpp"
+#include "solvers/delta_scale.hpp"
 
 namespace qross::solvers {
-
-namespace {
-
-double probe_typical_delta(const qubo::QuboModel& model, Rng& rng) {
-  const std::size_t n = model.num_vars();
-  qubo::IncrementalEvaluator eval(model);
-  qubo::Bits x(n, 0);
-  RunningStats magnitudes;
-  const std::size_t probes =
-      std::max<std::size_t>(4, 128 / std::max<std::size_t>(n, 1));
-  for (std::size_t p = 0; p < probes; ++p) {
-    for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
-    eval.set_state(x);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double d = std::abs(eval.flip_delta(i));
-      if (d > 0.0) magnitudes.add(d);
-    }
-  }
-  return magnitudes.empty() ? 1.0 : magnitudes.mean();
-}
-
-}  // namespace
 
 ParallelTempering::ParallelTempering(PtParams params) : params_(params) {
   QROSS_REQUIRE(params_.hot_acceptance > 0.0 && params_.hot_acceptance < 1.0,
@@ -54,8 +33,10 @@ qubo::SolveBatch ParallelTempering::solve(const qubo::QuboModel& model,
     return batch;
   }
 
+  const qubo::SparseAdjacencyPtr adjacency = qubo::SparseAdjacency::build(model);
+
   Rng rng(derive_seed(options.seed, 0x977ULL));
-  const double typical_delta = probe_typical_delta(model, rng);
+  const double typical_delta = probe_delta_scale(adjacency, rng).typical;
   const double t_hot = typical_delta / -std::log(params_.hot_acceptance);
   const double t_cold = t_hot * params_.temperature_ratio;
 
@@ -69,30 +50,32 @@ qubo::SolveBatch ParallelTempering::solve(const qubo::QuboModel& model,
     temperatures[c] = t_cold * std::pow(t_hot / t_cold, t);
   }
 
-  // One evaluator per ladder slot; slot_of_chain tracks which chain's
-  // trajectory currently occupies which slot (swaps move *states*, so the
-  // per-chain best follows the state, not the temperature).
-  std::vector<std::unique_ptr<qubo::IncrementalEvaluator>> slots;
+  // One evaluator per ladder slot, all over the single shared adjacency —
+  // a ladder of B chains costs O(nnz + B*n) memory, not O(B*n^2).
+  // slot_of_chain tracks which chain's trajectory currently occupies which
+  // slot (swaps move *states*, so the per-chain best follows the state, not
+  // the temperature).
+  std::vector<qubo::IncrementalEvaluator> slots;
   slots.reserve(chains);
   std::vector<qubo::Bits> best_state(chains);
   std::vector<double> best_energy(chains,
                                   std::numeric_limits<double>::infinity());
   std::vector<std::size_t> chain_of_slot(chains);
   for (std::size_t c = 0; c < chains; ++c) {
-    slots.push_back(std::make_unique<qubo::IncrementalEvaluator>(model));
+    slots.emplace_back(adjacency);
     qubo::Bits x(n);
     for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
-    slots[c]->set_state(x);
+    slots[c].set_state(x);
     chain_of_slot[c] = c;
-    best_state[c] = slots[c]->state();
-    best_energy[c] = slots[c]->energy();
+    best_state[c] = slots[c].state();
+    best_energy[c] = slots[c].energy();
   }
 
   const std::size_t sweeps = std::max<std::size_t>(1, options.num_sweeps);
   for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
     // Metropolis sweep per ladder slot at its fixed temperature.
     for (std::size_t s = 0; s < chains; ++s) {
-      auto& eval = *slots[s];
+      auto& eval = slots[s];
       const double temperature = temperatures[s];
       for (std::size_t step = 0; step < n; ++step) {
         const auto i = static_cast<std::size_t>(rng.uniform_int(n));
@@ -111,16 +94,17 @@ qubo::SolveBatch ParallelTempering::solve(const qubo::QuboModel& model,
     if (chains >= 2 && rng.uniform() < params_.exchange_rate) {
       const std::size_t parity = sweep % 2;
       for (std::size_t s = parity; s + 1 < chains; s += 2) {
-        const double e_lo = slots[s]->energy();
-        const double e_hi = slots[s + 1]->energy();
+        const double e_lo = slots[s].energy();
+        const double e_hi = slots[s + 1].energy();
         const double beta_lo = 1.0 / temperatures[s];
         const double beta_hi = 1.0 / temperatures[s + 1];
         const double log_accept = (beta_lo - beta_hi) * (e_lo - e_hi);
         if (log_accept >= 0.0 || rng.uniform() < std::exp(log_accept)) {
           // Swap the *states* (and chain identities) between the slots.
-          const qubo::Bits state_lo = slots[s]->state();
-          slots[s]->set_state(slots[s + 1]->state());
-          slots[s + 1]->set_state(state_lo);
+          // Swapping whole evaluators moves state, fields and energy in
+          // O(1) — the incrementally-maintained values carry over instead
+          // of the O(n + nnz) rescan a set_state round-trip would pay.
+          std::swap(slots[s], slots[s + 1]);
           std::swap(chain_of_slot[s], chain_of_slot[s + 1]);
         }
       }

@@ -5,6 +5,8 @@
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "qubo/incremental.hpp"
+#include "qubo/sparse.hpp"
+#include "solvers/replica_for.hpp"
 #include "solvers/simulated_annealer.hpp"
 #include "solvers/tabu_search.hpp"
 
@@ -73,43 +75,51 @@ qubo::SolveBatch Qbsolv::solve(const qubo::QuboModel& model,
   const SimulatedAnnealer subsolver;
   const TabuParams tabu_params;
 
-  for (std::size_t replica = 0; replica < options.num_replicas; ++replica) {
-    Rng rng(derive_seed(options.seed, replica));
-    qubo::Bits x(n);
-    for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
-    double energy = model.energy(x);
+  // One adjacency shared by every replica's initial evaluation and every
+  // global tabu round; only the clamped sub-QUBOs are built per round.
+  const qubo::SparseAdjacencyPtr adjacency = qubo::SparseAdjacency::build(model);
 
-    for (std::size_t round = 0; round < params_.num_rounds; ++round) {
-      // Phase 1: global tabu improvement, budget ~ one pass worth of flips.
-      auto [improved, improved_energy] = TabuSearch::improve(
-          model, x, tabu_params, options.num_sweeps * n / params_.num_rounds + n,
-          derive_seed(options.seed, (replica << 8) | (round << 1)));
-      if (improved_energy <= energy) {
-        x = std::move(improved);
-        energy = improved_energy;
-      }
+  for_each_replica(
+      options.num_replicas, options.num_threads, [&](std::size_t replica) {
+        Rng rng(derive_seed(options.seed, replica));
+        qubo::Bits x(n);
+        for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
+        double energy = adjacency->energy(x);  // O(nnz), not dense O(n^2)
 
-      // Phase 2: random-subspace sub-QUBO refinement.
-      auto perm = rng.permutation(n);
-      perm.resize(sub_size);
-      std::sort(perm.begin(), perm.end());
-      const qubo::QuboModel sub = clamp_subproblem(model, perm, x);
-      SolveOptions sub_options;
-      sub_options.num_replicas = 1;
-      sub_options.num_sweeps = params_.subsolver_sweeps;
-      sub_options.seed = derive_seed(options.seed, (replica << 8) | (round << 1) | 1);
-      const qubo::SolveBatch sub_batch = subsolver.solve(sub, sub_options);
-      const auto& sub_best = sub_batch.results[sub_batch.best_index()];
-      if (sub_best.qubo_energy <= energy) {
-        for (std::size_t a = 0; a < perm.size(); ++a) {
-          x[perm[a]] = sub_best.assignment[a];
+        for (std::size_t round = 0; round < params_.num_rounds; ++round) {
+          // Phase 1: global tabu improvement, budget ~ one pass worth of
+          // flips.
+          auto [improved, improved_energy] = TabuSearch::improve(
+              adjacency, x, tabu_params,
+              options.num_sweeps * n / params_.num_rounds + n,
+              derive_seed(options.seed, (replica << 8) | (round << 1)));
+          if (improved_energy <= energy) {
+            x = std::move(improved);
+            energy = improved_energy;
+          }
+
+          // Phase 2: random-subspace sub-QUBO refinement.
+          auto perm = rng.permutation(n);
+          perm.resize(sub_size);
+          std::sort(perm.begin(), perm.end());
+          const qubo::QuboModel sub = clamp_subproblem(model, perm, x);
+          SolveOptions sub_options;
+          sub_options.num_replicas = 1;
+          sub_options.num_sweeps = params_.subsolver_sweeps;
+          sub_options.seed =
+              derive_seed(options.seed, (replica << 8) | (round << 1) | 1);
+          const qubo::SolveBatch sub_batch = subsolver.solve(sub, sub_options);
+          const auto& sub_best = sub_batch.results[sub_batch.best_index()];
+          if (sub_best.qubo_energy <= energy) {
+            for (std::size_t a = 0; a < perm.size(); ++a) {
+              x[perm[a]] = sub_best.assignment[a];
+            }
+            energy = sub_best.qubo_energy;
+          }
         }
-        energy = sub_best.qubo_energy;
-      }
-    }
-    batch.results[replica].assignment = std::move(x);
-    batch.results[replica].qubo_energy = energy;
-  }
+        batch.results[replica].assignment = std::move(x);
+        batch.results[replica].qubo_energy = energy;
+      });
   return batch;
 }
 

@@ -1,0 +1,53 @@
+#pragma once
+
+// Replica fan-out shared by the solver kernels.
+//
+// Every solver's replicas are independent given (seed, replica index): each
+// body call owns its Rng and its IncrementalEvaluator over the one shared
+// SparseAdjacency, and writes to a pre-assigned batch slot.  Results are
+// therefore bit-identical whether replicas run sequentially or across a
+// thread pool — only wall-clock changes.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+namespace qross::solvers {
+
+/// Runs body(replica) for replica in [0, count).  num_threads == 1 runs
+/// inline (the default, no pool spun up); 0 uses all hardware threads.
+inline void for_each_replica(std::size_t count, std::size_t num_threads,
+                             const std::function<void(std::size_t)>& body) {
+  if (num_threads == 1 || count <= 1) {
+    for (std::size_t r = 0; r < count; ++r) body(r);
+    return;
+  }
+  // Never spawn more workers than there are replicas — the pool starts (and
+  // later joins) every worker eagerly, so idle ones are pure overhead.
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t workers =
+      std::min(num_threads == 0 ? hardware : num_threads, count);
+  // The pool itself terminates on a throwing task, so capture the first
+  // exception and rethrow it here — the threaded path must keep the
+  // sequential path's recoverable-throw semantics (QROSS_REQUIRE throws
+  // std::invalid_argument by design).
+  std::exception_ptr first_error;
+  std::atomic_flag error_claimed = ATOMIC_FLAG_INIT;
+  ThreadPool pool(workers);
+  pool.parallel_for(count, [&](std::size_t r) {
+    try {
+      body(r);
+    } catch (...) {
+      if (!error_claimed.test_and_set()) first_error = std::current_exception();
+    }
+  });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace qross::solvers

@@ -2,50 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
-#include "common/stats.hpp"
 #include "qubo/incremental.hpp"
+#include "qubo/sparse.hpp"
+#include "solvers/delta_scale.hpp"
+#include "solvers/replica_for.hpp"
 
 namespace qross::solvers {
-
-namespace {
-
-/// Estimates the typical uphill move magnitude by probing random states.
-/// Used to derive the temperature schedule endpoints.
-struct DeltaScale {
-  double typical = 1.0;  // mean |delta| over probes
-  double minimal = 1.0;  // smallest nonzero |delta| seen
-};
-
-DeltaScale probe_delta_scale(const qubo::QuboModel& model, Rng& rng) {
-  const std::size_t n = model.num_vars();
-  qubo::IncrementalEvaluator eval(model);
-  qubo::Bits x(n, 0);
-  DeltaScale scale;
-  RunningStats magnitudes;
-  double minimal = std::numeric_limits<double>::infinity();
-  const std::size_t probes = std::max<std::size_t>(4, 128 / std::max<std::size_t>(n, 1));
-  for (std::size_t p = 0; p < probes; ++p) {
-    for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
-    eval.set_state(x);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double d = std::abs(eval.flip_delta(i));
-      if (d > 0.0) {
-        magnitudes.add(d);
-        minimal = std::min(minimal, d);
-      }
-    }
-  }
-  if (!magnitudes.empty()) {
-    scale.typical = magnitudes.mean();
-    scale.minimal = std::isfinite(minimal) ? minimal : scale.typical;
-  }
-  return scale;
-}
-
-}  // namespace
 
 SimulatedAnnealer::SimulatedAnnealer(SaParams params) : params_(params) {
   QROSS_REQUIRE(params_.initial_acceptance > 0.0 &&
@@ -67,8 +33,11 @@ qubo::SolveBatch SimulatedAnnealer::solve(const qubo::QuboModel& model,
     return batch;
   }
 
+  // One shared immutable adjacency for the probe and every replica.
+  const qubo::SparseAdjacencyPtr adjacency = qubo::SparseAdjacency::build(model);
+
   Rng probe_rng(derive_seed(options.seed, 0xabcdefULL));
-  const DeltaScale scale = probe_delta_scale(model, probe_rng);
+  const DeltaScale scale = probe_delta_scale(adjacency, probe_rng);
   // T such that exp(-delta/T) == acceptance  =>  T = delta / -ln(acceptance).
   const double t_start =
       scale.typical / -std::log(params_.initial_acceptance);
@@ -80,41 +49,42 @@ qubo::SolveBatch SimulatedAnnealer::solve(const qubo::QuboModel& model,
                             1.0 / static_cast<double>(sweeps - 1))
                  : 1.0;
 
-  qubo::IncrementalEvaluator eval(model);
-  for (std::size_t replica = 0; replica < options.num_replicas; ++replica) {
-    Rng rng(derive_seed(options.seed, replica));
-    qubo::Bits best_state;
-    double best_energy = std::numeric_limits<double>::infinity();
-    for (std::size_t restart = 0; restart < params_.restarts; ++restart) {
-      qubo::Bits x(n);
-      for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
-      eval.set_state(x);
-      double temperature = t_start;
-      double local_best = eval.energy();
-      qubo::Bits local_best_state = eval.state();
-      for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
-        for (std::size_t step = 0; step < n; ++step) {
-          const auto i = static_cast<std::size_t>(rng.uniform_int(n));
-          const double delta = eval.flip_delta(i);
-          if (delta <= 0.0 ||
-              rng.uniform() < std::exp(-delta / temperature)) {
-            eval.apply_flip(i);
-            if (eval.energy() < local_best) {
-              local_best = eval.energy();
-              local_best_state = eval.state();
+  for_each_replica(
+      options.num_replicas, options.num_threads, [&](std::size_t replica) {
+        Rng rng(derive_seed(options.seed, replica));
+        qubo::IncrementalEvaluator eval(adjacency);
+        qubo::Bits best_state;
+        double best_energy = std::numeric_limits<double>::infinity();
+        for (std::size_t restart = 0; restart < params_.restarts; ++restart) {
+          qubo::Bits x(n);
+          for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
+          eval.set_state(x);
+          double temperature = t_start;
+          double local_best = eval.energy();
+          qubo::Bits local_best_state = eval.state();
+          for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+            for (std::size_t step = 0; step < n; ++step) {
+              const auto i = static_cast<std::size_t>(rng.uniform_int(n));
+              const double delta = eval.flip_delta(i);
+              if (delta <= 0.0 ||
+                  rng.uniform() < std::exp(-delta / temperature)) {
+                eval.apply_flip(i);
+                if (eval.energy() < local_best) {
+                  local_best = eval.energy();
+                  local_best_state = eval.state();
+                }
+              }
             }
+            temperature *= cooling;
+          }
+          if (local_best < best_energy) {
+            best_energy = local_best;
+            best_state = std::move(local_best_state);
           }
         }
-        temperature *= cooling;
-      }
-      if (local_best < best_energy) {
-        best_energy = local_best;
-        best_state = std::move(local_best_state);
-      }
-    }
-    batch.results[replica].assignment = std::move(best_state);
-    batch.results[replica].qubo_energy = best_energy;
-  }
+        batch.results[replica].assignment = std::move(best_state);
+        batch.results[replica].qubo_energy = best_energy;
+      });
   return batch;
 }
 

@@ -24,6 +24,13 @@ struct SolveOptions {
   std::size_t num_sweeps = 100;
   /// Master seed; replica k uses derive_seed(seed, k).
   std::uint64_t seed = 1;
+  /// Worker threads for the independent-replica fan-out: 1 = sequential
+  /// (default), 0 = all hardware threads.  Replicas share one immutable
+  /// sparse adjacency and own their state, so the batch is bit-identical
+  /// for any thread count.  Parallel tempering is the exception: its
+  /// chains are coupled by replica exchange, so the ladder always runs
+  /// sequentially and this option is ignored.
+  std::size_t num_threads = 1;
 };
 
 class QuboSolver {

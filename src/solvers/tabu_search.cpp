@@ -6,19 +6,19 @@
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "qubo/incremental.hpp"
+#include "solvers/replica_for.hpp"
 
 namespace qross::solvers {
 
 TabuSearch::TabuSearch(TabuParams params) : params_(params) {}
 
-std::pair<qubo::Bits, double> TabuSearch::improve(const qubo::QuboModel& model,
-                                                  const qubo::Bits& start,
-                                                  const TabuParams& params,
-                                                  std::size_t max_iterations,
-                                                  std::uint64_t seed) {
-  const std::size_t n = model.num_vars();
+std::pair<qubo::Bits, double> TabuSearch::improve(
+    const qubo::SparseAdjacencyPtr& adjacency, const qubo::Bits& start,
+    const TabuParams& params, std::size_t max_iterations,
+    std::uint64_t seed) {
+  const std::size_t n = adjacency->num_vars();
   QROSS_REQUIRE(start.size() == n, "start state size mismatch");
-  if (n == 0) return {qubo::Bits{}, model.offset()};
+  if (n == 0) return {qubo::Bits{}, adjacency->offset()};
 
   const std::size_t tenure =
       params.tenure != 0 ? params.tenure : std::max<std::size_t>(7, n / 10);
@@ -26,7 +26,7 @@ std::pair<qubo::Bits, double> TabuSearch::improve(const qubo::QuboModel& model,
       params.patience != 0 ? params.patience : 4 * n;
 
   Rng rng(seed);
-  qubo::IncrementalEvaluator eval(model);
+  qubo::IncrementalEvaluator eval(adjacency);
   eval.set_state(start);
 
   qubo::Bits best_state = eval.state();
@@ -73,6 +73,15 @@ std::pair<qubo::Bits, double> TabuSearch::improve(const qubo::QuboModel& model,
   return {std::move(best_state), best_energy};
 }
 
+std::pair<qubo::Bits, double> TabuSearch::improve(const qubo::QuboModel& model,
+                                                  const qubo::Bits& start,
+                                                  const TabuParams& params,
+                                                  std::size_t max_iterations,
+                                                  std::uint64_t seed) {
+  return improve(qubo::SparseAdjacency::build(model), start, params,
+                 max_iterations, seed);
+}
+
 qubo::SolveBatch TabuSearch::solve(const qubo::QuboModel& model,
                                    const SolveOptions& options) const {
   const std::size_t n = model.num_vars();
@@ -82,16 +91,19 @@ qubo::SolveBatch TabuSearch::solve(const qubo::QuboModel& model,
     for (auto& r : batch.results) r.qubo_energy = model.offset();
     return batch;
   }
+  const qubo::SparseAdjacencyPtr adjacency = qubo::SparseAdjacency::build(model);
   const std::size_t max_iters = options.num_sweeps * n;
-  for (std::size_t replica = 0; replica < options.num_replicas; ++replica) {
-    Rng rng(derive_seed(options.seed, replica));
-    qubo::Bits x(n);
-    for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
-    auto [state, energy] =
-        improve(model, x, params_, max_iters, derive_seed(options.seed, replica ^ 0x7ab0ULL));
-    batch.results[replica].assignment = std::move(state);
-    batch.results[replica].qubo_energy = energy;
-  }
+  for_each_replica(
+      options.num_replicas, options.num_threads, [&](std::size_t replica) {
+        Rng rng(derive_seed(options.seed, replica));
+        qubo::Bits x(n);
+        for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
+        auto [state, energy] =
+            improve(adjacency, x, params_, max_iters,
+                    derive_seed(options.seed, replica ^ 0x7ab0ULL));
+        batch.results[replica].assignment = std::move(state);
+        batch.results[replica].qubo_energy = energy;
+      });
   return batch;
 }
 

@@ -8,6 +8,7 @@
 // variable tabu for `tenure` iterations, with the aspiration criterion that
 // a move beating the incumbent best is always allowed.
 
+#include "qubo/sparse.hpp"
 #include "solvers/solver.hpp"
 
 namespace qross::solvers {
@@ -28,7 +29,15 @@ class TabuSearch final : public QuboSolver {
                          const SolveOptions& options) const override;
 
   /// Single tabu run from a given start state; returns the best state found.
-  /// `max_iterations` bounds total flips.  Exposed for the Qbsolv hybrid.
+  /// `max_iterations` bounds total flips.  Exposed for the Qbsolv hybrid,
+  /// which passes its one shared adjacency so repeated improvement rounds
+  /// never rebuild it.
+  static std::pair<qubo::Bits, double> improve(
+      const qubo::SparseAdjacencyPtr& adjacency, const qubo::Bits& start,
+      const TabuParams& params, std::size_t max_iterations,
+      std::uint64_t seed);
+
+  /// Convenience overload building a private adjacency from `model`.
   static std::pair<qubo::Bits, double> improve(const qubo::QuboModel& model,
                                                const qubo::Bits& start,
                                                const TabuParams& params,

@@ -110,6 +110,40 @@ TEST(TabuSearch, DeterministicUnderSeed) {
 }
 TEST(Qbsolv, DeterministicUnderSeed) { expect_deterministic<Qbsolv>(); }
 
+template <typename Solver>
+void expect_threads_do_not_change_results() {
+  // Replicas share one sparse adjacency and own their state, so the batch
+  // must be bit-identical whether run sequentially or across a pool.
+  const QuboModel model = planted_model();
+  const Solver solver;
+  SolveOptions sequential;
+  sequential.num_replicas = 8;
+  sequential.num_sweeps = 30;
+  sequential.seed = 17;
+  SolveOptions threaded = sequential;
+  threaded.num_threads = 3;
+  const auto a = solver.solve(model, sequential);
+  const auto b = solver.solve(model, threaded);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.results[i].assignment, b.results[i].assignment);
+    EXPECT_DOUBLE_EQ(a.results[i].qubo_energy, b.results[i].qubo_energy);
+  }
+}
+
+TEST(SimulatedAnnealer, ThreadPoolPathMatchesSequential) {
+  expect_threads_do_not_change_results<SimulatedAnnealer>();
+}
+TEST(DigitalAnnealer, ThreadPoolPathMatchesSequential) {
+  expect_threads_do_not_change_results<DigitalAnnealer>();
+}
+TEST(TabuSearch, ThreadPoolPathMatchesSequential) {
+  expect_threads_do_not_change_results<TabuSearch>();
+}
+TEST(Qbsolv, ThreadPoolPathMatchesSequential) {
+  expect_threads_do_not_change_results<Qbsolv>();
+}
+
 TEST(Solvers, DifferentSeedsGiveDifferentBatches) {
   // On a rugged random model, replicas under different master seeds should
   // not be identical.
