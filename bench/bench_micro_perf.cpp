@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "harness/dense_baseline.hpp"
 #include "problems/mvc/mvc.hpp"
 #include "problems/tsp/formulation.hpp"
 #include "problems/tsp/generators.hpp"
@@ -46,71 +47,9 @@ void report_sparsity(benchmark::State& state, const qubo::QuboModel& model) {
   state.counters["density"] = adj->density();
 }
 
-/// The seed's dense evaluator (symmetrised n x n matrix copied per replica,
-/// O(n) apply_flip): kept here as the baseline the sparse CSR path is
-/// measured against.
-class DenseEvaluator {
- public:
-  explicit DenseEvaluator(const qubo::QuboModel& model)
-      : n_(model.num_vars()),
-        offset_(model.offset()),
-        weights_(n_ * n_, 0.0),
-        x_(n_, 0),
-        fields_(n_, 0.0) {
-    for (std::size_t i = 0; i < n_; ++i) {
-      weights_[i * n_ + i] = model.linear(i);
-      for (std::size_t j = i + 1; j < n_; ++j) {
-        const double w = model.coefficient(i, j);
-        weights_[i * n_ + j] = w;
-        weights_[j * n_ + i] = w;
-      }
-    }
-    set_state(x_);
-  }
-
-  void set_state(const qubo::Bits& x) {
-    x_ = x;
-    energy_ = offset_;
-    for (std::size_t i = 0; i < n_; ++i) {
-      const double* row = weights_.data() + i * n_;
-      double field = row[i];
-      for (std::size_t j = 0; j < n_; ++j) {
-        if (j != i && x_[j] != 0) field += row[j];
-      }
-      fields_[i] = field;
-      if (x_[i] != 0) {
-        energy_ += row[i];
-        for (std::size_t j = i + 1; j < n_; ++j) {
-          if (x_[j] != 0) energy_ += row[j];
-        }
-      }
-    }
-  }
-
-  double flip_delta(std::size_t i) const {
-    return x_[i] == 0 ? fields_[i] : -fields_[i];
-  }
-
-  void apply_flip(std::size_t i) {
-    energy_ += flip_delta(i);
-    const double sign = x_[i] == 0 ? 1.0 : -1.0;
-    x_[i] ^= 1;
-    const double* row = weights_.data() + i * n_;
-    for (std::size_t j = 0; j < n_; ++j) {
-      if (j != i) fields_[j] += sign * row[j];
-    }
-  }
-
-  double energy() const { return energy_; }
-
- private:
-  std::size_t n_;
-  double offset_;
-  std::vector<double> weights_;
-  qubo::Bits x_;
-  std::vector<double> fields_;
-  double energy_ = 0.0;
-};
+// The dense baseline evaluator lives in harness/dense_baseline.hpp, shared
+// with bench_service_json (the machine-readable perf tracker).
+using bench::DenseEvaluator;
 
 void BM_QuboFullEnergy(benchmark::State& state) {
   const auto model = make_tsp_qubo(static_cast<std::size_t>(state.range(0)));

@@ -1,0 +1,223 @@
+// Machine-readable perf tracking: writes BENCH_sweep.json (dense vs sparse
+// sweep throughput — the PR 1 headline numbers) and BENCH_service.json
+// (SolveService throughput in jobs/sec at queue depth >= workers, cold vs
+// cache-warm), so the perf trajectory is diffable from this PR on.
+//
+// Unlike bench_micro_perf this target needs no google-benchmark — it is a
+// plain binary timed with common/stopwatch, runnable on any CI box:
+//
+//   ./bench_service_json [--out-dir DIR]   (default: current directory)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "harness/dense_baseline.hpp"
+#include "problems/mvc/mvc.hpp"
+#include "problems/tsp/formulation.hpp"
+#include "problems/tsp/generators.hpp"
+#include "qubo/incremental.hpp"
+#include "qubo/sparse.hpp"
+#include "service/solve_service.hpp"
+#include "solvers/digital_annealer.hpp"
+
+namespace {
+
+using namespace qross;
+
+struct SweepRow {
+  std::string workload;
+  std::size_t n = 0;
+  std::size_t nnz = 0;
+  double density = 0.0;
+  double dense_flips_per_sec = 0.0;
+  double sparse_flips_per_sec = 0.0;
+
+  double speedup() const {
+    return dense_flips_per_sec > 0.0
+               ? sparse_flips_per_sec / dense_flips_per_sec
+               : 0.0;
+  }
+};
+
+/// Repeats full sweeps (one apply_flip per variable) until `budget_seconds`
+/// elapses; returns flips/second.
+template <typename Evaluator>
+double measure_sweep_throughput(Evaluator& eval, std::size_t n,
+                                double budget_seconds) {
+  Rng rng(3);
+  qubo::Bits x(n);
+  for (auto& b : x) b = rng.bernoulli(0.5) ? 1 : 0;
+  eval.set_state(x);
+  // Warm-up sweep so first-touch page faults stay out of the timing.
+  for (std::size_t i = 0; i < n; ++i) eval.apply_flip(i);
+  std::size_t flips = 0;
+  Stopwatch watch;
+  while (watch.elapsed_seconds() < budget_seconds) {
+    for (std::size_t i = 0; i < n; ++i) eval.apply_flip(i);
+    flips += n;
+  }
+  return static_cast<double>(flips) / watch.elapsed_seconds();
+}
+
+SweepRow measure_workload(const std::string& workload,
+                          const qubo::QuboModel& model,
+                          double budget_seconds) {
+  SweepRow row;
+  row.workload = workload;
+  row.n = model.num_vars();
+  const auto adjacency = qubo::SparseAdjacency::build(model);
+  row.nnz = adjacency->num_nonzeros();
+  row.density = adjacency->density();
+  bench::DenseEvaluator dense(model);
+  row.dense_flips_per_sec =
+      measure_sweep_throughput(dense, row.n, budget_seconds);
+  qubo::IncrementalEvaluator sparse(adjacency);
+  row.sparse_flips_per_sec =
+      measure_sweep_throughput(sparse, row.n, budget_seconds);
+  std::fprintf(stderr, "%-8s n=%-4zu nnz=%-7zu dense=%.3g sparse=%.3g (%.1fx)\n",
+               workload.c_str(), row.n, row.nnz, row.dense_flips_per_sec,
+               row.sparse_flips_per_sec, row.speedup());
+  return row;
+}
+
+void write_sweep_json(const std::string& path,
+                      const std::vector<SweepRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"qross-bench-sweep-v1\",\n  \"rows\": [\n");
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const auto& r = rows[k];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"n\": %zu, \"nnz\": %zu, "
+                 "\"density\": %.6f, \"dense_flips_per_sec\": %.1f, "
+                 "\"sparse_flips_per_sec\": %.1f, \"sparse_speedup\": %.3f}%s\n",
+                 r.workload.c_str(), r.n, r.nnz, r.density,
+                 r.dense_flips_per_sec, r.sparse_flips_per_sec, r.speedup(),
+                 k + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+struct ServicePass {
+  double wall_seconds = 0.0;
+  double jobs_per_sec = 0.0;
+};
+
+/// Submits every model once (all up front, so the queue depth at submit is
+/// `models.size()`, far above the worker count) and waits for the lot.
+ServicePass run_service_pass(service::SolveService& svc,
+                             const solvers::SolverPtr& solver,
+                             const std::vector<qubo::QuboModel>& models,
+                             const solvers::SolveOptions& options) {
+  Stopwatch watch;
+  std::vector<service::JobHandle> handles;
+  handles.reserve(models.size());
+  for (const auto& model : models) {
+    handles.push_back(svc.submit(solver, model, options));
+  }
+  for (auto& handle : handles) {
+    const auto result = handle.wait();
+    if (result.status != service::JobStatus::done) {
+      std::fprintf(stderr, "bench job unexpectedly %s\n",
+                   service::to_string(result.status));
+      std::exit(1);
+    }
+  }
+  ServicePass pass;
+  pass.wall_seconds = watch.elapsed_seconds();
+  pass.jobs_per_sec = static_cast<double>(models.size()) / pass.wall_seconds;
+  return pass;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out-dir DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // --- dense vs sparse sweep throughput (the PR 1 numbers, now tracked) ---
+  constexpr double kBudget = 0.25;  // seconds per measurement
+  std::vector<SweepRow> rows;
+  for (const std::size_t n : {128ul, 256ul}) {
+    const auto instance = mvc::generate_random_mvc(n, 0.06, 0xBEEF);
+    rows.push_back(measure_workload("mvc", instance.to_qubo(2.0), kBudget));
+  }
+  for (const std::size_t cities : {8ul, 12ul}) {
+    const auto instance = tsp::generate_uniform(cities, 0xBE);
+    const auto problem = tsp::build_tsp_problem(instance);
+    rows.push_back(measure_workload("tsp", problem.to_qubo(25.0), kBudget));
+  }
+  write_sweep_json(out_dir + "/BENCH_sweep.json", rows);
+
+  // --- service throughput: jobs/sec at queue depth >= 4 workers -----------
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kJobs = 64;
+  service::ServiceConfig config;
+  config.num_workers = kWorkers;
+  config.cache_capacity = kJobs;
+  service::SolveService svc(config);
+  const auto solver = std::make_shared<solvers::DigitalAnnealer>();
+  solvers::SolveOptions options;
+  options.num_replicas = 4;
+  options.num_sweeps = 30;
+
+  std::vector<qubo::QuboModel> models;
+  models.reserve(kJobs);
+  for (std::size_t k = 0; k < kJobs; ++k) {
+    models.push_back(
+        mvc::generate_random_mvc(64, 0.08, 0x2000 + k).to_qubo(2.0));
+  }
+  const ServicePass cold = run_service_pass(svc, solver, models, options);
+  const ServicePass warm = run_service_pass(svc, solver, models, options);
+  const service::ServiceMetrics metrics = svc.metrics();
+  std::fprintf(stderr,
+               "service: cold %.1f jobs/s, cache-warm %.1f jobs/s "
+               "(%zu hits, %zu invocations)\n",
+               cold.jobs_per_sec, warm.jobs_per_sec, metrics.cache_hits,
+               metrics.solver_invocations);
+
+  const std::string path = out_dir + "/BENCH_service.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"qross-bench-service-v1\",\n");
+  std::fprintf(f, "  \"workers\": %zu,\n  \"jobs\": %zu,\n", kWorkers, kJobs);
+  std::fprintf(f, "  \"queue_depth_at_submit\": %zu,\n", kJobs);
+  std::fprintf(f, "  \"workload\": \"mvc n=64 da replicas=4 sweeps=30\",\n");
+  std::fprintf(f,
+               "  \"cold\": {\"wall_seconds\": %.4f, \"jobs_per_sec\": %.2f},\n",
+               cold.wall_seconds, cold.jobs_per_sec);
+  std::fprintf(
+      f, "  \"cache_warm\": {\"wall_seconds\": %.4f, \"jobs_per_sec\": %.2f},\n",
+      warm.wall_seconds, warm.jobs_per_sec);
+  std::fprintf(f,
+               "  \"metrics\": {\"solver_invocations\": %zu, \"cache_hits\": "
+               "%zu, \"cache_misses\": %zu, \"run_p50_ms\": %.2f, "
+               "\"run_p99_ms\": %.2f, \"wait_p50_ms\": %.2f, "
+               "\"wait_p99_ms\": %.2f}\n",
+               metrics.solver_invocations, metrics.cache_hits,
+               metrics.cache_misses, metrics.run.p50_ms, metrics.run.p99_ms,
+               metrics.queue_wait.p50_ms, metrics.queue_wait.p99_ms);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

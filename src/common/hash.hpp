@@ -1,0 +1,67 @@
+#pragma once
+
+// Deterministic 64-bit stream hasher (FNV-1a over bytes with a splitmix64
+// finaliser).  Used to fingerprint QUBO models, solver configurations and
+// solve options for the result cache — NOT a cryptographic hash, and not
+// stable across platforms with different double representations (all
+// supported targets are IEEE-754 little-endian).
+//
+// Doubles are mixed via their bit pattern (std::bit_cast), so fingerprints
+// distinguish values that compare equal but are distinct bit patterns only
+// for the -0.0/0.0 pair; callers that canonicalise zeros (the sparse model
+// scan skips structural zeros) are unaffected.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace qross {
+
+class Hash64 {
+ public:
+  /// `salt` decorrelates independent lanes hashing the same stream (the
+  /// 128-bit fingerprint runs two lanes with different salts).
+  explicit constexpr Hash64(std::uint64_t salt = 0)
+      : state_(kOffsetBasis ^ (salt * 0x9e3779b97f4a7c15ULL)) {}
+
+  constexpr Hash64& mix(std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      state_ ^= (value >> shift) & 0xffULL;
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Hash64& mix(double value) {
+    return mix(std::bit_cast<std::uint64_t>(value));
+  }
+
+  constexpr Hash64& mix(std::string_view text) {
+    mix(static_cast<std::uint64_t>(text.size()));
+    for (const char c : text) {
+      state_ ^= static_cast<unsigned char>(c);
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  /// Final avalanche so that short streams still spread over all bits.
+  constexpr std::uint64_t digest() const {
+    std::uint64_t z = state_;
+    z ^= z >> 30;
+    z *= 0xbf58476d1ce4e5b9ULL;
+    z ^= z >> 27;
+    z *= 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z;
+  }
+
+ private:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  std::uint64_t state_;
+};
+
+}  // namespace qross

@@ -8,6 +8,7 @@
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "problems/tsp/formulation.hpp"
+#include "service/service_solver.hpp"
 #include "solvers/batch_runner.hpp"
 #include "surrogate/pipeline.hpp"
 
@@ -92,7 +93,16 @@ TuneOutcome QrossTuner::tune(const tsp::TspInstance& instance,
 
   solvers::SolveOptions solve_options = solve_options_;
   solve_options.seed = derive_seed(options.seed, 0x7e);
-  solvers::BatchRunner runner(prepared.problem(), solver, solve_options);
+  // Routed through the shared solve service when the caller provides one:
+  // identical trial calls (same model, options, derived seed) coalesce and
+  // hit its result cache, so repeated sessions cost no extra solver calls.
+  solvers::SolverPtr effective_solver = solver;
+  if (options.service != nullptr) {
+    effective_solver =
+        std::make_shared<service::ServiceSolver>(*options.service, solver);
+  }
+  solvers::BatchRunner runner(prepared.problem(), effective_solver,
+                              solve_options);
   ComposedStrategy strategy(options.strategy, derive_seed(options.seed, 1));
 
   TuneOutcome outcome;

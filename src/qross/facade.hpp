@@ -19,6 +19,10 @@
 #include "surrogate/dataset.hpp"
 #include "surrogate/model.hpp"
 
+namespace qross::service {
+class SolveService;
+}  // namespace qross::service
+
 namespace qross::core {
 
 struct TuneOptions {
@@ -30,6 +34,12 @@ struct TuneOptions {
   std::uint64_t seed = 1;
   /// Composed-strategy configuration (PBS targets, risk aversion, ...).
   ComposedStrategy::Config strategy;
+  /// When set (borrowed, must outlive the call), every trial's solver call
+  /// is routed through this SolveService, so concurrent and repeated tuning
+  /// sessions share its result cache: re-tuning an instance with the same
+  /// seed replays from cached batches without invoking the solver.  Null =
+  /// direct synchronous calls (the default).
+  service::SolveService* service = nullptr;
 };
 
 struct TuneOutcome {

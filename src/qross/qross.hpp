@@ -17,6 +17,13 @@
 #include "qubo/model.hpp"
 #include "qubo/sparse.hpp"
 
+#include "service/fingerprint.hpp"
+#include "service/job.hpp"
+#include "service/metrics.hpp"
+#include "service/result_cache.hpp"
+#include "service/service_solver.hpp"
+#include "service/solve_service.hpp"
+
 #include "solvers/analog_noise.hpp"
 #include "solvers/batch_runner.hpp"
 #include "solvers/digital_annealer.hpp"

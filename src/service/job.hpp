@@ -1,0 +1,99 @@
+#pragma once
+
+// Job-side types of the solve service: status lifecycle, the result record,
+// and the JobHandle the submitter holds.
+//
+// Lifecycle:
+//
+//   queued ──────────────► running ──────────► done
+//     │                      │
+//     ├─► expired            ├─► expired   (deadline hit mid-run;
+//     │   (deadline passed   │              partial batch attached)
+//     │    before start —    ├─► cancelled (stop honoured within one
+//     │    the solver is     │              sweep; partial batch attached)
+//     │    NEVER invoked)    └─► failed    (solver threw)
+//     └─► cancelled
+//         (while queued; no batch)
+//
+// `done` jobs served from the cache or coalesced onto another execution
+// skip `running` entirely.  All terminal states notify wait()ers.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "qubo/batch.hpp"
+
+namespace qross::service {
+
+enum class JobStatus {
+  queued,     ///< waiting for a worker (or for an equivalent execution)
+  running,    ///< a worker is inside the solver kernel
+  done,       ///< full batch available (solver run, cache hit, or coalesced)
+  cancelled,  ///< cancel() or service shutdown; batch may be partial or null
+  expired,    ///< deadline passed (before start: no batch; mid-run: partial)
+  failed,     ///< the solver threw; see JobResult::error
+};
+
+const char* to_string(JobStatus status);
+
+/// True for states that will never change again.
+bool is_terminal(JobStatus status);
+
+struct JobResult {
+  JobStatus status = JobStatus::queued;
+  /// The solution batch.  Shared and immutable: cache hits and coalesced
+  /// jobs alias the producing execution's batch, so equal fingerprints give
+  /// bit-identical results.  Null when the solver never produced anything
+  /// (expired before start, cancelled while queued, failed).
+  std::shared_ptr<const qubo::SolveBatch> batch;
+  bool cache_hit = false;   ///< served from the result cache, no execution
+  bool coalesced = false;   ///< shared another submission's execution
+  double wait_ms = 0.0;     ///< submit → execution start (or terminal state)
+  double run_ms = 0.0;      ///< execution start → kernel exit; 0 if never ran
+  std::string error;        ///< what() of the solver exception when failed
+};
+
+namespace detail {
+struct JobState;
+}  // namespace detail
+
+/// Shared-ownership handle to a submitted job.  Copyable; all copies refer
+/// to the same job.  Handles may outlive the SolveService — status(),
+/// wait() and result() stay valid (the service destructor drives every job
+/// to a terminal state first), and cancel() degrades to a no-op.
+class JobHandle {
+ public:
+  JobHandle() = default;  ///< empty handle; valid() is false
+
+  explicit JobHandle(std::shared_ptr<detail::JobState> state);
+
+  bool valid() const { return state_ != nullptr; }
+  std::uint64_t id() const;
+
+  JobStatus status() const;
+  bool finished() const { return is_terminal(status()); }
+
+  /// Blocks until the job reaches a terminal state; returns the result.
+  JobResult wait() const;
+
+  /// Waits up to `timeout`; true iff the job is terminal on return.
+  bool wait_for(std::chrono::milliseconds timeout) const;
+
+  /// The result of a finished job (QROSS_REQUIRE: finished()).
+  JobResult result() const;
+
+  /// Requests cooperative cancellation.  A queued job completes as
+  /// `cancelled` immediately; a running job's kernel is signalled and the
+  /// job completes (with its partial batch) within one sweep.  Cancelling
+  /// one of several submissions coalesced onto the same execution detaches
+  /// only that submission — the execution is stopped when its last
+  /// interested job cancels.  No-op on terminal jobs and empty handles.
+  void cancel() const;
+
+ private:
+  std::shared_ptr<detail::JobState> state_;
+};
+
+}  // namespace qross::service

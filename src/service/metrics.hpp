@@ -1,0 +1,68 @@
+#pragma once
+
+// Service observability: a point-in-time ServiceMetrics snapshot plus the
+// sliding-window latency reservoir that backs its percentiles.
+
+#include <cstddef>
+#include <vector>
+
+namespace qross::service {
+
+struct LatencyPercentiles {
+  std::size_t count = 0;  ///< samples ever recorded (window may hold fewer)
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// One consistent snapshot of the service, taken under the service lock.
+struct ServiceMetrics {
+  std::size_t workers = 0;
+
+  // Instantaneous state.
+  std::size_t queue_depth = 0;  ///< executions waiting for a worker
+  std::size_t running = 0;      ///< executions inside a solver kernel
+
+  // Job counters (monotonic).
+  std::size_t submitted = 0;
+  std::size_t completed = 0;  ///< jobs that reached `done`
+  std::size_t cancelled = 0;
+  std::size_t expired = 0;
+  std::size_t failed = 0;
+  std::size_t coalesced = 0;  ///< jobs attached to an in-flight execution
+  std::size_t solver_invocations = 0;  ///< actual kernel executions started
+
+  // Result-cache counters (monotonic) + current size.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_evictions = 0;
+  std::size_t cache_size = 0;
+
+  double uptime_seconds = 0.0;
+  double jobs_per_second = 0.0;  ///< completed / uptime
+
+  LatencyPercentiles queue_wait;  ///< submit → execution start (ms)
+  LatencyPercentiles run;         ///< execution start → kernel exit (ms)
+};
+
+/// Ring buffer over the most recent `capacity` latency samples.  Percentile
+/// snapshots are linear-interpolated quantiles (common/stats) over the
+/// window; `max` is over the window too, so both reflect recent traffic
+/// rather than all-time extremes.  Not internally synchronised.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(std::size_t capacity = 1024);
+
+  void record(double value_ms);
+  std::size_t count() const { return total_; }
+
+  LatencyPercentiles percentiles() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t total_ = 0;
+  std::vector<double> window_;  // filled circularly once total_ >= capacity_
+};
+
+}  // namespace qross::service

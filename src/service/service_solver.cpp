@@ -1,0 +1,44 @@
+#include "service/service_solver.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace qross::service {
+
+ServiceSolver::ServiceSolver(SolveService& service, solvers::SolverPtr inner,
+                             SubmitOptions submit)
+    : service_(&service), inner_(std::move(inner)), submit_(submit) {
+  QROSS_REQUIRE(inner_ != nullptr, "inner solver required");
+}
+
+qubo::SolveBatch ServiceSolver::solve(
+    const qubo::QuboModel& model, const solvers::SolveOptions& options) const {
+  JobHandle handle = service_->submit(inner_, model, options, submit_);
+  // A live caller token must keep working through the routing.  The service
+  // already bridges the primary submitter's token inside the execution; a
+  // call that *coalesced* onto someone else's execution is only reachable
+  // via its handle, so poll-and-cancel here.
+  if (options.stop.stop_possible()) {
+    while (!handle.wait_for(std::chrono::milliseconds(10))) {
+      if (options.stop.stop_requested()) {
+        handle.cancel();
+        handle.wait();
+        break;
+      }
+    }
+  }
+  const JobResult result = handle.wait();
+  if (result.batch == nullptr) {
+    throw std::runtime_error(std::string("service job ") +
+                             to_string(result.status) +
+                             (result.error.empty() ? "" : ": " + result.error));
+  }
+  // done → the full batch; cancelled/expired mid-run → the partial batch,
+  // mirroring what a direct solve() with a signalled StopToken returns.
+  return *result.batch;
+}
+
+}  // namespace qross::service

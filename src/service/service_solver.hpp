@@ -1,0 +1,45 @@
+#pragma once
+
+// ServiceSolver — a QuboSolver adapter that routes every solve() through a
+// SolveService (submit + wait), so call sites built on the synchronous
+// interface (BatchRunner, the QrossTuner facade, the tuning baselines)
+// transparently gain the service's result cache, coalescing and metrics.
+//
+// Repeated tuning sessions over the same instances and seeds become cache
+// hits instead of fresh solver calls.  The service must outlive the
+// adapter.  Do not use an adapter bound to a service from inside that same
+// service's workers — solve() blocks on a job, and a worker waiting for a
+// worker deadlocks once all of them do it.
+
+#include "service/solve_service.hpp"
+#include "solvers/solver.hpp"
+
+namespace qross::service {
+
+class ServiceSolver final : public solvers::QuboSolver {
+ public:
+  /// `service` is borrowed and must outlive this adapter.  `submit`
+  /// (priority/deadline/bypass) applies to every routed call.
+  ServiceSolver(SolveService& service, solvers::SolverPtr inner,
+                SubmitOptions submit = {});
+
+  /// The inner solver's name with a routing suffix; the cache fingerprint
+  /// uses the *inner* solver's identity, so routed and direct calls with
+  /// equal inputs share cache entries.
+  std::string name() const override { return inner_->name() + "@service"; }
+  std::uint64_t config_digest() const override {
+    return inner_->config_digest();
+  }
+
+  /// Blocks until the job finishes.  Throws std::runtime_error when the job
+  /// failed or was cancelled/expired without producing a batch.
+  qubo::SolveBatch solve(const qubo::QuboModel& model,
+                         const solvers::SolveOptions& options) const override;
+
+ private:
+  SolveService* service_;
+  solvers::SolverPtr inner_;
+  SubmitOptions submit_;
+};
+
+}  // namespace qross::service

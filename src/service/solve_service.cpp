@@ -1,0 +1,657 @@
+#include "service/solve_service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "service/fingerprint.hpp"
+#include "service/result_cache.hpp"
+
+namespace qross::service {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// Clamped at zero: a job coalescing onto an already-running execution
+// "waited" a negative interval relative to that execution's start.
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::max(0.0,
+                  std::chrono::duration<double, std::milli>(to - from).count());
+}
+
+std::int64_t to_ns(Clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::queued: return "queued";
+    case JobStatus::running: return "running";
+    case JobStatus::done: return "done";
+    case JobStatus::cancelled: return "cancelled";
+    case JobStatus::expired: return "expired";
+    case JobStatus::failed: return "failed";
+  }
+  return "?";
+}
+
+bool is_terminal(JobStatus status) {
+  return status == JobStatus::done || status == JobStatus::cancelled ||
+         status == JobStatus::expired || status == JobStatus::failed;
+}
+
+namespace detail {
+
+struct ExecState;
+
+// One submission.  `m`/`cv` guard only this job's status/result; everything
+// else is written once at submit time (under the core lock) and read-only
+// afterwards.  Lock order: ServiceCore::m before JobState::m, never the
+// reverse — JobHandle accessors take only the job lock.
+struct JobState {
+  std::uint64_t id = 0;
+  int priority = 0;
+  std::optional<Clock::time_point> deadline;
+  /// The submitter's own StopToken, captured before the rest of its options
+  /// are discarded on coalesce — signalling it cancels THIS job.
+  solvers::StopToken stop;
+  Clock::time_point submitted_at;
+  std::weak_ptr<ServiceCore> core;
+  std::weak_ptr<ExecState> exec;
+
+  mutable std::mutex m;
+  mutable std::condition_variable cv;
+  JobStatus status = JobStatus::queued;
+  bool wants_cancel = false;  // cancelled while running; completes on exit
+  JobResult result;
+};
+
+// One solver execution, shared by every job whose fingerprint coalesced
+// onto it.  All fields are guarded by ServiceCore::m except the stop token
+// and `deadline_hit`, which the kernel's sweep callback touches lock-free.
+struct ExecState {
+  Fingerprint key;
+  solvers::SolverPtr solver;
+  qubo::QuboModel model;
+  solvers::SolveOptions options;
+  bool cacheable = true;
+  int priority = 0;
+
+  enum class Phase { queued, running, finished };
+  Phase phase = Phase::queued;
+  bool dead = false;  // no interested jobs remain; skipped at pop
+  solvers::StopToken stop = solvers::StopToken::create();
+  std::atomic<bool> deadline_hit{false};
+  /// Earliest pending per-job deadline (ns since the steady epoch), kept in
+  /// an atomic so concurrent replica threads can run the per-sweep "is
+  /// anything due?" check lock-free; the watch list itself is only touched
+  /// under ServiceCore::m.  INT64_MAX = nothing watched.
+  std::atomic<std::int64_t> next_deadline_ns{
+      std::numeric_limits<std::int64_t>::max()};
+  Clock::time_point started_at;
+  std::vector<std::shared_ptr<JobState>> subscribers;
+};
+
+struct ServiceCore {
+  explicit ServiceCore(const ServiceConfig& cfg)
+      : config(cfg),
+        cache(cfg.cache_capacity),
+        wait_reservoir(cfg.latency_window),
+        run_reservoir(cfg.latency_window),
+        started_at(Clock::now()) {}
+
+  ServiceConfig config;
+
+  mutable std::mutex m;
+  bool shutting_down = false;
+  std::uint64_t next_job_id = 1;
+  std::uint64_t next_seq = 0;
+
+  struct QueueEntry {
+    int priority = 0;
+    std::uint64_t seq = 0;
+    std::shared_ptr<ExecState> exec;
+  };
+  struct EntryOrder {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;  // FIFO within a priority level
+    }
+  };
+  // Entries are popped lazily: priority promotion pushes a duplicate entry
+  // and cancellation just marks the execution dead, so the pop loop skips
+  // anything no longer queued/alive instead of erasing mid-heap.
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryOrder> queue;
+  std::unordered_map<Fingerprint, std::shared_ptr<ExecState>, FingerprintHash>
+      inflight;
+  // Every execution currently inside a solver kernel — including
+  // bypass_cache ones, which never appear in `inflight` — so shutdown()
+  // can stop-signal them all.
+  std::vector<std::shared_ptr<ExecState>> running_execs;
+  ResultCache cache;
+
+  std::size_t queue_depth = 0;
+  std::size_t running = 0;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+  std::size_t expired = 0;
+  std::size_t failed = 0;
+  std::size_t coalesced = 0;
+  std::size_t solver_invocations = 0;
+  LatencyReservoir wait_reservoir;
+  LatencyReservoir run_reservoir;
+  Clock::time_point started_at;
+
+  /// Moves `job` to the terminal state in `result` (caller holds `m`).
+  /// Returns false when the job already finished through another path.
+  bool finish_job(const std::shared_ptr<JobState>& job, JobResult result) {
+    std::lock_guard job_lock(job->m);
+    if (is_terminal(job->status)) return false;
+    wait_reservoir.record(result.wait_ms);
+    switch (result.status) {
+      case JobStatus::done: ++completed; break;
+      case JobStatus::cancelled: ++cancelled; break;
+      case JobStatus::expired: ++expired; break;
+      case JobStatus::failed: ++failed; break;
+      default: QROSS_ASSERT_MSG(false, "completion with non-terminal status");
+    }
+    job->status = result.status;
+    job->result = std::move(result);
+    job->cv.notify_all();
+    return true;
+  }
+
+  bool job_live(const std::shared_ptr<JobState>& job) const {
+    std::lock_guard job_lock(job->m);
+    return !is_terminal(job->status);
+  }
+
+  bool job_wants_cancel(const std::shared_ptr<JobState>& job) const {
+    std::lock_guard job_lock(job->m);
+    return job->wants_cancel;
+  }
+
+  void drop_inflight(const std::shared_ptr<ExecState>& exec) {
+    const auto it = inflight.find(exec->key);
+    if (it != inflight.end() && it->second == exec) inflight.erase(it);
+  }
+
+  void cancel_job(const std::shared_ptr<JobState>& job);
+  void run_one();
+
+  /// (deadline, job) entries for the jobs a running execution is watching,
+  /// ascending by deadline.  Owned by the run_one frame, shared into the
+  /// sweep callback, mutated only under `m`.
+  using DeadlineWatch =
+      std::vector<std::pair<Clock::time_point, std::shared_ptr<JobState>>>;
+
+  /// Per-job stop tokens the running execution polls each sweep: a
+  /// signalled token is that job's cancellation and is routed through
+  /// cancel_job (once, via the `handled` latch), preserving the coalescing
+  /// invariant.  Entries are immutable after construction; `handled` is the
+  /// only mutated field and is atomic, so concurrent replica threads may
+  /// poll freely.
+  struct TokenWatchEntry {
+    solvers::StopToken token;
+    std::shared_ptr<JobState> job;
+    std::shared_ptr<std::atomic<bool>> handled =
+        std::make_shared<std::atomic<bool>>(false);
+  };
+  using TokenWatch = std::vector<TokenWatchEntry>;
+
+  /// Handles every due entry: a job whose deadline passed mid-run is
+  /// detached as `expired` (no batch — the kernel keeps running for the
+  /// remaining jobs); when it is the last interested job, the kernel is
+  /// stop-signalled instead and the completion path attaches the partial
+  /// batch.  Updates exec->next_deadline_ns for the lock-free sweep check.
+  void expire_due_jobs(ExecState* exec, DeadlineWatch& watch) {
+    std::lock_guard lock(m);
+    const auto now = Clock::now();
+    while (!watch.empty() && watch.front().first <= now) {
+      const auto job = watch.front().second;
+      watch.erase(watch.begin());
+      if (!job_live(job) || job_wants_cancel(job)) continue;
+      bool others_interested = false;
+      for (const auto& other : exec->subscribers) {
+        if (other == job) continue;
+        if (job_live(other) && !job_wants_cancel(other)) {
+          others_interested = true;
+          break;
+        }
+      }
+      if (others_interested) {
+        JobResult r;
+        r.status = JobStatus::expired;
+        r.coalesced = job != exec->subscribers.front();
+        r.wait_ms = ms_between(job->submitted_at, exec->started_at);
+        r.run_ms = ms_between(exec->started_at, now);
+        finish_job(job, std::move(r));
+      } else {
+        exec->deadline_hit.store(true, std::memory_order_relaxed);
+        exec->stop.request_stop();
+      }
+    }
+    exec->next_deadline_ns.store(
+        watch.empty() ? std::numeric_limits<std::int64_t>::max()
+                      : to_ns(watch.front().first),
+        std::memory_order_relaxed);
+  }
+};
+
+void ServiceCore::cancel_job(const std::shared_ptr<JobState>& job) {
+  std::lock_guard lock(m);
+  if (!job_live(job)) return;
+  const auto exec = job->exec.lock();
+  if (!exec || exec->phase == ExecState::Phase::finished) {
+    // Defensive: a live job should always have a live execution (completion
+    // marks subscribers terminal under the lock we hold).
+    JobResult r;
+    r.status = JobStatus::cancelled;
+    r.wait_ms = ms_between(job->submitted_at, Clock::now());
+    finish_job(job, std::move(r));
+    return;
+  }
+  if (exec->phase == ExecState::Phase::queued) {
+    JobResult r;
+    r.status = JobStatus::cancelled;
+    r.wait_ms = ms_between(job->submitted_at, Clock::now());
+    finish_job(job, std::move(r));
+    bool any_live = false;
+    for (const auto& other : exec->subscribers) {
+      if (job_live(other)) {
+        any_live = true;
+        break;
+      }
+    }
+    if (!any_live) {
+      exec->dead = true;
+      --queue_depth;
+      drop_inflight(exec);
+    }
+    return;
+  }
+  // Running.  If other jobs still want the result, only detach this one;
+  // the kernel is stopped when the last interested job cancels, and that
+  // job collects the partial batch once the kernel exits within a sweep.
+  bool others_interested = false;
+  for (const auto& other : exec->subscribers) {
+    if (other == job) continue;
+    if (job_live(other) && !job_wants_cancel(other)) {
+      others_interested = true;
+      break;
+    }
+  }
+  if (others_interested) {
+    JobResult r;
+    r.status = JobStatus::cancelled;
+    // The execution creator (first subscriber) never counts as coalesced,
+    // even when it detaches and leaves the execution to its followers.
+    r.coalesced = job != exec->subscribers.front();
+    r.wait_ms = ms_between(job->submitted_at, exec->started_at);
+    finish_job(job, std::move(r));
+  } else {
+    {
+      std::lock_guard job_lock(job->m);
+      job->wants_cancel = true;
+    }
+    exec->stop.request_stop();
+  }
+}
+
+void ServiceCore::run_one() {
+  std::shared_ptr<ExecState> exec;
+  const auto watch = std::make_shared<DeadlineWatch>();
+  const auto tokens = std::make_shared<TokenWatch>();
+  {
+    std::lock_guard lock(m);
+    while (!queue.empty()) {
+      auto entry = queue.top();
+      queue.pop();
+      const auto& candidate = entry.exec;
+      if (candidate->dead || candidate->phase != ExecState::Phase::queued) {
+        continue;  // stale duplicate or cancelled while queued
+      }
+      const auto now = Clock::now();
+      // Deadline triage: jobs already past their deadline complete as
+      // `expired` here — the solver is never invoked for them.  The rest
+      // with deadlines go onto the mid-run watch list.
+      bool any_live = false;
+      for (const auto& job : candidate->subscribers) {
+        if (!job_live(job)) continue;
+        if (job->deadline && *job->deadline <= now) {
+          JobResult r;
+          r.status = JobStatus::expired;
+          r.wait_ms = ms_between(job->submitted_at, now);
+          finish_job(job, std::move(r));
+          continue;
+        }
+        any_live = true;
+        if (job->deadline) watch->emplace_back(*job->deadline, job);
+        if (job->stop.stop_possible()) tokens->push_back({job->stop, job});
+      }
+      --queue_depth;
+      if (!any_live) {
+        candidate->dead = true;
+        drop_inflight(candidate);
+        watch->clear();
+        tokens->clear();
+        continue;
+      }
+      std::sort(watch->begin(), watch->end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      if (!watch->empty()) {
+        candidate->next_deadline_ns.store(to_ns(watch->front().first),
+                                          std::memory_order_relaxed);
+      }
+      candidate->phase = ExecState::Phase::running;
+      candidate->started_at = now;
+      ++running;
+      ++solver_invocations;
+      running_execs.push_back(candidate);
+      for (const auto& job : candidate->subscribers) {
+        std::lock_guard job_lock(job->m);
+        if (!is_terminal(job->status)) job->status = JobStatus::running;
+      }
+      exec = candidate;
+      break;
+    }
+  }
+  if (!exec) return;
+
+  solvers::SolveOptions options = exec->options;
+  options.stop = exec->stop;
+  // The kernel polls the execution's own token; the watchdog below bridges
+  // the external stop sources.  Every subscriber's own StopToken (captured
+  // at submit, so a token that cancels a direct solve() also cancels the
+  // routed one) is routed through cancel_job rather than straight to the
+  // kernel: a signalled token is *that job's* cancellation, and the
+  // coalescing invariant — the kernel is stop-signalled only when the last
+  // interested job cancels — must hold for token-driven cancels too.
+  // Per-job deadlines work the same way via expire_due_jobs: a due job is
+  // detached as expired, and only the last interested one stops the
+  // kernel.  Both per-sweep checks are lock-free (atomic loads); jobs that
+  // coalesce onto the execution after this point are reachable only via
+  // their handles (ServiceSolver polls for exactly that case).  `raw`
+  // stays valid: this frame owns a shared_ptr for the whole call.
+  const solvers::SweepProgressFn user_tick = exec->options.on_sweep;
+  if (!watch->empty() || !tokens->empty()) {
+    ExecState* raw = exec.get();
+    options.on_sweep = [this, raw, watch, tokens, user_tick] {
+      if (user_tick) user_tick();
+      for (const auto& entry : *tokens) {
+        if (entry.token.stop_requested() &&
+            !entry.handled->exchange(true, std::memory_order_relaxed)) {
+          cancel_job(entry.job);  // takes m; the kernel thread holds no locks
+        }
+      }
+      if (to_ns(Clock::now()) >=
+          raw->next_deadline_ns.load(std::memory_order_relaxed)) {
+        expire_due_jobs(raw, *watch);
+      }
+    };
+  }
+
+  std::shared_ptr<const qubo::SolveBatch> batch;
+  std::string error;
+  bool solver_failed = false;
+  try {
+    batch = std::make_shared<const qubo::SolveBatch>(
+        exec->solver->solve(exec->model, options));
+  } catch (const std::exception& e) {
+    solver_failed = true;
+    error = e.what();
+  } catch (...) {
+    solver_failed = true;
+    error = "unknown solver exception";
+  }
+  const auto finished_at = Clock::now();
+
+  std::lock_guard lock(m);
+  --running;
+  exec->phase = ExecState::Phase::finished;
+  drop_inflight(exec);
+  std::erase(running_execs, exec);
+  const bool stopped = exec->stop.stop_requested();
+  const bool deadline_hit = exec->deadline_hit.load(std::memory_order_relaxed);
+  const double run_ms = ms_between(exec->started_at, finished_at);
+  run_reservoir.record(run_ms);
+  bool primary_taken = false;
+  for (const auto& job : exec->subscribers) {
+    JobResult r;
+    r.batch = batch;  // partial on cancelled/expired, null on failed
+    r.run_ms = run_ms;
+    r.wait_ms = ms_between(job->submitted_at, exec->started_at);
+    if (solver_failed) {
+      r.status = JobStatus::failed;
+      r.error = error;
+    } else if (job_wants_cancel(job)) {
+      r.status = JobStatus::cancelled;
+    } else if (deadline_hit && job->deadline) {
+      // `expired` only for jobs that actually set a deadline; a
+      // deadline-free job that coalesced onto this execution mid-run is
+      // reported `cancelled` (partial batch) instead of a deadline it
+      // never asked for.
+      r.status = JobStatus::expired;
+    } else if (stopped) {
+      r.status = JobStatus::cancelled;  // shutdown or the submitter's token
+    } else {
+      r.status = JobStatus::done;
+      r.coalesced = primary_taken;
+    }
+    const bool done_result = r.status == JobStatus::done;
+    if (finish_job(job, std::move(r)) && done_result) primary_taken = true;
+  }
+  // Only clean, complete batches are cacheable: a stopped run's batch is
+  // partial and must not be served as the canonical result.
+  if (!solver_failed && !stopped && exec->cacheable) {
+    cache.put(exec->key, batch);
+  }
+  exec->subscribers.clear();
+}
+
+}  // namespace detail
+
+// --- JobHandle --------------------------------------------------------------
+
+JobHandle::JobHandle(std::shared_ptr<detail::JobState> state)
+    : state_(std::move(state)) {}
+
+std::uint64_t JobHandle::id() const {
+  QROSS_REQUIRE(valid(), "empty job handle");
+  return state_->id;
+}
+
+JobStatus JobHandle::status() const {
+  QROSS_REQUIRE(valid(), "empty job handle");
+  std::lock_guard lock(state_->m);
+  return state_->status;
+}
+
+JobResult JobHandle::wait() const {
+  QROSS_REQUIRE(valid(), "empty job handle");
+  std::unique_lock lock(state_->m);
+  state_->cv.wait(lock, [&] { return is_terminal(state_->status); });
+  return state_->result;
+}
+
+bool JobHandle::wait_for(std::chrono::milliseconds timeout) const {
+  QROSS_REQUIRE(valid(), "empty job handle");
+  std::unique_lock lock(state_->m);
+  return state_->cv.wait_for(lock, timeout,
+                             [&] { return is_terminal(state_->status); });
+}
+
+JobResult JobHandle::result() const {
+  QROSS_REQUIRE(valid(), "empty job handle");
+  std::lock_guard lock(state_->m);
+  QROSS_REQUIRE(is_terminal(state_->status), "job not finished");
+  return state_->result;
+}
+
+void JobHandle::cancel() const {
+  if (!valid()) return;
+  const auto core = state_->core.lock();
+  if (!core) return;  // service gone: its destructor finished every job
+  core->cancel_job(state_);
+}
+
+// --- SolveService -----------------------------------------------------------
+
+SolveService::SolveService(ServiceConfig config)
+    : core_(std::make_shared<detail::ServiceCore>(config)),
+      pool_(config.num_workers) {}
+
+SolveService::~SolveService() {
+  shutdown();
+  // pool_ (declared after core_) is destroyed first: it drains the pending
+  // pop tasks — which find only dead executions — and joins workers whose
+  // kernels exit within one sweep of the stop request above.
+}
+
+JobHandle SolveService::submit(solvers::SolverPtr solver,
+                               const qubo::QuboModel& model,
+                               solvers::SolveOptions options,
+                               SubmitOptions submit) {
+  QROSS_REQUIRE(solver != nullptr, "solver required");
+  const Fingerprint key = fingerprint_job(*solver, model, options);
+  auto job = std::make_shared<detail::JobState>();
+  job->priority = submit.priority;
+  job->deadline = submit.deadline;
+  job->stop = options.stop;
+  job->submitted_at = Clock::now();
+  job->core = core_;
+
+  bool schedule = false;
+  {
+    std::lock_guard lock(core_->m);
+    QROSS_REQUIRE(!core_->shutting_down, "submit after shutdown");
+    job->id = core_->next_job_id++;
+    ++core_->submitted;
+
+    if (!submit.bypass_cache) {
+      if (auto hit = core_->cache.enabled() ? core_->cache.get(key)
+                                            : nullptr) {
+        JobResult r;
+        r.status = JobStatus::done;
+        r.batch = std::move(hit);
+        r.cache_hit = true;
+        core_->finish_job(job, std::move(r));
+        return JobHandle(std::move(job));
+      }
+      const auto it = core_->inflight.find(key);
+      // A stop-signalled execution is about to exit with a partial batch —
+      // a fresh submission must not coalesce onto it; it gets its own
+      // execution (the inflight slot is simply overwritten below).
+      if (it != core_->inflight.end() && !it->second->dead &&
+          it->second->phase != detail::ExecState::Phase::finished &&
+          !it->second->stop.stop_requested()) {
+        const auto& exec = it->second;
+        exec->subscribers.push_back(job);
+        job->exec = exec;
+        ++core_->coalesced;
+        if (exec->phase == detail::ExecState::Phase::running) {
+          std::lock_guard job_lock(job->m);
+          job->status = JobStatus::running;
+        } else if (submit.priority > exec->priority) {
+          // Promote: push a higher-priority duplicate; the old entry is
+          // skipped as stale when popped.
+          exec->priority = submit.priority;
+          core_->queue.push({exec->priority, core_->next_seq++, exec});
+          schedule = true;
+        }
+        if (schedule) pool_.submit([core = core_] { core->run_one(); });
+        return JobHandle(std::move(job));
+      }
+    }
+
+    auto exec = std::make_shared<detail::ExecState>();
+    exec->key = key;
+    exec->solver = std::move(solver);
+    exec->model = model;  // the one copy, paid only for a fresh execution
+    exec->options = std::move(options);
+    exec->cacheable = !submit.bypass_cache;
+    exec->priority = submit.priority;
+    exec->subscribers.push_back(job);
+    job->exec = exec;
+    if (!submit.bypass_cache) core_->inflight[key] = exec;
+    core_->queue.push({exec->priority, core_->next_seq++, exec});
+    ++core_->queue_depth;
+    schedule = true;
+  }
+  if (schedule) pool_.submit([core = core_] { core->run_one(); });
+  return JobHandle(std::move(job));
+}
+
+ServiceMetrics SolveService::metrics() const {
+  std::lock_guard lock(core_->m);
+  ServiceMetrics s;
+  s.workers = pool_.size();
+  s.queue_depth = core_->queue_depth;
+  s.running = core_->running;
+  s.submitted = core_->submitted;
+  s.completed = core_->completed;
+  s.cancelled = core_->cancelled;
+  s.expired = core_->expired;
+  s.failed = core_->failed;
+  s.coalesced = core_->coalesced;
+  s.solver_invocations = core_->solver_invocations;
+  s.cache_hits = core_->cache.hits();
+  s.cache_misses = core_->cache.misses();
+  s.cache_evictions = core_->cache.evictions();
+  s.cache_size = core_->cache.size();
+  s.uptime_seconds =
+      std::chrono::duration<double>(Clock::now() - core_->started_at).count();
+  s.jobs_per_second =
+      s.uptime_seconds > 0.0
+          ? static_cast<double>(s.completed) / s.uptime_seconds
+          : 0.0;
+  s.queue_wait = core_->wait_reservoir.percentiles();
+  s.run = core_->run_reservoir.percentiles();
+  return s;
+}
+
+void SolveService::shutdown() {
+  std::lock_guard lock(core_->m);
+  core_->shutting_down = true;
+  const auto now = Clock::now();
+  while (!core_->queue.empty()) {
+    auto entry = core_->queue.top();
+    core_->queue.pop();
+    const auto& exec = entry.exec;
+    if (exec->dead || exec->phase != detail::ExecState::Phase::queued) {
+      continue;
+    }
+    exec->dead = true;
+    --core_->queue_depth;
+    core_->drop_inflight(exec);
+    for (const auto& job : exec->subscribers) {
+      JobResult r;
+      r.status = JobStatus::cancelled;
+      r.wait_ms = ms_between(job->submitted_at, now);
+      core_->finish_job(job, std::move(r));
+    }
+    exec->subscribers.clear();
+  }
+  // Stop-signal every execution currently inside a kernel — tracked
+  // separately from `inflight`, which bypass_cache executions never enter;
+  // the worker's completion path marks their jobs cancelled.
+  for (const auto& exec : core_->running_execs) {
+    exec->stop.request_stop();
+  }
+}
+
+}  // namespace qross::service

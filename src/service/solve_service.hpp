@@ -1,0 +1,117 @@
+#pragma once
+
+// SolveService — the asynchronous front door above a solver call.
+//
+// Everything below this layer is one blocking `solve()`; everything a
+// serving system needs *around* that call lives here:
+//
+//   * a worker pool (common/thread_pool) executing jobs concurrently;
+//   * a priority + deadline aware queue: higher priority runs first, FIFO
+//     within a priority, and a job whose deadline has already passed when a
+//     worker picks it up completes as `expired` WITHOUT invoking the solver;
+//   * cooperative cancellation: each execution owns a StopToken threaded
+//     into the kernel, so cancel() and mid-run deadline expiry take effect
+//     within one sweep, returning the partial batch;
+//   * an LRU result cache keyed by the canonical job fingerprint
+//     (solver identity + model structure/weights + normalised options) —
+//     a hit completes the job immediately with the original, bit-identical
+//     batch;
+//   * request coalescing: concurrent submissions with equal fingerprints
+//     share one execution; N identical submissions cost one solver call and
+//     produce N aliased results;
+//   * a ServiceMetrics snapshot: queue depth, throughput, per-phase
+//     latency percentiles, cache and job counters.
+//
+// Concurrency notes.  One mutex (in ServiceCore) guards the queue, the
+// in-flight index, the cache and the counters; each job additionally has a
+// small mutex + condvar for its own status (lock order: core before job).
+// Handles may outlive the service: the destructor drives every job to a
+// terminal state (queued → cancelled, running → stop requested and joined)
+// before the workers are torn down.  Do NOT call a blocking JobHandle
+// method from inside a solver running on this service's own pool — that is
+// the classic worker-waits-for-worker deadlock.
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "common/thread_pool.hpp"
+#include "qubo/model.hpp"
+#include "service/job.hpp"
+#include "service/metrics.hpp"
+#include "solvers/solver.hpp"
+
+namespace qross::service {
+
+struct ServiceConfig {
+  /// Concurrent solver executions; 0 = all hardware threads.  Jobs may
+  /// additionally fan replicas out via SolveOptions::num_threads.
+  std::size_t num_workers = 2;
+  /// LRU result-cache entries; 0 disables caching (coalescing stays on).
+  std::size_t cache_capacity = 256;
+  /// Sliding-window size of the latency percentile reservoirs.
+  std::size_t latency_window = 1024;
+};
+
+struct SubmitOptions {
+  /// Higher runs first; FIFO within equal priorities.  Joining an already
+  /// queued equivalent execution with a higher priority promotes it.
+  int priority = 0;
+  /// Absolute deadline, enforced per job.  Expired-while-queued jobs never
+  /// start — there is no timer thread, so the `expired` transition is
+  /// observed when a worker pops the execution, not at the deadline
+  /// instant.  Mid-run (checked at every sweep tick) a due job is detached
+  /// from its execution as `expired` with no batch — the kernel keeps
+  /// running for the remaining interested jobs; only when the due job is
+  /// the last interested one is the kernel stop-signalled, completing it
+  /// as `expired` with the partial batch.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Skip both the cache lookup/store and coalescing for this job (e.g.
+  /// fresh statistics wanted despite an equal fingerprint).
+  bool bypass_cache = false;
+};
+
+namespace detail {
+struct ServiceCore;
+}  // namespace detail
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceConfig config = {});
+  /// Cancels all queued jobs, stop-signals running ones, waits for the
+  /// workers to drain, and only then returns; every handle is terminal
+  /// afterwards.
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  std::size_t num_workers() const { return pool_.size(); }
+
+  /// Enqueues one solve.  The model is copied only when a new execution is
+  /// actually created — cache hits and coalesced submissions never pay the
+  /// O(n²) copy.  The returned handle observes and controls the job.
+  /// A live options.stop token acts as this job's cancel(); it is bridged
+  /// for jobs present when their execution starts, but NOT for a job that
+  /// coalesces onto an already-running execution — cancel such a job via
+  /// its handle (ServiceSolver does exactly that by polling).  Throws
+  /// std::invalid_argument after shutdown().
+  JobHandle submit(solvers::SolverPtr solver, const qubo::QuboModel& model,
+                   solvers::SolveOptions options, SubmitOptions submit = {});
+
+  ServiceMetrics metrics() const;
+
+  /// Idempotent early teardown: rejects further submissions, cancels every
+  /// queued job and stop-signals running ones.  Does not wait for the
+  /// workers (the destructor does).
+  void shutdown();
+
+ private:
+  std::shared_ptr<detail::ServiceCore> core_;
+  // Declared after core_ so it is destroyed first: the destructor drains
+  // pending worker tasks (which hold the core via shared_ptr) and joins.
+  ThreadPool pool_;
+};
+
+}  // namespace qross::service

@@ -52,6 +52,10 @@ qubo::SolveBatch AnalogNoiseSolver::solve(const qubo::QuboModel& model,
   combined.results.reserve(options.num_replicas);
   std::size_t remaining = options.num_replicas;
   for (std::size_t s = 0; s < samples; ++s) {
+    // The inner options copy carries options.stop and options.on_sweep, so
+    // the wrapped kernel honours cancellation; this check just skips the
+    // remaining noise draws once signalled.
+    if (options.stop.stop_requested()) break;
     const std::size_t share = remaining / (samples - s);
     remaining -= share;
     if (share == 0) continue;
@@ -65,6 +69,19 @@ qubo::SolveBatch AnalogNoiseSolver::solve(const qubo::QuboModel& model,
       // Report the true energy of the solution found on the noisy landscape.
       result.qubo_energy = clean->energy(result.assignment);
       combined.results.push_back(std::move(result));
+    }
+  }
+  if (combined.results.empty() && options.num_replicas > 0) {
+    // Stopped before the first noise draw: still report valid (random)
+    // assignments so downstream batch evaluation stays total, matching the
+    // kernels' own stopped-before-start fallback.
+    Rng rng(derive_seed(options.seed, 0xfa11ULL));
+    combined.results.resize(options.num_replicas);
+    for (auto& result : combined.results) {
+      qubo::Bits x(model.num_vars());
+      for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
+      result.qubo_energy = clean->energy(x);
+      result.assignment = std::move(x);
     }
   }
   return combined;

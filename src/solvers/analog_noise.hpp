@@ -31,6 +31,14 @@ class AnalogNoiseSolver final : public QuboSolver {
   AnalogNoiseSolver(SolverPtr inner, AnalogNoiseParams params = {});
 
   std::string name() const override;
+  std::uint64_t config_digest() const override {
+    return Hash64()
+        .mix(std::string_view("analog_noise"))
+        .mix(inner_->config_digest())
+        .mix(params_.relative_precision)
+        .mix(static_cast<std::uint64_t>(params_.num_noise_samples))
+        .digest();
+  }
   qubo::SolveBatch solve(const qubo::QuboModel& model,
                          const SolveOptions& options) const override;
 

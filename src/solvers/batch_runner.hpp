@@ -13,6 +13,11 @@
 // pool — one shared sparse adjacency, per-worker evaluator state — with
 // bit-identical results to the sequential path.  (Parallel tempering's
 // exchange-coupled ladder is the exception; it runs sequentially.)
+//
+// Cancellation: the SolveOptions handed to the constructor carries the
+// cooperative StopToken and per-sweep progress callback; every run()
+// forwards them into the solver call, so a tuning session can be aborted
+// mid-trial within one sweep.
 
 #include <cstddef>
 #include <vector>

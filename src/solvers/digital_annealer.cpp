@@ -68,7 +68,8 @@ qubo::SolveBatch DigitalAnnealer::solve(const qubo::QuboModel& model,
         // One DA "sweep" performs n parallel-trial steps, matching the
         // per-sweep flip-attempt budget of the SA kernel for fair
         // comparisons.
-        for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+        for (std::size_t sweep = 0;
+             sweep < sweeps && !options.stop.stop_requested(); ++sweep) {
           for (std::size_t step = 0; step < n; ++step) {
             accepted.clear();
             // Parallel trial: every variable runs the Metropolis test with
@@ -94,6 +95,7 @@ qubo::SolveBatch DigitalAnnealer::solve(const qubo::QuboModel& model,
             }
           }
           temperature *= cooling;
+          if (sweep_checkpoint(options)) break;
         }
         batch.results[replica].assignment = std::move(best_state);
         batch.results[replica].qubo_energy = best_energy;

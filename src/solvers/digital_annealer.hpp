@@ -35,6 +35,14 @@ class DigitalAnnealer final : public QuboSolver {
   explicit DigitalAnnealer(DaParams params = {});
 
   std::string name() const override { return "da"; }
+  std::uint64_t config_digest() const override {
+    return Hash64()
+        .mix(std::string_view("da"))
+        .mix(params_.initial_acceptance)
+        .mix(params_.final_acceptance)
+        .mix(params_.offset_increase_rate)
+        .digest();
+  }
   qubo::SolveBatch solve(const qubo::QuboModel& model,
                          const SolveOptions& options) const override;
 

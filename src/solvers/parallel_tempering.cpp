@@ -72,8 +72,12 @@ qubo::SolveBatch ParallelTempering::solve(const qubo::QuboModel& model,
   }
 
   const std::size_t sweeps = std::max<std::size_t>(1, options.num_sweeps);
-  for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
-    // Metropolis sweep per ladder slot at its fixed temperature.
+  bool stopped = false;
+  for (std::size_t sweep = 0; sweep < sweeps && !stopped; ++sweep) {
+    // Metropolis sweep per ladder slot at its fixed temperature.  The
+    // ladder is sequential, so the cooperative stop is polled after every
+    // *slot* sweep — a signalled call exits within one chain's pass, not a
+    // whole ladder round.
     for (std::size_t s = 0; s < chains; ++s) {
       auto& eval = slots[s];
       const double temperature = temperatures[s];
@@ -89,7 +93,12 @@ qubo::SolveBatch ParallelTempering::solve(const qubo::QuboModel& model,
           }
         }
       }
+      if (sweep_checkpoint(options)) {
+        stopped = true;
+        break;
+      }
     }
+    if (stopped) break;
     // Replica exchange between adjacent temperatures (alternating parity).
     if (chains >= 2 && rng.uniform() < params_.exchange_rate) {
       const std::size_t parity = sweep % 2;

@@ -33,6 +33,14 @@ class ParallelTempering final : public QuboSolver {
   explicit ParallelTempering(PtParams params = {});
 
   std::string name() const override { return "pt"; }
+  std::uint64_t config_digest() const override {
+    return Hash64()
+        .mix(std::string_view("pt"))
+        .mix(params_.hot_acceptance)
+        .mix(params_.temperature_ratio)
+        .mix(params_.exchange_rate)
+        .digest();
+  }
   qubo::SolveBatch solve(const qubo::QuboModel& model,
                          const SolveOptions& options) const override;
 

@@ -86,19 +86,25 @@ qubo::SolveBatch Qbsolv::solve(const qubo::QuboModel& model,
         for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
         double energy = adjacency->energy(x);  // O(nnz), not dense O(n^2)
 
-        for (std::size_t round = 0; round < params_.num_rounds; ++round) {
+        for (std::size_t round = 0;
+             round < params_.num_rounds && !options.stop.stop_requested();
+             ++round) {
           // Phase 1: global tabu improvement, budget ~ one pass worth of
-          // flips.
+          // flips.  The stop token and progress tick flow into the tabu
+          // loop (polled per iteration) and the SA sub-solve below (per
+          // sweep), so a signalled replica exits mid-round.
           auto [improved, improved_energy] = TabuSearch::improve(
               adjacency, x, tabu_params,
               options.num_sweeps * n / params_.num_rounds + n,
-              derive_seed(options.seed, (replica << 8) | (round << 1)));
+              derive_seed(options.seed, (replica << 8) | (round << 1)),
+              options.stop, options.on_sweep);
           if (improved_energy <= energy) {
             x = std::move(improved);
             energy = improved_energy;
           }
 
           // Phase 2: random-subspace sub-QUBO refinement.
+          if (options.stop.stop_requested()) break;
           auto perm = rng.permutation(n);
           perm.resize(sub_size);
           std::sort(perm.begin(), perm.end());
@@ -108,6 +114,8 @@ qubo::SolveBatch Qbsolv::solve(const qubo::QuboModel& model,
           sub_options.num_sweeps = params_.subsolver_sweeps;
           sub_options.seed =
               derive_seed(options.seed, (replica << 8) | (round << 1) | 1);
+          sub_options.stop = options.stop;
+          sub_options.on_sweep = options.on_sweep;
           const qubo::SolveBatch sub_batch = subsolver.solve(sub, sub_options);
           const auto& sub_best = sub_batch.results[sub_batch.best_index()];
           if (sub_best.qubo_energy <= energy) {

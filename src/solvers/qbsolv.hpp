@@ -38,6 +38,14 @@ class Qbsolv final : public QuboSolver {
   explicit Qbsolv(QbsolvParams params = {});
 
   std::string name() const override { return "qbsolv"; }
+  std::uint64_t config_digest() const override {
+    return Hash64()
+        .mix(std::string_view("qbsolv"))
+        .mix(static_cast<std::uint64_t>(params_.subproblem_size))
+        .mix(static_cast<std::uint64_t>(params_.num_rounds))
+        .mix(static_cast<std::uint64_t>(params_.subsolver_sweeps))
+        .digest();
+  }
   qubo::SolveBatch solve(const qubo::QuboModel& model,
                          const SolveOptions& options) const override;
 

@@ -55,7 +55,9 @@ qubo::SolveBatch SimulatedAnnealer::solve(const qubo::QuboModel& model,
         qubo::IncrementalEvaluator eval(adjacency);
         qubo::Bits best_state;
         double best_energy = std::numeric_limits<double>::infinity();
-        for (std::size_t restart = 0; restart < params_.restarts; ++restart) {
+        for (std::size_t restart = 0;
+             restart < params_.restarts && !options.stop.stop_requested();
+             ++restart) {
           qubo::Bits x(n);
           for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
           eval.set_state(x);
@@ -76,11 +78,21 @@ qubo::SolveBatch SimulatedAnnealer::solve(const qubo::QuboModel& model,
               }
             }
             temperature *= cooling;
+            if (sweep_checkpoint(options)) break;
           }
           if (local_best < best_energy) {
             best_energy = local_best;
             best_state = std::move(local_best_state);
           }
+        }
+        // A replica stopped before its first restart still reports a valid
+        // (random) assignment so downstream batch evaluation stays total.
+        if (best_state.empty()) {
+          qubo::Bits x(n);
+          for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
+          eval.set_state(x);
+          best_state = eval.state();
+          best_energy = eval.energy();
         }
         batch.results[replica].assignment = std::move(best_state);
         batch.results[replica].qubo_energy = best_energy;

@@ -31,6 +31,14 @@ class SimulatedAnnealer final : public QuboSolver {
   explicit SimulatedAnnealer(SaParams params = {});
 
   std::string name() const override { return "sa"; }
+  std::uint64_t config_digest() const override {
+    return Hash64()
+        .mix(std::string_view("sa"))
+        .mix(params_.initial_acceptance)
+        .mix(params_.temperature_ratio)
+        .mix(static_cast<std::uint64_t>(params_.restarts))
+        .digest();
+  }
   qubo::SolveBatch solve(const qubo::QuboModel& model,
                          const SolveOptions& options) const override;
 

@@ -6,16 +6,58 @@
 // independent solutions, mirroring how the Fujitsu Digital Annealer and
 // Qbsolv are used in the paper (128 solutions per call, paper Fig. 1).
 // Determinism: the same (model, options.seed) pair always yields the same
-// batch.
+// batch — as long as the solve is not cooperatively stopped partway.
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
+#include "common/hash.hpp"
 #include "qubo/batch.hpp"
 #include "qubo/model.hpp"
 
 namespace qross::solvers {
+
+/// Cooperative cancellation flag shared between a solve call and whoever
+/// wants to stop it (the SolveService, a deadline watchdog, a Ctrl-C
+/// handler).  A default-constructed token is inert: it can never be
+/// signalled, costs nothing, and keeps plain synchronous `solve()` calls
+/// unchanged.  `StopToken::create()` allocates a real shared flag; copies
+/// share it.  All kernels poll the token at sweep granularity, so a
+/// signalled solve returns (with the best states found so far) within one
+/// sweep per in-flight replica instead of running to completion.
+class StopToken {
+ public:
+  StopToken() = default;
+
+  /// A token with a live flag that request_stop() can trip.
+  static StopToken create() {
+    StopToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// False for the inert default token: request_stop() cannot reach it.
+  bool stop_possible() const { return flag_ != nullptr; }
+
+  bool stop_requested() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  void request_stop() const {
+    if (flag_ != nullptr) flag_->store(true, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Per-sweep progress tick.  Invoked once per completed sweep of each
+/// replica (≈ one full variable pass of work); with num_threads > 1 it is
+/// called concurrently from worker threads, so it must be thread-safe.
+using SweepProgressFn = std::function<void()>;
 
 struct SolveOptions {
   /// Number of independent solutions per call (the paper's batch size B).
@@ -31,7 +73,22 @@ struct SolveOptions {
   /// chains are coupled by replica exchange, so the ladder always runs
   /// sequentially and this option is ignored.
   std::size_t num_threads = 1;
+  /// Cooperative cancellation: kernels poll this at sweep boundaries and
+  /// return early (partial batch, best-so-far states) once signalled.
+  /// Inert by default.  Not part of the result-cache fingerprint.
+  StopToken stop = {};
+  /// Optional per-sweep progress callback (see SweepProgressFn).  Null by
+  /// default.  Not part of the result-cache fingerprint.
+  SweepProgressFn on_sweep = {};
 };
+
+/// Sweep boundary checkpoint shared by the kernels: ticks the progress
+/// callback, then reports whether the solve should stop.  Call once after
+/// each completed sweep.
+inline bool sweep_checkpoint(const SolveOptions& options) {
+  if (options.on_sweep) options.on_sweep();
+  return options.stop.stop_requested();
+}
 
 class QuboSolver {
  public:
@@ -40,7 +97,16 @@ class QuboSolver {
   /// Human-readable solver name ("sa", "da", "qbsolv", ...).
   virtual std::string name() const = 0;
 
-  /// Solves `model`, returning options.num_replicas solutions.
+  /// Stable digest of the solver's configuration, mixed into the service's
+  /// result-cache fingerprint so two differently-parameterised instances of
+  /// the same kernel never collide on a cache entry.  The default hashes
+  /// name() only; solvers with tunable parameters override it.
+  virtual std::uint64_t config_digest() const {
+    return Hash64().mix(std::string_view(name())).digest();
+  }
+
+  /// Solves `model`, returning options.num_replicas solutions (fewer
+  /// full-quality ones if options.stop was signalled mid-call).
   virtual qubo::SolveBatch solve(const qubo::QuboModel& model,
                                  const SolveOptions& options) const = 0;
 };

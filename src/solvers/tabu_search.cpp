@@ -14,8 +14,8 @@ TabuSearch::TabuSearch(TabuParams params) : params_(params) {}
 
 std::pair<qubo::Bits, double> TabuSearch::improve(
     const qubo::SparseAdjacencyPtr& adjacency, const qubo::Bits& start,
-    const TabuParams& params, std::size_t max_iterations,
-    std::uint64_t seed) {
+    const TabuParams& params, std::size_t max_iterations, std::uint64_t seed,
+    const StopToken& stop, const SweepProgressFn& on_sweep) {
   const std::size_t n = adjacency->num_vars();
   QROSS_REQUIRE(start.size() == n, "start state size mismatch");
   if (n == 0) return {qubo::Bits{}, adjacency->offset()};
@@ -36,6 +36,8 @@ std::pair<qubo::Bits, double> TabuSearch::improve(
 
   for (std::size_t iter = 1; iter <= max_iterations && stall < patience;
        ++iter) {
+    if (on_sweep) on_sweep();
+    if (stop.stop_requested()) break;
     // Best-improvement scan; ties broken randomly so replicas diverge.
     double best_delta = std::numeric_limits<double>::infinity();
     std::size_t best_var = n;
@@ -100,7 +102,8 @@ qubo::SolveBatch TabuSearch::solve(const qubo::QuboModel& model,
         for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
         auto [state, energy] =
             improve(adjacency, x, params_, max_iters,
-                    derive_seed(options.seed, replica ^ 0x7ab0ULL));
+                    derive_seed(options.seed, replica ^ 0x7ab0ULL),
+                    options.stop, options.on_sweep);
         batch.results[replica].assignment = std::move(state);
         batch.results[replica].qubo_energy = energy;
       });

@@ -25,17 +25,26 @@ class TabuSearch final : public QuboSolver {
   explicit TabuSearch(TabuParams params = {});
 
   std::string name() const override { return "tabu"; }
+  std::uint64_t config_digest() const override {
+    return Hash64()
+        .mix(std::string_view("tabu"))
+        .mix(static_cast<std::uint64_t>(params_.tenure))
+        .mix(static_cast<std::uint64_t>(params_.patience))
+        .digest();
+  }
   qubo::SolveBatch solve(const qubo::QuboModel& model,
                          const SolveOptions& options) const override;
 
   /// Single tabu run from a given start state; returns the best state found.
   /// `max_iterations` bounds total flips.  Exposed for the Qbsolv hybrid,
   /// which passes its one shared adjacency so repeated improvement rounds
-  /// never rebuild it.
+  /// never rebuild it.  Each iteration scans all n flip deltas (≈ one sweep
+  /// of work), so `stop` is polled and `on_sweep` ticked once per iteration;
+  /// both default to inert.
   static std::pair<qubo::Bits, double> improve(
       const qubo::SparseAdjacencyPtr& adjacency, const qubo::Bits& start,
-      const TabuParams& params, std::size_t max_iterations,
-      std::uint64_t seed);
+      const TabuParams& params, std::size_t max_iterations, std::uint64_t seed,
+      const StopToken& stop = {}, const SweepProgressFn& on_sweep = {});
 
   /// Convenience overload building a private adjacency from `model`.
   static std::pair<qubo::Bits, double> improve(const qubo::QuboModel& model,

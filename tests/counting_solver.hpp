@@ -1,0 +1,35 @@
+#pragma once
+
+// Shared test helper: a delegating QuboSolver wrapper that counts actual
+// kernel invocations while keeping the inner solver's cache identity (name
+// + config digest), so counted and plain submissions share result-cache
+// fingerprints.  Used by the service and facade suites to prove cache hits
+// never invoke the solver.
+
+#include <atomic>
+#include <utility>
+
+#include "solvers/solver.hpp"
+
+namespace qross::testing {
+
+class CountingSolver final : public solvers::QuboSolver {
+ public:
+  CountingSolver(solvers::SolverPtr inner, std::atomic<int>& count)
+      : inner_(std::move(inner)), count_(&count) {}
+  std::string name() const override { return inner_->name(); }
+  std::uint64_t config_digest() const override {
+    return inner_->config_digest();
+  }
+  qubo::SolveBatch solve(const qubo::QuboModel& model,
+                         const solvers::SolveOptions& options) const override {
+    count_->fetch_add(1);
+    return inner_->solve(model, options);
+  }
+
+ private:
+  solvers::SolverPtr inner_;
+  std::atomic<int>* count_;
+};
+
+}  // namespace qross::testing

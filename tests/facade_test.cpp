@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 
+#include "counting_solver.hpp"
 #include "qross/qross.hpp"  // umbrella header must compile standalone
 
 namespace qross::core {
 namespace {
+
+using qross::testing::CountingSolver;
 
 solvers::SolverPtr fast_solver() {
   solvers::QbsolvParams params;
@@ -104,6 +108,38 @@ TEST_F(FacadeTest, DeterministicTuning) {
                      b.trials[i].relaxation_parameter);
   }
   EXPECT_EQ(a.best_tour, b.best_tour);
+}
+
+TEST_F(FacadeTest, TuneThroughSolveServiceSharesTheCache) {
+  const auto instance = tsp::generate_uniform(8, 0xAA06);
+  TuneOptions options;
+  options.trials = 4;
+  options.seed = 11;
+  const TuneOutcome direct = tuner_->tune(instance, fast_solver(), options);
+
+  service::SolveService svc;
+  options.service = &svc;
+  std::atomic<int> invocations{0};
+  const auto counted =
+      std::make_shared<CountingSolver>(fast_solver(), invocations);
+
+  // Routed trials are bit-identical to direct ones...
+  const TuneOutcome first = tuner_->tune(instance, counted, options);
+  EXPECT_EQ(invocations.load(), 4);
+  ASSERT_EQ(first.trials.size(), direct.trials.size());
+  for (std::size_t t = 0; t < first.trials.size(); ++t) {
+    EXPECT_DOUBLE_EQ(first.trials[t].relaxation_parameter,
+                     direct.trials[t].relaxation_parameter);
+    EXPECT_DOUBLE_EQ(first.trials[t].pf, direct.trials[t].pf);
+  }
+  EXPECT_EQ(first.best_tour, direct.best_tour);
+
+  // ...and a repeated session replays entirely from the result cache.
+  const TuneOutcome second = tuner_->tune(instance, counted, options);
+  EXPECT_EQ(invocations.load(), 4)
+      << "repeated tuning session must not invoke the solver again";
+  EXPECT_EQ(second.best_tour, first.best_tour);
+  EXPECT_EQ(svc.metrics().cache_hits, 4u);
 }
 
 TEST(FacadeGuards, RejectsUntrainedAndBadInput) {

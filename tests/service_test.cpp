@@ -1,0 +1,685 @@
+// Tests for the solve service subsystem: cooperative stop in every solver
+// kernel, job fingerprints, the LRU result cache, and the SolveService's
+// queueing / cancellation / deadline / coalescing semantics (the ISSUE 2
+// acceptance criteria a-d).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "counting_solver.hpp"
+#include "problems/mvc/mvc.hpp"
+#include "qross/qross.hpp"
+
+namespace qross::service {
+namespace {
+
+using namespace std::chrono_literals;
+using qross::testing::CountingSolver;
+
+qubo::QuboModel test_model(std::uint64_t seed, std::size_t vertices = 48) {
+  return mvc::generate_random_mvc(vertices, 0.10, seed).to_qubo(2.0);
+}
+
+solvers::SolveOptions small_options() {
+  solvers::SolveOptions options;
+  options.num_replicas = 4;
+  options.num_sweeps = 20;
+  options.seed = 7;
+  return options;
+}
+
+/// Blocks inside solve() until released — lets a test hold an execution in
+/// the `running` phase deterministically.
+class GateSolver final : public solvers::QuboSolver {
+ public:
+  struct Gate {
+    std::mutex m;
+    std::condition_variable cv;
+    bool open = false;
+    std::atomic<int> entered{0};
+
+    void release() {
+      {
+        std::lock_guard lock(m);
+        open = true;
+      }
+      cv.notify_all();
+    }
+    void await_entered(int count) {
+      while (entered.load() < count) std::this_thread::sleep_for(1ms);
+    }
+  };
+
+  explicit GateSolver(std::shared_ptr<Gate> gate) : gate_(std::move(gate)) {}
+  std::string name() const override { return "gate"; }
+  qubo::SolveBatch solve(const qubo::QuboModel& model,
+                         const solvers::SolveOptions& options) const override {
+    gate_->entered.fetch_add(1);
+    std::unique_lock lock(gate_->m);
+    gate_->cv.wait(lock, [&] { return gate_->open; });
+    qubo::SolveBatch batch;
+    batch.results.resize(options.num_replicas);
+    for (auto& r : batch.results) {
+      r.assignment.assign(model.num_vars(), 0);
+      r.qubo_energy = model.offset();
+    }
+    return batch;
+  }
+
+ private:
+  std::shared_ptr<GateSolver::Gate> gate_;
+};
+
+/// Records the order executions start in (tagged by model offset).
+class RecordingSolver final : public solvers::QuboSolver {
+ public:
+  struct Log {
+    std::mutex m;
+    std::vector<double> order;
+  };
+  explicit RecordingSolver(std::shared_ptr<Log> log) : log_(std::move(log)) {}
+  std::string name() const override { return "recorder"; }
+  qubo::SolveBatch solve(const qubo::QuboModel& model,
+                         const solvers::SolveOptions& options) const override {
+    {
+      std::lock_guard lock(log_->m);
+      log_->order.push_back(model.offset());
+    }
+    qubo::SolveBatch batch;
+    batch.results.resize(options.num_replicas);
+    for (auto& r : batch.results) r.assignment.assign(model.num_vars(), 0);
+    return batch;
+  }
+
+ private:
+  std::shared_ptr<Log> log_;
+};
+
+class ThrowingSolver final : public solvers::QuboSolver {
+ public:
+  std::string name() const override { return "thrower"; }
+  qubo::SolveBatch solve(const qubo::QuboModel&,
+                         const solvers::SolveOptions&) const override {
+    throw std::runtime_error("deliberate test failure");
+  }
+};
+
+// --- StopToken --------------------------------------------------------------
+
+TEST(StopTokenTest, DefaultTokenIsInert) {
+  solvers::StopToken token;
+  EXPECT_FALSE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+  token.request_stop();  // no-op, must not crash
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(StopTokenTest, CopiesShareTheFlag) {
+  const auto token = solvers::StopToken::create();
+  const solvers::StopToken copy = token;
+  EXPECT_TRUE(copy.stop_possible());
+  EXPECT_FALSE(copy.stop_requested());
+  token.request_stop();
+  EXPECT_TRUE(copy.stop_requested());
+}
+
+// --- cooperative stop in every kernel ---------------------------------------
+
+std::vector<solvers::SolverPtr> all_kernels() {
+  return {std::make_shared<solvers::SimulatedAnnealer>(),
+          std::make_shared<solvers::DigitalAnnealer>(),
+          std::make_shared<solvers::TabuSearch>(),
+          std::make_shared<solvers::ParallelTempering>(),
+          std::make_shared<solvers::Qbsolv>(),
+          std::make_shared<solvers::AnalogNoiseSolver>(
+              std::make_shared<solvers::SimulatedAnnealer>())};
+}
+
+TEST(CooperativeStopTest, EveryKernelStopsWithinASweep) {
+  const auto model = test_model(0x51);
+  for (const auto& solver : all_kernels()) {
+    SCOPED_TRACE(solver->name());
+    solvers::SolveOptions options;
+    options.num_replicas = 4;
+    options.num_sweeps = 500;
+    options.stop = solvers::StopToken::create();
+    std::atomic<std::size_t> ticks{0};
+    const solvers::StopToken stop = options.stop;
+    options.on_sweep = [&ticks, stop] {
+      if (ticks.fetch_add(1) == 0) stop.request_stop();
+    };
+    const qubo::SolveBatch batch = solver->solve(model, options);
+    // Stopped at the first sweep tick: nowhere near the full budget runs.
+    // Tabu ticks once per iteration (= sweeps * n budget), so the bound is
+    // per-kernel loose but still orders of magnitude below "ran to the end".
+    EXPECT_LT(ticks.load(), 4 * options.num_replicas)
+        << "kernel ignored the stop token";
+    // Partial batches still contain structurally valid assignments.
+    ASSERT_FALSE(batch.empty());
+    for (const auto& result : batch.results) {
+      EXPECT_EQ(result.assignment.size(), model.num_vars());
+    }
+  }
+}
+
+TEST(CooperativeStopTest, UnstoppedRunsAreUnaffectedByInstrumentation) {
+  const auto model = test_model(0x52);
+  for (const auto& solver : all_kernels()) {
+    SCOPED_TRACE(solver->name());
+    const auto options = small_options();
+    const qubo::SolveBatch plain = solver->solve(model, options);
+
+    solvers::SolveOptions instrumented = options;
+    instrumented.stop = solvers::StopToken::create();  // never signalled
+    std::atomic<std::size_t> ticks{0};
+    instrumented.on_sweep = [&ticks] { ticks.fetch_add(1); };
+    const qubo::SolveBatch observed = solver->solve(model, instrumented);
+
+    EXPECT_GT(ticks.load(), 0u);
+    ASSERT_EQ(plain.size(), observed.size());
+    for (std::size_t r = 0; r < plain.size(); ++r) {
+      EXPECT_EQ(plain.results[r].assignment, observed.results[r].assignment);
+      EXPECT_EQ(plain.results[r].qubo_energy, observed.results[r].qubo_energy);
+    }
+  }
+}
+
+// --- fingerprints -----------------------------------------------------------
+
+TEST(FingerprintTest, CanonicalOverConstructionPath) {
+  qubo::QuboModel a(4);
+  a.add_term(0, 1, 1.5);
+  a.add_term(2, 2, -0.5);
+
+  qubo::QuboModel b(4);
+  b.add_term(1, 0, 0.75);  // accumulates into (0, 1)
+  b.add_term(0, 1, 0.75);
+  b.add_term(2, 2, -0.5);
+  b.add_term(3, 3, 2.0);
+  b.add_term(3, 3, -2.0);  // cancels to a structural zero
+
+  EXPECT_EQ(fingerprint_model(a), fingerprint_model(b));
+
+  qubo::QuboModel c(4);
+  c.add_term(0, 1, 1.5);
+  c.add_term(2, 2, -0.5 + 1e-12);
+  EXPECT_NE(fingerprint_model(a), fingerprint_model(c));
+}
+
+TEST(FingerprintTest, OptionsAndSolverIdentity) {
+  const auto model = test_model(0x53);
+  const auto sa = std::make_shared<solvers::SimulatedAnnealer>();
+  const auto options = small_options();
+
+  // num_threads is excluded: the fan-out is bit-identical.
+  solvers::SolveOptions threaded = options;
+  threaded.num_threads = 8;
+  EXPECT_EQ(fingerprint_job(*sa, model, options),
+            fingerprint_job(*sa, model, threaded));
+
+  // The stop token / progress callback never change a completed result.
+  solvers::SolveOptions instrumented = options;
+  instrumented.stop = solvers::StopToken::create();
+  instrumented.on_sweep = [] {};
+  EXPECT_EQ(fingerprint_job(*sa, model, options),
+            fingerprint_job(*sa, model, instrumented));
+
+  solvers::SolveOptions reseeded = options;
+  reseeded.seed += 1;
+  EXPECT_NE(fingerprint_job(*sa, model, options),
+            fingerprint_job(*sa, model, reseeded));
+
+  // Same kernel, different parameters: config_digest keeps them apart.
+  solvers::SaParams hot;
+  hot.initial_acceptance = 0.95;
+  const auto sa_hot = std::make_shared<solvers::SimulatedAnnealer>(hot);
+  EXPECT_NE(fingerprint_job(*sa, model, options),
+            fingerprint_job(*sa_hot, model, options));
+
+  const auto da = std::make_shared<solvers::DigitalAnnealer>();
+  EXPECT_NE(fingerprint_job(*sa, model, options),
+            fingerprint_job(*da, model, options));
+}
+
+// --- result cache -----------------------------------------------------------
+
+std::shared_ptr<const qubo::SolveBatch> dummy_batch(double energy) {
+  qubo::SolveBatch batch;
+  batch.results.resize(1);
+  batch.results[0].qubo_energy = energy;
+  return std::make_shared<const qubo::SolveBatch>(std::move(batch));
+}
+
+TEST(ResultCacheTest, LruEvictionAndCounters) {
+  ResultCache cache(2);
+  const Fingerprint k1{1, 1}, k2{2, 2}, k3{3, 3};
+  EXPECT_EQ(cache.get(k1), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.put(k1, dummy_batch(1.0));
+  cache.put(k2, dummy_batch(2.0));
+  ASSERT_NE(cache.get(k1), nullptr);  // k1 now most-recently-used
+  cache.put(k3, dummy_batch(3.0));    // evicts k2, the LRU entry
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.get(k2), nullptr);
+  ASSERT_NE(cache.get(k1), nullptr);
+  ASSERT_NE(cache.get(k3), nullptr);
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.put({1, 1}, dummy_batch(1.0));
+  EXPECT_EQ(cache.get({1, 1}), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- SolveService acceptance criteria ---------------------------------------
+
+// (a) A submitted long-running job cancels within one sweep.
+TEST(SolveServiceTest, CancelStopsARunningJobWithinASweep) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  SolveService svc(config);
+
+  solvers::SolveOptions huge = small_options();
+  huge.num_sweeps = 2'000'000;  // would run for minutes if not cancelled
+  huge.num_replicas = 2;
+  auto handle = svc.submit(std::make_shared<solvers::SimulatedAnnealer>(),
+                           test_model(0x54, 96), huge);
+  while (handle.status() == JobStatus::queued) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(handle.status(), JobStatus::running);
+  handle.cancel();
+  const JobResult result = handle.wait();  // returns within ~one sweep
+  EXPECT_EQ(result.status, JobStatus::cancelled);
+  ASSERT_NE(result.batch, nullptr);  // partial best-so-far batch attached
+  EXPECT_EQ(result.batch->size(), huge.num_replicas);
+
+  const ServiceMetrics metrics = svc.metrics();
+  EXPECT_EQ(metrics.cancelled, 1u);
+  EXPECT_EQ(metrics.running, 0u);
+}
+
+// (b) A deadline-expired queued job never starts.
+TEST(SolveServiceTest, ExpiredQueuedJobNeverInvokesTheSolver) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  SolveService svc(config);
+
+  const auto gate = std::make_shared<GateSolver::Gate>();
+  auto blocker = svc.submit(std::make_shared<GateSolver>(gate),
+                            test_model(0x55), small_options());
+  gate->await_entered(1);  // the only worker is now held inside the gate
+
+  std::atomic<int> invocations{0};
+  auto counted = std::make_shared<CountingSolver>(
+      std::make_shared<solvers::SimulatedAnnealer>(), invocations);
+  SubmitOptions submit;
+  submit.deadline = std::chrono::steady_clock::now() - 1ms;  // already past
+  auto doomed = svc.submit(counted, test_model(0x56), small_options(), submit);
+  EXPECT_EQ(doomed.status(), JobStatus::queued);
+
+  gate->release();
+  const JobResult result = doomed.wait();
+  EXPECT_EQ(result.status, JobStatus::expired);
+  EXPECT_EQ(result.batch, nullptr);
+  EXPECT_EQ(invocations.load(), 0) << "expired job must never start";
+  EXPECT_EQ(blocker.wait().status, JobStatus::done);
+}
+
+// (c) A cache hit returns a bit-identical SolveResult without invoking the
+// solver.
+TEST(SolveServiceTest, CacheHitIsBitIdenticalWithoutSolverInvocation) {
+  SolveService svc;
+  std::atomic<int> invocations{0};
+  auto counted = std::make_shared<CountingSolver>(
+      std::make_shared<solvers::DigitalAnnealer>(), invocations);
+  const auto model = test_model(0x57);
+  const auto options = small_options();
+
+  const JobResult first = svc.submit(counted, model, options).wait();
+  ASSERT_EQ(first.status, JobStatus::done);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(invocations.load(), 1);
+
+  const JobResult second = svc.submit(counted, model, options).wait();
+  ASSERT_EQ(second.status, JobStatus::done);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(invocations.load(), 1) << "cache hit must not invoke the solver";
+
+  ASSERT_EQ(first.batch->size(), second.batch->size());
+  for (std::size_t r = 0; r < first.batch->size(); ++r) {
+    EXPECT_EQ(first.batch->results[r].assignment,
+              second.batch->results[r].assignment);
+    EXPECT_EQ(first.batch->results[r].qubo_energy,
+              second.batch->results[r].qubo_energy);
+  }
+}
+
+// (d) N concurrent submissions of the same job: one solver execution plus
+// N-1 coalesced results.
+TEST(SolveServiceTest, ConcurrentIdenticalSubmissionsCoalesce) {
+  ServiceConfig config;
+  config.num_workers = 2;
+  SolveService svc(config);
+
+  const auto gate = std::make_shared<GateSolver::Gate>();
+  const auto solver = std::make_shared<GateSolver>(gate);
+  const auto model = test_model(0x58);
+  const auto options = small_options();
+
+  constexpr std::size_t kJobs = 8;
+  std::vector<JobHandle> handles;
+  handles.push_back(svc.submit(solver, model, options));
+  gate->await_entered(1);  // primary is running; the rest must coalesce
+  for (std::size_t k = 1; k < kJobs; ++k) {
+    handles.push_back(svc.submit(solver, model, options));
+  }
+  gate->release();
+
+  std::size_t shared_results = 0;
+  std::shared_ptr<const qubo::SolveBatch> batch;
+  for (auto& handle : handles) {
+    const JobResult result = handle.wait();
+    ASSERT_EQ(result.status, JobStatus::done);
+    if (result.coalesced || result.cache_hit) ++shared_results;
+    if (batch == nullptr) {
+      batch = result.batch;
+    } else {
+      EXPECT_EQ(batch, result.batch) << "coalesced jobs must share the batch";
+    }
+  }
+  EXPECT_EQ(gate->entered.load(), 1) << "exactly one solver execution";
+  EXPECT_EQ(shared_results, kJobs - 1);
+  EXPECT_EQ(svc.metrics().solver_invocations, 1u);
+}
+
+// --- queue policy, deadline mid-run, failures, shutdown ---------------------
+
+TEST(SolveServiceTest, HigherPriorityRunsFirst) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  SolveService svc(config);
+
+  const auto gate = std::make_shared<GateSolver::Gate>();
+  auto blocker = svc.submit(std::make_shared<GateSolver>(gate),
+                            test_model(0x59), small_options());
+  gate->await_entered(1);
+
+  const auto log = std::make_shared<RecordingSolver::Log>();
+  const auto recorder = std::make_shared<RecordingSolver>(log);
+  std::vector<JobHandle> handles;
+  for (int k = 0; k < 3; ++k) {
+    qubo::QuboModel model = test_model(0x60 + k, 16);
+    model.set_offset(static_cast<double>(k));  // tag for the recorder
+    SubmitOptions submit;
+    submit.priority = k == 2 ? 10 : 0;  // the last submission jumps the queue
+    handles.push_back(svc.submit(recorder, model, small_options(), submit));
+  }
+  gate->release();
+  for (auto& handle : handles) {
+    EXPECT_EQ(handle.wait().status, JobStatus::done);
+  }
+  blocker.wait();
+  ASSERT_EQ(log->order.size(), 3u);
+  EXPECT_DOUBLE_EQ(log->order[0], 2.0) << "priority 10 must run first";
+}
+
+TEST(SolveServiceTest, DeadlineMidRunExpiresWithPartialBatch) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  SolveService svc(config);
+
+  // Starts immediately (idle worker), then trips the per-sweep deadline
+  // watchdog long before its 2M-sweep budget would complete.
+  solvers::SolveOptions huge = small_options();
+  huge.num_sweeps = 2'000'000;
+  SubmitOptions submit;
+  submit.deadline = std::chrono::steady_clock::now() + 150ms;
+  auto slow = svc.submit(std::make_shared<solvers::SimulatedAnnealer>(),
+                         test_model(0x5b), huge, submit);
+  const JobResult slow_result = slow.wait();
+  EXPECT_EQ(slow_result.status, JobStatus::expired);
+  ASSERT_NE(slow_result.batch, nullptr);  // partial best-so-far
+  EXPECT_EQ(svc.metrics().expired, 1u);
+}
+
+// A deadline is per job: when jobs with and without deadlines share an
+// execution, the due job is detached as expired while the execution keeps
+// running for the rest.
+TEST(SolveServiceTest, PerJobDeadlineDetachesOnlyTheDueJob) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  SolveService svc(config);
+
+  const auto gate = std::make_shared<GateSolver::Gate>();
+  auto blocker = svc.submit(std::make_shared<GateSolver>(gate),
+                            test_model(0x63), small_options());
+  gate->await_entered(1);
+
+  const auto solver = std::make_shared<solvers::SimulatedAnnealer>();
+  const auto model = test_model(0x64, 96);
+  solvers::SolveOptions huge = small_options();
+  huge.num_sweeps = 2'000'000;
+  auto keeper = svc.submit(solver, model, huge);  // no deadline
+  SubmitOptions submit;
+  submit.deadline = std::chrono::steady_clock::now() + 150ms;
+  auto due = svc.submit(solver, model, huge, submit);  // coalesces
+
+  gate->release();
+  blocker.wait();
+  const JobResult due_result = due.wait();
+  EXPECT_EQ(due_result.status, JobStatus::expired);
+  EXPECT_EQ(due_result.batch, nullptr);  // detached; no shared batch yet
+  EXPECT_FALSE(keeper.finished())
+      << "the execution must keep running for the deadline-free job";
+  keeper.cancel();
+  EXPECT_EQ(keeper.wait().status, JobStatus::cancelled);
+}
+
+// Shutdown must stop-signal running bypass_cache executions too (they are
+// tracked outside the coalescing index).
+TEST(SolveServiceTest, ShutdownStopsRunningBypassCacheJobs) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  SolveService svc(config);
+
+  solvers::SolveOptions huge = small_options();
+  huge.num_sweeps = 2'000'000;
+  SubmitOptions submit;
+  submit.bypass_cache = true;
+  auto handle = svc.submit(std::make_shared<solvers::SimulatedAnnealer>(),
+                           test_model(0x65, 96), huge, submit);
+  while (handle.status() == JobStatus::queued) {
+    std::this_thread::sleep_for(1ms);
+  }
+  svc.shutdown();
+  EXPECT_EQ(handle.wait().status, JobStatus::cancelled);  // within one sweep
+}
+
+TEST(SolveServiceTest, SolverExceptionFailsTheJobAndServiceSurvives) {
+  SolveService svc;
+  const JobResult failed =
+      svc.submit(std::make_shared<ThrowingSolver>(), test_model(0x5c),
+                 small_options())
+          .wait();
+  EXPECT_EQ(failed.status, JobStatus::failed);
+  EXPECT_EQ(failed.batch, nullptr);
+  EXPECT_NE(failed.error.find("deliberate"), std::string::npos);
+
+  const JobResult ok =
+      svc.submit(std::make_shared<solvers::SimulatedAnnealer>(),
+                 test_model(0x5d), small_options())
+          .wait();
+  EXPECT_EQ(ok.status, JobStatus::done);
+  EXPECT_EQ(svc.metrics().failed, 1u);
+}
+
+TEST(SolveServiceTest, ShutdownCancelsQueuedAndRejectsNewJobs) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  SolveService svc(config);
+
+  const auto gate = std::make_shared<GateSolver::Gate>();
+  auto running = svc.submit(std::make_shared<GateSolver>(gate),
+                            test_model(0x5e), small_options());
+  gate->await_entered(1);
+  auto queued = svc.submit(std::make_shared<solvers::SimulatedAnnealer>(),
+                           test_model(0x5f), small_options());
+
+  svc.shutdown();
+  EXPECT_EQ(queued.wait().status, JobStatus::cancelled);
+  EXPECT_THROW(svc.submit(std::make_shared<solvers::SimulatedAnnealer>(),
+                          test_model(0x5f), small_options()),
+               std::invalid_argument);
+  gate->release();
+  // The in-flight job was stop-signalled by shutdown; the gate solver
+  // ignores the token, so it completes its batch — reported as cancelled.
+  EXPECT_EQ(running.wait().status, JobStatus::cancelled);
+}
+
+TEST(SolveServiceTest, CancellingOneCoalescedFollowerKeepsTheExecution) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  SolveService svc(config);
+
+  const auto gate = std::make_shared<GateSolver::Gate>();
+  const auto solver = std::make_shared<GateSolver>(gate);
+  const auto model = test_model(0x61);
+  auto primary = svc.submit(solver, model, small_options());
+  gate->await_entered(1);
+  auto follower = svc.submit(solver, model, small_options());
+  follower.cancel();  // detaches only the follower
+  EXPECT_EQ(follower.wait().status, JobStatus::cancelled);
+  gate->release();
+  EXPECT_EQ(primary.wait().status, JobStatus::done);
+  EXPECT_EQ(gate->entered.load(), 1);
+}
+
+// A live StopToken in the submitted options is that job's cancellation: it
+// must detach the submitter without killing an execution other jobs still
+// want (the coalescing invariant), and a solo submitter's token stops the
+// kernel within a sweep.
+TEST(SolveServiceTest, SubmitterStopTokenCancelsOnlyItsOwnJob) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  SolveService svc(config);
+  const auto solver = std::make_shared<solvers::SimulatedAnnealer>();
+  const auto model = test_model(0x62, 96);
+
+  solvers::SolveOptions options = small_options();
+  options.num_sweeps = 2'000'000;
+  options.stop = solvers::StopToken::create();
+  auto primary = svc.submit(solver, model, options);
+  while (primary.status() == JobStatus::queued) {
+    std::this_thread::sleep_for(1ms);
+  }
+  solvers::SolveOptions follower_options = options;
+  follower_options.stop = {};  // same fingerprint (stop is excluded)
+  auto follower = svc.submit(solver, model, follower_options);
+
+  options.stop.request_stop();
+  EXPECT_EQ(primary.wait().status, JobStatus::cancelled);
+  EXPECT_FALSE(follower.finished())
+      << "the shared execution must survive the primary's token";
+  follower.cancel();  // now the last interested job: the kernel stops
+  const JobResult result = follower.wait();
+  EXPECT_EQ(result.status, JobStatus::cancelled);
+  ASSERT_NE(result.batch, nullptr);
+  EXPECT_EQ(svc.metrics().solver_invocations, 1u);
+  EXPECT_EQ(svc.metrics().coalesced, 1u);
+}
+
+// The same holds for a follower that coalesced while the execution was
+// still queued: its own token detaches it without disturbing the primary.
+TEST(SolveServiceTest, QueuedCoalescedFollowerTokenCancelsOnlyItself) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  SolveService svc(config);
+
+  const auto gate = std::make_shared<GateSolver::Gate>();
+  auto blocker = svc.submit(std::make_shared<GateSolver>(gate),
+                            test_model(0x66), small_options());
+  gate->await_entered(1);
+
+  const auto solver = std::make_shared<solvers::SimulatedAnnealer>();
+  const auto model = test_model(0x67, 96);
+  solvers::SolveOptions huge = small_options();
+  huge.num_sweeps = 2'000'000;
+  auto primary = svc.submit(solver, model, huge);
+  solvers::SolveOptions follower_options = huge;
+  follower_options.stop = solvers::StopToken::create();
+  auto follower = svc.submit(solver, model, follower_options);
+
+  gate->release();
+  blocker.wait();
+  follower_options.stop.request_stop();
+  EXPECT_EQ(follower.wait().status, JobStatus::cancelled);
+  EXPECT_FALSE(primary.finished())
+      << "the shared execution must survive the follower's token";
+  primary.cancel();
+  EXPECT_EQ(primary.wait().status, JobStatus::cancelled);
+  EXPECT_EQ(svc.metrics().solver_invocations, 2u);  // blocker + shared exec
+}
+
+TEST(SolveServiceTest, MetricsSnapshotIsConsistent) {
+  SolveService svc;
+  const auto solver = std::make_shared<solvers::SimulatedAnnealer>();
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    svc.submit(solver, test_model(0x70 + k, 24), small_options()).wait();
+  }
+  // One repeat for a cache hit.
+  svc.submit(solver, test_model(0x70, 24), small_options()).wait();
+
+  const ServiceMetrics m = svc.metrics();
+  EXPECT_EQ(m.submitted, 5u);
+  EXPECT_EQ(m.completed, 5u);
+  EXPECT_EQ(m.solver_invocations, 4u);
+  EXPECT_EQ(m.cache_hits, 1u);
+  EXPECT_EQ(m.queue_depth, 0u);
+  EXPECT_EQ(m.running, 0u);
+  EXPECT_GT(m.jobs_per_second, 0.0);
+  EXPECT_EQ(m.queue_wait.count, 5u);
+  EXPECT_EQ(m.run.count, 4u);
+  EXPECT_GE(m.run.p99_ms, m.run.p50_ms);
+}
+
+// ServiceSolver: the synchronous adapter returns the same batch a direct
+// call produces, and repeated calls hit the cache.
+TEST(ServiceSolverTest, RoutedSolveMatchesDirectSolve) {
+  SolveService svc;
+  std::atomic<int> invocations{0};
+  const auto inner = std::make_shared<solvers::DigitalAnnealer>();
+  const auto counted = std::make_shared<CountingSolver>(inner, invocations);
+  const ServiceSolver routed(svc, counted);
+  const auto model = test_model(0x80);
+  const auto options = small_options();
+
+  const qubo::SolveBatch direct = inner->solve(model, options);
+  const qubo::SolveBatch via_service = routed.solve(model, options);
+  ASSERT_EQ(direct.size(), via_service.size());
+  for (std::size_t r = 0; r < direct.size(); ++r) {
+    EXPECT_EQ(direct.results[r].assignment,
+              via_service.results[r].assignment);
+    EXPECT_EQ(direct.results[r].qubo_energy,
+              via_service.results[r].qubo_energy);
+  }
+  EXPECT_EQ(invocations.load(), 1);
+  (void)routed.solve(model, options);
+  EXPECT_EQ(invocations.load(), 1) << "second routed call must hit the cache";
+  EXPECT_EQ(routed.name(), "da@service");
+}
+
+}  // namespace
+}  // namespace qross::service

@@ -1,0 +1,112 @@
+// Edge-case coverage for common/thread_pool (run under the Debug+asan CI
+// job): worker-count clamping, sequential degeneration, exception
+// propagation through the replica fan-out, submit-from-worker re-entrancy,
+// and destruction with tasks still pending.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "solvers/replica_for.hpp"
+
+namespace qross {
+namespace {
+
+TEST(ThreadPoolTest, ZeroWorkersClampsToAtLeastOne) {
+  ThreadPool pool(0);  // hardware_concurrency, clamped to >= 1
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerParallelForIsSequential) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(16, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected) << "one worker must degenerate to a plain loop";
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kItems = 200;
+  std::vector<std::atomic<int>> hits(kItems);
+  pool.parallel_for(kItems, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsIsANoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "must not be called"; });
+  pool.wait_idle();
+}
+
+// Raw ThreadPool tasks must not throw (they would terminate); throwing
+// bodies go through solvers::for_each_replica, which captures the first
+// exception and rethrows it on the caller thread.
+TEST(ThreadPoolTest, ThrowingReplicaBodyPropagatesToCaller) {
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      solvers::for_each_replica(8, 4,
+                                [&](std::size_t r) {
+                                  if (r == 3) {
+                                    throw std::runtime_error("replica 3");
+                                  }
+                                  completed.fetch_add(1);
+                                }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 7) << "other replicas still ran";
+
+  // The fan-out remains usable after a throwing batch.
+  std::atomic<int> second{0};
+  solvers::for_each_replica(4, 4, [&](std::size_t) { second.fetch_add(1); });
+  EXPECT_EQ(second.load(), 4);
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> outer{0}, inner{0};
+  for (int k = 0; k < 8; ++k) {
+    pool.submit([&] {
+      outer.fetch_add(1);
+      pool.submit([&] { inner.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();  // waits for the nested submissions too
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), 8);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int k = 0; k < 64; ++k) {
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+    // Destructor: workers drain the remaining queue before joining.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.wait_idle();
+  std::atomic<int> ran{0};
+  pool.submit([&] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace qross

@@ -7,6 +7,8 @@
 //   train     — build a dataset from TSPLIB files and train a tuner
 //   propose   — offline parameter proposal for an instance (no solver call)
 //   tune      — full tuning session on an instance, printing the best tour
+//   batch     — submit a file of solve jobs concurrently to the SolveService
+//               (priority/deadline queue, result cache, metrics report)
 //
 // Examples:
 //   qross generate --count 8 --cities 10 --out-dir instances/
@@ -14,13 +16,21 @@
 //   qross train --instances instances/ --solver da --out tuner.qross
 //   qross propose --tuner tuner.qross --instance new.tsp --pf 0.9
 //   qross tune --tuner tuner.qross --instance new.tsp --solver da --trials 10
+//   qross batch --jobs jobs.txt --workers 4 --repeat 2
+//
+// Unknown flags are an error (exit code 2): every command validates its
+// arguments against an allowlist before running.
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <initializer_list>
 #include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,11 +48,24 @@ commands:
   generate --count N --cities N [--seed S] [--kind uniform|exponential|clustered]
            --out-dir DIR
   sweep    --instance FILE.tsp [--solver da|sa|qbsolv|tabu|pt] [--replicas B]
-           [--sweeps N] [--a-min X] [--a-max X] [--points N]
-  train    --instances DIR --out FILE [--solver NAME] [--replicas B] [--sweeps N]
+           [--sweeps N] [--seed S] [--threads T] [--a-min X] [--a-max X]
+           [--points N]
+  train    --instances DIR --out FILE [--solver NAME] [--replicas B]
+           [--sweeps N] [--seed S] [--threads T]
   propose  --tuner FILE --instance FILE.tsp [--pf P]
   tune     --tuner FILE --instance FILE.tsp [--solver NAME] [--trials N]
            [--seed S]
+  batch    --jobs FILE [--solver NAME] [--workers N] [--cache N] [--repeat K]
+           [--replicas B] [--sweeps N] [--seed S] [--threads T]
+           [--deadline-ms D]
+
+common options:
+  --seed S      RNG master seed (default 1)
+  --threads T   worker threads per solver call for the replica fan-out:
+                1 = sequential, 0 = all hardware threads (default 1)
+
+batch jobs file: one job per line, `instance.tsp A [priority] [solver]`;
+blank lines and lines starting with # are skipped.
 )");
   std::exit(2);
 }
@@ -58,6 +81,18 @@ Args parse_args(int argc, char** argv, int first) {
     args[key.substr(2)] = argv[++i];
   }
   return args;
+}
+
+/// Rejects flags the command does not understand — a typo like --sweps must
+/// fail loudly (exit 2) instead of silently running with defaults.
+void require_known_flags(const Args& args,
+                         std::initializer_list<const char*> known) {
+  const std::set<std::string> allowed(known.begin(), known.end());
+  for (const auto& [key, value] : args) {
+    if (!allowed.contains(key)) {
+      usage(("unknown option --" + key).c_str());
+    }
+  }
 }
 
 std::string get_or(const Args& args, const std::string& key,
@@ -100,6 +135,7 @@ solvers::SolveOptions cli_solve_options(const Args& args,
   options.num_sweeps = std::stoul(
       get_or(args, "sweeps", std::to_string(options.num_sweeps)));
   options.seed = std::stoull(get_or(args, "seed", "1"));
+  options.num_threads = std::stoul(get_or(args, "threads", "1"));
   return options;
 }
 
@@ -124,6 +160,7 @@ std::vector<tsp::TspInstance> load_instances_from_dir(
 }
 
 int cmd_generate(const Args& args) {
+  require_known_flags(args, {"count", "cities", "out-dir", "seed", "kind"});
   const auto count = std::stoul(require(args, "count"));
   const auto cities = std::stoul(require(args, "cities"));
   const auto out_dir = require(args, "out-dir");
@@ -148,6 +185,8 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_sweep(const Args& args) {
+  require_known_flags(args, {"instance", "solver", "replicas", "sweeps", "seed",
+                             "threads", "a-min", "a-max", "points"});
   const auto instance = tsp::load_tsplib_file(require(args, "instance"));
   const auto solver_name = get_or(args, "solver", "da");
   const auto solver = make_cli_solver(solver_name);
@@ -174,6 +213,8 @@ int cmd_sweep(const Args& args) {
 }
 
 int cmd_train(const Args& args) {
+  require_known_flags(args, {"instances", "out", "solver", "replicas",
+                             "sweeps", "seed", "threads"});
   const auto instances = load_instances_from_dir(require(args, "instances"));
   const auto out = require(args, "out");
   const auto solver_name = get_or(args, "solver", "da");
@@ -199,6 +240,7 @@ core::QrossTuner load_tuner(const Args& args) {
 }
 
 int cmd_propose(const Args& args) {
+  require_known_flags(args, {"tuner", "instance", "pf"});
   const auto tuner = load_tuner(args);
   const auto instance = tsp::load_tsplib_file(require(args, "instance"));
   std::optional<double> pf_target;
@@ -213,6 +255,7 @@ int cmd_propose(const Args& args) {
 }
 
 int cmd_tune(const Args& args) {
+  require_known_flags(args, {"tuner", "instance", "solver", "trials", "seed"});
   const auto tuner = load_tuner(args);
   const auto instance = tsp::load_tsplib_file(require(args, "instance"));
   const auto solver_name = get_or(args, "solver", "da");
@@ -242,6 +285,136 @@ int cmd_tune(const Args& args) {
   return 0;
 }
 
+// One parsed line of the batch jobs file.
+struct BatchJobSpec {
+  std::string instance_path;
+  double relaxation = 25.0;
+  int priority = 0;
+  std::string solver_name;
+};
+
+std::vector<BatchJobSpec> load_jobs_file(const std::string& path,
+                                         const std::string& default_solver) {
+  std::ifstream file(path);
+  if (!file.good()) usage(("cannot read jobs file " + path).c_str());
+  std::vector<BatchJobSpec> specs;
+  std::string line;
+  while (std::getline(file, line)) {
+    std::istringstream fields(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (fields >> token) tokens.push_back(token);
+    if (tokens.empty()) continue;          // blank line
+    if (tokens[0][0] == '#') continue;     // comment
+    if (tokens.size() < 2 || tokens.size() > 4) {
+      usage(("jobs file line needs `instance A [priority] [solver]`: " + line)
+                .c_str());
+    }
+    BatchJobSpec spec;
+    spec.instance_path = tokens[0];
+    spec.solver_name = default_solver;
+    try {
+      spec.relaxation = std::stod(tokens[1]);
+      if (tokens.size() >= 3) spec.priority = std::stoi(tokens[2]);
+    } catch (const std::exception&) {
+      // A malformed number must fail loudly, not fall back to defaults.
+      usage(("bad number in jobs file line: " + line).c_str());
+    }
+    if (tokens.size() == 4) spec.solver_name = tokens[3];
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) usage(("no jobs in " + path).c_str());
+  return specs;
+}
+
+// Submits every job in the file to one SolveService and waits for the lot:
+// the concurrent, cached, cancellable counterpart of running `sweep` lines
+// one at a time.  --repeat K submits the whole file K times, so the second
+// pass demonstrates cache hits / coalescing on identical fingerprints.
+int cmd_batch(const Args& args) {
+  require_known_flags(args, {"jobs", "solver", "workers", "cache", "repeat",
+                             "replicas", "sweeps", "seed", "threads",
+                             "deadline-ms"});
+  const auto default_solver = get_or(args, "solver", "da");
+  const auto specs = load_jobs_file(require(args, "jobs"), default_solver);
+  const auto options = cli_solve_options(args, default_solver);
+  const auto repeat = std::stoul(get_or(args, "repeat", "1"));
+  const auto deadline_ms = std::stol(get_or(args, "deadline-ms", "0"));
+
+  service::ServiceConfig config;
+  config.num_workers = std::stoul(get_or(args, "workers", "4"));
+  config.cache_capacity = std::stoul(get_or(args, "cache", "256"));
+  service::SolveService svc(config);
+
+  // Prepared instances own the QUBO builders; keep them alive until all
+  // jobs finish.  Each line builds its own model — deduplication happens
+  // by *content* at the service: identical (instance, A, solver) lines
+  // produce equal fingerprints and therefore coalesce or hit the cache.
+  std::vector<surrogate::PreparedTspInstance> prepared;
+  prepared.reserve(specs.size());
+  std::vector<qubo::QuboModel> models;
+  models.reserve(specs.size());
+  for (const auto& spec : specs) {
+    prepared.emplace_back(tsp::load_tsplib_file(spec.instance_path));
+    models.push_back(prepared.back().problem().to_qubo(spec.relaxation));
+  }
+
+  struct Submitted {
+    const BatchJobSpec* spec = nullptr;
+    service::JobHandle handle;
+  };
+  std::vector<Submitted> jobs;
+  jobs.reserve(specs.size() * repeat);
+  for (std::size_t pass = 0; pass < repeat; ++pass) {
+    for (std::size_t k = 0; k < specs.size(); ++k) {
+      service::SubmitOptions submit;
+      submit.priority = specs[k].priority;
+      if (deadline_ms > 0) {
+        submit.deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(deadline_ms);
+      }
+      jobs.push_back({&specs[k],
+                      svc.submit(make_cli_solver(specs[k].solver_name),
+                                 models[k], options, submit)});
+    }
+  }
+
+  std::printf("job    instance                 solver  A        prio  status     wait_ms  run_ms   via      best_energy\n");
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    const service::JobResult result = jobs[k].handle.wait();
+    const char* via = result.cache_hit   ? "cache"
+                      : result.coalesced ? "coalesce"
+                                         : "solver";
+    std::string best = "-";
+    if (result.batch != nullptr && !result.batch->empty()) {
+      best = std::to_string(
+          result.batch->results[result.batch->best_index()].qubo_energy);
+    }
+    std::printf("%-6zu %-24s %-7s %-8.3f %-5d %-10s %-8.1f %-8.1f %-8s %s\n",
+                k, jobs[k].spec->instance_path.c_str(),
+                jobs[k].spec->solver_name.c_str(), jobs[k].spec->relaxation,
+                jobs[k].spec->priority, service::to_string(result.status),
+                result.wait_ms, result.run_ms, via, best.c_str());
+  }
+
+  const service::ServiceMetrics m = svc.metrics();
+  std::printf(
+      "\nservice: %zu workers | %zu submitted, %zu done, %zu cancelled, "
+      "%zu expired, %zu failed\n",
+      m.workers, m.submitted, m.completed, m.cancelled, m.expired, m.failed);
+  std::printf(
+      "cache:   %zu hits, %zu misses, %zu evictions, %zu entries | "
+      "%zu coalesced, %zu solver invocations\n",
+      m.cache_hits, m.cache_misses, m.cache_evictions, m.cache_size,
+      m.coalesced, m.solver_invocations);
+  std::printf(
+      "latency: wait p50/p90/p99 = %.1f/%.1f/%.1f ms | "
+      "run p50/p90/p99 = %.1f/%.1f/%.1f ms | %.2f jobs/s\n",
+      m.queue_wait.p50_ms, m.queue_wait.p90_ms, m.queue_wait.p99_ms,
+      m.run.p50_ms, m.run.p90_ms, m.run.p99_ms, m.jobs_per_second);
+  return m.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -254,6 +427,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "propose") return cmd_propose(args);
     if (command == "tune") return cmd_tune(args);
+    if (command == "batch") return cmd_batch(args);
     usage(("unknown command: " + command).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
