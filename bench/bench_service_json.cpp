@@ -1,15 +1,33 @@
 // Machine-readable perf tracking: writes BENCH_sweep.json (dense vs sparse
 // sweep throughput — the PR 1 headline numbers) and BENCH_service.json
-// (SolveService throughput in jobs/sec at queue depth >= workers, cold vs
-// cache-warm), so the perf trajectory is diffable from this PR on.
+// (SolveService throughput in jobs/sec at queue depth >= workers: cold,
+// in-memory cache-warm, and disk-warm from a persisted snapshot in a fresh
+// service), so the perf trajectory is diffable from this PR on.
 //
 // Unlike bench_micro_perf this target needs no google-benchmark — it is a
 // plain binary timed with common/stopwatch, runnable on any CI box:
 //
-//   ./bench_service_json [--out-dir DIR]   (default: current directory)
+//   ./bench_service_json [--out-dir DIR] [--check BASELINE_DIR]
+//
+// --check is the CI perf-regression gate: after measuring, the fresh
+// results are compared against the committed BENCH_sweep.json in
+// BASELINE_DIR and the run fails (exit 1) only when a workload's sparse
+// SPEEDUP (sparse/dense flips per second — the hardware-normalized form of
+// sweep throughput, so a slower CI runner cancels out of the ratio)
+// regressed by more than kSweepRegressionTolerance — a deliberately
+// generous bound so shared-runner noise never trips it.  Absolute
+// throughputs and service jobs/s deltas are reported but never gate (they
+// track the machine, not the code).
 
+#include <cctype>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -138,18 +156,142 @@ ServicePass run_service_pass(service::SolveService& svc,
   return pass;
 }
 
+// --- perf-regression gate ---------------------------------------------------
+
+/// Sparse speedup >40% below baseline fails; less is shared-runner noise.
+constexpr double kSweepRegressionTolerance = 0.40;
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.good()) return {};
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+/// Every value following `"key": ` in document order — numbers or quoted
+/// strings returned as text.  A 30-line scraper is all the JSON our two
+/// fixed-schema bench files need; no parser dependency.
+std::vector<std::string> extract_values(const std::string& text,
+                                        const std::string& key) {
+  std::vector<std::string> values;
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    if (pos < text.size() && text[pos] == '"') {
+      const std::size_t end = text.find('"', pos + 1);
+      if (end == std::string::npos) break;
+      values.push_back(text.substr(pos + 1, end - pos - 1));
+      pos = end + 1;
+    } else {
+      std::size_t end = pos;
+      while (end < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[end])) ||
+              text[end] == '.' || text[end] == '-' || text[end] == 'e' ||
+              text[end] == 'E' || text[end] == '+')) {
+        ++end;
+      }
+      values.push_back(text.substr(pos, end - pos));
+      pos = end;
+    }
+  }
+  return values;
+}
+
+/// Compares the freshly measured sweep rows against the committed baseline.
+/// Returns the number of genuine regressions (0 = gate passes).
+int check_against_baseline(const std::string& baseline_dir,
+                           const std::vector<SweepRow>& fresh,
+                           double fresh_cold_jobs_per_sec) try {
+  const std::string sweep_path = baseline_dir + "/BENCH_sweep.json";
+  const std::string text = slurp(sweep_path);
+  if (text.empty()) {
+    std::fprintf(stderr, "perf gate: cannot read baseline %s\n",
+                 sweep_path.c_str());
+    return 1;
+  }
+  const auto workloads = extract_values(text, "workload");
+  const auto ns = extract_values(text, "n");
+  const auto speedups = extract_values(text, "sparse_speedup");
+  const auto sparse = extract_values(text, "sparse_flips_per_sec");
+  if (workloads.size() != ns.size() || ns.size() != speedups.size() ||
+      speedups.size() != sparse.size()) {
+    std::fprintf(stderr, "perf gate: malformed baseline %s\n",
+                 sweep_path.c_str());
+    return 1;
+  }
+  int regressions = 0;
+  for (const auto& row : fresh) {
+    bool matched = false;
+    for (std::size_t k = 0; k < workloads.size(); ++k) {
+      if (workloads[k] != row.workload ||
+          std::stoul(ns[k]) != row.n) {
+        continue;
+      }
+      matched = true;
+      // Gate on the dense-normalized speedup, not absolute flips/s: the
+      // baselines were measured on whatever machine committed them, and a
+      // CI runner half that speed must not fail the build — only a change
+      // that erodes the sparse evaluation core's advantage should.
+      const double base_speedup = std::stod(speedups[k]);
+      const double floor = base_speedup * (1.0 - kSweepRegressionTolerance);
+      const bool bad = row.speedup() < floor;
+      std::fprintf(stderr,
+                   "perf gate: %-4s n=%-4zu speedup %.2fx vs baseline %.2fx "
+                   "(sparse %.3g vs %.3g flips/s, informational) %s\n",
+                   row.workload.c_str(), row.n, row.speedup(), base_speedup,
+                   row.sparse_flips_per_sec, std::stod(sparse[k]),
+                   bad ? "REGRESSION" : "ok");
+      if (bad) ++regressions;
+      break;
+    }
+    if (!matched) {
+      std::fprintf(stderr,
+                   "perf gate: %-4s n=%zu has no baseline row (new workload, "
+                   "not gated)\n",
+                   row.workload.c_str(), row.n);
+    }
+  }
+  // Service throughput: informational only (see file comment).
+  const std::string service_text = slurp(baseline_dir + "/BENCH_service.json");
+  const auto jobs_per_sec = extract_values(service_text, "jobs_per_sec");
+  if (!jobs_per_sec.empty()) {
+    std::fprintf(stderr,
+                 "perf gate: service cold %.1f jobs/s vs baseline %.1f "
+                 "(informational)\n",
+                 fresh_cold_jobs_per_sec, std::stod(jobs_per_sec.front()));
+  }
+  return regressions;
+} catch (const std::exception& e) {
+  // A hand-edited or merge-damaged baseline value that is not a bare
+  // numeric literal lands here (std::stod/stoul throw); fail the gate with
+  // a diagnostic instead of std::terminate.
+  std::fprintf(stderr, "perf gate: malformed baseline value in %s: %s\n",
+               baseline_dir.c_str(), e.what());
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_dir = ".";
+  std::string baseline_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--out-dir DIR]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--out-dir DIR] [--check BASELINE_DIR]\n",
+                   argv[0]);
       return 2;
     }
   }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
 
   // --- dense vs sparse sweep throughput (the PR 1 numbers, now tracked) ---
   constexpr double kBudget = 0.25;  // seconds per measurement
@@ -168,10 +310,13 @@ int main(int argc, char** argv) {
   // --- service throughput: jobs/sec at queue depth >= 4 workers -----------
   constexpr std::size_t kWorkers = 4;
   constexpr std::size_t kJobs = 64;
+  const std::string cache_file = out_dir + "/BENCH_cache.qsnap";
+  std::remove(cache_file.c_str());  // passes below must start genuinely cold
+  std::remove((cache_file + ".journal").c_str());
   service::ServiceConfig config;
   config.num_workers = kWorkers;
   config.cache_capacity = kJobs;
-  service::SolveService svc(config);
+  config.cache_path = cache_file;
   const auto solver = std::make_shared<solvers::DigitalAnnealer>();
   solvers::SolveOptions options;
   options.num_replicas = 4;
@@ -183,14 +328,37 @@ int main(int argc, char** argv) {
     models.push_back(
         mvc::generate_random_mvc(64, 0.08, 0x2000 + k).to_qubo(2.0));
   }
-  const ServicePass cold = run_service_pass(svc, solver, models, options);
-  const ServicePass warm = run_service_pass(svc, solver, models, options);
-  const service::ServiceMetrics metrics = svc.metrics();
+  ServicePass cold, warm, disk_warm;
+  service::ServiceMetrics metrics, disk_metrics;
+  {
+    service::SolveService svc(config);
+    cold = run_service_pass(svc, solver, models, options);
+    warm = run_service_pass(svc, solver, models, options);
+    // cache_stored lags job completion by the journal append I/O; settle it
+    // so the committed artifact is deterministic (64, not sometimes 63).
+    Stopwatch settle;
+    while (svc.metrics().cache_stored < kJobs &&
+           settle.elapsed_seconds() < 5.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    metrics = svc.metrics();
+  }  // destructor compacts the journal into the snapshot
+  {
+    // A fresh service (stand-in for a fresh process) warm-starts from disk:
+    // every job is a cache hit, zero solver invocations.
+    service::SolveService svc(config);
+    disk_warm = run_service_pass(svc, solver, models, options);
+    disk_metrics = svc.metrics();
+    if (disk_metrics.solver_invocations != 0) {
+      std::fprintf(stderr, "disk-warm pass unexpectedly invoked the solver\n");
+      return 1;
+    }
+  }
   std::fprintf(stderr,
-               "service: cold %.1f jobs/s, cache-warm %.1f jobs/s "
-               "(%zu hits, %zu invocations)\n",
-               cold.jobs_per_sec, warm.jobs_per_sec, metrics.cache_hits,
-               metrics.solver_invocations);
+               "service: cold %.1f jobs/s, cache-warm %.1f jobs/s, disk-warm "
+               "%.1f jobs/s (%zu loaded, %zu invocations in warm pass)\n",
+               cold.jobs_per_sec, warm.jobs_per_sec, disk_warm.jobs_per_sec,
+               disk_metrics.cache_loaded, disk_metrics.solver_invocations);
 
   const std::string path = out_dir + "/BENCH_service.json";
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -198,7 +366,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"qross-bench-service-v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"qross-bench-service-v2\",\n");
   std::fprintf(f, "  \"workers\": %zu,\n  \"jobs\": %zu,\n", kWorkers, kJobs);
   std::fprintf(f, "  \"queue_depth_at_submit\": %zu,\n", kJobs);
   std::fprintf(f, "  \"workload\": \"mvc n=64 da replicas=4 sweeps=30\",\n");
@@ -208,16 +376,36 @@ int main(int argc, char** argv) {
   std::fprintf(
       f, "  \"cache_warm\": {\"wall_seconds\": %.4f, \"jobs_per_sec\": %.2f},\n",
       warm.wall_seconds, warm.jobs_per_sec);
+  std::fprintf(
+      f,
+      "  \"disk_warm\": {\"wall_seconds\": %.4f, \"jobs_per_sec\": %.2f, "
+      "\"cache_loaded\": %zu, \"solver_invocations\": %zu},\n",
+      disk_warm.wall_seconds, disk_warm.jobs_per_sec,
+      disk_metrics.cache_loaded, disk_metrics.solver_invocations);
   std::fprintf(f,
                "  \"metrics\": {\"solver_invocations\": %zu, \"cache_hits\": "
-               "%zu, \"cache_misses\": %zu, \"run_p50_ms\": %.2f, "
+               "%zu, \"cache_misses\": %zu, \"cache_stored\": %zu, "
+               "\"run_p50_ms\": %.2f, "
                "\"run_p99_ms\": %.2f, \"wait_p50_ms\": %.2f, "
                "\"wait_p99_ms\": %.2f}\n",
                metrics.solver_invocations, metrics.cache_hits,
-               metrics.cache_misses, metrics.run.p50_ms, metrics.run.p99_ms,
-               metrics.queue_wait.p50_ms, metrics.queue_wait.p99_ms);
+               metrics.cache_misses, metrics.cache_stored, metrics.run.p50_ms,
+               metrics.run.p99_ms, metrics.queue_wait.p50_ms,
+               metrics.queue_wait.p99_ms);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
+
+  if (!baseline_dir.empty()) {
+    const int regressions =
+        check_against_baseline(baseline_dir, rows, cold.jobs_per_sec);
+    if (regressions > 0) {
+      std::fprintf(stderr,
+                   "perf gate: %d speedup regression(s) beyond %.0f%%\n",
+                   regressions, 100.0 * kSweepRegressionTolerance);
+      return 1;
+    }
+    std::fprintf(stderr, "perf gate: ok\n");
+  }
   return 0;
 }

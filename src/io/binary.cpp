@@ -1,0 +1,47 @@
+#include "io/binary.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace qross::io {
+
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file.good()) return std::nullopt;
+  const auto size = static_cast<std::size_t>(file.tellg());
+  std::vector<std::uint8_t> bytes(size);
+  file.seekg(0);
+  if (size > 0 &&
+      !file.read(reinterpret_cast<char*>(bytes.data()),
+                 static_cast<std::streamsize>(size))) {
+    return std::nullopt;
+  }
+  return bytes;
+}
+
+bool write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file.good()) return false;
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    file.flush();
+    if (!file.good()) {
+      file.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qross::io

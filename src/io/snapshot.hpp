@@ -1,0 +1,88 @@
+#pragma once
+
+// Versioned, checksummed record framing for QROSS binary snapshots, plus
+// the qubo::SolveBatch codec.
+//
+// File layout (all integers little-endian, see io/binary.hpp):
+//
+//   header   8 B magic "QROSSNAP", u32 format version, u32 flags (reserved)
+//   record*  u32 payload size | u32 record type | u64 checksum64(payload)
+//            | payload bytes
+//
+// The format version is the compatibility contract: a reader rejects files
+// from a NEWER version outright (it cannot know what changed) but must keep
+// reading every older version it ever shipped.  Record types it does not
+// recognise are skipped, so old readers tolerate new record kinds within a
+// version.  This framing is deliberately transport-shaped — the planned
+// network front end reuses it as its wire encoding.
+//
+// Corruption tolerance (scan_records): a truncated tail stops the scan
+// cleanly; a record whose checksum does not match its payload is skipped
+// and the scan resumes at the next frame boundary.  Nothing in this header
+// throws on bad input except the raw batch decoder, whose DecodeError the
+// scanner's callers are expected to catch (CacheStore does).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "io/binary.hpp"
+#include "qubo/batch.hpp"
+
+namespace qross::io {
+
+inline constexpr std::array<std::uint8_t, 8> kSnapshotMagic = {
+    'Q', 'R', 'O', 'S', 'S', 'N', 'A', 'P'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Record types.  Values are part of the format: never renumber, only add.
+enum RecordType : std::uint32_t {
+  kRecordCacheEntry = 1,  ///< fingerprint + solve metadata + SolveBatch
+};
+
+enum class HeaderStatus {
+  ok,
+  bad_magic,       ///< not a QROSS snapshot (foreign or garbage file)
+  future_version,  ///< written by a newer build; refused, not guessed at
+};
+
+void write_header(ByteWriter& out);
+
+/// Parses and validates the header, advancing `in` past it on success.
+/// `version` (optional) receives the file's version even when rejected as
+/// future, so diagnostics can name it.
+HeaderStatus read_header(ByteReader& in, std::uint32_t* version = nullptr);
+
+/// Frames `payload` as one record (size, type, checksum, bytes).
+void write_record(ByteWriter& out, std::uint32_t type,
+                  std::span<const std::uint8_t> payload);
+
+struct ScanStats {
+  std::size_t records = 0;  ///< records delivered to the sink
+  std::size_t skipped = 0;  ///< checksum mismatches + sink rejections
+  bool truncated = false;   ///< the file ended inside a record
+};
+
+/// Walks the records after the header (the caller consumes the header via
+/// read_header first).  For each well-framed record whose checksum matches,
+/// calls sink(type, payload); a sink returning false counts the record as
+/// skipped (e.g. its inner payload failed to decode).  Never throws on
+/// malformed framing: a bad checksum skips one record, an impossible or
+/// truncated length ends the scan with `truncated = true`.
+ScanStats scan_records(
+    ByteReader& in,
+    const std::function<bool(std::uint32_t type,
+                             std::span<const std::uint8_t> payload)>& sink);
+
+/// SolveBatch codec.  Assignments are packed 8 bits per byte (LSB first);
+/// energies travel as raw IEEE-754 bit patterns, so decode(encode(b)) is
+/// bit-identical for canonical 0/1 assignments — the only kind solvers
+/// produce (is_valid_assignment).
+void encode_batch(ByteWriter& out, const qubo::SolveBatch& batch);
+
+/// Throws DecodeError on malformed input (callers catch; see header note).
+qubo::SolveBatch decode_batch(ByteReader& in);
+
+}  // namespace qross::io

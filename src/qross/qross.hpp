@@ -17,6 +17,10 @@
 #include "qubo/model.hpp"
 #include "qubo/sparse.hpp"
 
+#include "io/binary.hpp"
+#include "io/cache_store.hpp"
+#include "io/snapshot.hpp"
+
 #include "service/fingerprint.hpp"
 #include "service/job.hpp"
 #include "service/metrics.hpp"

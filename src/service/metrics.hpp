@@ -39,6 +39,17 @@ struct ServiceMetrics {
   std::size_t cache_evictions = 0;
   std::size_t cache_size = 0;
 
+  // Persistent-store counters (all 0 unless ServiceConfig::cache_path set).
+  /// Entries RETAINED from disk at start (a snapshot larger than
+  /// cache_capacity warm-fills only the newest entries that fit).
+  std::size_t cache_loaded = 0;
+  /// Entries appended to the on-disk journal.  Lags job completion by the
+  /// append I/O (journalling runs after completion, outside the service
+  /// lock), so a snapshot taken right after wait() may be one short of the
+  /// eventual count.
+  std::size_t cache_stored = 0;
+  std::size_t cache_load_skipped = 0;  ///< corrupt/foreign records skipped
+
   double uptime_seconds = 0.0;
   double jobs_per_second = 0.0;  ///< completed / uptime
 

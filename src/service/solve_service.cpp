@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "io/cache_store.hpp"
 #include "service/fingerprint.hpp"
 #include "service/result_cache.hpp"
 
@@ -95,6 +96,11 @@ struct ExecState {
   bool dead = false;  // no interested jobs remain; skipped at pop
   solvers::StopToken stop = solvers::StopToken::create();
   std::atomic<bool> deadline_hit{false};
+  /// (deadline, job) entries the running execution's watchdog polls,
+  /// ascending by deadline.  Guarded by ServiceCore::m.  Lives on the
+  /// execution (not the run_one frame) so a job with a tighter deadline
+  /// coalescing onto an already-running execution can re-arm the watchdog.
+  std::vector<std::pair<Clock::time_point, std::shared_ptr<JobState>>> watch;
   /// Earliest pending per-job deadline (ns since the steady epoch), kept in
   /// an atomic so concurrent replica threads can run the per-sweep "is
   /// anything due?" check lock-free; the watch list itself is only touched
@@ -111,7 +117,41 @@ struct ServiceCore {
         cache(cfg.cache_capacity),
         wait_reservoir(cfg.latency_window),
         run_reservoir(cfg.latency_window),
-        started_at(Clock::now()) {}
+        started_at(Clock::now()) {
+    // cache_capacity == 0 disables persistence along with the cache:
+    // journaling results that could never be served back would be pure
+    // disk overhead.
+    if (!config.cache_path.empty() && cache.enabled()) {
+      io::CacheStoreConfig store_config;
+      store_config.path = config.cache_path;
+      store_config.max_entries = config.cache_file_max_entries;
+      store_config.max_bytes = config.cache_file_max_bytes;
+      store = std::make_unique<io::CacheStore>(store_config);
+      // Warm fill, oldest to newest: put() keeps the newest duplicate and
+      // leaves the most recent entries most-recently-used in the LRU.
+      store->load([this](io::CacheEntry entry) {
+        cache.put(entry.key, std::move(entry.batch));
+      });
+      // Report what the LRU RETAINED, not what the file delivered: a
+      // snapshot larger than cache_capacity warm-fills only the newest
+      // entries, and claiming more would promise hits that cannot happen.
+      cache_loaded = cache.size();
+      cache_load_skipped = store->load_skipped();
+      // Warm-fill overflow churns the eviction counter; runtime metrics
+      // should count serving-time evictions only.
+      startup_evictions = cache.evictions();
+    }
+  }
+
+  // Runs after the worker pool joined (SolveService declares the pool after
+  // core_), so every completed execution's append has landed: the final
+  // compaction folds the whole run's journal into the snapshot.  A run
+  // that appended nothing (fully disk-warm replay) skips the rewrite — a
+  // leftover journal still loads fine and is folded by the next run that
+  // writes, or by an explicit flush/`qross cache compact`.
+  ~ServiceCore() {
+    if (store && cache_stored > 0) store->compact();
+  }
 
   ServiceConfig config;
 
@@ -142,6 +182,14 @@ struct ServiceCore {
   // can stop-signal them all.
   std::vector<std::shared_ptr<ExecState>> running_execs;
   ResultCache cache;
+  /// Persistent backing of `cache` (null without cache_path).  Internally
+  /// synchronised — appends and flushes run OUTSIDE `m`, so disk I/O never
+  /// blocks submits or metrics.
+  std::unique_ptr<io::CacheStore> store;
+  std::size_t cache_loaded = 0;
+  std::size_t cache_stored = 0;
+  std::size_t cache_load_skipped = 0;
+  std::size_t startup_evictions = 0;
 
   std::size_t queue_depth = 0;
   std::size_t running = 0;
@@ -193,12 +241,6 @@ struct ServiceCore {
   void cancel_job(const std::shared_ptr<JobState>& job);
   void run_one();
 
-  /// (deadline, job) entries for the jobs a running execution is watching,
-  /// ascending by deadline.  Owned by the run_one frame, shared into the
-  /// sweep callback, mutated only under `m`.
-  using DeadlineWatch =
-      std::vector<std::pair<Clock::time_point, std::shared_ptr<JobState>>>;
-
   /// Per-job stop tokens the running execution polls each sweep: a
   /// signalled token is that job's cancellation and is routed through
   /// cancel_job (once, via the `handled` latch), preserving the coalescing
@@ -213,13 +255,15 @@ struct ServiceCore {
   };
   using TokenWatch = std::vector<TokenWatchEntry>;
 
-  /// Handles every due entry: a job whose deadline passed mid-run is
-  /// detached as `expired` (no batch — the kernel keeps running for the
-  /// remaining jobs); when it is the last interested job, the kernel is
-  /// stop-signalled instead and the completion path attaches the partial
-  /// batch.  Updates exec->next_deadline_ns for the lock-free sweep check.
-  void expire_due_jobs(ExecState* exec, DeadlineWatch& watch) {
+  /// Handles every due entry of exec->watch: a job whose deadline passed
+  /// mid-run is detached as `expired` (no batch — the kernel keeps running
+  /// for the remaining jobs); when it is the last interested job, the
+  /// kernel is stop-signalled instead and the completion path attaches the
+  /// partial batch.  Updates exec->next_deadline_ns for the lock-free sweep
+  /// check.
+  void expire_due_jobs(ExecState* exec) {
     std::lock_guard lock(m);
+    auto& watch = exec->watch;
     const auto now = Clock::now();
     while (!watch.empty() && watch.front().first <= now) {
       const auto job = watch.front().second;
@@ -314,7 +358,6 @@ void ServiceCore::cancel_job(const std::shared_ptr<JobState>& job) {
 
 void ServiceCore::run_one() {
   std::shared_ptr<ExecState> exec;
-  const auto watch = std::make_shared<DeadlineWatch>();
   const auto tokens = std::make_shared<TokenWatch>();
   {
     std::lock_guard lock(m);
@@ -340,21 +383,21 @@ void ServiceCore::run_one() {
           continue;
         }
         any_live = true;
-        if (job->deadline) watch->emplace_back(*job->deadline, job);
+        if (job->deadline) candidate->watch.emplace_back(*job->deadline, job);
         if (job->stop.stop_possible()) tokens->push_back({job->stop, job});
       }
       --queue_depth;
       if (!any_live) {
         candidate->dead = true;
         drop_inflight(candidate);
-        watch->clear();
+        candidate->watch.clear();
         tokens->clear();
         continue;
       }
-      std::sort(watch->begin(), watch->end(),
+      std::sort(candidate->watch.begin(), candidate->watch.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
-      if (!watch->empty()) {
-        candidate->next_deadline_ns.store(to_ns(watch->front().first),
+      if (!candidate->watch.empty()) {
+        candidate->next_deadline_ns.store(to_ns(candidate->watch.front().first),
                                           std::memory_order_relaxed);
       }
       candidate->phase = ExecState::Phase::running;
@@ -383,14 +426,17 @@ void ServiceCore::run_one() {
   // interested job cancels — must hold for token-driven cancels too.
   // Per-job deadlines work the same way via expire_due_jobs: a due job is
   // detached as expired, and only the last interested one stops the
-  // kernel.  Both per-sweep checks are lock-free (atomic loads); jobs that
-  // coalesce onto the execution after this point are reachable only via
-  // their handles (ServiceSolver polls for exactly that case).  `raw`
-  // stays valid: this frame owns a shared_ptr for the whole call.
+  // kernel.  Both per-sweep checks are lock-free (atomic loads); the watch
+  // list lives on the execution, so submit() can re-arm the watchdog when a
+  // tighter-deadline job coalesces onto this run — which is why the
+  // wrapper is installed for every coalescable execution, even one with
+  // nothing to watch yet.  A late joiner's stop *token* is still reachable
+  // only via its handle (ServiceSolver polls for exactly that case).
+  // `raw` stays valid: this frame owns a shared_ptr for the whole call.
   const solvers::SweepProgressFn user_tick = exec->options.on_sweep;
-  if (!watch->empty() || !tokens->empty()) {
+  if (exec->cacheable || !exec->watch.empty() || !tokens->empty()) {
     ExecState* raw = exec.get();
-    options.on_sweep = [this, raw, watch, tokens, user_tick] {
+    options.on_sweep = [this, raw, tokens, user_tick] {
       if (user_tick) user_tick();
       for (const auto& entry : *tokens) {
         if (entry.token.stop_requested() &&
@@ -398,9 +444,11 @@ void ServiceCore::run_one() {
           cancel_job(entry.job);  // takes m; the kernel thread holds no locks
         }
       }
-      if (to_ns(Clock::now()) >=
-          raw->next_deadline_ns.load(std::memory_order_relaxed)) {
-        expire_due_jobs(raw, *watch);
+      const auto due_ns =
+          raw->next_deadline_ns.load(std::memory_order_relaxed);
+      if (due_ns != std::numeric_limits<std::int64_t>::max() &&
+          to_ns(Clock::now()) >= due_ns) {
+        expire_due_jobs(raw);
       }
     };
   }
@@ -420,47 +468,58 @@ void ServiceCore::run_one() {
   }
   const auto finished_at = Clock::now();
 
-  std::lock_guard lock(m);
-  --running;
-  exec->phase = ExecState::Phase::finished;
-  drop_inflight(exec);
-  std::erase(running_execs, exec);
-  const bool stopped = exec->stop.stop_requested();
-  const bool deadline_hit = exec->deadline_hit.load(std::memory_order_relaxed);
   const double run_ms = ms_between(exec->started_at, finished_at);
-  run_reservoir.record(run_ms);
-  bool primary_taken = false;
-  for (const auto& job : exec->subscribers) {
-    JobResult r;
-    r.batch = batch;  // partial on cancelled/expired, null on failed
-    r.run_ms = run_ms;
-    r.wait_ms = ms_between(job->submitted_at, exec->started_at);
-    if (solver_failed) {
-      r.status = JobStatus::failed;
-      r.error = error;
-    } else if (job_wants_cancel(job)) {
-      r.status = JobStatus::cancelled;
-    } else if (deadline_hit && job->deadline) {
-      // `expired` only for jobs that actually set a deadline; a
-      // deadline-free job that coalesced onto this execution mid-run is
-      // reported `cancelled` (partial batch) instead of a deadline it
-      // never asked for.
-      r.status = JobStatus::expired;
-    } else if (stopped) {
-      r.status = JobStatus::cancelled;  // shutdown or the submitter's token
-    } else {
-      r.status = JobStatus::done;
-      r.coalesced = primary_taken;
+  bool persist = false;
+  {
+    std::lock_guard lock(m);
+    --running;
+    exec->phase = ExecState::Phase::finished;
+    drop_inflight(exec);
+    std::erase(running_execs, exec);
+    const bool stopped = exec->stop.stop_requested();
+    const bool deadline_hit =
+        exec->deadline_hit.load(std::memory_order_relaxed);
+    run_reservoir.record(run_ms);
+    bool primary_taken = false;
+    for (const auto& job : exec->subscribers) {
+      JobResult r;
+      r.batch = batch;  // partial on cancelled/expired, null on failed
+      r.run_ms = run_ms;
+      r.wait_ms = ms_between(job->submitted_at, exec->started_at);
+      if (solver_failed) {
+        r.status = JobStatus::failed;
+        r.error = error;
+      } else if (job_wants_cancel(job)) {
+        r.status = JobStatus::cancelled;
+      } else if (deadline_hit && job->deadline) {
+        // `expired` only for jobs that actually set a deadline; a
+        // deadline-free job that coalesced onto this execution mid-run is
+        // reported `cancelled` (partial batch) instead of a deadline it
+        // never asked for.
+        r.status = JobStatus::expired;
+      } else if (stopped) {
+        r.status = JobStatus::cancelled;  // shutdown or the submitter's token
+      } else {
+        r.status = JobStatus::done;
+        r.coalesced = primary_taken;
+      }
+      const bool done_result = r.status == JobStatus::done;
+      if (finish_job(job, std::move(r)) && done_result) primary_taken = true;
     }
-    const bool done_result = r.status == JobStatus::done;
-    if (finish_job(job, std::move(r)) && done_result) primary_taken = true;
+    // Only clean, complete batches are cacheable: a stopped run's batch is
+    // partial and must not be served as the canonical result.
+    if (!solver_failed && !stopped && exec->cacheable) {
+      cache.put(exec->key, batch);
+      persist = store != nullptr;
+    }
+    exec->subscribers.clear();
   }
-  // Only clean, complete batches are cacheable: a stopped run's batch is
-  // partial and must not be served as the canonical result.
-  if (!solver_failed && !stopped && exec->cacheable) {
-    cache.put(exec->key, batch);
+  // Journal the result outside `m`: the store has its own lock, and disk
+  // I/O must not serialise against submits or other completions.
+  if (persist && store->append({exec->key, run_ms, batch})) {
+    std::lock_guard lock(m);
+    ++cache_stored;
   }
-  exec->subscribers.clear();
 }
 
 }  // namespace detail
@@ -564,8 +623,26 @@ JobHandle SolveService::submit(solvers::SolverPtr solver,
         job->exec = exec;
         ++core_->coalesced;
         if (exec->phase == detail::ExecState::Phase::running) {
-          std::lock_guard job_lock(job->m);
-          job->status = JobStatus::running;
+          {
+            std::lock_guard job_lock(job->m);
+            job->status = JobStatus::running;
+          }
+          if (job->deadline) {
+            // Re-arm the mid-run watchdog: the new deadline joins the
+            // execution's watch list, and the lock-free bound is tightened
+            // so the next sweep tick observes it.  Without this a job with
+            // a tighter deadline than every subscriber present at start
+            // would only expire when the kernel finished (ROADMAP gap).
+            auto& watch = exec->watch;
+            const auto pos = std::upper_bound(
+                watch.begin(), watch.end(), *job->deadline,
+                [](const Clock::time_point& t, const auto& e) {
+                  return t < e.first;
+                });
+            watch.insert(pos, {*job->deadline, job});
+            exec->next_deadline_ns.store(to_ns(watch.front().first),
+                                         std::memory_order_relaxed);
+          }
         } else if (submit.priority > exec->priority) {
           // Promote: push a higher-priority duplicate; the old entry is
           // skipped as stale when popped.
@@ -611,8 +688,11 @@ ServiceMetrics SolveService::metrics() const {
   s.solver_invocations = core_->solver_invocations;
   s.cache_hits = core_->cache.hits();
   s.cache_misses = core_->cache.misses();
-  s.cache_evictions = core_->cache.evictions();
+  s.cache_evictions = core_->cache.evictions() - core_->startup_evictions;
   s.cache_size = core_->cache.size();
+  s.cache_loaded = core_->cache_loaded;
+  s.cache_stored = core_->cache_stored;
+  s.cache_load_skipped = core_->cache_load_skipped;
   s.uptime_seconds =
       std::chrono::duration<double>(Clock::now() - core_->started_at).count();
   s.jobs_per_second =
@@ -622,6 +702,14 @@ ServiceMetrics SolveService::metrics() const {
   s.queue_wait = core_->wait_reservoir.percentiles();
   s.run = core_->run_reservoir.percentiles();
   return s;
+}
+
+std::size_t SolveService::flush_cache() {
+  // Deliberately NOT under core_->m: the store is internally synchronised,
+  // and compaction (two file scans + an atomic rewrite) must not stall the
+  // submit path.  An append racing the compaction lands in a fresh journal
+  // and is folded in by the next flush or the destructor.
+  return core_->store ? core_->store->compact() : 0;
 }
 
 void SolveService::shutdown() {

@@ -15,7 +15,8 @@
 //   * an LRU result cache keyed by the canonical job fingerprint
 //     (solver identity + model structure/weights + normalised options) —
 //     a hit completes the job immediately with the original, bit-identical
-//     batch;
+//     batch; with ServiceConfig::cache_path the cache persists across
+//     processes (io/CacheStore journal + snapshot, warm-filled at start);
 //   * request coalescing: concurrent submissions with equal fingerprints
 //     share one execution; N identical submissions cost one solver call and
 //     produce N aliased results;
@@ -33,8 +34,10 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "common/thread_pool.hpp"
 #include "qubo/model.hpp"
@@ -52,6 +55,19 @@ struct ServiceConfig {
   std::size_t cache_capacity = 256;
   /// Sliding-window size of the latency percentile reservoirs.
   std::size_t latency_window = 1024;
+  /// When non-empty, the result cache persists here across runs
+  /// (io/CacheStore): entries are warm-filled at construction, journaled as
+  /// executions complete, and compacted into a versioned snapshot by the
+  /// destructor or an explicit flush_cache().  The canonical fingerprint is
+  /// stable across processes, so a second run on the same file replays
+  /// bit-identical batches with zero solver invocations.  Corrupt,
+  /// truncated, or future-version files degrade to a cold cache — never an
+  /// error (see ServiceMetrics::cache_load_skipped).  Ignored when
+  /// cache_capacity is 0 (no cache to persist).
+  std::string cache_path;
+  /// Snapshot eviction budgets applied at compaction (newest entries kept).
+  std::size_t cache_file_max_entries = 4096;
+  std::uint64_t cache_file_max_bytes = 64ull * 1024 * 1024;
 };
 
 struct SubmitOptions {
@@ -101,6 +117,13 @@ class SolveService {
                    solvers::SolveOptions options, SubmitOptions submit = {});
 
   ServiceMetrics metrics() const;
+
+  /// Explicit persistence flush: compacts the on-disk store (journal merged
+  /// into the snapshot, eviction budget applied).  Safe to call while
+  /// serving — completed results appended concurrently land in a fresh
+  /// journal and survive.  Returns the snapshot entry count, or 0 when no
+  /// cache_path is configured.  The destructor flushes automatically.
+  std::size_t flush_cache();
 
   /// Idempotent early teardown: rejects further submissions, cancels every
   /// queued job and stop-signals running ones.  Does not wait for the

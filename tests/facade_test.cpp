@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <sstream>
 
 #include "counting_solver.hpp"
@@ -140,6 +141,51 @@ TEST_F(FacadeTest, TuneThroughSolveServiceSharesTheCache) {
       << "repeated tuning session must not invoke the solver again";
   EXPECT_EQ(second.best_tour, first.best_tour);
   EXPECT_EQ(svc.metrics().cache_hits, 4u);
+}
+
+TEST_F(FacadeTest, TuneWarmStartsFromDiskAcrossServiceInstances) {
+  const auto instance = tsp::generate_uniform(8, 0xAA07);
+  const auto cache_path = std::filesystem::path(::testing::TempDir()) /
+                          "qross_facade_warm.qsnap";
+  std::filesystem::remove(cache_path);
+  std::filesystem::remove(cache_path.string() + ".journal");
+
+  TuneOptions options;
+  options.trials = 4;
+  options.seed = 17;
+  std::atomic<int> invocations{0};
+  const auto counted =
+      std::make_shared<CountingSolver>(fast_solver(), invocations);
+
+  service::ServiceConfig config;
+  config.cache_path = cache_path;
+  TuneOutcome first;
+  {
+    service::SolveService svc(config);
+    options.service = &svc;
+    first = tuner_->tune(instance, counted, options);
+    EXPECT_EQ(invocations.load(), 4);
+  }  // service destruction persists the snapshot
+
+  // A fresh service on the same file (stand-in for a fresh process): the
+  // PR 2 within-process replay guarantee now holds across runs — the whole
+  // session replays from disk with zero solver invocations.
+  service::SolveService svc(config);
+  EXPECT_EQ(svc.metrics().cache_loaded, 4u);
+  options.service = &svc;
+  const TuneOutcome second = tuner_->tune(instance, counted, options);
+  EXPECT_EQ(invocations.load(), 4)
+      << "disk-warm tuning session must not invoke the solver";
+  EXPECT_EQ(svc.metrics().cache_hits, 4u);
+  EXPECT_EQ(second.best_tour, first.best_tour);
+  ASSERT_EQ(second.trials.size(), first.trials.size());
+  for (std::size_t t = 0; t < first.trials.size(); ++t) {
+    EXPECT_DOUBLE_EQ(second.trials[t].relaxation_parameter,
+                     first.trials[t].relaxation_parameter);
+    EXPECT_DOUBLE_EQ(second.trials[t].pf, first.trials[t].pf);
+  }
+  std::filesystem::remove(cache_path);
+  std::filesystem::remove(cache_path.string() + ".journal");
 }
 
 TEST(FacadeGuards, RejectsUntrainedAndBadInput) {

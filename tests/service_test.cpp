@@ -6,10 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -653,6 +657,202 @@ TEST(SolveServiceTest, MetricsSnapshotIsConsistent) {
   EXPECT_EQ(m.queue_wait.count, 5u);
   EXPECT_EQ(m.run.count, 4u);
   EXPECT_GE(m.run.p99_ms, m.run.p50_ms);
+}
+
+// --- cache persistence (ServiceConfig::cache_path) --------------------------
+
+std::string scratch_cache_path(const char* name) {
+  const auto path = std::filesystem::path(::testing::TempDir()) /
+                    (std::string("qross_service_") + name + ".qsnap");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path.string() + ".journal");
+  return path;
+}
+
+TEST(CachePersistenceTest, CrossRunWarmStartIsBitIdenticalWithZeroInvocations) {
+  const auto path = scratch_cache_path("warm");
+  const auto model = test_model(0x90);
+  const auto options = small_options();
+  std::atomic<int> invocations{0};
+  const auto counted = std::make_shared<CountingSolver>(
+      std::make_shared<solvers::DigitalAnnealer>(), invocations);
+
+  qubo::SolveBatch original;
+  {
+    ServiceConfig config;
+    config.cache_path = path;
+    SolveService first(config);
+    const JobResult r = first.submit(counted, model, options).wait();
+    ASSERT_EQ(r.status, JobStatus::done);
+    original = *r.batch;
+    // cache_stored lags completion by the append I/O; poll briefly.
+    const auto give_up = std::chrono::steady_clock::now() + 5s;
+    while (first.metrics().cache_stored < 1 &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(1ms);
+    }
+    EXPECT_EQ(first.metrics().cache_stored, 1u);
+  }  // destructor compacts the journal into the snapshot
+
+  // A second service on the same file stands in for a second process: the
+  // fingerprint is recomputed from scratch, so a hit proves the on-disk key
+  // and batch both survived the round trip bit-identically.
+  ServiceConfig config;
+  config.cache_path = path;
+  SolveService second(config);
+  EXPECT_EQ(second.metrics().cache_loaded, 1u);
+  const JobResult r = second.submit(counted, model, options).wait();
+  ASSERT_EQ(r.status, JobStatus::done);
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_EQ(invocations.load(), 1) << "warm start must not invoke the solver";
+  ASSERT_EQ(r.batch->size(), original.size());
+  for (std::size_t k = 0; k < original.size(); ++k) {
+    EXPECT_EQ(r.batch->results[k].assignment, original.results[k].assignment);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(r.batch->results[k].qubo_energy),
+              std::bit_cast<std::uint64_t>(original.results[k].qubo_energy));
+  }
+}
+
+TEST(CachePersistenceTest, CorruptSnapshotDegradesToColdCache) {
+  const auto path = scratch_cache_path("corrupt");
+  {
+    std::ofstream file(path, std::ios::binary);
+    file.write("QROSSNAP", 8);                        // right magic...
+    file.write("\x01\x00\x00\x00\x00\x00\x00\x00", 8);  // ...valid v1 header...
+    file.write("garbage garbage garbage", 23);          // ...torn record soup
+  }
+  ServiceConfig config;
+  config.cache_path = path;
+  SolveService svc(config);
+  const ServiceMetrics m = svc.metrics();
+  EXPECT_EQ(m.cache_loaded, 0u);
+  EXPECT_GE(m.cache_load_skipped, 1u);
+  // The service still works: solve, persist, and warm-start cleanly.
+  const auto solver = std::make_shared<solvers::DigitalAnnealer>();
+  EXPECT_EQ(svc.submit(solver, test_model(0x91), small_options()).wait().status,
+            JobStatus::done);
+}
+
+TEST(CachePersistenceTest, FlushWhileServingLosesNothing) {
+  const auto path = scratch_cache_path("flush");
+  constexpr std::size_t kJobs = 32;
+  {
+    ServiceConfig config;
+    config.num_workers = 2;
+    config.cache_path = path;
+    SolveService svc(config);
+    const auto solver = std::make_shared<solvers::DigitalAnnealer>();
+
+    // Hammer explicit flushes from a second thread while jobs stream in:
+    // compaction and journal appends must interleave without losing entries.
+    std::atomic<bool> done{false};
+    std::thread flusher([&] {
+      while (!done.load()) {
+        svc.flush_cache();
+        std::this_thread::sleep_for(1ms);
+      }
+    });
+    std::vector<JobHandle> handles;
+    for (std::size_t k = 0; k < kJobs; ++k) {
+      handles.push_back(
+          svc.submit(solver, test_model(0xA00 + k, 24), small_options()));
+    }
+    for (auto& handle : handles) {
+      EXPECT_EQ(handle.wait().status, JobStatus::done);
+    }
+    done.store(true);
+    flusher.join();
+    // cache_stored lags completion by the append I/O; poll briefly.
+    const auto give_up = std::chrono::steady_clock::now() + 5s;
+    while (svc.metrics().cache_stored < kJobs &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(1ms);
+    }
+    EXPECT_EQ(svc.metrics().cache_stored, kJobs);
+  }
+  ServiceConfig config;
+  config.cache_path = path;
+  SolveService reloaded(config);
+  EXPECT_EQ(reloaded.metrics().cache_loaded, kJobs);
+  EXPECT_EQ(reloaded.metrics().cache_load_skipped, 0u);
+}
+
+TEST(CachePersistenceTest, DisabledCacheDisablesPersistenceToo) {
+  const auto path = scratch_cache_path("disabled");
+  {
+    ServiceConfig config;
+    config.cache_capacity = 0;  // no cache -> nothing worth journaling
+    config.cache_path = path;
+    SolveService svc(config);
+    const auto solver = std::make_shared<solvers::DigitalAnnealer>();
+    EXPECT_EQ(
+        svc.submit(solver, test_model(0x92), small_options()).wait().status,
+        JobStatus::done);
+    EXPECT_EQ(svc.metrics().cache_stored, 0u);
+    EXPECT_EQ(svc.flush_cache(), 0u);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".journal"));
+}
+
+// --- ROADMAP gap: deadline joining a running execution ----------------------
+
+/// Runs "sweeps" of 1 ms until stopped, ticking the sweep checkpoint so the
+/// service watchdog gets its per-sweep polls; finishes quickly once any
+/// stop source fires.  Nominal full run: ~100 s — a test that waits for
+/// completion instead of the watchdog would time out loudly.
+class TickingSolver final : public solvers::QuboSolver {
+ public:
+  explicit TickingSolver(std::shared_ptr<std::atomic<int>> entered)
+      : entered_(std::move(entered)) {}
+  std::string name() const override { return "ticker"; }
+  qubo::SolveBatch solve(const qubo::QuboModel& model,
+                         const solvers::SolveOptions& options) const override {
+    entered_->fetch_add(1);
+    for (std::size_t sweep = 0; sweep < 100000; ++sweep) {
+      if (solvers::sweep_checkpoint(options)) break;
+      std::this_thread::sleep_for(1ms);
+    }
+    qubo::SolveBatch batch;
+    batch.results.resize(1);
+    batch.results[0].assignment.assign(model.num_vars(), 0);
+    return batch;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<int>> entered_;
+};
+
+TEST(SolveServiceTest, TighterDeadlineJoiningRunningExecutionReArmsWatchdog) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  SolveService svc(config);
+  const auto entered = std::make_shared<std::atomic<int>>(0);
+  const auto solver = std::make_shared<TickingSolver>(entered);
+  const auto model = test_model(0xB0);
+  const auto options = small_options();
+
+  JobHandle first = svc.submit(solver, model, options);
+  while (entered->load() < 1) std::this_thread::sleep_for(1ms);
+
+  // Equal fingerprint -> coalesces onto the RUNNING execution; its deadline
+  // is tighter than anything the watchdog knew at execution start (nothing).
+  SubmitOptions tight;
+  tight.deadline = std::chrono::steady_clock::now() + 50ms;
+  JobHandle late = svc.submit(solver, model, options, tight);
+  ASSERT_TRUE(late.wait_for(10s))
+      << "tighter deadline joining a running execution was never enforced";
+  const JobResult r = late.result();
+  EXPECT_EQ(r.status, JobStatus::expired);
+  EXPECT_EQ(r.batch, nullptr) << "detached expiry must not leak a batch";
+  EXPECT_TRUE(r.coalesced);
+
+  // The original job is unaffected: still running, then cancellable.
+  EXPECT_EQ(first.status(), JobStatus::running);
+  EXPECT_EQ(svc.metrics().solver_invocations, 1u);
+  EXPECT_EQ(svc.metrics().coalesced, 1u);
+  first.cancel();
+  EXPECT_EQ(first.wait().status, JobStatus::cancelled);
 }
 
 // ServiceSolver: the synchronous adapter returns the same batch a direct

@@ -8,7 +8,11 @@
 //   propose   — offline parameter proposal for an instance (no solver call)
 //   tune      — full tuning session on an instance, printing the best tour
 //   batch     — submit a file of solve jobs concurrently to the SolveService
-//               (priority/deadline queue, result cache, metrics report)
+//               (priority/deadline queue, result cache, metrics report);
+//               --cache-file persists the result cache across runs, so a
+//               second process replays bit-identical batches with zero
+//               solver invocations
+//   cache     — inspect (info), compact, or clear a persistent cache file
 //
 // Examples:
 //   qross generate --count 8 --cities 10 --out-dir instances/
@@ -16,7 +20,8 @@
 //   qross train --instances instances/ --solver da --out tuner.qross
 //   qross propose --tuner tuner.qross --instance new.tsp --pf 0.9
 //   qross tune --tuner tuner.qross --instance new.tsp --solver da --trials 10
-//   qross batch --jobs jobs.txt --workers 4 --repeat 2
+//   qross batch --jobs jobs.txt --workers 4 --repeat 2 --cache-file run.qsnap
+//   qross cache info --file run.qsnap
 //
 // Unknown flags are an error (exit code 2): every command validates its
 // arguments against an allowlist before running.
@@ -57,7 +62,8 @@ commands:
            [--seed S]
   batch    --jobs FILE [--solver NAME] [--workers N] [--cache N] [--repeat K]
            [--replicas B] [--sweeps N] [--seed S] [--threads T]
-           [--deadline-ms D]
+           [--deadline-ms D] [--cache-file PATH]
+  cache    <info|compact|clear> --file PATH [--max-entries N] [--max-bytes B]
 
 common options:
   --seed S      RNG master seed (default 1)
@@ -334,7 +340,7 @@ std::vector<BatchJobSpec> load_jobs_file(const std::string& path,
 int cmd_batch(const Args& args) {
   require_known_flags(args, {"jobs", "solver", "workers", "cache", "repeat",
                              "replicas", "sweeps", "seed", "threads",
-                             "deadline-ms"});
+                             "deadline-ms", "cache-file"});
   const auto default_solver = get_or(args, "solver", "da");
   const auto specs = load_jobs_file(require(args, "jobs"), default_solver);
   const auto options = cli_solve_options(args, default_solver);
@@ -344,6 +350,7 @@ int cmd_batch(const Args& args) {
   service::ServiceConfig config;
   config.num_workers = std::stoul(get_or(args, "workers", "4"));
   config.cache_capacity = std::stoul(get_or(args, "cache", "256"));
+  config.cache_path = get_or(args, "cache-file", "");
   service::SolveService svc(config);
 
   // Prepared instances own the QUBO builders; keep them alive until all
@@ -407,6 +414,12 @@ int cmd_batch(const Args& args) {
       "%zu coalesced, %zu solver invocations\n",
       m.cache_hits, m.cache_misses, m.cache_evictions, m.cache_size,
       m.coalesced, m.solver_invocations);
+  if (!config.cache_path.empty()) {
+    std::printf(
+        "store:   %s | %zu loaded (%zu skipped), %zu stored this run\n",
+        config.cache_path.c_str(), m.cache_loaded, m.cache_load_skipped,
+        m.cache_stored);
+  }
   std::printf(
       "latency: wait p50/p90/p99 = %.1f/%.1f/%.1f ms | "
       "run p50/p90/p99 = %.1f/%.1f/%.1f ms | %.2f jobs/s\n",
@@ -415,13 +428,76 @@ int cmd_batch(const Args& args) {
   return m.failed == 0 ? 0 : 1;
 }
 
+// Offline maintenance of a persistent cache file (no service needed):
+//   info     what the snapshot + journal hold, and what a warm start saves
+//   compact  merge the journal into the snapshot under the eviction budget
+//   clear    remove both files
+int cmd_cache(const std::string& action, const Args& args) {
+  require_known_flags(args, {"file", "max-entries", "max-bytes"});
+  io::CacheStoreConfig config;
+  config.path = require(args, "file");
+  config.max_entries = std::stoul(get_or(args, "max-entries", "4096"));
+  config.max_bytes = std::stoull(
+      get_or(args, "max-bytes", std::to_string(config.max_bytes)));
+  io::CacheStore store(config);
+
+  if (action == "clear") {
+    store.clear();
+    std::printf("cleared %s (+journal)\n", config.path.c_str());
+    return 0;
+  }
+  if (action == "compact") {
+    const auto before = store.info();
+    const std::size_t kept = store.compact();
+    std::printf(
+        "compacted %s: %zu snapshot + %zu journal records -> %zu entries "
+        "(%zu skipped as corrupt)\n",
+        config.path.c_str(), before.snapshot_records, before.journal_records,
+        kept, before.skipped_records);
+    return 0;
+  }
+  if (action == "info") {
+    const auto info = store.info();
+    if (!info.snapshot_exists && !info.journal_exists) {
+      std::printf("%s: no snapshot or journal\n", config.path.c_str());
+      return 1;
+    }
+    std::printf("snapshot: %s%s\n", config.path.c_str(),
+                info.snapshot_exists ? "" : " (absent)");
+    if (info.version_rejected) {
+      std::printf(
+          "  written by a NEWER format version — this build refuses it\n");
+    } else if (info.snapshot_exists) {
+      std::printf("  format v%u, %zu records, %llu bytes\n",
+                  info.snapshot_version, info.snapshot_records,
+                  static_cast<unsigned long long>(info.snapshot_bytes));
+    }
+    std::printf("journal:  %s records, %llu bytes%s\n",
+                std::to_string(info.journal_records).c_str(),
+                static_cast<unsigned long long>(info.journal_bytes),
+                info.journal_exists ? "" : " (absent)");
+    std::printf(
+        "live:     %zu entries (%zu corrupt records skipped) | warm start "
+        "saves %.1f ms of solver time\n",
+        info.live_entries, info.skipped_records, info.saved_run_ms);
+    return 0;
+  }
+  usage(("unknown cache action: " + action).c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
-  const Args args = parse_args(argc, argv, 2);
   try {
+    if (command == "cache") {
+      if (argc < 3 || argv[2][0] == '-') {
+        usage("cache needs an action: info, compact or clear");
+      }
+      return cmd_cache(argv[2], parse_args(argc, argv, 3));
+    }
+    const Args args = parse_args(argc, argv, 2);
     if (command == "generate") return cmd_generate(args);
     if (command == "sweep") return cmd_sweep(args);
     if (command == "train") return cmd_train(args);
