@@ -1,8 +1,10 @@
 // Machine-readable perf tracking: writes BENCH_sweep.json (dense vs sparse
 // sweep throughput — the PR 1 headline numbers) and BENCH_service.json
 // (SolveService throughput in jobs/sec at queue depth >= workers: cold,
-// in-memory cache-warm, and disk-warm from a persisted snapshot in a fresh
-// service), so the perf trajectory is diffable from this PR on.
+// in-memory cache-warm, disk-warm from a persisted snapshot in a fresh
+// service, and net-warm — client→server jobs/s through qross::net over
+// loopback TCP, isolating the wire protocol's per-job overhead), so the
+// perf trajectory is diffable from this PR on.
 //
 // Unlike bench_micro_perf this target needs no google-benchmark — it is a
 // plain binary timed with common/stopwatch, runnable on any CI box:
@@ -34,6 +36,8 @@
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "harness/dense_baseline.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "problems/mvc/mvc.hpp"
 #include "problems/tsp/formulation.hpp"
 #include "problems/tsp/generators.hpp"
@@ -328,8 +332,9 @@ int main(int argc, char** argv) {
     models.push_back(
         mvc::generate_random_mvc(64, 0.08, 0x2000 + k).to_qubo(2.0));
   }
-  ServicePass cold, warm, disk_warm;
+  ServicePass cold, warm, disk_warm, net_warm;
   service::ServiceMetrics metrics, disk_metrics;
+  std::size_t net_cache_hits = 0;
   {
     service::SolveService svc(config);
     cold = run_service_pass(svc, solver, models, options);
@@ -353,12 +358,59 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "disk-warm pass unexpectedly invoked the solver\n");
       return 1;
     }
+
+    // --- client→server jobs/s over the wire (the network front end) ------
+    // Same warm service behind qross::net::Server on loopback TCP; every
+    // job is a server-side cache hit, so the measured rate is the protocol
+    // + transport + reactor overhead per job, not solver time.
+    net::ServerConfig server_config;
+    server_config.listen.push_back(*net::Endpoint::parse("tcp:127.0.0.1:0"));
+    net::Server server(svc, server_config);
+    std::string error;
+    if (!server.start(&error)) {
+      std::fprintf(stderr, "bench server start failed: %s\n", error.c_str());
+      return 1;
+    }
+    net::ClientConfig client_config;
+    client_config.server = server.endpoints().front();
+    net::Client client(client_config);
+    if (!client.connect(&error)) {
+      std::fprintf(stderr, "bench client connect failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::vector<net::RemoteJob> jobs;
+    jobs.reserve(models.size());
+    for (const auto& model : models) {
+      net::RemoteJob job;
+      job.solver = "da";
+      job.model = model;
+      job.num_replicas = static_cast<std::uint32_t>(options.num_replicas);
+      job.num_sweeps = static_cast<std::uint32_t>(options.num_sweeps);
+      job.seed = options.seed;
+      jobs.push_back(std::move(job));
+    }
+    Stopwatch watch;
+    const auto results = client.run(jobs);
+    net_warm.wall_seconds = watch.elapsed_seconds();
+    net_warm.jobs_per_sec =
+        static_cast<double>(results.size()) / net_warm.wall_seconds;
+    for (const auto& result : results) {
+      if (result.status != service::JobStatus::done) {
+        std::fprintf(stderr, "bench net job unexpectedly %s\n",
+                     service::to_string(result.status));
+        return 1;
+      }
+      if (result.cache_hit) ++net_cache_hits;
+    }
+    server.stop();
   }
   std::fprintf(stderr,
                "service: cold %.1f jobs/s, cache-warm %.1f jobs/s, disk-warm "
-               "%.1f jobs/s (%zu loaded, %zu invocations in warm pass)\n",
+               "%.1f jobs/s (%zu loaded, %zu invocations in warm pass), "
+               "net-warm %.1f jobs/s over tcp\n",
                cold.jobs_per_sec, warm.jobs_per_sec, disk_warm.jobs_per_sec,
-               disk_metrics.cache_loaded, disk_metrics.solver_invocations);
+               disk_metrics.cache_loaded, disk_metrics.solver_invocations,
+               net_warm.jobs_per_sec);
 
   const std::string path = out_dir + "/BENCH_service.json";
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -366,7 +418,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"qross-bench-service-v2\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"qross-bench-service-v3\",\n");
   std::fprintf(f, "  \"workers\": %zu,\n  \"jobs\": %zu,\n", kWorkers, kJobs);
   std::fprintf(f, "  \"queue_depth_at_submit\": %zu,\n", kJobs);
   std::fprintf(f, "  \"workload\": \"mvc n=64 da replicas=4 sweeps=30\",\n");
@@ -382,6 +434,11 @@ int main(int argc, char** argv) {
       "\"cache_loaded\": %zu, \"solver_invocations\": %zu},\n",
       disk_warm.wall_seconds, disk_warm.jobs_per_sec,
       disk_metrics.cache_loaded, disk_metrics.solver_invocations);
+  std::fprintf(
+      f,
+      "  \"net_warm\": {\"transport\": \"tcp\", \"wall_seconds\": %.4f, "
+      "\"jobs_per_sec\": %.2f, \"cache_hits\": %zu},\n",
+      net_warm.wall_seconds, net_warm.jobs_per_sec, net_cache_hits);
   std::fprintf(f,
                "  \"metrics\": {\"solver_invocations\": %zu, \"cache_hits\": "
                "%zu, \"cache_misses\": %zu, \"cache_stored\": %zu, "

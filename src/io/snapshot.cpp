@@ -14,6 +14,11 @@ constexpr std::uint32_t kMaxPayloadBytes = 1u << 28;  // 256 MiB
 // payload runs out of bytes.
 constexpr std::uint32_t kMaxResults = 1u << 24;
 constexpr std::uint32_t kMaxBitsPerResult = 1u << 26;
+// QuboModel stores a dense n x n double matrix, so the variable count IS an
+// allocation commitment (n = 8192 already means 512 MiB).  Anything above
+// this is corruption or abuse — a remote SubmitJob frame must not be able
+// to trigger a multi-gigabyte allocation with a 40-byte payload.
+constexpr std::uint32_t kMaxModelVars = 1u << 13;
 
 }  // namespace
 
@@ -116,6 +121,50 @@ qubo::SolveBatch decode_batch(ByteReader& in) {
     batch.results.push_back(std::move(result));
   }
   return batch;
+}
+
+void encode_model(ByteWriter& out, const qubo::QuboModel& model) {
+  out.u32(static_cast<std::uint32_t>(model.num_vars()));
+  out.f64(model.offset());
+  out.u32(static_cast<std::uint32_t>(model.num_nonzeros()));
+  // Canonical order: row-major over the upper triangle, structural nonzeros
+  // only — the same walk fingerprint_model takes, so equal fingerprints
+  // imply equal encodings.
+  for (std::size_t i = 0; i < model.num_vars(); ++i) {
+    for (std::size_t j = i; j < model.num_vars(); ++j) {
+      const double w = model.coefficient(i, j);
+      if (w == 0.0) continue;
+      out.u32(static_cast<std::uint32_t>(i));
+      out.u32(static_cast<std::uint32_t>(j));
+      out.f64(w);
+    }
+  }
+}
+
+qubo::QuboModel decode_model(ByteReader& in) {
+  const std::uint32_t num_vars = in.u32();
+  if (num_vars > kMaxModelVars) {
+    throw DecodeError("implausible model size: " + std::to_string(num_vars));
+  }
+  qubo::QuboModel model(num_vars);
+  model.set_offset(in.f64());
+  const std::uint32_t nnz = in.u32();
+  // A dense model has at most n(n+1)/2 structural nonzeros; a count beyond
+  // that is corruption, and catching it here stops an allocation bomb.
+  const std::uint64_t max_nnz =
+      static_cast<std::uint64_t>(num_vars) * (num_vars + 1) / 2;
+  if (nnz > max_nnz) {
+    throw DecodeError("implausible nonzero count: " + std::to_string(nnz));
+  }
+  for (std::uint32_t k = 0; k < nnz; ++k) {
+    const std::uint32_t i = in.u32();
+    const std::uint32_t j = in.u32();
+    if (i >= num_vars || j >= num_vars || j < i) {
+      throw DecodeError("model term index out of range");
+    }
+    model.add_term(i, j, in.f64());
+  }
+  return model;
 }
 
 }  // namespace qross::io

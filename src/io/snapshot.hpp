@@ -38,8 +38,21 @@ inline constexpr std::array<std::uint8_t, 8> kSnapshotMagic = {
 inline constexpr std::uint32_t kFormatVersion = 1;
 
 /// Record types.  Values are part of the format: never renumber, only add.
+/// Types 1..15 are snapshot records; 16+ are network protocol frames
+/// (src/net/ reuses this framing verbatim as its wire encoding, so one
+/// scanner/codec layer serves both files and sockets).
 enum RecordType : std::uint32_t {
   kRecordCacheEntry = 1,  ///< fingerprint + solve metadata + SolveBatch
+
+  kRecordNetHello = 16,       ///< client → server: protocol version offer
+  kRecordNetHelloAck = 17,    ///< server → client: accepted version + limits
+  kRecordNetError = 18,       ///< server → client: request or stream error
+  kRecordNetSubmitJob = 19,   ///< client → server: solver + model + options
+  kRecordNetJobStatus = 20,   ///< server → client: streamed status update
+  kRecordNetCancelJob = 21,   ///< client → server: cancel a submitted tag
+  kRecordNetResult = 22,      ///< server → client: terminal result + batch
+  kRecordNetGetMetrics = 23,  ///< client → server: metrics request
+  kRecordNetMetrics = 24,     ///< server → client: service + server counters
 };
 
 enum class HeaderStatus {
@@ -84,5 +97,17 @@ void encode_batch(ByteWriter& out, const qubo::SolveBatch& batch);
 
 /// Throws DecodeError on malformed input (callers catch; see header note).
 qubo::SolveBatch decode_batch(ByteReader& in);
+
+/// QuboModel codec: num_vars, offset, then the structurally nonzero
+/// upper-triangular coefficients as (i, j, IEEE-754 bits) triples.  The
+/// encoding is canonical — two models built along different term-insertion
+/// paths to the same coefficients encode byte-identically — so it is safe
+/// to fingerprint or transport.  Used by the network front end's SubmitJob
+/// frame.
+void encode_model(ByteWriter& out, const qubo::QuboModel& model);
+
+/// Throws DecodeError on malformed input (truncated triples, out-of-range
+/// indices, or an implausible variable count).
+qubo::QuboModel decode_model(ByteReader& in);
 
 }  // namespace qross::io

@@ -1,0 +1,314 @@
+#include "net/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "io/binary.hpp"
+
+namespace qross::net {
+
+using Clock = std::chrono::steady_clock;
+
+Client::Client(ClientConfig config) : config_(std::move(config)) {}
+
+Client::~Client() = default;
+
+bool Client::handshake(std::string* error) {
+  in_ = FrameBuffer();  // a fresh connection starts a fresh stream
+  HelloFrame hello;
+  if (!send_frame(io::kRecordNetHello, encode_hello(hello))) {
+    if (error != nullptr) *error = "cannot send Hello";
+    return false;
+  }
+  if (!pump(io::kRecordNetHelloAck, 0, config_.connect_timeout_ms, error)) {
+    return false;
+  }
+  return true;
+}
+
+bool Client::connect(std::string* error) {
+  sock_ = connect_to(config_.server, config_.connect_timeout_ms, error);
+  if (!sock_.valid()) return false;
+  if (!handshake(error)) {
+    sock_.close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::send_frame(std::uint32_t type,
+                        std::span<const std::uint8_t> payload) {
+  if (!sock_.valid()) return false;
+  const auto bytes = frame(type, payload);
+  if (!sock_.send_all(bytes.data(), bytes.size())) {
+    sock_.close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::reconnect_and_resubmit(std::string* error) {
+  for (int attempt = 0; attempt < config_.reconnect_attempts; ++attempt) {
+    if (attempt > 0 || config_.reconnect_backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          config_.reconnect_backoff_ms * (attempt + 1)));
+    }
+    std::string local_error;
+    sock_ = connect_to(config_.server, config_.connect_timeout_ms,
+                       &local_error);
+    if (!sock_.valid()) {
+      if (error != nullptr) *error = local_error;
+      continue;
+    }
+    if (!handshake(&local_error)) {
+      sock_.close();
+      if (error != nullptr) *error = local_error;
+      continue;
+    }
+    // Resubmit everything still outstanding under its ORIGINAL tag.  The
+    // server's cache/coalescing makes the retry cost one lookup, not one
+    // solver run, even when the first attempt completed just before the
+    // connection died.
+    bool resubmitted_all = true;
+    for (const auto& [tag, job] : pending_) {
+      SubmitJobFrame submit;
+      submit.tag = tag;
+      submit.solver = job.solver;
+      submit.num_replicas = job.num_replicas;
+      submit.num_sweeps = job.num_sweeps;
+      submit.seed = job.seed;
+      submit.priority = job.priority;
+      submit.deadline_ms = job.deadline_ms;
+      submit.bypass_cache = job.bypass_cache;
+      submit.stream_status = job.stream_status;
+      submit.model = job.model;
+      if (!send_frame(io::kRecordNetSubmitJob, encode_submit(submit))) {
+        resubmitted_all = false;
+        break;
+      }
+    }
+    if (resubmitted_all) return true;
+  }
+  if (error != nullptr && error->empty()) {
+    *error = "reconnect attempts exhausted";
+  }
+  return false;
+}
+
+std::optional<std::uint64_t> Client::submit(const RemoteJob& job,
+                                            std::string* error) {
+  const std::uint64_t tag = next_tag_++;
+  pending_[tag] = job;
+  SubmitJobFrame submit;
+  submit.tag = tag;
+  submit.solver = job.solver;
+  submit.num_replicas = job.num_replicas;
+  submit.num_sweeps = job.num_sweeps;
+  submit.seed = job.seed;
+  submit.priority = job.priority;
+  submit.deadline_ms = job.deadline_ms;
+  submit.bypass_cache = job.bypass_cache;
+  submit.stream_status = job.stream_status;
+  submit.model = job.model;
+  if (!send_frame(io::kRecordNetSubmitJob, encode_submit(submit))) {
+    // The reconnect path resubmits `tag` itself (it is already pending).
+    if (!reconnect_and_resubmit(error)) {
+      pending_.erase(tag);
+      return std::nullopt;
+    }
+  }
+  return tag;
+}
+
+void Client::handle_incoming(const Frame& f) {
+  try {
+    switch (f.type) {
+      case io::kRecordNetResult: {
+        auto result = decode_result(f.payload);
+        const auto tag = result.tag;
+        pending_.erase(tag);
+        results_.emplace(tag, std::move(result));
+        return;
+      }
+      case io::kRecordNetJobStatus: {
+        const auto status = decode_job_status(f.payload);
+        updates_[status.tag].push_back(status.status);
+        return;
+      }
+      case io::kRecordNetMetrics:
+        last_metrics_ = decode_metrics(f.payload);
+        return;
+      case io::kRecordNetError: {
+        auto error = decode_error(f.payload);
+        // An error that kills a specific request completes that request,
+        // so wait() observes it instead of timing out.
+        if (error.tag != 0 && pending_.contains(error.tag)) {
+          ResultFrame result;
+          result.tag = error.tag;
+          result.status = service::JobStatus::failed;
+          result.error = "server error " + std::to_string(error.code) +
+                         ": " + error.message;
+          pending_.erase(error.tag);
+          results_.emplace(error.tag, std::move(result));
+        }
+        errors_.push_back(std::move(error));
+        return;
+      }
+      case io::kRecordNetHelloAck:
+        ack_ = decode_hello_ack(f.payload);
+        return;
+      default:
+        return;  // unknown frame types are tolerated, mirroring the server
+    }
+  } catch (const io::DecodeError&) {
+    // A checksum-valid but undecodable frame: drop it; the stream framing
+    // is still intact.
+  }
+}
+
+bool Client::pump(std::uint32_t stop_type, std::uint64_t stop_tag,
+                  int timeout_ms, std::string* error) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(
+                         timeout_ms < 0 ? 24 * 3600 * 1000 : timeout_ms);
+  std::uint8_t buf[65536];
+  while (true) {
+    // Check the stop condition against everything already buffered first.
+    Frame f;
+    while (true) {
+      const auto status = in_.next(&f);
+      if (status == FrameBuffer::Status::need_more) break;
+      if (status != FrameBuffer::Status::frame) {
+        if (error != nullptr) *error = "malformed frame from server";
+        sock_.close();
+        return false;
+      }
+      const bool is_stop =
+          f.type == stop_type &&
+          (stop_type != io::kRecordNetResult ||
+           (f.payload.size() >= 8 &&
+            io::ByteReader(f.payload).u64() == stop_tag));
+      handle_incoming(f);
+      if (is_stop) return true;
+      // A request-killing Error frame also satisfies a Result wait.
+      if (stop_type == io::kRecordNetResult &&
+          results_.contains(stop_tag)) {
+        return true;
+      }
+      if (f.type == io::kRecordNetError && stop_type != io::kRecordNetResult) {
+        // Waiting for an ack/metrics and got an error instead: surface it.
+        if (error != nullptr && !errors_.empty()) {
+          *error = "server error " + std::to_string(errors_.back().code) +
+                   ": " + errors_.back().message;
+        }
+        return false;
+      }
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) {
+      if (error != nullptr) *error = "request timed out";
+      return false;
+    }
+    const long n = sock_.recv_some(
+        buf, sizeof(buf), static_cast<int>(remaining.count()));
+    if (n == -2) {
+      if (error != nullptr) *error = "request timed out";
+      return false;
+    }
+    if (n <= 0) {
+      if (error != nullptr) *error = "connection lost";
+      sock_.close();
+      return false;
+    }
+    in_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+ResultFrame Client::wait(std::uint64_t tag) {
+  const auto finish_with = [&](const std::string& message) {
+    ResultFrame result;
+    result.tag = tag;
+    result.status = service::JobStatus::failed;
+    result.error = message;
+    pending_.erase(tag);
+    return result;
+  };
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.request_timeout_ms);
+  while (true) {
+    const auto it = results_.find(tag);
+    if (it != results_.end()) {
+      ResultFrame result = std::move(it->second);
+      results_.erase(it);
+      return result;
+    }
+    if (!pending_.contains(tag)) {
+      return finish_with("unknown tag: never submitted or already waited");
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) return finish_with("request timed out");
+    std::string error;
+    if (!pump(io::kRecordNetResult, tag,
+              static_cast<int>(remaining.count()), &error)) {
+      if (error == "request timed out") return finish_with(error);
+      // Connection lost mid-wait: redial and resubmit the outstanding jobs,
+      // then keep waiting out the remaining budget.
+      if (!reconnect_and_resubmit(&error)) {
+        return finish_with("connection lost: " + error);
+      }
+    }
+  }
+}
+
+bool Client::cancel(std::uint64_t tag) {
+  CancelJobFrame cancel;
+  cancel.tag = tag;
+  return send_frame(io::kRecordNetCancelJob, encode_cancel(cancel));
+}
+
+std::vector<service::JobStatus> Client::status_updates(
+    std::uint64_t tag) const {
+  const auto it = updates_.find(tag);
+  return it == updates_.end() ? std::vector<service::JobStatus>{}
+                              : it->second;
+}
+
+std::optional<MetricsFrame> Client::metrics(std::string* error) {
+  last_metrics_.reset();
+  if (!send_frame(io::kRecordNetGetMetrics, {})) {
+    if (!reconnect_and_resubmit(error)) return std::nullopt;
+    if (!send_frame(io::kRecordNetGetMetrics, {})) return std::nullopt;
+  }
+  if (!pump(io::kRecordNetMetrics, 0, config_.request_timeout_ms, error)) {
+    return std::nullopt;
+  }
+  return last_metrics_;
+}
+
+std::vector<ResultFrame> Client::run(const std::vector<RemoteJob>& jobs) {
+  std::vector<ResultFrame> results(jobs.size());
+  std::vector<std::pair<std::size_t, std::uint64_t>> submitted;
+  submitted.reserve(jobs.size());
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    std::string error;
+    const auto tag = submit(jobs[k], &error);
+    if (!tag.has_value()) {
+      results[k].status = service::JobStatus::failed;
+      results[k].error = "submit failed: " + error;
+      continue;
+    }
+    submitted.emplace_back(k, *tag);
+  }
+  for (const auto& [index, tag] : submitted) results[index] = wait(tag);
+  return results;
+}
+
+std::vector<ErrorFrame> Client::take_errors() {
+  auto drained = std::move(errors_);
+  errors_.clear();
+  return drained;
+}
+
+}  // namespace qross::net

@@ -1,0 +1,123 @@
+#pragma once
+
+// Blocking client for the QROSS network protocol.
+//
+// One connection multiplexes many in-flight jobs by tag: submit() assigns a
+// tag and sends the frame, wait(tag) blocks until that tag's Result frame
+// arrives (buffering results for other tags it reads along the way).
+//
+// Resilience:
+//   * reconnect — a send/recv failure triggers up to reconnect_attempts
+//     redials (with backoff); after the re-handshake every still-pending
+//     request is RESUBMITTED.  Safe because submissions are idempotent on
+//     the serving side: equal fingerprints coalesce or hit the result
+//     cache, so a retried job never pays a second solver run;
+//   * request timeout — wait() gives up after request_timeout_ms and
+//     reports the job as failed with a timeout error, leaving the
+//     connection usable for other tags.
+//
+// Not thread-safe: one Client per thread (the protocol itself supports any
+// number of concurrent Clients per server).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "qubo/model.hpp"
+
+namespace qross::net {
+
+struct ClientConfig {
+  Endpoint server;
+  int connect_timeout_ms = 5000;
+  int request_timeout_ms = 120000;
+  int reconnect_attempts = 3;
+  int reconnect_backoff_ms = 100;
+};
+
+/// One job as the client submits it (the wire form of a SubmitJob frame,
+/// minus the tag, which the client assigns).
+struct RemoteJob {
+  std::string solver = "da";
+  qubo::QuboModel model;
+  std::uint32_t num_replicas = 32;
+  std::uint32_t num_sweeps = 100;
+  std::uint64_t seed = 1;
+  std::int32_t priority = 0;
+  std::uint32_t deadline_ms = 0;  ///< relative; 0 = none
+  bool bypass_cache = false;
+  bool stream_status = false;
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig config);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Dials and handshakes.  False (with *error filled) on failure — also
+  /// when the server refuses our protocol version.
+  bool connect(std::string* error);
+
+  bool connected() const { return sock_.valid(); }
+
+  /// Protocol version the server acknowledged (after connect()).
+  std::uint32_t negotiated_version() const { return ack_.protocol_version; }
+
+  /// Sends one job; returns its tag, or nullopt when the connection is
+  /// down and could not be re-established.
+  std::optional<std::uint64_t> submit(const RemoteJob& job,
+                                      std::string* error = nullptr);
+
+  /// Blocks until `tag` completes.  On request timeout or a dead
+  /// connection, returns a ResultFrame with status `failed` and the reason
+  /// in `error` — the protocol carries real failures the same way, so
+  /// callers have one error path.
+  ResultFrame wait(std::uint64_t tag);
+
+  /// Requests cancellation of an in-flight tag.
+  bool cancel(std::uint64_t tag);
+
+  /// Status updates streamed so far for `tag` (stream_status jobs only).
+  std::vector<service::JobStatus> status_updates(std::uint64_t tag) const;
+
+  /// Round-trips a metrics request.
+  std::optional<MetricsFrame> metrics(std::string* error = nullptr);
+
+  /// Convenience: submit every job, then wait for each in order.
+  std::vector<ResultFrame> run(const std::vector<RemoteJob>& jobs);
+
+  /// Wire-level errors the server pushed that were not fatal to a request
+  /// (e.g. kErrUnknownTag); drained by the caller.
+  std::vector<ErrorFrame> take_errors();
+
+ private:
+  bool send_frame(std::uint32_t type, std::span<const std::uint8_t> payload);
+  /// Reads until `stop_type` (or a Result for `stop_tag`) arrives, the
+  /// timeout expires, or the connection breaks.  Buffers everything else.
+  bool pump(std::uint32_t stop_type, std::uint64_t stop_tag, int timeout_ms,
+            std::string* error);
+  bool handshake(std::string* error);
+  bool reconnect_and_resubmit(std::string* error);
+  void handle_incoming(const Frame& f);
+
+  ClientConfig config_;
+  Socket sock_;
+  FrameBuffer in_;
+  HelloAckFrame ack_;
+  std::uint64_t next_tag_ = 1;
+
+  std::map<std::uint64_t, RemoteJob> pending_;  // resubmitted on reconnect
+  std::map<std::uint64_t, ResultFrame> results_;
+  std::map<std::uint64_t, std::vector<service::JobStatus>> updates_;
+  std::optional<MetricsFrame> last_metrics_;
+  std::vector<ErrorFrame> errors_;
+};
+
+}  // namespace qross::net

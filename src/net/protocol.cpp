@@ -1,0 +1,316 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+#include "io/binary.hpp"
+
+namespace qross::net {
+
+namespace {
+
+void put_string(io::ByteWriter& out, const std::string& text) {
+  out.u32(static_cast<std::uint32_t>(text.size()));
+  out.raw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+std::string get_string(io::ByteReader& in) {
+  const std::uint32_t size = in.u32();
+  // Strings on the wire are names and error messages; anything huge is a
+  // corrupt length that slipped past the checksum odds.
+  if (size > (1u << 20)) {
+    throw io::DecodeError("implausible string length: " +
+                          std::to_string(size));
+  }
+  const auto bytes = in.raw(size);
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+service::JobStatus decode_status(std::uint32_t value) {
+  switch (value) {
+    case 0: return service::JobStatus::queued;
+    case 1: return service::JobStatus::running;
+    case 2: return service::JobStatus::done;
+    case 3: return service::JobStatus::cancelled;
+    case 4: return service::JobStatus::expired;
+    case 5: return service::JobStatus::failed;
+  }
+  throw io::DecodeError("unknown job status on the wire: " +
+                        std::to_string(value));
+}
+
+std::uint32_t encode_status(service::JobStatus status) {
+  switch (status) {
+    case service::JobStatus::queued: return 0;
+    case service::JobStatus::running: return 1;
+    case service::JobStatus::done: return 2;
+    case service::JobStatus::cancelled: return 3;
+    case service::JobStatus::expired: return 4;
+    case service::JobStatus::failed: return 5;
+  }
+  return 5;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_hello(const HelloFrame& hello) {
+  io::ByteWriter out;
+  out.u32(hello.protocol_version);
+  out.u32(0);  // flags, reserved
+  return out.take();
+}
+
+HelloFrame decode_hello(std::span<const std::uint8_t> payload) {
+  io::ByteReader in(payload);
+  HelloFrame hello;
+  hello.protocol_version = in.u32();
+  in.u32();  // flags, reserved
+  return hello;
+}
+
+std::vector<std::uint8_t> encode_hello_ack(const HelloAckFrame& ack) {
+  io::ByteWriter out;
+  out.u32(ack.protocol_version);
+  out.u32(ack.max_frame_bytes);
+  return out.take();
+}
+
+HelloAckFrame decode_hello_ack(std::span<const std::uint8_t> payload) {
+  io::ByteReader in(payload);
+  HelloAckFrame ack;
+  ack.protocol_version = in.u32();
+  ack.max_frame_bytes = in.u32();
+  return ack;
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorFrame& error) {
+  io::ByteWriter out;
+  out.u64(error.tag);
+  out.u32(error.code);
+  out.u32(error.protocol_version);
+  put_string(out, error.message);
+  return out.take();
+}
+
+ErrorFrame decode_error(std::span<const std::uint8_t> payload) {
+  io::ByteReader in(payload);
+  ErrorFrame error;
+  error.tag = in.u64();
+  error.code = in.u32();
+  error.protocol_version = in.u32();
+  error.message = get_string(in);
+  return error;
+}
+
+std::vector<std::uint8_t> encode_submit(const SubmitJobFrame& submit) {
+  io::ByteWriter out;
+  out.u64(submit.tag);
+  put_string(out, submit.solver);
+  out.u32(submit.num_replicas);
+  out.u32(submit.num_sweeps);
+  out.u64(submit.seed);
+  out.u32(static_cast<std::uint32_t>(submit.priority));
+  out.u32(submit.deadline_ms);
+  out.u8(submit.bypass_cache ? 1 : 0);
+  out.u8(submit.stream_status ? 1 : 0);
+  io::encode_model(out, submit.model);
+  return out.take();
+}
+
+SubmitJobFrame decode_submit(std::span<const std::uint8_t> payload) {
+  io::ByteReader in(payload);
+  SubmitJobFrame submit;
+  submit.tag = in.u64();
+  submit.solver = get_string(in);
+  submit.num_replicas = in.u32();
+  submit.num_sweeps = in.u32();
+  submit.seed = in.u64();
+  submit.priority = static_cast<std::int32_t>(in.u32());
+  submit.deadline_ms = in.u32();
+  submit.bypass_cache = in.u8() != 0;
+  submit.stream_status = in.u8() != 0;
+  submit.model = io::decode_model(in);
+  return submit;
+}
+
+std::vector<std::uint8_t> encode_job_status(const JobStatusFrame& status) {
+  io::ByteWriter out;
+  out.u64(status.tag);
+  out.u32(encode_status(status.status));
+  return out.take();
+}
+
+JobStatusFrame decode_job_status(std::span<const std::uint8_t> payload) {
+  io::ByteReader in(payload);
+  JobStatusFrame status;
+  status.tag = in.u64();
+  status.status = decode_status(in.u32());
+  return status;
+}
+
+std::vector<std::uint8_t> encode_cancel(const CancelJobFrame& cancel) {
+  io::ByteWriter out;
+  out.u64(cancel.tag);
+  return out.take();
+}
+
+CancelJobFrame decode_cancel(std::span<const std::uint8_t> payload) {
+  io::ByteReader in(payload);
+  CancelJobFrame cancel;
+  cancel.tag = in.u64();
+  return cancel;
+}
+
+std::vector<std::uint8_t> encode_result(const ResultFrame& result) {
+  io::ByteWriter out;
+  out.u64(result.tag);
+  out.u32(encode_status(result.status));
+  out.u8(result.cache_hit ? 1 : 0);
+  out.u8(result.coalesced ? 1 : 0);
+  out.f64(result.wait_ms);
+  out.f64(result.run_ms);
+  put_string(out, result.error);
+  out.u8(result.batch != nullptr ? 1 : 0);
+  if (result.batch != nullptr) io::encode_batch(out, *result.batch);
+  return out.take();
+}
+
+ResultFrame decode_result(std::span<const std::uint8_t> payload) {
+  io::ByteReader in(payload);
+  ResultFrame result;
+  result.tag = in.u64();
+  result.status = decode_status(in.u32());
+  result.cache_hit = in.u8() != 0;
+  result.coalesced = in.u8() != 0;
+  result.wait_ms = in.f64();
+  result.run_ms = in.f64();
+  result.error = get_string(in);
+  if (in.u8() != 0) {
+    result.batch =
+        std::make_shared<const qubo::SolveBatch>(io::decode_batch(in));
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> encode_metrics(const MetricsFrame& metrics) {
+  io::ByteWriter out;
+  const auto& s = metrics.service;
+  out.u64(s.workers);
+  out.u64(s.queue_depth);
+  out.u64(s.running);
+  out.u64(s.submitted);
+  out.u64(s.completed);
+  out.u64(s.cancelled);
+  out.u64(s.expired);
+  out.u64(s.failed);
+  out.u64(s.coalesced);
+  out.u64(s.solver_invocations);
+  out.u64(s.cache_hits);
+  out.u64(s.cache_misses);
+  out.u64(s.cache_evictions);
+  out.u64(s.cache_size);
+  out.u64(s.cache_loaded);
+  out.u64(s.cache_stored);
+  out.u64(s.cache_load_skipped);
+  out.f64(s.uptime_seconds);
+  out.f64(s.jobs_per_second);
+  out.f64(s.queue_wait.p50_ms);
+  out.f64(s.queue_wait.p90_ms);
+  out.f64(s.queue_wait.p99_ms);
+  out.f64(s.run.p50_ms);
+  out.f64(s.run.p90_ms);
+  out.f64(s.run.p99_ms);
+  out.u64(metrics.connections_accepted);
+  out.u64(metrics.connections_active);
+  out.u64(metrics.protocol_errors);
+  out.u64(metrics.connection_submitted);
+  out.u64(metrics.connection_results);
+  out.u64(metrics.connection_cancelled);
+  return out.take();
+}
+
+MetricsFrame decode_metrics(std::span<const std::uint8_t> payload) {
+  io::ByteReader in(payload);
+  MetricsFrame metrics;
+  auto& s = metrics.service;
+  s.workers = in.u64();
+  s.queue_depth = in.u64();
+  s.running = in.u64();
+  s.submitted = in.u64();
+  s.completed = in.u64();
+  s.cancelled = in.u64();
+  s.expired = in.u64();
+  s.failed = in.u64();
+  s.coalesced = in.u64();
+  s.solver_invocations = in.u64();
+  s.cache_hits = in.u64();
+  s.cache_misses = in.u64();
+  s.cache_evictions = in.u64();
+  s.cache_size = in.u64();
+  s.cache_loaded = in.u64();
+  s.cache_stored = in.u64();
+  s.cache_load_skipped = in.u64();
+  s.uptime_seconds = in.f64();
+  s.jobs_per_second = in.f64();
+  s.queue_wait.p50_ms = in.f64();
+  s.queue_wait.p90_ms = in.f64();
+  s.queue_wait.p99_ms = in.f64();
+  s.run.p50_ms = in.f64();
+  s.run.p90_ms = in.f64();
+  s.run.p99_ms = in.f64();
+  metrics.connections_accepted = in.u64();
+  metrics.connections_active = in.u64();
+  metrics.protocol_errors = in.u64();
+  metrics.connection_submitted = in.u64();
+  metrics.connection_results = in.u64();
+  metrics.connection_cancelled = in.u64();
+  return metrics;
+}
+
+std::vector<std::uint8_t> frame(std::uint32_t type,
+                                std::span<const std::uint8_t> payload) {
+  io::ByteWriter out;
+  io::write_record(out, type, payload);
+  return out.take();
+}
+
+void FrameBuffer::append(const std::uint8_t* data, std::size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+FrameBuffer::Status FrameBuffer::next(Frame* out) {
+  if (broken_) return Status::bad_frame;
+  // Compact once the consumed prefix dominates; keeps the amortised cost of
+  // many small frames linear without a deque.
+  if (consumed_ > 0 &&
+      (consumed_ >= buffer_.size() || consumed_ > (1u << 16))) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const std::size_t available = buffer_.size() - consumed_;
+  constexpr std::size_t kHeader = 16;  // u32 size | u32 type | u64 checksum
+  if (available < kHeader) return Status::need_more;
+  io::ByteReader reader(
+      std::span<const std::uint8_t>(buffer_.data() + consumed_, available));
+  const std::uint32_t size = reader.u32();
+  const std::uint32_t type = reader.u32();
+  const std::uint64_t expected = reader.u64();
+  if (size > max_frame_bytes_) {
+    broken_ = true;
+    return Status::oversized;
+  }
+  if (available < kHeader + size) return Status::need_more;
+  const auto payload = reader.raw(size);
+  if (io::checksum64(payload) != expected) {
+    broken_ = true;
+    return Status::bad_frame;
+  }
+  out->type = type;
+  out->payload.assign(payload.begin(), payload.end());
+  consumed_ += kHeader + size;
+  return Status::frame;
+}
+
+}  // namespace qross::net

@@ -1,0 +1,696 @@
+#include "net/server.hpp"
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <fcntl.h>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <unordered_map>
+#include <utility>
+
+#include "io/binary.hpp"
+#include "solvers/digital_annealer.hpp"
+#include "solvers/parallel_tempering.hpp"
+#include "solvers/qbsolv.hpp"
+#include "solvers/simulated_annealer.hpp"
+#include "solvers/tabu_search.hpp"
+
+namespace qross::net {
+
+solvers::SolverPtr default_solver_registry(const std::string& name) {
+  if (name == "da") return std::make_shared<solvers::DigitalAnnealer>();
+  if (name == "sa") return std::make_shared<solvers::SimulatedAnnealer>();
+  if (name == "tabu") return std::make_shared<solvers::TabuSearch>();
+  if (name == "pt") return std::make_shared<solvers::ParallelTempering>();
+  if (name == "qbsolv") return std::make_shared<solvers::Qbsolv>();
+  return nullptr;
+}
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+struct Server::Impl {
+  // One submitted job as the serving side tracks it.
+  struct PendingJob {
+    service::JobHandle handle;
+    bool stream_status = false;
+    service::JobStatus last_reported = service::JobStatus::queued;
+  };
+
+  struct Connection {
+    std::uint64_t id = 0;
+    Socket sock;
+    FrameBuffer in;
+    std::vector<std::uint8_t> out;  // unsent frame bytes, FIFO
+    std::size_t out_offset = 0;
+    bool handshaken = false;
+    bool closing = false;  // flush `out`, then close
+    std::map<std::uint64_t, PendingJob> jobs;
+    std::uint64_t submitted = 0;
+    std::uint64_t results = 0;
+    std::uint64_t cancels = 0;
+
+    explicit Connection(std::uint64_t id_, Socket sock_)
+        : id(id_), sock(std::move(sock_)) {}
+  };
+
+  /// Completion hooks outlive the server when cancelled kernels finish
+  /// late; they reach the Impl only through this null-able indirection.
+  struct CompletionSink {
+    std::mutex m;
+    Impl* impl = nullptr;  // nulled by stop() after the reactor joined
+  };
+
+  Impl(service::SolveService& svc, ServerConfig cfg)
+      : service(svc), config(std::move(cfg)) {
+    sink = std::make_shared<CompletionSink>();
+    sink->impl = this;
+  }
+
+  service::SolveService& service;
+  ServerConfig config;
+  std::shared_ptr<CompletionSink> sink;
+
+  std::vector<Socket> listeners;
+  std::vector<Endpoint> bound;
+  int wake_read = -1;
+  int wake_write = -1;
+  std::thread reactor;
+  bool started = false;
+  bool stopped = false;
+
+  // Cross-thread state (reactor <-> public API / completion hooks).
+  mutable std::mutex m;
+  std::condition_variable cv;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> completions;
+  bool stop_requested = false;
+  bool draining = false;
+  bool drain_done = false;
+  ServerStats stats;
+
+  // Reactor-thread-only state.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns;
+  std::uint64_t next_conn_id = 1;
+
+  // --- wakeup -----------------------------------------------------------
+
+  void wake() const {
+    const char byte = 1;
+    if (wake_write >= 0) {
+      [[maybe_unused]] const auto n = ::write(wake_write, &byte, 1);
+    }
+  }
+
+  /// Called by JobHandle::notify hooks — possibly from inside the service
+  /// lock, so this must only enqueue and signal (see job.hpp contract).
+  void on_complete(std::uint64_t conn_id, std::uint64_t tag) {
+    {
+      std::lock_guard lock(m);
+      completions.emplace_back(conn_id, tag);
+    }
+    wake();
+  }
+
+  // --- frame output -----------------------------------------------------
+
+  void queue_frame(Connection* conn, std::uint32_t type,
+                   std::span<const std::uint8_t> payload) {
+    const auto bytes = frame(type, payload);
+    conn->out.insert(conn->out.end(), bytes.begin(), bytes.end());
+    {
+      std::lock_guard lock(m);
+      ++stats.frames_sent;
+    }
+    flush_out(conn);
+  }
+
+  void queue_error(Connection* conn, std::uint64_t tag, std::uint32_t code,
+                   const std::string& message) {
+    ErrorFrame error;
+    error.tag = tag;
+    error.code = code;
+    error.message = message;
+    queue_frame(conn, io::kRecordNetError, encode_error(error));
+    std::lock_guard lock(m);
+    ++stats.protocol_errors;
+  }
+
+  /// Non-blocking write of the pending bytes; a peer that cannot keep up
+  /// simply keeps its buffer until POLLOUT.
+  void flush_out(Connection* conn) {
+    while (conn->out_offset < conn->out.size()) {
+      const ssize_t n =
+          ::send(conn->sock.fd(), conn->out.data() + conn->out_offset,
+                 conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        conn->closing = true;  // broken pipe: close once we fall out
+        conn->out.clear();
+        conn->out_offset = 0;
+        return;
+      }
+      conn->out_offset += static_cast<std::size_t>(n);
+    }
+    conn->out.clear();
+    conn->out_offset = 0;
+  }
+
+  bool out_empty(const Connection* conn) const {
+    return conn->out_offset >= conn->out.size();
+  }
+
+  // --- request handling -------------------------------------------------
+
+  void handle_submit(Connection* conn, const Frame& f) {
+    SubmitJobFrame submit;
+    // std::exception, not just DecodeError: a decoder slip (bad_alloc from
+    // a hostile size that passed the sanity bounds, length_error, ...)
+    // must cost one request, never the reactor thread.
+    try {
+      submit = decode_submit(f.payload);
+    } catch (const std::exception& e) {
+      queue_error(conn, 0, kErrBadFrame,
+                  std::string("undecodable SubmitJob: ") + e.what());
+      return;
+    }
+    if (is_draining()) {
+      queue_error(conn, submit.tag, kErrDraining,
+                  "server is draining; submissions refused");
+      return;
+    }
+    if (conn->jobs.contains(submit.tag)) {
+      queue_error(conn, submit.tag, kErrBadRequest,
+                  "tag already has an in-flight job");
+      return;
+    }
+    const auto solver = config.registry(submit.solver);
+    if (solver == nullptr) {
+      queue_error(conn, submit.tag, kErrUnknownSolver,
+                  "unknown solver: " + submit.solver);
+      return;
+    }
+    solvers::SolveOptions options;
+    options.num_replicas = submit.num_replicas;
+    options.num_sweeps = submit.num_sweeps;
+    options.seed = submit.seed;
+    service::SubmitOptions submit_options;
+    submit_options.priority = submit.priority;
+    submit_options.bypass_cache = submit.bypass_cache;
+    if (submit.deadline_ms > 0) {
+      submit_options.deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(submit.deadline_ms);
+    }
+    service::JobHandle handle;
+    try {
+      handle = service.submit(solver, submit.model, options, submit_options);
+    } catch (const std::exception& e) {
+      queue_error(conn, submit.tag, kErrDraining, e.what());
+      return;
+    }
+    PendingJob job;
+    job.handle = handle;
+    job.stream_status = submit.stream_status;
+    conn->jobs.emplace(submit.tag, std::move(job));
+    ++conn->submitted;
+    {
+      std::lock_guard lock(m);
+      ++stats.submits;
+    }
+    if (submit.stream_status && !handle.finished()) {
+      JobStatusFrame status;
+      status.tag = submit.tag;
+      status.status = handle.status();
+      queue_frame(conn, io::kRecordNetJobStatus, encode_job_status(status));
+      conn->jobs[submit.tag].last_reported = status.status;
+    }
+    // The hook fires immediately (on this thread) for cache hits — the
+    // completion lands in the queue and is flushed this same reactor pass.
+    const auto sink_ref = sink;
+    const auto conn_id = conn->id;
+    const auto tag = submit.tag;
+    handle.notify([sink_ref, conn_id, tag] {
+      std::lock_guard lock(sink_ref->m);
+      if (sink_ref->impl != nullptr) sink_ref->impl->on_complete(conn_id, tag);
+    });
+  }
+
+  void handle_frame(Connection* conn, const Frame& f) {
+    {
+      std::lock_guard lock(m);
+      ++stats.frames_received;
+    }
+    if (!conn->handshaken) {
+      if (f.type != io::kRecordNetHello) {
+        queue_error(conn, 0, kErrHandshakeRequired,
+                    "first frame must be Hello");
+        conn->closing = true;
+        return;
+      }
+      HelloFrame hello;
+      try {
+        hello = decode_hello(f.payload);
+      } catch (const io::DecodeError& e) {
+        queue_error(conn, 0, kErrBadFrame,
+                    std::string("undecodable Hello: ") + e.what());
+        conn->closing = true;
+        return;
+      }
+      if (hello.protocol_version > kProtocolVersion) {
+        // A FUTURE client: refuse rather than guess at its semantics.  The
+        // error carries our version so the client can retry lower.
+        queue_error(conn, 0, kErrFutureVersion,
+                    "protocol version " +
+                        std::to_string(hello.protocol_version) +
+                        " is newer than this server's " +
+                        std::to_string(kProtocolVersion));
+        conn->closing = true;
+        return;
+      }
+      if (hello.protocol_version == 0) {
+        queue_error(conn, 0, kErrBadRequest, "protocol version 0 is invalid");
+        conn->closing = true;
+        return;
+      }
+      conn->handshaken = true;
+      HelloAckFrame ack;
+      ack.protocol_version = kProtocolVersion;
+      ack.max_frame_bytes = config.max_frame_bytes;
+      queue_frame(conn, io::kRecordNetHelloAck, encode_hello_ack(ack));
+      return;
+    }
+    switch (f.type) {
+      case io::kRecordNetSubmitJob:
+        handle_submit(conn, f);
+        return;
+      case io::kRecordNetCancelJob: {
+        CancelJobFrame cancel;
+        try {
+          cancel = decode_cancel(f.payload);
+        } catch (const io::DecodeError&) {
+          queue_error(conn, 0, kErrBadFrame, "undecodable CancelJob");
+          return;
+        }
+        const auto it = conn->jobs.find(cancel.tag);
+        if (it == conn->jobs.end()) {
+          queue_error(conn, cancel.tag, kErrUnknownTag,
+                      "no in-flight job with this tag");
+          return;
+        }
+        it->second.handle.cancel();
+        ++conn->cancels;
+        std::lock_guard lock(m);
+        ++stats.cancels;
+        return;
+      }
+      case io::kRecordNetGetMetrics: {
+        MetricsFrame metrics;
+        metrics.service = service.metrics();
+        {
+          std::lock_guard lock(m);
+          metrics.connections_accepted = stats.connections_accepted;
+          metrics.connections_active = stats.connections_active;
+          metrics.protocol_errors = stats.protocol_errors;
+        }
+        metrics.connection_submitted = conn->submitted;
+        metrics.connection_results = conn->results;
+        metrics.connection_cancelled = conn->cancels;
+        queue_frame(conn, io::kRecordNetMetrics, encode_metrics(metrics));
+        return;
+      }
+      case io::kRecordNetHello:
+        queue_error(conn, 0, kErrBadRequest, "duplicate Hello");
+        return;
+      default:
+        // Unknown-but-well-framed types mirror the snapshot scanner's
+        // tolerance: reject the frame, keep the connection.
+        queue_error(conn, 0, kErrUnknownType,
+                    "unknown frame type " + std::to_string(f.type));
+        return;
+    }
+  }
+
+  void send_result(Connection* conn, std::uint64_t tag) {
+    const auto it = conn->jobs.find(tag);
+    if (it == conn->jobs.end()) return;  // tag already retired
+    const service::JobHandle handle = it->second.handle;
+    if (!handle.finished()) return;  // defensive; hooks fire on terminal
+    const service::JobResult r = handle.result();
+    ResultFrame result;
+    result.tag = tag;
+    result.status = r.status;
+    result.cache_hit = r.cache_hit;
+    result.coalesced = r.coalesced;
+    result.wait_ms = r.wait_ms;
+    result.run_ms = r.run_ms;
+    result.error = r.error;
+    result.batch = r.batch;
+    conn->jobs.erase(it);
+    ++conn->results;
+    queue_frame(conn, io::kRecordNetResult, encode_result(result));
+    std::lock_guard lock(m);
+    ++stats.results_sent;
+  }
+
+  // --- connection lifecycle ---------------------------------------------
+
+  void close_connection(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    Connection* conn = it->second.get();
+    std::uint64_t cancelled = 0;
+    for (auto& [tag, job] : conn->jobs) {
+      if (!job.handle.finished()) {
+        job.handle.cancel();
+        ++cancelled;
+      }
+    }
+    conns.erase(it);
+    std::lock_guard lock(m);
+    stats.disconnect_cancelled_jobs += cancelled;
+    stats.connections_active = conns.size();
+  }
+
+  void accept_pending(const Socket& listener) {
+    while (true) {
+      const int fd = ::accept(listener.fd(), nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN or transient error; poll again later
+      }
+      if (conns.size() >= config.max_connections) {
+        ::close(fd);
+        continue;
+      }
+      set_nonblocking(fd);
+      const auto id = next_conn_id++;
+      conns.emplace(id, std::make_unique<Connection>(
+                            id, Socket(fd)));
+      conns[id]->in = FrameBuffer(config.max_frame_bytes);
+      std::lock_guard lock(m);
+      ++stats.connections_accepted;
+      stats.connections_active = conns.size();
+    }
+  }
+
+  /// Reads everything available; returns false when the connection should
+  /// be torn down after its out buffer flushes.
+  bool read_ready(Connection* conn) {
+    std::uint8_t buf[65536];
+    bool saw_eof = false;
+    while (true) {
+      const ssize_t n = ::recv(conn->sock.fd(), buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        return false;  // hard error: peer is gone
+      }
+      if (n == 0) {  // orderly EOF; handled after the frames are drained
+        saw_eof = true;
+        break;
+      }
+      conn->in.append(buf, static_cast<std::size_t>(n));
+    }
+    Frame f;
+    while (true) {
+      const auto status = conn->in.next(&f);
+      if (status == FrameBuffer::Status::need_more) break;
+      if (status == FrameBuffer::Status::oversized) {
+        queue_error(conn, 0, kErrOversizedFrame,
+                    "frame exceeds the " +
+                        std::to_string(config.max_frame_bytes) +
+                        "-byte limit");
+        conn->closing = true;
+        break;
+      }
+      if (status == FrameBuffer::Status::bad_frame) {
+        queue_error(conn, 0, kErrBadFrame,
+                    "frame checksum mismatch; closing the stream");
+        conn->closing = true;
+        break;
+      }
+      handle_frame(conn, f);
+      if (conn->closing) break;
+    }
+    if (saw_eof) {
+      // Only bytes the parse loop could not consume count as truncation —
+      // a complete final frame followed by close is the legal
+      // fire-and-forget pattern, not a protocol error.
+      if (!conn->closing && conn->in.mid_frame()) {
+        // The peer half-closed inside a frame; tell it (its read side may
+        // still be open) before closing.
+        queue_error(conn, 0, kErrTruncatedFrame,
+                    "connection ended inside a frame");
+      }
+      conn->closing = true;
+    }
+    return true;
+  }
+
+  /// queued→running transitions for stream_status jobs (poll-driven; the
+  /// terminal transition arrives through the completion hook instead).
+  void stream_status_tick(Connection* conn) {
+    for (auto& [tag, job] : conn->jobs) {
+      if (!job.stream_status) continue;
+      const auto status = job.handle.status();
+      if (status == job.last_reported || service::is_terminal(status)) {
+        continue;
+      }
+      JobStatusFrame frame_data;
+      frame_data.tag = tag;
+      frame_data.status = status;
+      queue_frame(conn, io::kRecordNetJobStatus,
+                  encode_job_status(frame_data));
+      job.last_reported = status;
+    }
+  }
+
+  bool is_draining() const {
+    std::lock_guard lock(m);
+    return draining;
+  }
+
+  // --- the reactor ------------------------------------------------------
+
+  void reactor_loop() {
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = not a conn)
+    while (true) {
+      bool drain_now = false;
+      {
+        std::lock_guard lock(m);
+        if (stop_requested) break;
+        drain_now = draining;
+      }
+      fds.clear();
+      fd_conn.clear();
+      fds.push_back({wake_read, POLLIN, 0});
+      fd_conn.push_back(0);
+      if (!drain_now) {
+        for (const auto& listener : listeners) {
+          fds.push_back({listener.fd(), POLLIN, 0});
+          fd_conn.push_back(0);
+        }
+      }
+      bool any_stream_jobs = false;
+      for (const auto& [id, conn] : conns) {
+        short events = POLLIN;
+        if (!out_empty(conn.get())) events |= POLLOUT;
+        fds.push_back({conn->sock.fd(), events, 0});
+        fd_conn.push_back(id);
+        for (const auto& [tag, job] : conn->jobs) {
+          if (job.stream_status) any_stream_jobs = true;
+        }
+      }
+      // Completions arrive via the wake pipe; the only reason to tick on a
+      // timer is sampling queued→running transitions for streamed jobs,
+      // and re-checking the drain condition.
+      const int timeout_ms = any_stream_jobs ? 20 : (drain_now ? 50 : -1);
+      int rc;
+      do {
+        rc = ::poll(fds.data(), fds.size(), timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+
+      // Drain the wake pipe.
+      if (fds[0].revents & POLLIN) {
+        char sink_buf[256];
+        while (::read(wake_read, sink_buf, sizeof(sink_buf)) > 0) {
+        }
+      }
+
+      // Deliver completed jobs' Result frames.
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> done;
+      {
+        std::lock_guard lock(m);
+        done.swap(completions);
+      }
+      for (const auto& [conn_id, tag] : done) {
+        const auto it = conns.find(conn_id);
+        if (it != conns.end()) send_result(it->second.get(), tag);
+      }
+
+      // Accept, read, write.
+      std::size_t fd_index = 1;
+      if (!drain_now) {
+        for (const auto& listener : listeners) {
+          if (fds[fd_index].revents & POLLIN) accept_pending(listener);
+          ++fd_index;
+        }
+      }
+      std::vector<std::uint64_t> to_close;
+      for (; fd_index < fds.size(); ++fd_index) {
+        const auto conn_id = fd_conn[fd_index];
+        const auto it = conns.find(conn_id);
+        if (it == conns.end()) continue;
+        Connection* conn = it->second.get();
+        const short revents = fds[fd_index].revents;
+        if (revents & (POLLERR | POLLNVAL)) {
+          to_close.push_back(conn_id);
+          continue;
+        }
+        if (revents & (POLLIN | POLLHUP)) {
+          if (!read_ready(conn)) {
+            to_close.push_back(conn_id);
+            continue;
+          }
+        }
+        if (!out_empty(conn)) flush_out(conn);
+        if (conn->closing && out_empty(conn)) to_close.push_back(conn_id);
+      }
+      for (const auto id : to_close) close_connection(id);
+
+      if (any_stream_jobs) {
+        for (const auto& [id, conn] : conns) stream_status_tick(conn.get());
+      }
+
+      if (drain_now) {
+        bool complete = true;
+        for (const auto& [id, conn] : conns) {
+          if (!conn->jobs.empty() || !out_empty(conn.get())) {
+            complete = false;
+            break;
+          }
+        }
+        if (complete) {
+          std::lock_guard lock(m);
+          if (!drain_done) {
+            drain_done = true;
+            cv.notify_all();
+          }
+        }
+      }
+    }
+  }
+};
+
+Server::Server(service::SolveService& service, ServerConfig config)
+    : impl_(std::make_unique<Impl>(service, std::move(config))) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  if (impl_->started) {
+    if (error != nullptr) *error = "server already started";
+    return false;
+  }
+  if (impl_->config.listen.empty()) {
+    if (error != nullptr) *error = "no listen endpoints configured";
+    return false;
+  }
+  for (const auto& endpoint : impl_->config.listen) {
+    auto sock = listen_on(endpoint, error);
+    if (!sock.valid()) {
+      impl_->listeners.clear();
+      impl_->bound.clear();
+      return false;
+    }
+    set_nonblocking(sock.fd());
+    const auto actual = local_endpoint(sock.fd());
+    impl_->bound.push_back(actual.value_or(endpoint));
+    impl_->listeners.push_back(std::move(sock));
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    if (error != nullptr) *error = "cannot create wake pipe";
+    impl_->listeners.clear();
+    impl_->bound.clear();
+    return false;
+  }
+  impl_->wake_read = pipe_fds[0];
+  impl_->wake_write = pipe_fds[1];
+  set_nonblocking(impl_->wake_read);
+  set_nonblocking(impl_->wake_write);
+  impl_->started = true;
+  impl_->reactor = std::thread([impl = impl_.get()] { impl->reactor_loop(); });
+  return true;
+}
+
+std::vector<Endpoint> Server::endpoints() const { return impl_->bound; }
+
+bool Server::drain(std::chrono::milliseconds deadline) {
+  if (!impl_->started) return true;
+  {
+    std::lock_guard lock(impl_->m);
+    impl_->draining = true;
+  }
+  impl_->wake();
+  std::unique_lock lock(impl_->m);
+  return impl_->cv.wait_for(lock, deadline, [&] {
+    return impl_->drain_done || impl_->stopped;
+  });
+}
+
+void Server::stop() {
+  if (!impl_->started || impl_->stopped) return;
+  {
+    std::lock_guard lock(impl_->m);
+    impl_->stop_requested = true;
+  }
+  impl_->wake();
+  if (impl_->reactor.joinable()) impl_->reactor.join();
+  // From here no other thread touches the connection table.  Null the hook
+  // indirection FIRST: a kernel finishing late must find no Impl, and the
+  // sink mutex makes any hook mid-delivery finish before we tear down.
+  {
+    std::lock_guard lock(impl_->sink->m);
+    impl_->sink->impl = nullptr;
+  }
+  std::vector<std::uint64_t> ids;
+  ids.reserve(impl_->conns.size());
+  for (const auto& [id, conn] : impl_->conns) ids.push_back(id);
+  for (const auto id : ids) impl_->close_connection(id);
+  impl_->listeners.clear();
+  if (impl_->wake_read >= 0) ::close(impl_->wake_read);
+  if (impl_->wake_write >= 0) ::close(impl_->wake_write);
+  impl_->wake_read = impl_->wake_write = -1;
+  // Remove Unix socket files so the next daemon start is clean even after
+  // an unlucky crash-free-but-unlinked exit.
+  for (const auto& endpoint : impl_->bound) {
+    if (endpoint.kind == Endpoint::Kind::unix_domain) {
+      ::unlink(endpoint.path.c_str());
+    }
+  }
+  std::lock_guard lock(impl_->m);
+  impl_->stopped = true;
+  impl_->cv.notify_all();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard lock(impl_->m);
+  return impl_->stats;
+}
+
+}  // namespace qross::net

@@ -21,6 +21,11 @@
 #include "io/cache_store.hpp"
 #include "io/snapshot.hpp"
 
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+
 #include "service/fingerprint.hpp"
 #include "service/job.hpp"
 #include "service/metrics.hpp"

@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -83,6 +84,16 @@ class JobHandle {
 
   /// The result of a finished job (QROSS_REQUIRE: finished()).
   JobResult result() const;
+
+  /// Registers a one-shot completion hook, invoked exactly once when the
+  /// job reaches a terminal state — immediately on the calling thread if it
+  /// already has.  Otherwise it runs on the completing thread while service
+  /// internals are locked, so the hook MUST only signal (set a flag, push
+  /// onto a queue, write to a wakeup pipe) and MUST NOT call back into the
+  /// service or any JobHandle method.  One hook per job; a second call
+  /// replaces an unfired one.  This is how the network front end's reactor
+  /// learns of completions without polling.
+  void notify(std::function<void()> fn) const;
 
   /// Requests cooperative cancellation.  A queued job completes as
   /// `cancelled` immediately; a running job's kernel is signalled and the

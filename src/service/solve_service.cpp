@@ -78,6 +78,10 @@ struct JobState {
   JobStatus status = JobStatus::queued;
   bool wants_cancel = false;  // cancelled while running; completes on exit
   JobResult result;
+  /// One-shot completion hook (JobHandle::notify); fired by finish_job after
+  /// the terminal transition, outside this job's lock but possibly inside
+  /// the service lock — see the notify() contract in job.hpp.
+  std::function<void()> on_terminal;
 };
 
 // One solver execution, shared by every job whose fingerprint coalesced
@@ -207,19 +211,28 @@ struct ServiceCore {
   /// Moves `job` to the terminal state in `result` (caller holds `m`).
   /// Returns false when the job already finished through another path.
   bool finish_job(const std::shared_ptr<JobState>& job, JobResult result) {
-    std::lock_guard job_lock(job->m);
-    if (is_terminal(job->status)) return false;
-    wait_reservoir.record(result.wait_ms);
-    switch (result.status) {
-      case JobStatus::done: ++completed; break;
-      case JobStatus::cancelled: ++cancelled; break;
-      case JobStatus::expired: ++expired; break;
-      case JobStatus::failed: ++failed; break;
-      default: QROSS_ASSERT_MSG(false, "completion with non-terminal status");
+    std::function<void()> hook;
+    {
+      std::lock_guard job_lock(job->m);
+      if (is_terminal(job->status)) return false;
+      wait_reservoir.record(result.wait_ms);
+      switch (result.status) {
+        case JobStatus::done: ++completed; break;
+        case JobStatus::cancelled: ++cancelled; break;
+        case JobStatus::expired: ++expired; break;
+        case JobStatus::failed: ++failed; break;
+        default: QROSS_ASSERT_MSG(false, "completion with non-terminal status");
+      }
+      job->status = result.status;
+      job->result = std::move(result);
+      job->cv.notify_all();
+      hook = std::move(job->on_terminal);
+      job->on_terminal = nullptr;
     }
-    job->status = result.status;
-    job->result = std::move(result);
-    job->cv.notify_all();
+    // Fired outside the job lock so a hook thread waking on the condvar can
+    // take it immediately; the hook's signal-only contract (job.hpp) makes
+    // running under the still-held service lock safe.
+    if (hook) hook();
     return true;
   }
 
@@ -559,6 +572,20 @@ JobResult JobHandle::result() const {
   std::lock_guard lock(state_->m);
   QROSS_REQUIRE(is_terminal(state_->status), "job not finished");
   return state_->result;
+}
+
+void JobHandle::notify(std::function<void()> fn) const {
+  QROSS_REQUIRE(valid(), "empty job handle");
+  bool fire_now = false;
+  {
+    std::lock_guard lock(state_->m);
+    if (is_terminal(state_->status)) {
+      fire_now = true;
+    } else {
+      state_->on_terminal = std::move(fn);
+    }
+  }
+  if (fire_now && fn) fn();
 }
 
 void JobHandle::cancel() const {

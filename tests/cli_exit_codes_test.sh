@@ -1,0 +1,51 @@
+#!/bin/sh
+# CLI front-end contract: bad inputs exit 2 with a clear diagnostic, never 0.
+# Regression guard for the jobs-file path checks in `qross_cli batch` /
+# `remote batch` (a nonexistent path, and the sneakier case of a DIRECTORY,
+# which opens "successfully" on Linux and used to report a misleading
+# "no jobs in <dir>").  Run by CTest as: cli_exit_codes_test.sh <qross_cli>
+set -u
+cli="$1"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+failures=0
+
+check() {
+  desc="$1"; want_status="$2"; want_message="$3"; shift 3
+  out="$tmpdir/out.txt"
+  "$@" >"$out" 2>&1
+  status=$?
+  if [ "$status" -ne "$want_status" ]; then
+    echo "FAIL: $desc: exit $status, want $want_status"
+    failures=$((failures + 1))
+  elif ! grep -q "$want_message" "$out"; then
+    echo "FAIL: $desc: missing '$want_message' in output:"
+    sed 's/^/  | /' "$out"
+    failures=$((failures + 1))
+  else
+    echo "ok: $desc"
+  fi
+}
+
+check "batch: nonexistent jobs file exits 2" 2 "cannot read jobs file" \
+  "$cli" batch --jobs "$tmpdir/nonexistent.txt"
+check "batch: directory as jobs file exits 2" 2 "cannot read jobs file" \
+  "$cli" batch --jobs "$tmpdir"
+check "remote batch: nonexistent jobs file exits 2" 2 "cannot read jobs file" \
+  "$cli" remote batch --server unix:"$tmpdir/none.sock" \
+  --jobs "$tmpdir/nonexistent.txt"
+: > "$tmpdir/empty.txt"
+check "batch: empty jobs file exits 2" 2 "no jobs in" \
+  "$cli" batch --jobs "$tmpdir/empty.txt"
+check "batch: unknown flag exits 2" 2 "unknown option" \
+  "$cli" batch --jobs "$tmpdir/empty.txt" --sweps 10
+check "remote: unknown action exits 2" 2 "remote needs an action" \
+  "$cli" remote
+# The connection is dialled after the jobs file parses but before the
+# instances load, so a well-formed file + dead endpoint isolates the
+# connect error path.
+echo "never_loaded.tsp 25" > "$tmpdir/jobs.txt"
+check "remote batch: unreachable server exits 1" 1 "cannot connect" \
+  "$cli" remote batch --server unix:"$tmpdir/none.sock" --jobs "$tmpdir/jobs.txt"
+
+exit "$failures"

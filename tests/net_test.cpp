@@ -1,0 +1,679 @@
+// Tests for the src/net/ network front end: endpoint parsing, the payload
+// codecs and incremental frame splitter, the Server reactor above a real
+// SolveService (submit/cancel/deadline/disconnect semantics over TCP and
+// Unix-domain sockets), the blocking Client with reconnect, and the
+// protocol-robustness contract — truncated frames, flipped checksum bytes,
+// future protocol versions, and oversized frames all answered with a clean
+// Error frame (the socket counterpart of io_test's corruption suite).
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "counting_solver.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "problems/mvc/mvc.hpp"
+#include "service/solve_service.hpp"
+#include "solvers/digital_annealer.hpp"
+
+namespace qross::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+qubo::QuboModel test_model(std::uint64_t seed = 7, std::size_t n = 32) {
+  return mvc::generate_random_mvc(n, 0.12, seed).to_qubo(2.0);
+}
+
+bool eventually(const std::function<bool()>& condition,
+                std::chrono::milliseconds timeout = 5000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return condition();
+}
+
+// --- endpoints --------------------------------------------------------------
+
+TEST(EndpointTest, ParsesTcpUnixAndShorthand) {
+  const auto unix_ep = Endpoint::parse("unix:/tmp/q.sock");
+  ASSERT_TRUE(unix_ep.has_value());
+  EXPECT_EQ(unix_ep->kind, Endpoint::Kind::unix_domain);
+  EXPECT_EQ(unix_ep->path, "/tmp/q.sock");
+  EXPECT_EQ(unix_ep->to_string(), "unix:/tmp/q.sock");
+
+  const auto tcp = Endpoint::parse("tcp:127.0.0.1:7777");
+  ASSERT_TRUE(tcp.has_value());
+  EXPECT_EQ(tcp->kind, Endpoint::Kind::tcp);
+  EXPECT_EQ(tcp->host, "127.0.0.1");
+  EXPECT_EQ(tcp->port, 7777);
+
+  const auto shorthand = Endpoint::parse("localhost:0");
+  ASSERT_TRUE(shorthand.has_value());
+  EXPECT_EQ(shorthand->kind, Endpoint::Kind::tcp);
+  EXPECT_EQ(shorthand->port, 0);
+
+  EXPECT_FALSE(Endpoint::parse("").has_value());
+  EXPECT_FALSE(Endpoint::parse("unix:").has_value());
+  EXPECT_FALSE(Endpoint::parse("no-port").has_value());
+  EXPECT_FALSE(Endpoint::parse("host:99999").has_value());
+  EXPECT_FALSE(Endpoint::parse("host:notaport").has_value());
+}
+
+// --- codecs -----------------------------------------------------------------
+
+TEST(NetProtocolTest, ModelCodecRoundTripsCanonically) {
+  const auto model = test_model(3, 24);
+  io::ByteWriter out;
+  io::encode_model(out, model);
+  const auto bytes = out.take();
+  io::ByteReader in(bytes);
+  const auto decoded = io::decode_model(in);
+  ASSERT_EQ(decoded.num_vars(), model.num_vars());
+  EXPECT_EQ(decoded.offset(), model.offset());
+  for (std::size_t i = 0; i < model.num_vars(); ++i) {
+    for (std::size_t j = i; j < model.num_vars(); ++j) {
+      EXPECT_EQ(decoded.coefficient(i, j), model.coefficient(i, j));
+    }
+  }
+  // Canonical: re-encoding the decoded model is byte-identical.
+  io::ByteWriter again;
+  io::encode_model(again, decoded);
+  EXPECT_EQ(again.bytes().size(), bytes.size());
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), again.bytes().begin()));
+}
+
+TEST(NetProtocolTest, ModelDecoderRejectsCorruptInput) {
+  // nnz count beyond the n(n+1)/2 structural maximum: allocation bomb guard.
+  {
+    io::ByteWriter out;
+    out.u32(4);       // num_vars
+    out.f64(0.0);     // offset
+    out.u32(1000);    // nnz — impossible for n=4
+    io::ByteReader in(out.bytes());
+    EXPECT_THROW(io::decode_model(in), io::DecodeError);
+  }
+  // Lower-triangular / out-of-range term index.
+  {
+    io::ByteWriter out;
+    out.u32(4);
+    out.f64(0.0);
+    out.u32(1);
+    out.u32(3);
+    out.u32(1);  // j < i: not canonical upper-triangular
+    out.f64(1.0);
+    io::ByteReader in(out.bytes());
+    EXPECT_THROW(io::decode_model(in), io::DecodeError);
+  }
+  // Truncated mid-triple.
+  {
+    io::ByteWriter out;
+    out.u32(4);
+    out.f64(0.0);
+    out.u32(2);
+    out.u32(0);
+    out.u32(1);
+    out.f64(1.0);  // second triple missing entirely
+    io::ByteReader in(out.bytes());
+    EXPECT_THROW(io::decode_model(in), io::DecodeError);
+  }
+}
+
+TEST(NetProtocolTest, SubmitFrameRoundTrips) {
+  SubmitJobFrame submit;
+  submit.tag = 42;
+  submit.solver = "tabu";
+  submit.num_replicas = 9;
+  submit.num_sweeps = 77;
+  submit.seed = 0xDEADBEEF;
+  submit.priority = -3;
+  submit.deadline_ms = 1500;
+  submit.bypass_cache = true;
+  submit.stream_status = true;
+  submit.model = test_model(5, 16);
+  const auto decoded = decode_submit(encode_submit(submit));
+  EXPECT_EQ(decoded.tag, 42u);
+  EXPECT_EQ(decoded.solver, "tabu");
+  EXPECT_EQ(decoded.num_replicas, 9u);
+  EXPECT_EQ(decoded.num_sweeps, 77u);
+  EXPECT_EQ(decoded.seed, 0xDEADBEEFu);
+  EXPECT_EQ(decoded.priority, -3);
+  EXPECT_EQ(decoded.deadline_ms, 1500u);
+  EXPECT_TRUE(decoded.bypass_cache);
+  EXPECT_TRUE(decoded.stream_status);
+  EXPECT_EQ(decoded.model.num_vars(), submit.model.num_vars());
+}
+
+TEST(NetProtocolTest, ResultFrameRoundTripsWithAndWithoutBatch) {
+  ResultFrame result;
+  result.tag = 9;
+  result.status = service::JobStatus::expired;
+  result.coalesced = true;
+  result.wait_ms = 1.5;
+  result.run_ms = 2.5;
+  result.error = "late";
+  auto decoded = decode_result(encode_result(result));
+  EXPECT_EQ(decoded.tag, 9u);
+  EXPECT_EQ(decoded.status, service::JobStatus::expired);
+  EXPECT_TRUE(decoded.coalesced);
+  EXPECT_EQ(decoded.error, "late");
+  EXPECT_EQ(decoded.batch, nullptr);
+
+  qubo::SolveBatch batch;
+  batch.results.push_back({{1, 0, 1, 1}, -3.25});
+  result.batch = std::make_shared<const qubo::SolveBatch>(batch);
+  decoded = decode_result(encode_result(result));
+  ASSERT_NE(decoded.batch, nullptr);
+  ASSERT_EQ(decoded.batch->size(), 1u);
+  EXPECT_EQ(decoded.batch->results[0].assignment, (qubo::Bits{1, 0, 1, 1}));
+  EXPECT_EQ(decoded.batch->results[0].qubo_energy, -3.25);
+}
+
+TEST(NetProtocolTest, FrameBufferReassemblesByteByByte) {
+  const auto payload = encode_cancel({.tag = 77});
+  const auto bytes = frame(io::kRecordNetCancelJob, payload);
+  FrameBuffer buffer;
+  Frame out;
+  for (std::size_t k = 0; k < bytes.size(); ++k) {
+    EXPECT_EQ(buffer.next(&out), FrameBuffer::Status::need_more);
+    buffer.append(&bytes[k], 1);
+  }
+  ASSERT_EQ(buffer.next(&out), FrameBuffer::Status::frame);
+  EXPECT_EQ(out.type, io::kRecordNetCancelJob);
+  EXPECT_EQ(decode_cancel(out.payload).tag, 77u);
+  EXPECT_FALSE(buffer.mid_frame());
+  EXPECT_EQ(buffer.next(&out), FrameBuffer::Status::need_more);
+}
+
+TEST(NetProtocolTest, FrameBufferLatchesOnCorruption) {
+  auto bytes = frame(io::kRecordNetCancelJob, encode_cancel({.tag = 1}));
+  bytes[8] ^= 0x40;  // flip one checksum byte
+  FrameBuffer buffer;
+  buffer.append(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_EQ(buffer.next(&out), FrameBuffer::Status::bad_frame);
+  // Latched: once framing trust is gone there is no resynchronising.
+  EXPECT_EQ(buffer.next(&out), FrameBuffer::Status::bad_frame);
+
+  FrameBuffer small(64);
+  const auto big = frame(io::kRecordNetError,
+                         encode_error({.message = std::string(100, 'x')}));
+  small.append(big.data(), big.size());
+  EXPECT_EQ(small.next(&out), FrameBuffer::Status::oversized);
+}
+
+// --- server + client --------------------------------------------------------
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("qross_net_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    server_.reset();
+    service_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  /// Builds service + server; the registry resolves "count" to a
+  /// CountingSolver around the digital annealer so tests can prove which
+  /// submissions actually ran a kernel.
+  Endpoint start(const std::string& listen_spec,
+                 service::ServiceConfig service_config = {},
+                 std::uint32_t max_frame_bytes = kMaxFrameBytes) {
+    service_ = std::make_unique<service::SolveService>(service_config);
+    ServerConfig config;
+    config.listen.push_back(*Endpoint::parse(listen_spec));
+    config.max_frame_bytes = max_frame_bytes;
+    config.registry = [this](const std::string& name) -> solvers::SolverPtr {
+      if (name == "count") {
+        return std::make_shared<testing::CountingSolver>(
+            std::make_shared<solvers::DigitalAnnealer>(), invocations_);
+      }
+      return default_solver_registry(name);
+    };
+    server_ = std::make_unique<Server>(*service_, config);
+    std::string error;
+    if (!server_->start(&error)) {
+      ADD_FAILURE() << "server start failed: " << error;
+      return {};
+    }
+    return server_->endpoints().front();
+  }
+
+  Endpoint start_tcp() { return start("tcp:127.0.0.1:0"); }
+  Endpoint start_unix() {
+    return start("unix:" + (dir_ / "qross.sock").string());
+  }
+
+  Client make_client(const Endpoint& endpoint,
+                     int request_timeout_ms = 30000) {
+    ClientConfig config;
+    config.server = endpoint;
+    config.request_timeout_ms = request_timeout_ms;
+    config.reconnect_backoff_ms = 10;
+    return Client(config);
+  }
+
+  static RemoteJob quick_job(std::uint64_t seed = 7) {
+    RemoteJob job;
+    job.solver = "count";
+    job.model = test_model(seed);
+    job.num_replicas = 4;
+    job.num_sweeps = 20;
+    return job;
+  }
+
+  /// A job long enough (minutes) that only cancel/deadline/disconnect can
+  /// end it within the test — kernels poll their stop token every sweep.
+  static RemoteJob slow_job(std::uint64_t seed = 11) {
+    RemoteJob job;
+    job.solver = "count";
+    job.model = test_model(seed, 64);
+    job.num_replicas = 1;
+    job.num_sweeps = 50'000'000;
+    return job;
+  }
+
+  std::filesystem::path dir_;
+  std::atomic<int> invocations_{0};
+  std::unique_ptr<service::SolveService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(NetServerTest, SubmitOverTcpMatchesLocalSolveBitIdentically) {
+  const auto endpoint = start_tcp();
+  auto client = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  EXPECT_EQ(client.negotiated_version(), kProtocolVersion);
+
+  const auto job = quick_job();
+  const auto tag = client.submit(job, &error);
+  ASSERT_TRUE(tag.has_value()) << error;
+  const auto result = client.wait(*tag);
+  ASSERT_EQ(result.status, service::JobStatus::done) << result.error;
+  ASSERT_NE(result.batch, nullptr);
+
+  // The wire round trip must not perturb the result: a local solve with
+  // the same inputs is bit-identical.
+  solvers::SolveOptions options;
+  options.num_replicas = job.num_replicas;
+  options.num_sweeps = job.num_sweeps;
+  options.seed = job.seed;
+  const auto local =
+      solvers::DigitalAnnealer().solve(job.model, options);
+  ASSERT_EQ(result.batch->size(), local.size());
+  for (std::size_t k = 0; k < local.size(); ++k) {
+    EXPECT_EQ(result.batch->results[k].assignment,
+              local.results[k].assignment);
+    EXPECT_EQ(result.batch->results[k].qubo_energy,
+              local.results[k].qubo_energy);
+  }
+}
+
+TEST_F(NetServerTest, UnixDomainSocketServesJobs) {
+  const auto endpoint = start_unix();
+  ASSERT_EQ(endpoint.kind, Endpoint::Kind::unix_domain);
+  auto client = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  const auto results = client.run({quick_job(1), quick_job(2)});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status, service::JobStatus::done);
+  EXPECT_EQ(results[1].status, service::JobStatus::done);
+  EXPECT_EQ(invocations_.load(), 2);
+}
+
+TEST_F(NetServerTest, RepeatAndCrossClientSubmissionsHitTheServerCache) {
+  const auto endpoint = start_tcp();
+  auto first = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(first.connect(&error)) << error;
+  const auto job = quick_job(21);
+  auto result = first.wait(*first.submit(job));
+  ASSERT_EQ(result.status, service::JobStatus::done);
+  EXPECT_FALSE(result.cache_hit);
+  const auto baseline = result.batch;
+
+  // Same connection, same job: served from the service cache.
+  result = first.wait(*first.submit(job));
+  ASSERT_EQ(result.status, service::JobStatus::done);
+  EXPECT_TRUE(result.cache_hit);
+
+  // A DIFFERENT connection (a fresh short-lived client, as in the warm
+  // daemon workflow): still a cache hit, still bit-identical.
+  auto second = make_client(endpoint);
+  ASSERT_TRUE(second.connect(&error)) << error;
+  result = second.wait(*second.submit(job));
+  ASSERT_EQ(result.status, service::JobStatus::done);
+  EXPECT_TRUE(result.cache_hit);
+  ASSERT_NE(result.batch, nullptr);
+  ASSERT_EQ(result.batch->size(), baseline->size());
+  for (std::size_t k = 0; k < baseline->size(); ++k) {
+    EXPECT_EQ(result.batch->results[k].assignment,
+              baseline->results[k].assignment);
+  }
+  EXPECT_EQ(invocations_.load(), 1);
+}
+
+TEST_F(NetServerTest, CancelEndToEndStopsARunningJob) {
+  const auto endpoint = start_tcp();
+  auto client = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  const auto tag = client.submit(slow_job());
+  ASSERT_TRUE(tag.has_value());
+  ASSERT_TRUE(eventually([&] { return service_->metrics().running > 0; }));
+  ASSERT_TRUE(client.cancel(*tag));
+  const auto result = client.wait(*tag);
+  EXPECT_EQ(result.status, service::JobStatus::cancelled);
+}
+
+TEST_F(NetServerTest, DeadlineTravelsAndExpiresMidRun) {
+  const auto endpoint = start_tcp();
+  auto client = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  auto job = slow_job(31);
+  job.deadline_ms = 60;
+  const auto result = client.wait(*client.submit(job));
+  EXPECT_EQ(result.status, service::JobStatus::expired);
+}
+
+TEST_F(NetServerTest, ClientDisconnectCancelsItsInFlightJobs) {
+  const auto endpoint = start_tcp();
+  {
+    auto client = make_client(endpoint);
+    std::string error;
+    ASSERT_TRUE(client.connect(&error)) << error;
+    ASSERT_TRUE(client.submit(slow_job(33)).has_value());
+    ASSERT_TRUE(eventually([&] { return service_->metrics().running > 0; }));
+  }  // client destroyed: socket closes with the job still running
+  ASSERT_TRUE(eventually([&] { return service_->metrics().cancelled >= 1; }));
+  ASSERT_TRUE(eventually(
+      [&] { return server_->stats().disconnect_cancelled_jobs >= 1; }));
+  EXPECT_EQ(service_->metrics().running, 0u);
+}
+
+TEST_F(NetServerTest, StreamedStatusUpdatesArriveInOrder) {
+  const auto endpoint = start_tcp();
+  auto client = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  auto job = slow_job(35);
+  job.stream_status = true;
+  const auto tag = client.submit(job);
+  ASSERT_TRUE(tag.has_value());
+  ASSERT_TRUE(eventually([&] { return service_->metrics().running > 0; }));
+  // Give the reactor's status tick a chance to observe `running`, then end
+  // the job; the updates ride the same stream the Result arrives on.
+  std::this_thread::sleep_for(80ms);
+  client.cancel(*tag);
+  const auto result = client.wait(*tag);
+  EXPECT_EQ(result.status, service::JobStatus::cancelled);
+  // The first update is `queued` unless a worker grabbed the job before
+  // the submit reply was even written; `running` must always have been
+  // streamed by the time the cancel landed.
+  const auto updates = client.status_updates(*tag);
+  ASSERT_GE(updates.size(), 1u);
+  EXPECT_EQ(updates.back(), service::JobStatus::running);
+  if (updates.size() >= 2) {
+    EXPECT_EQ(updates[0], service::JobStatus::queued);
+  }
+}
+
+TEST_F(NetServerTest, UnknownSolverNameIsRejectedPerRequest) {
+  const auto endpoint = start_tcp();
+  auto client = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  RemoteJob job = quick_job();
+  job.solver = "warp-drive";
+  const auto result = client.wait(*client.submit(job));
+  EXPECT_EQ(result.status, service::JobStatus::failed);
+  EXPECT_NE(result.error.find("unknown solver"), std::string::npos);
+  // The connection survives a per-request error.
+  const auto ok = client.wait(*client.submit(quick_job()));
+  EXPECT_EQ(ok.status, service::JobStatus::done);
+}
+
+TEST_F(NetServerTest, MetricsRoundTripReportsConnectionLedger) {
+  const auto endpoint = start_tcp();
+  auto client = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  ASSERT_EQ(client.wait(*client.submit(quick_job())).status,
+            service::JobStatus::done);
+  const auto metrics = client.metrics(&error);
+  ASSERT_TRUE(metrics.has_value()) << error;
+  EXPECT_EQ(metrics->service.workers, service_->num_workers());
+  EXPECT_EQ(metrics->service.submitted, 1u);
+  EXPECT_EQ(metrics->connection_submitted, 1u);
+  EXPECT_EQ(metrics->connection_results, 1u);
+  EXPECT_EQ(metrics->connections_accepted, 1u);
+  EXPECT_EQ(metrics->connections_active, 1u);
+}
+
+TEST_F(NetServerTest, DrainCompletesInFlightAndRejectsNewSubmissions) {
+  const auto endpoint = start_tcp();
+  auto client = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  const auto tag = client.submit(quick_job(41));
+  ASSERT_TRUE(tag.has_value());
+  // Only start draining once the server has accepted the submission —
+  // draining earlier would (correctly) refuse it, which is the other
+  // assertion below.
+  ASSERT_TRUE(eventually([&] { return service_->metrics().submitted >= 1; }));
+  // Drain from another thread while the result may still be outstanding;
+  // it must wait for the Result frame to flush, not cut the connection.
+  std::thread drainer([&] {
+    EXPECT_TRUE(server_->drain(std::chrono::milliseconds(10000)));
+  });
+  const auto result = client.wait(*tag);
+  EXPECT_EQ(result.status, service::JobStatus::done);
+  drainer.join();
+  const auto refused = client.wait(*client.submit(quick_job(42)));
+  EXPECT_EQ(refused.status, service::JobStatus::failed);
+  EXPECT_NE(refused.error.find("draining"), std::string::npos);
+}
+
+TEST_F(NetServerTest, ClientReconnectsToARestartedServerAndResubmits) {
+  const auto path = "unix:" + (dir_ / "qross.sock").string();
+  const auto endpoint = start(path);
+  auto client = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  ASSERT_EQ(client.wait(*client.submit(quick_job(51))).status,
+            service::JobStatus::done);
+
+  // Bounce the server (same service, same socket path) — a daemon restart
+  // as seen by a long-lived client.
+  server_.reset();
+  ServerConfig config;
+  config.listen.push_back(*Endpoint::parse(path));
+  config.registry = [this](const std::string& name) -> solvers::SolverPtr {
+    if (name == "count") {
+      return std::make_shared<testing::CountingSolver>(
+          std::make_shared<solvers::DigitalAnnealer>(), invocations_);
+    }
+    return default_solver_registry(name);
+  };
+  server_ = std::make_unique<Server>(*service_, config);
+  ASSERT_TRUE(server_->start(&error)) << error;
+
+  // The old socket is dead; submit() or wait() notices, redials, and
+  // resubmits under the same tag.  The service cache makes the retry free.
+  const auto tag = client.submit(quick_job(51), &error);
+  ASSERT_TRUE(tag.has_value()) << error;
+  const auto result = client.wait(*tag);
+  EXPECT_EQ(result.status, service::JobStatus::done);
+  EXPECT_TRUE(result.cache_hit);
+  EXPECT_EQ(invocations_.load(), 1);
+}
+
+// --- protocol robustness (raw sockets) --------------------------------------
+
+class RawConnection {
+ public:
+  explicit RawConnection(const Endpoint& endpoint) {
+    std::string error;
+    sock_ = connect_to(endpoint, 2000, &error);
+    EXPECT_TRUE(sock_.valid()) << error;
+  }
+
+  bool send_bytes(std::span<const std::uint8_t> bytes) {
+    return sock_.send_all(bytes.data(), bytes.size());
+  }
+
+  bool send_frame(std::uint32_t type, std::span<const std::uint8_t> payload) {
+    return send_bytes(frame(type, payload));
+  }
+
+  /// Reads until one full frame arrives (or 3 s pass).
+  std::optional<Frame> read_frame() {
+    Frame out;
+    std::uint8_t buf[4096];
+    const auto deadline = std::chrono::steady_clock::now() + 3s;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto status = buffer_.next(&out);
+      if (status == FrameBuffer::Status::frame) return out;
+      if (status != FrameBuffer::Status::need_more) return std::nullopt;
+      const long n = sock_.recv_some(buf, sizeof(buf), 100);
+      if (n == -2) continue;
+      if (n <= 0) return std::nullopt;
+      buffer_.append(buf, static_cast<std::size_t>(n));
+    }
+    return std::nullopt;
+  }
+
+  bool handshake() {
+    if (!send_frame(io::kRecordNetHello, encode_hello({}))) return false;
+    const auto ack = read_frame();
+    return ack.has_value() && ack->type == io::kRecordNetHelloAck;
+  }
+
+  void half_close() { ::shutdown(sock_.fd(), SHUT_WR); }
+
+  const Socket& socket() const { return sock_; }
+
+ private:
+  Socket sock_;
+  FrameBuffer buffer_;
+};
+
+TEST_F(NetServerTest, FutureProtocolVersionGetsACleanErrorFrame) {
+  const auto endpoint = start_tcp();
+  RawConnection raw(endpoint);
+  HelloFrame hello;
+  hello.protocol_version = 99;
+  ASSERT_TRUE(raw.send_frame(io::kRecordNetHello, encode_hello(hello)));
+  const auto reply = raw.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, io::kRecordNetError);
+  const auto error = decode_error(reply->payload);
+  EXPECT_EQ(error.code, kErrFutureVersion);
+  // The server names its own version so the client can retry lower.
+  EXPECT_EQ(error.protocol_version, kProtocolVersion);
+  // The connection is closed after the error.
+  EXPECT_FALSE(raw.read_frame().has_value());
+}
+
+TEST_F(NetServerTest, FlippedChecksumByteGetsACleanErrorFrame) {
+  const auto endpoint = start_tcp();
+  RawConnection raw(endpoint);
+  ASSERT_TRUE(raw.handshake());
+  auto bytes = frame(io::kRecordNetGetMetrics, {});
+  bytes[8] ^= 0x01;  // corrupt the checksum field
+  ASSERT_TRUE(raw.send_bytes(bytes));
+  const auto reply = raw.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, io::kRecordNetError);
+  EXPECT_EQ(decode_error(reply->payload).code, kErrBadFrame);
+  EXPECT_FALSE(raw.read_frame().has_value());
+}
+
+TEST_F(NetServerTest, TruncatedFrameGetsACleanErrorFrame) {
+  const auto endpoint = start_tcp();
+  RawConnection raw(endpoint);
+  ASSERT_TRUE(raw.handshake());
+  const auto bytes =
+      frame(io::kRecordNetSubmitJob, encode_submit(SubmitJobFrame{}));
+  ASSERT_GT(bytes.size(), 10u);
+  ASSERT_TRUE(raw.send_bytes(
+      std::span<const std::uint8_t>(bytes.data(), 10)));  // partial frame
+  raw.half_close();  // EOF mid-frame; our read side stays open
+  const auto reply = raw.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, io::kRecordNetError);
+  EXPECT_EQ(decode_error(reply->payload).code, kErrTruncatedFrame);
+}
+
+TEST_F(NetServerTest, OversizedFrameIsRejectedBeforeBuffering) {
+  const auto endpoint = start("tcp:127.0.0.1:0", {}, /*max_frame_bytes=*/4096);
+  RawConnection raw(endpoint);
+  ASSERT_TRUE(raw.handshake());
+  // A frame HEADER claiming a huge payload; the body never follows — the
+  // server must reject on the length field alone.
+  io::ByteWriter header;
+  header.u32(1u << 24);
+  header.u32(io::kRecordNetSubmitJob);
+  header.u64(0);
+  ASSERT_TRUE(raw.send_bytes(header.bytes()));
+  const auto reply = raw.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, io::kRecordNetError);
+  EXPECT_EQ(decode_error(reply->payload).code, kErrOversizedFrame);
+  EXPECT_FALSE(raw.read_frame().has_value());
+}
+
+TEST_F(NetServerTest, RequestBeforeHandshakeIsRefused) {
+  const auto endpoint = start_tcp();
+  RawConnection raw(endpoint);
+  ASSERT_TRUE(raw.send_frame(io::kRecordNetGetMetrics, {}));
+  const auto reply = raw.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, io::kRecordNetError);
+  EXPECT_EQ(decode_error(reply->payload).code, kErrHandshakeRequired);
+}
+
+TEST_F(NetServerTest, UnknownFrameTypeGetsErrorButKeepsTheConnection) {
+  const auto endpoint = start_tcp();
+  RawConnection raw(endpoint);
+  ASSERT_TRUE(raw.handshake());
+  const std::uint8_t junk[3] = {1, 2, 3};
+  ASSERT_TRUE(raw.send_frame(12345, junk));
+  auto reply = raw.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, io::kRecordNetError);
+  EXPECT_EQ(decode_error(reply->payload).code, kErrUnknownType);
+  // Still usable afterwards — mirroring the snapshot scanner's tolerance
+  // of unknown record types.
+  ASSERT_TRUE(raw.send_frame(io::kRecordNetGetMetrics, {}));
+  reply = raw.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, io::kRecordNetMetrics);
+}
+
+}  // namespace
+}  // namespace qross::net

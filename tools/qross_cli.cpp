@@ -13,6 +13,11 @@
 //               second process replays bit-identical batches with zero
 //               solver invocations
 //   cache     — inspect (info), compact, or clear a persistent cache file
+//   remote    — speak the qrossd network protocol: `remote batch` submits a
+//               jobs file to a running daemon (same table as `batch`, jobs
+//               solved remotely), `remote metrics` prints its service
+//               counters.  A warm daemon serves repeated batches from its
+//               cache with zero solver invocations.
 //
 // Examples:
 //   qross generate --count 8 --cities 10 --out-dir instances/
@@ -22,9 +27,13 @@
 //   qross tune --tuner tuner.qross --instance new.tsp --solver da --trials 10
 //   qross batch --jobs jobs.txt --workers 4 --repeat 2 --cache-file run.qsnap
 //   qross cache info --file run.qsnap
+//   qross remote batch --server unix:/run/qross.sock --jobs jobs.txt
+//   qross remote metrics --server tcp:127.0.0.1:7777
 //
-// Unknown flags are an error (exit code 2): every command validates its
-// arguments against an allowlist before running.
+// Exit codes: 0 success, 1 runtime failure (unreachable server, failed
+// jobs), 2 usage/input errors (unknown flags, unreadable files).  Unknown
+// flags are an error: every command validates its arguments against an
+// allowlist before running.
 
 #include <chrono>
 #include <cmath>
@@ -64,6 +73,11 @@ commands:
            [--replicas B] [--sweeps N] [--seed S] [--threads T]
            [--deadline-ms D] [--cache-file PATH]
   cache    <info|compact|clear> --file PATH [--max-entries N] [--max-bytes B]
+  remote   batch   --server EP --jobs FILE [--solver NAME] [--repeat K]
+                   [--replicas B] [--sweeps N] [--seed S] [--deadline-ms D]
+                   [--timeout-ms T]
+           metrics --server EP
+           (EP: unix:/path.sock | tcp:host:port | host:port)
 
 common options:
   --seed S      RNG master seed (default 1)
@@ -73,6 +87,14 @@ common options:
 batch jobs file: one job per line, `instance.tsp A [priority] [solver]`;
 blank lines and lines starting with # are skipped.
 )");
+  std::exit(2);
+}
+
+/// Input errors discovered after flag parsing (unreadable files, malformed
+/// job lines): same exit code 2 as usage errors, but without drowning the
+/// one relevant line in the full usage text.
+[[noreturn]] void fail_input(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
   std::exit(2);
 }
 
@@ -301,8 +323,17 @@ struct BatchJobSpec {
 
 std::vector<BatchJobSpec> load_jobs_file(const std::string& path,
                                          const std::string& default_solver) {
+  // is_regular_file first: opening a DIRECTORY with ifstream "succeeds" on
+  // Linux (good() is true, reads just fail), which used to surface as a
+  // misleading "no jobs in <dir>".  Either way the path must exit 2 with a
+  // diagnostic naming the real problem — never 0.
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec)) {
+    fail_input("cannot read jobs file " + path +
+               (ec ? " (" + ec.message() + ")" : " (missing or not a file)"));
+  }
   std::ifstream file(path);
-  if (!file.good()) usage(("cannot read jobs file " + path).c_str());
+  if (!file.good()) fail_input("cannot read jobs file " + path);
   std::vector<BatchJobSpec> specs;
   std::string line;
   while (std::getline(file, line)) {
@@ -313,8 +344,8 @@ std::vector<BatchJobSpec> load_jobs_file(const std::string& path,
     if (tokens.empty()) continue;          // blank line
     if (tokens[0][0] == '#') continue;     // comment
     if (tokens.size() < 2 || tokens.size() > 4) {
-      usage(("jobs file line needs `instance A [priority] [solver]`: " + line)
-                .c_str());
+      fail_input("jobs file line needs `instance A [priority] [solver]`: " +
+                 line);
     }
     BatchJobSpec spec;
     spec.instance_path = tokens[0];
@@ -324,12 +355,12 @@ std::vector<BatchJobSpec> load_jobs_file(const std::string& path,
       if (tokens.size() >= 3) spec.priority = std::stoi(tokens[2]);
     } catch (const std::exception&) {
       // A malformed number must fail loudly, not fall back to defaults.
-      usage(("bad number in jobs file line: " + line).c_str());
+      fail_input("bad number in jobs file line: " + line);
     }
     if (tokens.size() == 4) spec.solver_name = tokens[3];
     specs.push_back(std::move(spec));
   }
-  if (specs.empty()) usage(("no jobs in " + path).c_str());
+  if (specs.empty()) fail_input("no jobs in " + path);
   return specs;
 }
 
@@ -485,6 +516,161 @@ int cmd_cache(const std::string& action, const Args& args) {
   usage(("unknown cache action: " + action).c_str());
 }
 
+net::Client make_remote_client(const Args& args) {
+  const auto server = require(args, "server");
+  const auto endpoint = net::Endpoint::parse(server);
+  if (!endpoint.has_value()) {
+    usage(("cannot parse --server endpoint: " + server).c_str());
+  }
+  net::ClientConfig config;
+  config.server = *endpoint;
+  config.request_timeout_ms =
+      static_cast<int>(std::stol(get_or(args, "timeout-ms", "120000")));
+  return net::Client(config);
+}
+
+// The networked counterpart of `batch`: the same jobs file, solved by a
+// running qrossd.  Prints the same result table plus a client-side tally of
+// how each result was produced — a second run against a warm daemon reports
+// "0 solver invocations" because every job is a server-side cache hit.
+int cmd_remote_batch(const Args& args) {
+  require_known_flags(args, {"server", "jobs", "solver", "repeat", "replicas",
+                             "sweeps", "seed", "deadline-ms", "timeout-ms"});
+  const auto default_solver = get_or(args, "solver", "da");
+  const auto specs = load_jobs_file(require(args, "jobs"), default_solver);
+  const auto options = cli_solve_options(args, default_solver);
+  const auto repeat = std::stoul(get_or(args, "repeat", "1"));
+  const auto deadline_ms = std::stol(get_or(args, "deadline-ms", "0"));
+
+  // Dial before the (potentially slow) instance loads so a dead endpoint
+  // fails fast; the jobs file was already validated above.
+  net::Client client = make_remote_client(args);
+  std::string error;
+  if (!client.connect(&error)) {
+    std::fprintf(stderr, "error: cannot connect to %s: %s\n",
+                 require(args, "server").c_str(), error.c_str());
+    return 1;
+  }
+
+  std::vector<surrogate::PreparedTspInstance> prepared;
+  prepared.reserve(specs.size());
+  std::vector<net::RemoteJob> jobs;
+  jobs.reserve(specs.size() * repeat);
+  for (const auto& spec : specs) {
+    prepared.emplace_back(tsp::load_tsplib_file(spec.instance_path));
+    net::RemoteJob job;
+    job.solver = spec.solver_name;
+    job.model = prepared.back().problem().to_qubo(spec.relaxation);
+    job.num_replicas = static_cast<std::uint32_t>(options.num_replicas);
+    job.num_sweeps = static_cast<std::uint32_t>(options.num_sweeps);
+    job.seed = options.seed;
+    job.priority = spec.priority;
+    if (deadline_ms > 0) {
+      job.deadline_ms = static_cast<std::uint32_t>(deadline_ms);
+    }
+    jobs.push_back(std::move(job));
+  }
+  const std::size_t base = jobs.size();
+  for (std::size_t pass = 1; pass < repeat; ++pass) {
+    for (std::size_t k = 0; k < base; ++k) jobs.push_back(jobs[k]);
+  }
+
+  const auto results = client.run(jobs);
+
+  std::printf("job    instance                 solver  A        prio  status     wait_ms  run_ms   via      best_energy\n");
+  std::size_t failed = 0, cache_hits = 0, coalesced = 0, solver_runs = 0,
+              unfinished = 0;
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const auto& result = results[k];
+    const auto& spec = specs[k % specs.size()];
+    const char* via = result.cache_hit   ? "cache"
+                      : result.coalesced ? "coalesce"
+                                         : "solver";
+    // Tally by how the result was actually produced; an expired or
+    // cancelled job is NOT a solver invocation (its kernel was skipped or
+    // stopped early) and must not inflate that count.
+    if (result.status == service::JobStatus::failed) {
+      ++failed;
+    } else if (result.cache_hit) {
+      ++cache_hits;
+    } else if (result.coalesced) {
+      ++coalesced;
+    } else if (result.status == service::JobStatus::done) {
+      ++solver_runs;
+    } else {
+      ++unfinished;  // expired / cancelled
+    }
+    std::string best = "-";
+    if (result.batch != nullptr && !result.batch->empty()) {
+      best = std::to_string(
+          result.batch->results[result.batch->best_index()].qubo_energy);
+    }
+    std::printf("%-6zu %-24s %-7s %-8.3f %-5d %-10s %-8.1f %-8.1f %-8s %s\n",
+                k, spec.instance_path.c_str(), spec.solver_name.c_str(),
+                spec.relaxation, spec.priority,
+                service::to_string(result.status), result.wait_ms,
+                result.run_ms, via, best.c_str());
+    if (!result.error.empty()) {
+      std::fprintf(stderr, "job %zu: %s\n", k, result.error.c_str());
+    }
+  }
+  std::printf(
+      "\nremote: %zu results | %zu cache hits, %zu coalesced, "
+      "%zu solver invocations, %zu expired/cancelled, %zu failed\n",
+      results.size(), cache_hits, coalesced, solver_runs, unfinished, failed);
+  if (const auto metrics = client.metrics()) {
+    std::printf(
+        "server: %zu workers | %zu submitted lifetime, %zu cached entries | "
+        "%llu connections served, %llu active\n",
+        metrics->service.workers, metrics->service.submitted,
+        metrics->service.cache_size,
+        static_cast<unsigned long long>(metrics->connections_accepted),
+        static_cast<unsigned long long>(metrics->connections_active));
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+int cmd_remote_metrics(const Args& args) {
+  require_known_flags(args, {"server", "timeout-ms"});
+  net::Client client = make_remote_client(args);
+  std::string error;
+  if (!client.connect(&error)) {
+    std::fprintf(stderr, "error: cannot connect to %s: %s\n",
+                 require(args, "server").c_str(), error.c_str());
+    return 1;
+  }
+  const auto metrics = client.metrics(&error);
+  if (!metrics.has_value()) {
+    std::fprintf(stderr, "error: metrics request failed: %s\n", error.c_str());
+    return 1;
+  }
+  const auto& m = metrics->service;
+  std::printf("protocol: v%u negotiated\n", client.negotiated_version());
+  std::printf(
+      "service:  %zu workers | %zu submitted, %zu done, %zu cancelled, "
+      "%zu expired, %zu failed | queue %zu, running %zu\n",
+      m.workers, m.submitted, m.completed, m.cancelled, m.expired, m.failed,
+      m.queue_depth, m.running);
+  std::printf(
+      "cache:    %zu hits, %zu misses, %zu entries | %zu coalesced, "
+      "%zu solver invocations | %zu loaded from disk, %zu stored\n",
+      m.cache_hits, m.cache_misses, m.cache_size, m.coalesced,
+      m.solver_invocations, m.cache_loaded, m.cache_stored);
+  std::printf(
+      "latency:  wait p50/p90/p99 = %.1f/%.1f/%.1f ms | "
+      "run p50/p90/p99 = %.1f/%.1f/%.1f ms | %.2f jobs/s over %.1f s\n",
+      m.queue_wait.p50_ms, m.queue_wait.p90_ms, m.queue_wait.p99_ms,
+      m.run.p50_ms, m.run.p90_ms, m.run.p99_ms, m.jobs_per_second,
+      m.uptime_seconds);
+  std::printf(
+      "server:   %llu connections accepted, %llu active, "
+      "%llu protocol errors\n",
+      static_cast<unsigned long long>(metrics->connections_accepted),
+      static_cast<unsigned long long>(metrics->connections_active),
+      static_cast<unsigned long long>(metrics->protocol_errors));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -496,6 +682,16 @@ int main(int argc, char** argv) {
         usage("cache needs an action: info, compact or clear");
       }
       return cmd_cache(argv[2], parse_args(argc, argv, 3));
+    }
+    if (command == "remote") {
+      if (argc < 3 || argv[2][0] == '-') {
+        usage("remote needs an action: batch or metrics");
+      }
+      const std::string action = argv[2];
+      const Args remote_args = parse_args(argc, argv, 3);
+      if (action == "batch") return cmd_remote_batch(remote_args);
+      if (action == "metrics") return cmd_remote_metrics(remote_args);
+      usage(("unknown remote action: " + action).c_str());
     }
     const Args args = parse_args(argc, argv, 2);
     if (command == "generate") return cmd_generate(args);

@@ -1,0 +1,186 @@
+// qrossd — the QROSS solve daemon: a SolveService behind qross::net::Server.
+//
+//   qrossd --listen unix:/run/qross.sock[,tcp:0.0.0.0:7777] [--workers N]
+//          [--cache N] [--cache-file PATH] [--max-frame-bytes B]
+//          [--drain-timeout-ms T]
+//
+// One warm daemon serves many short-lived clients (`qross_cli remote ...`)
+// from a single persistent result cache — the multi-process answer to the
+// one-process-per-cache-file limitation of `qross_cli batch --cache-file`:
+// only the daemon touches the file.
+//
+// Lifecycle: prints one "qrossd listening on <endpoint>" line per bound
+// endpoint (stdout, flushed — start scripts wait on it), then blocks until
+// SIGTERM/SIGINT.  On signal it drains gracefully: stops accepting, rejects
+// new submissions, lets in-flight jobs finish and their results flush to
+// clients (bounded by --drain-timeout-ms), compacts the persistent cache,
+// and exits 0.  A second signal skips the drain.
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "net/server.hpp"
+#include "service/solve_service.hpp"
+
+namespace {
+
+// Self-pipe: the handler only writes one byte (async-signal-safe); main
+// blocks on the read end.
+int signal_pipe[2] = {-1, -1};
+std::atomic<int> signals_seen{0};
+
+void on_signal(int) {
+  signals_seen.fetch_add(1, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] const auto n = write(signal_pipe[1], &byte, 1);
+}
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
+  std::fprintf(stderr, R"(usage: qrossd --listen EP[,EP...] [options]
+
+endpoints:  unix:/path/to.sock | tcp:host:port | host:port
+            (tcp port 0 binds an ephemeral port, printed at startup)
+
+options:
+  --workers N           concurrent solver executions (default 4; 0 = all
+                        hardware threads)
+  --cache N             in-memory result-cache entries (default 1024)
+  --cache-file PATH     persist the result cache across daemon restarts
+  --max-frame-bytes B   per-frame wire limit (default 67108864)
+  --drain-timeout-ms T  SIGTERM drain bound (default 30000)
+)");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen_spec;
+  qross::service::ServiceConfig service_config;
+  service_config.num_workers = 4;
+  service_config.cache_capacity = 1024;
+  qross::net::ServerConfig server_config;
+  long drain_timeout_ms = 30000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + key).c_str());
+      return argv[++i];
+    };
+    try {
+      if (key == "--listen") {
+        listen_spec = value();
+      } else if (key == "--workers") {
+        service_config.num_workers = std::stoul(value());
+      } else if (key == "--cache") {
+        service_config.cache_capacity = std::stoul(value());
+      } else if (key == "--cache-file") {
+        service_config.cache_path = value();
+      } else if (key == "--max-frame-bytes") {
+        server_config.max_frame_bytes =
+            static_cast<std::uint32_t>(std::stoul(value()));
+      } else if (key == "--drain-timeout-ms") {
+        drain_timeout_ms = std::stol(value());
+      } else {
+        usage(("unknown option " + key).c_str());
+      }
+    } catch (const std::exception&) {
+      usage(("bad numeric value for " + key).c_str());
+    }
+  }
+  if (listen_spec.empty()) usage("--listen is required");
+
+  std::size_t start = 0;
+  while (start <= listen_spec.size()) {
+    const auto comma = listen_spec.find(',', start);
+    const auto piece = listen_spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!piece.empty()) {
+      const auto endpoint = qross::net::Endpoint::parse(piece);
+      if (!endpoint.has_value()) {
+        usage(("cannot parse endpoint: " + piece).c_str());
+      }
+      server_config.listen.push_back(*endpoint);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (server_config.listen.empty()) usage("--listen is required");
+
+  if (pipe(signal_pipe) != 0) {
+    std::fprintf(stderr, "error: cannot create signal pipe\n");
+    return 1;
+  }
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = on_signal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  qross::service::SolveService service(service_config);
+  qross::net::Server server(service, server_config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  for (const auto& endpoint : server.endpoints()) {
+    std::printf("qrossd listening on %s\n", endpoint.to_string().c_str());
+  }
+  std::printf("qrossd ready: %zu workers, cache %zu entries%s%s\n",
+              service.num_workers(), service_config.cache_capacity,
+              service_config.cache_path.empty() ? "" : ", persisted to ",
+              service_config.cache_path.c_str());
+  std::fflush(stdout);
+
+  // Block until a signal lands (EINTR restarts are fine: the handler also
+  // wrote the byte we are waiting for).
+  char byte;
+  while (read(signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::printf("qrossd draining (timeout %ld ms)...\n", drain_timeout_ms);
+  std::fflush(stdout);
+  // Short drain slices so a SECOND signal is honoured promptly (drain() is
+  // idempotent): the impatient-operator contract from the header.
+  bool drained = false;
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(drain_timeout_ms);
+  while (signals_seen.load(std::memory_order_relaxed) <= 1) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        drain_deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) break;
+    if (server.drain(std::min(remaining, std::chrono::milliseconds(200)))) {
+      drained = true;
+      break;
+    }
+  }
+  server.stop();
+  const auto stats = server.stats();
+  const std::size_t flushed = service.flush_cache();
+  std::printf(
+      "qrossd stopped: %s drain | %llu connections, %llu submits, "
+      "%llu results, %llu protocol errors, %llu jobs cancelled by hangup | "
+      "%zu cache entries flushed\n",
+      drained ? "clean" : "timed-out",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.submits),
+      static_cast<unsigned long long>(stats.results_sent),
+      static_cast<unsigned long long>(stats.protocol_errors),
+      static_cast<unsigned long long>(stats.disconnect_cancelled_jobs),
+      flushed);
+  std::fflush(stdout);
+  return 0;
+}
