@@ -21,6 +21,7 @@
 // throughputs and service jobs/s deltas are reported but never gate (they
 // track the machine, not the code).
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cmath>
@@ -34,6 +35,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/stopwatch.hpp"
 #include "harness/dense_baseline.hpp"
 #include "net/client.hpp"
@@ -157,6 +159,55 @@ ServicePass run_service_pass(service::SolveService& svc,
   ServicePass pass;
   pass.wall_seconds = watch.elapsed_seconds();
   pass.jobs_per_sec = static_cast<double>(models.size()) / pass.wall_seconds;
+  return pass;
+}
+
+// --- fairness: greedy vs polite client --------------------------------------
+
+struct FairnessPass {
+  double polite_p95_wait_ms = 0.0;
+  double greedy_p95_wait_ms = 0.0;
+};
+
+// Same interpolated-quantile definition the service's own latency
+// percentiles use, so the fairness numbers are comparable to wait_p95.
+double p95(const std::vector<double>& values) {
+  return values.empty() ? 0.0 : quantile(values, 0.95);
+}
+
+/// One greedy client floods the queue, then a polite client submits a small
+/// batch at equal priority; reports each side's p95 queue wait.  Run twice
+/// (fair_share on/off) this isolates what deficit-round-robin buys the
+/// polite client over FIFO arrival order.
+FairnessPass run_fairness_pass(bool fair_share,
+                               const std::vector<qubo::QuboModel>& greedy_jobs,
+                               const std::vector<qubo::QuboModel>& polite_jobs,
+                               const solvers::SolverPtr& solver,
+                               const solvers::SolveOptions& options) {
+  service::ServiceConfig config;
+  config.num_workers = 1;    // one worker makes the contention stark
+  config.cache_capacity = 0; // every job pays a real solver run
+  config.fair_share = fair_share;
+  service::SolveService svc(config);
+  service::SubmitOptions greedy_submit;
+  greedy_submit.client_id = "greedy";
+  service::SubmitOptions polite_submit;
+  polite_submit.client_id = "polite";
+  std::vector<service::JobHandle> greedy, polite;
+  greedy.reserve(greedy_jobs.size());
+  polite.reserve(polite_jobs.size());
+  for (const auto& model : greedy_jobs) {
+    greedy.push_back(svc.submit(solver, model, options, greedy_submit));
+  }
+  for (const auto& model : polite_jobs) {
+    polite.push_back(svc.submit(solver, model, options, polite_submit));
+  }
+  std::vector<double> greedy_waits, polite_waits;
+  for (auto& handle : greedy) greedy_waits.push_back(handle.wait().wait_ms);
+  for (auto& handle : polite) polite_waits.push_back(handle.wait().wait_ms);
+  FairnessPass pass;
+  pass.greedy_p95_wait_ms = p95(greedy_waits);
+  pass.polite_p95_wait_ms = p95(polite_waits);
   return pass;
 }
 
@@ -412,13 +463,37 @@ int main(int argc, char** argv) {
                disk_metrics.cache_loaded, disk_metrics.solver_invocations,
                net_warm.jobs_per_sec);
 
+  // --- fairness: polite-client wait under a greedy flood, FIFO vs DRR ------
+  constexpr std::size_t kGreedyJobs = 32;
+  constexpr std::size_t kPoliteJobs = 8;
+  std::vector<qubo::QuboModel> greedy_models, polite_models;
+  greedy_models.reserve(kGreedyJobs);
+  polite_models.reserve(kPoliteJobs);
+  for (std::size_t k = 0; k < kGreedyJobs; ++k) {
+    greedy_models.push_back(
+        mvc::generate_random_mvc(64, 0.08, 0x3000 + k).to_qubo(2.0));
+  }
+  for (std::size_t k = 0; k < kPoliteJobs; ++k) {
+    polite_models.push_back(
+        mvc::generate_random_mvc(64, 0.08, 0x4000 + k).to_qubo(2.0));
+  }
+  const FairnessPass fifo = run_fairness_pass(
+      /*fair_share=*/false, greedy_models, polite_models, solver, options);
+  const FairnessPass fair = run_fairness_pass(
+      /*fair_share=*/true, greedy_models, polite_models, solver, options);
+  std::fprintf(stderr,
+               "fairness: polite p95 wait %.1f ms under FIFO vs %.1f ms under "
+               "fair-share (greedy %zu jobs: %.1f vs %.1f ms)\n",
+               fifo.polite_p95_wait_ms, fair.polite_p95_wait_ms, kGreedyJobs,
+               fifo.greedy_p95_wait_ms, fair.greedy_p95_wait_ms);
+
   const std::string path = out_dir + "/BENCH_service.json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"qross-bench-service-v3\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"qross-bench-service-v4\",\n");
   std::fprintf(f, "  \"workers\": %zu,\n  \"jobs\": %zu,\n", kWorkers, kJobs);
   std::fprintf(f, "  \"queue_depth_at_submit\": %zu,\n", kJobs);
   std::fprintf(f, "  \"workload\": \"mvc n=64 da replicas=4 sweeps=30\",\n");
@@ -439,6 +514,15 @@ int main(int argc, char** argv) {
       "  \"net_warm\": {\"transport\": \"tcp\", \"wall_seconds\": %.4f, "
       "\"jobs_per_sec\": %.2f, \"cache_hits\": %zu},\n",
       net_warm.wall_seconds, net_warm.jobs_per_sec, net_cache_hits);
+  std::fprintf(
+      f,
+      "  \"fairness\": {\"workers\": 1, \"greedy_jobs\": %zu, "
+      "\"polite_jobs\": %zu, \"fifo_polite_p95_wait_ms\": %.2f, "
+      "\"fair_polite_p95_wait_ms\": %.2f, \"fifo_greedy_p95_wait_ms\": %.2f, "
+      "\"fair_greedy_p95_wait_ms\": %.2f},\n",
+      kGreedyJobs, kPoliteJobs, fifo.polite_p95_wait_ms,
+      fair.polite_p95_wait_ms, fifo.greedy_p95_wait_ms,
+      fair.greedy_p95_wait_ms);
   std::fprintf(f,
                "  \"metrics\": {\"solver_invocations\": %zu, \"cache_hits\": "
                "%zu, \"cache_misses\": %zu, \"cache_stored\": %zu, "

@@ -16,6 +16,7 @@ Client::~Client() = default;
 bool Client::handshake(std::string* error) {
   in_ = FrameBuffer();  // a fresh connection starts a fresh stream
   HelloFrame hello;
+  hello.client_id = config_.client_id;
   if (!send_frame(io::kRecordNetHello, encode_hello(hello))) {
     if (error != nullptr) *error = "cannot send Hello";
     return false;
@@ -27,13 +28,25 @@ bool Client::handshake(std::string* error) {
 }
 
 bool Client::connect(std::string* error) {
-  sock_ = connect_to(config_.server, config_.connect_timeout_ms, error);
-  if (!sock_.valid()) return false;
-  if (!handshake(error)) {
+  for (int attempt = 0;; ++attempt) {
+    const std::size_t errors_before = errors_.size();
+    sock_ = connect_to(config_.server, config_.connect_timeout_ms, error);
+    if (!sock_.valid()) return false;
+    if (handshake(error)) return true;
     sock_.close();
-    return false;
+    // kErrServerFull arrives pre-handshake (tag 0) and is the one
+    // RETRYABLE connect failure: the server told us to back off until a
+    // slot frees.  Everything else (version refusal, bad ack, a silent
+    // close) is final — only an Error frame received during THIS attempt
+    // counts, or a stale buffered one would misclassify the failure.
+    const bool server_full = errors_.size() > errors_before &&
+                             errors_.back().code == kErrServerFull;
+    if (!server_full || attempt + 1 >= config_.reconnect_attempts) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        config_.reconnect_backoff_ms * (attempt + 1)));
   }
-  return true;
 }
 
 bool Client::send_frame(std::uint32_t type,
@@ -71,23 +84,19 @@ bool Client::reconnect_and_resubmit(std::string* error) {
     // connection died.
     bool resubmitted_all = true;
     for (const auto& [tag, job] : pending_) {
-      SubmitJobFrame submit;
-      submit.tag = tag;
-      submit.solver = job.solver;
-      submit.num_replicas = job.num_replicas;
-      submit.num_sweeps = job.num_sweeps;
-      submit.seed = job.seed;
-      submit.priority = job.priority;
-      submit.deadline_ms = job.deadline_ms;
-      submit.bypass_cache = job.bypass_cache;
-      submit.stream_status = job.stream_status;
-      submit.model = job.model;
-      if (!send_frame(io::kRecordNetSubmitJob, encode_submit(submit))) {
+      if (!send_submit(tag, job)) {
         resubmitted_all = false;
         break;
       }
     }
-    if (resubmitted_all) return true;
+    if (resubmitted_all) {
+      // Every pending tag is freshly in flight: a tag ALSO flagged for a
+      // retryable-refusal resubmit must not be sent a second time — the
+      // server would refuse the duplicate tag as a bad request and fail a
+      // job that is actually running.
+      retry_wanted_.clear();
+      return true;
+    }
   }
   if (error != nullptr && error->empty()) {
     *error = "reconnect attempts exhausted";
@@ -95,10 +104,7 @@ bool Client::reconnect_and_resubmit(std::string* error) {
   return false;
 }
 
-std::optional<std::uint64_t> Client::submit(const RemoteJob& job,
-                                            std::string* error) {
-  const std::uint64_t tag = next_tag_++;
-  pending_[tag] = job;
+bool Client::send_submit(std::uint64_t tag, const RemoteJob& job) {
   SubmitJobFrame submit;
   submit.tag = tag;
   submit.solver = job.solver;
@@ -110,7 +116,14 @@ std::optional<std::uint64_t> Client::submit(const RemoteJob& job,
   submit.bypass_cache = job.bypass_cache;
   submit.stream_status = job.stream_status;
   submit.model = job.model;
-  if (!send_frame(io::kRecordNetSubmitJob, encode_submit(submit))) {
+  return send_frame(io::kRecordNetSubmitJob, encode_submit(submit));
+}
+
+std::optional<std::uint64_t> Client::submit(const RemoteJob& job,
+                                            std::string* error) {
+  const std::uint64_t tag = next_tag_++;
+  pending_[tag] = job;
+  if (!send_submit(tag, job)) {
     // The reconnect path resubmits `tag` itself (it is already pending).
     if (!reconnect_and_resubmit(error)) {
       pending_.erase(tag);
@@ -127,6 +140,8 @@ void Client::handle_incoming(const Frame& f) {
         auto result = decode_result(f.payload);
         const auto tag = result.tag;
         pending_.erase(tag);
+        retry_wanted_.erase(tag);
+        retry_attempts_.erase(tag);
         results_.emplace(tag, std::move(result));
         return;
       }
@@ -140,16 +155,31 @@ void Client::handle_incoming(const Frame& f) {
         return;
       case io::kRecordNetError: {
         auto error = decode_error(f.payload);
-        // An error that kills a specific request completes that request,
-        // so wait() observes it instead of timing out.
         if (error.tag != 0 && pending_.contains(error.tag)) {
-          ResultFrame result;
-          result.tag = error.tag;
-          result.status = service::JobStatus::failed;
-          result.error = "server error " + std::to_string(error.code) +
-                         ": " + error.message;
-          pending_.erase(error.tag);
-          results_.emplace(error.tag, std::move(result));
+          if (is_retryable_error(error.code)) {
+            // Transient server state (draining / full): keep the request
+            // pending; wait() backs off and resubmits it.
+            retry_wanted_.insert(error.tag);
+          } else {
+            // Permanent refusal.  Known edge: a reconnect's resubmits can
+            // race the server noticing the dead predecessor connection
+            // (whose hangup is what frees this client's inflight quota), so
+            // a quota refusal here may be transient in that narrow window.
+            // The taxonomy still wins — retrying quota errors in general
+            // rewards exactly the flooding the quota exists to stop.
+            // A permanent refusal (quota, bad request, unknown solver)
+            // completes the request as failed, so wait() observes it
+            // instead of timing out — and never resubmits it.
+            ResultFrame result;
+            result.tag = error.tag;
+            result.status = service::JobStatus::failed;
+            result.error = "server error " + std::to_string(error.code) +
+                           ": " + error.message;
+            pending_.erase(error.tag);
+            retry_wanted_.erase(error.tag);
+            retry_attempts_.erase(error.tag);
+            results_.emplace(error.tag, std::move(result));
+          }
         }
         errors_.push_back(std::move(error));
         return;
@@ -190,9 +220,10 @@ bool Client::pump(std::uint32_t stop_type, std::uint64_t stop_tag,
             io::ByteReader(f.payload).u64() == stop_tag));
       handle_incoming(f);
       if (is_stop) return true;
-      // A request-killing Error frame also satisfies a Result wait.
+      // A request-killing Error frame also satisfies a Result wait, and so
+      // does a retryable refusal (wait() owns the backoff + resubmit).
       if (stop_type == io::kRecordNetResult &&
-          results_.contains(stop_tag)) {
+          (results_.contains(stop_tag) || retry_wanted_.contains(stop_tag))) {
         return true;
       }
       if (f.type == io::kRecordNetError && stop_type != io::kRecordNetResult) {
@@ -232,6 +263,8 @@ ResultFrame Client::wait(std::uint64_t tag) {
     result.status = service::JobStatus::failed;
     result.error = message;
     pending_.erase(tag);
+    retry_wanted_.erase(tag);
+    retry_attempts_.erase(tag);
     return result;
   };
   const auto deadline =
@@ -241,12 +274,43 @@ ResultFrame Client::wait(std::uint64_t tag) {
     if (it != results_.end()) {
       ResultFrame result = std::move(it->second);
       results_.erase(it);
+      retry_wanted_.erase(tag);
+      retry_attempts_.erase(tag);
       return result;
     }
     if (!pending_.contains(tag)) {
       return finish_with("unknown tag: never submitted or already waited");
     }
-    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) return finish_with("request timed out");
+    if (retry_wanted_.erase(tag) > 0) {
+      // The server refused this tag with a RETRYABLE code (draining /
+      // full): back off, then resubmit the identical job under its
+      // original tag — idempotent server-side via cache/coalescing.
+      const int attempt = ++retry_attempts_[tag];
+      if (attempt > config_.reconnect_attempts) {
+        retry_attempts_.erase(tag);
+        return finish_with("server refused " + std::to_string(attempt - 1) +
+                           " resubmits (busy or draining); giving up");
+      }
+      const auto backoff =
+          std::chrono::milliseconds(config_.reconnect_backoff_ms * attempt);
+      if (backoff >= remaining) {
+        // No budget left to wait out the refusal — and resubmitting now
+        // would orphan a job on the server that nobody will collect.
+        return finish_with("request timed out");
+      }
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+      if (!send_submit(tag, pending_.at(tag))) {
+        std::string reconnect_error;
+        if (!reconnect_and_resubmit(&reconnect_error)) {
+          return finish_with("connection lost: " + reconnect_error);
+        }
+      }
+      continue;
+    }
+    remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - Clock::now());
     if (remaining.count() <= 0) return finish_with("request timed out");
     std::string error;

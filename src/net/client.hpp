@@ -12,6 +12,13 @@
 //     request is RESUBMITTED.  Safe because submissions are idempotent on
 //     the serving side: equal fingerprints coalesce or hit the result
 //     cache, so a retried job never pays a second solver run;
+//   * error triage — a RETRYABLE server refusal (kErrDraining,
+//     kErrServerFull: transient server state) keeps the job pending; wait()
+//     backs off and resubmits it up to reconnect_attempts times within the
+//     request timeout.  A PERMANENT refusal (kErrQuotaExceeded,
+//     kErrBadRequest, kErrUnknownSolver, ...) fails the job on the first
+//     Error frame — resubmitting an unacceptable request verbatim can never
+//     succeed and only hammers the server;
 //   * request timeout — wait() gives up after request_timeout_ms and
 //     reports the job as failed with a timeout error, leaving the
 //     connection usable for other tags.
@@ -22,6 +29,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -33,8 +41,13 @@ namespace qross::net {
 
 struct ClientConfig {
   Endpoint server;
+  /// Identity sent in the Hello, grouping this connection with others of
+  /// the same name for the server's admission quotas / fair-share weights.
+  /// Empty = the server assigns a per-connection id.
+  std::string client_id;
   int connect_timeout_ms = 5000;
   int request_timeout_ms = 120000;
+  /// Bounds both reconnect redials and retryable-refusal resubmits.
   int reconnect_attempts = 3;
   int reconnect_backoff_ms = 100;
 };
@@ -99,12 +112,14 @@ class Client {
 
  private:
   bool send_frame(std::uint32_t type, std::span<const std::uint8_t> payload);
-  /// Reads until `stop_type` (or a Result for `stop_tag`) arrives, the
-  /// timeout expires, or the connection breaks.  Buffers everything else.
+  /// Reads until `stop_type` (or a Result / retryable refusal for
+  /// `stop_tag`) arrives, the timeout expires, or the connection breaks.
+  /// Buffers everything else.
   bool pump(std::uint32_t stop_type, std::uint64_t stop_tag, int timeout_ms,
             std::string* error);
   bool handshake(std::string* error);
   bool reconnect_and_resubmit(std::string* error);
+  bool send_submit(std::uint64_t tag, const RemoteJob& job);
   void handle_incoming(const Frame& f);
 
   ClientConfig config_;
@@ -116,6 +131,10 @@ class Client {
   std::map<std::uint64_t, RemoteJob> pending_;  // resubmitted on reconnect
   std::map<std::uint64_t, ResultFrame> results_;
   std::map<std::uint64_t, std::vector<service::JobStatus>> updates_;
+  /// Tags refused with a RETRYABLE code: still pending; wait() backs off
+  /// and resubmits.  The paired map counts resubmit attempts per tag.
+  std::set<std::uint64_t> retry_wanted_;
+  std::map<std::uint64_t, int> retry_attempts_;
   std::optional<MetricsFrame> last_metrics_;
   std::vector<ErrorFrame> errors_;
 };

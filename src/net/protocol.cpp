@@ -58,6 +58,7 @@ std::vector<std::uint8_t> encode_hello(const HelloFrame& hello) {
   io::ByteWriter out;
   out.u32(hello.protocol_version);
   out.u32(0);  // flags, reserved
+  put_string(out, hello.client_id);
   return out.take();
 }
 
@@ -66,6 +67,9 @@ HelloFrame decode_hello(std::span<const std::uint8_t> payload) {
   HelloFrame hello;
   hello.protocol_version = in.u32();
   in.u32();  // flags, reserved
+  // client_id was appended within v1: a Hello from an older client simply
+  // ends here, which means "no self-reported identity".
+  if (in.remaining() > 0) hello.client_id = get_string(in);
   return hello;
 }
 
@@ -227,6 +231,23 @@ std::vector<std::uint8_t> encode_metrics(const MetricsFrame& metrics) {
   out.u64(metrics.connection_submitted);
   out.u64(metrics.connection_results);
   out.u64(metrics.connection_cancelled);
+  // Admission-control tail, appended within protocol v1 (strictly after
+  // every pre-quota field so old decoders read an unchanged prefix).
+  out.u64(metrics.connections_rejected_full);
+  out.u64(s.admission_rejected);
+  put_string(out, metrics.client_id);
+  out.u32(static_cast<std::uint32_t>(metrics.clients.size()));
+  for (const auto& c : metrics.clients) {
+    put_string(out, c.client_id);
+    out.f64(c.weight);
+    out.u64(c.queued);
+    out.u64(c.inflight);
+    out.u64(c.submitted);
+    out.u64(c.completed);
+    out.u64(c.dispatched);
+    out.u64(c.rejected_inflight);
+    out.u64(c.rejected_queued);
+  }
   return out.take();
 }
 
@@ -265,6 +286,35 @@ MetricsFrame decode_metrics(std::span<const std::uint8_t> payload) {
   metrics.connection_submitted = in.u64();
   metrics.connection_results = in.u64();
   metrics.connection_cancelled = in.u64();
+  // A pre-admission-control server's payload ends here; the tail defaults
+  // to "no quota activity".
+  if (in.remaining() == 0) return metrics;
+  metrics.connections_rejected_full = in.u64();
+  s.admission_rejected = in.u64();
+  metrics.client_id = get_string(in);
+  const std::uint32_t client_rows = in.u32();
+  // A row is at least 68 bytes (empty-id string + f64 + 7×u64): a count the
+  // remaining payload cannot possibly hold is a corrupt/hostile length, and
+  // must throw BEFORE reserve() turns it into a large allocation.
+  constexpr std::size_t kMinRowBytes = 68;
+  if (client_rows > in.remaining() / kMinRowBytes) {
+    throw io::DecodeError("implausible per-client row count: " +
+                          std::to_string(client_rows));
+  }
+  metrics.clients.reserve(client_rows);
+  for (std::uint32_t k = 0; k < client_rows; ++k) {
+    service::ClientSchedulerMetrics c;
+    c.client_id = get_string(in);
+    c.weight = in.f64();
+    c.queued = in.u64();
+    c.inflight = in.u64();
+    c.submitted = in.u64();
+    c.completed = in.u64();
+    c.dispatched = in.u64();
+    c.rejected_inflight = in.u64();
+    c.rejected_queued = in.u64();
+    metrics.clients.push_back(std::move(c));
+  }
   return metrics;
 }
 

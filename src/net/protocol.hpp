@@ -59,10 +59,28 @@ enum ErrorCode : std::uint32_t {
   kErrDraining = 8,        ///< server is shutting down; no new submissions
   kErrHandshakeRequired = 9,  ///< request frame before Hello
   kErrUnknownType = 10,    ///< unrecognised frame type (future extension)
+  kErrQuotaExceeded = 11,  ///< client over an admission quota (permanent
+                           ///< until its own earlier jobs finish)
+  kErrServerFull = 12,     ///< connection refused: max_connections reached
+                           ///< (retryable once some client disconnects)
 };
+
+/// Retryable errors describe transient SERVER state: backing off and
+/// resubmitting the identical request can succeed.  Everything else is
+/// wrong with the request (or this client's own standing) and retrying
+/// verbatim only hammers the server — see Client's resubmit loop.
+inline bool is_retryable_error(std::uint32_t code) {
+  return code == kErrDraining || code == kErrServerFull;
+}
 
 struct HelloFrame {
   std::uint32_t protocol_version = kProtocolVersion;
+  /// Self-reported identity for admission quotas / fair-share scheduling.
+  /// Appended within protocol v1 (fields are append-only): servers accept a
+  /// Hello without it, and assign a per-connection id ("conn-N") when it is
+  /// absent or empty.  Multiple connections naming the same id share one
+  /// quota/weight bucket.  NOT authentication — see ROADMAP.
+  std::string client_id;
 };
 
 struct HelloAckFrame {
@@ -128,6 +146,13 @@ struct MetricsFrame {
   std::uint64_t connection_submitted = 0;  ///< submits on this connection
   std::uint64_t connection_results = 0;    ///< results sent back on it
   std::uint64_t connection_cancelled = 0;  ///< cancels it requested
+  // Appended within protocol v1; decoders default them when absent.
+  std::uint64_t connections_rejected_full = 0;  ///< accepts refused: kErrServerFull
+  std::string client_id;  ///< the id this connection is accounted under
+  /// Per-client scheduler rows (service.clients on the wire).  The
+  /// service-level vector rides here rather than inside `service` so the
+  /// pre-quota payload layout stays a strict prefix.
+  std::vector<service::ClientSchedulerMetrics> clients;
 };
 
 // --- payload codecs ---------------------------------------------------------

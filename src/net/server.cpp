@@ -51,6 +51,9 @@ struct Server::Impl {
 
   struct Connection {
     std::uint64_t id = 0;
+    /// Admission identity: the Hello's self-reported client_id, else
+    /// "conn-<id>" so each anonymous connection is its own quota bucket.
+    std::string client_id;
     Socket sock;
     FrameBuffer in;
     std::vector<std::uint8_t> out;  // unsent frame bytes, FIFO
@@ -136,15 +139,28 @@ struct Server::Impl {
     flush_out(conn);
   }
 
-  void queue_error(Connection* conn, std::uint64_t tag, std::uint32_t code,
-                   const std::string& message) {
+  /// Admission/lifecycle refusals (draining, quota): the peer used the
+  /// protocol correctly, so the Error frame goes out WITHOUT counting a
+  /// protocol error — those rejections have their own counters
+  /// (ServiceMetrics::admission_rejected, ServerStats rejection fields).
+  void queue_refusal(Connection* conn, std::uint64_t tag, std::uint32_t code,
+                     const std::string& message) {
     ErrorFrame error;
     error.tag = tag;
     error.code = code;
     error.message = message;
     queue_frame(conn, io::kRecordNetError, encode_error(error));
-    std::lock_guard lock(m);
-    ++stats.protocol_errors;
+  }
+
+  void queue_error(Connection* conn, std::uint64_t tag, std::uint32_t code,
+                   const std::string& message) {
+    // Count BEFORE the frame departs: a peer that has seen the Error frame
+    // must see the counter too (tests and operators correlate the two).
+    {
+      std::lock_guard lock(m);
+      ++stats.protocol_errors;
+    }
+    queue_refusal(conn, tag, code, message);
   }
 
   /// Non-blocking write of the pending bytes; a peer that cannot keep up
@@ -187,8 +203,8 @@ struct Server::Impl {
       return;
     }
     if (is_draining()) {
-      queue_error(conn, submit.tag, kErrDraining,
-                  "server is draining; submissions refused");
+      queue_refusal(conn, submit.tag, kErrDraining,
+                    "server is draining; submissions refused");
       return;
     }
     if (conn->jobs.contains(submit.tag)) {
@@ -214,11 +230,25 @@ struct Server::Impl {
           std::chrono::steady_clock::now() +
           std::chrono::milliseconds(submit.deadline_ms);
     }
+    submit_options.client_id = conn->client_id;
     service::JobHandle handle;
     try {
       handle = service.submit(solver, submit.model, options, submit_options);
+    } catch (const service::AdmissionError& e) {
+      // Only genuinely transient refusals are kErrDraining (retryable);
+      // quota violations get their own permanent code so a client stops
+      // resubmitting a job that cannot be admitted until its OWN earlier
+      // work finishes.
+      queue_refusal(conn, submit.tag,
+                    e.retryable() ? kErrDraining : kErrQuotaExceeded,
+                    e.what());
+      return;
     } catch (const std::exception& e) {
-      queue_error(conn, submit.tag, kErrDraining, e.what());
+      // Anything else the service refused is wrong with THIS request (bad
+      // options, invalid model, ...): permanently invalid, never "try the
+      // same bytes again later".  Mapping these to kErrDraining used to
+      // make clients resubmit unacceptable jobs forever.
+      queue_error(conn, submit.tag, kErrBadRequest, e.what());
       return;
     }
     PendingJob job;
@@ -285,7 +315,18 @@ struct Server::Impl {
         conn->closing = true;
         return;
       }
+      if (hello.client_id.size() > 128) {
+        // The id becomes a scheduler/metrics map key held for the daemon's
+        // lifetime; an unbounded one is a memory lever, not a name.
+        queue_error(conn, 0, kErrBadRequest,
+                    "client_id longer than 128 bytes");
+        conn->closing = true;
+        return;
+      }
       conn->handshaken = true;
+      conn->client_id = hello.client_id.empty()
+                            ? "conn-" + std::to_string(conn->id)
+                            : hello.client_id;
       HelloAckFrame ack;
       ack.protocol_version = kProtocolVersion;
       ack.max_frame_bytes = config.max_frame_bytes;
@@ -324,10 +365,15 @@ struct Server::Impl {
           metrics.connections_accepted = stats.connections_accepted;
           metrics.connections_active = stats.connections_active;
           metrics.protocol_errors = stats.protocol_errors;
+          metrics.connections_rejected_full = stats.connections_rejected_full;
         }
         metrics.connection_submitted = conn->submitted;
         metrics.connection_results = conn->results;
         metrics.connection_cancelled = conn->cancels;
+        metrics.client_id = conn->client_id;
+        // The rows ride in MetricsFrame::clients on the wire; the copy
+        // inside `service` is never encoded, so move it out.
+        metrics.clients = std::move(metrics.service.clients);
         queue_frame(conn, io::kRecordNetMetrics, encode_metrics(metrics));
         return;
       }
@@ -392,7 +438,29 @@ struct Server::Impl {
         return;  // EAGAIN or transient error; poll again later
       }
       if (conns.size() >= config.max_connections) {
+        // Tell the peer WHY before closing: a bare close looks like a
+        // network failure and used to send Client's reconnect-with-backoff
+        // hammering a full server forever.  kErrServerFull is retryable —
+        // back off until some connection leaves.  Best-effort blocking
+        // send: the frame is ~100 bytes into a fresh socket buffer, so it
+        // cannot stall the reactor.
+        ErrorFrame error;
+        error.code = kErrServerFull;
+        error.message = "server at max_connections (" +
+                        std::to_string(config.max_connections) +
+                        "); retry after backoff";
+        const auto bytes = frame(io::kRecordNetError, encode_error(error));
+        std::size_t sent = 0;
+        while (sent < bytes.size()) {
+          const ssize_t n = ::send(fd, bytes.data() + sent,
+                                   bytes.size() - sent, MSG_NOSIGNAL);
+          if (n < 0 && errno == EINTR) continue;
+          if (n <= 0) break;
+          sent += static_cast<std::size_t>(n);
+        }
         ::close(fd);
+        std::lock_guard lock(m);
+        ++stats.connections_rejected_full;
         continue;
       }
       set_nonblocking(fd);

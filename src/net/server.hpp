@@ -46,9 +46,13 @@ struct ServerConfig {
   /// Endpoints to listen on; TCP and Unix-domain freely mixed.
   std::vector<Endpoint> listen;
   std::uint32_t max_frame_bytes = kMaxFrameBytes;
-  /// Accept backstop: beyond this many concurrent connections, new accepts
-  /// are closed immediately (admission control proper is still open —
-  /// see ROADMAP).
+  /// Accept backstop: beyond this many concurrent connections, a new accept
+  /// is answered with a kErrServerFull Error frame and closed — the peer
+  /// can tell "full, back off and retry" from a network failure.  Per-client
+  /// admission quotas and fair-share weights are service-level policy:
+  /// configure them on the SolveService (ServiceConfig::max_*_per_client,
+  /// client_weights); the server attributes each connection to a client id
+  /// (self-reported in Hello, else "conn-N") and passes it through.
   std::size_t max_connections = 256;
   /// Solver-name resolution; tests inject counting/slow solvers here.
   SolverRegistry registry = default_solver_registry;
@@ -64,6 +68,9 @@ struct ServerStats {
   std::uint64_t cancels = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t disconnect_cancelled_jobs = 0;  ///< jobs cancelled by hangup
+  /// Accepts refused at max_connections — each one was answered with a
+  /// kErrServerFull frame before the close, never a silent reset.
+  std::uint64_t connections_rejected_full = 0;
 };
 
 class Server {

@@ -4,6 +4,8 @@
 // sliding-window latency reservoir that backs its percentiles.
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace qross::service {
@@ -14,6 +16,24 @@ struct LatencyPercentiles {
   double p90_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+};
+
+/// Per-client view of the fair-share scheduler: how much work one client id
+/// has in the system, how it is weighted, and how often admission control
+/// turned it away.  Clients appear on first submission; idle rows are
+/// retired once the table would exceed ServiceConfig::max_client_rows, so
+/// endless one-shot connection ids cannot grow it (or the Metrics frame)
+/// without bound — service-wide counters are unaffected by retirement.
+struct ClientSchedulerMetrics {
+  std::string client_id;
+  double weight = 1.0;
+  std::size_t queued = 0;    ///< this client's jobs currently waiting
+  std::size_t inflight = 0;  ///< this client's non-terminal jobs
+  std::uint64_t submitted = 0;   ///< admitted submissions (rejections excluded)
+  std::uint64_t completed = 0;   ///< jobs that reached any terminal state
+  std::uint64_t dispatched = 0;  ///< executions started with this client as creator
+  std::uint64_t rejected_inflight = 0;  ///< submits refused: max_inflight_per_client
+  std::uint64_t rejected_queued = 0;    ///< submits refused: max_queued_per_client
 };
 
 /// One consistent snapshot of the service, taken under the service lock.
@@ -50,11 +70,19 @@ struct ServiceMetrics {
   std::size_t cache_stored = 0;
   std::size_t cache_load_skipped = 0;  ///< corrupt/foreign records skipped
 
+  /// Submissions refused by per-client admission control (sum of the
+  /// per-client rejected_* counters).  Rejected submissions are NOT counted
+  /// in `submitted`.
+  std::uint64_t admission_rejected = 0;
+
   double uptime_seconds = 0.0;
   double jobs_per_second = 0.0;  ///< completed / uptime
 
   LatencyPercentiles queue_wait;  ///< submit → execution start (ms)
   LatencyPercentiles run;         ///< execution start → kernel exit (ms)
+
+  /// One row per client id ever admitted or rejected, sorted by id.
+  std::vector<ClientSchedulerMetrics> clients;
 };
 
 /// Ring buffer over the most recent `capacity` latency samples.  Percentile

@@ -4,9 +4,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <limits>
+#include <map>
 #include <mutex>
-#include <queue>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -54,6 +55,15 @@ bool is_terminal(JobStatus status) {
          status == JobStatus::expired || status == JobStatus::failed;
 }
 
+const char* to_string(AdmissionErrorKind kind) {
+  switch (kind) {
+    case AdmissionErrorKind::shutting_down: return "shutting-down";
+    case AdmissionErrorKind::inflight_quota: return "inflight-quota";
+    case AdmissionErrorKind::queued_quota: return "queued-quota";
+  }
+  return "?";
+}
+
 namespace detail {
 
 struct ExecState;
@@ -66,6 +76,12 @@ struct JobState {
   std::uint64_t id = 0;
   int priority = 0;
   std::optional<Clock::time_point> deadline;
+  /// Who this job is accounted to (admission quotas, fair share).  Written
+  /// once at submit; immutable afterwards.
+  std::string client_id;
+  /// True while this job is counted in its client's queued-job tally.
+  /// Guarded by ServiceCore::m (NOT the job mutex).
+  bool counted_queued = false;
   /// The submitter's own StopToken, captured before the rest of its options
   /// are discarded on coalesce — signalling it cancels THIS job.
   solvers::StopToken stop;
@@ -94,6 +110,9 @@ struct ExecState {
   solvers::SolveOptions options;
   bool cacheable = true;
   int priority = 0;
+  /// The creator's client id — the scheduling lane this execution waits in
+  /// (coalesced joiners ride along regardless of their own client).
+  std::string client_id;
 
   enum class Phase { queued, running, finished };
   Phase phase = Phase::queued;
@@ -162,23 +181,178 @@ struct ServiceCore {
   mutable std::mutex m;
   bool shutting_down = false;
   std::uint64_t next_job_id = 1;
-  std::uint64_t next_seq = 0;
 
-  struct QueueEntry {
-    int priority = 0;
-    std::uint64_t seq = 0;
+  // --- fair-share ready queue ----------------------------------------------
+  //
+  // Priority bands (highest first); inside a band, one FIFO lane per
+  // scheduling key (the client id, or one shared key with fair_share off)
+  // drained by deficit round robin: on each ring visit a lane is granted
+  // its weight in credits and serves one execution per credit before the
+  // ring advances.  Entries are popped lazily: priority promotion pushes a
+  // duplicate entry and cancellation just marks the execution dead, so the
+  // pop loop skips anything no longer queued/alive (or whose band no longer
+  // matches the execution's priority) instead of erasing mid-queue.
+
+  struct ReadyEntry {
+    int priority = 0;  ///< band at push time; != exec->priority means stale
     std::shared_ptr<ExecState> exec;
   };
-  struct EntryOrder {
-    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
-      if (a.priority != b.priority) return a.priority < b.priority;
-      return a.seq > b.seq;  // FIFO within a priority level
-    }
+  struct ClientLane {
+    std::deque<ReadyEntry> ready;
+    double credits = 0.0;
+    bool granted = false;  ///< weight already granted on this ring visit
+    bool in_ring = false;
   };
-  // Entries are popped lazily: priority promotion pushes a duplicate entry
-  // and cancellation just marks the execution dead, so the pop loop skips
-  // anything no longer queued/alive instead of erasing mid-heap.
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryOrder> queue;
+  struct Band {
+    std::unordered_map<std::string, ClientLane> lanes;
+    std::vector<std::string> ring;  ///< keys with entries, round-robin order
+    std::size_t rr = 0;
+  };
+  std::map<int, Band, std::greater<int>> bands;
+
+  /// Per-client admission + scheduling bookkeeping.  Ordered so the metrics
+  /// snapshot lists clients deterministically.
+  struct ClientState {
+    double weight = 1.0;
+    std::size_t queued_jobs = 0;
+    std::size_t inflight_jobs = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t rejected_inflight = 0;
+    std::uint64_t rejected_queued = 0;
+  };
+  std::map<std::string, ClientState> clients;
+  std::uint64_t admission_rejected = 0;
+
+  static double clamp_weight(double weight) {
+    return std::min(100.0, std::max(0.01, weight));
+  }
+
+  double configured_weight(const std::string& id) const {
+    const auto it = config.client_weights.find(id);
+    return clamp_weight(it != config.client_weights.end()
+                            ? it->second
+                            : config.default_client_weight);
+  }
+
+  ClientState& client_state(const std::string& id) {
+    auto it = clients.find(id);
+    if (it != clients.end()) return it->second;
+    if (config.max_client_rows > 0 &&
+        clients.size() >= config.max_client_rows) {
+      // Retire idle rows so endless one-shot client ids (the anonymous
+      // conn-N case) cannot grow the table forever — but only as many as
+      // needed, and never a row with live work (quota state must not be
+      // swept away) or an explicitly-weighted tenant (operators correlate
+      // its counters across polls).
+      for (auto victim = clients.begin();
+           victim != clients.end() &&
+           clients.size() >= config.max_client_rows;) {
+        const bool idle = victim->second.inflight_jobs == 0 &&
+                          victim->second.queued_jobs == 0;
+        if (idle && !config.client_weights.contains(victim->first)) {
+          victim = clients.erase(victim);
+        } else {
+          ++victim;
+        }
+      }
+    }
+    it = clients.try_emplace(id).first;
+    it->second.weight = configured_weight(id);
+    return it->second;
+  }
+
+  /// The scheduling lane an execution waits in.  With fair_share off every
+  /// execution shares one lane, which reduces DRR to plain FIFO.
+  std::string sched_key(const ExecState& exec) const {
+    return config.fair_share ? exec.client_id : std::string();
+  }
+
+  /// Weight of a scheduling key WITHOUT materialising a ClientState (the
+  /// shared fair_share-off key must not show up as a metrics row).
+  double lane_weight(const std::string& key) const {
+    const auto it = clients.find(key);
+    return it != clients.end() ? it->second.weight : configured_weight(key);
+  }
+
+  void push_ready(const std::shared_ptr<ExecState>& exec) {
+    Band& band = bands[exec->priority];
+    const std::string key = sched_key(*exec);
+    ClientLane& lane = band.lanes[key];
+    lane.ready.push_back({exec->priority, exec});
+    if (!lane.in_ring) {
+      lane.in_ring = true;
+      band.ring.push_back(key);
+    }
+  }
+
+  /// Next live execution of one band under deficit round robin, or null
+  /// when the band holds none.  Stale entries are dropped without consuming
+  /// credit; a lane that empties resets its deficit (standard DRR).
+  std::shared_ptr<ExecState> pop_from_band(Band& band) {
+    while (!band.ring.empty()) {
+      if (band.rr >= band.ring.size()) band.rr = 0;
+      const std::string key = band.ring[band.rr];
+      ClientLane& lane = band.lanes[key];
+      while (!lane.ready.empty()) {
+        const auto& entry = lane.ready.front();
+        if (entry.exec->dead ||
+            entry.exec->phase != ExecState::Phase::queued ||
+            entry.exec->priority != entry.priority) {
+          lane.ready.pop_front();
+        } else {
+          break;
+        }
+      }
+      if (lane.ready.empty()) {
+        // Erase the lane outright, not just its ring slot: a saturated
+        // band may never fully drain, and one-shot client ids must not
+        // accumulate dead lanes for its lifetime.  Deficit reset on empty
+        // comes free — a re-submitting client gets a fresh lane.
+        band.lanes.erase(key);
+        band.ring.erase(band.ring.begin() +
+                        static_cast<std::ptrdiff_t>(band.rr));
+        continue;  // rr now indexes the next key (wraps at the loop top)
+      }
+      if (!lane.granted) {
+        lane.credits += lane_weight(key);
+        lane.granted = true;
+      }
+      if (lane.credits < 1.0) {
+        // A fractional-weight client sits out this circuit; the credit is
+        // kept and tops up on the next visit.  Weights are clamped >= 0.01,
+        // so some lane reaches a full credit within a bounded number of
+        // circuits and the loop terminates.
+        lane.granted = false;
+        ++band.rr;
+        continue;
+      }
+      lane.credits -= 1.0;
+      auto exec = lane.ready.front().exec;
+      lane.ready.pop_front();
+      if (lane.ready.empty()) {
+        band.lanes.erase(key);
+        band.ring.erase(band.ring.begin() +
+                        static_cast<std::ptrdiff_t>(band.rr));
+      }
+      return exec;
+    }
+    return nullptr;
+  }
+
+  /// Highest-priority live execution across all bands (priority wins
+  /// globally; fairness applies within a band).  Drained bands are erased —
+  /// which also resets their lanes' deficits, exactly DRR's empty-queue
+  /// rule.
+  std::shared_ptr<ExecState> pop_ready() {
+    for (auto it = bands.begin(); it != bands.end();) {
+      if (auto exec = pop_from_band(it->second)) return exec;
+      it = bands.erase(it);
+    }
+    return nullptr;
+  }
+
   std::unordered_map<Fingerprint, std::shared_ptr<ExecState>, FingerprintHash>
       inflight;
   // Every execution currently inside a solver kernel — including
@@ -228,6 +402,15 @@ struct ServiceCore {
       job->cv.notify_all();
       hook = std::move(job->on_terminal);
       job->on_terminal = nullptr;
+    }
+    // Per-client accounting (all callers hold `m`): the job leaves the
+    // inflight tally, and the queued tally if it never started.
+    ClientState& client = client_state(job->client_id);
+    if (client.inflight_jobs > 0) --client.inflight_jobs;
+    ++client.completed;
+    if (job->counted_queued) {
+      job->counted_queued = false;
+      if (client.queued_jobs > 0) --client.queued_jobs;
     }
     // Fired outside the job lock so a hook thread waking on the condvar can
     // take it immediately; the hook's signal-only contract (job.hpp) makes
@@ -374,13 +557,7 @@ void ServiceCore::run_one() {
   const auto tokens = std::make_shared<TokenWatch>();
   {
     std::lock_guard lock(m);
-    while (!queue.empty()) {
-      auto entry = queue.top();
-      queue.pop();
-      const auto& candidate = entry.exec;
-      if (candidate->dead || candidate->phase != ExecState::Phase::queued) {
-        continue;  // stale duplicate or cancelled while queued
-      }
+    while (auto candidate = pop_ready()) {
       const auto now = Clock::now();
       // Deadline triage: jobs already past their deadline complete as
       // `expired` here — the solver is never invoked for them.  The rest
@@ -417,10 +594,20 @@ void ServiceCore::run_one() {
       candidate->started_at = now;
       ++running;
       ++solver_invocations;
+      ++client_state(candidate->client_id).dispatched;
       running_execs.push_back(candidate);
       for (const auto& job : candidate->subscribers) {
-        std::lock_guard job_lock(job->m);
-        if (!is_terminal(job->status)) job->status = JobStatus::running;
+        {
+          std::lock_guard job_lock(job->m);
+          if (!is_terminal(job->status)) job->status = JobStatus::running;
+        }
+        // Dispatched: the job leaves its client's queued tally (jobs the
+        // triage above finished already left it via finish_job).
+        if (job->counted_queued) {
+          job->counted_queued = false;
+          ClientState& client = client_state(job->client_id);
+          if (client.queued_jobs > 0) --client.queued_jobs;
+        }
       }
       exec = candidate;
       break;
@@ -613,10 +800,12 @@ JobHandle SolveService::submit(solvers::SolverPtr solver,
                                solvers::SolveOptions options,
                                SubmitOptions submit) {
   QROSS_REQUIRE(solver != nullptr, "solver required");
+  QROSS_REQUIRE(options.num_replicas > 0, "num_replicas must be at least 1");
   const Fingerprint key = fingerprint_job(*solver, model, options);
   auto job = std::make_shared<detail::JobState>();
   job->priority = submit.priority;
   job->deadline = submit.deadline;
+  job->client_id = submit.client_id;
   job->stop = options.stop;
   job->submitted_at = Clock::now();
   job->core = core_;
@@ -624,62 +813,115 @@ JobHandle SolveService::submit(solvers::SolverPtr solver,
   bool schedule = false;
   {
     std::lock_guard lock(core_->m);
-    QROSS_REQUIRE(!core_->shutting_down, "submit after shutdown");
+    if (core_->shutting_down) {
+      throw AdmissionError(AdmissionErrorKind::shutting_down,
+                           "service is shutting down; submission refused");
+    }
+    const std::string client_name =
+        submit.client_id.empty() ? "(anonymous)" : submit.client_id;
+    auto& client = core_->client_state(submit.client_id);
+
+    // --- admission control: decide BEFORE mutating any state ---------------
+    // The cache is consulted first: a hit completes immediately inside this
+    // lock without occupying a worker or queue slot, so the quotas — which
+    // bound resource occupancy, not free work — never refuse one.
+    std::shared_ptr<const qubo::SolveBatch> hit;
+    if (!submit.bypass_cache && core_->cache.enabled()) {
+      hit = core_->cache.get(key);
+    }
+    if (hit == nullptr && core_->config.max_inflight_per_client > 0 &&
+        client.inflight_jobs >= core_->config.max_inflight_per_client) {
+      ++client.rejected_inflight;
+      ++core_->admission_rejected;
+      throw AdmissionError(
+          AdmissionErrorKind::inflight_quota,
+          "client '" + client_name + "' is at its inflight-job quota (" +
+              std::to_string(core_->config.max_inflight_per_client) +
+              "); finish or cancel existing jobs first");
+    }
+    std::shared_ptr<detail::ExecState> join;
+    if (!submit.bypass_cache) {
+      if (hit == nullptr) {
+        const auto it = core_->inflight.find(key);
+        // A stop-signalled execution is about to exit with a partial batch
+        // — a fresh submission must not coalesce onto it; it gets its own
+        // execution (the inflight slot is simply overwritten below).
+        if (it != core_->inflight.end() && !it->second->dead &&
+            it->second->phase != detail::ExecState::Phase::finished &&
+            !it->second->stop.stop_requested()) {
+          join = it->second;
+        }
+      }
+    }
+    // Only submissions that land in the queue count against the queued
+    // quota: cache hits finish immediately and joins onto a running
+    // execution occupy no queue slot.
+    const bool will_queue =
+        hit == nullptr &&
+        (join == nullptr || join->phase == detail::ExecState::Phase::queued);
+    if (will_queue && core_->config.max_queued_per_client > 0 &&
+        client.queued_jobs >= core_->config.max_queued_per_client) {
+      ++client.rejected_queued;
+      ++core_->admission_rejected;
+      throw AdmissionError(
+          AdmissionErrorKind::queued_quota,
+          "client '" + client_name + "' is at its queued-job quota (" +
+              std::to_string(core_->config.max_queued_per_client) +
+              "); wait for queued jobs to start");
+    }
+
+    // --- admitted -----------------------------------------------------------
     job->id = core_->next_job_id++;
     ++core_->submitted;
+    ++client.submitted;
+    ++client.inflight_jobs;
 
-    if (!submit.bypass_cache) {
-      if (auto hit = core_->cache.enabled() ? core_->cache.get(key)
-                                            : nullptr) {
-        JobResult r;
-        r.status = JobStatus::done;
-        r.batch = std::move(hit);
-        r.cache_hit = true;
-        core_->finish_job(job, std::move(r));
-        return JobHandle(std::move(job));
-      }
-      const auto it = core_->inflight.find(key);
-      // A stop-signalled execution is about to exit with a partial batch —
-      // a fresh submission must not coalesce onto it; it gets its own
-      // execution (the inflight slot is simply overwritten below).
-      if (it != core_->inflight.end() && !it->second->dead &&
-          it->second->phase != detail::ExecState::Phase::finished &&
-          !it->second->stop.stop_requested()) {
-        const auto& exec = it->second;
-        exec->subscribers.push_back(job);
-        job->exec = exec;
-        ++core_->coalesced;
-        if (exec->phase == detail::ExecState::Phase::running) {
-          {
-            std::lock_guard job_lock(job->m);
-            job->status = JobStatus::running;
-          }
-          if (job->deadline) {
-            // Re-arm the mid-run watchdog: the new deadline joins the
-            // execution's watch list, and the lock-free bound is tightened
-            // so the next sweep tick observes it.  Without this a job with
-            // a tighter deadline than every subscriber present at start
-            // would only expire when the kernel finished (ROADMAP gap).
-            auto& watch = exec->watch;
-            const auto pos = std::upper_bound(
-                watch.begin(), watch.end(), *job->deadline,
-                [](const Clock::time_point& t, const auto& e) {
-                  return t < e.first;
-                });
-            watch.insert(pos, {*job->deadline, job});
-            exec->next_deadline_ns.store(to_ns(watch.front().first),
-                                         std::memory_order_relaxed);
-          }
-        } else if (submit.priority > exec->priority) {
+    if (hit != nullptr) {
+      JobResult r;
+      r.status = JobStatus::done;
+      r.batch = std::move(hit);
+      r.cache_hit = true;
+      core_->finish_job(job, std::move(r));
+      return JobHandle(std::move(job));
+    }
+    if (join != nullptr) {
+      join->subscribers.push_back(job);
+      job->exec = join;
+      ++core_->coalesced;
+      if (join->phase == detail::ExecState::Phase::running) {
+        {
+          std::lock_guard job_lock(job->m);
+          job->status = JobStatus::running;
+        }
+        if (job->deadline) {
+          // Re-arm the mid-run watchdog: the new deadline joins the
+          // execution's watch list, and the lock-free bound is tightened
+          // so the next sweep tick observes it.  Without this a job with
+          // a tighter deadline than every subscriber present at start
+          // would only expire when the kernel finished (ROADMAP gap).
+          auto& watch = join->watch;
+          const auto pos = std::upper_bound(
+              watch.begin(), watch.end(), *job->deadline,
+              [](const Clock::time_point& t, const auto& e) {
+                return t < e.first;
+              });
+          watch.insert(pos, {*job->deadline, job});
+          join->next_deadline_ns.store(to_ns(watch.front().first),
+                                       std::memory_order_relaxed);
+        }
+      } else {
+        ++client.queued_jobs;
+        job->counted_queued = true;
+        if (submit.priority > join->priority) {
           // Promote: push a higher-priority duplicate; the old entry is
           // skipped as stale when popped.
-          exec->priority = submit.priority;
-          core_->queue.push({exec->priority, core_->next_seq++, exec});
+          join->priority = submit.priority;
+          core_->push_ready(join);
           schedule = true;
         }
-        if (schedule) pool_.submit([core = core_] { core->run_one(); });
-        return JobHandle(std::move(job));
       }
+      if (schedule) pool_.submit([core = core_] { core->run_one(); });
+      return JobHandle(std::move(job));
     }
 
     auto exec = std::make_shared<detail::ExecState>();
@@ -689,10 +931,13 @@ JobHandle SolveService::submit(solvers::SolverPtr solver,
     exec->options = std::move(options);
     exec->cacheable = !submit.bypass_cache;
     exec->priority = submit.priority;
+    exec->client_id = submit.client_id;
     exec->subscribers.push_back(job);
     job->exec = exec;
+    ++client.queued_jobs;
+    job->counted_queued = true;
     if (!submit.bypass_cache) core_->inflight[key] = exec;
-    core_->queue.push({exec->priority, core_->next_seq++, exec});
+    core_->push_ready(exec);
     ++core_->queue_depth;
     schedule = true;
   }
@@ -720,6 +965,21 @@ ServiceMetrics SolveService::metrics() const {
   s.cache_loaded = core_->cache_loaded;
   s.cache_stored = core_->cache_stored;
   s.cache_load_skipped = core_->cache_load_skipped;
+  s.admission_rejected = core_->admission_rejected;
+  s.clients.reserve(core_->clients.size());
+  for (const auto& [id, c] : core_->clients) {
+    ClientSchedulerMetrics row;
+    row.client_id = id;
+    row.weight = c.weight;
+    row.queued = c.queued_jobs;
+    row.inflight = c.inflight_jobs;
+    row.submitted = c.submitted;
+    row.completed = c.completed;
+    row.dispatched = c.dispatched;
+    row.rejected_inflight = c.rejected_inflight;
+    row.rejected_queued = c.rejected_queued;
+    s.clients.push_back(std::move(row));
+  }
   s.uptime_seconds =
       std::chrono::duration<double>(Clock::now() - core_->started_at).count();
   s.jobs_per_second =
@@ -743,13 +1003,9 @@ void SolveService::shutdown() {
   std::lock_guard lock(core_->m);
   core_->shutting_down = true;
   const auto now = Clock::now();
-  while (!core_->queue.empty()) {
-    auto entry = core_->queue.top();
-    core_->queue.pop();
-    const auto& exec = entry.exec;
-    if (exec->dead || exec->phase != detail::ExecState::Phase::queued) {
-      continue;
-    }
+  // pop_ready drains every band (skipping stale/dead entries itself), so
+  // this cancels exactly the executions still waiting for a worker.
+  while (auto exec = core_->pop_ready()) {
     exec->dead = true;
     --core_->queue_depth;
     core_->drop_inflight(exec);

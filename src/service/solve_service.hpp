@@ -6,9 +6,13 @@
 // serving system needs *around* that call lives here:
 //
 //   * a worker pool (common/thread_pool) executing jobs concurrently;
-//   * a priority + deadline aware queue: higher priority runs first, FIFO
-//     within a priority, and a job whose deadline has already passed when a
-//     worker picks it up completes as `expired` WITHOUT invoking the solver;
+//   * a priority + deadline aware queue: higher priority runs first, and a
+//     job whose deadline has already passed when a worker picks it up
+//     completes as `expired` WITHOUT invoking the solver.  Within one
+//     priority band, ready work is divided between client ids by deficit
+//     round robin (weighted; FIFO per client), so arrival order alone
+//     cannot let one flooding submitter starve the rest; per-client
+//     admission quotas bound how much any client may buffer at all;
 //   * cooperative cancellation: each execution owns a StopToken threaded
 //     into the kernel, so cancel() and mid-run deadline expiry take effect
 //     within one sweep, returning the partial batch;
@@ -35,8 +39,10 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "common/thread_pool.hpp"
@@ -68,6 +74,45 @@ struct ServiceConfig {
   /// Snapshot eviction budgets applied at compaction (newest entries kept).
   std::size_t cache_file_max_entries = 4096;
   std::uint64_t cache_file_max_bytes = 64ull * 1024 * 1024;
+
+  // --- admission control / fair share ---------------------------------------
+  //
+  // Jobs are attributed to the client id in SubmitOptions (empty = one
+  // shared anonymous client).  Admission quotas apply per client id and are
+  // enforced at submit() with a typed AdmissionError; the fair-share
+  // scheduler divides each priority band between clients by weight, so one
+  // flooding submitter can no longer starve the rest through FIFO arrival
+  // order alone (priority still wins globally).
+
+  /// Max non-terminal jobs one client may have in the service (queued +
+  /// running + coalesced); 0 = unlimited.  Cache hits are exempt: they
+  /// complete inside submit() without occupying a worker or queue slot,
+  /// and the quotas bound resource occupancy, not free work.
+  std::size_t max_inflight_per_client = 0;
+  /// Max jobs one client may have waiting in the queue; 0 = unlimited.
+  /// Checked only for submissions that would actually queue — cache hits
+  /// and joins onto an already-running execution are not queued work.
+  std::size_t max_queued_per_client = 0;
+  /// Deficit-round-robin weight for clients without an explicit entry.  A
+  /// weight-2 client is offered two dispatches per scheduling cycle for
+  /// every one a weight-1 client gets.  Clamped to [0.01, 100].
+  double default_client_weight = 1.0;
+  /// Explicit per-client weights (same clamp).
+  std::map<std::string, double> client_weights;
+  /// When false, client ids still gate admission quotas and metrics but the
+  /// scheduler degrades to plain FIFO within a priority band (the pre-PR-5
+  /// behaviour) — kept as a switch so the fairness bench can measure the
+  /// difference.  With one client (or none named) the two are identical.
+  bool fair_share = true;
+  /// Bound on retained per-client bookkeeping rows: when a NEW client id
+  /// would exceed it, just enough idle rows (inflight == queued == 0) are
+  /// retired — a daemon serving endless one-shot "conn-N" clients must not
+  /// grow its metrics table forever.  A retired client's jobs stay in the
+  /// service-wide monotonic counters; resubmitting under the same id
+  /// simply starts a fresh row.  Rows with live work and clients named in
+  /// `client_weights` (operators correlate their counters across polls)
+  /// are never retired.  0 = unbounded.
+  std::size_t max_client_rows = 1024;
 };
 
 struct SubmitOptions {
@@ -86,6 +131,45 @@ struct SubmitOptions {
   /// Skip both the cache lookup/store and coalescing for this job (e.g.
   /// fresh statistics wanted despite an equal fingerprint).
   bool bypass_cache = false;
+  /// Who this job is accounted to for admission quotas and fair-share
+  /// scheduling.  Empty = the shared anonymous client (all such jobs are
+  /// one client for both purposes).  The network server fills this from the
+  /// connection's identity.
+  std::string client_id;
+};
+
+/// Why submit() refused a job without enqueuing it.
+enum class AdmissionErrorKind {
+  /// The service is shutting down / draining.  Retryable: another instance
+  /// (e.g. a restarted daemon) may accept the same job verbatim.
+  shutting_down,
+  /// The client is at max_inflight_per_client.  Permanent for THIS job at
+  /// this moment — resubmitting the identical job without first letting
+  /// some of the client's work finish can never succeed.
+  inflight_quota,
+  /// The client is at max_queued_per_client (same permanence as above).
+  queued_quota,
+};
+
+const char* to_string(AdmissionErrorKind kind);
+
+/// Thrown by SolveService::submit() when a job is refused at the door.
+/// Derives from std::invalid_argument so pre-admission-control callers that
+/// caught the shutdown precondition keep working unchanged.
+class AdmissionError : public std::invalid_argument {
+ public:
+  AdmissionError(AdmissionErrorKind kind, const std::string& message)
+      : std::invalid_argument(message), kind_(kind) {}
+
+  AdmissionErrorKind kind() const { return kind_; }
+  /// True when retrying the same submission later can succeed without the
+  /// caller changing anything (shutdown/drain: a fresh service instance may
+  /// take it).  Quota violations are NOT retryable until the client's own
+  /// earlier jobs finish.
+  bool retryable() const { return kind_ == AdmissionErrorKind::shutting_down; }
+
+ private:
+  AdmissionErrorKind kind_;
 };
 
 namespace detail {
@@ -112,7 +196,8 @@ class SolveService {
   /// for jobs present when their execution starts, but NOT for a job that
   /// coalesces onto an already-running execution — cancel such a job via
   /// its handle (ServiceSolver does exactly that by polling).  Throws
-  /// std::invalid_argument after shutdown().
+  /// AdmissionError (a std::invalid_argument) after shutdown() or when the
+  /// client is over an admission quota — see AdmissionErrorKind.
   JobHandle submit(solvers::SolverPtr solver, const qubo::QuboModel& model,
                    solvers::SolveOptions options, SubmitOptions submit = {});
 

@@ -182,6 +182,67 @@ TEST(NetProtocolTest, ResultFrameRoundTripsWithAndWithoutBatch) {
   EXPECT_EQ(decoded.batch->results[0].qubo_energy, -3.25);
 }
 
+TEST(NetProtocolTest, HelloRoundTripsClientIdAndToleratesLegacyPayload) {
+  HelloFrame hello;
+  hello.client_id = "tenant-a";
+  auto decoded = decode_hello(encode_hello(hello));
+  EXPECT_EQ(decoded.protocol_version, kProtocolVersion);
+  EXPECT_EQ(decoded.client_id, "tenant-a");
+
+  // A pre-admission-control Hello (version + flags only) still decodes:
+  // fields are append-only within a protocol version.
+  io::ByteWriter legacy;
+  legacy.u32(kProtocolVersion);
+  legacy.u32(0);
+  decoded = decode_hello(legacy.bytes());
+  EXPECT_EQ(decoded.protocol_version, kProtocolVersion);
+  EXPECT_TRUE(decoded.client_id.empty());
+}
+
+TEST(NetProtocolTest, MetricsFrameRoundTripsAdmissionTailAndToleratesLegacy) {
+  MetricsFrame metrics;
+  metrics.service.admission_rejected = 7;
+  metrics.connections_rejected_full = 3;
+  metrics.client_id = "me";
+  service::ClientSchedulerMetrics row;
+  row.client_id = "greedy";
+  row.weight = 2.5;
+  row.queued = 4;
+  row.inflight = 6;
+  row.submitted = 100;
+  row.completed = 90;
+  row.dispatched = 42;
+  row.rejected_inflight = 8;
+  row.rejected_queued = 9;
+  metrics.clients.push_back(row);
+
+  const auto decoded = decode_metrics(encode_metrics(metrics));
+  EXPECT_EQ(decoded.service.admission_rejected, 7u);
+  EXPECT_EQ(decoded.connections_rejected_full, 3u);
+  EXPECT_EQ(decoded.client_id, "me");
+  ASSERT_EQ(decoded.clients.size(), 1u);
+  EXPECT_EQ(decoded.clients[0].client_id, "greedy");
+  EXPECT_EQ(decoded.clients[0].weight, 2.5);
+  EXPECT_EQ(decoded.clients[0].queued, 4u);
+  EXPECT_EQ(decoded.clients[0].inflight, 6u);
+  EXPECT_EQ(decoded.clients[0].submitted, 100u);
+  EXPECT_EQ(decoded.clients[0].completed, 90u);
+  EXPECT_EQ(decoded.clients[0].dispatched, 42u);
+  EXPECT_EQ(decoded.clients[0].rejected_inflight, 8u);
+  EXPECT_EQ(decoded.clients[0].rejected_queued, 9u);
+
+  // A pre-admission-control payload is a strict prefix of today's: strip
+  // the default tail (u64 + u64 + empty string + u32 count = 24 bytes) and
+  // the decoder must fall back to "no quota activity".
+  auto legacy_bytes = encode_metrics(MetricsFrame{});
+  legacy_bytes.resize(legacy_bytes.size() - 24);
+  const auto legacy = decode_metrics(legacy_bytes);
+  EXPECT_EQ(legacy.connections_rejected_full, 0u);
+  EXPECT_EQ(legacy.service.admission_rejected, 0u);
+  EXPECT_TRUE(legacy.client_id.empty());
+  EXPECT_TRUE(legacy.clients.empty());
+}
+
 TEST(NetProtocolTest, FrameBufferReassemblesByteByByte) {
   const auto payload = encode_cancel({.tag = 77});
   const auto bytes = frame(io::kRecordNetCancelJob, payload);
@@ -239,11 +300,13 @@ class NetServerTest : public ::testing::Test {
   /// submissions actually ran a kernel.
   Endpoint start(const std::string& listen_spec,
                  service::ServiceConfig service_config = {},
-                 std::uint32_t max_frame_bytes = kMaxFrameBytes) {
+                 std::uint32_t max_frame_bytes = kMaxFrameBytes,
+                 std::size_t max_connections = 256) {
     service_ = std::make_unique<service::SolveService>(service_config);
     ServerConfig config;
     config.listen.push_back(*Endpoint::parse(listen_spec));
     config.max_frame_bytes = max_frame_bytes;
+    config.max_connections = max_connections;
     config.registry = [this](const std::string& name) -> solvers::SolverPtr {
       if (name == "count") {
         return std::make_shared<testing::CountingSolver>(
@@ -266,9 +329,11 @@ class NetServerTest : public ::testing::Test {
   }
 
   Client make_client(const Endpoint& endpoint,
-                     int request_timeout_ms = 30000) {
+                     int request_timeout_ms = 30000,
+                     const std::string& client_id = {}) {
     ClientConfig config;
     config.server = endpoint;
+    config.client_id = client_id;
     config.request_timeout_ms = request_timeout_ms;
     config.reconnect_backoff_ms = 10;
     return Client(config);
@@ -673,6 +738,216 @@ TEST_F(NetServerTest, UnknownFrameTypeGetsErrorButKeepsTheConnection) {
   reply = raw.read_frame();
   ASSERT_TRUE(reply.has_value());
   EXPECT_EQ(reply->type, io::kRecordNetMetrics);
+}
+
+// --- admission control + fair share over the wire ----------------------------
+
+// ISSUE 5 satellite: an accept over max_connections used to be silently
+// ::close()d — the peer saw a reset and retried forever.  It must receive a
+// kErrServerFull Error frame (then the close), and be counted.
+TEST_F(NetServerTest, ConnectionOverMaxConnectionsGetsServerFullNotAReset) {
+  const auto endpoint = start("tcp:127.0.0.1:0", {}, kMaxFrameBytes,
+                              /*max_connections=*/1);
+  RawConnection first(endpoint);
+  ASSERT_TRUE(first.handshake());
+
+  RawConnection second(endpoint);
+  const auto reply = second.read_frame();
+  ASSERT_TRUE(reply.has_value())
+      << "over-limit accept must answer with an Error frame, not a bare close";
+  ASSERT_EQ(reply->type, io::kRecordNetError);
+  EXPECT_EQ(decode_error(reply->payload).code, kErrServerFull);
+  EXPECT_FALSE(second.read_frame().has_value());  // closed after the frame
+  EXPECT_TRUE(eventually(
+      [&] { return server_->stats().connections_rejected_full >= 1; }));
+  // The admitted connection is untouched.
+  ASSERT_TRUE(first.send_frame(io::kRecordNetGetMetrics, {}));
+  const auto metrics_reply = first.read_frame();
+  ASSERT_TRUE(metrics_reply.has_value());
+  EXPECT_EQ(metrics_reply->type, io::kRecordNetMetrics);
+  EXPECT_EQ(decode_metrics(metrics_reply->payload).connections_rejected_full,
+            1u);
+}
+
+// ISSUE 5 satellite: a quota refusal is PERMANENT for the client's current
+// standing — the client must fail the job on the first kErrQuotaExceeded
+// frame instead of resubmitting it.
+TEST_F(NetServerTest, QuotaExceededFailsTheJobWithoutRetries) {
+  service::ServiceConfig service_config;
+  service_config.num_workers = 1;
+  service_config.max_inflight_per_client = 1;
+  const auto endpoint = start("tcp:127.0.0.1:0", service_config);
+  auto client = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+
+  const auto slow = client.submit(slow_job());
+  ASSERT_TRUE(slow.has_value());
+  ASSERT_TRUE(eventually([&] { return service_->metrics().running > 0; }));
+  const auto refused = client.submit(quick_job());
+  ASSERT_TRUE(refused.has_value());
+  const auto result = client.wait(*refused);
+  EXPECT_EQ(result.status, service::JobStatus::failed);
+  EXPECT_NE(result.error.find("quota"), std::string::npos) << result.error;
+  const auto errors = client.take_errors();
+  ASSERT_EQ(errors.size(), 1u) << "exactly one refusal: no resubmit loop";
+  EXPECT_EQ(errors[0].code, kErrQuotaExceeded);
+  // An admission refusal is not a protocol violation: the peer spoke the
+  // protocol correctly and the rejection has its own counter.
+  EXPECT_EQ(server_->stats().protocol_errors, 0u);
+  EXPECT_EQ(service_->metrics().admission_rejected, 1u);
+
+  ASSERT_TRUE(client.cancel(*slow));
+  EXPECT_EQ(client.wait(*slow).status, service::JobStatus::cancelled);
+}
+
+// ISSUE 5 satellite: the submit handler used to map EVERY service.submit()
+// exception to kErrDraining, reporting permanently-invalid jobs as
+// retryable.  An invalid job must be kErrBadRequest, failed exactly once.
+TEST_F(NetServerTest, InvalidJobIsBadRequestNotDrainingAndNotRetried) {
+  const auto endpoint = start_tcp();
+  auto client = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+
+  RemoteJob invalid = quick_job();
+  invalid.num_replicas = 0;  // the service refuses this at submit()
+  const auto result = client.wait(*client.submit(invalid));
+  EXPECT_EQ(result.status, service::JobStatus::failed);
+  EXPECT_NE(result.error.find("num_replicas"), std::string::npos)
+      << result.error;
+  const auto errors = client.take_errors();
+  ASSERT_EQ(errors.size(), 1u) << "permanent refusal must not be retried";
+  EXPECT_EQ(errors[0].code, kErrBadRequest);
+  EXPECT_EQ(server_->stats().protocol_errors, 1u);
+  EXPECT_EQ(invocations_.load(), 0);
+
+  // The connection survives; a valid job still runs.
+  EXPECT_EQ(client.wait(*client.submit(quick_job())).status,
+            service::JobStatus::done);
+}
+
+// The retryable side of the taxonomy: a kErrDraining refusal keeps the job
+// pending and the client resubmits it (with backoff) under its original
+// tag.  Scripted one-connection server: first SubmitJob → kErrDraining,
+// the resubmit → a done Result.
+TEST_F(NetServerTest, DrainingRefusalIsRetriedWithBackoffUntilAccepted) {
+  std::string error;
+  auto listener = listen_on(*Endpoint::parse("tcp:127.0.0.1:0"), &error);
+  ASSERT_TRUE(listener.valid()) << error;
+  const auto endpoint = local_endpoint(listener.fd());
+  ASSERT_TRUE(endpoint.has_value());
+
+  std::atomic<int> submits_seen{0};
+  std::thread scripted([&] {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0) return;
+    Socket conn(fd);
+    FrameBuffer in;
+    std::uint8_t buf[65536];
+    const auto reply = [&](std::uint32_t type,
+                           std::span<const std::uint8_t> payload) {
+      const auto bytes = frame(type, payload);
+      conn.send_all(bytes.data(), bytes.size());
+    };
+    bool finished = false;
+    while (!finished) {
+      const long n = conn.recv_some(buf, sizeof(buf), 5000);
+      if (n <= 0) break;
+      in.append(buf, static_cast<std::size_t>(n));
+      Frame f;
+      while (in.next(&f) == FrameBuffer::Status::frame) {
+        if (f.type == io::kRecordNetHello) {
+          reply(io::kRecordNetHelloAck, encode_hello_ack({}));
+        } else if (f.type == io::kRecordNetSubmitJob) {
+          const auto submit = decode_submit(f.payload);
+          if (++submits_seen == 1) {
+            ErrorFrame busy;
+            busy.tag = submit.tag;
+            busy.code = kErrDraining;
+            busy.message = "scripted: draining";
+            reply(io::kRecordNetError, encode_error(busy));
+          } else {
+            ResultFrame result;
+            result.tag = submit.tag;
+            result.status = service::JobStatus::done;
+            qubo::SolveBatch batch;
+            batch.results.push_back({{1, 0, 1}, -1.0});
+            result.batch =
+                std::make_shared<const qubo::SolveBatch>(std::move(batch));
+            reply(io::kRecordNetResult, encode_result(result));
+            finished = true;
+          }
+        }
+      }
+    }
+  });
+
+  auto client = make_client(*endpoint, /*request_timeout_ms=*/10000);
+  ASSERT_TRUE(client.connect(&error)) << error;
+  const auto tag = client.submit(quick_job(61));
+  ASSERT_TRUE(tag.has_value());
+  const auto result = client.wait(*tag);
+  EXPECT_EQ(result.status, service::JobStatus::done)
+      << "retryable refusal must be resubmitted, got: " << result.error;
+  EXPECT_EQ(submits_seen.load(), 2) << "refused once, resubmitted once";
+  scripted.join();
+}
+
+// The retryable side of kErrServerFull: connect() backs off and redials
+// until a connection slot frees (instead of failing on the first refusal).
+TEST_F(NetServerTest, ConnectRetriesWithBackoffWhileServerFull) {
+  const auto endpoint = start("tcp:127.0.0.1:0", {}, kMaxFrameBytes,
+                              /*max_connections=*/1);
+  auto occupant = std::make_unique<RawConnection>(endpoint);
+  ASSERT_TRUE(occupant->handshake());
+  std::thread freer([&] {
+    std::this_thread::sleep_for(100ms);
+    occupant.reset();  // the slot frees mid-retry
+  });
+  ClientConfig config;
+  config.server = endpoint;
+  config.reconnect_backoff_ms = 50;
+  config.reconnect_attempts = 10;
+  Client client(config);
+  std::string error;
+  EXPECT_TRUE(client.connect(&error))
+      << "connect must retry a full server: " << error;
+  freer.join();
+  EXPECT_GE(server_->stats().connections_rejected_full, 1u)
+      << "the first attempt should have been refused as full";
+}
+
+TEST_F(NetServerTest, MetricsReportPerClientSchedulerRows) {
+  service::ServiceConfig service_config;
+  service_config.client_weights["tenant-a"] = 2.0;
+  const auto endpoint = start("tcp:127.0.0.1:0", service_config);
+  auto tenant = make_client(endpoint, 30000, "tenant-a");
+  auto anon = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(tenant.connect(&error)) << error;
+  ASSERT_TRUE(anon.connect(&error)) << error;
+
+  ASSERT_EQ(tenant.wait(*tenant.submit(quick_job(71))).status,
+            service::JobStatus::done);
+  ASSERT_EQ(anon.wait(*anon.submit(quick_job(72))).status,
+            service::JobStatus::done);
+
+  const auto metrics = tenant.metrics(&error);
+  ASSERT_TRUE(metrics.has_value()) << error;
+  EXPECT_EQ(metrics->client_id, "tenant-a");
+  ASSERT_EQ(metrics->clients.size(), 2u);
+  // Hello-named identity and the per-connection fallback, side by side.
+  EXPECT_EQ(metrics->clients[0].client_id, "conn-2");
+  EXPECT_EQ(metrics->clients[1].client_id, "tenant-a");
+  EXPECT_EQ(metrics->clients[1].weight, 2.0);
+  EXPECT_EQ(metrics->clients[1].submitted, 1u);
+  EXPECT_EQ(metrics->clients[1].completed, 1u);
+  EXPECT_EQ(metrics->clients[1].dispatched, 1u);
+
+  const auto anon_metrics = anon.metrics(&error);
+  ASSERT_TRUE(anon_metrics.has_value()) << error;
+  EXPECT_EQ(anon_metrics->client_id, "conn-2");
 }
 
 }  // namespace

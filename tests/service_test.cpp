@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <chrono>
@@ -657,6 +658,259 @@ TEST(SolveServiceTest, MetricsSnapshotIsConsistent) {
   EXPECT_EQ(m.queue_wait.count, 5u);
   EXPECT_EQ(m.run.count, 4u);
   EXPECT_GE(m.run.p99_ms, m.run.p50_ms);
+}
+
+// --- fair share + admission control ------------------------------------------
+
+std::vector<double> offsets_of(const std::vector<double>& order,
+                               std::size_t count) {
+  return {order.begin(),
+          order.begin() + static_cast<std::ptrdiff_t>(
+                              std::min(count, order.size()))};
+}
+
+// The ISSUE 5 acceptance criterion: with a greedy client keeping the queue
+// full, a polite client's job at equal priority is dispatched within one
+// round-robin cycle — not after the greedy backlog.
+TEST(FairShareTest, PoliteClientJobDispatchesWithinOneRoundRobinCycle) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  SolveService svc(config);
+
+  const auto gate = std::make_shared<GateSolver::Gate>();
+  auto blocker = svc.submit(std::make_shared<GateSolver>(gate),
+                            test_model(0xC0), small_options());
+  gate->await_entered(1);  // the only worker is held; everything below queues
+
+  const auto log = std::make_shared<RecordingSolver::Log>();
+  const auto recorder = std::make_shared<RecordingSolver>(log);
+  std::vector<JobHandle> handles;
+  SubmitOptions greedy;
+  greedy.client_id = "greedy";
+  for (int k = 0; k < 8; ++k) {
+    qubo::QuboModel model = test_model(0xC1 + k, 16);
+    model.set_offset(1.0 + k);  // greedy jobs tagged 1..8 for the recorder
+    handles.push_back(svc.submit(recorder, model, small_options(), greedy));
+  }
+  SubmitOptions polite;
+  polite.client_id = "polite";
+  qubo::QuboModel late = test_model(0xD0, 16);
+  late.set_offset(100.0);  // the polite job, submitted LAST
+  handles.push_back(svc.submit(recorder, late, small_options(), polite));
+
+  gate->release();
+  for (auto& handle : handles) {
+    EXPECT_EQ(handle.wait().status, JobStatus::done);
+  }
+  blocker.wait();
+  ASSERT_EQ(log->order.size(), 9u);
+  const auto head = offsets_of(log->order, 2);
+  EXPECT_TRUE(head[0] == 100.0 || head[1] == 100.0)
+      << "polite job was dispatched behind the greedy flood (first two: "
+      << head[0] << ", " << head[1] << ")";
+
+  const ServiceMetrics m = svc.metrics();
+  ASSERT_EQ(m.clients.size(), 3u);  // (anonymous blocker), greedy, polite
+  EXPECT_EQ(m.clients[1].client_id, "greedy");
+  EXPECT_EQ(m.clients[1].submitted, 8u);
+  EXPECT_EQ(m.clients[1].dispatched, 8u);
+  EXPECT_EQ(m.clients[2].client_id, "polite");
+  EXPECT_EQ(m.clients[2].completed, 1u);
+}
+
+TEST(FairShareTest, ClientWeightsScaleDispatchShare) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.client_weights["heavy"] = 2.0;
+  SolveService svc(config);
+
+  const auto gate = std::make_shared<GateSolver::Gate>();
+  auto blocker = svc.submit(std::make_shared<GateSolver>(gate),
+                            test_model(0xC9), small_options());
+  gate->await_entered(1);
+
+  const auto log = std::make_shared<RecordingSolver::Log>();
+  const auto recorder = std::make_shared<RecordingSolver>(log);
+  std::vector<JobHandle> handles;
+  for (int k = 0; k < 6; ++k) {  // heavy tagged 1..6, light tagged 101..106
+    SubmitOptions submit;
+    submit.client_id = "heavy";
+    qubo::QuboModel model = test_model(0xE0 + k, 16);
+    model.set_offset(1.0 + k);
+    handles.push_back(svc.submit(recorder, model, small_options(), submit));
+  }
+  for (int k = 0; k < 6; ++k) {
+    SubmitOptions submit;
+    submit.client_id = "light";
+    qubo::QuboModel model = test_model(0xF0 + k, 16);
+    model.set_offset(101.0 + k);
+    handles.push_back(svc.submit(recorder, model, small_options(), submit));
+  }
+  gate->release();
+  for (auto& handle : handles) {
+    EXPECT_EQ(handle.wait().status, JobStatus::done);
+  }
+  blocker.wait();
+  ASSERT_EQ(log->order.size(), 12u);
+  // Deficit round robin with weight 2 vs 1: each cycle serves two heavy
+  // jobs then one light one — H H L H H L over the first six dispatches.
+  const auto head = offsets_of(log->order, 6);
+  int heavy_head = 0;
+  for (const double tag : head) heavy_head += tag < 100.0 ? 1 : 0;
+  EXPECT_EQ(heavy_head, 4) << "weight-2 client should get 2 of every 3 slots";
+  EXPECT_GT(head[2], 100.0) << "light client's first job rides cycle one";
+}
+
+TEST(AdmissionControlTest, InflightQuotaRejectsAtSubmitAndFreesOnCompletion) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.max_inflight_per_client = 2;
+  SolveService svc(config);
+  const auto solver = std::make_shared<solvers::SimulatedAnnealer>();
+  SubmitOptions limited;
+  limited.client_id = "limited";
+
+  // Seed the cache while the worker is free (quota 1/2 during the solve).
+  const auto cached_model = test_model(0xDD);
+  ASSERT_EQ(
+      svc.submit(solver, cached_model, small_options(), limited).wait().status,
+      JobStatus::done);
+
+  const auto gate = std::make_shared<GateSolver::Gate>();
+  auto blocker = svc.submit(std::make_shared<GateSolver>(gate),
+                            test_model(0xD1), small_options());
+  gate->await_entered(1);  // "(anonymous)" holds the worker
+  auto first = svc.submit(solver, test_model(0xD2), small_options(), limited);
+  auto second = svc.submit(solver, test_model(0xD3), small_options(), limited);
+  try {
+    svc.submit(solver, test_model(0xD4), small_options(), limited);
+    FAIL() << "third inflight job must be refused";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.kind(), AdmissionErrorKind::inflight_quota);
+    EXPECT_FALSE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("quota"), std::string::npos);
+  }
+  // A cache hit completes instantly without occupying anything: admitted
+  // even at the full inflight quota.
+  const JobResult hit =
+      svc.submit(solver, cached_model, small_options(), limited).wait();
+  EXPECT_EQ(hit.status, JobStatus::done);
+  EXPECT_TRUE(hit.cache_hit);
+  // Another client is unaffected by the limited client's quota.
+  SubmitOptions other;
+  other.client_id = "other";
+  auto ok = svc.submit(solver, test_model(0xD5), small_options(), other);
+
+  ServiceMetrics m = svc.metrics();
+  EXPECT_EQ(m.admission_rejected, 1u);
+  ASSERT_EQ(m.clients.size(), 3u);
+  EXPECT_EQ(m.clients[1].client_id, "limited");
+  EXPECT_EQ(m.clients[1].rejected_inflight, 1u);
+  EXPECT_EQ(m.clients[1].inflight, 2u);
+  EXPECT_EQ(m.clients[1].queued, 2u);
+  EXPECT_EQ(m.clients[1].submitted, 4u)
+      << "seed + 2 queued + the cache hit; rejections are not submissions";
+
+  gate->release();
+  EXPECT_EQ(blocker.wait().status, JobStatus::done);
+  EXPECT_EQ(first.wait().status, JobStatus::done);
+  EXPECT_EQ(second.wait().status, JobStatus::done);
+  EXPECT_EQ(ok.wait().status, JobStatus::done);
+  // Quota capacity is returned as jobs finish.
+  EXPECT_EQ(
+      svc.submit(solver, test_model(0xD6), small_options(), limited).wait()
+          .status,
+      JobStatus::done);
+}
+
+TEST(AdmissionControlTest, QueuedQuotaExemptsCacheHitsAndRunningJoins) {
+  ServiceConfig config;
+  config.num_workers = 1;
+  config.max_queued_per_client = 1;
+  SolveService svc(config);
+  const auto solver = std::make_shared<solvers::SimulatedAnnealer>();
+  SubmitOptions quota;
+  quota.client_id = "q";
+
+  // Seed the cache while the worker is free.
+  const auto cached_model = test_model(0xD7);
+  ASSERT_EQ(svc.submit(solver, cached_model, small_options(), quota)
+                .wait()
+                .status,
+            JobStatus::done);
+
+  const auto gate = std::make_shared<GateSolver::Gate>();
+  const auto gate_solver = std::make_shared<GateSolver>(gate);
+  const auto gate_model = test_model(0xD8);
+  auto blocker = svc.submit(gate_solver, gate_model, small_options());
+  gate->await_entered(1);
+
+  auto queued = svc.submit(solver, test_model(0xD9), small_options(), quota);
+  try {
+    svc.submit(solver, test_model(0xDA), small_options(), quota);
+    FAIL() << "second queued job must be refused";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.kind(), AdmissionErrorKind::queued_quota);
+  }
+  // A cache hit occupies no queue slot: admitted despite the full quota.
+  const JobResult hit =
+      svc.submit(solver, cached_model, small_options(), quota).wait();
+  EXPECT_EQ(hit.status, JobStatus::done);
+  EXPECT_TRUE(hit.cache_hit);
+  // Joining the RUNNING execution occupies no queue slot either.
+  auto join = svc.submit(gate_solver, gate_model, small_options(), quota);
+  EXPECT_EQ(join.status(), JobStatus::running);
+
+  gate->release();
+  EXPECT_EQ(blocker.wait().status, JobStatus::done);
+  EXPECT_EQ(join.wait().status, JobStatus::done);
+  EXPECT_EQ(queued.wait().status, JobStatus::done);
+  const ServiceMetrics m = svc.metrics();
+  EXPECT_EQ(m.admission_rejected, 1u);
+}
+
+TEST(AdmissionControlTest, ShutdownRefusalIsRetryableAdmissionError) {
+  SolveService svc;
+  svc.shutdown();
+  try {
+    svc.submit(std::make_shared<solvers::SimulatedAnnealer>(),
+               test_model(0xDB), small_options());
+    FAIL() << "submit after shutdown must throw";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.kind(), AdmissionErrorKind::shutting_down);
+    EXPECT_TRUE(e.retryable()) << "a restarted service may accept the job";
+  }
+}
+
+// A warm daemon serves endless one-shot anonymous clients (conn-N ids);
+// their bookkeeping rows must be retired once idle, not kept forever.
+TEST(AdmissionControlTest, IdleClientRowsAreBoundedByMaxClientRows) {
+  ServiceConfig config;
+  config.max_client_rows = 4;
+  SolveService svc(config);
+  const auto solver = std::make_shared<solvers::DigitalAnnealer>();
+  for (int k = 0; k < 10; ++k) {
+    SubmitOptions submit;
+    submit.client_id = "one-shot-" + std::to_string(k);
+    EXPECT_EQ(svc.submit(solver, test_model(0xE00 + k, 24), small_options(),
+                         submit)
+                  .wait()
+                  .status,
+              JobStatus::done);
+  }
+  const ServiceMetrics m = svc.metrics();
+  EXPECT_LE(m.clients.size(), 4u);
+  EXPECT_EQ(m.submitted, 10u) << "retirement must not touch global counters";
+  EXPECT_EQ(m.completed, 10u);
+}
+
+TEST(AdmissionControlTest, ZeroReplicasIsRefusedAsInvalid) {
+  SolveService svc;
+  solvers::SolveOptions options = small_options();
+  options.num_replicas = 0;
+  EXPECT_THROW(svc.submit(std::make_shared<solvers::SimulatedAnnealer>(),
+                          test_model(0xDC), options),
+               std::invalid_argument);
 }
 
 // --- cache persistence (ServiceConfig::cache_path) --------------------------

@@ -75,9 +75,10 @@ commands:
   cache    <info|compact|clear> --file PATH [--max-entries N] [--max-bytes B]
   remote   batch   --server EP --jobs FILE [--solver NAME] [--repeat K]
                    [--replicas B] [--sweeps N] [--seed S] [--deadline-ms D]
-                   [--timeout-ms T]
-           metrics --server EP
-           (EP: unix:/path.sock | tcp:host:port | host:port)
+                   [--timeout-ms T] [--client-id NAME]
+           metrics --server EP [--timeout-ms T] [--client-id NAME]
+           (EP: unix:/path.sock | tcp:host:port | host:port; --client-id
+            groups connections for the daemon's per-client quotas/weights)
 
 common options:
   --seed S      RNG master seed (default 1)
@@ -524,6 +525,7 @@ net::Client make_remote_client(const Args& args) {
   }
   net::ClientConfig config;
   config.server = *endpoint;
+  config.client_id = get_or(args, "client-id", "");
   config.request_timeout_ms =
       static_cast<int>(std::stol(get_or(args, "timeout-ms", "120000")));
   return net::Client(config);
@@ -535,7 +537,8 @@ net::Client make_remote_client(const Args& args) {
 // "0 solver invocations" because every job is a server-side cache hit.
 int cmd_remote_batch(const Args& args) {
   require_known_flags(args, {"server", "jobs", "solver", "repeat", "replicas",
-                             "sweeps", "seed", "deadline-ms", "timeout-ms"});
+                             "sweeps", "seed", "deadline-ms", "timeout-ms",
+                             "client-id"});
   const auto default_solver = get_or(args, "solver", "da");
   const auto specs = load_jobs_file(require(args, "jobs"), default_solver);
   const auto options = cli_solve_options(args, default_solver);
@@ -631,7 +634,7 @@ int cmd_remote_batch(const Args& args) {
 }
 
 int cmd_remote_metrics(const Args& args) {
-  require_known_flags(args, {"server", "timeout-ms"});
+  require_known_flags(args, {"server", "timeout-ms", "client-id"});
   net::Client client = make_remote_client(args);
   std::string error;
   if (!client.connect(&error)) {
@@ -664,10 +667,32 @@ int cmd_remote_metrics(const Args& args) {
       m.uptime_seconds);
   std::printf(
       "server:   %llu connections accepted, %llu active, "
-      "%llu protocol errors\n",
+      "%llu protocol errors, %llu refused full\n",
       static_cast<unsigned long long>(metrics->connections_accepted),
       static_cast<unsigned long long>(metrics->connections_active),
-      static_cast<unsigned long long>(metrics->protocol_errors));
+      static_cast<unsigned long long>(metrics->protocol_errors),
+      static_cast<unsigned long long>(metrics->connections_rejected_full));
+  std::printf(
+      "admission: %llu submissions rejected by per-client quotas | "
+      "this connection is client '%s'\n",
+      static_cast<unsigned long long>(metrics->service.admission_rejected),
+      metrics->client_id.c_str());
+  if (!metrics->clients.empty()) {
+    std::printf(
+        "clients:  id                       weight  queued  inflight "
+        "submitted  done      dispatched rejected(infl/queue)\n");
+    for (const auto& c : metrics->clients) {
+      std::printf(
+          "          %-24s %-7.2f %-7zu %-8zu %-10llu %-9llu %-10llu "
+          "%llu/%llu\n",
+          c.client_id.c_str(), c.weight, c.queued, c.inflight,
+          static_cast<unsigned long long>(c.submitted),
+          static_cast<unsigned long long>(c.completed),
+          static_cast<unsigned long long>(c.dispatched),
+          static_cast<unsigned long long>(c.rejected_inflight),
+          static_cast<unsigned long long>(c.rejected_queued));
+    }
+  }
   return 0;
 }
 

@@ -2,7 +2,9 @@
 //
 //   qrossd --listen unix:/run/qross.sock[,tcp:0.0.0.0:7777] [--workers N]
 //          [--cache N] [--cache-file PATH] [--max-frame-bytes B]
-//          [--drain-timeout-ms T]
+//          [--drain-timeout-ms T] [--max-connections N]
+//          [--max-inflight-per-client N] [--max-queued-per-client N]
+//          [--client-weight W | --client-weight NAME=W]...
 //
 // One warm daemon serves many short-lived clients (`qross_cli remote ...`)
 // from a single persistent result cache — the multi-process answer to the
@@ -57,6 +59,21 @@ options:
   --cache-file PATH     persist the result cache across daemon restarts
   --max-frame-bytes B   per-frame wire limit (default 67108864)
   --drain-timeout-ms T  SIGTERM drain bound (default 30000)
+
+admission control / fair share (client = the Hello's client_id, or one
+anonymous bucket per connection):
+  --max-connections N          accept backstop; over it, new connections get
+                               a kErrServerFull frame (default 256)
+  --max-inflight-per-client N  max non-terminal jobs one client may hold;
+                               over it, submits get kErrQuotaExceeded
+                               (default 0 = unlimited)
+  --max-queued-per-client N    max jobs one client may have waiting in the
+                               queue (default 0 = unlimited)
+  --client-weight W            default fair-share weight for every client
+  --client-weight NAME=W       explicit weight for client NAME (repeatable);
+                               a weight-2 client is offered two dispatches
+                               per scheduling cycle for a weight-1 client's
+                               one, within the same priority
 )");
   std::exit(2);
 }
@@ -91,6 +108,23 @@ int main(int argc, char** argv) {
             static_cast<std::uint32_t>(std::stoul(value()));
       } else if (key == "--drain-timeout-ms") {
         drain_timeout_ms = std::stol(value());
+      } else if (key == "--max-connections") {
+        server_config.max_connections = std::stoul(value());
+      } else if (key == "--max-inflight-per-client") {
+        service_config.max_inflight_per_client = std::stoul(value());
+      } else if (key == "--max-queued-per-client") {
+        service_config.max_queued_per_client = std::stoul(value());
+      } else if (key == "--client-weight") {
+        const std::string spec = value();
+        const auto eq = spec.find('=');
+        if (eq == std::string::npos) {
+          service_config.default_client_weight = std::stod(spec);
+        } else if (eq == 0) {
+          usage("--client-weight NAME=W needs a non-empty NAME");
+        } else {
+          service_config.client_weights[spec.substr(0, eq)] =
+              std::stod(spec.substr(eq + 1));
+        }
       } else {
         usage(("unknown option " + key).c_str());
       }
@@ -142,6 +176,15 @@ int main(int argc, char** argv) {
               service.num_workers(), service_config.cache_capacity,
               service_config.cache_path.empty() ? "" : ", persisted to ",
               service_config.cache_path.c_str());
+  if (service_config.max_inflight_per_client > 0 ||
+      service_config.max_queued_per_client > 0) {
+    std::printf(
+        "qrossd admission: per-client quotas %zu inflight / %zu queued "
+        "(0 = unlimited), default weight %.2f\n",
+        service_config.max_inflight_per_client,
+        service_config.max_queued_per_client,
+        service_config.default_client_weight);
+  }
   std::fflush(stdout);
 
   // Block until a signal lands (EINTR restarts are fine: the handler also
