@@ -9,6 +9,7 @@
 
 #include <sstream>
 
+#include "common/aligned.hpp"
 #include "common/rng.hpp"
 #include "harness/dense_baseline.hpp"
 #include "problems/mvc/mvc.hpp"
@@ -16,6 +17,8 @@
 #include "problems/tsp/generators.hpp"
 #include "qross/min_fitness.hpp"
 #include "qubo/incremental.hpp"
+#include "qubo/replica_block.hpp"
+#include "qubo/simd.hpp"
 #include "qubo/sparse.hpp"
 #include "solvers/digital_annealer.hpp"
 #include "solvers/qbsolv.hpp"
@@ -82,7 +85,7 @@ BENCHMARK(BM_SparseFullEnergy)->Arg(8)->Arg(12)->Arg(16);
 
 void BM_IncrementalFlip(benchmark::State& state) {
   const auto model = make_tsp_qubo(static_cast<std::size_t>(state.range(0)));
-  qubo::IncrementalEvaluator eval(model);
+  qubo::IncrementalEvaluator eval(qubo::SparseAdjacency::build(model));
   Rng rng(2);
   qubo::Bits x(model.num_vars());
   for (auto& b : x) b = rng.bernoulli(0.5) ? 1 : 0;
@@ -147,6 +150,76 @@ void BM_SweepSparseMvc(benchmark::State& state) {
   run_sweep_bench(state, model, eval);
 }
 BENCHMARK(BM_SweepSparseMvc)->Arg(128)->Arg(256)->Arg(512);
+
+// --- blocked multi-replica sweep throughput (SIMD evaluation core) ---------
+//
+// The replica-block counterpart of BM_SweepSparse*: one forced-apply sweep
+// advances 8 replicas at once over the shared CSR rows.  items_processed
+// counts flips ACROSS lanes, so items_per_second divided by the matching
+// BM_SweepSparse* number is the per-flip speedup of blocking (the ≥2×
+// ISSUE 6 target on MVC n=512 compares BM_BlockSweepAvx2Mvc/512 against
+// BM_SweepSparseMvc/512).
+
+void run_block_sweep_bench(benchmark::State& state,
+                           const qubo::QuboModel& model, qubo::SimdKind kind) {
+  constexpr std::size_t kLanes = 8;
+  const auto adj = qubo::SparseAdjacency::build(model);
+  qubo::ReplicaBlockEvaluator eval(adj, kLanes, kind);
+  if (eval.kind() != kind) {
+    state.SkipWithError("requested SIMD arm unavailable on this CPU");
+    return;
+  }
+  const std::size_t n = model.num_vars();
+  Rng rng(3);
+  qubo::Bits x(n);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    for (auto& b : x) b = rng.bernoulli(0.5) ? 1 : 0;
+    eval.set_state(l, x);
+  }
+  AlignedVector<double> deltas(eval.lane_stride(), 0.0);
+  std::vector<std::uint64_t> accept(eval.mask_words(), 0);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    accept[l / 64] |= std::uint64_t{1} << (l % 64);
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      eval.compute_flip_deltas(i, deltas.data());
+      eval.apply_flips(i, accept.data(), deltas.data());
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * n * kLanes));
+  state.counters["lanes"] = static_cast<double>(kLanes);
+  report_sparsity(state, model);
+}
+
+void BM_BlockSweepScalarMvc(benchmark::State& state) {
+  run_block_sweep_bench(state,
+                        make_mvc_qubo(static_cast<std::size_t>(state.range(0))),
+                        qubo::SimdKind::kScalar);
+}
+BENCHMARK(BM_BlockSweepScalarMvc)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_BlockSweepAvx2Mvc(benchmark::State& state) {
+  run_block_sweep_bench(state,
+                        make_mvc_qubo(static_cast<std::size_t>(state.range(0))),
+                        qubo::SimdKind::kAvx2);
+}
+BENCHMARK(BM_BlockSweepAvx2Mvc)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_BlockSweepScalarTsp(benchmark::State& state) {
+  run_block_sweep_bench(state,
+                        make_tsp_qubo(static_cast<std::size_t>(state.range(0))),
+                        qubo::SimdKind::kScalar);
+}
+BENCHMARK(BM_BlockSweepScalarTsp)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_BlockSweepAvx2Tsp(benchmark::State& state) {
+  run_block_sweep_bench(state,
+                        make_tsp_qubo(static_cast<std::size_t>(state.range(0))),
+                        qubo::SimdKind::kAvx2);
+}
+BENCHMARK(BM_BlockSweepAvx2Tsp)->Arg(8)->Arg(12)->Arg(16);
 
 void BM_SimulatedAnnealerCall(benchmark::State& state) {
   const auto model = make_tsp_qubo(static_cast<std::size_t>(state.range(0)));

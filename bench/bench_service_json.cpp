@@ -1,5 +1,7 @@
 // Machine-readable perf tracking: writes BENCH_sweep.json (dense vs sparse
-// sweep throughput — the PR 1 headline numbers) and BENCH_service.json
+// sweep throughput — the PR 1 headline numbers — plus the PR 6 SIMD
+// replica-block arms: scalar and AVX2 block flips/s per workload and the
+// avx2-vs-sparse simd_speedup ratio) and BENCH_service.json
 // (SolveService throughput in jobs/sec at queue depth >= workers: cold,
 // in-memory cache-warm, disk-warm from a persisted snapshot in a fresh
 // service, and net-warm — client→server jobs/s through qross::net over
@@ -17,9 +19,12 @@
 // SPEEDUP (sparse/dense flips per second — the hardware-normalized form of
 // sweep throughput, so a slower CI runner cancels out of the ratio)
 // regressed by more than kSweepRegressionTolerance — a deliberately
-// generous bound so shared-runner noise never trips it.  Absolute
-// throughputs and service jobs/s deltas are reported but never gate (they
-// track the machine, not the code).
+// generous bound so shared-runner noise never trips it.  The SIMD speedup
+// (avx2 block flips/s over scalar sparse flips/s) gates the same way, but
+// only when the running CPU has AVX2 — on a scalar-only box the ratio is
+// recorded as 0 and skipped.  Absolute throughputs and service jobs/s
+// deltas are reported but never gate (they track the machine, not the
+// code).
 
 #include <algorithm>
 #include <cctype>
@@ -34,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/stopwatch.hpp"
@@ -44,6 +50,8 @@
 #include "problems/tsp/formulation.hpp"
 #include "problems/tsp/generators.hpp"
 #include "qubo/incremental.hpp"
+#include "qubo/replica_block.hpp"
+#include "qubo/simd.hpp"
 #include "qubo/sparse.hpp"
 #include "service/solve_service.hpp"
 #include "solvers/digital_annealer.hpp"
@@ -59,13 +67,38 @@ struct SweepRow {
   double density = 0.0;
   double dense_flips_per_sec = 0.0;
   double sparse_flips_per_sec = 0.0;
+  // SIMD replica-block arms (8 lanes, forced-accept sweeps — per-lane flips
+  // counted, so these are directly comparable to the per-replica rates
+  // above).  block_avx2 stays 0 when the CPU has no AVX2.
+  double block_scalar_flips_per_sec = 0.0;
+  double block_avx2_flips_per_sec = 0.0;
 
   double speedup() const {
     return dense_flips_per_sec > 0.0
                ? sparse_flips_per_sec / dense_flips_per_sec
                : 0.0;
   }
+  /// The PR 6 headline ratio: vectorised block sweep over the scalar sparse
+  /// path a solver used before blocking.  0 when AVX2 is unavailable.
+  double simd_speedup() const {
+    return sparse_flips_per_sec > 0.0
+               ? block_avx2_flips_per_sec / sparse_flips_per_sec
+               : 0.0;
+  }
 };
+
+/// Best of 3 measurement windows.  The sweep numbers feed ratio gates whose
+/// numerator and denominator are measured at different moments; on a busy
+/// shared runner a contention window hitting exactly one side swings the
+/// ratio far more than any code change.  Contention only ever slows a run
+/// down, so the max over repeated windows is the stable estimator of what
+/// the code can do.
+template <typename Measure>
+double best_of(Measure&& measure) {
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) best = std::max(best, measure());
+  return best;
+}
 
 /// Repeats full sweeps (one apply_flip per variable) until `budget_seconds`
 /// elapses; returns flips/second.
@@ -87,6 +120,43 @@ double measure_sweep_throughput(Evaluator& eval, std::size_t n,
   return static_cast<double>(flips) / watch.elapsed_seconds();
 }
 
+/// Forced-accept block sweeps on the requested SIMD arm (mirrors
+/// bench_micro_perf's run_block_sweep_bench): every step computes deltas
+/// for all lanes and applies the flip in all of them.  Returns per-lane
+/// flips/second, or 0 when the arm is unavailable on this CPU.
+double measure_block_sweep_throughput(const qubo::SparseAdjacencyPtr& adjacency,
+                                      std::size_t n, qubo::SimdKind kind,
+                                      double budget_seconds) {
+  constexpr std::size_t kLanes = 8;
+  qubo::ReplicaBlockEvaluator eval(adjacency, kLanes, kind);
+  if (eval.kind() != kind) return 0.0;  // ctor clamped: no such arm here
+  Rng rng(3);
+  qubo::Bits x(n);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    for (auto& b : x) b = rng.bernoulli(0.5) ? 1 : 0;
+    eval.set_state(l, x);
+  }
+  AlignedVector<double> deltas(eval.lane_stride(), 0.0);
+  std::vector<std::uint64_t> accept(eval.mask_words(), 0);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    accept[l / 64] |= std::uint64_t{1} << (l % 64);
+  }
+  auto sweep = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      eval.compute_flip_deltas(i, deltas.data());
+      eval.apply_flips(i, accept.data(), deltas.data());
+    }
+  };
+  sweep();  // warm-up, like measure_sweep_throughput
+  std::size_t flips = 0;
+  Stopwatch watch;
+  while (watch.elapsed_seconds() < budget_seconds) {
+    sweep();
+    flips += n * kLanes;
+  }
+  return static_cast<double>(flips) / watch.elapsed_seconds();
+}
+
 SweepRow measure_workload(const std::string& workload,
                           const qubo::QuboModel& model,
                           double budget_seconds) {
@@ -97,14 +167,30 @@ SweepRow measure_workload(const std::string& workload,
   row.nnz = adjacency->num_nonzeros();
   row.density = adjacency->density();
   bench::DenseEvaluator dense(model);
-  row.dense_flips_per_sec =
-      measure_sweep_throughput(dense, row.n, budget_seconds);
+  row.dense_flips_per_sec = best_of([&] {
+    return measure_sweep_throughput(dense, row.n, budget_seconds);
+  });
   qubo::IncrementalEvaluator sparse(adjacency);
-  row.sparse_flips_per_sec =
-      measure_sweep_throughput(sparse, row.n, budget_seconds);
-  std::fprintf(stderr, "%-8s n=%-4zu nnz=%-7zu dense=%.3g sparse=%.3g (%.1fx)\n",
+  row.sparse_flips_per_sec = best_of([&] {
+    return measure_sweep_throughput(sparse, row.n, budget_seconds);
+  });
+  row.block_scalar_flips_per_sec = best_of([&] {
+    return measure_block_sweep_throughput(adjacency, row.n,
+                                          qubo::SimdKind::kScalar,
+                                          budget_seconds);
+  });
+  row.block_avx2_flips_per_sec = best_of([&] {
+    return measure_block_sweep_throughput(adjacency, row.n,
+                                          qubo::SimdKind::kAvx2,
+                                          budget_seconds);
+  });
+  std::fprintf(stderr,
+               "%-8s n=%-4zu nnz=%-7zu dense=%.3g sparse=%.3g (%.1fx) "
+               "block-scalar=%.3g block-avx2=%.3g (simd %.2fx)\n",
                workload.c_str(), row.n, row.nnz, row.dense_flips_per_sec,
-               row.sparse_flips_per_sec, row.speedup());
+               row.sparse_flips_per_sec, row.speedup(),
+               row.block_scalar_flips_per_sec, row.block_avx2_flips_per_sec,
+               row.simd_speedup());
   return row;
 }
 
@@ -115,16 +201,20 @@ void write_sweep_json(const std::string& path,
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"qross-bench-sweep-v1\",\n  \"rows\": [\n");
+  std::fprintf(f, "{\n  \"schema\": \"qross-bench-sweep-v2\",\n  \"rows\": [\n");
   for (std::size_t k = 0; k < rows.size(); ++k) {
     const auto& r = rows[k];
     std::fprintf(f,
                  "    {\"workload\": \"%s\", \"n\": %zu, \"nnz\": %zu, "
                  "\"density\": %.6f, \"dense_flips_per_sec\": %.1f, "
-                 "\"sparse_flips_per_sec\": %.1f, \"sparse_speedup\": %.3f}%s\n",
+                 "\"sparse_flips_per_sec\": %.1f, \"sparse_speedup\": %.3f, "
+                 "\"block_scalar_flips_per_sec\": %.1f, "
+                 "\"block_avx2_flips_per_sec\": %.1f, "
+                 "\"simd_speedup\": %.3f}%s\n",
                  r.workload.c_str(), r.n, r.nnz, r.density,
                  r.dense_flips_per_sec, r.sparse_flips_per_sec, r.speedup(),
-                 k + 1 < rows.size() ? "," : "");
+                 r.block_scalar_flips_per_sec, r.block_avx2_flips_per_sec,
+                 r.simd_speedup(), k + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -277,6 +367,9 @@ int check_against_baseline(const std::string& baseline_dir,
                  sweep_path.c_str());
     return 1;
   }
+  // Absent in a pre-v2 baseline; then the simd arm simply isn't gated.
+  auto simd_speedups = extract_values(text, "simd_speedup");
+  if (simd_speedups.size() != workloads.size()) simd_speedups.clear();
   int regressions = 0;
   for (const auto& row : fresh) {
     bool matched = false;
@@ -300,6 +393,24 @@ int check_against_baseline(const std::string& baseline_dir,
                    row.sparse_flips_per_sec, std::stod(sparse[k]),
                    bad ? "REGRESSION" : "ok");
       if (bad) ++regressions;
+      // SIMD gate: same hardware-normalized form (avx2 block / scalar
+      // sparse, both measured this run).  Skipped when either side lacks
+      // an AVX2 number — a scalar-only runner must not fail, and neither
+      // must a fresh AVX2 box checked against a scalar-measured baseline.
+      if (!simd_speedups.empty() && row.simd_speedup() > 0.0) {
+        const double base_simd = std::stod(simd_speedups[k]);
+        if (base_simd > 0.0) {
+          const double simd_floor =
+              base_simd * (1.0 - kSweepRegressionTolerance);
+          const bool simd_bad = row.simd_speedup() < simd_floor;
+          std::fprintf(stderr,
+                       "perf gate: %-4s n=%-4zu simd %.2fx vs baseline %.2fx "
+                       "%s\n",
+                       row.workload.c_str(), row.n, row.simd_speedup(),
+                       base_simd, simd_bad ? "REGRESSION" : "ok");
+          if (simd_bad) ++regressions;
+        }
+      }
       break;
     }
     if (!matched) {
@@ -351,7 +462,7 @@ int main(int argc, char** argv) {
   // --- dense vs sparse sweep throughput (the PR 1 numbers, now tracked) ---
   constexpr double kBudget = 0.25;  // seconds per measurement
   std::vector<SweepRow> rows;
-  for (const std::size_t n : {128ul, 256ul}) {
+  for (const std::size_t n : {128ul, 256ul, 512ul}) {
     const auto instance = mvc::generate_random_mvc(n, 0.06, 0xBEEF);
     rows.push_back(measure_workload("mvc", instance.to_qubo(2.0), kBudget));
   }
@@ -493,8 +604,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"qross-bench-service-v4\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"qross-bench-service-v5\",\n");
   std::fprintf(f, "  \"workers\": %zu,\n  \"jobs\": %zu,\n", kWorkers, kJobs);
+  std::fprintf(f,
+               "  \"simd\": {\"kernel\": \"%s\", \"avx2_supported\": %s},\n",
+               qubo::to_string(qubo::active_simd_kind()),
+               qubo::cpu_supports_avx2() ? "true" : "false");
   std::fprintf(f, "  \"queue_depth_at_submit\": %zu,\n", kJobs);
   std::fprintf(f, "  \"workload\": \"mvc n=64 da replicas=4 sweeps=30\",\n");
   std::fprintf(f,

@@ -1,0 +1,51 @@
+#pragma once
+
+// Over-aligned storage for SIMD kernels.
+//
+// The AVX2 replica-block evaluator loads 32-byte vectors from its
+// structure-of-arrays field rows; allocating them on a 64-byte boundary
+// keeps every row group alignment-safe for aligned loads AND cacheline
+// disjoint from its neighbours (no false sharing when blocks run on the
+// thread pool).  AlignedVector is a std::vector with this allocator — the
+// data pointer is guaranteed 64-byte aligned, everything else is vector.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace qross {
+
+inline constexpr std::size_t kSimdAlignment = 64;
+
+template <typename T, std::size_t Alignment = kSimdAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment below the type's own");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be 2^k");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace qross

@@ -248,6 +248,10 @@ std::vector<std::uint8_t> encode_metrics(const MetricsFrame& metrics) {
     out.u64(c.rejected_inflight);
     out.u64(c.rejected_queued);
   }
+  // SIMD-dispatch tail, appended within protocol v1 after the per-client
+  // rows: pre-SIMD decoders stop at the rows, pre-SIMD encoders make a
+  // decoder default the kernel to "unknown".
+  put_string(out, s.simd_kernel);
   return out.take();
 }
 
@@ -287,8 +291,11 @@ MetricsFrame decode_metrics(std::span<const std::uint8_t> payload) {
   metrics.connection_results = in.u64();
   metrics.connection_cancelled = in.u64();
   // A pre-admission-control server's payload ends here; the tail defaults
-  // to "no quota activity".
-  if (in.remaining() == 0) return metrics;
+  // to "no quota activity" and an unknown dispatch kernel.
+  if (in.remaining() == 0) {
+    s.simd_kernel = "unknown";
+    return metrics;
+  }
   metrics.connections_rejected_full = in.u64();
   s.admission_rejected = in.u64();
   metrics.client_id = get_string(in);
@@ -315,6 +322,13 @@ MetricsFrame decode_metrics(std::span<const std::uint8_t> payload) {
     c.rejected_queued = in.u64();
     metrics.clients.push_back(std::move(c));
   }
+  // A pre-SIMD server's payload ends after the rows; "unknown" marks a
+  // daemon that predates kernel dispatch reporting.
+  if (in.remaining() == 0) {
+    s.simd_kernel = "unknown";
+    return metrics;
+  }
+  s.simd_kernel = get_string(in);
   return metrics;
 }
 

@@ -1,0 +1,166 @@
+// AVX2 arm of the replica-block kernels.  The whole build stays at the
+// portable -march=x86-64 baseline; only the functions below are compiled
+// for AVX2, via per-function target attributes (the target-pragma idiom of
+// competition solvers), and are reached strictly through the dispatch table
+// when the CPU reports the feature.
+//
+// Bit-identity with the scalar arm (see replica_block.cpp) is a hard
+// contract, enforced by tests/simd_equivalence_test.cpp:
+//
+//   * negation is a sign-bit XOR — exact, and identical to the scalar
+//     arm's `bit ? -f : f` / multiply-by-±1.0 for every finite double;
+//   * no FMA: the build never passes -mfma, and target("avx2") alone
+//     cannot contract mul+add, so each add matches the scalar add;
+//   * unaccepted lanes are preserved with blendv, never with "+ 0.0"
+//     (0.0 + -0.0 would rewrite the stored sign bit).
+
+#include "qubo/replica_block.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace qross::qubo::detail {
+namespace {
+
+constexpr std::uint64_t kSignBit = 0x8000000000000000ULL;
+
+/// Expands the 4 accept/state bits of lane group g (lanes 4g..4g+3, all
+/// within one 64-bit word because the stride is a multiple of 4) into a
+/// per-lane all-ones/all-zeros __m256d mask.
+__attribute__((target("avx2"))) inline __m256d group_mask(
+    const std::uint64_t* words, std::size_t g) {
+  const std::uint64_t word = words[(g * 4) / 64];
+  const unsigned shift = (g * 4) % 64;
+  const __m256i bits = _mm256_setr_epi64x(
+      static_cast<long long>(std::uint64_t{1} << shift),
+      static_cast<long long>(std::uint64_t{2} << shift),
+      static_cast<long long>(std::uint64_t{4} << shift),
+      static_cast<long long>(std::uint64_t{8} << shift));
+  const __m256i wordv = _mm256_set1_epi64x(static_cast<long long>(word));
+  return _mm256_castsi256_pd(
+      _mm256_cmpeq_epi64(_mm256_and_si256(wordv, bits), bits));
+}
+
+__attribute__((target("avx2"))) void avx2_compute_flip_deltas(
+    const double* fields_row, const std::uint64_t* state_row,
+    std::size_t stride, double* out) {
+  for (std::size_t g = 0; g < stride / 4; ++g) {
+    const __m256d fields = _mm256_load_pd(fields_row + g * 4);
+    // Lanes with x_i == 1 negate their field: flip the sign bit.
+    const __m256d sign = _mm256_and_pd(
+        group_mask(state_row, g),
+        _mm256_castsi256_pd(_mm256_set1_epi64x(static_cast<long long>(kSignBit))));
+    _mm256_storeu_pd(out + g * 4, _mm256_xor_pd(fields, sign));
+  }
+}
+
+/// Register-resident specialisation for the hot small strides (the solver
+/// kernels block 8 replicas → G == 2): accept masks and update signs live
+/// in __m256d registers across the whole neighbour loop instead of being
+/// reloaded from scratch per row.  Arithmetic is identical to the generic
+/// path below — specialisation changes scheduling, never values.
+template <std::size_t G>
+__attribute__((target("avx2"))) void avx2_apply_flips_fixed(
+    const SparseAdjacency& adj, std::size_t i, const BlockArrays& arrays,
+    const std::uint64_t* accept, const double* deltas) {
+  const __m256d signbit = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(static_cast<long long>(kSignBit)));
+  std::uint64_t* state_row = arrays.state + i * arrays.words;
+  __m256d mask[G];
+  __m256d sign[G];
+  for (std::size_t g = 0; g < G; ++g) {
+    mask[g] = group_mask(accept, g);
+    const __m256d energy = _mm256_load_pd(arrays.energies + g * 4);
+    const __m256d bumped =
+        _mm256_add_pd(energy, _mm256_loadu_pd(deltas + g * 4));
+    _mm256_store_pd(arrays.energies + g * 4,
+                    _mm256_blendv_pd(energy, bumped, mask[g]));
+  }
+  for (std::size_t w = 0; w < arrays.words; ++w) state_row[w] ^= accept[w];
+  for (std::size_t g = 0; g < G; ++g) {
+    sign[g] = _mm256_andnot_pd(group_mask(state_row, g), signbit);
+  }
+  const auto neighbors = adj.neighbors(i);
+  const auto weights = adj.weights(i);
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    double* row = arrays.fields + neighbors[k] * arrays.stride;
+    const __m256d weight = _mm256_set1_pd(weights[k]);
+    for (std::size_t g = 0; g < G; ++g) {
+      const __m256d addend = _mm256_xor_pd(weight, sign[g]);
+      const __m256d fields = _mm256_load_pd(row + g * 4);
+      _mm256_store_pd(row + g * 4,
+                      _mm256_blendv_pd(fields, _mm256_add_pd(fields, addend),
+                                       mask[g]));
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_apply_flips(
+    const SparseAdjacency& adj, std::size_t i, const BlockArrays& arrays,
+    const std::uint64_t* accept, const double* deltas,
+    const BlockScratch& scratch) {
+  const std::size_t groups = arrays.stride / 4;
+  if (groups == 2) {
+    return avx2_apply_flips_fixed<2>(adj, i, arrays, accept, deltas);
+  }
+  if (groups == 1) {
+    return avx2_apply_flips_fixed<1>(adj, i, arrays, accept, deltas);
+  }
+  const __m256d signbit = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(static_cast<long long>(kSignBit)));
+  std::uint64_t* state_row = arrays.state + i * arrays.words;
+
+  // Commit energies of accepted lanes and cache per-group masks; then flip
+  // the packed bits and derive the field-update sign from the NEW bit
+  // (bit now 1 → +w to neighbours; bit now 0 → -w), which equals the
+  // scalar arm's old-bit rule.
+  for (std::size_t g = 0; g < groups; ++g) {
+    const __m256d mask = group_mask(accept, g);
+    const __m256d energy = _mm256_load_pd(arrays.energies + g * 4);
+    const __m256d bumped =
+        _mm256_add_pd(energy, _mm256_loadu_pd(deltas + g * 4));
+    _mm256_store_pd(arrays.energies + g * 4,
+                    _mm256_blendv_pd(energy, bumped, mask));
+    _mm256_store_pd(scratch.lane_mask + g * 4, mask);
+  }
+  for (std::size_t w = 0; w < arrays.words; ++w) state_row[w] ^= accept[w];
+  for (std::size_t g = 0; g < groups; ++g) {
+    // Sign bit set where the new state bit is 0 (subtract w).
+    const __m256d sign = _mm256_andnot_pd(group_mask(state_row, g), signbit);
+    _mm256_store_pd(scratch.lane_sign + g * 4, sign);
+  }
+
+  const auto neighbors = adj.neighbors(i);
+  const auto weights = adj.weights(i);
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    double* row = arrays.fields + neighbors[k] * arrays.stride;
+    const __m256d weight = _mm256_set1_pd(weights[k]);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const __m256d addend =
+          _mm256_xor_pd(weight, _mm256_load_pd(scratch.lane_sign + g * 4));
+      const __m256d fields = _mm256_load_pd(row + g * 4);
+      const __m256d updated = _mm256_add_pd(fields, addend);
+      _mm256_store_pd(
+          row + g * 4,
+          _mm256_blendv_pd(fields, updated,
+                           _mm256_load_pd(scratch.lane_mask + g * 4)));
+    }
+  }
+}
+
+constexpr BlockKernel kAvx2Kernel{avx2_compute_flip_deltas, avx2_apply_flips};
+
+}  // namespace
+
+const BlockKernel* avx2_block_kernel() { return &kAvx2Kernel; }
+
+}  // namespace qross::qubo::detail
+
+#else  // non-x86: no AVX2 arm in this binary.
+
+namespace qross::qubo::detail {
+const BlockKernel* avx2_block_kernel() { return nullptr; }
+}  // namespace qross::qubo::detail
+
+#endif

@@ -1,0 +1,56 @@
+#include "qubo/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace qross::qubo {
+
+namespace {
+
+SimdKind clamp_to_cpu(SimdKind kind) {
+  return kind == SimdKind::kAvx2 && !cpu_supports_avx2() ? SimdKind::kScalar
+                                                         : kind;
+}
+
+SimdKind resolve_startup_kind() {
+  const char* env = std::getenv("QROSS_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return SimdKind::kScalar;
+    if (std::strcmp(env, "avx2") == 0) return clamp_to_cpu(SimdKind::kAvx2);
+    // "auto" and anything unrecognised fall through to detection — an
+    // operator typo must not silently disable the fast path.
+  }
+  return cpu_supports_avx2() ? SimdKind::kAvx2 : SimdKind::kScalar;
+}
+
+std::atomic<SimdKind>& active_kind_slot() {
+  static std::atomic<SimdKind> kind{resolve_startup_kind()};
+  return kind;
+}
+
+}  // namespace
+
+const char* to_string(SimdKind kind) {
+  return kind == SimdKind::kAvx2 ? "avx2" : "scalar";
+}
+
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdKind active_simd_kind() {
+  return active_kind_slot().load(std::memory_order_relaxed);
+}
+
+SimdKind set_simd_kind(SimdKind kind) {
+  const SimdKind installed = clamp_to_cpu(kind);
+  active_kind_slot().store(installed, std::memory_order_relaxed);
+  return installed;
+}
+
+}  // namespace qross::qubo

@@ -1,0 +1,43 @@
+#pragma once
+
+// Runtime SIMD dispatch for the replica-block evaluation core.
+//
+// The build stays at the portable -march=x86-64 baseline; the AVX2 kernels
+// are compiled per-function with __attribute__((target("avx2"))) (the
+// target-pragma idiom of competition solvers) and selected once at startup:
+//
+//   * QROSS_SIMD=scalar | avx2 | auto   environment override, read once;
+//   * set_simd_kind()                   test override, takes effect for
+//                                       evaluators constructed afterwards;
+//   * otherwise auto: avx2 iff the CPU reports it, else scalar.
+//
+// Requesting avx2 on a CPU without it falls back to scalar — dispatch picks
+// a kernel the machine can run, it never SIGILLs.  The chosen kernel is
+// surfaced in ServiceMetrics / the net Metrics frame / `qross remote
+// metrics` so a fleet operator can see which arm every daemon runs.
+
+#include <cstdint>
+
+namespace qross::qubo {
+
+enum class SimdKind : std::uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+const char* to_string(SimdKind kind);
+
+/// True iff this process may execute AVX2 instructions (x86-64 with the
+/// cpuid bit; always false elsewhere).
+bool cpu_supports_avx2();
+
+/// The kernel new ReplicaBlockEvaluators dispatch to.  First call resolves
+/// the QROSS_SIMD environment override (then caches it); set_simd_kind()
+/// replaces the choice.  Unsupported requests degrade to kScalar.
+SimdKind active_simd_kind();
+
+/// Test/benchmark override of the dispatch choice.  A kind the CPU cannot
+/// run is clamped to kScalar; returns the kind actually installed.
+SimdKind set_simd_kind(SimdKind kind);
+
+}  // namespace qross::qubo

@@ -83,6 +83,11 @@ struct ServiceMetrics {
 
   /// One row per client id ever admitted or rejected, sorted by id.
   std::vector<ClientSchedulerMetrics> clients;
+
+  /// Dispatch arm of the replica-block evaluation core ("avx2"/"scalar"),
+  /// as resolved by qubo::active_simd_kind() at snapshot time — what a
+  /// fleet operator reads to confirm which kernel a daemon actually runs.
+  std::string simd_kernel;
 };
 
 /// Ring buffer over the most recent `capacity` latency samples.  Percentile

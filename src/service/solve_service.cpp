@@ -14,6 +14,7 @@
 
 #include "common/assert.hpp"
 #include "io/cache_store.hpp"
+#include "qubo/simd.hpp"
 #include "service/fingerprint.hpp"
 #include "service/result_cache.hpp"
 
@@ -966,6 +967,7 @@ ServiceMetrics SolveService::metrics() const {
   s.cache_stored = core_->cache_stored;
   s.cache_load_skipped = core_->cache_load_skipped;
   s.admission_rejected = core_->admission_rejected;
+  s.simd_kernel = qubo::to_string(qubo::active_simd_kind());
   s.clients.reserve(core_->clients.size());
   for (const auto& [id, c] : core_->clients) {
     ClientSchedulerMetrics row;

@@ -4,14 +4,21 @@
 #include <cmath>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/assert.hpp"
 #include "common/rng.hpp"
-#include "qubo/incremental.hpp"
+#include "qubo/replica_block.hpp"
 #include "qubo/sparse.hpp"
 #include "solvers/delta_scale.hpp"
 #include "solvers/replica_for.hpp"
 
 namespace qross::solvers {
+
+namespace {
+
+constexpr std::size_t kBlockLanes = 8;
+
+}  // namespace
 
 DigitalAnnealer::DigitalAnnealer(DaParams params) : params_(params) {
   QROSS_REQUIRE(params_.initial_acceptance > 0.0 &&
@@ -50,55 +57,78 @@ qubo::SolveBatch DigitalAnnealer::solve(const qubo::QuboModel& model,
                             1.0 / static_cast<double>(sweeps - 1))
                  : 1.0;
 
-  for_each_replica(
-      options.num_replicas, options.num_threads, [&](std::size_t replica) {
-        Rng rng(derive_seed(options.seed, replica));
-        qubo::IncrementalEvaluator eval(adjacency);
-        std::vector<std::size_t> accepted;
-        accepted.reserve(n);
+  // The DA parallel-trial loop is naturally lockstep — every replica tests
+  // ALL variables in ascending order each step — so replicas block straight
+  // onto ReplicaBlockEvaluator with no schedule change: each lane's RNG
+  // draw sequence, fields and energies are bitwise those of the pre-SIMD
+  // per-replica kernel (config_digest is unchanged on purpose; cached
+  // batches stay valid).  Only the delta reads vectorise; the one flip a
+  // lane commits per step stays a scalar apply_flip_lane since lanes pick
+  // divergent variables.
+  for_each_replica_block(
+      options.num_replicas, kBlockLanes, options.num_threads,
+      [&](std::size_t first, std::size_t count) {
+        qubo::ReplicaBlockEvaluator eval(adjacency, count);
+        std::vector<Rng> rngs;
+        rngs.reserve(count);
+        std::vector<std::vector<std::size_t>> accepted(count);
+        AlignedVector<double> deltas(eval.lane_stride(), 0.0);
+        std::vector<double> offset(count, 0.0);
+        std::vector<double> best_energy(count);
+        std::vector<qubo::Bits> best_state(count);
         qubo::Bits x(n);
-        for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
-        eval.set_state(x);
+        for (std::size_t l = 0; l < count; ++l) {
+          rngs.emplace_back(derive_seed(options.seed, first + l));
+          accepted[l].reserve(n);
+          for (auto& bit : x) bit = rngs[l].bernoulli(0.5) ? 1 : 0;
+          eval.set_state(l, x);
+          best_energy[l] = eval.energy(l);
+          eval.extract_state(l, best_state[l]);
+        }
 
         double temperature = t_start;
-        double offset = 0.0;
-        double best_energy = eval.energy();
-        qubo::Bits best_state = eval.state();
-
         // One DA "sweep" performs n parallel-trial steps, matching the
         // per-sweep flip-attempt budget of the SA kernel for fair
         // comparisons.
         for (std::size_t sweep = 0;
              sweep < sweeps && !options.stop.stop_requested(); ++sweep) {
           for (std::size_t step = 0; step < n; ++step) {
-            accepted.clear();
+            for (std::size_t l = 0; l < count; ++l) accepted[l].clear();
             // Parallel trial: every variable runs the Metropolis test with
-            // the dynamic offset relaxing the effective delta.
+            // the dynamic offset relaxing the effective delta.  One
+            // vectorised delta read serves the whole block per variable.
             for (std::size_t i = 0; i < n; ++i) {
-              const double delta = eval.flip_delta(i) - offset;
-              if (delta <= 0.0 ||
-                  rng.uniform() < std::exp(-delta / temperature)) {
-                accepted.push_back(i);
+              eval.compute_flip_deltas(i, deltas.data());
+              for (std::size_t l = 0; l < count; ++l) {
+                const double delta = deltas[l] - offset[l];
+                if (delta <= 0.0 ||
+                    rngs[l].uniform() < std::exp(-delta / temperature)) {
+                  accepted[l].push_back(i);
+                }
               }
             }
-            if (accepted.empty()) {
-              offset += offset_step;  // escape pressure grows
-              continue;
-            }
-            const std::size_t pick = accepted[static_cast<std::size_t>(
-                rng.uniform_int(accepted.size()))];
-            eval.apply_flip(pick);
-            offset = 0.0;  // reset after an accepted move
-            if (eval.energy() < best_energy) {
-              best_energy = eval.energy();
-              best_state = eval.state();
+            for (std::size_t l = 0; l < count; ++l) {
+              if (accepted[l].empty()) {
+                offset[l] += offset_step;  // escape pressure grows
+                continue;
+              }
+              const std::size_t pick = accepted[l][static_cast<std::size_t>(
+                  rngs[l].uniform_int(accepted[l].size()))];
+              eval.apply_flip_lane(l, pick);
+              offset[l] = 0.0;  // reset after an accepted move
+              if (eval.energy(l) < best_energy[l]) {
+                best_energy[l] = eval.energy(l);
+                eval.extract_state(l, best_state[l]);
+              }
             }
           }
           temperature *= cooling;
-          if (sweep_checkpoint(options)) break;
+          if (block_sweep_checkpoint(options, count)) break;
         }
-        batch.results[replica].assignment = std::move(best_state);
-        batch.results[replica].qubo_energy = best_energy;
+        for (std::size_t l = 0; l < count; ++l) {
+          batch.results[first + l].assignment = std::move(best_state[l]);
+          batch.results[first + l].qubo_energy = best_energy[l];
+        }
       });
   return batch;
 }

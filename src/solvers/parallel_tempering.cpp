@@ -3,14 +3,24 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "common/aligned.hpp"
 #include "common/assert.hpp"
 #include "common/rng.hpp"
-#include "qubo/incremental.hpp"
+#include "qubo/replica_block.hpp"
 #include "qubo/sparse.hpp"
 #include "solvers/delta_scale.hpp"
 
 namespace qross::solvers {
+
+namespace {
+
+// Stream tag for the shared proposal sequence (distinct from the ladder
+// stream 0x977 and the per-chain acceptance streams).
+constexpr std::uint64_t kProposalStream = 0x977a110c0ffee02ULL;
+
+}  // namespace
 
 ParallelTempering::ParallelTempering(PtParams params) : params_(params) {
   QROSS_REQUIRE(params_.hot_acceptance > 0.0 && params_.hot_acceptance < 1.0,
@@ -35,12 +45,13 @@ qubo::SolveBatch ParallelTempering::solve(const qubo::QuboModel& model,
 
   const qubo::SparseAdjacencyPtr adjacency = qubo::SparseAdjacency::build(model);
 
-  Rng rng(derive_seed(options.seed, 0x977ULL));
-  const double typical_delta = probe_delta_scale(adjacency, rng).typical;
+  // Ladder stream: probe, chain initialisation, and exchange decisions.
+  Rng ladder_rng(derive_seed(options.seed, 0x977ULL));
+  const double typical_delta = probe_delta_scale(adjacency, ladder_rng).typical;
   const double t_hot = typical_delta / -std::log(params_.hot_acceptance);
   const double t_cold = t_hot * params_.temperature_ratio;
 
-  // Geometric ladder from cold (index 0) to hot (index chains-1).
+  // Geometric ladder from cold (rank 0) to hot (rank chains-1).
   std::vector<double> temperatures(chains);
   for (std::size_t c = 0; c < chains; ++c) {
     const double t = chains > 1
@@ -50,71 +61,85 @@ qubo::SolveBatch ParallelTempering::solve(const qubo::QuboModel& model,
     temperatures[c] = t_cold * std::pow(t_hot / t_cold, t);
   }
 
-  // One evaluator per ladder slot, all over the single shared adjacency —
-  // a ladder of B chains costs O(nnz + B*n) memory, not O(B*n^2).
-  // slot_of_chain tracks which chain's trajectory currently occupies which
-  // slot (swaps move *states*, so the per-chain best follows the state, not
-  // the temperature).
-  std::vector<qubo::IncrementalEvaluator> slots;
-  slots.reserve(chains);
+  // The whole ladder is ONE replica block: chain c lives in lane c forever,
+  // and replica exchange swaps the lanes' ladder *ranks* (an O(1) index
+  // swap) instead of their states — the blocked dual of the old
+  // swap-the-evaluators trick, with the per-chain best simply following the
+  // lane.  All lanes propose the same variable per step (shared proposal
+  // stream) but accept at their own current temperature with their own
+  // derive_seed(seed, chain) stream, so results are independent of the
+  // dispatch arm.  The ladder was always sequential (chains couple at
+  // exchanges), so num_threads stays ignored.
+  qubo::ReplicaBlockEvaluator eval(adjacency, chains);
   std::vector<qubo::Bits> best_state(chains);
   std::vector<double> best_energy(chains,
                                   std::numeric_limits<double>::infinity());
-  std::vector<std::size_t> chain_of_slot(chains);
-  for (std::size_t c = 0; c < chains; ++c) {
-    slots.emplace_back(adjacency);
+  std::vector<std::size_t> lane_of_rank(chains);  // rank -> lane
+  std::vector<double> temp_of_lane(chains);
+  std::vector<Rng> rngs;
+  rngs.reserve(chains);
+  {
     qubo::Bits x(n);
-    for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
-    slots[c].set_state(x);
-    chain_of_slot[c] = c;
-    best_state[c] = slots[c].state();
-    best_energy[c] = slots[c].energy();
+    for (std::size_t c = 0; c < chains; ++c) {
+      for (auto& bit : x) bit = ladder_rng.bernoulli(0.5) ? 1 : 0;
+      eval.set_state(c, x);
+      lane_of_rank[c] = c;
+      temp_of_lane[c] = temperatures[c];
+      eval.extract_state(c, best_state[c]);
+      best_energy[c] = eval.energy(c);
+      rngs.emplace_back(derive_seed(options.seed, c));
+    }
   }
+  Rng proposal_rng(derive_seed(options.seed, kProposalStream));
+  AlignedVector<double> deltas(eval.lane_stride(), 0.0);
+  std::vector<std::uint64_t> accept(eval.mask_words(), 0);
 
   const std::size_t sweeps = std::max<std::size_t>(1, options.num_sweeps);
-  bool stopped = false;
-  for (std::size_t sweep = 0; sweep < sweeps && !stopped; ++sweep) {
-    // Metropolis sweep per ladder slot at its fixed temperature.  The
-    // ladder is sequential, so the cooperative stop is polled after every
-    // *slot* sweep — a signalled call exits within one chain's pass, not a
-    // whole ladder round.
-    for (std::size_t s = 0; s < chains; ++s) {
-      auto& eval = slots[s];
-      const double temperature = temperatures[s];
-      for (std::size_t step = 0; step < n; ++step) {
-        const auto i = static_cast<std::size_t>(rng.uniform_int(n));
-        const double delta = eval.flip_delta(i);
-        if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
-          eval.apply_flip(i);
-          const std::size_t chain = chain_of_slot[s];
-          if (eval.energy() < best_energy[chain]) {
-            best_energy[chain] = eval.energy();
-            best_state[chain] = eval.state();
-          }
+  for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+    // One lockstep Metropolis sweep over all chains at once.
+    for (std::size_t step = 0; step < n; ++step) {
+      const auto i = static_cast<std::size_t>(proposal_rng.uniform_int(n));
+      eval.compute_flip_deltas(i, deltas.data());
+      std::fill(accept.begin(), accept.end(), 0);
+      bool any = false;
+      for (std::size_t l = 0; l < chains; ++l) {
+        const double delta = deltas[l];
+        if (delta <= 0.0 ||
+            rngs[l].uniform() < std::exp(-delta / temp_of_lane[l])) {
+          accept[l / 64] |= std::uint64_t{1} << (l % 64);
+          any = true;
         }
       }
-      if (sweep_checkpoint(options)) {
-        stopped = true;
-        break;
+      if (!any) continue;
+      eval.apply_flips(i, accept.data(), deltas.data());
+      for (std::size_t l = 0; l < chains; ++l) {
+        if ((accept[l / 64] >> (l % 64)) & 1u &&
+            eval.energy(l) < best_energy[l]) {
+          best_energy[l] = eval.energy(l);
+          eval.extract_state(l, best_state[l]);
+        }
       }
     }
-    if (stopped) break;
+    // One block sweep advances every chain by one sweep; the checkpoint
+    // ticks the progress callback per chain like the old per-slot loop.
+    if (block_sweep_checkpoint(options, chains)) break;
     // Replica exchange between adjacent temperatures (alternating parity).
-    if (chains >= 2 && rng.uniform() < params_.exchange_rate) {
+    if (chains >= 2 && ladder_rng.uniform() < params_.exchange_rate) {
       const std::size_t parity = sweep % 2;
       for (std::size_t s = parity; s + 1 < chains; s += 2) {
-        const double e_lo = slots[s].energy();
-        const double e_hi = slots[s + 1].energy();
+        const std::size_t lo = lane_of_rank[s];
+        const std::size_t hi = lane_of_rank[s + 1];
+        const double e_lo = eval.energy(lo);
+        const double e_hi = eval.energy(hi);
         const double beta_lo = 1.0 / temperatures[s];
         const double beta_hi = 1.0 / temperatures[s + 1];
         const double log_accept = (beta_lo - beta_hi) * (e_lo - e_hi);
-        if (log_accept >= 0.0 || rng.uniform() < std::exp(log_accept)) {
-          // Swap the *states* (and chain identities) between the slots.
-          // Swapping whole evaluators moves state, fields and energy in
-          // O(1) — the incrementally-maintained values carry over instead
-          // of the O(n + nnz) rescan a set_state round-trip would pay.
-          std::swap(slots[s], slots[s + 1]);
-          std::swap(chain_of_slot[s], chain_of_slot[s + 1]);
+        if (log_accept >= 0.0 ||
+            ladder_rng.uniform() < std::exp(log_accept)) {
+          // The chains trade ladder ranks; their states stay in place.
+          std::swap(lane_of_rank[s], lane_of_rank[s + 1]);
+          temp_of_lane[lo] = temperatures[s + 1];
+          temp_of_lane[hi] = temperatures[s];
         }
       }
     }

@@ -35,7 +35,7 @@ class ParallelTempering final : public QuboSolver {
   std::string name() const override { return "pt"; }
   std::uint64_t config_digest() const override {
     return Hash64()
-        .mix(std::string_view("pt"))
+        .mix(std::string_view("pt-v2"))  // v2: lockstep SIMD ladder
         .mix(params_.hot_acceptance)
         .mix(params_.temperature_ratio)
         .mix(params_.exchange_rate)

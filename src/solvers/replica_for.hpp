@@ -50,4 +50,20 @@ inline void for_each_replica(std::size_t count, std::size_t num_threads,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+/// Runs body(first_replica, lane_count) for consecutive replica blocks of
+/// size `block` covering [0, count) — the fan-out unit of the SIMD solvers.
+/// The partition depends only on (count, block), never on num_threads, so a
+/// block's lanes (and their derive_seed(seed, replica) RNG streams) are the
+/// same whether blocks run sequentially or on the pool: batches stay
+/// bit-identical for any thread count, like for_each_replica.
+inline void for_each_replica_block(
+    std::size_t count, std::size_t block, std::size_t num_threads,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t blocks = (count + block - 1) / block;
+  for_each_replica(blocks, num_threads, [&](std::size_t b) {
+    const std::size_t first = b * block;
+    body(first, std::min(block, count - first));
+  });
+}
+
 }  // namespace qross::solvers

@@ -3,15 +3,31 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "common/aligned.hpp"
 #include "common/assert.hpp"
 #include "common/rng.hpp"
-#include "qubo/incremental.hpp"
+#include "qubo/replica_block.hpp"
 #include "qubo/sparse.hpp"
 #include "solvers/delta_scale.hpp"
 #include "solvers/replica_for.hpp"
 
 namespace qross::solvers {
+
+namespace {
+
+// Replicas per ReplicaBlockEvaluator: two __m256d groups — wide enough to
+// amortise each CSR row load over 8 lanes, small enough that a block's hot
+// state stays cache-resident and small batches still fan out across
+// threads.
+constexpr std::size_t kBlockLanes = 8;
+
+// Stream tag for the shared proposal sequence (distinct from the per-replica
+// acceptance streams derive_seed(seed, replica) and the probe stream).
+constexpr std::uint64_t kProposalStream = 0x50a11ab5c0ffee01ULL;
+
+}  // namespace
 
 SimulatedAnnealer::SimulatedAnnealer(SaParams params) : params_(params) {
   QROSS_REQUIRE(params_.initial_acceptance > 0.0 &&
@@ -33,7 +49,7 @@ qubo::SolveBatch SimulatedAnnealer::solve(const qubo::QuboModel& model,
     return batch;
   }
 
-  // One shared immutable adjacency for the probe and every replica.
+  // One shared immutable adjacency for the probe and every replica block.
   const qubo::SparseAdjacencyPtr adjacency = qubo::SparseAdjacency::build(model);
 
   Rng probe_rng(derive_seed(options.seed, 0xabcdefULL));
@@ -49,53 +65,128 @@ qubo::SolveBatch SimulatedAnnealer::solve(const qubo::QuboModel& model,
                             1.0 / static_cast<double>(sweeps - 1))
                  : 1.0;
 
-  for_each_replica(
-      options.num_replicas, options.num_threads, [&](std::size_t replica) {
-        Rng rng(derive_seed(options.seed, replica));
-        qubo::IncrementalEvaluator eval(adjacency);
-        qubo::Bits best_state;
-        double best_energy = std::numeric_limits<double>::infinity();
+  // Replicas run in SIMD blocks of kBlockLanes.  All lanes of a block step
+  // in lockstep through one proposal stream derived from the block's first
+  // replica index (the partition depends only on batch size and
+  // kBlockLanes, never on num_threads), while acceptance draws come from
+  // each replica's own derive_seed(seed, replica) stream — batches stay
+  // bit-identical across thread counts and across the scalar/AVX2 dispatch
+  // arms, and different blocks still explore different proposal sequences.
+  for_each_replica_block(
+      options.num_replicas, kBlockLanes, options.num_threads,
+      [&](std::size_t first, std::size_t count) {
+        qubo::ReplicaBlockEvaluator eval(adjacency, count);
+        std::vector<Rng> rngs;
+        rngs.reserve(count);
+        for (std::size_t l = 0; l < count; ++l) {
+          rngs.emplace_back(derive_seed(options.seed, first + l));
+        }
+        Rng proposal_rng(
+            derive_seed(derive_seed(options.seed, kProposalStream), first));
+        AlignedVector<double> deltas(eval.lane_stride(), 0.0);
+        std::vector<std::uint64_t> accept(eval.mask_words(), 0);
+        std::vector<double> best_energy(
+            count, std::numeric_limits<double>::infinity());
+        std::vector<qubo::Bits> best_state(count);
+        std::vector<double> local_best(count);
+        std::vector<qubo::Bits> local_best_state(count);
+        std::vector<std::uint32_t> order(n);
+        for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+        qubo::Bits x(n);
         for (std::size_t restart = 0;
              restart < params_.restarts && !options.stop.stop_requested();
              ++restart) {
-          qubo::Bits x(n);
-          for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
-          eval.set_state(x);
+          for (std::size_t l = 0; l < count; ++l) {
+            for (auto& bit : x) bit = rngs[l].bernoulli(0.5) ? 1 : 0;
+            eval.set_state(l, x);
+            local_best[l] = eval.energy(l);
+            eval.extract_state(l, local_best_state[l]);
+          }
           double temperature = t_start;
-          double local_best = eval.energy();
-          qubo::Bits local_best_state = eval.state();
           for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+            // Random-scan sweep: a fresh permutation per sweep guarantees
+            // every variable one attempt per sweep (the classic
+            // variance-reduced SA schedule) while all lanes still share the
+            // proposal order.
+            for (std::size_t step = n; step > 1; --step) {
+              const auto j =
+                  static_cast<std::size_t>(proposal_rng.uniform_int(step));
+              std::swap(order[step - 1], order[j]);
+            }
             for (std::size_t step = 0; step < n; ++step) {
-              const auto i = static_cast<std::size_t>(rng.uniform_int(n));
-              const double delta = eval.flip_delta(i);
-              if (delta <= 0.0 ||
-                  rng.uniform() < std::exp(-delta / temperature)) {
-                eval.apply_flip(i);
-                if (eval.energy() < local_best) {
-                  local_best = eval.energy();
-                  local_best_state = eval.state();
+              const std::size_t i = order[step];
+              eval.compute_flip_deltas(i, deltas.data());
+              std::fill(accept.begin(), accept.end(), 0);
+              bool any = false;
+              for (std::size_t l = 0; l < count; ++l) {
+                const double delta = deltas[l];
+                if (delta <= 0.0 ||
+                    rngs[l].uniform() < std::exp(-delta / temperature)) {
+                  accept[l / 64] |= std::uint64_t{1} << (l % 64);
+                  any = true;
+                }
+              }
+              if (!any) continue;
+              eval.apply_flips(i, accept.data(), deltas.data());
+              for (std::size_t l = 0; l < count; ++l) {
+                if ((accept[l / 64] >> (l % 64)) & 1u &&
+                    eval.energy(l) < local_best[l]) {
+                  local_best[l] = eval.energy(l);
+                  eval.extract_state(l, local_best_state[l]);
                 }
               }
             }
             temperature *= cooling;
-            if (sweep_checkpoint(options)) break;
+            if (block_sweep_checkpoint(options, count)) break;
           }
-          if (local_best < best_energy) {
-            best_energy = local_best;
-            best_state = std::move(local_best_state);
+          // Greedy quench: deterministic first-improvement passes until no
+          // lane has a strictly improving flip.  Strict < keeps termination
+          // guaranteed (energy decreases by a positive amount per flip) and
+          // the pass is RNG-free, so it is shared by both dispatch arms.
+          bool improved = true;
+          while (improved && !options.stop.stop_requested()) {
+            improved = false;
+            for (std::size_t i = 0; i < n; ++i) {
+              eval.compute_flip_deltas(i, deltas.data());
+              std::fill(accept.begin(), accept.end(), 0);
+              bool any = false;
+              for (std::size_t l = 0; l < count; ++l) {
+                if (deltas[l] < 0.0) {
+                  accept[l / 64] |= std::uint64_t{1} << (l % 64);
+                  any = true;
+                }
+              }
+              if (!any) continue;
+              improved = true;
+              eval.apply_flips(i, accept.data(), deltas.data());
+              for (std::size_t l = 0; l < count; ++l) {
+                if ((accept[l / 64] >> (l % 64)) & 1u &&
+                    eval.energy(l) < local_best[l]) {
+                  local_best[l] = eval.energy(l);
+                  eval.extract_state(l, local_best_state[l]);
+                }
+              }
+            }
+          }
+          for (std::size_t l = 0; l < count; ++l) {
+            if (local_best[l] < best_energy[l]) {
+              best_energy[l] = local_best[l];
+              best_state[l] = local_best_state[l];
+            }
           }
         }
-        // A replica stopped before its first restart still reports a valid
-        // (random) assignment so downstream batch evaluation stays total.
-        if (best_state.empty()) {
-          qubo::Bits x(n);
-          for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
-          eval.set_state(x);
-          best_state = eval.state();
-          best_energy = eval.energy();
+        for (std::size_t l = 0; l < count; ++l) {
+          // A replica stopped before its first restart still reports a valid
+          // (random) assignment so downstream batch evaluation stays total.
+          if (best_state[l].empty()) {
+            for (auto& bit : x) bit = rngs[l].bernoulli(0.5) ? 1 : 0;
+            eval.set_state(l, x);
+            best_state[l] = x;
+            best_energy[l] = eval.energy(l);
+          }
+          batch.results[first + l].assignment = std::move(best_state[l]);
+          batch.results[first + l].qubo_energy = best_energy[l];
         }
-        batch.results[replica].assignment = std::move(best_state);
-        batch.results[replica].qubo_energy = best_energy;
       });
   return batch;
 }

@@ -12,6 +12,14 @@
 // the objective-scale deltas near feasibility, and deriving T_end from it
 // leaves the walk hot forever.  A fixed ratio keeps one parameter set usable
 // across the whole range of penalty weights A the tuning experiments sweep.
+//
+// Replicas run in SIMD blocks (ReplicaBlockEvaluator): all lanes of a block
+// attempt the same variable each step, with the proposal indices drawn from
+// one shared stream and the Metropolis draws from each replica's own
+// derive_seed(seed, replica) stream.  Batches are bit-identical across
+// thread counts and across the scalar/AVX2 dispatch arms, but the schedule
+// differs from the pre-SIMD per-replica proposal walk — config_digest is
+// versioned so cached pre-SIMD batches are not replayed as this kernel's.
 
 #include "solvers/solver.hpp"
 
@@ -33,7 +41,7 @@ class SimulatedAnnealer final : public QuboSolver {
   std::string name() const override { return "sa"; }
   std::uint64_t config_digest() const override {
     return Hash64()
-        .mix(std::string_view("sa"))
+        .mix(std::string_view("sa-v2"))  // v2: lockstep SIMD proposal stream
         .mix(params_.initial_acceptance)
         .mix(params_.temperature_ratio)
         .mix(static_cast<std::uint64_t>(params_.restarts))

@@ -90,6 +90,17 @@ inline bool sweep_checkpoint(const SolveOptions& options) {
   return options.stop.stop_requested();
 }
 
+/// Sweep checkpoint for a replica *block*: one block sweep advances every
+/// lane by one sweep, so the progress callback ticks `lanes` times — total
+/// tick counts match the scalar per-replica kernels exactly.
+inline bool block_sweep_checkpoint(const SolveOptions& options,
+                                   std::size_t lanes) {
+  if (options.on_sweep) {
+    for (std::size_t l = 0; l < lanes; ++l) options.on_sweep();
+  }
+  return options.stop.stop_requested();
+}
+
 class QuboSolver {
  public:
   virtual ~QuboSolver() = default;

@@ -158,7 +158,7 @@ TEST_P(AllocationEndToEnd, SaFindsFeasibleNearOptimalAllocation) {
   const AllocationQubo qubo = build_allocation_problem(inst);
   solvers::BatchRunner runner(qubo.problem,
                               std::make_shared<solvers::SimulatedAnnealer>(),
-                              solvers::SolveOptions{.num_replicas = 16,
+                              solvers::SolveOptions{.num_replicas = 32,
                                                     .num_sweeps = 400,
                                                     .seed = GetParam()});
   // Penalty weight: comfortably above the largest cost coefficient.

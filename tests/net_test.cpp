@@ -202,6 +202,7 @@ TEST(NetProtocolTest, HelloRoundTripsClientIdAndToleratesLegacyPayload) {
 TEST(NetProtocolTest, MetricsFrameRoundTripsAdmissionTailAndToleratesLegacy) {
   MetricsFrame metrics;
   metrics.service.admission_rejected = 7;
+  metrics.service.simd_kernel = "avx2";
   metrics.connections_rejected_full = 3;
   metrics.client_id = "me";
   service::ClientSchedulerMetrics row;
@@ -218,6 +219,7 @@ TEST(NetProtocolTest, MetricsFrameRoundTripsAdmissionTailAndToleratesLegacy) {
 
   const auto decoded = decode_metrics(encode_metrics(metrics));
   EXPECT_EQ(decoded.service.admission_rejected, 7u);
+  EXPECT_EQ(decoded.service.simd_kernel, "avx2");
   EXPECT_EQ(decoded.connections_rejected_full, 3u);
   EXPECT_EQ(decoded.client_id, "me");
   ASSERT_EQ(decoded.clients.size(), 1u);
@@ -231,16 +233,25 @@ TEST(NetProtocolTest, MetricsFrameRoundTripsAdmissionTailAndToleratesLegacy) {
   EXPECT_EQ(decoded.clients[0].rejected_inflight, 8u);
   EXPECT_EQ(decoded.clients[0].rejected_queued, 9u);
 
-  // A pre-admission-control payload is a strict prefix of today's: strip
-  // the default tail (u64 + u64 + empty string + u32 count = 24 bytes) and
+  // A pre-SIMD-dispatch payload ends after the per-client rows: strip the
+  // kernel string (empty string = 4 length bytes) and the decoder must
+  // report an unknown kernel.
+  auto pre_simd_bytes = encode_metrics(MetricsFrame{});
+  pre_simd_bytes.resize(pre_simd_bytes.size() - 4);
+  const auto pre_simd = decode_metrics(pre_simd_bytes);
+  EXPECT_EQ(pre_simd.service.simd_kernel, "unknown");
+
+  // A pre-admission-control payload is a strict prefix of that: strip the
+  // quota tail too (u64 + u64 + empty string + u32 count = 24 bytes) and
   // the decoder must fall back to "no quota activity".
-  auto legacy_bytes = encode_metrics(MetricsFrame{});
+  auto legacy_bytes = pre_simd_bytes;
   legacy_bytes.resize(legacy_bytes.size() - 24);
   const auto legacy = decode_metrics(legacy_bytes);
   EXPECT_EQ(legacy.connections_rejected_full, 0u);
   EXPECT_EQ(legacy.service.admission_rejected, 0u);
   EXPECT_TRUE(legacy.client_id.empty());
   EXPECT_TRUE(legacy.clients.empty());
+  EXPECT_EQ(legacy.service.simd_kernel, "unknown");
 }
 
 TEST(NetProtocolTest, FrameBufferReassemblesByteByByte) {

@@ -314,6 +314,9 @@ TEST(SolveServiceTest, CancelStopsARunningJobWithinASweep) {
   const ServiceMetrics metrics = svc.metrics();
   EXPECT_EQ(metrics.cancelled, 1u);
   EXPECT_EQ(metrics.running, 0u);
+  // Every snapshot reports the dispatched evaluation kernel.
+  EXPECT_TRUE(metrics.simd_kernel == "avx2" || metrics.simd_kernel == "scalar")
+      << metrics.simd_kernel;
 }
 
 // (b) A deadline-expired queued job never starts.

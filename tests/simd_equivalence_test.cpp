@@ -1,0 +1,441 @@
+// SIMD/scalar equivalence: the ReplicaBlockEvaluator must reproduce the
+// scalar IncrementalEvaluator BIT FOR BIT in every lane — energies, flip
+// deltas, packed assignments — on both dispatch arms, across random dense,
+// random sparse, and the paper-workload MVC / TSP-formulation models
+// (mirroring tests/sparse_equivalence_test.cpp).  On top of the evaluator
+// contract, the blocked solver kernels must return bit-identical batches
+// for scalar vs AVX2 dispatch, for any thread count, and (SA/DA) for any
+// batch-size extension of the same seed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "solvers/delta_scale.hpp"
+#include "problems/mvc/mvc.hpp"
+#include "problems/tsp/formulation.hpp"
+#include "problems/tsp/generators.hpp"
+#include "qubo/incremental.hpp"
+#include "qubo/model.hpp"
+#include "qubo/replica_block.hpp"
+#include "qubo/simd.hpp"
+#include "qubo/sparse.hpp"
+#include "solvers/digital_annealer.hpp"
+#include "solvers/parallel_tempering.hpp"
+#include "solvers/simulated_annealer.hpp"
+#include "solvers/solver.hpp"
+
+namespace qross::qubo {
+namespace {
+
+// Restores the process-wide dispatch choice on scope exit so tests cannot
+// leak a forced kind into each other.
+class ScopedSimdKind {
+ public:
+  explicit ScopedSimdKind(SimdKind kind)
+      : previous_(active_simd_kind()), installed_(set_simd_kind(kind)) {}
+  ~ScopedSimdKind() { set_simd_kind(previous_); }
+  SimdKind installed() const { return installed_; }
+
+ private:
+  SimdKind previous_;
+  SimdKind installed_;
+};
+
+QuboModel random_model(std::size_t n, std::uint64_t seed, double density) {
+  Rng rng(seed);
+  QuboModel model(n);
+  model.set_offset(rng.uniform(-5.0, 5.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      if (rng.uniform() < density) {
+        model.add_term(i, j, rng.uniform(-10.0, 10.0));
+      }
+    }
+  }
+  return model;
+}
+
+Bits random_bits(std::size_t n, Rng& rng) {
+  Bits x(n);
+  for (auto& b : x) b = rng.bernoulli(0.5) ? 1 : 0;
+  return x;
+}
+
+/// Bitwise double equality — stricter than EXPECT_DOUBLE_EQ (4 ULPs): the
+/// block evaluator's contract is exact reproduction, sign of zero included.
+void expect_bits_eq(double actual, double expected) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(actual),
+            std::bit_cast<std::uint64_t>(expected))
+      << "actual " << actual << " expected " << expected;
+}
+
+/// Runs a masked flip trajectory on a block of `lanes` replicas and a bank
+/// of per-lane scalar IncrementalEvaluators, checking bitwise agreement of
+/// energies, deltas and assignments at every step.
+void expect_block_matches_scalar(const QuboModel& model, std::uint64_t seed,
+                                 SimdKind kind, std::size_t lanes = 6) {
+  const std::size_t n = model.num_vars();
+  const SparseAdjacencyPtr adj = SparseAdjacency::build(model);
+  ReplicaBlockEvaluator block(adj, lanes, kind);
+  ASSERT_EQ(block.kind(), kind);
+  EXPECT_EQ(block.lanes(), lanes);
+  EXPECT_EQ(block.lane_stride() % ReplicaBlockEvaluator::kGroupLanes, 0u);
+  EXPECT_GE(block.lane_stride(), lanes);
+
+  Rng rng(seed);
+  std::vector<IncrementalEvaluator> refs(lanes, IncrementalEvaluator(adj));
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const Bits x = random_bits(n, rng);
+    block.set_state(l, x);
+    refs[l].set_state(x);
+  }
+  std::vector<double> deltas(block.lane_stride(), 0.0);
+  std::vector<std::uint64_t> accept(block.mask_words(), 0);
+  Bits extracted;
+  for (int step = 0; step < 96 && n > 0; ++step) {
+    const auto i = static_cast<std::size_t>(rng.uniform_int(n));
+    block.compute_flip_deltas(i, deltas.data());
+    for (std::size_t l = 0; l < lanes; ++l) {
+      expect_bits_eq(deltas[l], refs[l].flip_delta(i));
+      expect_bits_eq(block.flip_delta(l, i), refs[l].flip_delta(i));
+    }
+    // Random accept mask — including the all-clear and all-set cases.
+    std::fill(accept.begin(), accept.end(), 0);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (rng.bernoulli(0.5)) accept[l / 64] |= std::uint64_t{1} << (l % 64);
+    }
+    block.apply_flips(i, accept.data(), deltas.data());
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if ((accept[l / 64] >> (l % 64)) & 1u) refs[l].apply_flip(i);
+      expect_bits_eq(block.energy(l), refs[l].energy());
+      EXPECT_EQ(block.bit(l, i), refs[l].state()[i] != 0);
+    }
+  }
+  for (std::size_t l = 0; l < lanes; ++l) {
+    block.extract_state(l, extracted);
+    EXPECT_EQ(extracted, refs[l].state());
+    for (std::size_t i = 0; i < n; ++i) {
+      expect_bits_eq(block.flip_delta(l, i), refs[l].flip_delta(i));
+    }
+  }
+}
+
+void expect_both_arms_match_scalar_reference(const QuboModel& model,
+                                             std::uint64_t seed) {
+  expect_block_matches_scalar(model, seed, SimdKind::kScalar);
+  if (cpu_supports_avx2()) {
+    expect_block_matches_scalar(model, seed, SimdKind::kAvx2);
+  }
+}
+
+TEST(SimdEquivalence, RandomDenseModels) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    expect_both_arms_match_scalar_reference(random_model(24, 100 + seed, 0.9),
+                                            seed);
+  }
+}
+
+TEST(SimdEquivalence, RandomSparseModels) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    expect_both_arms_match_scalar_reference(random_model(48, 200 + seed, 0.05),
+                                            seed);
+  }
+}
+
+TEST(SimdEquivalence, MvcPenaltyModel) {
+  const auto instance = mvc::generate_random_mvc(40, 0.12, 7);
+  expect_both_arms_match_scalar_reference(instance.to_qubo(2.0), 7);
+}
+
+TEST(SimdEquivalence, TspFormulationModel) {
+  const auto instance = tsp::generate_uniform(7, 0x5EED);
+  const auto problem = tsp::build_tsp_problem(instance);
+  expect_both_arms_match_scalar_reference(problem.to_qubo(25.0), 3);
+}
+
+TEST(SimdEquivalence, LaneCountsAroundGroupBoundaries) {
+  const QuboModel model = random_model(20, 77, 0.4);
+  for (const std::size_t lanes : {1u, 3u, 4u, 5u, 8u, 9u, 64u, 65u}) {
+    expect_block_matches_scalar(model, lanes, SimdKind::kScalar, lanes);
+    if (cpu_supports_avx2()) {
+      expect_block_matches_scalar(model, lanes, SimdKind::kAvx2, lanes);
+    }
+  }
+}
+
+TEST(SimdEquivalence, DivergentSingleLaneFlips) {
+  // apply_flip_lane (the DA pick step) against per-lane scalar references.
+  const QuboModel model = random_model(32, 5, 0.3);
+  const SparseAdjacencyPtr adj = SparseAdjacency::build(model);
+  const std::size_t lanes = 5;
+  for (const SimdKind kind : {SimdKind::kScalar, SimdKind::kAvx2}) {
+    if (kind == SimdKind::kAvx2 && !cpu_supports_avx2()) continue;
+    ReplicaBlockEvaluator block(adj, lanes, kind);
+    std::vector<IncrementalEvaluator> refs(lanes, IncrementalEvaluator(adj));
+    Rng rng(11);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const Bits x = random_bits(32, rng);
+      block.set_state(l, x);
+      refs[l].set_state(x);
+    }
+    for (int step = 0; step < 64; ++step) {
+      // Every lane flips its own variable, like the DA inner loop.
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const auto i = static_cast<std::size_t>(rng.uniform_int(32));
+        block.apply_flip_lane(l, i);
+        refs[l].apply_flip(i);
+        expect_bits_eq(block.energy(l), refs[l].energy());
+      }
+    }
+    Bits extracted;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      block.extract_state(l, extracted);
+      EXPECT_EQ(extracted, refs[l].state());
+    }
+  }
+}
+
+TEST(SimdEquivalence, Avx2ArmMatchesScalarArmStepForStep) {
+  if (!cpu_supports_avx2()) {
+    GTEST_SKIP() << "CPU has no AVX2; the scalar arm is the only arm";
+  }
+  const QuboModel model = random_model(40, 123, 0.25);
+  const SparseAdjacencyPtr adj = SparseAdjacency::build(model);
+  const std::size_t lanes = 7;
+  ReplicaBlockEvaluator scalar(adj, lanes, SimdKind::kScalar);
+  ReplicaBlockEvaluator avx2(adj, lanes, SimdKind::kAvx2);
+  ASSERT_EQ(scalar.kind(), SimdKind::kScalar);
+  ASSERT_EQ(avx2.kind(), SimdKind::kAvx2);
+  Rng rng(9);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const Bits x = random_bits(40, rng);
+    scalar.set_state(l, x);
+    avx2.set_state(l, x);
+  }
+  std::vector<double> ds(scalar.lane_stride()), dv(avx2.lane_stride());
+  std::vector<std::uint64_t> accept(scalar.mask_words(), 0);
+  for (int step = 0; step < 256; ++step) {
+    const auto i = static_cast<std::size_t>(rng.uniform_int(40));
+    scalar.compute_flip_deltas(i, ds.data());
+    avx2.compute_flip_deltas(i, dv.data());
+    std::fill(accept.begin(), accept.end(), 0);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      expect_bits_eq(dv[l], ds[l]);
+      if (rng.bernoulli(0.5)) accept[l / 64] |= std::uint64_t{1} << (l % 64);
+    }
+    scalar.apply_flips(i, accept.data(), ds.data());
+    avx2.apply_flips(i, accept.data(), dv.data());
+    for (std::size_t l = 0; l < lanes; ++l) {
+      expect_bits_eq(avx2.energy(l), scalar.energy(l));
+    }
+  }
+}
+
+TEST(SimdEquivalence, EmptyAndDiagonalOnlyModels) {
+  expect_both_arms_match_scalar_reference(QuboModel(0), 1);
+  QuboModel diag(5);
+  diag.set_offset(1.25);
+  for (std::size_t i = 0; i < 5; ++i) diag.add_term(i, i, 0.5 * (i + 1));
+  expect_both_arms_match_scalar_reference(diag, 2);
+}
+
+TEST(SimdEquivalence, DispatchOverrideClampsAndRestores) {
+  const SimdKind before = active_simd_kind();
+  {
+    ScopedSimdKind forced(SimdKind::kScalar);
+    EXPECT_EQ(active_simd_kind(), SimdKind::kScalar);
+    EXPECT_EQ(forced.installed(), SimdKind::kScalar);
+    const SparseAdjacencyPtr adj =
+        SparseAdjacency::build(random_model(8, 3, 0.5));
+    EXPECT_EQ(ReplicaBlockEvaluator(adj, 4).kind(), SimdKind::kScalar);
+  }
+  EXPECT_EQ(active_simd_kind(), before);
+  // An avx2 request never installs an arm the CPU cannot run.
+  const SimdKind installed = set_simd_kind(SimdKind::kAvx2);
+  EXPECT_EQ(installed, cpu_supports_avx2() ? SimdKind::kAvx2
+                                           : SimdKind::kScalar);
+  set_simd_kind(before);
+}
+
+// --- solver-level batch identity across arms and thread counts -------------
+
+void expect_same_batch(const SolveBatch& a, const SolveBatch& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t r = 0; r < a.results.size(); ++r) {
+    expect_bits_eq(a.results[r].qubo_energy, b.results[r].qubo_energy);
+    EXPECT_EQ(a.results[r].assignment, b.results[r].assignment)
+        << "replica " << r;
+  }
+}
+
+class SimdSolverEquivalence : public ::testing::Test {
+ protected:
+  static std::vector<std::pair<const char*, QuboModel>> models() {
+    std::vector<std::pair<const char*, QuboModel>> out;
+    out.emplace_back("dense", random_model(24, 42, 0.8));
+    out.emplace_back("sparse", random_model(48, 43, 0.06));
+    out.emplace_back("mvc",
+                     mvc::generate_random_mvc(36, 0.1, 17).to_qubo(2.0));
+    out.emplace_back("tsp", tsp::build_tsp_problem(tsp::generate_uniform(
+                                6, 0xBEE)).to_qubo(25.0));
+    return out;
+  }
+
+  static void expect_arm_identical_batches(const solvers::QuboSolver& solver) {
+    if (!cpu_supports_avx2()) {
+      GTEST_SKIP() << "CPU has no AVX2; the scalar arm is the only arm";
+    }
+    for (const auto& [tag, model] : models()) {
+      solvers::SolveOptions options;
+      options.num_replicas = 13;  // straddles one 8-lane block boundary
+      options.num_sweeps = 30;
+      options.seed = 0xF00D;
+      SolveBatch scalar_batch, avx2_batch;
+      {
+        ScopedSimdKind forced(SimdKind::kScalar);
+        scalar_batch = solver.solve(model, options);
+      }
+      {
+        ScopedSimdKind forced(SimdKind::kAvx2);
+        avx2_batch = solver.solve(model, options);
+      }
+      SCOPED_TRACE(tag);
+      expect_same_batch(scalar_batch, avx2_batch);
+    }
+  }
+
+  static void expect_thread_invariant_batches(
+      const solvers::QuboSolver& solver) {
+    const QuboModel model = random_model(32, 77, 0.2);
+    solvers::SolveOptions sequential;
+    sequential.num_replicas = 19;
+    sequential.num_sweeps = 25;
+    sequential.seed = 0xCAFE;
+    solvers::SolveOptions pooled = sequential;
+    pooled.num_threads = 3;
+    expect_same_batch(solver.solve(model, sequential),
+                      solver.solve(model, pooled));
+  }
+};
+
+TEST_F(SimdSolverEquivalence, SaBatchesIdenticalAcrossArms) {
+  expect_arm_identical_batches(solvers::SimulatedAnnealer());
+}
+
+TEST_F(SimdSolverEquivalence, DaBatchesIdenticalAcrossArms) {
+  expect_arm_identical_batches(solvers::DigitalAnnealer());
+}
+
+TEST_F(SimdSolverEquivalence, PtBatchesIdenticalAcrossArms) {
+  expect_arm_identical_batches(solvers::ParallelTempering());
+}
+
+TEST_F(SimdSolverEquivalence, SaBatchesIdenticalAcrossThreadCounts) {
+  expect_thread_invariant_batches(solvers::SimulatedAnnealer());
+}
+
+TEST_F(SimdSolverEquivalence, DaBatchesIdenticalAcrossThreadCounts) {
+  expect_thread_invariant_batches(solvers::DigitalAnnealer());
+}
+
+// Replica r's trajectory depends only on (seed, r): asking for a bigger
+// batch with the same seed extends the batch without rewriting its prefix.
+TEST_F(SimdSolverEquivalence, SaAndDaBatchPrefixStableUnderBatchGrowth) {
+  const QuboModel model = random_model(28, 55, 0.3);
+  for (const auto solver :
+       {solvers::SolverPtr(std::make_shared<solvers::SimulatedAnnealer>()),
+        solvers::SolverPtr(std::make_shared<solvers::DigitalAnnealer>())}) {
+    solvers::SolveOptions small;
+    small.num_replicas = 12;
+    small.num_sweeps = 20;
+    small.seed = 99;
+    solvers::SolveOptions large = small;
+    large.num_replicas = 20;
+    const SolveBatch small_batch = solver->solve(model, small);
+    const SolveBatch large_batch = solver->solve(model, large);
+    for (std::size_t r = 0; r < small.num_replicas; ++r) {
+      expect_bits_eq(small_batch.results[r].qubo_energy,
+                     large_batch.results[r].qubo_energy);
+      EXPECT_EQ(small_batch.results[r].assignment,
+                large_batch.results[r].assignment);
+    }
+  }
+}
+
+// The blocked digital annealer is a pure vectorisation: each lane replays
+// the pre-SIMD per-replica kernel's RNG stream draw for draw.  This pins
+// that contract against an in-test transcription of the scalar kernel.
+TEST_F(SimdSolverEquivalence, DaLanesReplayScalarKernelExactly) {
+  const QuboModel model = random_model(20, 31, 0.35);
+  const SparseAdjacencyPtr adj = SparseAdjacency::build(model);
+  const std::size_t n = 20;
+  solvers::SolveOptions options;
+  options.num_replicas = 5;
+  options.num_sweeps = 15;
+  options.seed = 0xD1517A;
+  const SolveBatch batch = solvers::DigitalAnnealer().solve(model, options);
+
+  // Scalar reference: the pre-SIMD kernel, IncrementalEvaluator and all.
+  const solvers::DaParams params;
+  Rng probe_rng(derive_seed(options.seed, 0xda0ULL));
+  const double typical_delta =
+      solvers::probe_delta_scale(adj, probe_rng).typical;
+  const double t_start =
+      typical_delta / -std::log(params.initial_acceptance);
+  const double t_end =
+      std::max(typical_delta * 1e-3 / -std::log(params.final_acceptance),
+               t_start * 1e-6);
+  const double offset_step = params.offset_increase_rate * typical_delta;
+  const double cooling =
+      std::pow(t_end / t_start,
+               1.0 / static_cast<double>(options.num_sweeps - 1));
+  for (std::size_t replica = 0; replica < options.num_replicas; ++replica) {
+    Rng rng(derive_seed(options.seed, replica));
+    IncrementalEvaluator eval(adj);
+    Bits x(n);
+    for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
+    eval.set_state(x);
+    double temperature = t_start;
+    double offset = 0.0;
+    double best_energy = eval.energy();
+    Bits best_state = eval.state();
+    std::vector<std::size_t> accepted;
+    for (std::size_t sweep = 0; sweep < options.num_sweeps; ++sweep) {
+      for (std::size_t step = 0; step < n; ++step) {
+        accepted.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+          const double delta = eval.flip_delta(i) - offset;
+          if (delta <= 0.0 ||
+              rng.uniform() < std::exp(-delta / temperature)) {
+            accepted.push_back(i);
+          }
+        }
+        if (accepted.empty()) {
+          offset += offset_step;
+          continue;
+        }
+        const std::size_t pick = accepted[static_cast<std::size_t>(
+            rng.uniform_int(accepted.size()))];
+        eval.apply_flip(pick);
+        offset = 0.0;
+        if (eval.energy() < best_energy) {
+          best_energy = eval.energy();
+          best_state = eval.state();
+        }
+      }
+      temperature *= cooling;
+    }
+    expect_bits_eq(batch.results[replica].qubo_energy, best_energy);
+    EXPECT_EQ(batch.results[replica].assignment, best_state);
+  }
+}
+
+}  // namespace
+}  // namespace qross::qubo

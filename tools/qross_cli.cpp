@@ -439,8 +439,9 @@ int cmd_batch(const Args& args) {
   const service::ServiceMetrics m = svc.metrics();
   std::printf(
       "\nservice: %zu workers | %zu submitted, %zu done, %zu cancelled, "
-      "%zu expired, %zu failed\n",
-      m.workers, m.submitted, m.completed, m.cancelled, m.expired, m.failed);
+      "%zu expired, %zu failed | %s evaluation kernel\n",
+      m.workers, m.submitted, m.completed, m.cancelled, m.expired, m.failed,
+      m.simd_kernel.c_str());
   std::printf(
       "cache:   %zu hits, %zu misses, %zu evictions, %zu entries | "
       "%zu coalesced, %zu solver invocations\n",
@@ -651,9 +652,10 @@ int cmd_remote_metrics(const Args& args) {
   std::printf("protocol: v%u negotiated\n", client.negotiated_version());
   std::printf(
       "service:  %zu workers | %zu submitted, %zu done, %zu cancelled, "
-      "%zu expired, %zu failed | queue %zu, running %zu\n",
+      "%zu expired, %zu failed | queue %zu, running %zu | "
+      "%s evaluation kernel\n",
       m.workers, m.submitted, m.completed, m.cancelled, m.expired, m.failed,
-      m.queue_depth, m.running);
+      m.queue_depth, m.running, m.simd_kernel.c_str());
   std::printf(
       "cache:    %zu hits, %zu misses, %zu entries | %zu coalesced, "
       "%zu solver invocations | %zu loaded from disk, %zu stored\n",
