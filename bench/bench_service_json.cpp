@@ -46,6 +46,7 @@
 #include "harness/dense_baseline.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "problems/mvc/mvc.hpp"
 #include "problems/tsp/formulation.hpp"
 #include "problems/tsp/generators.hpp"
@@ -598,13 +599,51 @@ int main(int argc, char** argv) {
                fifo.polite_p95_wait_ms, fair.polite_p95_wait_ms, kGreedyJobs,
                fifo.greedy_p95_wait_ms, fair.greedy_p95_wait_ms);
 
+  // --- observability: tracing enabled vs disabled (informational) ----------
+  // Same workload, cache off so every job pays a real kernel both times; the
+  // delta is what a fully traced job lifecycle costs.  Never gated — the
+  // acceptance bar is that tracing DISABLED costs nothing, which the cold
+  // pass above (tracing off) already measures under the sweep gate.
+  ServicePass trace_off, trace_on;
+  std::uint64_t trace_events = 0;
+  {
+    service::ServiceConfig obs_config;
+    obs_config.num_workers = kWorkers;
+    obs_config.cache_capacity = 0;
+    auto& recorder = obs::TraceRecorder::instance();
+    recorder.disable();
+    recorder.clear();
+    {
+      service::SolveService svc(obs_config);
+      trace_off = run_service_pass(svc, solver, models, options);
+    }
+    recorder.enable(obs::TraceRecorder::kDefaultCapacity);
+    {
+      service::SolveService svc(obs_config);
+      trace_on = run_service_pass(svc, solver, models, options);
+    }
+    trace_events = recorder.recorded();
+    recorder.disable();
+    recorder.clear();
+  }
+  const double trace_overhead_pct =
+      trace_off.jobs_per_sec > 0.0
+          ? 100.0 * (1.0 - trace_on.jobs_per_sec / trace_off.jobs_per_sec)
+          : 0.0;
+  std::fprintf(stderr,
+               "obs: tracing off %.1f jobs/s, on %.1f jobs/s "
+               "(%.1f%% overhead, %llu events recorded)\n",
+               trace_off.jobs_per_sec, trace_on.jobs_per_sec,
+               trace_overhead_pct,
+               static_cast<unsigned long long>(trace_events));
+
   const std::string path = out_dir + "/BENCH_service.json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"qross-bench-service-v5\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"qross-bench-service-v6\",\n");
   std::fprintf(f, "  \"workers\": %zu,\n  \"jobs\": %zu,\n", kWorkers, kJobs);
   std::fprintf(f,
                "  \"simd\": {\"kernel\": \"%s\", \"avx2_supported\": %s},\n",
@@ -638,6 +677,13 @@ int main(int argc, char** argv) {
       kGreedyJobs, kPoliteJobs, fifo.polite_p95_wait_ms,
       fair.polite_p95_wait_ms, fifo.greedy_p95_wait_ms,
       fair.greedy_p95_wait_ms);
+  std::fprintf(
+      f,
+      "  \"obs\": {\"trace_off_jobs_per_sec\": %.2f, "
+      "\"trace_on_jobs_per_sec\": %.2f, \"trace_overhead_pct\": %.2f, "
+      "\"trace_events_recorded\": %llu},\n",
+      trace_off.jobs_per_sec, trace_on.jobs_per_sec, trace_overhead_pct,
+      static_cast<unsigned long long>(trace_events));
   std::fprintf(f,
                "  \"metrics\": {\"solver_invocations\": %zu, \"cache_hits\": "
                "%zu, \"cache_misses\": %zu, \"cache_stored\": %zu, "

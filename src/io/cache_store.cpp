@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "io/snapshot.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace qross::io {
 
@@ -213,6 +215,14 @@ bool CacheStore::repair_journal_tail_locked() {
 }
 
 std::size_t CacheStore::compact_locked() {
+  // Counted/spanned here rather than in compact(): the destructor's final
+  // compaction goes through this path too.  The obs singletons are leaked
+  // (never destroyed), so static-teardown-time compaction stays safe.
+  obs::registry()
+      .counter("qross_cache_compactions_total",
+               "CacheStore journal-into-snapshot compactions")
+      ->inc();
+  obs::ScopedSpan span("compact", "io");
   if (journal_.is_open()) journal_.close();
   FileScan snapshot = scan_file(config_.path);
   FileScan journal = scan_file(journal_path());

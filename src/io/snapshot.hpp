@@ -53,6 +53,10 @@ enum RecordType : std::uint32_t {
   kRecordNetResult = 22,      ///< server → client: terminal result + batch
   kRecordNetGetMetrics = 23,  ///< client → server: metrics request
   kRecordNetMetrics = 24,     ///< server → client: service + server counters
+  kRecordNetGetTrace = 25,    ///< client → server: trace snapshot request
+  kRecordNetTraceDump = 26,   ///< server → client: Chrome trace-event JSON
+  kRecordNetGetProm = 27,     ///< client → server: Prometheus text request
+  kRecordNetPromText = 28,    ///< server → client: Prometheus exposition
 };
 
 enum class HeaderStatus {

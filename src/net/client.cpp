@@ -116,6 +116,7 @@ bool Client::send_submit(std::uint64_t tag, const RemoteJob& job) {
   submit.bypass_cache = job.bypass_cache;
   submit.stream_status = job.stream_status;
   submit.model = job.model;
+  submit.trace_id = job.trace_id;
   return send_frame(io::kRecordNetSubmitJob, encode_submit(submit));
 }
 
@@ -152,6 +153,12 @@ void Client::handle_incoming(const Frame& f) {
       }
       case io::kRecordNetMetrics:
         last_metrics_ = decode_metrics(f.payload);
+        return;
+      case io::kRecordNetTraceDump:
+        last_trace_ = decode_text(f.payload);
+        return;
+      case io::kRecordNetPromText:
+        last_prom_ = decode_text(f.payload);
         return;
       case io::kRecordNetError: {
         auto error = decode_error(f.payload);
@@ -349,6 +356,33 @@ std::optional<MetricsFrame> Client::metrics(std::string* error) {
     return std::nullopt;
   }
   return last_metrics_;
+}
+
+std::optional<std::string> Client::trace_dump(std::string* error) {
+  last_trace_.reset();
+  if (!send_frame(io::kRecordNetGetTrace, {})) {
+    if (!reconnect_and_resubmit(error)) return std::nullopt;
+    if (!send_frame(io::kRecordNetGetTrace, {})) return std::nullopt;
+  }
+  // A pre-obs server answers kErrUnknownType; pump() surfaces that Error
+  // frame as a failure for non-Result stop types, so old servers degrade to
+  // nullopt + message instead of a hang.
+  if (!pump(io::kRecordNetTraceDump, 0, config_.request_timeout_ms, error)) {
+    return std::nullopt;
+  }
+  return last_trace_;
+}
+
+std::optional<std::string> Client::prometheus_metrics(std::string* error) {
+  last_prom_.reset();
+  if (!send_frame(io::kRecordNetGetProm, {})) {
+    if (!reconnect_and_resubmit(error)) return std::nullopt;
+    if (!send_frame(io::kRecordNetGetProm, {})) return std::nullopt;
+  }
+  if (!pump(io::kRecordNetPromText, 0, config_.request_timeout_ms, error)) {
+    return std::nullopt;
+  }
+  return last_prom_;
 }
 
 std::vector<ResultFrame> Client::run(const std::vector<RemoteJob>& jobs) {

@@ -64,6 +64,9 @@ struct RemoteJob {
   std::uint32_t deadline_ms = 0;  ///< relative; 0 = none
   bool bypass_cache = false;
   bool stream_status = false;
+  /// Trace correlation id stamped on the server's spans for this job
+  /// (0 = none).  Fetch the stitched trace with trace_dump().
+  std::uint64_t trace_id = 0;
 };
 
 class Client {
@@ -103,6 +106,16 @@ class Client {
   /// Round-trips a metrics request.
   std::optional<MetricsFrame> metrics(std::string* error = nullptr);
 
+  /// Round-trips a GetTrace request: the server's trace buffer as Chrome
+  /// trace-event JSON.  Empty trace (`"traceEvents":[]`) when the daemon
+  /// never enabled tracing; nullopt on connection/timeout failure — and on
+  /// a pre-obs server, which answers kErrUnknownType.
+  std::optional<std::string> trace_dump(std::string* error = nullptr);
+
+  /// Round-trips a GetProm request: the server's metrics registry in
+  /// Prometheus text exposition format.  Same failure contract as above.
+  std::optional<std::string> prometheus_metrics(std::string* error = nullptr);
+
   /// Convenience: submit every job, then wait for each in order.
   std::vector<ResultFrame> run(const std::vector<RemoteJob>& jobs);
 
@@ -136,6 +149,8 @@ class Client {
   std::set<std::uint64_t> retry_wanted_;
   std::map<std::uint64_t, int> retry_attempts_;
   std::optional<MetricsFrame> last_metrics_;
+  std::optional<std::string> last_trace_;
+  std::optional<std::string> last_prom_;
   std::vector<ErrorFrame> errors_;
 };
 

@@ -119,6 +119,9 @@ std::vector<std::uint8_t> encode_submit(const SubmitJobFrame& submit) {
   out.u8(submit.bypass_cache ? 1 : 0);
   out.u8(submit.stream_status ? 1 : 0);
   io::encode_model(out, submit.model);
+  // Trace-id tail, appended within protocol v1 after the model: a pre-obs
+  // decoder stops at the model, a pre-obs encoder leaves the id at 0.
+  out.u64(submit.trace_id);
   return out.take();
 }
 
@@ -135,6 +138,7 @@ SubmitJobFrame decode_submit(std::span<const std::uint8_t> payload) {
   submit.bypass_cache = in.u8() != 0;
   submit.stream_status = in.u8() != 0;
   submit.model = io::decode_model(in);
+  if (in.remaining() > 0) submit.trace_id = in.u64();
   return submit;
 }
 
@@ -252,6 +256,9 @@ std::vector<std::uint8_t> encode_metrics(const MetricsFrame& metrics) {
   // rows: pre-SIMD decoders stop at the rows, pre-SIMD encoders make a
   // decoder default the kernel to "unknown".
   put_string(out, s.simd_kernel);
+  // Sliding-window throughput tail (appended after the SIMD tail, same
+  // append-only discipline): absent on older servers, defaulting to 0.
+  out.f64(s.recent_jobs_per_second);
   return out.take();
 }
 
@@ -329,7 +336,19 @@ MetricsFrame decode_metrics(std::span<const std::uint8_t> payload) {
     return metrics;
   }
   s.simd_kernel = get_string(in);
+  // Pre-obs servers end here; 0 = "no recent-rate data".
+  if (in.remaining() > 0) s.recent_jobs_per_second = in.f64();
   return metrics;
+}
+
+std::vector<std::uint8_t> encode_text(const std::string& text) {
+  // The raw bytes ARE the payload — no length prefix, so the 1 MiB
+  // per-string decode cap does not apply (see protocol.hpp).
+  return std::vector<std::uint8_t>(text.begin(), text.end());
+}
+
+std::string decode_text(std::span<const std::uint8_t> payload) {
+  return std::string(payload.begin(), payload.end());
 }
 
 std::vector<std::uint8_t> frame(std::uint32_t type,

@@ -112,6 +112,11 @@ struct SubmitJobFrame {
   /// transition is always reported, as the Result frame).
   bool stream_status = false;
   qubo::QuboModel model;
+  /// Client-chosen trace correlation id (0 = none).  Appended within
+  /// protocol v1: old clients simply never send one, old servers ignore the
+  /// tail.  The server stamps it on every obs::TraceRecorder event of this
+  /// job, so a GetTrace dump stitches into the caller's own trace.
+  std::uint64_t trace_id = 0;
 };
 
 struct JobStatusFrame {
@@ -184,6 +189,15 @@ ResultFrame decode_result(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_metrics(const MetricsFrame& metrics);
 MetricsFrame decode_metrics(std::span<const std::uint8_t> payload);
+
+// GetTrace / GetProm requests carry an empty payload (like GetMetrics).
+// Their replies — TraceDump (Chrome trace-event JSON) and PromText
+// (Prometheus exposition) — carry the text as the raw frame payload, NOT a
+// length-prefixed string: the per-string decode cap (1 MiB) is far below a
+// busy daemon's trace dump, while the frame length field already bounds the
+// payload at kMaxFrameBytes.
+std::vector<std::uint8_t> encode_text(const std::string& text);
+std::string decode_text(std::span<const std::uint8_t> payload);
 
 /// Wraps a payload in record framing, ready to send.
 std::vector<std::uint8_t> frame(std::uint32_t type,

@@ -15,6 +15,9 @@
 #include <utility>
 
 #include "io/binary.hpp"
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "solvers/digital_annealer.hpp"
 #include "solvers/parallel_tempering.hpp"
 #include "solvers/qbsolv.hpp"
@@ -47,6 +50,7 @@ struct Server::Impl {
     service::JobHandle handle;
     bool stream_status = false;
     service::JobStatus last_reported = service::JobStatus::queued;
+    std::uint64_t trace_id = 0;  ///< client-supplied; stamps the result span
   };
 
   struct Connection {
@@ -80,6 +84,10 @@ struct Server::Impl {
       : service(svc), config(std::move(cfg)) {
     sink = std::make_shared<CompletionSink>();
     sink->impl = this;
+    ctr_frames_sent = obs::registry().counter(
+        "qross_net_frames_sent_total", "Frames queued to peers");
+    ctr_frames_received = obs::registry().counter(
+        "qross_net_frames_received_total", "Well-framed frames received");
   }
 
   service::SolveService& service;
@@ -107,6 +115,10 @@ struct Server::Impl {
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns;
   std::uint64_t next_conn_id = 1;
 
+  // Registry instruments (atomic updates only — safe on the reactor).
+  obs::Counter* ctr_frames_sent = nullptr;
+  obs::Counter* ctr_frames_received = nullptr;
+
   // --- wakeup -----------------------------------------------------------
 
   void wake() const {
@@ -130,7 +142,12 @@ struct Server::Impl {
 
   void queue_frame(Connection* conn, std::uint32_t type,
                    std::span<const std::uint8_t> payload) {
-    const auto bytes = frame(type, payload);
+    ctr_frames_sent->inc();
+    std::vector<std::uint8_t> bytes;
+    {
+      obs::ScopedSpan span("frame_encode", "net");
+      bytes = frame(type, payload);
+    }
     conn->out.insert(conn->out.end(), bytes.begin(), bytes.end());
     {
       std::lock_guard lock(m);
@@ -196,6 +213,7 @@ struct Server::Impl {
     // a hostile size that passed the sanity bounds, length_error, ...)
     // must cost one request, never the reactor thread.
     try {
+      obs::ScopedSpan span("frame_decode", "net");
       submit = decode_submit(f.payload);
     } catch (const std::exception& e) {
       queue_error(conn, 0, kErrBadFrame,
@@ -231,6 +249,7 @@ struct Server::Impl {
           std::chrono::milliseconds(submit.deadline_ms);
     }
     submit_options.client_id = conn->client_id;
+    submit_options.trace_id = submit.trace_id;
     service::JobHandle handle;
     try {
       handle = service.submit(solver, submit.model, options, submit_options);
@@ -254,6 +273,7 @@ struct Server::Impl {
     PendingJob job;
     job.handle = handle;
     job.stream_status = submit.stream_status;
+    job.trace_id = submit.trace_id;
     conn->jobs.emplace(submit.tag, std::move(job));
     ++conn->submitted;
     {
@@ -279,6 +299,7 @@ struct Server::Impl {
   }
 
   void handle_frame(Connection* conn, const Frame& f) {
+    ctr_frames_received->inc();
     {
       std::lock_guard lock(m);
       ++stats.frames_received;
@@ -327,6 +348,10 @@ struct Server::Impl {
       conn->client_id = hello.client_id.empty()
                             ? "conn-" + std::to_string(conn->id)
                             : hello.client_id;
+      obs::log_event(obs::LogLevel::debug, "conn_hello",
+                     {{"conn", std::to_string(conn->id)},
+                      {"client_id", conn->client_id},
+                      {"protocol", std::to_string(hello.protocol_version)}});
       HelloAckFrame ack;
       ack.protocol_version = kProtocolVersion;
       ack.max_frame_bytes = config.max_frame_bytes;
@@ -377,6 +402,20 @@ struct Server::Impl {
         queue_frame(conn, io::kRecordNetMetrics, encode_metrics(metrics));
         return;
       }
+      case io::kRecordNetGetTrace: {
+        // The dump is a snapshot of the process-global recorder; an empty
+        // buffer (tracing never enabled) is a valid empty trace, not an
+        // error — the caller sees zero events and the counters.
+        const std::string json =
+            obs::chrome_trace_json(obs::TraceRecorder::instance());
+        queue_frame(conn, io::kRecordNetTraceDump, encode_text(json));
+        return;
+      }
+      case io::kRecordNetGetProm: {
+        queue_frame(conn, io::kRecordNetPromText,
+                    encode_text(obs::registry().render_prometheus()));
+        return;
+      }
       case io::kRecordNetHello:
         queue_error(conn, 0, kErrBadRequest, "duplicate Hello");
         return;
@@ -404,9 +443,15 @@ struct Server::Impl {
     result.run_ms = r.run_ms;
     result.error = r.error;
     result.batch = r.batch;
+    const std::uint64_t trace_id = it->second.trace_id;
     conn->jobs.erase(it);
     ++conn->results;
-    queue_frame(conn, io::kRecordNetResult, encode_result(result));
+    {
+      // Encode + enqueue of the terminal result — the final lifecycle span
+      // (submit → queue → dispatch → kernel → journal → result).
+      obs::ScopedSpan span("result_flush", "net", handle.id(), trace_id);
+      queue_frame(conn, io::kRecordNetResult, encode_result(result));
+    }
     std::lock_guard lock(m);
     ++stats.results_sent;
   }
@@ -424,6 +469,10 @@ struct Server::Impl {
         ++cancelled;
       }
     }
+    obs::log_event(obs::LogLevel::info, "conn_close",
+                   {{"conn", std::to_string(id)},
+                    {"client_id", conn->client_id},
+                    {"cancelled_jobs", std::to_string(cancelled)}});
     conns.erase(it);
     std::lock_guard lock(m);
     stats.disconnect_cancelled_jobs += cancelled;
@@ -468,6 +517,8 @@ struct Server::Impl {
       conns.emplace(id, std::make_unique<Connection>(
                             id, Socket(fd)));
       conns[id]->in = FrameBuffer(config.max_frame_bytes);
+      obs::log_event(obs::LogLevel::info, "conn_open",
+                     {{"conn", std::to_string(id)}});
       std::lock_guard lock(m);
       ++stats.connections_accepted;
       stats.connections_active = conns.size();

@@ -1,0 +1,112 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace qross::obs {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::warn)};
+
+bool needs_quoting(const std::string& v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t') return true;
+  }
+  return false;
+}
+
+void append_value(std::string& out, const std::string& v) {
+  if (!needs_quoting(v)) {
+    out += v;
+    return;
+  }
+  out += '"';
+  for (char c : v) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool parse_log_level(const std::string& text, LogLevel* out) {
+  if (text == "debug") *out = LogLevel::debug;
+  else if (text == "info") *out = LogLevel::info;
+  else if (text == "warn") *out = LogLevel::warn;
+  else if (text == "error") *out = LogLevel::error;
+  else if (text == "off") *out = LogLevel::off;
+  else return false;
+  return true;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug: return "debug";
+    case LogLevel::info: return "info";
+    case LogLevel::warn: return "warn";
+    case LogLevel::error: return "error";
+    case LogLevel::off: return "off";
+  }
+  return "?";
+}
+
+void log_event(
+    LogLevel level, const char* event,
+    std::initializer_list<std::pair<const char*, std::string>> fields) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed) ||
+      level == LogLevel::off) {
+    return;
+  }
+
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char ts[80];
+  std::snprintf(ts, sizeof(ts), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(ms));
+
+  std::string line;
+  line.reserve(96);
+  line += "ts=";
+  line += ts;
+  line += " level=";
+  line += log_level_name(level);
+  line += " event=";
+  line += event;
+  for (const auto& [key, value] : fields) {
+    line += ' ';
+    line += key;
+    line += '=';
+    append_value(line, value);
+  }
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace qross::obs

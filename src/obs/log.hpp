@@ -1,0 +1,31 @@
+#pragma once
+
+// Minimal structured logging for the daemon and server: timestamped
+// single-line key=value events on stderr.  The process-wide threshold
+// defaults to `warn` so libraries and tests stay quiet; qrossd raises it to
+// `info` (or whatever `--log-level` says) at startup.
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+namespace qross::obs {
+
+enum class LogLevel : int { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" / "off"; false on anything else.
+bool parse_log_level(const std::string& text, LogLevel* out);
+const char* log_level_name(LogLevel level);
+
+/// Emits one line:
+///   ts=2026-08-08T12:00:00.123Z level=info event=conn_open client_id=cli
+/// Values containing spaces, quotes, or '=' are double-quoted with minimal
+/// escaping.  A single write keeps concurrent lines from interleaving.
+void log_event(
+    LogLevel level, const char* event,
+    std::initializer_list<std::pair<const char*, std::string>> fields = {});
+
+}  // namespace qross::obs

@@ -1,0 +1,227 @@
+#include "obs/trace.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace qross::obs {
+
+namespace {
+
+/// Small dense thread ids (0, 1, 2, ...) in first-record order — stable
+/// within a process and friendlier in trace viewers than OS tids.
+std::uint32_t this_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::size_t env_capacity() {
+  const char* raw = std::getenv("QROSS_TRACE_BUFFER");
+  if (raw == nullptr || raw[0] == '\0') return TraceRecorder::kDefaultCapacity;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || v == 0) return TraceRecorder::kDefaultCapacity;
+  return static_cast<std::size_t>(v);
+}
+
+bool env_enabled() {
+  const char* raw = std::getenv("QROSS_TRACE");
+  if (raw == nullptr) return false;
+  return std::strcmp(raw, "1") == 0 || std::strcmp(raw, "true") == 0 ||
+         std::strcmp(raw, "on") == 0;
+}
+
+/// JSON string escape for event names/categories.  These are static literals
+/// in practice, but the exporter must never emit malformed JSON.
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : epoch_(Clock::now()), capacity_(capacity == 0 ? 1 : capacity) {}
+
+TraceRecorder& TraceRecorder::instance() {
+  // Leaked on purpose: instrumented code (e.g. CacheStore compaction in a
+  // destructor) may run during static teardown, after function-local statics
+  // with destructors would already be gone.
+  static TraceRecorder* recorder = [] {
+    auto* r = new TraceRecorder(env_capacity());
+    if (env_enabled()) r->enable();
+    return r;
+  }();
+  return *recorder;
+}
+
+void TraceRecorder::enable(std::size_t capacity) {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    if (capacity != 0 && capacity != capacity_) {
+      capacity_ = capacity;
+      ring_.clear();
+      ring_.shrink_to_fit();
+      total_ = 0;
+    }
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(m_);
+  ring_.clear();
+  total_ = 0;
+}
+
+std::uint64_t TraceRecorder::since_epoch_ns(Clock::time_point tp) const {
+  if (tp <= epoch_) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch_)
+          .count());
+}
+
+void TraceRecorder::push_locked(const TraceEvent& ev) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[total_ % capacity_] = ev;  // overwrite the oldest slot
+  }
+  ++total_;
+}
+
+void TraceRecorder::record_instant(const char* name, const char* cat,
+                                   std::uint64_t a0, std::uint64_t a1) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.ts_ns = since_epoch_ns(Clock::now());
+  ev.name = name;
+  ev.cat = cat;
+  ev.a0 = a0;
+  ev.a1 = a1;
+  ev.tid = this_thread_id();
+  ev.kind = EventKind::instant;
+  std::lock_guard<std::mutex> lock(m_);
+  push_locked(ev);
+}
+
+void TraceRecorder::record_span(const char* name, const char* cat,
+                                Clock::time_point start, Clock::time_point end,
+                                std::uint64_t a0, std::uint64_t a1) {
+  if (!enabled()) return;
+  if (end < start) end = start;
+  TraceEvent ev;
+  ev.ts_ns = since_epoch_ns(start);
+  ev.dur_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  ev.name = name;
+  ev.cat = cat;
+  ev.a0 = a0;
+  ev.a1 = a1;
+  ev.tid = this_thread_id();
+  ev.kind = EventKind::span;
+  std::lock_guard<std::mutex> lock(m_);
+  push_locked(ev);
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (total_ <= capacity_ || ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    const std::size_t head = total_ % capacity_;  // oldest slot
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return total_;
+}
+
+std::uint64_t TraceRecorder::evicted() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return total_ <= capacity_ ? 0 : total_ - capacity_;
+}
+
+std::size_t TraceRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return capacity_;
+}
+
+std::string chrome_trace_json(const TraceRecorder& recorder) {
+  const std::vector<TraceEvent> events = recorder.snapshot();
+  const std::uint64_t recorded = recorder.recorded();
+  const std::uint64_t evicted = recorder.evicted();
+  const int pid = static_cast<int>(::getpid());
+
+  std::string out;
+  out.reserve(events.size() * 128 + 256);
+  out += "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, ev.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, ev.cat);
+    out += "\",\"ph\":\"";
+    out += ev.kind == EventKind::span ? 'X' : 'i';
+    out += '"';
+    if (ev.kind == EventKind::instant) out += ",\"s\":\"t\"";
+    std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%u,\"ts\":%.3f", pid,
+                  ev.tid, static_cast<double>(ev.ts_ns) / 1000.0);
+    out += buf;
+    if (ev.kind == EventKind::span) {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                    static_cast<double>(ev.dur_ns) / 1000.0);
+      out += buf;
+    }
+    if (ev.a0 != 0 || ev.a1 != 0) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"job\":%llu,\"trace\":%llu}",
+                    static_cast<unsigned long long>(ev.a0),
+                    static_cast<unsigned long long>(ev.a1));
+      out += buf;
+    }
+    out += '}';
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"otherData\":{\"recorded\":%llu,\"evicted\":%llu}}",
+                static_cast<unsigned long long>(recorded),
+                static_cast<unsigned long long>(evicted));
+  out += buf;
+  return out;
+}
+
+}  // namespace qross::obs

@@ -1,0 +1,135 @@
+#pragma once
+
+// Low-overhead in-process tracing: a bounded ring buffer of spans and instant
+// events with monotonic timestamps, small integer thread ids, and static
+// category strings.  The recorder is process-global (one solve daemon per
+// process) and off by default; when disabled, the hot-path check is a single
+// relaxed atomic load and nothing else runs.  When enabled, recording takes a
+// leaf mutex — correctness and TSAN-cleanliness over lock-free cleverness,
+// because tracing is opt-in and the disabled path is the one that must be
+// free.
+//
+// Events carry up to two integer arguments (by convention a0 = job id,
+// a1 = trace id) so a client-supplied trace id can stitch `qross remote`
+// requests into server-side spans.  `chrome_trace_json` renders the buffer as
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+// Environment:
+//   QROSS_TRACE=1           enable tracing at process start
+//   QROSS_TRACE_BUFFER=N    ring capacity in events (default 65536)
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qross::obs {
+
+enum class EventKind : std::uint8_t { span, instant };
+
+/// One trace event.  `name` and `cat` must be string literals (or otherwise
+/// outlive the recorder) — the ring stores the pointers, not copies.
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;   ///< start, ns since the recorder's epoch
+  std::uint64_t dur_ns = 0;  ///< span duration; 0 for instants
+  const char* name = "";
+  const char* cat = "";
+  std::uint64_t a0 = 0;  ///< convention: job id (0 = absent)
+  std::uint64_t a1 = 0;  ///< convention: trace id (0 = absent)
+  std::uint32_t tid = 0; ///< small per-process thread id, not the OS tid
+  EventKind kind = EventKind::instant;
+};
+
+class TraceRecorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  /// Process-global recorder.  First call reads QROSS_TRACE /
+  /// QROSS_TRACE_BUFFER; the instance is intentionally leaked so that
+  /// instrumented destructors running during static teardown stay safe.
+  static TraceRecorder& instance();
+
+  /// The one hot-path check: a relaxed atomic load.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Enables recording.  `capacity` = 0 keeps the current ring capacity.
+  void enable(std::size_t capacity = 0);
+  void disable();  ///< stops recording; the buffer is kept for dumping
+  void clear();    ///< drops buffered events and resets counters
+
+  void record_instant(const char* name, const char* cat, std::uint64_t a0 = 0,
+                      std::uint64_t a1 = 0);
+  /// Records a completed span from explicit timestamps (supports spans whose
+  /// start predates the call, e.g. queue-wait measured at dispatch).
+  void record_span(const char* name, const char* cat, Clock::time_point start,
+                   Clock::time_point end, std::uint64_t a0 = 0,
+                   std::uint64_t a1 = 0);
+
+  /// Buffered events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Exact monotonic counters — `recorded() - evicted()` is the buffered
+  /// count, and both keep counting across ring wrap-around.
+  std::uint64_t recorded() const;
+  std::uint64_t evicted() const;
+  std::size_t capacity() const;
+
+  Clock::time_point epoch() const { return epoch_; }
+
+ private:
+  explicit TraceRecorder(std::size_t capacity);
+
+  std::uint64_t since_epoch_ns(Clock::time_point tp) const;
+  void push_locked(const TraceEvent& ev);
+
+  std::atomic<bool> enabled_{false};
+  Clock::time_point epoch_;
+
+  mutable std::mutex m_;
+  std::vector<TraceEvent> ring_;  // guarded by m_
+  std::size_t capacity_;          // guarded by m_
+  std::uint64_t total_ = 0;       // events ever recorded; guarded by m_
+};
+
+/// RAII span: captures the start time at construction and records on
+/// destruction.  Cheap no-op when the recorder is disabled at construction.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* cat, std::uint64_t a0 = 0,
+             std::uint64_t a1 = 0)
+      : armed_(TraceRecorder::instance().enabled()),
+        name_(name),
+        cat_(cat),
+        a0_(a0),
+        a1_(a1) {
+    if (armed_) start_ = TraceRecorder::Clock::now();
+  }
+  ~ScopedSpan() {
+    if (armed_) {
+      TraceRecorder::instance().record_span(name_, cat_, start_,
+                                            TraceRecorder::Clock::now(), a0_,
+                                            a1_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool armed_;
+  const char* name_;
+  const char* cat_;
+  std::uint64_t a0_;
+  std::uint64_t a1_;
+  TraceRecorder::Clock::time_point start_{};
+};
+
+/// Renders the recorder's buffer as Chrome trace-event JSON:
+/// {"traceEvents":[...]} with ts/dur in microseconds.  Every event carries
+/// the keys name, cat, ph, pid, tid, ts.
+std::string chrome_trace_json(const TraceRecorder& recorder);
+
+}  // namespace qross::obs

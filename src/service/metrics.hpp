@@ -3,6 +3,7 @@
 // Service observability: a point-in-time ServiceMetrics snapshot plus the
 // sliding-window latency reservoir that backs its percentiles.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -76,7 +77,11 @@ struct ServiceMetrics {
   std::uint64_t admission_rejected = 0;
 
   double uptime_seconds = 0.0;
-  double jobs_per_second = 0.0;  ///< completed / uptime
+  double jobs_per_second = 0.0;  ///< completed / uptime (lifetime average)
+  /// Completions per second over the trailing ~60 s window — the number to
+  /// watch on a long-lived daemon, where the lifetime average above goes
+  /// stale.  Appended to the Metrics frame (append-only within protocol v1).
+  double recent_jobs_per_second = 0.0;
 
   LatencyPercentiles queue_wait;  ///< submit → execution start (ms)
   LatencyPercentiles run;         ///< execution start → kernel exit (ms)
@@ -107,6 +112,32 @@ class LatencyReservoir {
   std::size_t capacity_;
   std::size_t total_ = 0;
   std::vector<double> window_;  // filled circularly once total_ >= capacity_
+};
+
+/// Event rate over a trailing window of one-second buckets.  O(1) record,
+/// O(window) rate; time is passed in explicitly so tests can drive it with
+/// synthetic clocks.  Not internally synchronised (lives under the service
+/// lock).
+class SlidingWindowRate {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit SlidingWindowRate(Clock::time_point origin,
+                             std::size_t window_seconds = 60);
+
+  void record(Clock::time_point now);
+  /// Events/sec over the trailing window.  While the process is younger than
+  /// the window, divides by elapsed time (floored at 1 s) so early rates are
+  /// not diluted by seconds that never happened.
+  double rate(Clock::time_point now);
+
+ private:
+  void advance(Clock::time_point now);
+  std::int64_t seconds_since_origin(Clock::time_point now) const;
+
+  Clock::time_point origin_;
+  std::vector<std::uint64_t> buckets_;
+  std::int64_t current_sec_ = 0;  ///< second index of the newest bucket
 };
 
 }  // namespace qross::service

@@ -14,6 +14,8 @@
 
 #include "common/assert.hpp"
 #include "io/cache_store.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "qubo/simd.hpp"
 #include "service/fingerprint.hpp"
 #include "service/result_cache.hpp"
@@ -80,6 +82,9 @@ struct JobState {
   /// Who this job is accounted to (admission quotas, fair share).  Written
   /// once at submit; immutable afterwards.
   std::string client_id;
+  /// Client-supplied trace id (0 = none), stamped on every trace event of
+  /// this job's lifecycle so remote submissions stitch into server spans.
+  std::uint64_t trace_id = 0;
   /// True while this job is counted in its client's queued-job tally.
   /// Guarded by ServiceCore::m (NOT the job mutex).
   bool counted_queued = false;
@@ -114,6 +119,10 @@ struct ExecState {
   /// The creator's client id — the scheduling lane this execution waits in
   /// (coalesced joiners ride along regardless of their own client).
   std::string client_id;
+  /// The creator job's id / trace id, for trace events emitted from the
+  /// kernel and journal paths where only the execution is at hand.
+  std::uint64_t creator_job_id = 0;
+  std::uint64_t creator_trace_id = 0;
 
   enum class Phase { queued, running, finished };
   Phase phase = Phase::queued;
@@ -141,7 +150,54 @@ struct ServiceCore {
         cache(cfg.cache_capacity),
         wait_reservoir(cfg.latency_window),
         run_reservoir(cfg.latency_window),
-        started_at(Clock::now()) {
+        started_at(Clock::now()),
+        recent_rate(started_at) {
+    // Metric instruments are resolved once here (a mutex + map lookup) and
+    // cached as raw pointers so hot paths only touch atomics.  The registry
+    // is process-global: counters aggregate across service instances, which
+    // is the Prometheus model (one process = one scrape target).
+    auto& reg = obs::registry();
+    ctr_submitted = reg.counter("qross_jobs_submitted_total",
+                                "Admitted job submissions");
+    ctr_done = reg.counter("qross_jobs_done_total",
+                           "Jobs completed successfully");
+    ctr_cancelled = reg.counter("qross_jobs_cancelled_total",
+                                "Jobs cancelled");
+    ctr_expired = reg.counter("qross_jobs_expired_total",
+                              "Jobs expired at or past their deadline");
+    ctr_failed = reg.counter("qross_jobs_failed_total",
+                             "Jobs whose solver threw");
+    ctr_coalesced = reg.counter(
+        "qross_jobs_coalesced_total",
+        "Submissions attached to an in-flight equivalent execution");
+    ctr_dispatched = reg.counter("qross_dispatches_total",
+                                 "Solver kernel executions started");
+    ctr_cache_hits = reg.counter("qross_cache_hits_total",
+                                 "Result-cache hits at submit");
+    ctr_cache_misses = reg.counter("qross_cache_misses_total",
+                                   "Result-cache misses at submit");
+    ctr_admission_rejected = reg.counter(
+        "qross_admission_rejected_total",
+        "Submissions refused by per-client admission control");
+    ctr_sweeps = reg.counter("qross_sweeps_total",
+                             "Replica-sweep progress ticks observed");
+    ctr_journal_appends = reg.counter(
+        "qross_journal_appends_total",
+        "Results appended to the persistent cache journal");
+    g_queue_depth = reg.gauge("qross_queue_depth",
+                              "Executions waiting for a worker");
+    g_running = reg.gauge("qross_jobs_running",
+                          "Executions inside a solver kernel");
+    const std::vector<double> latency_ms = {0.5,  1,    2.5,  5,    10,  25,
+                                            50,   100,  250,  500,  1000,
+                                            2500, 5000, 10000};
+    h_queue_wait = reg.histogram("qross_queue_wait_ms", latency_ms,
+                                 "Submit to execution start, milliseconds");
+    h_run = reg.histogram("qross_run_ms", latency_ms,
+                          "Execution start to kernel exit, milliseconds");
+    h_journal = reg.histogram("qross_journal_append_ms",
+                              {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100},
+                              "Journal append latency, milliseconds");
     // cache_capacity == 0 disables persistence along with the cache:
     // journaling results that could never be served back would be pure
     // disk overhead.
@@ -382,6 +438,35 @@ struct ServiceCore {
   LatencyReservoir wait_reservoir;
   LatencyReservoir run_reservoir;
   Clock::time_point started_at;
+  /// Trailing ~60 s completion rate (guarded by `m`, like the reservoirs).
+  SlidingWindowRate recent_rate;
+
+  // Registry instruments (process-global; see the constructor).  Updated
+  // with atomics only — safe under or outside `m`.
+  obs::Counter* ctr_submitted = nullptr;
+  obs::Counter* ctr_done = nullptr;
+  obs::Counter* ctr_cancelled = nullptr;
+  obs::Counter* ctr_expired = nullptr;
+  obs::Counter* ctr_failed = nullptr;
+  obs::Counter* ctr_coalesced = nullptr;
+  obs::Counter* ctr_dispatched = nullptr;
+  obs::Counter* ctr_cache_hits = nullptr;
+  obs::Counter* ctr_cache_misses = nullptr;
+  obs::Counter* ctr_admission_rejected = nullptr;
+  obs::Counter* ctr_sweeps = nullptr;
+  obs::Counter* ctr_journal_appends = nullptr;
+  obs::Gauge* g_queue_depth = nullptr;
+  obs::Gauge* g_running = nullptr;
+  obs::Histogram* h_queue_wait = nullptr;
+  obs::Histogram* h_run = nullptr;
+  obs::Histogram* h_journal = nullptr;
+
+  /// Mirrors queue_depth/running into the registry gauges.  Called at every
+  /// mutation site (all hold `m`).
+  void sync_gauges() {
+    g_queue_depth->set(static_cast<double>(queue_depth));
+    g_running->set(static_cast<double>(running));
+  }
 
   /// Moves `job` to the terminal state in `result` (caller holds `m`).
   /// Returns false when the job already finished through another path.
@@ -391,12 +476,28 @@ struct ServiceCore {
       std::lock_guard job_lock(job->m);
       if (is_terminal(job->status)) return false;
       wait_reservoir.record(result.wait_ms);
+      h_queue_wait->observe(result.wait_ms);
       switch (result.status) {
-        case JobStatus::done: ++completed; break;
-        case JobStatus::cancelled: ++cancelled; break;
-        case JobStatus::expired: ++expired; break;
-        case JobStatus::failed: ++failed; break;
+        case JobStatus::done:
+          ++completed;
+          recent_rate.record(Clock::now());
+          ctr_done->inc();
+          break;
+        case JobStatus::cancelled: ++cancelled; ctr_cancelled->inc(); break;
+        case JobStatus::expired: ++expired; ctr_expired->inc(); break;
+        case JobStatus::failed: ++failed; ctr_failed->inc(); break;
         default: QROSS_ASSERT_MSG(false, "completion with non-terminal status");
+      }
+      auto& tracer = obs::TraceRecorder::instance();
+      if (tracer.enabled()) {
+        const char* name = "job_done";
+        switch (result.status) {
+          case JobStatus::cancelled: name = "job_cancelled"; break;
+          case JobStatus::expired: name = "job_expired"; break;
+          case JobStatus::failed: name = "job_failed"; break;
+          default: break;
+        }
+        tracer.record_instant(name, "service", job->id, job->trace_id);
       }
       job->status = result.status;
       job->result = std::move(result);
@@ -521,6 +622,7 @@ void ServiceCore::cancel_job(const std::shared_ptr<JobState>& job) {
     if (!any_live) {
       exec->dead = true;
       --queue_depth;
+      sync_gauges();
       drop_inflight(exec);
     }
     return;
@@ -595,12 +697,22 @@ void ServiceCore::run_one() {
       candidate->started_at = now;
       ++running;
       ++solver_invocations;
+      ctr_dispatched->inc();
       ++client_state(candidate->client_id).dispatched;
       running_execs.push_back(candidate);
+      auto& tracer = obs::TraceRecorder::instance();
       for (const auto& job : candidate->subscribers) {
         {
           std::lock_guard job_lock(job->m);
           if (!is_terminal(job->status)) job->status = JobStatus::running;
+        }
+        if (tracer.enabled()) {
+          // One queue span per subscriber: each job waited from its own
+          // submit instant, even when they share the execution.
+          tracer.record_span("queue", "service", job->submitted_at, now,
+                             job->id, job->trace_id);
+          tracer.record_instant("dispatch", "service", job->id,
+                                job->trace_id);
         }
         // Dispatched: the job leaves its client's queued tally (jobs the
         // triage above finished already left it via finish_job).
@@ -613,6 +725,7 @@ void ServiceCore::run_one() {
       exec = candidate;
       break;
     }
+    sync_gauges();
   }
   if (!exec) return;
 
@@ -635,10 +748,21 @@ void ServiceCore::run_one() {
   // only via its handle (ServiceSolver polls for exactly that case).
   // `raw` stays valid: this frame owns a shared_ptr for the whole call.
   const solvers::SweepProgressFn user_tick = exec->options.on_sweep;
-  if (exec->cacheable || !exec->watch.empty() || !tokens->empty()) {
+  {
+    // Installed unconditionally since the obs layer landed: the wrapper is
+    // also where the per-sweep counter and (when tracing) sweep instants
+    // tick, so even a bypass_cache run with no deadlines and no stop tokens
+    // needs it.  Disabled-tracing cost per tick: one atomic inc + one
+    // relaxed load.
     ExecState* raw = exec.get();
     options.on_sweep = [this, raw, tokens, user_tick] {
       if (user_tick) user_tick();
+      ctr_sweeps->inc();
+      auto& tracer = obs::TraceRecorder::instance();
+      if (tracer.enabled()) {
+        tracer.record_instant("sweep", "solver", raw->creator_job_id,
+                              raw->creator_trace_id);
+      }
       for (const auto& entry : *tokens) {
         if (entry.token.stop_requested() &&
             !entry.handled->exchange(true, std::memory_order_relaxed)) {
@@ -658,6 +782,8 @@ void ServiceCore::run_one() {
   std::string error;
   bool solver_failed = false;
   try {
+    obs::ScopedSpan kernel_span("kernel", "solver", exec->creator_job_id,
+                                exec->creator_trace_id);
     batch = std::make_shared<const qubo::SolveBatch>(
         exec->solver->solve(exec->model, options));
   } catch (const std::exception& e) {
@@ -674,6 +800,7 @@ void ServiceCore::run_one() {
   {
     std::lock_guard lock(m);
     --running;
+    sync_gauges();
     exec->phase = ExecState::Phase::finished;
     drop_inflight(exec);
     std::erase(running_execs, exec);
@@ -681,6 +808,7 @@ void ServiceCore::run_one() {
     const bool deadline_hit =
         exec->deadline_hit.load(std::memory_order_relaxed);
     run_reservoir.record(run_ms);
+    h_run->observe(run_ms);
     bool primary_taken = false;
     for (const auto& job : exec->subscribers) {
       JobResult r;
@@ -717,9 +845,21 @@ void ServiceCore::run_one() {
   }
   // Journal the result outside `m`: the store has its own lock, and disk
   // I/O must not serialise against submits or other completions.
-  if (persist && store->append({exec->key, run_ms, batch})) {
-    std::lock_guard lock(m);
-    ++cache_stored;
+  if (persist) {
+    bool appended = false;
+    const auto append_start = Clock::now();
+    {
+      obs::ScopedSpan journal_span("journal_append", "io",
+                                   exec->creator_job_id,
+                                   exec->creator_trace_id);
+      appended = store->append({exec->key, run_ms, batch});
+    }
+    h_journal->observe(ms_between(append_start, Clock::now()));
+    if (appended) {
+      ctr_journal_appends->inc();
+      std::lock_guard lock(m);
+      ++cache_stored;
+    }
   }
 }
 
@@ -807,6 +947,7 @@ JobHandle SolveService::submit(solvers::SolverPtr solver,
   job->priority = submit.priority;
   job->deadline = submit.deadline;
   job->client_id = submit.client_id;
+  job->trace_id = submit.trace_id;
   job->stop = options.stop;
   job->submitted_at = Clock::now();
   job->core = core_;
@@ -834,6 +975,7 @@ JobHandle SolveService::submit(solvers::SolverPtr solver,
         client.inflight_jobs >= core_->config.max_inflight_per_client) {
       ++client.rejected_inflight;
       ++core_->admission_rejected;
+      core_->ctr_admission_rejected->inc();
       throw AdmissionError(
           AdmissionErrorKind::inflight_quota,
           "client '" + client_name + "' is at its inflight-job quota (" +
@@ -864,6 +1006,7 @@ JobHandle SolveService::submit(solvers::SolverPtr solver,
         client.queued_jobs >= core_->config.max_queued_per_client) {
       ++client.rejected_queued;
       ++core_->admission_rejected;
+      core_->ctr_admission_rejected->inc();
       throw AdmissionError(
           AdmissionErrorKind::queued_quota,
           "client '" + client_name + "' is at its queued-job quota (" +
@@ -876,8 +1019,17 @@ JobHandle SolveService::submit(solvers::SolverPtr solver,
     ++core_->submitted;
     ++client.submitted;
     ++client.inflight_jobs;
+    core_->ctr_submitted->inc();
+    auto& tracer = obs::TraceRecorder::instance();
+    if (tracer.enabled()) {
+      tracer.record_instant("submit", "service", job->id, job->trace_id);
+    }
 
     if (hit != nullptr) {
+      core_->ctr_cache_hits->inc();
+      if (tracer.enabled()) {
+        tracer.record_instant("cache_hit", "service", job->id, job->trace_id);
+      }
       JobResult r;
       r.status = JobStatus::done;
       r.batch = std::move(hit);
@@ -885,10 +1037,14 @@ JobHandle SolveService::submit(solvers::SolverPtr solver,
       core_->finish_job(job, std::move(r));
       return JobHandle(std::move(job));
     }
+    if (!submit.bypass_cache && core_->cache.enabled()) {
+      core_->ctr_cache_misses->inc();
+    }
     if (join != nullptr) {
       join->subscribers.push_back(job);
       job->exec = join;
       ++core_->coalesced;
+      core_->ctr_coalesced->inc();
       if (join->phase == detail::ExecState::Phase::running) {
         {
           std::lock_guard job_lock(job->m);
@@ -933,6 +1089,8 @@ JobHandle SolveService::submit(solvers::SolverPtr solver,
     exec->cacheable = !submit.bypass_cache;
     exec->priority = submit.priority;
     exec->client_id = submit.client_id;
+    exec->creator_job_id = job->id;
+    exec->creator_trace_id = job->trace_id;
     exec->subscribers.push_back(job);
     job->exec = exec;
     ++client.queued_jobs;
@@ -940,6 +1098,7 @@ JobHandle SolveService::submit(solvers::SolverPtr solver,
     if (!submit.bypass_cache) core_->inflight[key] = exec;
     core_->push_ready(exec);
     ++core_->queue_depth;
+    core_->sync_gauges();
     schedule = true;
   }
   if (schedule) pool_.submit([core = core_] { core->run_one(); });
@@ -982,12 +1141,14 @@ ServiceMetrics SolveService::metrics() const {
     row.rejected_queued = c.rejected_queued;
     s.clients.push_back(std::move(row));
   }
+  const auto now = Clock::now();
   s.uptime_seconds =
-      std::chrono::duration<double>(Clock::now() - core_->started_at).count();
+      std::chrono::duration<double>(now - core_->started_at).count();
   s.jobs_per_second =
       s.uptime_seconds > 0.0
           ? static_cast<double>(s.completed) / s.uptime_seconds
           : 0.0;
+  s.recent_jobs_per_second = core_->recent_rate.rate(now);
   s.queue_wait = core_->wait_reservoir.percentiles();
   s.run = core_->run_reservoir.percentiles();
   return s;
@@ -1010,6 +1171,7 @@ void SolveService::shutdown() {
   while (auto exec = core_->pop_ready()) {
     exec->dead = true;
     --core_->queue_depth;
+    core_->sync_gauges();
     core_->drop_inflight(exec);
     for (const auto& job : exec->subscribers) {
       JobResult r;

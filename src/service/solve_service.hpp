@@ -136,6 +136,11 @@ struct SubmitOptions {
   /// one client for both purposes).  The network server fills this from the
   /// connection's identity.
   std::string client_id;
+  /// Caller-supplied trace correlation id (0 = none).  Stamped on every
+  /// obs::TraceRecorder event of this job's lifecycle, so a remote client
+  /// that sets it can stitch server-side spans into its own trace.  Purely
+  /// observational — no effect on scheduling, coalescing, or caching.
+  std::uint64_t trace_id = 0;
 };
 
 /// Why submit() refused a job without enqueuing it.

@@ -48,4 +48,17 @@ echo "never_loaded.tsp 25" > "$tmpdir/jobs.txt"
 check "remote batch: unreachable server exits 1" 1 "cannot connect" \
   "$cli" remote batch --server unix:"$tmpdir/none.sock" --jobs "$tmpdir/jobs.txt"
 
+# `trace` contract: flag/input errors exit 2 before any network I/O, and the
+# --out sink is opened before dialling so an unwritable path never wastes a
+# round trip.
+check "trace: unknown flag exits 2" 2 "unknown option" \
+  "$cli" trace --server unix:"$tmpdir/none.sock" --badflag 1
+check "trace: unwritable --out exits 2" 2 "cannot write --out" \
+  "$cli" trace --server unix:"$tmpdir/none.sock" \
+  --out "$tmpdir/no_such_dir/trace.json"
+check "trace: unreachable server exits 1" 1 "cannot connect" \
+  "$cli" trace --server unix:"$tmpdir/none.sock" --out "$tmpdir/trace.json"
+check "remote metrics: --prom against dead server exits 1" 1 "cannot connect" \
+  "$cli" remote metrics --server unix:"$tmpdir/none.sock" --prom
+
 exit "$failures"

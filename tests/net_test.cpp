@@ -23,6 +23,7 @@
 #include "net/protocol.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "obs/trace.hpp"
 #include "problems/mvc/mvc.hpp"
 #include "service/solve_service.hpp"
 #include "solvers/digital_annealer.hpp"
@@ -144,6 +145,7 @@ TEST(NetProtocolTest, SubmitFrameRoundTrips) {
   submit.bypass_cache = true;
   submit.stream_status = true;
   submit.model = test_model(5, 16);
+  submit.trace_id = 0xFACE;
   const auto decoded = decode_submit(encode_submit(submit));
   EXPECT_EQ(decoded.tag, 42u);
   EXPECT_EQ(decoded.solver, "tabu");
@@ -155,6 +157,15 @@ TEST(NetProtocolTest, SubmitFrameRoundTrips) {
   EXPECT_TRUE(decoded.bypass_cache);
   EXPECT_TRUE(decoded.stream_status);
   EXPECT_EQ(decoded.model.num_vars(), submit.model.num_vars());
+  EXPECT_EQ(decoded.trace_id, 0xFACEu);
+
+  // The trace id was appended within v1: a pre-obs client's SubmitJob ends
+  // at the model, and the decoder must default the id to 0, not throw.
+  auto legacy_bytes = encode_submit(submit);
+  legacy_bytes.resize(legacy_bytes.size() - 8);
+  const auto legacy = decode_submit(legacy_bytes);
+  EXPECT_EQ(legacy.trace_id, 0u);
+  EXPECT_EQ(legacy.model.num_vars(), submit.model.num_vars());
 }
 
 TEST(NetProtocolTest, ResultFrameRoundTripsWithAndWithoutBatch) {
@@ -203,6 +214,7 @@ TEST(NetProtocolTest, MetricsFrameRoundTripsAdmissionTailAndToleratesLegacy) {
   MetricsFrame metrics;
   metrics.service.admission_rejected = 7;
   metrics.service.simd_kernel = "avx2";
+  metrics.service.recent_jobs_per_second = 4.25;
   metrics.connections_rejected_full = 3;
   metrics.client_id = "me";
   service::ClientSchedulerMetrics row;
@@ -220,6 +232,7 @@ TEST(NetProtocolTest, MetricsFrameRoundTripsAdmissionTailAndToleratesLegacy) {
   const auto decoded = decode_metrics(encode_metrics(metrics));
   EXPECT_EQ(decoded.service.admission_rejected, 7u);
   EXPECT_EQ(decoded.service.simd_kernel, "avx2");
+  EXPECT_EQ(decoded.service.recent_jobs_per_second, 4.25);
   EXPECT_EQ(decoded.connections_rejected_full, 3u);
   EXPECT_EQ(decoded.client_id, "me");
   ASSERT_EQ(decoded.clients.size(), 1u);
@@ -234,12 +247,20 @@ TEST(NetProtocolTest, MetricsFrameRoundTripsAdmissionTailAndToleratesLegacy) {
   EXPECT_EQ(decoded.clients[0].rejected_queued, 9u);
 
   // A pre-SIMD-dispatch payload ends after the per-client rows: strip the
-  // kernel string (empty string = 4 length bytes) and the decoder must
-  // report an unknown kernel.
+  // recent-rate f64 (8 bytes) and the kernel string (empty string = 4
+  // length bytes) and the decoder must report an unknown kernel.
   auto pre_simd_bytes = encode_metrics(MetricsFrame{});
-  pre_simd_bytes.resize(pre_simd_bytes.size() - 4);
+  pre_simd_bytes.resize(pre_simd_bytes.size() - 12);
   const auto pre_simd = decode_metrics(pre_simd_bytes);
   EXPECT_EQ(pre_simd.service.simd_kernel, "unknown");
+  EXPECT_EQ(pre_simd.service.recent_jobs_per_second, 0.0);
+
+  // A pre-obs payload ends after the kernel string: strip just the
+  // recent-rate f64 and the rate defaults to 0 while the kernel survives.
+  auto pre_obs_bytes = encode_metrics(MetricsFrame{});
+  pre_obs_bytes.resize(pre_obs_bytes.size() - 8);
+  const auto pre_obs = decode_metrics(pre_obs_bytes);
+  EXPECT_EQ(pre_obs.service.recent_jobs_per_second, 0.0);
 
   // A pre-admission-control payload is a strict prefix of that: strip the
   // quota tail too (u64 + u64 + empty string + u32 count = 24 bytes) and
@@ -959,6 +980,91 @@ TEST_F(NetServerTest, MetricsReportPerClientSchedulerRows) {
   const auto anon_metrics = anon.metrics(&error);
   ASSERT_TRUE(anon_metrics.has_value()) << error;
   EXPECT_EQ(anon_metrics->client_id, "conn-2");
+}
+
+// --- observability over the wire (ISSUE 7) ----------------------------------
+
+// One remote job must leave a stitched server-side trace — queue, dispatch,
+// kernel, journal_append, result_flush — all carrying the client-supplied
+// trace id, fetchable over the wire as Chrome trace-event JSON.
+TEST_F(NetServerTest, TraceDumpStitchesARemoteJobEndToEnd) {
+  auto& recorder = obs::TraceRecorder::instance();
+  recorder.enable(obs::TraceRecorder::kDefaultCapacity);
+  recorder.clear();
+
+  // A journal-backed service so the trace includes the journal_append span.
+  service::ServiceConfig service_config;
+  service_config.cache_path = (dir_ / "cache.qsnap").string();
+  const auto endpoint =
+      start("unix:" + (dir_ / "qross.sock").string(), service_config);
+
+  auto client = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+
+  RemoteJob job;
+  job.solver = "da";
+  job.model = test_model(31);
+  job.num_replicas = 4;
+  job.num_sweeps = 20;
+  job.trace_id = 0xBEEFCAFE;
+  const auto tag = client.submit(job, &error);
+  ASSERT_TRUE(tag.has_value()) << error;
+  ASSERT_EQ(client.wait(*tag).status, service::JobStatus::done);
+
+  // The journal append trails completion; poll the wire dump until it lands.
+  std::string json;
+  ASSERT_TRUE(eventually([&] {
+    const auto dump = client.trace_dump(&error);
+    if (!dump.has_value()) return false;
+    json = *dump;
+    return json.find("\"name\":\"journal_append\"") != std::string::npos;
+  })) << "journal_append span never appeared in the dump: " << error;
+
+  for (const char* name :
+       {"frame_decode", "submit", "queue", "dispatch", "kernel",
+        "journal_append", "result_flush"}) {
+    EXPECT_NE(json.find("\"name\":\"" + std::string(name) + "\""),
+              std::string::npos)
+        << "missing event " << name;
+  }
+  EXPECT_NE(json.find("\"trace\":3203386110"), std::string::npos)
+      << "client trace id 0xBEEFCAFE missing from the server-side spans";
+  recorder.disable();
+  recorder.clear();
+}
+
+// A daemon that never enabled tracing still answers GetTrace — with an
+// empty, valid Chrome JSON document, not an error.
+TEST_F(NetServerTest, TraceDumpWithTracingOffIsEmptyButValid) {
+  obs::TraceRecorder::instance().disable();
+  obs::TraceRecorder::instance().clear();
+  const auto endpoint = start_tcp();
+  auto client = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  const auto dump = client.trace_dump(&error);
+  ASSERT_TRUE(dump.has_value()) << error;
+  EXPECT_NE(dump->find("\"traceEvents\":[]"), std::string::npos);
+}
+
+// The Prometheus exposition travels the wire and looks like Prometheus.
+TEST_F(NetServerTest, PrometheusMetricsRoundTripOverTheWire) {
+  const auto endpoint = start_tcp();
+  auto client = make_client(endpoint);
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;
+  ASSERT_EQ(client.wait(*client.submit(quick_job(55))).status,
+            service::JobStatus::done);
+
+  const auto text = client.prometheus_metrics(&error);
+  ASSERT_TRUE(text.has_value()) << error;
+  EXPECT_NE(text->find("# TYPE qross_jobs_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(text->find("# TYPE qross_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text->find("# TYPE qross_run_ms histogram"), std::string::npos);
+  EXPECT_NE(text->find("qross_run_ms_bucket{le=\"+Inf\"}"), std::string::npos);
+  EXPECT_NE(text->find("qross_net_frames_received_total"), std::string::npos);
 }
 
 }  // namespace

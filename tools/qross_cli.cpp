@@ -16,8 +16,11 @@
 //   remote    — speak the qrossd network protocol: `remote batch` submits a
 //               jobs file to a running daemon (same table as `batch`, jobs
 //               solved remotely), `remote metrics` prints its service
-//               counters.  A warm daemon serves repeated batches from its
-//               cache with zero solver invocations.
+//               counters (--prom for Prometheus text exposition).  A warm
+//               daemon serves repeated batches from its cache with zero
+//               solver invocations.
+//   trace     — fetch a running daemon's trace buffer as Chrome trace-event
+//               JSON (load it in chrome://tracing or ui.perfetto.dev)
 //
 // Examples:
 //   qross generate --count 8 --cities 10 --out-dir instances/
@@ -75,10 +78,16 @@ commands:
   cache    <info|compact|clear> --file PATH [--max-entries N] [--max-bytes B]
   remote   batch   --server EP --jobs FILE [--solver NAME] [--repeat K]
                    [--replicas B] [--sweeps N] [--seed S] [--deadline-ms D]
-                   [--timeout-ms T] [--client-id NAME]
-           metrics --server EP [--timeout-ms T] [--client-id NAME]
+                   [--timeout-ms T] [--client-id NAME] [--trace-id N]
+           metrics --server EP [--timeout-ms T] [--client-id NAME] [--prom]
            (EP: unix:/path.sock | tcp:host:port | host:port; --client-id
-            groups connections for the daemon's per-client quotas/weights)
+            groups connections for the daemon's per-client quotas/weights;
+            --trace-id stamps the daemon's trace spans for this run;
+            --prom prints the Prometheus text exposition instead of the
+            human-readable report)
+  trace    --server EP [--out FILE] [--timeout-ms T] [--client-id NAME]
+           (the daemon's trace buffer as Chrome trace-event JSON — stdout
+            by default; view in chrome://tracing or ui.perfetto.dev)
 
 common options:
   --seed S      RNG master seed (default 1)
@@ -101,13 +110,23 @@ blank lines and lines starting with # are skipped.
 
 using Args = std::map<std::string, std::string>;
 
-Args parse_args(int argc, char** argv, int first) {
+/// Flags in `boolean_flags` consume no value and parse as "1"; everything
+/// else is strictly `--key value`.
+Args parse_args(int argc, char** argv, int first,
+                std::initializer_list<const char*> boolean_flags = {}) {
+  const std::set<std::string> booleans(boolean_flags.begin(),
+                                       boolean_flags.end());
   Args args;
   for (int i = first; i < argc; ++i) {
     const std::string key = argv[i];
     if (key.rfind("--", 0) != 0) usage(("unexpected argument: " + key).c_str());
+    const std::string name = key.substr(2);
+    if (booleans.contains(name)) {
+      args[name] = "1";
+      continue;
+    }
     if (i + 1 >= argc) usage(("missing value for " + key).c_str());
-    args[key.substr(2)] = argv[++i];
+    args[name] = argv[++i];
   }
   return args;
 }
@@ -455,9 +474,11 @@ int cmd_batch(const Args& args) {
   }
   std::printf(
       "latency: wait p50/p90/p99 = %.1f/%.1f/%.1f ms | "
-      "run p50/p90/p99 = %.1f/%.1f/%.1f ms | %.2f jobs/s\n",
+      "run p50/p90/p99 = %.1f/%.1f/%.1f ms | %.2f jobs/s lifetime, "
+      "%.2f jobs/s recent\n",
       m.queue_wait.p50_ms, m.queue_wait.p90_ms, m.queue_wait.p99_ms,
-      m.run.p50_ms, m.run.p90_ms, m.run.p99_ms, m.jobs_per_second);
+      m.run.p50_ms, m.run.p90_ms, m.run.p99_ms, m.jobs_per_second,
+      m.recent_jobs_per_second);
   return m.failed == 0 ? 0 : 1;
 }
 
@@ -539,12 +560,15 @@ net::Client make_remote_client(const Args& args) {
 int cmd_remote_batch(const Args& args) {
   require_known_flags(args, {"server", "jobs", "solver", "repeat", "replicas",
                              "sweeps", "seed", "deadline-ms", "timeout-ms",
-                             "client-id"});
+                             "client-id", "trace-id"});
   const auto default_solver = get_or(args, "solver", "da");
   const auto specs = load_jobs_file(require(args, "jobs"), default_solver);
   const auto options = cli_solve_options(args, default_solver);
   const auto repeat = std::stoul(get_or(args, "repeat", "1"));
   const auto deadline_ms = std::stol(get_or(args, "deadline-ms", "0"));
+  // One shared trace id for the whole run: `qross trace` stitches the whole
+  // batch out of the daemon's buffer by this correlation id.
+  const auto trace_id = std::stoull(get_or(args, "trace-id", "0"));
 
   // Dial before the (potentially slow) instance loads so a dead endpoint
   // fails fast; the jobs file was already validated above.
@@ -569,6 +593,7 @@ int cmd_remote_batch(const Args& args) {
     job.num_sweeps = static_cast<std::uint32_t>(options.num_sweeps);
     job.seed = options.seed;
     job.priority = spec.priority;
+    job.trace_id = trace_id;
     if (deadline_ms > 0) {
       job.deadline_ms = static_cast<std::uint32_t>(deadline_ms);
     }
@@ -625,9 +650,9 @@ int cmd_remote_batch(const Args& args) {
   if (const auto metrics = client.metrics()) {
     std::printf(
         "server: %zu workers | %zu submitted lifetime, %zu cached entries | "
-        "%llu connections served, %llu active\n",
+        "%.2f jobs/s recent | %llu connections served, %llu active\n",
         metrics->service.workers, metrics->service.submitted,
-        metrics->service.cache_size,
+        metrics->service.cache_size, metrics->service.recent_jobs_per_second,
         static_cast<unsigned long long>(metrics->connections_accepted),
         static_cast<unsigned long long>(metrics->connections_active));
   }
@@ -635,13 +660,25 @@ int cmd_remote_batch(const Args& args) {
 }
 
 int cmd_remote_metrics(const Args& args) {
-  require_known_flags(args, {"server", "timeout-ms", "client-id"});
+  require_known_flags(args, {"server", "timeout-ms", "client-id", "prom"});
   net::Client client = make_remote_client(args);
   std::string error;
   if (!client.connect(&error)) {
     std::fprintf(stderr, "error: cannot connect to %s: %s\n",
                  require(args, "server").c_str(), error.c_str());
     return 1;
+  }
+  if (args.contains("prom")) {
+    // Raw Prometheus text exposition, suitable for a textfile collector or
+    // a curl-style scrape through this CLI.
+    const auto text = client.prometheus_metrics(&error);
+    if (!text.has_value()) {
+      std::fprintf(stderr, "error: prometheus request failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::fwrite(text->data(), 1, text->size(), stdout);
+    return 0;
   }
   const auto metrics = client.metrics(&error);
   if (!metrics.has_value()) {
@@ -663,10 +700,11 @@ int cmd_remote_metrics(const Args& args) {
       m.solver_invocations, m.cache_loaded, m.cache_stored);
   std::printf(
       "latency:  wait p50/p90/p99 = %.1f/%.1f/%.1f ms | "
-      "run p50/p90/p99 = %.1f/%.1f/%.1f ms | %.2f jobs/s over %.1f s\n",
+      "run p50/p90/p99 = %.1f/%.1f/%.1f ms | %.2f jobs/s over %.1f s, "
+      "%.2f jobs/s in the last 60 s\n",
       m.queue_wait.p50_ms, m.queue_wait.p90_ms, m.queue_wait.p99_ms,
       m.run.p50_ms, m.run.p90_ms, m.run.p99_ms, m.jobs_per_second,
-      m.uptime_seconds);
+      m.uptime_seconds, m.recent_jobs_per_second);
   std::printf(
       "server:   %llu connections accepted, %llu active, "
       "%llu protocol errors, %llu refused full\n",
@@ -698,6 +736,44 @@ int cmd_remote_metrics(const Args& args) {
   return 0;
 }
 
+// Fetches the daemon's trace ring as Chrome trace-event JSON.  With no
+// --out the JSON goes to stdout (pipe it straight into a file or jq); with
+// --out it is written there and a one-line summary goes to stdout.
+int cmd_trace(const Args& args) {
+  require_known_flags(args, {"server", "out", "timeout-ms", "client-id"});
+  const auto out_path = get_or(args, "out", "");
+  // Open the sink BEFORE dialing: an unwritable --out is an input error
+  // (exit 2) and must fail without touching the network.
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path, std::ios::binary | std::ios::trunc);
+    if (!out_file.good()) fail_input("cannot write --out " + out_path);
+  }
+  net::Client client = make_remote_client(args);
+  std::string error;
+  if (!client.connect(&error)) {
+    std::fprintf(stderr, "error: cannot connect to %s: %s\n",
+                 require(args, "server").c_str(), error.c_str());
+    return 1;
+  }
+  const auto json = client.trace_dump(&error);
+  if (!json.has_value()) {
+    std::fprintf(stderr, "error: trace request failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (out_path.empty()) {
+    std::fwrite(json->data(), 1, json->size(), stdout);
+    std::printf("\n");
+  } else {
+    out_file.write(json->data(), static_cast<std::streamsize>(json->size()));
+    out_file.close();
+    if (!out_file.good()) fail_input("short write to --out " + out_path);
+    std::printf("trace written to %s (%zu bytes)\n", out_path.c_str(),
+                json->size());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -715,11 +791,12 @@ int main(int argc, char** argv) {
         usage("remote needs an action: batch or metrics");
       }
       const std::string action = argv[2];
-      const Args remote_args = parse_args(argc, argv, 3);
+      const Args remote_args = parse_args(argc, argv, 3, {"prom"});
       if (action == "batch") return cmd_remote_batch(remote_args);
       if (action == "metrics") return cmd_remote_metrics(remote_args);
       usage(("unknown remote action: " + action).c_str());
     }
+    if (command == "trace") return cmd_trace(parse_args(argc, argv, 2));
     const Args args = parse_args(argc, argv, 2);
     if (command == "generate") return cmd_generate(args);
     if (command == "sweep") return cmd_sweep(args);

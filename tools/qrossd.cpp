@@ -5,6 +5,8 @@
 //          [--drain-timeout-ms T] [--max-connections N]
 //          [--max-inflight-per-client N] [--max-queued-per-client N]
 //          [--client-weight W | --client-weight NAME=W]...
+//          [--log-level LEVEL] [--trace] [--trace-buffer-events N]
+//          [--trace-dump PATH]
 //
 // One warm daemon serves many short-lived clients (`qross_cli remote ...`)
 // from a single persistent result cache — the multi-process answer to the
@@ -17,6 +19,11 @@
 // new submissions, lets in-flight jobs finish and their results flush to
 // clients (bounded by --drain-timeout-ms), compacts the persistent cache,
 // and exits 0.  A second signal skips the drain.
+//
+// Observability: structured key=value event lines on stderr (--log-level,
+// default info); job tracing via --trace / QROSS_TRACE=1, dumped as Chrome
+// trace-event JSON to --trace-dump on SIGUSR1 (and at shutdown when tracing
+// is on), or fetched over the wire with `qross_cli trace`.
 
 #include <algorithm>
 #include <atomic>
@@ -29,19 +36,24 @@
 #include <unistd.h>
 #include <vector>
 
+#include "io/binary.hpp"
 #include "net/server.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
 #include "service/solve_service.hpp"
 
 namespace {
 
 // Self-pipe: the handler only writes one byte (async-signal-safe); main
-// blocks on the read end.
+// blocks on the read end.  The byte tells the signals apart — 't' for
+// terminate/drain (SIGTERM/SIGINT), 'u' for a SIGUSR1 trace dump; only
+// terminate signals count toward the second-signal-skips-drain contract.
 int signal_pipe[2] = {-1, -1};
 std::atomic<int> signals_seen{0};
 
-void on_signal(int) {
-  signals_seen.fetch_add(1, std::memory_order_relaxed);
-  const char byte = 1;
+void on_signal(int sig) {
+  const char byte = sig == SIGUSR1 ? 'u' : 't';
+  if (byte == 't') signals_seen.fetch_add(1, std::memory_order_relaxed);
   [[maybe_unused]] const auto n = write(signal_pipe[1], &byte, 1);
 }
 
@@ -74,8 +86,44 @@ anonymous bucket per connection):
                                a weight-2 client is offered two dispatches
                                per scheduling cycle for a weight-1 client's
                                one, within the same priority
+
+observability:
+  --log-level LEVEL         debug | info | warn | error | off (default info);
+                            structured key=value event lines on stderr
+  --trace                   enable job tracing from startup (QROSS_TRACE=1
+                            does the same)
+  --trace-buffer-events N   trace ring capacity in events (default 65536;
+                            oldest events are evicted beyond it)
+  --trace-dump PATH         Chrome trace-event JSON written on SIGUSR1 and
+                            at shutdown while tracing (default
+                            qrossd-trace.json); also served over the wire
+                            via `qross_cli trace`
 )");
   std::exit(2);
+}
+
+/// Writes the trace buffer as Chrome trace JSON.  Safe to call repeatedly;
+/// each dump snapshots the ring at that moment.
+void dump_trace(const std::string& path) {
+  const std::string json =
+      qross::obs::chrome_trace_json(qross::obs::TraceRecorder::instance());
+  const bool ok = qross::io::write_file_atomic(
+      path, std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(json.data()),
+                json.size()));
+  if (ok) {
+    qross::obs::log_event(
+        qross::obs::LogLevel::info, "trace_dumped",
+        {{"path", path},
+         {"bytes", std::to_string(json.size())},
+         {"recorded",
+          std::to_string(qross::obs::TraceRecorder::instance().recorded())},
+         {"evicted",
+          std::to_string(qross::obs::TraceRecorder::instance().evicted())}});
+  } else {
+    qross::obs::log_event(qross::obs::LogLevel::error, "trace_dump_failed",
+                          {{"path", path}});
+  }
 }
 
 }  // namespace
@@ -87,6 +135,10 @@ int main(int argc, char** argv) {
   service_config.cache_capacity = 1024;
   qross::net::ServerConfig server_config;
   long drain_timeout_ms = 30000;
+  qross::obs::LogLevel log_level = qross::obs::LogLevel::info;
+  bool trace_enabled = false;
+  std::size_t trace_buffer_events = 0;  // 0 = keep the recorder's default
+  std::string trace_dump_path = "qrossd-trace.json";
 
   for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
@@ -125,6 +177,21 @@ int main(int argc, char** argv) {
           service_config.client_weights[spec.substr(0, eq)] =
               std::stod(spec.substr(eq + 1));
         }
+      } else if (key == "--log-level") {
+        const std::string spec = value();
+        if (!qross::obs::parse_log_level(spec, &log_level)) {
+          usage(("bad --log-level " + spec +
+                 " (debug|info|warn|error|off)").c_str());
+        }
+      } else if (key == "--trace") {
+        trace_enabled = true;  // boolean flag: consumes no value
+      } else if (key == "--trace-buffer-events") {
+        trace_buffer_events = std::stoul(value());
+        if (trace_buffer_events == 0) {
+          usage("--trace-buffer-events must be positive");
+        }
+      } else if (key == "--trace-dump") {
+        trace_dump_path = value();
       } else {
         usage(("unknown option " + key).c_str());
       }
@@ -151,8 +218,17 @@ int main(int argc, char** argv) {
   }
   if (server_config.listen.empty()) usage("--listen is required");
 
+  qross::obs::set_log_level(log_level);
+  // QROSS_TRACE=1 in the environment enables tracing at first use of the
+  // recorder; the flags below layer on top (and can resize the ring).
+  auto& tracer = qross::obs::TraceRecorder::instance();
+  if (trace_enabled || trace_buffer_events > 0) {
+    tracer.enable(trace_buffer_events);
+  }
+
   if (pipe(signal_pipe) != 0) {
-    std::fprintf(stderr, "error: cannot create signal pipe\n");
+    qross::obs::log_event(qross::obs::LogLevel::error, "startup_failed",
+                          {{"reason", "cannot create signal pipe"}});
     return 1;
   }
   struct sigaction action;
@@ -160,17 +236,34 @@ int main(int argc, char** argv) {
   action.sa_handler = on_signal;
   sigaction(SIGTERM, &action, nullptr);
   sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGUSR1, &action, nullptr);
   signal(SIGPIPE, SIG_IGN);
+
+  qross::obs::log_event(
+      qross::obs::LogLevel::info, "startup",
+      {{"listen", listen_spec},
+       {"workers", std::to_string(service_config.num_workers)},
+       {"cache_entries", std::to_string(service_config.cache_capacity)},
+       {"cache_file", service_config.cache_path},
+       {"max_connections", std::to_string(server_config.max_connections)},
+       {"trace", tracer.enabled() ? "on" : "off"},
+       {"log_level", qross::obs::log_level_name(log_level)}});
 
   qross::service::SolveService service(service_config);
   qross::net::Server server(service, server_config);
   std::string error;
   if (!server.start(&error)) {
+    qross::obs::log_event(qross::obs::LogLevel::error, "startup_failed",
+                          {{"reason", error}});
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
   for (const auto& endpoint : server.endpoints()) {
+    // Stdout lines are the start-script contract (scripts grep for them);
+    // the structured event is the log contract.  Both stay.
     std::printf("qrossd listening on %s\n", endpoint.to_string().c_str());
+    qross::obs::log_event(qross::obs::LogLevel::info, "listener_bound",
+                          {{"endpoint", endpoint.to_string()}});
   }
   std::printf("qrossd ready: %zu workers, cache %zu entries%s%s\n",
               service.num_workers(), service_config.cache_capacity,
@@ -187,12 +280,23 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
 
-  // Block until a signal lands (EINTR restarts are fine: the handler also
-  // wrote the byte we are waiting for).
-  char byte;
-  while (read(signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  // Block until a terminate signal lands (EINTR restarts are fine: the
+  // handler also wrote the byte we are waiting for).  SIGUSR1 bytes dump
+  // the trace and keep serving.
+  while (true) {
+    char byte = 0;
+    const auto n = read(signal_pipe[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // pipe gone; treat as terminate
+    if (byte == 'u') {
+      dump_trace(trace_dump_path);
+      continue;
+    }
+    break;
   }
 
+  qross::obs::log_event(qross::obs::LogLevel::info, "drain_begin",
+                        {{"timeout_ms", std::to_string(drain_timeout_ms)}});
   std::printf("qrossd draining (timeout %ld ms)...\n", drain_timeout_ms);
   std::fflush(stdout);
   // Short drain slices so a SECOND signal is honoured promptly (drain() is
@@ -213,6 +317,14 @@ int main(int argc, char** argv) {
   server.stop();
   const auto stats = server.stats();
   const std::size_t flushed = service.flush_cache();
+  qross::obs::log_event(
+      qross::obs::LogLevel::info, "drain_end",
+      {{"clean", drained ? "true" : "false"},
+       {"connections", std::to_string(stats.connections_accepted)},
+       {"submits", std::to_string(stats.submits)},
+       {"results", std::to_string(stats.results_sent)},
+       {"cache_flushed", std::to_string(flushed)}});
+  if (tracer.enabled()) dump_trace(trace_dump_path);
   std::printf(
       "qrossd stopped: %s drain | %llu connections, %llu submits, "
       "%llu results, %llu protocol errors, %llu jobs cancelled by hangup | "
