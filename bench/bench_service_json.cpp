@@ -5,8 +5,10 @@
 // (SolveService throughput in jobs/sec at queue depth >= workers: cold,
 // in-memory cache-warm, disk-warm from a persisted snapshot in a fresh
 // service, and net-warm — client→server jobs/s through qross::net over
-// loopback TCP, isolating the wire protocol's per-job overhead), so the
-// perf trajectory is diffable from this PR on.
+// loopback TCP, isolating the wire protocol's per-job overhead, plus the
+// PR 8 tuning-service numbers: batched surrogate prediction rows/s versus
+// one-at-a-time and the cross-session combiner under thread contention),
+// so the perf trajectory is diffable from this PR on.
 //
 // Unlike bench_micro_perf this target needs no google-benchmark — it is a
 // plain binary timed with common/stopwatch, runnable on any CI box:
@@ -56,6 +58,8 @@
 #include "qubo/sparse.hpp"
 #include "service/solve_service.hpp"
 #include "solvers/digital_annealer.hpp"
+#include "surrogate/batched.hpp"
+#include "surrogate/model.hpp"
 
 namespace {
 
@@ -637,13 +641,136 @@ int main(int argc, char** argv) {
                trace_overhead_pct,
                static_cast<unsigned long long>(trace_events));
 
+  // --- tuning service: batched surrogate inference (informational) ---------
+  // The TuneService batches single-row surrogate predictions from concurrent
+  // sessions into one nn::Matrix pass.  Measure the raw headroom that
+  // batching buys: rows/s through predict_batch over a mixed-instance
+  // request set versus the same rows issued one predict() at a time (each a
+  // 1-row matrix pass through both heads).  The surrogate is trained here on
+  // a small synthetic dataset with a reduced epoch budget — prediction
+  // throughput depends only on the architecture, not on fit quality.
+  double tune_single_rows_per_sec = 0.0;
+  double tune_batched_rows_per_sec = 0.0;
+  double tune_combined_rows_per_sec = 0.0;
+  surrogate::BatchedSurrogate::Stats combiner_stats;
+  constexpr std::size_t kTuneInstances = 8;
+  constexpr std::size_t kTuneGrid = 128;
+  {
+    std::vector<std::array<double, surrogate::kNumTspFeatures>> features;
+    std::vector<double> anchors;
+    surrogate::Dataset dataset;
+    for (std::size_t i = 0; i < kTuneInstances; ++i) {
+      const auto instance =
+          tsp::generate_uniform(8 + i % 3, 0xBE7C0 + static_cast<unsigned>(i));
+      features.push_back(surrogate::extract_features(instance));
+      anchors.push_back(surrogate::scale_anchor(features.back()));
+      for (std::size_t k = 0; k < 10; ++k) {
+        surrogate::DatasetRow row;
+        row.instance_id = i;
+        row.features = features.back();
+        row.scale_anchor = anchors.back();
+        row.relaxation_parameter = 0.5 + 2.0 * static_cast<double>(k);
+        // Plausible sigmoid-shaped targets; fit quality is irrelevant here.
+        row.pf = static_cast<double>(k) / 9.0;
+        row.energy_avg = anchors.back() * (1.0 + 0.05 * static_cast<double>(k));
+        row.energy_std = 0.02 * anchors.back();
+        dataset.rows.push_back(row);
+      }
+    }
+    surrogate::SurrogateConfig surrogate_config;
+    surrogate_config.pf_training.max_epochs = 100;
+    surrogate_config.pf_training.patience = 100;
+    surrogate_config.energy_training.max_epochs = 100;
+    surrogate::SolverSurrogate surrogate(surrogate_config);
+    surrogate.train(dataset);
+
+    std::vector<surrogate::SurrogateRequest> requests;
+    requests.reserve(kTuneInstances * kTuneGrid);
+    for (std::size_t i = 0; i < kTuneInstances; ++i) {
+      for (std::size_t k = 0; k < kTuneGrid; ++k) {
+        surrogate::SurrogateRequest request;
+        request.features = features[i];
+        request.anchor = anchors[i];
+        request.a = 0.5 + 0.2 * static_cast<double>(k);
+        requests.push_back(request);
+      }
+    }
+
+    tune_single_rows_per_sec = best_of([&] {
+      std::size_t done = 0;
+      Stopwatch watch;
+      while (watch.elapsed_seconds() < kBudget) {
+        for (const auto& request : requests) {
+          (void)surrogate.predict(request.features, request.anchor, request.a);
+        }
+        done += requests.size();
+      }
+      return static_cast<double>(done) / watch.elapsed_seconds();
+    });
+    tune_batched_rows_per_sec = best_of([&] {
+      std::size_t done = 0;
+      Stopwatch watch;
+      while (watch.elapsed_seconds() < kBudget) {
+        (void)surrogate.predict_batch(requests);
+        done += requests.size();
+      }
+      return static_cast<double>(done) / watch.elapsed_seconds();
+    });
+
+    // The cross-session combiner under contention: 4 threads (stand-ins for
+    // concurrent tuner sessions) sweep 16-point grids through one
+    // BatchedSurrogate.  Reported rows/s includes the condvar coordination
+    // cost; the stats show how many rows actually shared a pass.
+    surrogate::BatchedSurrogate batched(surrogate);
+    constexpr std::size_t kTuneThreads = 4;
+    std::vector<double> grid(16);
+    for (std::size_t k = 0; k < grid.size(); ++k) {
+      grid[k] = 0.5 + 1.5 * static_cast<double>(k);
+    }
+    std::vector<std::size_t> per_thread_rows(kTuneThreads, 0);
+    Stopwatch combine_watch;
+    {
+      std::vector<std::thread> threads;
+      for (std::size_t t = 0; t < kTuneThreads; ++t) {
+        threads.emplace_back([&, t] {
+          Stopwatch watch;
+          while (watch.elapsed_seconds() < kBudget) {
+            (void)batched.predict_sweep(features[t % kTuneInstances],
+                                        anchors[t % kTuneInstances], grid);
+            per_thread_rows[t] += grid.size();
+          }
+        });
+      }
+      for (auto& thread : threads) thread.join();
+    }
+    const double combine_seconds = combine_watch.elapsed_seconds();
+    std::size_t combined_total = 0;
+    for (const auto rows_done : per_thread_rows) combined_total += rows_done;
+    tune_combined_rows_per_sec =
+        static_cast<double>(combined_total) / combine_seconds;
+    combiner_stats = batched.stats();
+  }
+  const double tune_batch_speedup =
+      tune_single_rows_per_sec > 0.0
+          ? tune_batched_rows_per_sec / tune_single_rows_per_sec
+          : 0.0;
+  std::fprintf(stderr,
+               "tune: surrogate %.0f rows/s one-at-a-time vs %.0f rows/s "
+               "batched (%.1fx); combiner %.0f rows/s across 4 threads "
+               "(%llu of %llu rows shared a pass, max %llu rows/pass)\n",
+               tune_single_rows_per_sec, tune_batched_rows_per_sec,
+               tune_batch_speedup, tune_combined_rows_per_sec,
+               static_cast<unsigned long long>(combiner_stats.combined_rows),
+               static_cast<unsigned long long>(combiner_stats.rows),
+               static_cast<unsigned long long>(combiner_stats.max_rows_per_pass));
+
   const std::string path = out_dir + "/BENCH_service.json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"qross-bench-service-v6\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"qross-bench-service-v7\",\n");
   std::fprintf(f, "  \"workers\": %zu,\n  \"jobs\": %zu,\n", kWorkers, kJobs);
   std::fprintf(f,
                "  \"simd\": {\"kernel\": \"%s\", \"avx2_supported\": %s},\n",
@@ -684,6 +811,21 @@ int main(int argc, char** argv) {
       "\"trace_events_recorded\": %llu},\n",
       trace_off.jobs_per_sec, trace_on.jobs_per_sec, trace_overhead_pct,
       static_cast<unsigned long long>(trace_events));
+  std::fprintf(
+      f,
+      "  \"tune\": {\"instances\": %zu, \"rows_per_request\": %zu, "
+      "\"single_rows_per_sec\": %.0f, \"batched_rows_per_sec\": %.0f, "
+      "\"batch_speedup\": %.2f, \"combined_rows_per_sec\": %.0f, "
+      "\"combiner\": {\"calls\": %llu, \"rows\": %llu, \"passes\": %llu, "
+      "\"combined_rows\": %llu, \"max_rows_per_pass\": %llu}},\n",
+      kTuneInstances, kTuneGrid, tune_single_rows_per_sec,
+      tune_batched_rows_per_sec, tune_batch_speedup,
+      tune_combined_rows_per_sec,
+      static_cast<unsigned long long>(combiner_stats.calls),
+      static_cast<unsigned long long>(combiner_stats.rows),
+      static_cast<unsigned long long>(combiner_stats.passes),
+      static_cast<unsigned long long>(combiner_stats.combined_rows),
+      static_cast<unsigned long long>(combiner_stats.max_rows_per_pass));
   std::fprintf(f,
                "  \"metrics\": {\"solver_invocations\": %zu, \"cache_hits\": "
                "%zu, \"cache_misses\": %zu, \"cache_stored\": %zu, "

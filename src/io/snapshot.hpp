@@ -57,6 +57,10 @@ enum RecordType : std::uint32_t {
   kRecordNetTraceDump = 26,   ///< server → client: Chrome trace-event JSON
   kRecordNetGetProm = 27,     ///< client → server: Prometheus text request
   kRecordNetPromText = 28,    ///< server → client: Prometheus exposition
+  kRecordNetSubmitTune = 29,  ///< client → server: tuner session request
+  kRecordNetTuneStatus = 30,  ///< server → client: streamed per-trial progress
+  kRecordNetCancelTune = 31,  ///< client → server: cancel a tune session
+  kRecordNetTuneResult = 32,  ///< server → client: terminal session outcome
 };
 
 enum class HeaderStatus {

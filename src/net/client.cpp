@@ -9,6 +9,16 @@ namespace qross::net {
 
 using Clock = std::chrono::steady_clock;
 
+const char* to_string(RemoteErrorKind kind) {
+  switch (kind) {
+    case RemoteErrorKind::connection: return "connection";
+    case RemoteErrorKind::timeout: return "timeout";
+    case RemoteErrorKind::refused: return "refused";
+    case RemoteErrorKind::usage: return "usage";
+  }
+  return "?";
+}
+
 Client::Client(ClientConfig config) : config_(std::move(config)) {}
 
 Client::~Client() = default;
@@ -34,13 +44,15 @@ bool Client::connect(std::string* error) {
     if (!sock_.valid()) return false;
     if (handshake(error)) return true;
     sock_.close();
-    // kErrServerFull arrives pre-handshake (tag 0) and is the one
+    // kErrServerFull arrives pre-handshake (tag 0) and is the classic
     // RETRYABLE connect failure: the server told us to back off until a
     // slot frees.  Everything else (version refusal, bad ack, a silent
     // close) is final — only an Error frame received during THIS attempt
     // counts, or a stale buffered one would misclassify the failure.
+    // Triage delegates to is_retryable_error(), the protocol's single
+    // definition of transient server state.
     const bool server_full = errors_.size() > errors_before &&
-                             errors_.back().code == kErrServerFull;
+                             is_retryable_error(errors_.back().code);
     if (!server_full || attempt + 1 >= config_.reconnect_attempts) {
       return false;
     }
@@ -90,11 +102,25 @@ bool Client::reconnect_and_resubmit(std::string* error) {
       }
     }
     if (resubmitted_all) {
+      // Tune sessions too: the dead connection's hangup cancelled them
+      // server-side, so the resubmit starts a REPLACEMENT session — the
+      // warm probe cache makes its replayed prefix free, and the fresh
+      // session streams trials from 0, so the stale progress is dropped.
+      for (const auto& [tag, tune] : tune_pending_) {
+        if (!send_submit_tune(tag, tune)) {
+          resubmitted_all = false;
+          break;
+        }
+        tune_updates_[tag].clear();
+      }
+    }
+    if (resubmitted_all) {
       // Every pending tag is freshly in flight: a tag ALSO flagged for a
       // retryable-refusal resubmit must not be sent a second time — the
       // server would refuse the duplicate tag as a bad request and fail a
       // job that is actually running.
       retry_wanted_.clear();
+      tune_retry_wanted_.clear();
       return true;
     }
   }
@@ -120,15 +146,58 @@ bool Client::send_submit(std::uint64_t tag, const RemoteJob& job) {
   return send_frame(io::kRecordNetSubmitJob, encode_submit(submit));
 }
 
-std::optional<std::uint64_t> Client::submit(const RemoteJob& job,
-                                            std::string* error) {
+bool Client::send_submit_tune(std::uint64_t tag, const RemoteTune& tune) {
+  SubmitTuneFrame submit;
+  submit.tag = tag;
+  submit.solver = tune.solver;
+  submit.strategy = tune.strategy;
+  submit.pf_target = tune.pf_target;
+  submit.trials = tune.trials;
+  submit.a_min = tune.a_min;
+  submit.a_max = tune.a_max;
+  submit.seed = tune.seed;
+  submit.instance = tune.instance;
+  submit.trace_id = tune.trace_id;
+  submit.instance_name = tune.instance_name;
+  return send_frame(io::kRecordNetSubmitTune, encode_submit_tune(submit));
+}
+
+RemoteOutcome<std::uint64_t> Client::submit_job(const RemoteJob& job) {
   const std::uint64_t tag = next_tag_++;
   pending_[tag] = job;
   if (!send_submit(tag, job)) {
     // The reconnect path resubmits `tag` itself (it is already pending).
-    if (!reconnect_and_resubmit(error)) {
+    std::string error;
+    if (!reconnect_and_resubmit(&error)) {
       pending_.erase(tag);
-      return std::nullopt;
+      RemoteError remote;
+      remote.kind = RemoteErrorKind::connection;
+      remote.message = error;
+      return remote;
+    }
+  }
+  return tag;
+}
+
+std::optional<std::uint64_t> Client::submit(const RemoteJob& job,
+                                            std::string* error) {
+  auto outcome = submit_job(job);
+  if (outcome.ok()) return outcome.value();
+  if (error != nullptr) *error = outcome.error().message;
+  return std::nullopt;
+}
+
+RemoteOutcome<std::uint64_t> Client::submit_tune(const RemoteTune& tune) {
+  const std::uint64_t tag = next_tag_++;
+  tune_pending_[tag] = tune;
+  if (!send_submit_tune(tag, tune)) {
+    std::string error;
+    if (!reconnect_and_resubmit(&error)) {
+      tune_pending_.erase(tag);
+      RemoteError remote;
+      remote.kind = RemoteErrorKind::connection;
+      remote.message = error;
+      return remote;
     }
   }
   return tag;
@@ -149,6 +218,20 @@ void Client::handle_incoming(const Frame& f) {
       case io::kRecordNetJobStatus: {
         const auto status = decode_job_status(f.payload);
         updates_[status.tag].push_back(status.status);
+        return;
+      }
+      case io::kRecordNetTuneStatus: {
+        auto status = decode_tune_status(f.payload);
+        tune_updates_[status.tag].push_back(std::move(status));
+        return;
+      }
+      case io::kRecordNetTuneResult: {
+        auto result = decode_tune_result(f.payload);
+        const auto tag = result.tag;
+        tune_pending_.erase(tag);
+        tune_retry_wanted_.erase(tag);
+        retry_attempts_.erase(tag);
+        tune_results_.emplace(tag, std::move(result));
         return;
       }
       case io::kRecordNetMetrics:
@@ -187,6 +270,24 @@ void Client::handle_incoming(const Frame& f) {
             retry_attempts_.erase(error.tag);
             results_.emplace(error.tag, std::move(result));
           }
+        } else if (error.tag != 0 && tune_pending_.contains(error.tag)) {
+          if (is_retryable_error(error.code)) {
+            // Draining or at the session quota: tune_wait() backs off and
+            // resubmits, exactly like a refused job.
+            tune_retry_wanted_.insert(error.tag);
+          } else {
+            // Permanent refusal (no tuner loaded, unknown solver, bad
+            // instance): surfaces as a typed error from tune_wait().
+            RemoteError remote;
+            remote.kind = RemoteErrorKind::refused;
+            remote.code = error.code;
+            remote.message = "server error " + std::to_string(error.code) +
+                             ": " + error.message;
+            tune_pending_.erase(error.tag);
+            tune_retry_wanted_.erase(error.tag);
+            retry_attempts_.erase(error.tag);
+            tune_failures_.emplace(error.tag, std::move(remote));
+          }
         }
         errors_.push_back(std::move(error));
         return;
@@ -208,6 +309,10 @@ bool Client::pump(std::uint32_t stop_type, std::uint64_t stop_tag,
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(
                          timeout_ms < 0 ? 24 * 3600 * 1000 : timeout_ms);
+  // Result-shaped stop types are scoped to one tag (the first payload field
+  // of both Result and TuneResult); everything else stops on the type alone.
+  const bool tag_scoped = stop_type == io::kRecordNetResult ||
+                          stop_type == io::kRecordNetTuneResult;
   std::uint8_t buf[65536];
   while (true) {
     // Check the stop condition against everything already buffered first.
@@ -222,9 +327,8 @@ bool Client::pump(std::uint32_t stop_type, std::uint64_t stop_tag,
       }
       const bool is_stop =
           f.type == stop_type &&
-          (stop_type != io::kRecordNetResult ||
-           (f.payload.size() >= 8 &&
-            io::ByteReader(f.payload).u64() == stop_tag));
+          (!tag_scoped || (f.payload.size() >= 8 &&
+                           io::ByteReader(f.payload).u64() == stop_tag));
       handle_incoming(f);
       if (is_stop) return true;
       // A request-killing Error frame also satisfies a Result wait, and so
@@ -233,7 +337,13 @@ bool Client::pump(std::uint32_t stop_type, std::uint64_t stop_tag,
           (results_.contains(stop_tag) || retry_wanted_.contains(stop_tag))) {
         return true;
       }
-      if (f.type == io::kRecordNetError && stop_type != io::kRecordNetResult) {
+      if (stop_type == io::kRecordNetTuneResult &&
+          (tune_results_.contains(stop_tag) ||
+           tune_failures_.contains(stop_tag) ||
+           tune_retry_wanted_.contains(stop_tag))) {
+        return true;
+      }
+      if (f.type == io::kRecordNetError && !tag_scoped) {
         // Waiting for an ack/metrics and got an error instead: surface it.
         if (error != nullptr && !errors_.empty()) {
           *error = "server error " + std::to_string(errors_.back().code) +
@@ -263,16 +373,15 @@ bool Client::pump(std::uint32_t stop_type, std::uint64_t stop_tag,
   }
 }
 
-ResultFrame Client::wait(std::uint64_t tag) {
-  const auto finish_with = [&](const std::string& message) {
-    ResultFrame result;
-    result.tag = tag;
-    result.status = service::JobStatus::failed;
-    result.error = message;
+RemoteOutcome<ResultFrame> Client::wait_result(std::uint64_t tag) {
+  const auto finish_with = [&](RemoteErrorKind kind, std::string message) {
     pending_.erase(tag);
     retry_wanted_.erase(tag);
     retry_attempts_.erase(tag);
-    return result;
+    RemoteError error;
+    error.kind = kind;
+    error.message = std::move(message);
+    return error;
   };
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(config_.request_timeout_ms);
@@ -286,11 +395,14 @@ ResultFrame Client::wait(std::uint64_t tag) {
       return result;
     }
     if (!pending_.contains(tag)) {
-      return finish_with("unknown tag: never submitted or already waited");
+      return finish_with(RemoteErrorKind::usage,
+                         "unknown tag: never submitted or already waited");
     }
     auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - Clock::now());
-    if (remaining.count() <= 0) return finish_with("request timed out");
+    if (remaining.count() <= 0) {
+      return finish_with(RemoteErrorKind::timeout, "request timed out");
+    }
     if (retry_wanted_.erase(tag) > 0) {
       // The server refused this tag with a RETRYABLE code (draining /
       // full): back off, then resubmit the identical job under its
@@ -298,45 +410,157 @@ ResultFrame Client::wait(std::uint64_t tag) {
       const int attempt = ++retry_attempts_[tag];
       if (attempt > config_.reconnect_attempts) {
         retry_attempts_.erase(tag);
-        return finish_with("server refused " + std::to_string(attempt - 1) +
-                           " resubmits (busy or draining); giving up");
+        return finish_with(
+            RemoteErrorKind::refused,
+            "server refused " + std::to_string(attempt - 1) +
+                " resubmits (busy or draining); giving up");
       }
       const auto backoff =
           std::chrono::milliseconds(config_.reconnect_backoff_ms * attempt);
       if (backoff >= remaining) {
         // No budget left to wait out the refusal — and resubmitting now
         // would orphan a job on the server that nobody will collect.
-        return finish_with("request timed out");
+        return finish_with(RemoteErrorKind::timeout, "request timed out");
       }
       if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
       if (!send_submit(tag, pending_.at(tag))) {
         std::string reconnect_error;
         if (!reconnect_and_resubmit(&reconnect_error)) {
-          return finish_with("connection lost: " + reconnect_error);
+          return finish_with(RemoteErrorKind::connection,
+                             "connection lost: " + reconnect_error);
         }
       }
       continue;
     }
     remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - Clock::now());
-    if (remaining.count() <= 0) return finish_with("request timed out");
+    if (remaining.count() <= 0) {
+      return finish_with(RemoteErrorKind::timeout, "request timed out");
+    }
     std::string error;
     if (!pump(io::kRecordNetResult, tag,
               static_cast<int>(remaining.count()), &error)) {
-      if (error == "request timed out") return finish_with(error);
+      if (error == "request timed out") {
+        return finish_with(RemoteErrorKind::timeout, error);
+      }
       // Connection lost mid-wait: redial and resubmit the outstanding jobs,
       // then keep waiting out the remaining budget.
       if (!reconnect_and_resubmit(&error)) {
-        return finish_with("connection lost: " + error);
+        return finish_with(RemoteErrorKind::connection,
+                           "connection lost: " + error);
       }
     }
   }
+}
+
+ResultFrame Client::wait(std::uint64_t tag) {
+  auto outcome = wait_result(tag);
+  if (outcome.ok()) return std::move(outcome).value();
+  // The legacy shape folds transport failures into a failed ResultFrame so
+  // callers have one error path.
+  ResultFrame result;
+  result.tag = tag;
+  result.status = service::JobStatus::failed;
+  result.error = outcome.error().message;
+  return result;
+}
+
+RemoteOutcome<TuneResultFrame> Client::tune_wait(std::uint64_t tag) {
+  const auto finish_with = [&](RemoteErrorKind kind, std::string message) {
+    tune_pending_.erase(tag);
+    tune_retry_wanted_.erase(tag);
+    retry_attempts_.erase(tag);
+    RemoteError error;
+    error.kind = kind;
+    error.message = std::move(message);
+    return error;
+  };
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config_.request_timeout_ms);
+  while (true) {
+    if (const auto it = tune_results_.find(tag); it != tune_results_.end()) {
+      TuneResultFrame result = std::move(it->second);
+      tune_results_.erase(it);
+      retry_attempts_.erase(tag);
+      return result;
+    }
+    if (const auto it = tune_failures_.find(tag); it != tune_failures_.end()) {
+      RemoteError error = std::move(it->second);
+      tune_failures_.erase(it);
+      retry_attempts_.erase(tag);
+      return error;
+    }
+    if (!tune_pending_.contains(tag)) {
+      return finish_with(RemoteErrorKind::usage,
+                         "unknown tag: never submitted or already waited");
+    }
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) {
+      return finish_with(RemoteErrorKind::timeout, "request timed out");
+    }
+    if (tune_retry_wanted_.erase(tag) > 0) {
+      // Refused with a retryable code (draining / session quota): back off
+      // and resubmit.  Nothing started server-side, so the resubmit opens
+      // the SAME session the refusal denied, not a duplicate.
+      const int attempt = ++retry_attempts_[tag];
+      if (attempt > config_.reconnect_attempts) {
+        retry_attempts_.erase(tag);
+        return finish_with(
+            RemoteErrorKind::refused,
+            "server refused " + std::to_string(attempt - 1) +
+                " resubmits (busy or draining); giving up");
+      }
+      const auto backoff =
+          std::chrono::milliseconds(config_.reconnect_backoff_ms * attempt);
+      if (backoff >= remaining) {
+        return finish_with(RemoteErrorKind::timeout, "request timed out");
+      }
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+      if (!send_submit_tune(tag, tune_pending_.at(tag))) {
+        std::string reconnect_error;
+        if (!reconnect_and_resubmit(&reconnect_error)) {
+          return finish_with(RemoteErrorKind::connection,
+                             "connection lost: " + reconnect_error);
+        }
+      }
+      continue;
+    }
+    remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) {
+      return finish_with(RemoteErrorKind::timeout, "request timed out");
+    }
+    std::string error;
+    if (!pump(io::kRecordNetTuneResult, tag,
+              static_cast<int>(remaining.count()), &error)) {
+      if (error == "request timed out") {
+        return finish_with(RemoteErrorKind::timeout, error);
+      }
+      if (!reconnect_and_resubmit(&error)) {
+        return finish_with(RemoteErrorKind::connection,
+                           "connection lost: " + error);
+      }
+    }
+  }
+}
+
+std::vector<TuneStatusFrame> Client::tune_status(std::uint64_t tag) const {
+  const auto it = tune_updates_.find(tag);
+  return it == tune_updates_.end() ? std::vector<TuneStatusFrame>{}
+                                   : it->second;
 }
 
 bool Client::cancel(std::uint64_t tag) {
   CancelJobFrame cancel;
   cancel.tag = tag;
   return send_frame(io::kRecordNetCancelJob, encode_cancel(cancel));
+}
+
+bool Client::cancel_tune(std::uint64_t tag) {
+  CancelTuneFrame cancel;
+  cancel.tag = tag;
+  return send_frame(io::kRecordNetCancelTune, encode_cancel_tune(cancel));
 }
 
 std::vector<service::JobStatus> Client::status_updates(
@@ -346,43 +570,114 @@ std::vector<service::JobStatus> Client::status_updates(
                               : it->second;
 }
 
-std::optional<MetricsFrame> Client::metrics(std::string* error) {
-  last_metrics_.reset();
-  if (!send_frame(io::kRecordNetGetMetrics, {})) {
-    if (!reconnect_and_resubmit(error)) return std::nullopt;
-    if (!send_frame(io::kRecordNetGetMetrics, {})) return std::nullopt;
+RemoteError Client::request_error(std::size_t errors_before,
+                                  const std::string& message) const {
+  RemoteError error;
+  if (errors_.size() > errors_before) {
+    // An Error frame arrived during THIS request: a refusal with the
+    // server's code (retryability then flows from is_retryable_error).
+    error.kind = RemoteErrorKind::refused;
+    error.code = errors_.back().code;
+  } else if (message == "request timed out") {
+    error.kind = RemoteErrorKind::timeout;
+  } else {
+    error.kind = RemoteErrorKind::connection;
   }
-  if (!pump(io::kRecordNetMetrics, 0, config_.request_timeout_ms, error)) {
+  error.message = message;
+  return error;
+}
+
+std::optional<RemoteError> Client::round_trip(std::uint32_t request_type,
+                                              std::uint32_t reply_type) {
+  const std::size_t errors_before = errors_.size();
+  std::string error;
+  if (!send_frame(request_type, {})) {
+    if (!reconnect_and_resubmit(&error)) {
+      RemoteError remote;
+      remote.kind = RemoteErrorKind::connection;
+      remote.message = error.empty() ? "connection lost" : error;
+      return remote;
+    }
+    if (!send_frame(request_type, {})) {
+      RemoteError remote;
+      remote.kind = RemoteErrorKind::connection;
+      remote.message = "connection lost";
+      return remote;
+    }
+  }
+  // A pre-obs server answers GetTrace/GetProm with kErrUnknownType; pump()
+  // surfaces that Error frame as a failure for non-Result stop types, so
+  // old servers degrade to a typed refusal instead of a hang.
+  if (!pump(reply_type, 0, config_.request_timeout_ms, &error)) {
+    return request_error(errors_before, error);
+  }
+  return std::nullopt;
+}
+
+RemoteOutcome<MetricsFrame> Client::fetch_metrics() {
+  last_metrics_.reset();
+  if (auto failed = round_trip(io::kRecordNetGetMetrics,
+                               io::kRecordNetMetrics)) {
+    return std::move(*failed);
+  }
+  if (!last_metrics_.has_value()) {
+    return RemoteError{RemoteErrorKind::connection, kErrUnknown,
+                       "no metrics in reply"};
+  }
+  return std::move(*last_metrics_);
+}
+
+RemoteOutcome<std::string> Client::fetch_trace() {
+  last_trace_.reset();
+  if (auto failed = round_trip(io::kRecordNetGetTrace,
+                               io::kRecordNetTraceDump)) {
+    return std::move(*failed);
+  }
+  if (!last_trace_.has_value()) {
+    return RemoteError{RemoteErrorKind::connection, kErrUnknown,
+                       "no trace in reply"};
+  }
+  return std::move(*last_trace_);
+}
+
+RemoteOutcome<std::string> Client::fetch_prometheus() {
+  last_prom_.reset();
+  if (auto failed = round_trip(io::kRecordNetGetProm,
+                               io::kRecordNetPromText)) {
+    return std::move(*failed);
+  }
+  if (!last_prom_.has_value()) {
+    return RemoteError{RemoteErrorKind::connection, kErrUnknown,
+                       "no exposition in reply"};
+  }
+  return std::move(*last_prom_);
+}
+
+std::optional<MetricsFrame> Client::metrics(std::string* error) {
+  auto outcome = fetch_metrics();
+  if (!outcome.ok()) {
+    if (error != nullptr) *error = outcome.error().message;
     return std::nullopt;
   }
-  return last_metrics_;
+  return std::move(outcome).value();
 }
 
 std::optional<std::string> Client::trace_dump(std::string* error) {
-  last_trace_.reset();
-  if (!send_frame(io::kRecordNetGetTrace, {})) {
-    if (!reconnect_and_resubmit(error)) return std::nullopt;
-    if (!send_frame(io::kRecordNetGetTrace, {})) return std::nullopt;
-  }
-  // A pre-obs server answers kErrUnknownType; pump() surfaces that Error
-  // frame as a failure for non-Result stop types, so old servers degrade to
-  // nullopt + message instead of a hang.
-  if (!pump(io::kRecordNetTraceDump, 0, config_.request_timeout_ms, error)) {
+  auto outcome = fetch_trace();
+  if (!outcome.ok()) {
+    if (error != nullptr) *error = outcome.error().message;
     return std::nullopt;
   }
-  return last_trace_;
+  return std::move(outcome).value();
 }
 
 std::optional<std::string> Client::prometheus_metrics(std::string* error) {
-  last_prom_.reset();
-  if (!send_frame(io::kRecordNetGetProm, {})) {
-    if (!reconnect_and_resubmit(error)) return std::nullopt;
-    if (!send_frame(io::kRecordNetGetProm, {})) return std::nullopt;
-  }
-  if (!pump(io::kRecordNetPromText, 0, config_.request_timeout_ms, error)) {
+  auto outcome = fetch_prometheus();
+  if (!outcome.ok()) {
+    if (error != nullptr) *error = outcome.error().message;
     return std::nullopt;
   }
-  return last_prom_;
+  return std::move(outcome).value();
 }
 
 std::vector<ResultFrame> Client::run(const std::vector<RemoteJob>& jobs) {

@@ -25,12 +25,19 @@
 //
 // Not thread-safe: one Client per thread (the protocol itself supports any
 // number of concurrent Clients per server).
+//
+// API surface: the typed methods (submit_job, wait_result, submit_tune,
+// tune_wait, fetch_*) all report failure through one RemoteOutcome /
+// RemoteError shape, with retryability decided in exactly one place
+// (is_retryable_error via RemoteError::retryable).  The original
+// optional/bool signatures remain as thin wrappers over the typed core.
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/protocol.hpp"
@@ -69,6 +76,78 @@ struct RemoteJob {
   std::uint64_t trace_id = 0;
 };
 
+/// One tune session as the client requests it (the wire form of a
+/// SubmitTune frame, minus the tag).  Pack the instance with
+/// pack_tsp_instance().
+struct RemoteTune {
+  std::string solver = "da";
+  qubo::QuboModel instance;
+  std::uint8_t strategy = kTuneComposed;
+  double pf_target = 0.8;  ///< used when strategy == kTunePbs
+  std::uint32_t trials = 10;
+  double a_min = 1.0;
+  double a_max = 100.0;
+  std::uint64_t seed = 1;
+  std::uint64_t trace_id = 0;
+  std::string instance_name;
+};
+
+/// How a request failed, transport-wise.  Job/session-level failures (a
+/// solver that threw, an infeasible outcome) are NOT errors here — they
+/// arrive inside the Result/TuneResult frame, keeping one taxonomy per
+/// layer.
+enum class RemoteErrorKind : std::uint8_t {
+  connection = 0,  ///< dial, handshake, or socket failure; redial may help
+  timeout = 1,     ///< request_timeout_ms expired
+  refused = 2,     ///< the server answered with an Error frame (see `code`)
+  usage = 3,       ///< caller misuse (e.g. waiting on a tag never submitted)
+};
+
+const char* to_string(RemoteErrorKind kind);
+
+struct RemoteError {
+  RemoteErrorKind kind = RemoteErrorKind::connection;
+  /// The server's ErrorCode when kind == refused; kErrUnknown otherwise.
+  std::uint32_t code = kErrUnknown;
+  std::string message;
+
+  /// THE retry triage point.  Refusals delegate to is_retryable_error()
+  /// (the protocol's one definition of transient server state); connection
+  /// failures are retryable by redial; timeouts and misuse are not.
+  bool retryable() const {
+    switch (kind) {
+      case RemoteErrorKind::refused: return is_retryable_error(code);
+      case RemoteErrorKind::connection: return true;
+      case RemoteErrorKind::timeout: return false;
+      case RemoteErrorKind::usage: return false;
+    }
+    return false;
+  }
+};
+
+/// Value-or-RemoteError result of every typed client call.
+template <typename T>
+class RemoteOutcome {
+ public:
+  RemoteOutcome(T value) : value_(std::move(value)) {}          // NOLINT
+  RemoteOutcome(RemoteError error) : error_(std::move(error)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Throws std::bad_optional_access when !ok() — check first.
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  /// Meaningful only when !ok().
+  const RemoteError& error() const { return error_; }
+
+ private:
+  std::optional<T> value_;
+  RemoteError error_;
+};
+
 class Client {
  public:
   explicit Client(ClientConfig config);
@@ -85,6 +164,41 @@ class Client {
 
   /// Protocol version the server acknowledged (after connect()).
   std::uint32_t negotiated_version() const { return ack_.protocol_version; }
+
+  // --- typed core -------------------------------------------------------
+
+  /// Sends one job; the tag to wait on.
+  RemoteOutcome<std::uint64_t> submit_job(const RemoteJob& job);
+
+  /// Blocks until `tag` completes.  Transport failures (timeout, dead
+  /// connection, permanent refusal) are the RemoteError side; a job the
+  /// SERVER completed as failed is still a success here — its failure rides
+  /// inside the frame.
+  RemoteOutcome<ResultFrame> wait_result(std::uint64_t tag);
+
+  /// Starts a tune session on the server; the tag to wait on.  Retryable
+  /// refusals (draining, session quota → kErrServerFull) are handled like
+  /// job refusals: tune_wait() backs off and resubmits.
+  RemoteOutcome<std::uint64_t> submit_tune(const RemoteTune& tune);
+
+  /// Blocks until the tune session's TuneResult frame arrives (same error
+  /// contract as wait_result).  A cancelled or failed session is a SUCCESS
+  /// carrying status kTuneCancelled / kTuneFailed.
+  RemoteOutcome<TuneResultFrame> tune_wait(std::uint64_t tag);
+
+  /// Per-trial TuneStatus frames streamed so far for `tag`, in order.
+  std::vector<TuneStatusFrame> tune_status(std::uint64_t tag) const;
+
+  /// Requests cancellation of an in-flight tune session; the terminal
+  /// TuneResult (status = cancelled) still arrives via tune_wait().
+  bool cancel_tune(std::uint64_t tag);
+
+  /// Round-trips GetMetrics / GetTrace / GetProm.
+  RemoteOutcome<MetricsFrame> fetch_metrics();
+  RemoteOutcome<std::string> fetch_trace();
+  RemoteOutcome<std::string> fetch_prometheus();
+
+  // --- legacy wrappers (thin shims over the typed core) -----------------
 
   /// Sends one job; returns its tag, or nullopt when the connection is
   /// down and could not be re-established.
@@ -125,15 +239,27 @@ class Client {
 
  private:
   bool send_frame(std::uint32_t type, std::span<const std::uint8_t> payload);
-  /// Reads until `stop_type` (or a Result / retryable refusal for
-  /// `stop_tag`) arrives, the timeout expires, or the connection breaks.
-  /// Buffers everything else.
+  /// Reads until `stop_type` (or a Result/TuneResult / retryable refusal
+  /// for `stop_tag`) arrives, the timeout expires, or the connection
+  /// breaks.  Buffers everything else.
   bool pump(std::uint32_t stop_type, std::uint64_t stop_tag, int timeout_ms,
             std::string* error);
   bool handshake(std::string* error);
   bool reconnect_and_resubmit(std::string* error);
   bool send_submit(std::uint64_t tag, const RemoteJob& job);
+  bool send_submit_tune(std::uint64_t tag, const RemoteTune& tune);
   void handle_incoming(const Frame& f);
+  /// Classifies a failed round-trip: an Error frame that arrived during the
+  /// request (errors_ grew past `errors_before`) makes it a refusal carrying
+  /// the server's code; otherwise the pump's message decides timeout vs
+  /// connection.
+  RemoteError request_error(std::size_t errors_before,
+                            const std::string& message) const;
+  /// One GetX → X round-trip (metrics / trace / prom share the shape);
+  /// nullopt on success — handle_incoming routed the reply into its last_*
+  /// slot — else the classified failure.
+  std::optional<RemoteError> round_trip(std::uint32_t request_type,
+                                        std::uint32_t reply_type);
 
   ClientConfig config_;
   Socket sock_;
@@ -148,6 +274,13 @@ class Client {
   /// and resubmits.  The paired map counts resubmit attempts per tag.
   std::set<std::uint64_t> retry_wanted_;
   std::map<std::uint64_t, int> retry_attempts_;
+  // Tune sessions mirror the job maps; terminal refusals land as typed
+  // errors (tune_failures_) rather than synthesized frames.
+  std::map<std::uint64_t, RemoteTune> tune_pending_;
+  std::map<std::uint64_t, TuneResultFrame> tune_results_;
+  std::map<std::uint64_t, RemoteError> tune_failures_;
+  std::map<std::uint64_t, std::vector<TuneStatusFrame>> tune_updates_;
+  std::set<std::uint64_t> tune_retry_wanted_;
   std::optional<MetricsFrame> last_metrics_;
   std::optional<std::string> last_trace_;
   std::optional<std::string> last_prom_;

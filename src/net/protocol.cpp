@@ -1,5 +1,6 @@
 #include "net/protocol.hpp"
 
+#include <cmath>
 #include <cstring>
 
 #include "io/binary.hpp"
@@ -339,6 +340,172 @@ MetricsFrame decode_metrics(std::span<const std::uint8_t> payload) {
   // Pre-obs servers end here; 0 = "no recent-rate data".
   if (in.remaining() > 0) s.recent_jobs_per_second = in.f64();
   return metrics;
+}
+
+qubo::QuboModel pack_tsp_instance(const tsp::TspInstance& instance) {
+  const std::size_t n = instance.num_cities();
+  qubo::QuboModel model(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      model.add_term(i, j, instance.distance(i, j));
+    }
+  }
+  return model;
+}
+
+tsp::TspInstance unpack_tsp_instance(const qubo::QuboModel& model,
+                                     std::string name) {
+  const std::size_t n = model.num_vars();
+  std::vector<double> distances(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = model.coefficient(i, j);
+      distances[i * n + j] = d;
+      distances[j * n + i] = d;
+    }
+  }
+  return {std::move(name), n, std::move(distances)};
+}
+
+std::vector<std::uint8_t> encode_submit_tune(const SubmitTuneFrame& submit) {
+  io::ByteWriter out;
+  out.u64(submit.tag);
+  put_string(out, submit.solver);
+  out.u8(submit.strategy);
+  out.f64(submit.pf_target);
+  out.u32(submit.trials);
+  out.f64(submit.a_min);
+  out.f64(submit.a_max);
+  out.u64(submit.seed);
+  io::encode_model(out, submit.instance);
+  // Appended within protocol v1 after the instance payload: a first-cut
+  // decoder stops at the instance, a first-cut encoder leaves the tail out.
+  out.u64(submit.trace_id);
+  put_string(out, submit.instance_name);
+  return out.take();
+}
+
+SubmitTuneFrame decode_submit_tune(std::span<const std::uint8_t> payload) {
+  io::ByteReader in(payload);
+  SubmitTuneFrame submit;
+  submit.tag = in.u64();
+  submit.solver = get_string(in);
+  submit.strategy = in.u8();
+  submit.pf_target = in.f64();
+  submit.trials = in.u32();
+  submit.a_min = in.f64();
+  submit.a_max = in.f64();
+  submit.seed = in.u64();
+  submit.instance = io::decode_model(in);
+  if (in.remaining() > 0) submit.trace_id = in.u64();
+  if (in.remaining() > 0) submit.instance_name = get_string(in);
+  return submit;
+}
+
+std::vector<std::uint8_t> encode_tune_status(const TuneStatusFrame& status) {
+  io::ByteWriter out;
+  out.u64(status.tag);
+  out.u32(status.trial);
+  out.u32(status.total);
+  out.f64(status.relaxation_parameter);
+  out.f64(status.pf);
+  out.f64(status.best_length);
+  // Batch-summary tail, appended within protocol v1.
+  out.f64(status.energy_avg);
+  out.f64(status.energy_std);
+  out.u8(status.feasible ? 1 : 0);
+  return out.take();
+}
+
+TuneStatusFrame decode_tune_status(std::span<const std::uint8_t> payload) {
+  io::ByteReader in(payload);
+  TuneStatusFrame status;
+  status.tag = in.u64();
+  status.trial = in.u32();
+  status.total = in.u32();
+  status.relaxation_parameter = in.f64();
+  status.pf = in.f64();
+  status.best_length = in.f64();
+  if (in.remaining() > 0) status.energy_avg = in.f64();
+  if (in.remaining() > 0) status.energy_std = in.f64();
+  if (in.remaining() > 0) {
+    status.feasible = in.u8() != 0;
+  } else {
+    // Pre-tail frames still carry feasibility implicitly: a finite best
+    // length means some trial decoded a valid tour.
+    status.feasible = std::isfinite(status.best_length);
+  }
+  return status;
+}
+
+std::vector<std::uint8_t> encode_cancel_tune(const CancelTuneFrame& cancel) {
+  io::ByteWriter out;
+  out.u64(cancel.tag);
+  return out.take();
+}
+
+CancelTuneFrame decode_cancel_tune(std::span<const std::uint8_t> payload) {
+  io::ByteReader in(payload);
+  CancelTuneFrame cancel;
+  cancel.tag = in.u64();
+  return cancel;
+}
+
+std::vector<std::uint8_t> encode_tune_result(const TuneResultFrame& result) {
+  io::ByteWriter out;
+  out.u64(result.tag);
+  out.u8(result.status);
+  put_string(out, result.error);
+  out.f64(result.best_length);
+  out.f64(result.best_parameter);
+  out.u32(static_cast<std::uint32_t>(result.best_tour.size()));
+  for (const std::uint32_t city : result.best_tour) out.u32(city);
+  out.u32(static_cast<std::uint32_t>(result.trials.size()));
+  for (const auto& trial : result.trials) {
+    out.f64(trial.relaxation_parameter);
+    out.f64(trial.pf);
+    out.f64(trial.best_length_so_far);
+  }
+  // Appended within protocol v1; decoders default them when absent.
+  out.u64(result.solver_invocations);
+  out.f64(result.wall_ms);
+  return out.take();
+}
+
+TuneResultFrame decode_tune_result(std::span<const std::uint8_t> payload) {
+  io::ByteReader in(payload);
+  TuneResultFrame result;
+  result.tag = in.u64();
+  result.status = in.u8();
+  result.error = get_string(in);
+  result.best_length = in.f64();
+  result.best_parameter = in.f64();
+  const std::uint32_t tour_size = in.u32();
+  if (tour_size > in.remaining() / sizeof(std::uint32_t)) {
+    throw io::DecodeError("implausible tour length: " +
+                          std::to_string(tour_size));
+  }
+  result.best_tour.reserve(tour_size);
+  for (std::uint32_t k = 0; k < tour_size; ++k) {
+    result.best_tour.push_back(in.u32());
+  }
+  const std::uint32_t trial_rows = in.u32();
+  constexpr std::size_t kTrialBytes = 3 * sizeof(double);
+  if (trial_rows > in.remaining() / kTrialBytes) {
+    throw io::DecodeError("implausible trial count: " +
+                          std::to_string(trial_rows));
+  }
+  result.trials.reserve(trial_rows);
+  for (std::uint32_t k = 0; k < trial_rows; ++k) {
+    TuneResultFrame::Trial trial;
+    trial.relaxation_parameter = in.f64();
+    trial.pf = in.f64();
+    trial.best_length_so_far = in.f64();
+    result.trials.push_back(trial);
+  }
+  if (in.remaining() > 0) result.solver_invocations = in.u64();
+  if (in.remaining() > 0) result.wall_ms = in.f64();
+  return result;
 }
 
 std::vector<std::uint8_t> encode_text(const std::string& text) {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "io/snapshot.hpp"
+#include "problems/tsp/instance.hpp"
 #include "qubo/batch.hpp"
 #include "qubo/model.hpp"
 #include "service/job.hpp"
@@ -61,8 +62,11 @@ enum ErrorCode : std::uint32_t {
   kErrUnknownType = 10,    ///< unrecognised frame type (future extension)
   kErrQuotaExceeded = 11,  ///< client over an admission quota (permanent
                            ///< until its own earlier jobs finish)
-  kErrServerFull = 12,     ///< connection refused: max_connections reached
-                           ///< (retryable once some client disconnects)
+  kErrServerFull = 12,     ///< connection refused: max_connections reached,
+                           ///< or the tune service is at max concurrent
+                           ///< sessions (retryable once capacity frees up)
+  kErrTuningUnavailable = 13,  ///< SubmitTune on a daemon with no tuner
+                               ///< loaded (permanent: start qrossd --tuner)
 };
 
 /// Retryable errors describe transient SERVER state: backing off and
@@ -141,6 +145,85 @@ struct ResultFrame {
   std::shared_ptr<const qubo::SolveBatch> batch;
 };
 
+// --- tuning-as-a-service frames ---------------------------------------------
+//
+// A tune session is the paper's product: `trials` budgeted solver calls
+// steered by the surrogate (strategy MFS | PBS | OFS, or the composed
+// benchmark mixture).  The instance rides as its symmetric distance matrix
+// packed into the existing QuboModel codec (upper-triangular, IEEE-exact),
+// so no new payload format is needed and the decoded instance is
+// bit-identical — a remote session with the same seed reproduces the exact
+// in-process probed-A sequence and outcome.
+
+/// TuneOptions::mode on the wire.
+enum TuneStrategyCode : std::uint8_t {
+  kTuneComposed = 0,
+  kTuneMfs = 1,
+  kTunePbs = 2,
+  kTuneOfs = 3,
+};
+
+struct SubmitTuneFrame {
+  std::uint64_t tag = 0;
+  std::string solver;  ///< registry name: sa | da | tabu | pt | qbsolv
+  std::uint8_t strategy = kTuneComposed;
+  double pf_target = 0.8;  ///< used when strategy == kTunePbs
+  std::uint32_t trials = 10;
+  double a_min = 1.0;
+  double a_max = 100.0;
+  std::uint64_t seed = 1;
+  /// Symmetric TSP distance matrix: instance.coefficient(i, j) = d(i, j)
+  /// for i < j; num_vars = city count; diagonal/offset unused.
+  qubo::QuboModel instance;
+  // Appended within protocol v1; decoders default them when absent.
+  std::uint64_t trace_id = 0;
+  std::string instance_name;  ///< corpus / trace label; may be empty
+};
+
+/// Streamed by the server after every completed trial.
+struct TuneStatusFrame {
+  std::uint64_t tag = 0;
+  std::uint32_t trial = 0;  ///< 0-based index of the completed trial
+  std::uint32_t total = 0;  ///< the session's trial budget
+  double relaxation_parameter = 0.0;  ///< probed A
+  double pf = 0.0;
+  double best_length = 0.0;  ///< best feasible length so far; +inf if none
+  // Appended within protocol v1; decoders default them when absent.
+  double energy_avg = 0.0;
+  double energy_std = 0.0;
+  bool feasible = false;
+};
+
+struct CancelTuneFrame {
+  std::uint64_t tag = 0;
+};
+
+/// TuneSessionResult::status on the wire.
+enum TuneSessionCode : std::uint8_t {
+  kTuneDone = 0,
+  kTuneCancelled = 1,
+  kTuneFailed = 2,
+};
+
+struct TuneResultFrame {
+  std::uint64_t tag = 0;
+  std::uint8_t status = kTuneDone;
+  std::string error;  ///< non-empty when status == kTuneFailed
+  double best_length = 0.0;     ///< +inf when no feasible solution
+  double best_parameter = 0.0;  ///< A of the winning trial
+  std::vector<std::uint32_t> best_tour;  ///< empty when infeasible
+  struct Trial {
+    double relaxation_parameter = 0.0;
+    double pf = 0.0;
+    double best_length_so_far = 0.0;
+  };
+  std::vector<Trial> trials;
+  // Appended within protocol v1; decoders default them when absent.
+  std::uint64_t solver_invocations = 0;  ///< actual kernel runs (0 = all
+                                         ///< probes replayed from cache)
+  double wall_ms = 0.0;
+};
+
 /// Service-wide counters plus the serving side of the connection's own
 /// ledger (what THIS connection submitted / was sent).
 struct MetricsFrame {
@@ -189,6 +272,27 @@ ResultFrame decode_result(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_metrics(const MetricsFrame& metrics);
 MetricsFrame decode_metrics(std::span<const std::uint8_t> payload);
+
+/// The SubmitTuneFrame instance transport convention, in one place for both
+/// ends: the symmetric distance matrix rides as upper-triangular QuboModel
+/// coefficients (IEEE-exact), so pack → encode → decode → unpack reproduces
+/// the matrix bit-identically and server-side feature extraction (which
+/// needs only distances, never coordinates) matches the client's instance.
+qubo::QuboModel pack_tsp_instance(const tsp::TspInstance& instance);
+tsp::TspInstance unpack_tsp_instance(const qubo::QuboModel& model,
+                                     std::string name);
+
+std::vector<std::uint8_t> encode_submit_tune(const SubmitTuneFrame& submit);
+SubmitTuneFrame decode_submit_tune(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_tune_status(const TuneStatusFrame& status);
+TuneStatusFrame decode_tune_status(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_cancel_tune(const CancelTuneFrame& cancel);
+CancelTuneFrame decode_cancel_tune(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_tune_result(const TuneResultFrame& result);
+TuneResultFrame decode_tune_result(std::span<const std::uint8_t> payload);
 
 // GetTrace / GetProm requests carry an empty payload (like GetMetrics).
 // Their replies — TraceDump (Chrome trace-event JSON) and PromText

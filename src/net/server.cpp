@@ -16,6 +16,7 @@
 
 #include "io/binary.hpp"
 #include "obs/log.hpp"
+#include "service/tune_service.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "solvers/digital_annealer.hpp"
@@ -53,6 +54,16 @@ struct Server::Impl {
     std::uint64_t trace_id = 0;  ///< client-supplied; stamps the result span
   };
 
+  // One tune session as the serving side tracks it.  `reported` is the
+  // high-water mark of streamed trial events: the persistent notify hook
+  // may enqueue many completions per session, and each reactor pass streams
+  // only events_since(reported), so duplicate wakeups send nothing twice.
+  struct PendingTune {
+    service::TuneHandle handle;
+    std::size_t reported = 0;
+    std::uint64_t trace_id = 0;
+  };
+
   struct Connection {
     std::uint64_t id = 0;
     /// Admission identity: the Hello's self-reported client_id, else
@@ -65,6 +76,7 @@ struct Server::Impl {
     bool handshaken = false;
     bool closing = false;  // flush `out`, then close
     std::map<std::uint64_t, PendingJob> jobs;
+    std::map<std::uint64_t, PendingTune> tunes;
     std::uint64_t submitted = 0;
     std::uint64_t results = 0;
     std::uint64_t cancels = 0;
@@ -103,9 +115,14 @@ struct Server::Impl {
   bool stopped = false;
 
   // Cross-thread state (reactor <-> public API / completion hooks).
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t tag = 0;
+    bool tune = false;  ///< progress/terminal of a tune session, not a job
+  };
   mutable std::mutex m;
   std::condition_variable cv;
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> completions;
+  std::vector<Completion> completions;
   bool stop_requested = false;
   bool draining = false;
   bool drain_done = false;
@@ -128,12 +145,15 @@ struct Server::Impl {
     }
   }
 
-  /// Called by JobHandle::notify hooks — possibly from inside the service
-  /// lock, so this must only enqueue and signal (see job.hpp contract).
-  void on_complete(std::uint64_t conn_id, std::uint64_t tag) {
+  /// Called by JobHandle::notify / TuneHandle::notify hooks — possibly from
+  /// inside the service lock, so this must only enqueue and signal (see
+  /// job.hpp contract).  Tune hooks are persistent (one enqueue per trial
+  /// plus the terminal one); the reactor dedups via PendingTune::reported.
+  void on_complete(std::uint64_t conn_id, std::uint64_t tag,
+                   bool tune = false) {
     {
       std::lock_guard lock(m);
-      completions.emplace_back(conn_id, tag);
+      completions.push_back({conn_id, tag, tune});
     }
     wake();
   }
@@ -225,9 +245,9 @@ struct Server::Impl {
                     "server is draining; submissions refused");
       return;
     }
-    if (conn->jobs.contains(submit.tag)) {
+    if (conn->jobs.contains(submit.tag) || conn->tunes.contains(submit.tag)) {
       queue_error(conn, submit.tag, kErrBadRequest,
-                  "tag already has an in-flight job");
+                  "tag already has an in-flight request");
       return;
     }
     const auto solver = config.registry(submit.solver);
@@ -298,6 +318,100 @@ struct Server::Impl {
     });
   }
 
+  void handle_submit_tune(Connection* conn, const Frame& f) {
+    SubmitTuneFrame submit;
+    try {
+      obs::ScopedSpan span("frame_decode", "net");
+      submit = decode_submit_tune(f.payload);
+    } catch (const std::exception& e) {
+      queue_error(conn, 0, kErrBadFrame,
+                  std::string("undecodable SubmitTune: ") + e.what());
+      return;
+    }
+    if (is_draining()) {
+      queue_refusal(conn, submit.tag, kErrDraining,
+                    "server is draining; submissions refused");
+      return;
+    }
+    if (config.tune == nullptr) {
+      // Capability refusal, not a protocol error: the frame was fine, this
+      // daemon just runs without a tuner (qrossd without --tuner).
+      queue_refusal(conn, submit.tag, kErrTuningUnavailable,
+                    "no tuner loaded on this server");
+      return;
+    }
+    if (conn->jobs.contains(submit.tag) || conn->tunes.contains(submit.tag)) {
+      queue_error(conn, submit.tag, kErrBadRequest,
+                  "tag already has an in-flight request");
+      return;
+    }
+    const auto solver = config.registry(submit.solver);
+    if (solver == nullptr) {
+      queue_error(conn, submit.tag, kErrUnknownSolver,
+                  "unknown solver: " + submit.solver);
+      return;
+    }
+    if (submit.strategy > kTuneOfs) {
+      queue_error(conn, submit.tag, kErrBadRequest,
+                  "unknown tune strategy code " +
+                      std::to_string(submit.strategy));
+      return;
+    }
+    service::TuneHandle handle;
+    try {
+      tsp::TspInstance instance = unpack_tsp_instance(
+          submit.instance, submit.instance_name.empty()
+                               ? "remote-tune-" + std::to_string(submit.tag)
+                               : submit.instance_name);
+      core::TuneOptions options;
+      options.trials = submit.trials;
+      options.a_min = submit.a_min;
+      options.a_max = submit.a_max;
+      options.seed = submit.seed;
+      options.mode = static_cast<core::TuneStrategyKind>(submit.strategy);
+      options.pf_target = submit.pf_target;
+      service::TuneSubmitOptions tune_submit;
+      tune_submit.client_id = conn->client_id;
+      tune_submit.trace_id = submit.trace_id;
+      handle = config.tune->submit(std::move(instance), solver,
+                                   std::move(options), std::move(tune_submit));
+    } catch (const service::AdmissionError& e) {
+      // shutting_down mirrors job admission (kErrDraining); the session
+      // quota is transient capacity pressure — kErrServerFull, the same
+      // "back off and retry" signal as a full accept queue.
+      const std::uint32_t code =
+          e.kind() == service::AdmissionErrorKind::shutting_down
+              ? kErrDraining
+              : (e.retryable() ? kErrServerFull : kErrQuotaExceeded);
+      queue_refusal(conn, submit.tag, code, e.what());
+      return;
+    } catch (const std::exception& e) {
+      // Instance/validation failures are wrong with THIS request.
+      queue_error(conn, submit.tag, kErrBadRequest, e.what());
+      return;
+    }
+    PendingTune pending;
+    pending.handle = handle;
+    pending.trace_id = submit.trace_id;
+    conn->tunes.emplace(submit.tag, std::move(pending));
+    ++conn->submitted;
+    {
+      std::lock_guard lock(m);
+      ++stats.tune_submits;
+    }
+    // Persistent hook: one wakeup per completed trial, one more at the
+    // terminal transition (and immediately if anything already happened).
+    const auto sink_ref = sink;
+    const auto conn_id = conn->id;
+    const auto tag = submit.tag;
+    handle.notify([sink_ref, conn_id, tag] {
+      std::lock_guard lock(sink_ref->m);
+      if (sink_ref->impl != nullptr) {
+        sink_ref->impl->on_complete(conn_id, tag, /*tune=*/true);
+      }
+    });
+  }
+
   void handle_frame(Connection* conn, const Frame& f) {
     ctr_frames_received->inc();
     {
@@ -362,6 +476,31 @@ struct Server::Impl {
       case io::kRecordNetSubmitJob:
         handle_submit(conn, f);
         return;
+      case io::kRecordNetSubmitTune:
+        handle_submit_tune(conn, f);
+        return;
+      case io::kRecordNetCancelTune: {
+        CancelTuneFrame cancel;
+        try {
+          cancel = decode_cancel_tune(f.payload);
+        } catch (const io::DecodeError&) {
+          queue_error(conn, 0, kErrBadFrame, "undecodable CancelTune");
+          return;
+        }
+        const auto it = conn->tunes.find(cancel.tag);
+        if (it == conn->tunes.end()) {
+          queue_error(conn, cancel.tag, kErrUnknownTag,
+                      "no in-flight tune session with this tag");
+          return;
+        }
+        // The TuneResult (status = cancelled) arrives through the normal
+        // notify path once the session thread reaches its stop boundary.
+        it->second.handle.cancel();
+        ++conn->cancels;
+        std::lock_guard lock(m);
+        ++stats.tune_cancels;
+        return;
+      }
       case io::kRecordNetCancelJob: {
         CancelJobFrame cancel;
         try {
@@ -456,6 +595,72 @@ struct Server::Impl {
     ++stats.results_sent;
   }
 
+  /// Streams unreported trial events as TuneStatus frames, then — once the
+  /// session is terminal — the TuneResult frame.  Idempotent per wakeup:
+  /// the persistent hook enqueues one completion per trial, and `reported`
+  /// makes each event go out exactly once.
+  void send_tune_progress(Connection* conn, std::uint64_t tag) {
+    const auto it = conn->tunes.find(tag);
+    if (it == conn->tunes.end()) return;  // tag already retired
+    PendingTune& pending = it->second;
+    const auto events = pending.handle.events_since(pending.reported);
+    for (const auto& event : events) {
+      TuneStatusFrame status;
+      status.tag = tag;
+      status.trial = static_cast<std::uint32_t>(event.index);
+      status.total = static_cast<std::uint32_t>(event.total);
+      status.relaxation_parameter = event.relaxation_parameter;
+      status.pf = event.pf;
+      status.best_length = event.best_length;
+      status.energy_avg = event.energy_avg;
+      status.energy_std = event.energy_std;
+      status.feasible = event.feasible;
+      queue_frame(conn, io::kRecordNetTuneStatus, encode_tune_status(status));
+    }
+    pending.reported += events.size();
+    if (!pending.handle.finished()) return;
+    // Every event precedes the terminal transition on the session thread,
+    // so a finished handle has already streamed its full trial history.
+    const service::TuneHandle handle = pending.handle;
+    const std::uint64_t trace_id = pending.trace_id;
+    const service::TuneSessionResult r = handle.result();
+    TuneResultFrame result;
+    result.tag = tag;
+    switch (r.status) {
+      case service::TuneSessionStatus::done:
+        result.status = kTuneDone;
+        break;
+      case service::TuneSessionStatus::cancelled:
+        result.status = kTuneCancelled;
+        break;
+      default:
+        result.status = kTuneFailed;
+        break;
+    }
+    result.error = r.error;
+    result.best_length = r.outcome.best_length;
+    result.best_parameter = r.outcome.best_parameter;
+    result.best_tour.reserve(r.outcome.best_tour.size());
+    for (const auto city : r.outcome.best_tour) {
+      result.best_tour.push_back(static_cast<std::uint32_t>(city));
+    }
+    result.trials.reserve(r.outcome.trials.size());
+    for (const auto& trial : r.outcome.trials) {
+      result.trials.push_back({trial.relaxation_parameter, trial.pf,
+                               trial.best_length_so_far});
+    }
+    result.solver_invocations = r.solver_invocations;
+    result.wall_ms = r.wall_ms;
+    conn->tunes.erase(it);
+    ++conn->results;
+    {
+      obs::ScopedSpan span("tune_result_flush", "net", handle.id(), trace_id);
+      queue_frame(conn, io::kRecordNetTuneResult, encode_tune_result(result));
+    }
+    std::lock_guard lock(m);
+    ++stats.tune_results_sent;
+  }
+
   // --- connection lifecycle ---------------------------------------------
 
   void close_connection(std::uint64_t id) {
@@ -469,13 +674,22 @@ struct Server::Impl {
         ++cancelled;
       }
     }
+    std::uint64_t cancelled_tunes = 0;
+    for (auto& [tag, pending] : conn->tunes) {
+      if (!pending.handle.finished()) {
+        pending.handle.cancel();
+        ++cancelled_tunes;
+      }
+    }
     obs::log_event(obs::LogLevel::info, "conn_close",
                    {{"conn", std::to_string(id)},
                     {"client_id", conn->client_id},
-                    {"cancelled_jobs", std::to_string(cancelled)}});
+                    {"cancelled_jobs", std::to_string(cancelled)},
+                    {"cancelled_tunes", std::to_string(cancelled_tunes)}});
     conns.erase(it);
     std::lock_guard lock(m);
     stats.disconnect_cancelled_jobs += cancelled;
+    stats.disconnect_cancelled_tunes += cancelled_tunes;
     stats.connections_active = conns.size();
   }
 
@@ -650,15 +864,20 @@ struct Server::Impl {
         }
       }
 
-      // Deliver completed jobs' Result frames.
-      std::vector<std::pair<std::uint64_t, std::uint64_t>> done;
+      // Deliver completed jobs' Result frames and tune sessions' progress.
+      std::vector<Completion> done;
       {
         std::lock_guard lock(m);
         done.swap(completions);
       }
-      for (const auto& [conn_id, tag] : done) {
-        const auto it = conns.find(conn_id);
-        if (it != conns.end()) send_result(it->second.get(), tag);
+      for (const auto& c : done) {
+        const auto it = conns.find(c.conn_id);
+        if (it == conns.end()) continue;
+        if (c.tune) {
+          send_tune_progress(it->second.get(), c.tag);
+        } else {
+          send_result(it->second.get(), c.tag);
+        }
       }
 
       // Accept, read, write.
@@ -698,7 +917,8 @@ struct Server::Impl {
       if (drain_now) {
         bool complete = true;
         for (const auto& [id, conn] : conns) {
-          if (!conn->jobs.empty() || !out_empty(conn.get())) {
+          if (!conn->jobs.empty() || !conn->tunes.empty() ||
+              !out_empty(conn.get())) {
             complete = false;
             break;
           }

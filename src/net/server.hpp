@@ -32,6 +32,10 @@
 #include "service/solve_service.hpp"
 #include "solvers/solver.hpp"
 
+namespace qross::service {
+class TuneService;
+}  // namespace qross::service
+
 namespace qross::net {
 
 /// Maps a wire solver name to a kernel.  Returns null for unknown names
@@ -56,6 +60,11 @@ struct ServerConfig {
   std::size_t max_connections = 256;
   /// Solver-name resolution; tests inject counting/slow solvers here.
   SolverRegistry registry = default_solver_registry;
+  /// Tuning front end (borrowed, must outlive the server).  Null = this
+  /// daemon serves raw solve jobs only; SubmitTune frames are answered with
+  /// kErrTuningUnavailable.  Session concurrency limits live on the
+  /// TuneService itself (TuneServiceConfig::max_sessions).
+  service::TuneService* tune = nullptr;
 };
 
 struct ServerStats {
@@ -71,6 +80,10 @@ struct ServerStats {
   /// Accepts refused at max_connections — each one was answered with a
   /// kErrServerFull frame before the close, never a silent reset.
   std::uint64_t connections_rejected_full = 0;
+  std::uint64_t tune_submits = 0;       ///< tune sessions admitted
+  std::uint64_t tune_results_sent = 0;  ///< TuneResult frames queued
+  std::uint64_t tune_cancels = 0;       ///< CancelTune requests honoured
+  std::uint64_t disconnect_cancelled_tunes = 0;  ///< sessions cancelled by hangup
 };
 
 class Server {

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#if defined(__GNUC__) && defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 #include "common/assert.hpp"
 
 namespace qross::nn {
@@ -18,19 +22,134 @@ void Matrix::fill(double value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
+namespace {
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#define QROSS_NN_AVX2_DISPATCH 1
+#else
+#define QROSS_NN_AVX2_DISPATCH 0
+#endif
+
+/// Per-row product rows [r, rows): the original kernel, kept as the
+/// baseline arm and as the row tail of the blocked arm.  Skips exact-zero
+/// a[k] terms (ReLU activations are mostly zeros).
+void multiply_rows(const double* a_data, const double* b_data, double* o_data,
+                   std::size_t r, std::size_t rows, std::size_t inner,
+                   std::size_t n) {
+  for (; r < rows; ++r) {
+    const double* a = a_data + r * inner;
+    double* o = o_data + r * n;
+    for (std::size_t k = 0; k < inner; ++k) {
+      const double av = a[k];
+      if (av == 0.0) continue;
+      const double* b = b_data + k * n;
+      for (std::size_t c = 0; c < n; ++c) o[c] += av * b[c];
+    }
+  }
+}
+
+#if QROSS_NN_AVX2_DISPATCH
+
+/// Register-blocked AVX2 arm for multi-row batches: 4 output rows x 8
+/// columns of accumulators live in eight ymm registers across the whole k
+/// loop, so each loaded slice of `b` feeds four output rows instead of one.
+/// This is where batching prediction rows from many tuner sessions into
+/// one forward pass beats repeated single-row passes.  Compiled with a
+/// per-function target attribute and reached only when the CPU reports
+/// AVX2 (the qubo SIMD-arm idiom, see replica_block_avx2.cpp).
+///
+/// Bit-identity with the per-row arm is load-bearing (BatchedSurrogate
+/// promises batch composition cannot perturb a row):
+///
+///   * every output element accumulates its products in ascending-k order
+///     starting from +0.0; vector lanes are independent column chains,
+///     never a reassociation within one;
+///   * no FMA: explicit _mm256_mul_pd + _mm256_add_pd, so each product
+///     and each add rounds exactly like the per-row arm's;
+///   * the per-row arm skips a[k] == 0.0 terms while this kernel adds
+///     them, which cannot change any bit: adding the skipped +-0.0
+///     product to an accumulator that is either +0.0 or nonzero is an
+///     identity, and an accumulator seeded with +0.0 can never become
+///     -0.0 under round-to-nearest addition.
+__attribute__((target("avx2"))) void multiply_blocked_avx2(
+    const double* a_data, const double* b_data, double* o_data,
+    std::size_t rows, std::size_t inner, std::size_t n) {
+  constexpr std::size_t kRowBlock = 4;
+  constexpr std::size_t kColBlock = 8;
+  std::size_t r = 0;
+  for (; r + kRowBlock <= rows; r += kRowBlock) {
+    const double* a0 = a_data + (r + 0) * inner;
+    const double* a1 = a_data + (r + 1) * inner;
+    const double* a2 = a_data + (r + 2) * inner;
+    const double* a3 = a_data + (r + 3) * inner;
+    std::size_t c0 = 0;
+    for (; c0 + kColBlock <= n; c0 += kColBlock) {
+      __m256d acc00 = _mm256_setzero_pd(), acc01 = _mm256_setzero_pd();
+      __m256d acc10 = _mm256_setzero_pd(), acc11 = _mm256_setzero_pd();
+      __m256d acc20 = _mm256_setzero_pd(), acc21 = _mm256_setzero_pd();
+      __m256d acc30 = _mm256_setzero_pd(), acc31 = _mm256_setzero_pd();
+      for (std::size_t k = 0; k < inner; ++k) {
+        const double* b = b_data + k * n + c0;
+        const __m256d b0 = _mm256_loadu_pd(b);
+        const __m256d b1 = _mm256_loadu_pd(b + 4);
+        const __m256d av0 = _mm256_set1_pd(a0[k]);
+        acc00 = _mm256_add_pd(acc00, _mm256_mul_pd(av0, b0));
+        acc01 = _mm256_add_pd(acc01, _mm256_mul_pd(av0, b1));
+        const __m256d av1 = _mm256_set1_pd(a1[k]);
+        acc10 = _mm256_add_pd(acc10, _mm256_mul_pd(av1, b0));
+        acc11 = _mm256_add_pd(acc11, _mm256_mul_pd(av1, b1));
+        const __m256d av2 = _mm256_set1_pd(a2[k]);
+        acc20 = _mm256_add_pd(acc20, _mm256_mul_pd(av2, b0));
+        acc21 = _mm256_add_pd(acc21, _mm256_mul_pd(av2, b1));
+        const __m256d av3 = _mm256_set1_pd(a3[k]);
+        acc30 = _mm256_add_pd(acc30, _mm256_mul_pd(av3, b0));
+        acc31 = _mm256_add_pd(acc31, _mm256_mul_pd(av3, b1));
+      }
+      _mm256_storeu_pd(o_data + (r + 0) * n + c0, acc00);
+      _mm256_storeu_pd(o_data + (r + 0) * n + c0 + 4, acc01);
+      _mm256_storeu_pd(o_data + (r + 1) * n + c0, acc10);
+      _mm256_storeu_pd(o_data + (r + 1) * n + c0 + 4, acc11);
+      _mm256_storeu_pd(o_data + (r + 2) * n + c0, acc20);
+      _mm256_storeu_pd(o_data + (r + 2) * n + c0 + 4, acc21);
+      _mm256_storeu_pd(o_data + (r + 3) * n + c0, acc30);
+      _mm256_storeu_pd(o_data + (r + 3) * n + c0 + 4, acc31);
+    }
+    // Column tail: per-element scalar sums, same ascending-k accumulation.
+    for (std::size_t c = c0; c < n; ++c) {
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) {
+        const double bv = b_data[k * n + c];
+        s0 += a0[k] * bv;
+        s1 += a1[k] * bv;
+        s2 += a2[k] * bv;
+        s3 += a3[k] * bv;
+      }
+      o_data[(r + 0) * n + c] = s0;
+      o_data[(r + 1) * n + c] = s1;
+      o_data[(r + 2) * n + c] = s2;
+      o_data[(r + 3) * n + c] = s3;
+    }
+  }
+  multiply_rows(a_data, b_data, o_data, r, rows, inner, n);
+}
+
+#endif  // QROSS_NN_AVX2_DISPATCH
+
+}  // namespace
+
 Matrix Matrix::multiply(const Matrix& other) const {
   QROSS_REQUIRE(cols_ == other.rows_, "multiply shape mismatch");
   Matrix out(rows_, other.cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* a = data_.data() + r * cols_;
-    double* o = out.data_.data() + r * other.cols_;
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double av = a[k];
-      if (av == 0.0) continue;
-      const double* b = other.data_.data() + k * other.cols_;
-      for (std::size_t c = 0; c < other.cols_; ++c) o[c] += av * b[c];
-    }
+#if QROSS_NN_AVX2_DISPATCH
+  static const bool use_avx2 = __builtin_cpu_supports("avx2") != 0;
+  if (use_avx2 && rows_ >= 4 && other.cols_ >= 8) {
+    multiply_blocked_avx2(data_.data(), other.data_.data(), out.data_.data(),
+                          rows_, cols_, other.cols_);
+    return out;
   }
+#endif
+  multiply_rows(data_.data(), other.data_.data(), out.data_.data(), 0, rows_,
+                cols_, other.cols_);
   return out;
 }
 

@@ -90,16 +90,38 @@ Matrix Mlp::forward(const Matrix& batch) {
 
 Matrix Mlp::predict(const Matrix& batch) const {
   QROSS_REQUIRE(batch.cols() == input_dim(), "input dimension mismatch");
-  Matrix current = batch;
+  // Inference-only forward: no layer.input/pre_activation bookkeeping, no
+  // copy of the input batch, and bias + activation fused into one sweep
+  // (per-element arithmetic identical to forward(): add the bias, then
+  // apply the activation).  The batched-prediction service path runs
+  // thousands of rows per pass through here, where the extra sweeps and
+  // copies rival the matrix products themselves.
+  const Matrix* current = &batch;
+  Matrix next;
   for (const auto& layer : layers_) {
-    Matrix z = current.multiply(layer.weights);
-    for (std::size_t r = 0; r < z.rows(); ++r) {
-      for (std::size_t c = 0; c < z.cols(); ++c) z(r, c) += layer.bias(0, c);
+    Matrix z = current->multiply(layer.weights);
+    const double* bias = layer.bias.data().data();
+    const std::size_t cols = z.cols();
+    if (layer.activation == Activation::kReLU) {
+      for (std::size_t r = 0; r < z.rows(); ++r) {
+        double* zr = z.data().data() + r * cols;
+        for (std::size_t c = 0; c < cols; ++c) {
+          const double v = zr[c] + bias[c];
+          zr[c] = v > 0.0 ? v : 0.0;
+        }
+      }
+    } else {
+      for (std::size_t r = 0; r < z.rows(); ++r) {
+        double* zr = z.data().data() + r * cols;
+        for (std::size_t c = 0; c < cols; ++c) {
+          zr[c] = apply_activation(layer.activation, zr[c] + bias[c]);
+        }
+      }
     }
-    for (double& v : z.data()) v = apply_activation(layer.activation, v);
-    current = std::move(z);
+    next = std::move(z);
+    current = &next;
   }
-  return current;
+  return layers_.empty() ? batch : next;
 }
 
 Matrix Mlp::backward(const Matrix& output_grad) {

@@ -14,10 +14,24 @@
 
 namespace qross::core {
 
+const char* to_string(TuneStrategyKind kind) {
+  switch (kind) {
+    case TuneStrategyKind::composed:
+      return "composed";
+    case TuneStrategyKind::mfs:
+      return "mfs";
+    case TuneStrategyKind::pbs:
+      return "pbs";
+    case TuneStrategyKind::ofs:
+      return "ofs";
+  }
+  return "unknown";
+}
+
 namespace {
 
 StrategyContext make_context(
-    const surrogate::SolverSurrogate& surrogate,
+    const surrogate::SurrogateEvaluator& surrogate,
     const std::array<double, surrogate::kNumTspFeatures>& features,
     const TuneOptions& options, std::size_t batch_size) {
   StrategyContext context;
@@ -88,29 +102,71 @@ TuneOutcome QrossTuner::tune(const tsp::TspInstance& instance,
 
   const surrogate::PreparedTspInstance prepared(instance);
   const auto features = surrogate::extract_features(prepared.prepared());
+  const surrogate::SurrogateEvaluator& evaluator =
+      options.evaluator != nullptr ? *options.evaluator : surrogate_;
   const StrategyContext context =
-      make_context(surrogate_, features, options, solve_options_.num_replicas);
+      make_context(evaluator, features, options, solve_options_.num_replicas);
 
   solvers::SolveOptions solve_options = solve_options_;
   solve_options.seed = derive_seed(options.seed, 0x7e);
+  solve_options.stop = options.stop;
   // Routed through the shared solve service when the caller provides one:
   // identical trial calls (same model, options, derived seed) coalesce and
   // hit its result cache, so repeated sessions cost no extra solver calls.
   solvers::SolverPtr effective_solver = solver;
   if (options.service != nullptr) {
-    effective_solver =
-        std::make_shared<service::ServiceSolver>(*options.service, solver);
+    service::SubmitOptions submit;
+    submit.client_id = options.client_id;
+    submit.trace_id = options.trace_id;
+    effective_solver = std::make_shared<service::ServiceSolver>(
+        *options.service, solver, submit);
   }
   solvers::BatchRunner runner(prepared.problem(), effective_solver,
                               solve_options);
-  ComposedStrategy strategy(options.strategy, derive_seed(options.seed, 1));
+
+  // All modes share the seed derivation so switching a session's mode never
+  // perturbs another mode's probed-A sequence.
+  ComposedStrategy composed(options.strategy, derive_seed(options.seed, 1));
+  MinimumFitnessStrategy mfs(options.strategy.min_fitness);
+  PfBasedStrategy pbs(options.pf_target);
+  OnlineFittingStrategy ofs(options.strategy.ofs, derive_seed(options.seed, 1));
+  const auto propose = [&]() -> double {
+    switch (options.mode) {
+      case TuneStrategyKind::mfs:
+        return mfs.propose(context);
+      case TuneStrategyKind::pbs:
+        return pbs.propose(context);
+      case TuneStrategyKind::ofs:
+        return ofs.propose(context);
+      case TuneStrategyKind::composed:
+        break;
+    }
+    return composed.propose(context);
+  };
+  const auto observe = [&](const solvers::SolverSample& sample) {
+    switch (options.mode) {
+      case TuneStrategyKind::mfs:
+      case TuneStrategyKind::pbs:
+        break;  // offline strategies consume no feedback
+      case TuneStrategyKind::ofs:
+        ofs.observe(sample);
+        break;
+      case TuneStrategyKind::composed:
+        composed.observe(sample);
+        break;
+    }
+  };
 
   TuneOutcome outcome;
   outcome.best_length = std::numeric_limits<double>::infinity();
   for (std::size_t trial = 0; trial < options.trials; ++trial) {
-    const double a = strategy.propose(context);
+    if (options.stop.stop_requested()) {
+      outcome.cancelled = true;
+      break;
+    }
+    const double a = propose();
     const solvers::SolverSample sample = runner.run(a);
-    strategy.observe(sample);
+    observe(sample);
 
     if (sample.stats.has_feasible()) {
       const auto tour =
@@ -127,6 +183,24 @@ TuneOutcome QrossTuner::tune(const tsp::TspInstance& instance,
         {a, sample.stats.pf,
          outcome.feasible() ? outcome.best_length
                             : std::numeric_limits<double>::infinity()});
+    if (options.on_trial) {
+      TuneTrialEvent event;
+      event.index = trial;
+      event.total = options.trials;
+      event.relaxation_parameter = a;
+      event.pf = sample.stats.pf;
+      event.energy_avg = sample.stats.energy_avg;
+      event.energy_std = sample.stats.energy_std;
+      event.best_length = outcome.feasible()
+                              ? outcome.best_length
+                              : std::numeric_limits<double>::infinity();
+      event.feasible = outcome.feasible();
+      options.on_trial(event);
+    }
+  }
+  if (options.stop.stop_requested() &&
+      outcome.trials.size() < options.trials) {
+    outcome.cancelled = true;
   }
   return outcome;
 }

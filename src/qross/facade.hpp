@@ -8,9 +8,12 @@
 // workflows.
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "problems/tsp/instance.hpp"
 #include "qross/session.hpp"
@@ -24,6 +27,35 @@ class SolveService;
 }  // namespace qross::service
 
 namespace qross::core {
+
+/// Which proposal strategy drives the session (paper §3.4 / §4.2).  The
+/// default is the paper's composed benchmark mixture; the pure strategies
+/// are selectable individually (e.g. over the wire).
+enum class TuneStrategyKind : std::uint8_t {
+  composed = 0,  ///< MFS, then PBS at the configured targets, then OFS
+  mfs = 1,       ///< minimum-expected-fitness proposal every trial
+  pbs = 2,       ///< Pf-target proposal every trial (see pf_target)
+  ofs = 3,       ///< online sigmoid fitting from trial 0
+};
+
+const char* to_string(TuneStrategyKind kind);
+
+/// Per-trial progress report: the probed A, the batch summary the surrogate
+/// is trained to predict, and the best feasible length so far.
+struct TuneTrialEvent {
+  std::size_t index = 0;  ///< 0-based trial number
+  std::size_t total = 0;  ///< the session's trial budget
+  double relaxation_parameter = 0.0;
+  double pf = 0.0;
+  double energy_avg = 0.0;
+  double energy_std = 0.0;
+  /// Best feasible ORIGINAL-metric length after this trial; +inf until the
+  /// first feasible solution appears.
+  double best_length = std::numeric_limits<double>::infinity();
+  bool feasible = false;  ///< any feasible solution seen so far
+};
+
+using TuneProgressFn = std::function<void(const TuneTrialEvent&)>;
 
 struct TuneOptions {
   /// Number of solver calls allowed for the instance.
@@ -40,6 +72,28 @@ struct TuneOptions {
   /// seed replays from cached batches without invoking the solver.  Null =
   /// direct synchronous calls (the default).
   service::SolveService* service = nullptr;
+
+  /// Proposal strategy for the session.
+  TuneStrategyKind mode = TuneStrategyKind::composed;
+  /// Target feasibility probability when mode == pbs.
+  double pf_target = 0.8;
+  /// When set (borrowed), strategies query this evaluator instead of the
+  /// tuner's own surrogate — the serving layer passes the cross-session
+  /// batching combiner here.  Any conforming evaluator is bit-identical to
+  /// the direct surrogate, so results do not depend on this choice.
+  const surrogate::SurrogateEvaluator* evaluator = nullptr;
+  /// Cooperative cancellation: checked between trials and threaded into
+  /// every solver call, so a signalled session stops within one sweep and
+  /// returns with `TuneOutcome::cancelled` set.  Inert by default.
+  solvers::StopToken stop;
+  /// Invoked after every completed trial (on the tuning thread).  Null by
+  /// default.
+  TuneProgressFn on_trial;
+  /// Attribution forwarded to SubmitOptions when routing through `service`:
+  /// admission quotas / fair share (client_id) and trace stitching
+  /// (trace_id) then apply to the session's probe jobs.
+  std::string client_id;
+  std::uint64_t trace_id = 0;
 };
 
 struct TuneOutcome {
@@ -57,6 +111,9 @@ struct TuneOutcome {
     double best_length_so_far = 0.0;
   };
   std::vector<Trial> trials;
+  /// True when the session's stop token fired: the trial budget was not
+  /// exhausted and `trials` holds only the completed prefix.
+  bool cancelled = false;
 
   bool feasible() const { return !best_tour.empty(); }
 };

@@ -32,6 +32,7 @@
 #include "service/result_cache.hpp"
 #include "service/service_solver.hpp"
 #include "service/solve_service.hpp"
+#include "service/tune_service.hpp"
 
 #include "solvers/analog_noise.hpp"
 #include "solvers/batch_runner.hpp"
@@ -57,7 +58,9 @@
 #include "nn/mlp.hpp"
 #include "nn/trainer.hpp"
 
+#include "surrogate/batched.hpp"
 #include "surrogate/dataset.hpp"
+#include "surrogate/evaluator.hpp"
 #include "surrogate/features.hpp"
 #include "surrogate/model.hpp"
 #include "surrogate/normalizer.hpp"

@@ -29,8 +29,12 @@
 namespace qross::core {
 
 /// Everything a strategy needs to know about the instance being tuned.
+/// The surrogate is consulted through the prediction-only evaluator
+/// interface, so a serving layer can substitute e.g. the cross-session
+/// batching combiner (surrogate/batched.hpp) without the strategies
+/// noticing — any conforming evaluator is bit-identical by contract.
 struct StrategyContext {
-  const surrogate::SolverSurrogate* surrogate = nullptr;
+  const surrogate::SurrogateEvaluator* surrogate = nullptr;
   std::array<double, surrogate::kNumTspFeatures> features{};
   double anchor = 1.0;
   /// Relaxation-parameter search box (prepared-instance units).

@@ -63,6 +63,7 @@ const char* to_string(AdmissionErrorKind kind) {
     case AdmissionErrorKind::shutting_down: return "shutting-down";
     case AdmissionErrorKind::inflight_quota: return "inflight-quota";
     case AdmissionErrorKind::queued_quota: return "queued-quota";
+    case AdmissionErrorKind::session_quota: return "session-quota";
   }
   return "?";
 }

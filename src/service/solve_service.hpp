@@ -154,6 +154,11 @@ enum class AdmissionErrorKind {
   inflight_quota,
   /// The client is at max_queued_per_client (same permanence as above).
   queued_quota,
+  /// The TuneService is at its concurrent-session limit.  Retryable:
+  /// sessions complete on their own, so the same submission can succeed
+  /// later without the client changing anything (the wire maps this to the
+  /// retryable server-full code).
+  session_quota,
 };
 
 const char* to_string(AdmissionErrorKind kind);
@@ -169,9 +174,13 @@ class AdmissionError : public std::invalid_argument {
   AdmissionErrorKind kind() const { return kind_; }
   /// True when retrying the same submission later can succeed without the
   /// caller changing anything (shutdown/drain: a fresh service instance may
-  /// take it).  Quota violations are NOT retryable until the client's own
-  /// earlier jobs finish.
-  bool retryable() const { return kind_ == AdmissionErrorKind::shutting_down; }
+  /// take it; session quota: other sessions finish on their own).  Per-client
+  /// quota violations are NOT retryable until the client's own earlier jobs
+  /// finish.
+  bool retryable() const {
+    return kind_ == AdmissionErrorKind::shutting_down ||
+           kind_ == AdmissionErrorKind::session_quota;
+  }
 
  private:
   AdmissionErrorKind kind_;

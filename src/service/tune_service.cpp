@@ -1,0 +1,356 @@
+#include "service/tune_service.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "surrogate/dataset.hpp"
+#include "surrogate/features.hpp"
+#include "surrogate/pipeline.hpp"
+
+namespace qross::service {
+
+const char* to_string(TuneSessionStatus status) {
+  switch (status) {
+    case TuneSessionStatus::running: return "running";
+    case TuneSessionStatus::done: return "done";
+    case TuneSessionStatus::cancelled: return "cancelled";
+    case TuneSessionStatus::failed: return "failed";
+  }
+  return "?";
+}
+
+bool is_terminal(TuneSessionStatus status) {
+  return status != TuneSessionStatus::running;
+}
+
+namespace detail {
+
+struct TuneSessionState {
+  std::uint64_t id = 0;
+  std::string client_id;
+  std::uint64_t trace_id = 0;
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  TuneSessionStatus status = TuneSessionStatus::running;
+  std::vector<core::TuneTrialEvent> events;  ///< events[i].index == i
+  core::TuneOutcome outcome;
+  std::string error;
+  double wall_ms = 0.0;
+  std::function<void()> hook;
+
+  std::atomic<std::uint64_t> invocations{0};
+  solvers::StopToken stop = solvers::StopToken::create();
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::TuneSessionState;
+
+/// Counts actual kernel invocations attributable to this session.  Name and
+/// config digest are forwarded unchanged so the counted solver shares cache
+/// fingerprints with direct submissions — which is exactly what makes the
+/// count meaningful: a warm-cache replay performs zero invocations.
+class InvocationCountingSolver final : public solvers::QuboSolver {
+ public:
+  InvocationCountingSolver(solvers::SolverPtr inner,
+                           std::atomic<std::uint64_t>* count)
+      : inner_(std::move(inner)), count_(count) {}
+
+  std::string name() const override { return inner_->name(); }
+  std::uint64_t config_digest() const override {
+    return inner_->config_digest();
+  }
+
+  qubo::SolveBatch solve(const qubo::QuboModel& model,
+                         const solvers::SolveOptions& options) const override {
+    count_->fetch_add(1, std::memory_order_relaxed);
+    return inner_->solve(model, options);
+  }
+
+ private:
+  solvers::SolverPtr inner_;
+  std::atomic<std::uint64_t>* count_;
+};
+
+}  // namespace
+
+TuneHandle::TuneHandle(std::shared_ptr<detail::TuneSessionState> state)
+    : state_(std::move(state)) {}
+
+std::uint64_t TuneHandle::id() const {
+  QROSS_REQUIRE(state_ != nullptr, "empty tune handle");
+  return state_->id;
+}
+
+TuneSessionStatus TuneHandle::status() const {
+  QROSS_REQUIRE(state_ != nullptr, "empty tune handle");
+  std::lock_guard lock(state_->mutex);
+  return state_->status;
+}
+
+TuneSessionResult TuneHandle::wait() const {
+  QROSS_REQUIRE(state_ != nullptr, "empty tune handle");
+  std::unique_lock lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return is_terminal(state_->status); });
+  lock.unlock();
+  return result();
+}
+
+bool TuneHandle::wait_for(std::chrono::milliseconds timeout) const {
+  QROSS_REQUIRE(state_ != nullptr, "empty tune handle");
+  std::unique_lock lock(state_->mutex);
+  return state_->cv.wait_for(lock, timeout,
+                             [&] { return is_terminal(state_->status); });
+}
+
+TuneSessionResult TuneHandle::result() const {
+  QROSS_REQUIRE(state_ != nullptr, "empty tune handle");
+  std::lock_guard lock(state_->mutex);
+  QROSS_REQUIRE(is_terminal(state_->status), "session not finished");
+  TuneSessionResult result;
+  result.status = state_->status;
+  result.outcome = state_->outcome;
+  result.error = state_->error;
+  result.solver_invocations =
+      state_->invocations.load(std::memory_order_relaxed);
+  result.wall_ms = state_->wall_ms;
+  return result;
+}
+
+std::vector<core::TuneTrialEvent> TuneHandle::events_since(
+    std::size_t from) const {
+  QROSS_REQUIRE(state_ != nullptr, "empty tune handle");
+  std::lock_guard lock(state_->mutex);
+  if (from >= state_->events.size()) return {};
+  return {state_->events.begin() + static_cast<std::ptrdiff_t>(from),
+          state_->events.end()};
+}
+
+void TuneHandle::notify(std::function<void()> fn) const {
+  QROSS_REQUIRE(state_ != nullptr, "empty tune handle");
+  std::function<void()> fire;
+  {
+    std::lock_guard lock(state_->mutex);
+    if (fn != nullptr &&
+        (!state_->events.empty() || is_terminal(state_->status))) {
+      fire = fn;
+    }
+    state_->hook = std::move(fn);
+  }
+  if (fire) fire();
+}
+
+void TuneHandle::cancel() const {
+  if (state_ == nullptr) return;
+  state_->stop.request_stop();
+}
+
+TuneService::TuneService(core::QrossTuner tuner, SolveService& solve_service,
+                         TuneServiceConfig config)
+    : tuner_(std::move(tuner)),
+      solve_(&solve_service),
+      config_(std::move(config)),
+      batched_(tuner_.surrogate()) {}
+
+TuneService::~TuneService() {
+  shutdown();
+  std::vector<Session> sessions;
+  {
+    std::lock_guard lock(mutex_);
+    sessions.swap(sessions_);
+  }
+  for (auto& session : sessions) {
+    if (session.worker.joinable()) session.worker.join();
+  }
+}
+
+void TuneService::shutdown() {
+  std::lock_guard lock(mutex_);
+  shutting_down_ = true;
+  for (auto& session : sessions_) session.state->stop.request_stop();
+}
+
+TuneHandle TuneService::submit(tsp::TspInstance instance,
+                               solvers::SolverPtr solver,
+                               core::TuneOptions options,
+                               TuneSubmitOptions submit) {
+  QROSS_REQUIRE(solver != nullptr, "solver required");
+  std::lock_guard lock(mutex_);
+  if (shutting_down_) {
+    throw AdmissionError(AdmissionErrorKind::shutting_down,
+                         "tune service is shutting down");
+  }
+  reap_locked();
+  if (config_.max_sessions != 0 && sessions_.size() >= config_.max_sessions) {
+    throw AdmissionError(AdmissionErrorKind::session_quota,
+                         "tune service at max concurrent sessions");
+  }
+
+  auto state = std::make_shared<TuneSessionState>();
+  state->id = next_id_++;
+  state->client_id = std::move(submit.client_id);
+  state->trace_id = submit.trace_id;
+  ++sessions_started_;
+
+  Session session;
+  session.state = state;
+  session.worker = std::thread(
+      [this, state, instance = std::move(instance), solver = std::move(solver),
+       options = std::move(options)]() mutable {
+        run_session(state, std::move(instance), std::move(solver),
+                    std::move(options));
+      });
+  sessions_.push_back(std::move(session));
+  return TuneHandle(state);
+}
+
+void TuneService::run_session(std::shared_ptr<detail::TuneSessionState> state,
+                              tsp::TspInstance instance,
+                              solvers::SolverPtr solver,
+                              core::TuneOptions options) {
+  const auto start = std::chrono::steady_clock::now();
+
+  options.service = solve_;
+  options.evaluator = &batched_;
+  options.stop = state->stop;
+  options.client_id = state->client_id;
+  options.trace_id = state->trace_id;
+  options.on_trial = [state](const core::TuneTrialEvent& event) {
+    std::function<void()> hook;
+    {
+      std::lock_guard lock(state->mutex);
+      state->events.push_back(event);
+      hook = state->hook;
+    }
+    if (hook) hook();
+  };
+
+  const auto counting = std::make_shared<InvocationCountingSolver>(
+      std::move(solver), &state->invocations);
+
+  TuneSessionStatus final_status = TuneSessionStatus::done;
+  core::TuneOutcome outcome;
+  std::string error;
+  try {
+    outcome = tuner_.tune(instance, counting, options);
+    final_status = outcome.cancelled ? TuneSessionStatus::cancelled
+                                     : TuneSessionStatus::done;
+  } catch (const std::exception& e) {
+    // A cancelled probe job can surface as a routed-solve exception (the
+    // job died without a batch); the session's own stop token tells the
+    // two apart.
+    final_status = state->stop.stop_requested() ? TuneSessionStatus::cancelled
+                                                : TuneSessionStatus::failed;
+    error = e.what();
+  }
+
+  if (final_status == TuneSessionStatus::done && !config_.corpus_path.empty()) {
+    std::vector<core::TuneTrialEvent> events;
+    {
+      std::lock_guard lock(state->mutex);
+      events = state->events;
+    }
+    append_corpus(*state, instance, events);
+  }
+
+  // Counter bump BEFORE the terminal transition: once the state reads as
+  // terminal this thread never touches the service mutex again, so
+  // reap_locked() may join it while holding that mutex.
+  {
+    std::lock_guard lock(mutex_);
+    switch (final_status) {
+      case TuneSessionStatus::done: ++sessions_done_; break;
+      case TuneSessionStatus::cancelled: ++sessions_cancelled_; break;
+      case TuneSessionStatus::failed: ++sessions_failed_; break;
+      case TuneSessionStatus::running: break;
+    }
+  }
+
+  std::function<void()> hook;
+  {
+    std::lock_guard lock(state->mutex);
+    state->outcome = std::move(outcome);
+    state->error = std::move(error);
+    state->wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    state->status = final_status;
+    hook = state->hook;
+  }
+  state->cv.notify_all();
+  if (hook) hook();
+}
+
+void TuneService::append_corpus(
+    const detail::TuneSessionState& state, const tsp::TspInstance& instance,
+    const std::vector<core::TuneTrialEvent>& events) {
+  if (events.empty()) return;
+  surrogate::Dataset dataset;
+  const surrogate::PreparedTspInstance prepared(instance);
+  const auto features = surrogate::extract_features(prepared.prepared());
+  const double anchor = surrogate::scale_anchor(features);
+  for (const auto& event : events) {
+    surrogate::DatasetRow row;
+    row.instance_id = state.id;
+    row.features = features;
+    row.scale_anchor = anchor;
+    row.relaxation_parameter = event.relaxation_parameter;
+    row.pf = event.pf;
+    row.energy_avg = event.energy_avg;
+    row.energy_std = event.energy_std;
+    dataset.rows.push_back(row);
+  }
+
+  std::lock_guard lock(mutex_);
+  std::error_code ec;
+  const bool need_header =
+      !std::filesystem::exists(config_.corpus_path, ec) ||
+      std::filesystem::file_size(config_.corpus_path, ec) == 0;
+  std::ofstream os(config_.corpus_path, std::ios::app);
+  if (!os) return;  // corpus is best-effort; serving must not die on it
+  dataset.save_csv(os, need_header);
+  if (os) corpus_rows_ += dataset.rows.size();
+}
+
+void TuneService::reap_locked() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    bool terminal = false;
+    {
+      std::lock_guard lock(it->state->mutex);
+      terminal = is_terminal(it->state->status);
+    }
+    if (terminal) {
+      if (it->worker.joinable()) it->worker.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+TuneServiceMetrics TuneService::metrics() const {
+  TuneServiceMetrics metrics;
+  {
+    std::lock_guard lock(mutex_);
+    metrics.sessions_started = sessions_started_;
+    metrics.sessions_done = sessions_done_;
+    metrics.sessions_cancelled = sessions_cancelled_;
+    metrics.sessions_failed = sessions_failed_;
+    metrics.corpus_rows_appended = corpus_rows_;
+    for (const auto& session : sessions_) {
+      std::lock_guard state_lock(session.state->mutex);
+      if (!is_terminal(session.state->status)) ++metrics.sessions_active;
+    }
+  }
+  metrics.surrogate = batched_.stats();
+  return metrics;
+}
+
+}  // namespace qross::service

@@ -1,0 +1,207 @@
+#pragma once
+
+// TuneService — the paper's actual product as a service.
+//
+// Owns a trained qross::core::QrossTuner and runs concurrent tuning
+// sessions against a shared SolveService.  Each session is one
+// QrossTuner::tune() call on a dedicated session thread, wired so that the
+// serving machinery below applies for free:
+//
+//   * every probe solve-job is routed through the SolveService
+//     (TuneOptions::service), so per-probe result caching, coalescing,
+//     fair-share admission, cancellation and trace stitching all hold — a
+//     repeated session against a warm cache performs ZERO solver
+//     invocations;
+//   * surrogate MLP predictions from concurrent sessions are funnelled
+//     through one shared BatchedSurrogate combiner
+//     (TuneOptions::evaluator), merging rows from unrelated sessions into
+//     single nn::Matrix forward passes — bit-identically to in-process
+//     tuning, so a remote session with the same seed reproduces the exact
+//     probed-A sequence and outcome;
+//   * every completed session appends its (instance features, A, batch
+//     summary) rows to the journal corpus (TuneServiceConfig::corpus_path,
+//     surrogate::Dataset CSV), the raw material for later surrogate
+//     refresh — the paper's "historical instances" story as a serving
+//     flywheel.
+//
+// Sessions are cooperative: cancel() trips the session's StopToken, which
+// both ends the trial loop and stops the in-flight probe solve within one
+// sweep.  The handle mirrors service::JobHandle, with one difference: the
+// notify callback is PERSISTENT — it fires after every completed trial and
+// once more at the terminal transition, because the network reactor streams
+// per-trial progress frames, not just the final result.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "problems/tsp/instance.hpp"
+#include "qross/facade.hpp"
+#include "service/solve_service.hpp"
+#include "surrogate/batched.hpp"
+
+namespace qross::service {
+
+struct TuneServiceConfig {
+  /// Concurrent tuning sessions; a submit at the limit is refused with a
+  /// retryable AdmissionError (session_quota).  0 = unlimited.
+  std::size_t max_sessions = 4;
+  /// When non-empty, every completed (not cancelled/failed) session appends
+  /// its per-trial rows here in surrogate::Dataset CSV form — the corpus a
+  /// later fine_tune() run refreshes the surrogate from.
+  std::string corpus_path;
+};
+
+enum class TuneSessionStatus {
+  running,    ///< the session thread is inside the trial loop
+  done,       ///< all trials completed (outcome may still be infeasible)
+  cancelled,  ///< cancel() / shutdown stopped the session early
+  failed,     ///< the tuner threw; see TuneSessionResult::error
+};
+
+const char* to_string(TuneSessionStatus status);
+bool is_terminal(TuneSessionStatus status);
+
+struct TuneSessionResult {
+  TuneSessionStatus status = TuneSessionStatus::running;
+  core::TuneOutcome outcome;  ///< trials prefix only when cancelled early
+  std::string error;          ///< what() of the tuner exception when failed
+  /// Actual solver kernel invocations this session caused (cache hits and
+  /// coalesced probes do not count) — the serving side of the paper's
+  /// "solution quality per number of solver calls" metric.
+  std::uint64_t solver_invocations = 0;
+  double wall_ms = 0.0;
+};
+
+/// Per-session attribution, forwarded to the SolveService's SubmitOptions
+/// for every probe job.
+struct TuneSubmitOptions {
+  std::string client_id;
+  std::uint64_t trace_id = 0;
+};
+
+namespace detail {
+struct TuneSessionState;
+}  // namespace detail
+
+/// Shared-ownership handle to a tuning session; copyable, may outlive the
+/// TuneService (the destructor drives every session terminal first).
+class TuneHandle {
+ public:
+  TuneHandle() = default;
+
+  explicit TuneHandle(std::shared_ptr<detail::TuneSessionState> state);
+
+  bool valid() const { return state_ != nullptr; }
+  std::uint64_t id() const;
+
+  TuneSessionStatus status() const;
+  bool finished() const { return is_terminal(status()); }
+
+  /// Blocks until the session is terminal; returns the result.
+  TuneSessionResult wait() const;
+  /// Waits up to `timeout`; true iff terminal on return.
+  bool wait_for(std::chrono::milliseconds timeout) const;
+  /// The result of a finished session (QROSS_REQUIRE: finished()).
+  TuneSessionResult result() const;
+
+  /// Completed-trial events with index >= `from`, in order.  The reactor
+  /// polls this with its high-water mark to stream progress frames.
+  std::vector<core::TuneTrialEvent> events_since(std::size_t from) const;
+
+  /// Registers a PERSISTENT progress hook: invoked after every completed
+  /// trial and at the terminal transition — and immediately once at
+  /// registration if anything already happened, so an arming race cannot
+  /// lose events.  Same constraints as JobHandle::notify: it runs on the
+  /// session thread with internals locked, so it must only signal.  One
+  /// hook per session; a second call replaces it.
+  void notify(std::function<void()> fn) const;
+
+  /// Trips the session's StopToken: the trial loop ends at the next
+  /// boundary and the in-flight probe stops within one sweep.  No-op on
+  /// terminal sessions and empty handles.
+  void cancel() const;
+
+ private:
+  std::shared_ptr<detail::TuneSessionState> state_;
+};
+
+struct TuneServiceMetrics {
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_done = 0;
+  std::uint64_t sessions_cancelled = 0;
+  std::uint64_t sessions_failed = 0;
+  std::size_t sessions_active = 0;
+  std::uint64_t corpus_rows_appended = 0;
+  /// Cross-session inference combiner counters.
+  surrogate::BatchedSurrogate::Stats surrogate;
+};
+
+class TuneService {
+ public:
+  /// Takes ownership of the tuner; `solve_service` is borrowed and must
+  /// outlive this object.
+  TuneService(core::QrossTuner tuner, SolveService& solve_service,
+              TuneServiceConfig config = {});
+  /// Cancels every live session and joins all session threads.
+  ~TuneService();
+
+  TuneService(const TuneService&) = delete;
+  TuneService& operator=(const TuneService&) = delete;
+
+  /// Starts a tuning session on its own thread.  `options.service`,
+  /// `options.evaluator`, `options.stop`, `options.on_trial`,
+  /// `options.client_id` and `options.trace_id` are overwritten by the
+  /// service wiring; everything else (trials, box, seed, mode, pf_target)
+  /// is the caller's.  Throws AdmissionError: shutting_down after
+  /// shutdown(), session_quota (retryable) at max_sessions.
+  TuneHandle submit(tsp::TspInstance instance, solvers::SolverPtr solver,
+                    core::TuneOptions options, TuneSubmitOptions submit = {});
+
+  const core::QrossTuner& tuner() const { return tuner_; }
+  /// The shared cross-session inference combiner (for benches/tests).
+  const surrogate::BatchedSurrogate& evaluator() const { return batched_; }
+
+  TuneServiceMetrics metrics() const;
+
+  /// Idempotent early teardown: refuses new sessions and cancels live ones;
+  /// does not wait (the destructor joins).
+  void shutdown();
+
+ private:
+  void run_session(std::shared_ptr<detail::TuneSessionState> state,
+                   tsp::TspInstance instance, solvers::SolverPtr solver,
+                   core::TuneOptions options);
+  void append_corpus(const detail::TuneSessionState& state,
+                     const tsp::TspInstance& instance,
+                     const std::vector<core::TuneTrialEvent>& events);
+  /// Joins threads of terminal sessions and drops them from the live list.
+  void reap_locked();
+
+  core::QrossTuner tuner_;
+  SolveService* solve_;
+  TuneServiceConfig config_;
+  surrogate::BatchedSurrogate batched_;
+
+  mutable std::mutex mutex_;  // guards sessions_, counters, corpus file
+  struct Session {
+    std::shared_ptr<detail::TuneSessionState> state;
+    std::thread worker;
+  };
+  std::vector<Session> sessions_;
+  bool shutting_down_ = false;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t sessions_started_ = 0;
+  std::uint64_t sessions_done_ = 0;
+  std::uint64_t sessions_cancelled_ = 0;
+  std::uint64_t sessions_failed_ = 0;
+  std::uint64_t corpus_rows_ = 0;
+};
+
+}  // namespace qross::service

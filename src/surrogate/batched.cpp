@@ -1,0 +1,92 @@
+#include "surrogate/batched.hpp"
+
+#include <algorithm>
+
+namespace qross::surrogate {
+
+SurrogatePrediction BatchedSurrogate::predict(
+    const std::array<double, kNumTspFeatures>& features, double anchor,
+    double a) const {
+  SurrogateRequest request{features, anchor, a};
+  SurrogatePrediction out;
+  evaluate(std::span<const SurrogateRequest>(&request, 1), &out);
+  return out;
+}
+
+std::vector<SurrogatePrediction> BatchedSurrogate::predict_sweep(
+    const std::array<double, kNumTspFeatures>& features, double anchor,
+    std::span<const double> a_values) const {
+  std::vector<SurrogateRequest> requests(a_values.size());
+  for (std::size_t r = 0; r < a_values.size(); ++r) {
+    requests[r] = SurrogateRequest{features, anchor, a_values[r]};
+  }
+  std::vector<SurrogatePrediction> out(a_values.size());
+  evaluate(requests, out.data());
+  return out;
+}
+
+BatchedSurrogate::Stats BatchedSurrogate::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void BatchedSurrogate::evaluate(std::span<const SurrogateRequest> rows,
+                                SurrogatePrediction* out) const {
+  Pending self{rows, out, false, nullptr};
+  std::unique_lock lock(mutex_);
+  ++stats_.calls;
+  stats_.rows += rows.size();
+  queue_.push_back(&self);
+  if (leader_active_) {
+    // A leader is mid-drain; it will pick this entry up on its next loop.
+    cv_.wait(lock, [&] { return self.done; });
+    if (self.error) std::rethrow_exception(self.error);
+    return;
+  }
+
+  leader_active_ = true;
+  std::exception_ptr own_error;
+  while (!queue_.empty()) {
+    std::vector<Pending*> batch;
+    batch.swap(queue_);
+    std::size_t total = 0;
+    for (const Pending* p : batch) total += p->rows.size();
+    ++stats_.passes;
+    stats_.max_rows_per_pass = std::max<std::uint64_t>(
+        stats_.max_rows_per_pass, total);
+    if (batch.size() > 1) stats_.combined_rows += total;
+    lock.unlock();
+
+    std::exception_ptr error;
+    std::vector<SurrogatePrediction> predictions;
+    try {
+      std::vector<SurrogateRequest> combined;
+      combined.reserve(total);
+      for (const Pending* p : batch) {
+        combined.insert(combined.end(), p->rows.begin(), p->rows.end());
+      }
+      predictions = inner_->predict_batch(combined);
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    lock.lock();
+    std::size_t offset = 0;
+    for (Pending* p : batch) {
+      if (error) {
+        p->error = error;
+      } else {
+        std::copy_n(predictions.begin() + static_cast<std::ptrdiff_t>(offset),
+                    p->rows.size(), p->out);
+      }
+      offset += p->rows.size();
+      p->done = true;
+      if (p == &self) own_error = p->error;
+    }
+    cv_.notify_all();
+  }
+  leader_active_ = false;
+  if (own_error) std::rethrow_exception(own_error);
+}
+
+}  // namespace qross::surrogate

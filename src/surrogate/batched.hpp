@@ -1,0 +1,84 @@
+#pragma once
+
+// BatchedSurrogate — cross-session surrogate inference combiner.
+//
+// Concurrent tuner sessions each fire long runs of small predictions (the
+// MFS/PBS grid scans are 96-128 rows, the Brent refinements single rows) at
+// the shared surrogate.  One-at-a-time that is thousands of 1-row nn::Matrix
+// passes; the matrix path amortises per-pass overhead across rows, so rows
+// from *different* sessions should share a pass whenever they are in flight
+// together.
+//
+// This combiner implements the classic leader/follower batching protocol:
+// every caller enqueues its rows; the first caller to find no leader active
+// becomes the leader and drains the queue in a loop — each drain combines
+// all currently queued rows into one SolverSurrogate::predict_batch call —
+// while later arrivals park on a condition variable until their rows are
+// filled in.  There is no timed batching window: a lone caller pays one
+// uncontended mutex hop, and batching emerges exactly when concurrency
+// exists (the leader's pass runs unlocked, so followers pile up behind it).
+//
+// Correctness: predict_batch accumulates each output row independently in a
+// fixed order, so results are bit-identical to direct predict/predict_sweep
+// calls regardless of which rows happen to share a pass — concurrent tuning
+// sessions stay exactly as deterministic as in-process ones.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "surrogate/model.hpp"
+
+namespace qross::surrogate {
+
+class BatchedSurrogate final : public SurrogateEvaluator {
+ public:
+  /// `inner` is borrowed and must outlive the combiner.
+  explicit BatchedSurrogate(const SolverSurrogate& inner) : inner_(&inner) {}
+
+  BatchedSurrogate(const BatchedSurrogate&) = delete;
+  BatchedSurrogate& operator=(const BatchedSurrogate&) = delete;
+
+  bool is_trained() const override { return inner_->is_trained(); }
+
+  SurrogatePrediction predict(
+      const std::array<double, kNumTspFeatures>& features, double anchor,
+      double a) const override;
+
+  std::vector<SurrogatePrediction> predict_sweep(
+      const std::array<double, kNumTspFeatures>& features, double anchor,
+      std::span<const double> a_values) const override;
+
+  struct Stats {
+    std::uint64_t calls = 0;   ///< predict / predict_sweep entries
+    std::uint64_t rows = 0;    ///< total prediction rows requested
+    std::uint64_t passes = 0;  ///< forward passes actually executed
+    /// Rows that shared a pass with at least one other call — the measure
+    /// of how much cross-session combining actually happened.
+    std::uint64_t combined_rows = 0;
+    std::uint64_t max_rows_per_pass = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    std::span<const SurrogateRequest> rows;
+    SurrogatePrediction* out = nullptr;
+    bool done = false;
+    std::exception_ptr error;
+  };
+
+  /// Enqueues `rows`, runs or waits for a combined pass, fills `out`.
+  void evaluate(std::span<const SurrogateRequest> rows,
+                SurrogatePrediction* out) const;
+
+  const SolverSurrogate* inner_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  mutable std::vector<Pending*> queue_;
+  mutable bool leader_active_ = false;
+  mutable Stats stats_;
+};
+
+}  // namespace qross::surrogate

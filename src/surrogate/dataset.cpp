@@ -12,10 +12,12 @@
 
 namespace qross::surrogate {
 
-void Dataset::save_csv(std::ostream& os) const {
-  os << "instance_id";
-  for (const auto& name : feature_names()) os << ',' << name;
-  os << ",scale_anchor,relaxation_parameter,pf,energy_avg,energy_std\n";
+void Dataset::save_csv(std::ostream& os, bool include_header) const {
+  if (include_header) {
+    os << "instance_id";
+    for (const auto& name : feature_names()) os << ',' << name;
+    os << ",scale_anchor,relaxation_parameter,pf,energy_avg,energy_std\n";
+  }
   os.precision(17);
   for (const auto& row : rows) {
     os << row.instance_id;

@@ -34,7 +34,10 @@ struct DatasetRow {
 struct Dataset {
   std::vector<DatasetRow> rows;
 
-  void save_csv(std::ostream& os) const;
+  /// Writes the rows as CSV.  Pass include_header = false when appending to
+  /// an existing corpus file (the serving flywheel: TuneService appends one
+  /// row per completed-session trial).
+  void save_csv(std::ostream& os, bool include_header = true) const;
   static Dataset load_csv(std::istream& is);
 };
 

@@ -1,0 +1,57 @@
+#pragma once
+
+// SurrogateEvaluator — the prediction-only view of the solver surrogate.
+//
+// The search strategies (MFS/PBS grid scans + Brent refinement) only ever
+// *query* the surrogate; training, persistence and fine-tuning are concerns
+// of the concrete SolverSurrogate.  Splitting the query surface into an
+// abstract interface lets a serving layer substitute a different evaluation
+// path — in particular the cross-session batching combiner, which merges
+// single-row predictions from concurrent tuner sessions into one nn::Matrix
+// forward pass — without the strategies noticing.  Implementations must be
+// bit-identical to SolverSurrogate::predict/predict_sweep for the same
+// inputs: tuning determinism (same seed → same probed-A sequence) depends
+// on it.
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "surrogate/features.hpp"
+
+namespace qross::surrogate {
+
+struct SurrogatePrediction {
+  double pf = 0.0;          ///< probability of feasibility, in [0, 1]
+  double energy_avg = 0.0;  ///< batch-mean objective energy (instance units)
+  double energy_std = 0.0;  ///< batch objective stddev, >= 0
+};
+
+/// One prediction row: an instance (features + energy-scale anchor) probed
+/// at relaxation parameter `a`.  Rows from different instances may share a
+/// single forward pass — each row standardises and de-normalises with its
+/// own anchor.
+struct SurrogateRequest {
+  std::array<double, kNumTspFeatures> features{};
+  double anchor = 1.0;
+  double a = 1.0;
+};
+
+class SurrogateEvaluator {
+ public:
+  virtual ~SurrogateEvaluator() = default;
+
+  virtual bool is_trained() const = 0;
+
+  /// Predicts (Pf, Eavg, Estd) at a single relaxation parameter.
+  virtual SurrogatePrediction predict(
+      const std::array<double, kNumTspFeatures>& features, double anchor,
+      double a) const = 0;
+
+  /// Vectorised prediction over a grid of A values for one instance.
+  virtual std::vector<SurrogatePrediction> predict_sweep(
+      const std::array<double, kNumTspFeatures>& features, double anchor,
+      std::span<const double> a_values) const = 0;
+};
+
+}  // namespace qross::surrogate

@@ -29,6 +29,22 @@ SolverSurrogate::SolverSurrogate(SurrogateConfig config)
   QROSS_REQUIRE(config_.hidden_layers >= 1, "hidden layers must be positive");
 }
 
+SolverSurrogate::SolverSurrogate(const SolverSurrogate& other)
+    : config_(other.config_),
+      trained_(other.trained_),
+      input_standardizer_(other.input_standardizer_),
+      energy_standardizer_(other.energy_standardizer_),
+      pf_net_(other.pf_net_ ? std::make_unique<nn::Mlp>(*other.pf_net_)
+                            : nullptr),
+      energy_net_(other.energy_net_
+                      ? std::make_unique<nn::Mlp>(*other.energy_net_)
+                      : nullptr) {}
+
+SolverSurrogate& SolverSurrogate::operator=(const SolverSurrogate& other) {
+  if (this != &other) *this = SolverSurrogate(other);
+  return *this;
+}
+
 std::pair<nn::TrainHistory, nn::TrainHistory> SolverSurrogate::train(
     const Dataset& dataset) {
   QROSS_REQUIRE(dataset.rows.size() >= 8, "dataset too small to train on");
@@ -144,6 +160,38 @@ std::vector<SurrogatePrediction> SolverSurrogate::predict_sweep(
   const nn::Matrix energies = energy_net_->predict(batch);
   std::vector<SurrogatePrediction> out(a_values.size());
   for (std::size_t r = 0; r < a_values.size(); ++r) {
+    out[r].pf = nn::sigmoid(pf_logits(r, 0));
+    const double eavg =
+        energy_standardizer_.inverse_dim(0, energies(r, 0)) * anchor;
+    const double estd =
+        energy_standardizer_.inverse_dim(1, energies(r, 1)) * anchor;
+    out[r].energy_avg = eavg;
+    out[r].energy_std = std::max(estd, 1e-9 * anchor);
+  }
+  return out;
+}
+
+std::vector<SurrogatePrediction> SolverSurrogate::predict_batch(
+    std::span<const SurrogateRequest> requests) const {
+  QROSS_REQUIRE(trained_, "surrogate not trained");
+  if (requests.empty()) return {};
+  nn::Matrix batch(requests.size(), kNumTspFeatures + 1);
+  // Standardise straight into the batch matrix (same arithmetic as
+  // make_input, without the two per-row heap allocations — at batch sizes
+  // the input assembly otherwise rivals the forward pass itself).
+  std::array<double, kNumTspFeatures + 1> raw;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    QROSS_REQUIRE(requests[r].anchor > 0.0, "anchor must be positive");
+    std::copy(requests[r].features.begin(), requests[r].features.end(),
+              raw.begin());
+    raw.back() = transform_relaxation(requests[r].a);
+    input_standardizer_.transform_into(raw, batch.row(r));
+  }
+  const nn::Matrix pf_logits = pf_net_->predict(batch);
+  const nn::Matrix energies = energy_net_->predict(batch);
+  std::vector<SurrogatePrediction> out(requests.size());
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    const double anchor = requests[r].anchor;
     out[r].pf = nn::sigmoid(pf_logits(r, 0));
     const double eavg =
         energy_standardizer_.inverse_dim(0, energies(r, 0)) * anchor;

@@ -25,16 +25,11 @@
 #include "nn/mlp.hpp"
 #include "nn/trainer.hpp"
 #include "surrogate/dataset.hpp"
+#include "surrogate/evaluator.hpp"
 #include "surrogate/features.hpp"
 #include "surrogate/normalizer.hpp"
 
 namespace qross::surrogate {
-
-struct SurrogatePrediction {
-  double pf = 0.0;          ///< probability of feasibility, in [0, 1]
-  double energy_avg = 0.0;  ///< batch-mean objective energy (instance units)
-  double energy_std = 0.0;  ///< batch objective stddev, >= 0
-};
 
 struct SurrogateConfig {
   std::size_t hidden_units = 48;
@@ -61,9 +56,17 @@ struct SurrogateConfig {
   }
 };
 
-class SolverSurrogate {
+class SolverSurrogate final : public SurrogateEvaluator {
  public:
   explicit SolverSurrogate(SurrogateConfig config = {});
+
+  /// Deep copy (the nets are value types behind unique_ptr): a trained
+  /// surrogate can be handed by value to services and sessions — e.g. a
+  /// TuneService cloning one tuner with different solve options.
+  SolverSurrogate(const SolverSurrogate& other);
+  SolverSurrogate& operator=(const SolverSurrogate& other);
+  SolverSurrogate(SolverSurrogate&&) noexcept = default;
+  SolverSurrogate& operator=(SolverSurrogate&&) noexcept = default;
 
   /// Fits normalisers and both heads on `dataset`.  Returns the two training
   /// histories (Pf head, energy head).
@@ -78,19 +81,29 @@ class SolverSurrogate {
       const Dataset& dataset, std::size_t max_epochs = 200,
       double learning_rate = 2e-3);
 
-  bool is_trained() const { return trained_; }
+  bool is_trained() const override { return trained_; }
 
   /// Predicts (Pf, Eavg, Estd) for an instance described by `features` and
   /// `anchor` at relaxation parameter `a` (prepared-instance units, > 0).
   SurrogatePrediction predict(
       const std::array<double, kNumTspFeatures>& features, double anchor,
-      double a) const;
+      double a) const override;
 
   /// Vectorised prediction over a grid of A values (amortises the feature
   /// standardisation; used by the search strategies).
   std::vector<SurrogatePrediction> predict_sweep(
       const std::array<double, kNumTspFeatures>& features, double anchor,
-      std::span<const double> a_values) const;
+      std::span<const double> a_values) const override;
+
+  /// Multi-request forward pass: every row carries its own instance
+  /// (features + anchor) and relaxation parameter, so prediction rows from
+  /// unrelated tuner sessions share one nn::Matrix pass through both heads.
+  /// Row r of the result is bit-identical to
+  /// `predict(requests[r].features, requests[r].anchor, requests[r].a)` —
+  /// the matrix kernels accumulate each output row independently in a fixed
+  /// order, so batch composition cannot perturb any row.
+  std::vector<SurrogatePrediction> predict_batch(
+      std::span<const SurrogateRequest> requests) const;
 
   void save(std::ostream& os) const;
   static SolverSurrogate load(std::istream& is);

@@ -37,6 +37,16 @@ std::vector<double> Standardizer::transform(std::span<const double> row) const {
   return out;
 }
 
+void Standardizer::transform_into(std::span<const double> row,
+                                  std::span<double> out) const {
+  QROSS_REQUIRE(is_fitted(), "standardizer not fitted");
+  QROSS_REQUIRE(row.size() == means_.size() && out.size() == row.size(),
+                "dimension mismatch");
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - means_[c]) / stds_[c];
+  }
+}
+
 std::vector<double> Standardizer::inverse(std::span<const double> row) const {
   QROSS_REQUIRE(is_fitted(), "standardizer not fitted");
   QROSS_REQUIRE(row.size() == means_.size(), "dimension mismatch");

@@ -26,6 +26,11 @@ class Standardizer {
   std::vector<double> transform(std::span<const double> row) const;
   std::vector<double> inverse(std::span<const double> row) const;
 
+  /// Allocation-free transform into a caller-provided row (same arithmetic
+  /// as transform); the batched prediction path standardises thousands of
+  /// rows per pass directly into the input matrix.
+  void transform_into(std::span<const double> row, std::span<double> out) const;
+
   /// Single-dimension helpers (for scalar targets).
   double transform_dim(std::size_t dim, double value) const;
   double inverse_dim(std::size_t dim, double value) const;

@@ -61,4 +61,22 @@ check "trace: unreachable server exits 1" 1 "cannot connect" \
 check "remote metrics: --prom against dead server exits 1" 1 "cannot connect" \
   "$cli" remote metrics --server unix:"$tmpdir/none.sock" --prom
 
+# `remote tune` contract: flag/input errors exit 2 before any network I/O
+# (the shared RemoteArgs parser and the instance checks run first); only a
+# well-formed request that fails to dial exits 1.
+check "remote tune: unknown flag exits 2" 2 "unknown option" \
+  "$cli" remote tune --server unix:"$tmpdir/none.sock" --cities 6 --sweps 10
+check "remote tune: missing --server exits 2" 2 "missing required option --server" \
+  "$cli" remote tune --cities 6
+check "remote tune: --instance and --cities conflict exits 2" 2 "mutually exclusive" \
+  "$cli" remote tune --server unix:"$tmpdir/none.sock" \
+  --instance "$tmpdir/x.tsp" --cities 6
+check "remote tune: neither --instance nor --cities exits 2" 2 "needs --instance" \
+  "$cli" remote tune --server unix:"$tmpdir/none.sock"
+check "remote tune: unknown strategy exits 2" 2 "unknown strategy" \
+  "$cli" remote tune --server unix:"$tmpdir/none.sock" --cities 6 \
+  --strategy sideways
+check "remote tune: unreachable server exits 1" 1 "cannot connect" \
+  "$cli" remote tune --server unix:"$tmpdir/none.sock" --cities 6
+
 exit "$failures"

@@ -56,6 +56,37 @@ TEST(Matrix, ColumnSums) {
   EXPECT_DOUBLE_EQ(s(0, 2), 9.0);
 }
 
+TEST(Matrix, BlockedMultiplyIsBitIdenticalToPerRowMultiply) {
+  // The multi-row product takes the register-blocked kernel (4-row blocks,
+  // 8-column tiles) while a 1-row product takes the per-row path that also
+  // skips exact-zero a[k] terms.  BatchedSurrogate's bit-identity guarantee
+  // rests on the two paths agreeing bitwise, so exercise awkward shapes
+  // (row and column tails) with ReLU-like data: many exact zeros, mixed
+  // signs and magnitudes.
+  Rng rng(0xB10C);
+  for (const auto [rows, inner, cols] :
+       {std::array<std::size_t, 3>{9, 7, 19}, {4, 48, 8}, {6, 25, 48},
+        {5, 3, 9}, {12, 1, 17}}) {
+    Matrix a(rows, inner);
+    Matrix b(inner, cols);
+    for (auto& v : a.data()) {
+      v = rng.bernoulli(0.4) ? 0.0 : rng.normal(0.0, 3.0);
+    }
+    for (auto& v : b.data()) v = rng.normal(0.0, 2.0);
+    const Matrix blocked = a.multiply(b);
+    for (std::size_t r = 0; r < rows; ++r) {
+      Matrix single(1, inner);
+      std::copy(a.row(r).begin(), a.row(r).end(), single.row(0).begin());
+      const Matrix expected = single.multiply(b);
+      for (std::size_t c = 0; c < cols; ++c) {
+        EXPECT_EQ(blocked(r, c), expected(0, c))
+            << rows << "x" << inner << "x" << cols << " row " << r
+            << " col " << c;
+      }
+    }
+  }
+}
+
 TEST(Matrix, ShapeChecks) {
   const Matrix a(2, 3);
   const Matrix b(2, 3);

@@ -1,0 +1,420 @@
+// Tests for the tuning-as-a-service layer: the BatchedSurrogate combiner
+// (bit-identity and cross-session combining) and TuneService sessions
+// (equivalence with in-process tuning, warm-cache replay, cancellation,
+// corpus append, admission).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "counting_solver.hpp"
+#include "qross/qross.hpp"
+#include "service/tune_service.hpp"
+#include "surrogate/batched.hpp"
+
+namespace qross::service {
+namespace {
+
+using qross::testing::CountingSolver;
+
+solvers::SolverPtr fast_solver() {
+  solvers::QbsolvParams params;
+  params.num_rounds = 1;
+  params.subsolver_sweeps = 10;
+  return std::make_shared<solvers::Qbsolv>(params);
+}
+
+solvers::SolveOptions fast_options() {
+  solvers::SolveOptions options;
+  options.num_replicas = 8;
+  options.num_sweeps = 10;
+  options.seed = 3;
+  return options;
+}
+
+class TuneServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto history = tsp::generate_synthetic_dataset(8, 6, 9, 0xFACADE);
+    surrogate::SweepConfig sweep;
+    sweep.slope_points = 5;
+    sweep.plateau_points = 1;
+    sweep.bisection_steps = 5;
+    tuner_ = new core::QrossTuner(
+        core::QrossTuner::fit(history, fast_solver(), fast_options(), sweep));
+  }
+  static void TearDownTestSuite() {
+    delete tuner_;
+    tuner_ = nullptr;
+  }
+  static core::QrossTuner* tuner_;
+};
+
+core::QrossTuner* TuneServiceTest::tuner_ = nullptr;
+
+// --- BatchedSurrogate -------------------------------------------------------
+
+TEST_F(TuneServiceTest, BatchedSurrogateIsBitIdenticalToDirectCalls) {
+  const auto& inner = tuner_->surrogate();
+  surrogate::BatchedSurrogate batched(inner);
+
+  const auto instance = tsp::generate_uniform(8, 0xB001);
+  const surrogate::PreparedTspInstance prepared(instance);
+  const auto features = surrogate::extract_features(prepared.prepared());
+  const double anchor = surrogate::scale_anchor(features);
+
+  std::vector<double> grid;
+  for (int k = 0; k < 32; ++k) grid.push_back(1.0 + 3.0 * k);
+
+  const auto direct = inner.predict_sweep(features, anchor, grid);
+  const auto combined = batched.predict_sweep(features, anchor, grid);
+  ASSERT_EQ(direct.size(), combined.size());
+  for (std::size_t k = 0; k < direct.size(); ++k) {
+    EXPECT_EQ(direct[k].pf, combined[k].pf) << "row " << k;
+    EXPECT_EQ(direct[k].energy_avg, combined[k].energy_avg);
+    EXPECT_EQ(direct[k].energy_std, combined[k].energy_std);
+  }
+
+  const auto one = batched.predict(features, anchor, grid[7]);
+  EXPECT_EQ(one.pf, direct[7].pf);
+
+  const auto stats = batched.stats();
+  EXPECT_EQ(stats.calls, 2u);
+  EXPECT_EQ(stats.rows, grid.size() + 1);
+  // A lone caller never waits for a batching window: every call ran its own
+  // pass(es), nothing was combined.
+  EXPECT_EQ(stats.combined_rows, 0u);
+}
+
+TEST_F(TuneServiceTest, BatchedSurrogateCombinesConcurrentCallers) {
+  const auto& inner = tuner_->surrogate();
+  surrogate::BatchedSurrogate batched(inner);
+
+  // One thread sweeps a large grid — its forward pass holds the leader role
+  // for a window orders of magnitude longer than a thread wake-up — while
+  // follower threads fire small sweeps that enqueue inside that window and
+  // get drained together on the leader's next loop.
+  constexpr int kFollowers = 3;
+  constexpr int kLeaderIterations = 10;
+  constexpr std::size_t kBigRows = 4096;
+  std::atomic<bool> mismatch{false};
+  std::atomic<bool> leader_done{false};
+  std::uint64_t follower_rows = 0;
+  const auto hammer = [&] {
+    leader_done = false;
+    std::vector<std::thread> workers;
+    workers.emplace_back([&] {
+      const auto instance = tsp::generate_uniform(8, 0xB100);
+      const surrogate::PreparedTspInstance prepared(instance);
+      const auto features = surrogate::extract_features(prepared.prepared());
+      const double anchor = surrogate::scale_anchor(features);
+      std::vector<double> grid;
+      for (std::size_t k = 0; k < kBigRows; ++k) {
+        grid.push_back(2.0 + 0.02 * static_cast<double>(k));
+      }
+      for (int it = 0; it < kLeaderIterations; ++it) {
+        (void)batched.predict_sweep(features, anchor, grid);
+      }
+      leader_done = true;
+    });
+    std::vector<std::uint64_t> rows_done(kFollowers, 0);
+    for (int w = 0; w < kFollowers; ++w) {
+      workers.emplace_back([&, w] {
+        const auto instance = tsp::generate_uniform(8, 0xB101 + w);
+        const surrogate::PreparedTspInstance prepared(instance);
+        const auto features = surrogate::extract_features(prepared.prepared());
+        const double anchor = surrogate::scale_anchor(features);
+        std::vector<double> grid;
+        for (int k = 0; k < 16; ++k) grid.push_back(2.0 + 5.0 * k);
+        const auto expected = inner.predict_sweep(features, anchor, grid);
+        while (!leader_done) {
+          const auto got = batched.predict_sweep(features, anchor, grid);
+          rows_done[static_cast<std::size_t>(w)] += grid.size();
+          for (std::size_t k = 0; k < grid.size(); ++k) {
+            if (got[k].pf != expected[k].pf ||
+                got[k].energy_avg != expected[k].energy_avg ||
+                got[k].energy_std != expected[k].energy_std) {
+              mismatch = true;
+            }
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    for (const auto rows_per_thread : rows_done) {
+      follower_rows += rows_per_thread;
+    }
+  };
+  // Combining needs calls to actually overlap; retry the hammer a few times
+  // so a pathologically serialised schedule cannot fail the test.
+  for (int attempt = 0;
+       attempt < 5 && batched.stats().combined_rows == 0; ++attempt) {
+    hammer();
+  }
+
+  EXPECT_FALSE(mismatch)
+      << "combined passes must be bit-identical to direct evaluation";
+  const auto stats = batched.stats();
+  EXPECT_GT(follower_rows, 0u);
+  // Every row of every call is accounted for exactly once.
+  EXPECT_GT(stats.calls, 0u);
+  // Fewer passes than calls == combining actually happened (followers pile
+  // up behind every leader pass); a combined pass holds rows from more than
+  // one sweep.
+  EXPECT_LT(stats.passes, stats.calls);
+  EXPECT_GT(stats.combined_rows, 0u);
+  EXPECT_GE(stats.max_rows_per_pass, kBigRows);
+}
+
+// --- TuneService sessions ---------------------------------------------------
+
+TEST_F(TuneServiceTest, SessionIsBitIdenticalToInProcessTune) {
+  const auto instance = tsp::generate_uniform(8, 0xB200);
+  core::TuneOptions options;
+  options.trials = 4;
+  options.seed = 21;
+  const core::TuneOutcome direct =
+      tuner_->tune(instance, fast_solver(), options);
+
+  SolveService solve;
+  TuneService tune(*tuner_, solve);
+  TuneHandle handle = tune.submit(instance, fast_solver(), options);
+  const TuneSessionResult result = handle.wait();
+
+  ASSERT_EQ(result.status, TuneSessionStatus::done);
+  ASSERT_EQ(result.outcome.trials.size(), direct.trials.size());
+  for (std::size_t t = 0; t < direct.trials.size(); ++t) {
+    EXPECT_EQ(result.outcome.trials[t].relaxation_parameter,
+              direct.trials[t].relaxation_parameter)
+        << "probed-A sequence diverged at trial " << t;
+    EXPECT_EQ(result.outcome.trials[t].pf, direct.trials[t].pf);
+  }
+  EXPECT_EQ(result.outcome.best_tour, direct.best_tour);
+  EXPECT_EQ(result.outcome.best_length, direct.best_length);
+  EXPECT_EQ(result.solver_invocations, 4u);
+
+  const auto metrics = tune.metrics();
+  EXPECT_EQ(metrics.sessions_started, 1u);
+  EXPECT_EQ(metrics.sessions_done, 1u);
+  EXPECT_EQ(metrics.sessions_active, 0u);
+}
+
+TEST_F(TuneServiceTest, RepeatedSessionReplaysFromCacheWithZeroInvocations) {
+  const auto instance = tsp::generate_uniform(8, 0xB201);
+  core::TuneOptions options;
+  options.trials = 4;
+  options.seed = 23;
+
+  SolveService solve;
+  TuneService tune(*tuner_, solve);
+  const auto first = tune.submit(instance, fast_solver(), options).wait();
+  ASSERT_EQ(first.status, TuneSessionStatus::done);
+  EXPECT_EQ(first.solver_invocations, 4u);
+
+  const auto second = tune.submit(instance, fast_solver(), options).wait();
+  ASSERT_EQ(second.status, TuneSessionStatus::done);
+  EXPECT_EQ(second.solver_invocations, 0u)
+      << "warm repeat must replay every probe from the result cache";
+  EXPECT_EQ(second.outcome.best_tour, first.outcome.best_tour);
+}
+
+TEST_F(TuneServiceTest, ConcurrentSessionsMatchTheirSequentialOutcomes) {
+  core::TuneOptions options;
+  options.trials = 3;
+  options.seed = 29;
+  std::vector<tsp::TspInstance> instances;
+  for (int k = 0; k < 4; ++k) {
+    instances.push_back(tsp::generate_uniform(8, 0xB300 + k));
+  }
+  std::vector<core::TuneOutcome> sequential;
+  for (const auto& instance : instances) {
+    sequential.push_back(tuner_->tune(instance, fast_solver(), options));
+  }
+
+  SolveService solve;
+  TuneService tune(*tuner_, solve);
+  std::vector<TuneHandle> handles;
+  for (const auto& instance : instances) {
+    handles.push_back(tune.submit(instance, fast_solver(), options));
+  }
+  for (std::size_t k = 0; k < handles.size(); ++k) {
+    const auto result = handles[k].wait();
+    ASSERT_EQ(result.status, TuneSessionStatus::done) << "session " << k;
+    ASSERT_EQ(result.outcome.trials.size(), sequential[k].trials.size());
+    for (std::size_t t = 0; t < sequential[k].trials.size(); ++t) {
+      EXPECT_EQ(result.outcome.trials[t].relaxation_parameter,
+                sequential[k].trials[t].relaxation_parameter)
+          << "session " << k << " trial " << t;
+    }
+    EXPECT_EQ(result.outcome.best_tour, sequential[k].best_tour);
+  }
+  // All sessions shared one combiner; their grid scans overlap in time
+  // often enough that at least some rows rode a combined pass.  (Not
+  // asserted strictly — scheduling may serialise them — but the counters
+  // must at least add up.)
+  const auto stats = tune.evaluator().stats();
+  EXPECT_GT(stats.rows, 0u);
+  EXPECT_LE(stats.passes, stats.calls);
+}
+
+TEST_F(TuneServiceTest, EventsStreamPerTrialAndNotifyFires) {
+  const auto instance = tsp::generate_uniform(8, 0xB400);
+  core::TuneOptions options;
+  options.trials = 4;
+  options.seed = 31;
+
+  SolveService solve;
+  TuneService tune(*tuner_, solve);
+  TuneHandle handle = tune.submit(instance, fast_solver(), options);
+  std::atomic<int> notifications{0};
+  handle.notify([&] { ++notifications; });
+  const auto result = handle.wait();
+  ASSERT_EQ(result.status, TuneSessionStatus::done);
+
+  const auto events = handle.events_since(0);
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t t = 0; t < events.size(); ++t) {
+    EXPECT_EQ(events[t].index, t);
+    EXPECT_EQ(events[t].total, 4u);
+    EXPECT_EQ(events[t].relaxation_parameter,
+              result.outcome.trials[t].relaxation_parameter);
+  }
+  EXPECT_EQ(handle.events_since(3).size(), 1u);
+  EXPECT_EQ(handle.events_since(4).size(), 0u);
+  // Persistent hook: once per completed trial + the terminal transition;
+  // the immediate at-registration catch-up replaces any fires it missed.
+  EXPECT_GE(notifications.load(), 1);
+  EXPECT_LE(notifications.load(), 5);
+}
+
+TEST_F(TuneServiceTest, CancelStopsASlowSessionQuickly) {
+  // Same surrogate, but probes that would run ~50M sweeps: only the
+  // session's StopToken can end them promptly.
+  solvers::SolveOptions slow = fast_options();
+  slow.num_sweeps = 50'000'000;
+  const core::QrossTuner slow_tuner(tuner_->surrogate(), slow);
+
+  SolveService solve;
+  TuneService tune(slow_tuner, solve);
+  core::TuneOptions options;
+  options.trials = 3;
+  options.seed = 37;
+  std::atomic<int> invocations{0};
+  const auto counted =
+      std::make_shared<CountingSolver>(fast_solver(), invocations);
+  TuneHandle handle =
+      tune.submit(tsp::generate_uniform(8, 0xB500), counted, options);
+
+  // Let the first probe start, then cancel; the solver checks the token
+  // every sweep, so the session must become terminal almost immediately.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  handle.cancel();
+  ASSERT_TRUE(handle.wait_for(std::chrono::seconds(30)))
+      << "cancelled session failed to stop";
+  const auto result = handle.result();
+  EXPECT_EQ(result.status, TuneSessionStatus::cancelled);
+  EXPECT_LT(result.outcome.trials.size(), 3u);
+  EXPECT_EQ(tune.metrics().sessions_cancelled, 1u);
+}
+
+TEST_F(TuneServiceTest, CompletedSessionsAppendToTheCorpus) {
+  const auto corpus = std::filesystem::path(::testing::TempDir()) /
+                      "qross_tune_corpus.csv";
+  std::filesystem::remove(corpus);
+
+  core::TuneOptions options;
+  options.trials = 3;
+  options.seed = 41;
+  {
+    SolveService solve;
+    TuneServiceConfig config;
+    config.corpus_path = corpus.string();
+    TuneService tune(*tuner_, solve, config);
+    ASSERT_EQ(tune.submit(tsp::generate_uniform(8, 0xB600), fast_solver(),
+                          options)
+                  .wait()
+                  .status,
+              TuneSessionStatus::done);
+    ASSERT_EQ(tune.submit(tsp::generate_uniform(9, 0xB601), fast_solver(),
+                          options)
+                  .wait()
+                  .status,
+              TuneSessionStatus::done);
+    EXPECT_EQ(tune.metrics().corpus_rows_appended, 6u);
+  }
+
+  // The corpus must round-trip through the Dataset loader (one header even
+  // though two sessions appended) and carry real probe rows.
+  std::ifstream is(corpus);
+  ASSERT_TRUE(is.good());
+  const auto dataset = surrogate::Dataset::load_csv(is);
+  ASSERT_EQ(dataset.rows.size(), 6u);
+  for (const auto& row : dataset.rows) {
+    EXPECT_GT(row.relaxation_parameter, 0.0);
+    EXPECT_GE(row.pf, 0.0);
+    EXPECT_LE(row.pf, 1.0);
+  }
+  std::filesystem::remove(corpus);
+}
+
+TEST_F(TuneServiceTest, SessionQuotaIsARetryableAdmissionError) {
+  solvers::SolveOptions slow = fast_options();
+  slow.num_sweeps = 50'000'000;
+  const core::QrossTuner slow_tuner(tuner_->surrogate(), slow);
+
+  SolveService solve;
+  TuneServiceConfig config;
+  config.max_sessions = 1;
+  TuneService tune(slow_tuner, solve, config);
+  core::TuneOptions options;
+  options.trials = 2;
+  TuneHandle first =
+      tune.submit(tsp::generate_uniform(8, 0xB700), fast_solver(), options);
+
+  try {
+    tune.submit(tsp::generate_uniform(8, 0xB701), fast_solver(), options);
+    FAIL() << "second session must be refused at max_sessions = 1";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.kind(), AdmissionErrorKind::session_quota);
+    EXPECT_TRUE(e.retryable());
+  }
+
+  first.cancel();
+  first.wait();
+  // Capacity freed: the retry now succeeds (cancel unblocks the slot even
+  // though the service has not reaped the finished thread yet).
+  TuneHandle second =
+      tune.submit(tsp::generate_uniform(8, 0xB702), fast_solver(), options);
+  second.cancel();
+  second.wait();
+}
+
+TEST_F(TuneServiceTest, ShutdownRefusesNewSessionsAndCancelsLiveOnes) {
+  solvers::SolveOptions slow = fast_options();
+  slow.num_sweeps = 50'000'000;
+  const core::QrossTuner slow_tuner(tuner_->surrogate(), slow);
+
+  SolveService solve;
+  TuneService tune(slow_tuner, solve);
+  core::TuneOptions options;
+  options.trials = 2;
+  TuneHandle live =
+      tune.submit(tsp::generate_uniform(8, 0xB800), fast_solver(), options);
+  tune.shutdown();
+  try {
+    tune.submit(tsp::generate_uniform(8, 0xB801), fast_solver(), options);
+    FAIL() << "submit after shutdown must be refused";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.kind(), AdmissionErrorKind::shutting_down);
+  }
+  ASSERT_TRUE(live.wait_for(std::chrono::seconds(30)));
+  EXPECT_EQ(live.result().status, TuneSessionStatus::cancelled);
+}
+
+}  // namespace
+}  // namespace qross::service

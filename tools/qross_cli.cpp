@@ -15,10 +15,12 @@
 //   cache     — inspect (info), compact, or clear a persistent cache file
 //   remote    — speak the qrossd network protocol: `remote batch` submits a
 //               jobs file to a running daemon (same table as `batch`, jobs
-//               solved remotely), `remote metrics` prints its service
+//               solved remotely), `remote tune` runs a full tuning session
+//               server-side (the daemon's tuner picks the probes; per-trial
+//               progress streams back), `remote metrics` prints its service
 //               counters (--prom for Prometheus text exposition).  A warm
-//               daemon serves repeated batches from its cache with zero
-//               solver invocations.
+//               daemon serves repeated batches — and repeated tune
+//               sessions — from its cache with zero solver invocations.
 //   trace     — fetch a running daemon's trace buffer as Chrome trace-event
 //               JSON (load it in chrome://tracing or ui.perfetto.dev)
 //
@@ -31,6 +33,7 @@
 //   qross batch --jobs jobs.txt --workers 4 --repeat 2 --cache-file run.qsnap
 //   qross cache info --file run.qsnap
 //   qross remote batch --server unix:/run/qross.sock --jobs jobs.txt
+//   qross remote tune --server unix:/run/qross.sock --cities 8 --trials 6
 //   qross remote metrics --server tcp:127.0.0.1:7777
 //
 // Exit codes: 0 success, 1 runtime failure (unreachable server, failed
@@ -78,13 +81,18 @@ commands:
   cache    <info|compact|clear> --file PATH [--max-entries N] [--max-bytes B]
   remote   batch   --server EP --jobs FILE [--solver NAME] [--repeat K]
                    [--replicas B] [--sweeps N] [--seed S] [--deadline-ms D]
-                   [--timeout-ms T] [--client-id NAME] [--trace-id N]
-           metrics --server EP [--timeout-ms T] [--client-id NAME] [--prom]
-           (EP: unix:/path.sock | tcp:host:port | host:port; --client-id
-            groups connections for the daemon's per-client quotas/weights;
-            --trace-id stamps the daemon's trace spans for this run;
-            --prom prints the Prometheus text exposition instead of the
-            human-readable report)
+           tune    --server EP (--instance FILE.tsp | --cities N
+                   [--instance-seed S]) [--solver NAME] [--trials N]
+                   [--strategy composed|mfs|pbs|ofs] [--pf P] [--seed S]
+                   [--a-min X] [--a-max X]
+           metrics --server EP [--prom]
+           (every remote action also takes [--timeout-ms T]
+            [--client-id NAME] [--trace-id N]; EP: unix:/path.sock |
+            tcp:host:port | host:port; --client-id groups connections for
+            the daemon's per-client quotas/weights; --trace-id stamps the
+            daemon's trace spans for this run; --prom prints the Prometheus
+            text exposition instead of the human-readable report; `remote
+            tune` needs the daemon started with --tuner)
   trace    --server EP [--out FILE] [--timeout-ms T] [--client-id NAME]
            (the daemon's trace buffer as Chrome trace-event JSON — stdout
             by default; view in chrome://tracing or ui.perfetto.dev)
@@ -134,13 +142,28 @@ Args parse_args(int argc, char** argv, int first,
 /// Rejects flags the command does not understand — a typo like --sweps must
 /// fail loudly (exit 2) instead of silently running with defaults.
 void require_known_flags(const Args& args,
-                         std::initializer_list<const char*> known) {
+                         const std::vector<const char*>& known) {
   const std::set<std::string> allowed(known.begin(), known.end());
   for (const auto& [key, value] : args) {
     if (!allowed.contains(key)) {
       usage(("unknown option --" + key).c_str());
     }
   }
+}
+
+void require_known_flags(const Args& args,
+                         std::initializer_list<const char*> known) {
+  require_known_flags(args, std::vector<const char*>(known));
+}
+
+/// The flags every networked command shares (see RemoteArgs), plus the
+/// command's own — so the allowlists cannot drift apart per subcommand.
+std::vector<const char*> with_remote_flags(
+    std::initializer_list<const char*> extra) {
+  std::vector<const char*> known = {"server", "client-id", "timeout-ms",
+                                    "trace-id"};
+  known.insert(known.end(), extra.begin(), extra.end());
+  return known;
 }
 
 std::string get_or(const Args& args, const std::string& key,
@@ -539,18 +562,44 @@ int cmd_cache(const std::string& action, const Args& args) {
   usage(("unknown cache action: " + action).c_str());
 }
 
-net::Client make_remote_client(const Args& args) {
-  const auto server = require(args, "server");
-  const auto endpoint = net::Endpoint::parse(server);
-  if (!endpoint.has_value()) {
-    usage(("cannot parse --server endpoint: " + server).c_str());
-  }
+/// The one parse of the flags every networked command shares: endpoint,
+/// client identity (per-client quotas / fair-share weight on the daemon),
+/// request timeout, and the trace correlation id stamped on the daemon's
+/// spans.  `remote batch|tune|metrics` and `trace` all go through here.
+struct RemoteArgs {
+  std::string server;  ///< the raw --server spec, kept for diagnostics
   net::ClientConfig config;
-  config.server = *endpoint;
-  config.client_id = get_or(args, "client-id", "");
-  config.request_timeout_ms =
+  std::uint64_t trace_id = 0;
+};
+
+RemoteArgs parse_remote_args(const Args& args) {
+  RemoteArgs remote;
+  remote.server = require(args, "server");
+  const auto endpoint = net::Endpoint::parse(remote.server);
+  if (!endpoint.has_value()) {
+    usage(("cannot parse --server endpoint: " + remote.server).c_str());
+  }
+  remote.config.server = *endpoint;
+  remote.config.client_id = get_or(args, "client-id", "");
+  remote.config.request_timeout_ms =
       static_cast<int>(std::stol(get_or(args, "timeout-ms", "120000")));
-  return net::Client(config);
+  remote.trace_id = std::stoull(get_or(args, "trace-id", "0"));
+  return remote;
+}
+
+net::Client make_remote_client(const RemoteArgs& remote) {
+  return net::Client(remote.config);
+}
+
+/// Dials and handshakes; on failure prints the one diagnostic every remote
+/// command used to format by hand and exits 1 (runtime failure).
+void connect_or_fail(net::Client& client, const RemoteArgs& remote) {
+  std::string error;
+  if (!client.connect(&error)) {
+    std::fprintf(stderr, "error: cannot connect to %s: %s\n",
+                 remote.server.c_str(), error.c_str());
+    std::exit(1);
+  }
 }
 
 // The networked counterpart of `batch`: the same jobs file, solved by a
@@ -558,27 +607,20 @@ net::Client make_remote_client(const Args& args) {
 // how each result was produced — a second run against a warm daemon reports
 // "0 solver invocations" because every job is a server-side cache hit.
 int cmd_remote_batch(const Args& args) {
-  require_known_flags(args, {"server", "jobs", "solver", "repeat", "replicas",
-                             "sweeps", "seed", "deadline-ms", "timeout-ms",
-                             "client-id", "trace-id"});
+  require_known_flags(args, with_remote_flags({"jobs", "solver", "repeat",
+                                               "replicas", "sweeps", "seed",
+                                               "deadline-ms"}));
+  const RemoteArgs remote = parse_remote_args(args);
   const auto default_solver = get_or(args, "solver", "da");
   const auto specs = load_jobs_file(require(args, "jobs"), default_solver);
   const auto options = cli_solve_options(args, default_solver);
   const auto repeat = std::stoul(get_or(args, "repeat", "1"));
   const auto deadline_ms = std::stol(get_or(args, "deadline-ms", "0"));
-  // One shared trace id for the whole run: `qross trace` stitches the whole
-  // batch out of the daemon's buffer by this correlation id.
-  const auto trace_id = std::stoull(get_or(args, "trace-id", "0"));
 
   // Dial before the (potentially slow) instance loads so a dead endpoint
   // fails fast; the jobs file was already validated above.
-  net::Client client = make_remote_client(args);
-  std::string error;
-  if (!client.connect(&error)) {
-    std::fprintf(stderr, "error: cannot connect to %s: %s\n",
-                 require(args, "server").c_str(), error.c_str());
-    return 1;
-  }
+  net::Client client = make_remote_client(remote);
+  connect_or_fail(client, remote);
 
   std::vector<surrogate::PreparedTspInstance> prepared;
   prepared.reserve(specs.size());
@@ -593,7 +635,9 @@ int cmd_remote_batch(const Args& args) {
     job.num_sweeps = static_cast<std::uint32_t>(options.num_sweeps);
     job.seed = options.seed;
     job.priority = spec.priority;
-    job.trace_id = trace_id;
+    // One shared trace id for the whole run: `qross trace` stitches the
+    // whole batch out of the daemon's buffer by this correlation id.
+    job.trace_id = remote.trace_id;
     if (deadline_ms > 0) {
       job.deadline_ms = static_cast<std::uint32_t>(deadline_ms);
     }
@@ -659,15 +703,127 @@ int cmd_remote_batch(const Args& args) {
   return failed == 0 ? 0 : 1;
 }
 
-int cmd_remote_metrics(const Args& args) {
-  require_known_flags(args, {"server", "timeout-ms", "client-id", "prom"});
-  net::Client client = make_remote_client(args);
-  std::string error;
-  if (!client.connect(&error)) {
-    std::fprintf(stderr, "error: cannot connect to %s: %s\n",
-                 require(args, "server").c_str(), error.c_str());
+// The networked counterpart of `tune`: the daemon's trained tuner picks the
+// probes (its surrogate batches our predictions with other live sessions),
+// every probe solve runs through its cached SolveService, and per-trial
+// progress streams back as TuneStatus frames.  Same seed + same instance =
+// bit-identical probed-A sequence and outcome as in-process `tune`; a rerun
+// against a warm daemon reports 0 solver invocations.
+int cmd_remote_tune(const Args& args) {
+  require_known_flags(
+      args, with_remote_flags({"instance", "cities", "instance-seed", "solver",
+                               "strategy", "pf", "trials", "seed", "a-min",
+                               "a-max"}));
+  const RemoteArgs remote = parse_remote_args(args);
+
+  // The instance travels by value (distance matrix, IEEE-exact), so either
+  // a TSPLIB file or a synthetic instance regenerated from --instance-seed
+  // yields the same session on any client.
+  const tsp::TspInstance instance = [&] {
+    if (args.contains("instance")) {
+      if (args.contains("cities")) {
+        usage("--instance and --cities are mutually exclusive");
+      }
+      return tsp::load_tsplib_file(args.at("instance"));
+    }
+    if (!args.contains("cities")) {
+      usage("remote tune needs --instance FILE.tsp or --cities N");
+    }
+    const auto cities = std::stoul(args.at("cities"));
+    const auto seed = std::stoull(get_or(args, "instance-seed", "1"));
+    return tsp::generate_uniform(cities, seed);
+  }();
+
+  net::RemoteTune tune;
+  tune.solver = get_or(args, "solver", "da");
+  tune.instance = net::pack_tsp_instance(instance);
+  tune.instance_name = instance.name();
+  const auto strategy = get_or(args, "strategy", "composed");
+  if (strategy == "composed") {
+    tune.strategy = net::kTuneComposed;
+  } else if (strategy == "mfs") {
+    tune.strategy = net::kTuneMfs;
+  } else if (strategy == "pbs") {
+    tune.strategy = net::kTunePbs;
+  } else if (strategy == "ofs") {
+    tune.strategy = net::kTuneOfs;
+  } else {
+    usage(("unknown strategy: " + strategy).c_str());
+  }
+  if (args.contains("pf")) tune.pf_target = std::stod(args.at("pf"));
+  tune.trials = static_cast<std::uint32_t>(
+      std::stoul(get_or(args, "trials", "10")));
+  tune.a_min = std::stod(get_or(args, "a-min", "1"));
+  tune.a_max = std::stod(get_or(args, "a-max", "100"));
+  tune.seed = std::stoull(get_or(args, "seed", "1"));
+  tune.trace_id = remote.trace_id;
+
+  net::Client client = make_remote_client(remote);
+  connect_or_fail(client, remote);
+
+  const auto submitted = client.submit_tune(tune);
+  if (!submitted.ok()) {
+    std::fprintf(stderr, "error: tune submit failed (%s): %s\n",
+                 net::to_string(submitted.error().kind),
+                 submitted.error().message.c_str());
     return 1;
   }
+  auto outcome = client.tune_wait(submitted.value());
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "error: tune session lost (%s): %s\n",
+                 net::to_string(outcome.error().kind),
+                 outcome.error().message.c_str());
+    return 1;
+  }
+  const net::TuneResultFrame& result = outcome.value();
+
+  // Same table as in-process `tune`, from the terminal frame (the streamed
+  // TuneStatus frames carry the identical rows incrementally).
+  std::printf("trial  A         Pf     best_so_far\n");
+  for (std::size_t t = 0; t < result.trials.size(); ++t) {
+    const auto& trial = result.trials[t];
+    std::printf("%-6zu %-9.3f %-6.2f %s\n", t + 1,
+                trial.relaxation_parameter, trial.pf,
+                std::isfinite(trial.best_length_so_far)
+                    ? std::to_string(trial.best_length_so_far).c_str()
+                    : "-");
+  }
+  if (result.status == net::kTuneFailed) {
+    std::fprintf(stderr, "error: tune session failed on the server: %s\n",
+                 result.error.c_str());
+    return 1;
+  }
+  if (result.status == net::kTuneCancelled) {
+    std::printf("tune session cancelled after %zu trials\n",
+                result.trials.size());
+    return 1;
+  }
+  const bool feasible = !result.best_tour.empty();
+  if (feasible) {
+    std::printf("\nbest tour (length %.4f, found at A = %.3f):",
+                result.best_length, result.best_parameter);
+    for (const std::uint32_t city : result.best_tour) {
+      std::printf(" %u", city);
+    }
+    std::printf("\n");
+  } else {
+    std::printf("no feasible tour found in %u trials\n", tune.trials);
+  }
+  std::printf(
+      "\nremote tune: %s | %zu trials, %llu solver invocations, "
+      "%.1f ms session wall time\n",
+      instance.name().c_str(), result.trials.size(),
+      static_cast<unsigned long long>(result.solver_invocations),
+      result.wall_ms);
+  return feasible ? 0 : 1;
+}
+
+int cmd_remote_metrics(const Args& args) {
+  require_known_flags(args, with_remote_flags({"prom"}));
+  const RemoteArgs remote = parse_remote_args(args);
+  net::Client client = make_remote_client(remote);
+  connect_or_fail(client, remote);
+  std::string error;
   if (args.contains("prom")) {
     // Raw Prometheus text exposition, suitable for a textfile collector or
     // a curl-style scrape through this CLI.
@@ -740,7 +896,8 @@ int cmd_remote_metrics(const Args& args) {
 // --out the JSON goes to stdout (pipe it straight into a file or jq); with
 // --out it is written there and a one-line summary goes to stdout.
 int cmd_trace(const Args& args) {
-  require_known_flags(args, {"server", "out", "timeout-ms", "client-id"});
+  require_known_flags(args, with_remote_flags({"out"}));
+  const RemoteArgs remote = parse_remote_args(args);
   const auto out_path = get_or(args, "out", "");
   // Open the sink BEFORE dialing: an unwritable --out is an input error
   // (exit 2) and must fail without touching the network.
@@ -749,13 +906,9 @@ int cmd_trace(const Args& args) {
     out_file.open(out_path, std::ios::binary | std::ios::trunc);
     if (!out_file.good()) fail_input("cannot write --out " + out_path);
   }
-  net::Client client = make_remote_client(args);
+  net::Client client = make_remote_client(remote);
+  connect_or_fail(client, remote);
   std::string error;
-  if (!client.connect(&error)) {
-    std::fprintf(stderr, "error: cannot connect to %s: %s\n",
-                 require(args, "server").c_str(), error.c_str());
-    return 1;
-  }
   const auto json = client.trace_dump(&error);
   if (!json.has_value()) {
     std::fprintf(stderr, "error: trace request failed: %s\n", error.c_str());
@@ -788,11 +941,12 @@ int main(int argc, char** argv) {
     }
     if (command == "remote") {
       if (argc < 3 || argv[2][0] == '-') {
-        usage("remote needs an action: batch or metrics");
+        usage("remote needs an action: batch, tune or metrics");
       }
       const std::string action = argv[2];
       const Args remote_args = parse_args(argc, argv, 3, {"prom"});
       if (action == "batch") return cmd_remote_batch(remote_args);
+      if (action == "tune") return cmd_remote_tune(remote_args);
       if (action == "metrics") return cmd_remote_metrics(remote_args);
       usage(("unknown remote action: " + action).c_str());
     }

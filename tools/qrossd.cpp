@@ -5,6 +5,7 @@
 //          [--drain-timeout-ms T] [--max-connections N]
 //          [--max-inflight-per-client N] [--max-queued-per-client N]
 //          [--client-weight W | --client-weight NAME=W]...
+//          [--tuner FILE] [--max-tune-sessions N] [--tune-corpus PATH]
 //          [--log-level LEVEL] [--trace] [--trace-buffer-events N]
 //          [--trace-dump PATH]
 //
@@ -32,6 +33,8 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <unistd.h>
 #include <vector>
@@ -41,6 +44,7 @@
 #include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "service/solve_service.hpp"
+#include "service/tune_service.hpp"
 
 namespace {
 
@@ -86,6 +90,17 @@ anonymous bucket per connection):
                                a weight-2 client is offered two dispatches
                                per scheduling cycle for a weight-1 client's
                                one, within the same priority
+
+tuning as a service (requires a tuner trained with `qross train`):
+  --tuner FILE             load a trained tuner and serve SubmitTune sessions;
+                           without it the daemon answers SubmitTune with
+                           kErrTuningUnavailable
+  --max-tune-sessions N    concurrent tuning sessions (default 4; over the
+                           limit, submits get a retryable kErrServerFull);
+                           0 = unlimited
+  --tune-corpus PATH       append every completed session's (features, A,
+                           batch summary) rows to this dataset CSV — the
+                           corpus for later surrogate refreshes
 
 observability:
   --log-level LEVEL         debug | info | warn | error | off (default info);
@@ -135,6 +150,8 @@ int main(int argc, char** argv) {
   service_config.cache_capacity = 1024;
   qross::net::ServerConfig server_config;
   long drain_timeout_ms = 30000;
+  std::string tuner_path;
+  qross::service::TuneServiceConfig tune_config;
   qross::obs::LogLevel log_level = qross::obs::LogLevel::info;
   bool trace_enabled = false;
   std::size_t trace_buffer_events = 0;  // 0 = keep the recorder's default
@@ -177,6 +194,12 @@ int main(int argc, char** argv) {
           service_config.client_weights[spec.substr(0, eq)] =
               std::stod(spec.substr(eq + 1));
         }
+      } else if (key == "--tuner") {
+        tuner_path = value();
+      } else if (key == "--max-tune-sessions") {
+        tune_config.max_sessions = std::stoul(value());
+      } else if (key == "--tune-corpus") {
+        tune_config.corpus_path = value();
       } else if (key == "--log-level") {
         const std::string spec = value();
         if (!qross::obs::parse_log_level(spec, &log_level)) {
@@ -250,6 +273,34 @@ int main(int argc, char** argv) {
        {"log_level", qross::obs::log_level_name(log_level)}});
 
   qross::service::SolveService service(service_config);
+  // Declared after `service` (its probe jobs flow through it) and
+  // constructed before the server (which borrows it via config.tune), so
+  // destruction runs server -> tune_service -> service.
+  std::unique_ptr<qross::service::TuneService> tune_service;
+  if (!tuner_path.empty()) {
+    std::ifstream tuner_file(tuner_path);
+    if (!tuner_file.good()) {
+      qross::obs::log_event(qross::obs::LogLevel::error, "startup_failed",
+                            {{"reason", "cannot read tuner file"},
+                             {"path", tuner_path}});
+      std::fprintf(stderr, "error: cannot read tuner file %s\n",
+                   tuner_path.c_str());
+      return 1;
+    }
+    try {
+      tune_service = std::make_unique<qross::service::TuneService>(
+          qross::core::QrossTuner::load(tuner_file), service, tune_config);
+    } catch (const std::exception& e) {
+      qross::obs::log_event(qross::obs::LogLevel::error, "startup_failed",
+                            {{"reason", std::string("bad tuner file: ") +
+                                            e.what()},
+                             {"path", tuner_path}});
+      std::fprintf(stderr, "error: bad tuner file %s: %s\n",
+                   tuner_path.c_str(), e.what());
+      return 1;
+    }
+    server_config.tune = tune_service.get();
+  }
   qross::net::Server server(service, server_config);
   std::string error;
   if (!server.start(&error)) {
@@ -277,6 +328,13 @@ int main(int argc, char** argv) {
         service_config.max_inflight_per_client,
         service_config.max_queued_per_client,
         service_config.default_client_weight);
+  }
+  if (tune_service != nullptr) {
+    std::printf(
+        "qrossd tuning: %s | %zu max sessions (0 = unlimited)%s%s\n",
+        tuner_path.c_str(), tune_config.max_sessions,
+        tune_config.corpus_path.empty() ? "" : ", corpus appended to ",
+        tune_config.corpus_path.c_str());
   }
   std::fflush(stdout);
 
@@ -336,6 +394,21 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.protocol_errors),
       static_cast<unsigned long long>(stats.disconnect_cancelled_jobs),
       flushed);
+  if (tune_service != nullptr) {
+    const auto tm = tune_service->metrics();
+    std::printf(
+        "qrossd tuning stopped: %llu sessions (%llu done, %llu cancelled, "
+        "%llu failed) | %llu corpus rows | surrogate combiner: %llu rows in "
+        "%llu passes (max %zu rows/pass)\n",
+        static_cast<unsigned long long>(tm.sessions_started),
+        static_cast<unsigned long long>(tm.sessions_done),
+        static_cast<unsigned long long>(tm.sessions_cancelled),
+        static_cast<unsigned long long>(tm.sessions_failed),
+        static_cast<unsigned long long>(tm.corpus_rows_appended),
+        static_cast<unsigned long long>(tm.surrogate.rows),
+        static_cast<unsigned long long>(tm.surrogate.passes),
+        tm.surrogate.max_rows_per_pass);
+  }
   std::fflush(stdout);
   return 0;
 }
