@@ -1,0 +1,399 @@
+// Latency-under-load curves: open-loop arrival traffic against a live
+// server over loopback TCP, swept across arrival rates, written to
+// BENCH_load.json (schema qross-bench-load-v1).
+//
+// A closed-loop bench (submit 64, wait) can never overload the server — it
+// adapts to whatever the server sustains, so p99 under pressure is
+// invisible.  Here the src/load/ generator plans Poisson and bursty
+// arrival schedules, and the replayer fires them on the clock regardless
+// of completions, so queueing delay, shed rate, and deadline expiry under
+// overload are honestly measured.
+//
+// Hardware normalisation: a fixed jobs/s sweep would saturate a laptop and
+// idle a big server.  Instead a closed-loop pass over the wire first
+// measures this machine's capacity, and every curve row offers a FRACTION
+// of it (0.25x .. 2x).  The committed rows are then comparable across
+// machines: 0.5x of capacity should serve ~everything anywhere, and 2x
+// should shed — which is also what makes the --check gate portable.
+//
+//   ./bench_load [--out-dir DIR] [--check BASELINE_DIR]
+//
+// --check (the CI gate, in bench_service_json's ratio-normalised style):
+// only SUB-CAPACITY rows (rate_fraction <= 0.5) gate, on ok_ratio — the
+// fraction of offered jobs served OK, dimensionless by construction —
+// with a generous 40% relative tolerance.  Overload rows (1x, 2x) and the
+// fairness columns are informational: their exact values depend on timing
+// races the tolerance cannot bound, and what they claim (shed > 0, polite
+// p95 below greedy) is asserted functionally by the loadsmoke CI step.
+// A fresh row with no matching baseline row prints `SKIPPED` and a final
+// summary count — silently ungated coverage is itself a CI smell.
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "load/replayer.hpp"
+#include "load/report.hpp"
+#include "load/workload.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "problems/mvc/mvc.hpp"
+#include "service/solve_service.hpp"
+
+namespace {
+
+using namespace qross;
+
+// Shared shape for every job in this bench: heavy enough that a 2-worker
+// service saturates at a few thousand jobs/s (so open-loop schedules stay
+// small), light enough that one row replays in well under a second.
+constexpr std::size_t kModelVars = 64;
+constexpr double kModelDensity = 0.08;
+constexpr std::uint32_t kReplicas = 8;
+constexpr std::uint32_t kSweeps = 100;
+constexpr std::size_t kWorkers = 2;
+constexpr std::size_t kCapacityJobs = 24;  // stays under max_queued_per_client
+constexpr std::size_t kJobsPerRow = 500;  // expected arrivals per curve row
+constexpr std::uint64_t kSeed = 0x10AD;
+
+/// Only rows offered at or below this fraction of measured capacity gate:
+/// they should serve ~everything on any machine, so their ok_ratio is
+/// stable.  Above it, shed/expiry races make exact ratios timing-noise.
+constexpr double kGatedFractionMax = 0.5;
+constexpr double kLoadRegressionTolerance = 0.40;
+
+struct CurveRow {
+  load::ArrivalKind arrivals = load::ArrivalKind::poisson;
+  double rate_fraction = 0.0;
+  load::LoadSummary summary;
+};
+
+double client_p95(const load::LoadSummary& summary, const std::string& id) {
+  for (const auto& client : summary.clients) {
+    if (client.client_id == id) return client.latency.p95_ms;
+  }
+  return 0.0;
+}
+
+/// Closed-loop capacity over the wire: queue-depth-24 submits through the
+/// same endpoint, solver runs forced (bypass_cache), best of 3 windows.
+double measure_capacity(const net::Endpoint& endpoint) {
+  net::ClientConfig config;
+  config.server = endpoint;
+  config.client_id = "capacity";
+  net::Client client(config);
+  std::string error;
+  if (!client.connect(&error)) {
+    std::fprintf(stderr, "bench_load: capacity client connect failed: %s\n",
+                 error.c_str());
+    std::exit(1);
+  }
+  std::vector<net::RemoteJob> jobs;
+  jobs.reserve(kCapacityJobs);
+  for (std::size_t k = 0; k < kCapacityJobs; ++k) {
+    net::RemoteJob job;
+    job.solver = "da";
+    job.model = mvc::generate_random_mvc(kModelVars, kModelDensity,
+                                         0xCAB0 + k)
+                    .to_qubo(2.0);
+    job.num_replicas = kReplicas;
+    job.num_sweeps = kSweeps;
+    job.bypass_cache = true;  // capacity means solver runs, not cache hits
+    jobs.push_back(std::move(job));
+  }
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch watch;
+    const auto results = client.run(jobs);
+    const double wall = watch.elapsed_seconds();
+    for (const auto& result : results) {
+      if (result.status != service::JobStatus::done) {
+        std::fprintf(stderr, "bench_load: capacity job unexpectedly %s: %s\n",
+                     service::to_string(result.status), result.error.c_str());
+        std::exit(1);
+      }
+    }
+    best = std::max(best,
+                    static_cast<double>(results.size()) / wall);
+  }
+  return best;
+}
+
+CurveRow run_row(const net::Endpoint& endpoint, load::ArrivalKind arrivals,
+                 double fraction, double capacity) {
+  load::WorkloadConfig workload;
+  workload.arrivals = arrivals;
+  workload.rate_per_sec = fraction * capacity;
+  workload.duration_sec = std::clamp(
+      static_cast<double>(kJobsPerRow) / workload.rate_per_sec, 0.1, 2.0);
+  workload.hit_ratio = 0.3;
+  workload.hot_models = 16;
+  workload.model_vars = kModelVars;
+  workload.model_density = kModelDensity;
+  // Greedy floods (4x the polite client's arrivals, no deadline); polite
+  // trickles with a deadline and a 4x server-side fair-share weight — the
+  // curve's fairness columns show DRR keeping its p95 below greedy's.
+  load::ClientSpec greedy;
+  greedy.client_id = "greedy";
+  greedy.mix_weight = 4.0;
+  load::ClientSpec polite;
+  polite.client_id = "polite";
+  polite.mix_weight = 1.0;
+  polite.deadline_mean_ms = 250;
+  polite.deadline_jitter = 0.2;
+  workload.clients = {greedy, polite};
+  // Distinct stream per row so curves don't share arrival randomness.
+  workload.seed = derive_seed(
+      kSeed, (arrivals == load::ArrivalKind::bursty ? 100 : 0) +
+                 static_cast<std::uint64_t>(fraction * 100.0));
+
+  const auto schedule = load::generate_schedule(workload);
+
+  load::ReplayConfig replay_config;
+  replay_config.server = endpoint;
+  replay_config.num_replicas = kReplicas;
+  replay_config.num_sweeps = kSweeps;
+  replay_config.drain_timeout_sec = 20.0;
+  const auto result = load::replay(schedule, replay_config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench_load: replay failed: %s\n",
+                 result.error.c_str());
+    std::exit(1);
+  }
+
+  CurveRow row;
+  row.arrivals = arrivals;
+  row.rate_fraction = fraction;
+  row.summary = load::summarize(schedule, result);
+  std::fprintf(stderr,
+               "%-7s %.2fx  offered %7.1f/s  ok %5.1f%%  shed %5.1f%%  "
+               "p50 %7.2f  p95 %7.2f  p99 %7.2f ms\n",
+               load::to_string(arrivals), fraction,
+               row.summary.offered_per_sec,
+               100.0 * row.summary.counts.ok_ratio(),
+               100.0 * row.summary.counts.shed_rate(),
+               row.summary.latency.p50_ms, row.summary.latency.p95_ms,
+               row.summary.latency.p99_ms);
+  return row;
+}
+
+void write_load_json(const std::string& path, double capacity,
+                     const std::vector<CurveRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"qross-bench-load-v1\",\n");
+  std::fprintf(f, "  \"workers\": %zu,\n", kWorkers);
+  std::fprintf(f,
+               "  \"workload\": \"mvc n=%zu da replicas=%u sweeps=%u, "
+               "greedy:polite 4:1 arrivals, polite weight 4 deadline 250ms, "
+               "hit_ratio 0.3\",\n",
+               kModelVars, kReplicas, kSweeps);
+  std::fprintf(f, "  \"capacity_jobs_per_sec\": %.1f,\n", capacity);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const auto& row = rows[k];
+    const auto& s = row.summary;
+    const double greedy_p95 = client_p95(s, "greedy");
+    const double polite_p95 = client_p95(s, "polite");
+    std::fprintf(
+        f,
+        "    {\"arrivals\": \"%s\", \"rate_fraction\": %.2f, "
+        "\"offered_per_sec\": %.1f, \"jobs\": %zu, "
+        "\"completed_per_sec\": %.1f, \"ok_ratio\": %.4f, "
+        "\"shed_rate\": %.4f, \"expired_rate\": %.4f, "
+        "\"cache_hits\": %zu, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"greedy_p95_ms\": %.3f, "
+        "\"polite_p95_ms\": %.3f, \"polite_greedy_p95_ratio\": %.3f}%s\n",
+        load::to_string(row.arrivals), row.rate_fraction, s.offered_per_sec,
+        s.counts.jobs, s.completed_per_sec, s.counts.ok_ratio(),
+        s.counts.shed_rate(), s.counts.expired_rate(), s.counts.cache_hits,
+        s.latency.p50_ms, s.latency.p95_ms, s.latency.p99_ms, greedy_p95,
+        polite_p95, greedy_p95 > 0.0 ? polite_p95 / greedy_p95 : 0.0,
+        k + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// --- regression gate (bench_service_json's scraper, gating style) -----------
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.good()) return {};
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> extract_values(const std::string& text,
+                                        const std::string& key) {
+  std::vector<std::string> values;
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    if (pos < text.size() && text[pos] == '"') {
+      const std::size_t end = text.find('"', pos + 1);
+      if (end == std::string::npos) break;
+      values.push_back(text.substr(pos + 1, end - pos - 1));
+      pos = end + 1;
+    } else {
+      std::size_t end = pos;
+      while (end < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[end])) ||
+              text[end] == '.' || text[end] == '-' || text[end] == 'e' ||
+              text[end] == 'E' || text[end] == '+')) {
+        ++end;
+      }
+      values.push_back(text.substr(pos, end - pos));
+      pos = end;
+    }
+  }
+  return values;
+}
+
+int check_against_baseline(const std::string& baseline_dir,
+                           const std::vector<CurveRow>& fresh) try {
+  const std::string path = baseline_dir + "/BENCH_load.json";
+  const std::string text = slurp(path);
+  if (text.empty()) {
+    std::fprintf(stderr, "load gate: cannot read baseline %s\n", path.c_str());
+    return 1;
+  }
+  const auto arrivals = extract_values(text, "arrivals");
+  const auto fractions = extract_values(text, "rate_fraction");
+  const auto ok_ratios = extract_values(text, "ok_ratio");
+  if (arrivals.size() != fractions.size() ||
+      fractions.size() != ok_ratios.size()) {
+    std::fprintf(stderr, "load gate: malformed baseline %s\n", path.c_str());
+    return 1;
+  }
+  int regressions = 0;
+  int skipped = 0;
+  for (const auto& row : fresh) {
+    const std::string kind = load::to_string(row.arrivals);
+    bool matched = false;
+    for (std::size_t k = 0; k < arrivals.size(); ++k) {
+      if (arrivals[k] != kind ||
+          std::abs(std::stod(fractions[k]) - row.rate_fraction) > 1e-6) {
+        continue;
+      }
+      matched = true;
+      const double fresh_ok = row.summary.counts.ok_ratio();
+      const double base_ok = std::stod(ok_ratios[k]);
+      if (row.rate_fraction > kGatedFractionMax + 1e-9) {
+        std::fprintf(stderr,
+                     "load gate: %-7s %.2fx ok_ratio %.3f vs baseline %.3f "
+                     "(overload row, informational)\n",
+                     kind.c_str(), row.rate_fraction, fresh_ok, base_ok);
+        break;
+      }
+      const double floor = base_ok * (1.0 - kLoadRegressionTolerance);
+      const bool bad = fresh_ok < floor;
+      std::fprintf(stderr,
+                   "load gate: %-7s %.2fx ok_ratio %.3f vs baseline %.3f "
+                   "(floor %.3f) %s\n",
+                   kind.c_str(), row.rate_fraction, fresh_ok, base_ok, floor,
+                   bad ? "REGRESSION" : "ok");
+      if (bad) ++regressions;
+      break;
+    }
+    if (!matched) {
+      std::fprintf(stderr, "load gate: SKIPPED %s %.2fx (no baseline row)\n",
+                   kind.c_str(), row.rate_fraction);
+      ++skipped;
+    }
+  }
+  if (skipped > 0) {
+    std::fprintf(stderr,
+                 "load gate: %d section(s) SKIPPED — update the committed "
+                 "BENCH_load.json to restore gate coverage\n",
+                 skipped);
+  }
+  return regressions;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "load gate: malformed baseline value in %s: %s\n",
+               baseline_dir.c_str(), e.what());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  std::string baseline_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out-dir DIR] [--check BASELINE_DIR]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+
+  // Quotas tight enough that genuine overload sheds (the 2x rows), loose
+  // enough that sub-capacity rows admit everything.
+  service::ServiceConfig config;
+  config.num_workers = kWorkers;
+  config.cache_capacity = 256;
+  config.max_queued_per_client = 32;
+  config.max_inflight_per_client = 64;
+  config.client_weights["polite"] = 4.0;
+  service::SolveService svc(config);
+
+  net::ServerConfig server_config;
+  server_config.listen.push_back(*net::Endpoint::parse("tcp:127.0.0.1:0"));
+  net::Server server(svc, server_config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "bench_load: server start failed: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  const auto endpoint = server.endpoints().front();
+
+  const double capacity = measure_capacity(endpoint);
+  std::fprintf(stderr, "capacity: %.1f jobs/s closed-loop over tcp "
+               "(%zu workers)\n", capacity, kWorkers);
+
+  std::vector<CurveRow> rows;
+  for (const auto kind :
+       {load::ArrivalKind::poisson, load::ArrivalKind::bursty}) {
+    for (const double fraction : {0.25, 0.5, 1.0, 2.0}) {
+      rows.push_back(run_row(endpoint, kind, fraction, capacity));
+    }
+  }
+  server.stop();
+
+  write_load_json(out_dir + "/BENCH_load.json", capacity, rows);
+
+  if (!baseline_dir.empty()) {
+    const int regressions = check_against_baseline(baseline_dir, rows);
+    if (regressions > 0) {
+      std::fprintf(stderr, "load gate: %d regression(s) beyond %.0f%%\n",
+                   regressions, 100.0 * kLoadRegressionTolerance);
+      return 1;
+    }
+    std::fprintf(stderr, "load gate: ok\n");
+  }
+  return 0;
+}

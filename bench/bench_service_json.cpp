@@ -376,6 +376,16 @@ int check_against_baseline(const std::string& baseline_dir,
   auto simd_speedups = extract_values(text, "simd_speedup");
   if (simd_speedups.size() != workloads.size()) simd_speedups.clear();
   int regressions = 0;
+  // Every gate this run did NOT apply is announced — a baseline that
+  // silently stopped covering a section must be visible in the CI log, not
+  // discovered months later when the ungated path regresses.
+  int skipped = 0;
+  if (simd_speedups.empty()) {
+    std::fprintf(stderr,
+                 "perf gate: SKIPPED simd (baseline has no simd_speedup "
+                 "column)\n");
+    ++skipped;
+  }
   for (const auto& row : fresh) {
     bool matched = false;
     for (std::size_t k = 0; k < workloads.size(); ++k) {
@@ -402,9 +412,21 @@ int check_against_baseline(const std::string& baseline_dir,
       // sparse, both measured this run).  Skipped when either side lacks
       // an AVX2 number — a scalar-only runner must not fail, and neither
       // must a fresh AVX2 box checked against a scalar-measured baseline.
-      if (!simd_speedups.empty() && row.simd_speedup() > 0.0) {
-        const double base_simd = std::stod(simd_speedups[k]);
-        if (base_simd > 0.0) {
+      if (!simd_speedups.empty()) {
+        if (row.simd_speedup() <= 0.0) {
+          std::fprintf(stderr,
+                       "perf gate: SKIPPED simd %-4s n=%-4zu (no AVX2 on "
+                       "this runner)\n",
+                       row.workload.c_str(), row.n);
+          ++skipped;
+        } else if (const double base_simd = std::stod(simd_speedups[k]);
+                   base_simd <= 0.0) {
+          std::fprintf(stderr,
+                       "perf gate: SKIPPED simd %-4s n=%-4zu (baseline "
+                       "measured without AVX2)\n",
+                       row.workload.c_str(), row.n);
+          ++skipped;
+        } else {
           const double simd_floor =
               base_simd * (1.0 - kSweepRegressionTolerance);
           const bool simd_bad = row.simd_speedup() < simd_floor;
@@ -420,9 +442,10 @@ int check_against_baseline(const std::string& baseline_dir,
     }
     if (!matched) {
       std::fprintf(stderr,
-                   "perf gate: %-4s n=%zu has no baseline row (new workload, "
-                   "not gated)\n",
+                   "perf gate: SKIPPED sweep %-4s n=%zu (no baseline row — "
+                   "new workload, not gated)\n",
                    row.workload.c_str(), row.n);
+      ++skipped;
     }
   }
   // Service throughput: informational only (see file comment).
@@ -433,6 +456,17 @@ int check_against_baseline(const std::string& baseline_dir,
                  "perf gate: service cold %.1f jobs/s vs baseline %.1f "
                  "(informational)\n",
                  fresh_cold_jobs_per_sec, std::stod(jobs_per_sec.front()));
+  } else {
+    std::fprintf(stderr,
+                 "perf gate: SKIPPED service (no BENCH_service.json "
+                 "baseline)\n");
+    ++skipped;
+  }
+  if (skipped > 0) {
+    std::fprintf(stderr,
+                 "perf gate: %d gate section(s) SKIPPED — see lines above; "
+                 "refresh the committed baselines to restore coverage\n",
+                 skipped);
   }
   return regressions;
 } catch (const std::exception& e) {

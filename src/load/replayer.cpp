@@ -1,0 +1,224 @@
+#include "load/replayer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <latch>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "net/client.hpp"
+
+namespace qross::load {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Poll granularity while waiting for the next arrival: poll() returns the
+/// moment data lands, so this bounds only the arrival-check cadence.
+constexpr int kPollSliceMs = 5;
+/// Poll granularity during the post-replay straggler drain.
+constexpr int kDrainSliceMs = 20;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool is_admission_refusal(std::uint32_t code) {
+  // Quota, server-full, and draining are the server *shedding load* — the
+  // behaviour this harness exists to measure.  Everything else (bad
+  // request, unknown solver) is a failure of the request itself.
+  return code == net::kErrQuotaExceeded || code == net::kErrServerFull ||
+         code == net::kErrDraining;
+}
+
+}  // namespace
+
+const char* to_string(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::ok: return "ok";
+    case Outcome::shed: return "shed";
+    case Outcome::expired: return "expired";
+    case Outcome::failed: return "failed";
+    case Outcome::lost: return "lost";
+  }
+  return "?";
+}
+
+ReplayResult replay(const Schedule& schedule, const ReplayConfig& config) {
+  const auto& clients = schedule.config.clients;
+  ReplayResult result;
+  result.records.assign(schedule.jobs.size(), JobRecord{});
+  for (std::size_t i = 0; i < schedule.jobs.size(); ++i) {
+    result.records[i].scheduled_sec = schedule.jobs[i].arrival_sec;
+  }
+
+  // Per-client slices (already in arrival order — the schedule is sorted).
+  std::vector<std::vector<std::size_t>> slices(clients.size());
+  for (std::size_t i = 0; i < schedule.jobs.size(); ++i) {
+    slices[schedule.jobs[i].client].push_back(i);
+  }
+
+  // Threads connect and pre-materialize their submissions first; the replay
+  // clock's zero is captured only once every connection is up, so setup
+  // cost never skews the schedule.
+  std::latch ready(static_cast<std::ptrdiff_t>(clients.size()));
+  std::latch go(1);
+  Clock::time_point start{};
+  std::mutex error_mutex;
+
+  auto worker = [&](std::uint32_t client_index) {
+    const auto& my_jobs = slices[client_index];
+
+    net::ClientConfig client_config;
+    client_config.server = config.server;
+    client_config.client_id = clients[client_index].client_id;
+    client_config.connect_timeout_ms = config.connect_timeout_ms;
+    // Open-loop: a refusal or a dead server is a measurement, not a thing
+    // to smooth over with redials and backoff sleeps that would stall the
+    // schedule.
+    client_config.reconnect_attempts = 1;
+    client_config.reconnect_backoff_ms = 0;
+    net::Client client(client_config);
+
+    std::vector<net::RemoteJob> submissions;
+    submissions.reserve(my_jobs.size());
+    for (const auto index : my_jobs) {
+      const auto& scheduled = schedule.jobs[index];
+      net::RemoteJob job;
+      job.solver = config.solver;
+      job.model = materialize_model(schedule.config, scheduled);
+      job.num_replicas = config.num_replicas;
+      job.num_sweeps = config.num_sweeps;
+      job.seed = config.solve_seed;
+      job.priority = scheduled.priority;
+      job.deadline_ms = scheduled.deadline_ms;
+      submissions.push_back(std::move(job));
+    }
+
+    std::string error;
+    const bool connected = client.connect(&error);
+    if (!connected) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (result.error.empty()) {
+        result.error = "client '" + clients[client_index].client_id +
+                       "' connect failed: " + error;
+      }
+    }
+    ready.count_down();
+    go.wait();
+    if (!connected) return;  // this slice's jobs stay lost
+
+    std::map<std::uint64_t, std::size_t> inflight;  // tag → job index
+
+    const auto classify = [&](double at_sec) {
+      // Errors BEFORE results: a permanent refusal both lands in the error
+      // queue and synthesizes a failed ResultFrame — the error's code is
+      // what distinguishes shed from failed, so it must win, and forget()
+      // then drops the synthesized duplicate.
+      for (const auto& err : client.take_errors()) {
+        const auto it = inflight.find(err.tag);
+        if (it == inflight.end()) continue;
+        auto& record = result.records[it->second];
+        record.outcome = is_admission_refusal(err.code) ? Outcome::shed
+                                                        : Outcome::failed;
+        record.completed_sec = at_sec;
+        client.forget(err.tag);
+        inflight.erase(it);
+      }
+      for (const auto& frame : client.take_ready_results()) {
+        const auto it = inflight.find(frame.tag);
+        if (it == inflight.end()) continue;
+        auto& record = result.records[it->second];
+        switch (frame.status) {
+          case service::JobStatus::done:
+            record.outcome = Outcome::ok;
+            record.cache_hit = frame.cache_hit;
+            break;
+          case service::JobStatus::expired:
+            record.outcome = Outcome::expired;
+            break;
+          default:
+            record.outcome = Outcome::failed;
+            break;
+        }
+        record.completed_sec = at_sec;
+        inflight.erase(it);
+      }
+    };
+
+    const auto fail_connection = [&](const std::string& why) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (result.error.empty()) {
+        result.error = "client '" + clients[client_index].client_id +
+                       "' connection failed mid-replay: " + why;
+      }
+    };
+
+    bool dead = false;
+    for (std::size_t k = 0; k < my_jobs.size() && !dead; ++k) {
+      const auto index = my_jobs[k];
+      const double due = schedule.jobs[index].arrival_sec;
+      // Pump completions until this submission is due.  poll() wakes the
+      // moment data arrives, so completions are stamped promptly even
+      // while the schedule is idle.
+      while (true) {
+        const double gap_ms = (due - seconds_since(start)) * 1e3;
+        if (gap_ms <= 0.0) break;
+        const int slice = static_cast<int>(std::min(
+            gap_ms, static_cast<double>(kPollSliceMs)));
+        std::string poll_error;
+        if (!client.poll(slice, &poll_error)) {
+          fail_connection(poll_error);
+          dead = true;
+          break;
+        }
+        classify(seconds_since(start));
+      }
+      if (dead) break;
+      auto submitted = client.submit_job(submissions[k]);
+      const double now = seconds_since(start);
+      result.records[index].submitted_sec = now;
+      if (!submitted.ok()) {
+        // submit_job already burned its one redial: the connection is gone.
+        fail_connection(submitted.error().message);
+        dead = true;
+        break;
+      }
+      inflight.emplace(submitted.value(), index);
+      classify(seconds_since(start));
+    }
+
+    // Straggler drain: the schedule is exhausted; give in-flight jobs a
+    // bounded window to resolve.  Anything still outstanding stays lost.
+    const double drain_deadline =
+        schedule.config.duration_sec + config.drain_timeout_sec;
+    while (!dead && !inflight.empty() &&
+           seconds_since(start) < drain_deadline) {
+      std::string poll_error;
+      if (!client.poll(kDrainSliceMs, &poll_error)) {
+        fail_connection(poll_error);
+        break;
+      }
+      classify(seconds_since(start));
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients.size());
+  for (std::uint32_t c = 0; c < clients.size(); ++c) {
+    threads.emplace_back(worker, c);
+  }
+  ready.wait();
+  start = Clock::now();
+  go.count_down();
+  for (auto& thread : threads) thread.join();
+
+  for (const auto& record : result.records) {
+    result.wall_sec = std::max(result.wall_sec, record.completed_sec);
+    result.wall_sec = std::max(result.wall_sec, record.submitted_sec);
+  }
+  return result;
+}
+
+}  // namespace qross::load

@@ -1,0 +1,82 @@
+#pragma once
+
+// Open-loop replayer: fires a Schedule's submissions at their scheduled
+// times over net::Client connections — one connection (and one thread) per
+// client spec, identified to the server by its client_id — REGARDLESS of
+// what has completed.  A closed-loop driver waits for results and so can
+// never overload the server; firing on the clock instead means queueing
+// delay, shed and deadline expiry under overload are honestly measured.
+//
+// Outcome taxonomy (one per scheduled job):
+//   ok       server completed the job (status done; cache_hit recorded)
+//   shed     server refused admission — quota, server-full, or draining.
+//            The replayer NEVER resubmits a refusal: a shed job is the
+//            measurement, not an error to hide.
+//   expired  server completed it as deadline-expired
+//   failed   solver-side failure (or a non-admission refusal)
+//   lost     never resolved: submit/connection failure or still
+//            outstanding when the post-replay drain timeout ran out
+//
+// Latency is submit→result wall time observed client-side.  The replay
+// thread alternates short poll() slices with due submissions, stamping
+// completions immediately after each poll returns, so timestamp skew is
+// bounded by one frame-decode, not by the schedule.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "load/workload.hpp"
+#include "net/socket.hpp"
+
+namespace qross::load {
+
+enum class Outcome : std::uint8_t { ok, shed, expired, failed, lost };
+
+const char* to_string(Outcome outcome);
+
+/// What happened to one scheduled job (parallel to Schedule::jobs).
+struct JobRecord {
+  Outcome outcome = Outcome::lost;
+  bool cache_hit = false;
+  double scheduled_sec = 0.0;   ///< from the schedule
+  double submitted_sec = -1.0;  ///< actual submit time on the replay clock
+  double completed_sec = -1.0;  ///< when the terminal frame/refusal arrived
+
+  bool resolved() const { return completed_sec >= 0.0; }
+  double latency_ms() const {
+    return resolved() && submitted_sec >= 0.0
+               ? (completed_sec - submitted_sec) * 1e3
+               : 0.0;
+  }
+};
+
+struct ReplayConfig {
+  net::Endpoint server;
+  /// Solve request shared by every job (the model varies per the schedule).
+  std::string solver = "da";
+  std::uint32_t num_replicas = 2;
+  std::uint32_t num_sweeps = 10;
+  std::uint64_t solve_seed = 1;
+  int connect_timeout_ms = 5000;
+  /// How long to keep pumping for stragglers after the last arrival before
+  /// declaring the remainder lost.
+  double drain_timeout_sec = 30.0;
+};
+
+struct ReplayResult {
+  std::vector<JobRecord> records;  ///< parallel to Schedule::jobs
+  double wall_sec = 0.0;           ///< clock zero → last resolution
+  /// First connection-level failure, if any ("" = every client connected
+  /// and replayed its slice; individual jobs may still be shed/lost).
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Replays the schedule against a live server.  Blocks for roughly
+/// duration_sec plus the straggler drain.  Thread-safe against nothing —
+/// call from one thread; it spawns and joins its own per-client threads.
+ReplayResult replay(const Schedule& schedule, const ReplayConfig& config);
+
+}  // namespace qross::load

@@ -1,0 +1,133 @@
+#include "load/report.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace qross::load {
+namespace {
+
+void count_record(OutcomeCounts* counts, const JobRecord& record) {
+  ++counts->jobs;
+  switch (record.outcome) {
+    case Outcome::ok:
+      ++counts->ok;
+      if (record.cache_hit) ++counts->cache_hits;
+      break;
+    case Outcome::shed: ++counts->shed; break;
+    case Outcome::expired: ++counts->expired; break;
+    case Outcome::failed: ++counts->failed; break;
+    case Outcome::lost: ++counts->lost; break;
+  }
+}
+
+LatencyQuantiles latency_quantiles(std::vector<double>* latencies) {
+  LatencyQuantiles q;
+  if (latencies->empty()) return q;
+  q.p50_ms = quantile(*latencies, 0.50);
+  q.p95_ms = quantile(*latencies, 0.95);
+  q.p99_ms = quantile(*latencies, 0.99);
+  return q;
+}
+
+}  // namespace
+
+LoadSummary summarize(const Schedule& schedule, const ReplayResult& result) {
+  LoadSummary summary;
+  summary.wall_sec = result.wall_sec;
+  const auto& clients = schedule.config.clients;
+  summary.clients.resize(clients.size());
+  std::vector<std::vector<double>> client_latencies(clients.size());
+  std::vector<double> all_latencies;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    summary.clients[i].client_id = clients[i].client_id;
+  }
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const auto& record = result.records[i];
+    const auto client = schedule.jobs[i].client;
+    count_record(&summary.counts, record);
+    count_record(&summary.clients[client].counts, record);
+    if (record.outcome == Outcome::ok) {
+      all_latencies.push_back(record.latency_ms());
+      client_latencies[client].push_back(record.latency_ms());
+    }
+  }
+  summary.latency = latency_quantiles(&all_latencies);
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    summary.clients[i].latency = latency_quantiles(&client_latencies[i]);
+  }
+  summary.offered_per_sec =
+      static_cast<double>(summary.counts.jobs) / schedule.config.duration_sec;
+  summary.completed_per_sec =
+      summary.wall_sec > 0.0
+          ? static_cast<double>(summary.counts.ok) / summary.wall_sec
+          : 0.0;
+  return summary;
+}
+
+void print_summary(std::FILE* out, const LoadSummary& summary) {
+  const auto& c = summary.counts;
+  std::fprintf(out,
+               "offered %.1f jobs/s (%zu jobs), completed %.1f jobs/s over "
+               "%.2f s\n",
+               summary.offered_per_sec, c.jobs, summary.completed_per_sec,
+               summary.wall_sec);
+  std::fprintf(out,
+               "outcomes: ok %zu  shed %zu  expired %zu  failed %zu  lost "
+               "%zu  (shed rate %.1f%%, cache hits %zu)\n",
+               c.ok, c.shed, c.expired, c.failed, c.lost,
+               100.0 * c.shed_rate(), c.cache_hits);
+  std::fprintf(out, "latency ms (ok jobs): p50 %.2f  p95 %.2f  p99 %.2f\n",
+               summary.latency.p50_ms, summary.latency.p95_ms,
+               summary.latency.p99_ms);
+  std::fprintf(out,
+               "%-12s %6s %6s %6s %8s %7s %6s %9s %9s %9s\n", "client",
+               "jobs", "ok", "shed", "expired", "failed", "lost", "p50_ms",
+               "p95_ms", "p99_ms");
+  for (const auto& client : summary.clients) {
+    const auto& k = client.counts;
+    std::fprintf(out,
+                 "%-12s %6zu %6zu %6zu %8zu %7zu %6zu %9.2f %9.2f %9.2f\n",
+                 client.client_id.c_str(), k.jobs, k.ok, k.shed, k.expired,
+                 k.failed, k.lost, client.latency.p50_ms,
+                 client.latency.p95_ms, client.latency.p99_ms);
+  }
+}
+
+void write_summary_json(std::FILE* out, const LoadSummary& summary) {
+  const auto& c = summary.counts;
+  std::fprintf(out, "{\n  \"schema\": \"qross-load-summary-v1\",\n");
+  std::fprintf(out, "  \"jobs\": %zu,\n", c.jobs);
+  std::fprintf(out, "  \"ok\": %zu,\n", c.ok);
+  std::fprintf(out, "  \"shed\": %zu,\n", c.shed);
+  std::fprintf(out, "  \"expired\": %zu,\n", c.expired);
+  std::fprintf(out, "  \"failed\": %zu,\n", c.failed);
+  std::fprintf(out, "  \"lost\": %zu,\n", c.lost);
+  std::fprintf(out, "  \"cache_hits\": %zu,\n", c.cache_hits);
+  std::fprintf(out, "  \"shed_rate\": %.6f,\n", c.shed_rate());
+  std::fprintf(out, "  \"ok_ratio\": %.6f,\n", c.ok_ratio());
+  std::fprintf(out, "  \"offered_per_sec\": %.3f,\n", summary.offered_per_sec);
+  std::fprintf(out, "  \"completed_per_sec\": %.3f,\n",
+               summary.completed_per_sec);
+  std::fprintf(out, "  \"wall_sec\": %.3f,\n", summary.wall_sec);
+  std::fprintf(out, "  \"p50_ms\": %.3f,\n", summary.latency.p50_ms);
+  std::fprintf(out, "  \"p95_ms\": %.3f,\n", summary.latency.p95_ms);
+  std::fprintf(out, "  \"p99_ms\": %.3f,\n", summary.latency.p99_ms);
+  std::fprintf(out, "  \"clients\": [\n");
+  for (std::size_t i = 0; i < summary.clients.size(); ++i) {
+    const auto& client = summary.clients[i];
+    const auto& k = client.counts;
+    std::fprintf(out,
+                 "    {\"id\": \"%s\", \"jobs\": %zu, \"ok\": %zu, "
+                 "\"shed\": %zu, \"expired\": %zu, \"failed\": %zu, "
+                 "\"lost\": %zu, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+                 "\"p99_ms\": %.3f}%s\n",
+                 client.client_id.c_str(), k.jobs, k.ok, k.shed, k.expired,
+                 k.failed, k.lost, client.latency.p50_ms,
+                 client.latency.p95_ms, client.latency.p99_ms,
+                 i + 1 < summary.clients.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace qross::load

@@ -1,0 +1,72 @@
+#pragma once
+
+// Aggregation of replay results into the numbers every consumer reads:
+// outcome counts, shed rate, completed throughput, and latency quantiles
+// (overall and per client).  Shared by `qross_cli load` (text table + JSON
+// summary for scripts) and `bench_load` (BENCH_load.json rows).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "load/replayer.hpp"
+#include "load/workload.hpp"
+
+namespace qross::load {
+
+struct OutcomeCounts {
+  std::size_t jobs = 0;
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  std::size_t expired = 0;
+  std::size_t failed = 0;
+  std::size_t lost = 0;
+  std::size_t cache_hits = 0;
+
+  double shed_rate() const {
+    return jobs > 0 ? static_cast<double>(shed) / static_cast<double>(jobs)
+                    : 0.0;
+  }
+  double ok_ratio() const {
+    return jobs > 0 ? static_cast<double>(ok) / static_cast<double>(jobs)
+                    : 0.0;
+  }
+  double expired_rate() const {
+    return jobs > 0 ? static_cast<double>(expired) / static_cast<double>(jobs)
+                    : 0.0;
+  }
+};
+
+/// Latency quantiles over OK jobs only — refusals resolve in microseconds
+/// and would flatter the tail exactly when the server degrades.
+struct LatencyQuantiles {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct ClientSummary {
+  std::string client_id;
+  OutcomeCounts counts;
+  LatencyQuantiles latency;
+};
+
+struct LoadSummary {
+  OutcomeCounts counts;
+  LatencyQuantiles latency;
+  double offered_per_sec = 0.0;    ///< scheduled arrivals / horizon
+  double completed_per_sec = 0.0;  ///< ok jobs / replay wall time
+  double wall_sec = 0.0;
+  std::vector<ClientSummary> clients;  ///< parallel to the config's specs
+};
+
+LoadSummary summarize(const Schedule& schedule, const ReplayResult& result);
+
+/// Human-readable table (the `qross_cli load` output).
+void print_summary(std::FILE* out, const LoadSummary& summary);
+
+/// One-object JSON ("qross-load-summary-v1") for scripting — loadsmoke
+/// asserts on these fields.
+void write_summary_json(std::FILE* out, const LoadSummary& summary);
+
+}  // namespace qross::load

@@ -1,0 +1,173 @@
+#include "load/workload.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "problems/mvc/mvc.hpp"
+
+namespace qross::load {
+namespace {
+
+// Independent child streams per sampling concern, so adding arrivals never
+// perturbs the client mix or model draws for unrelated jobs.
+constexpr std::uint64_t kArrivalStream = 0x41;
+constexpr std::uint64_t kMixStream = 0x42;
+constexpr std::uint64_t kModelStream = 0x43;
+constexpr std::uint64_t kDeadlineStream = 0x44;
+// Salts separating the hot-set seed space from fresh seeds.
+constexpr std::uint64_t kHotSalt = 0x686f74;      // "hot"
+constexpr std::uint64_t kFreshSalt = 0x6672657368;  // "fresh"
+
+std::vector<double> poisson_arrivals(Rng& rng, double rate, double horizon) {
+  std::vector<double> times;
+  for (double t = rng.exponential(rate); t < horizon;
+       t += rng.exponential(rate)) {
+    times.push_back(t);
+  }
+  return times;
+}
+
+std::vector<double> bursty_arrivals(Rng& rng, double rate, double horizon,
+                                    double on_mean, double off_mean) {
+  // Arrivals only during ON phases, at a rate inflated by the duty cycle so
+  // the long-run mean over ON+OFF still equals `rate`.
+  const double burst_rate = rate * (on_mean + off_mean) / on_mean;
+  std::vector<double> times;
+  double phase_start = 0.0;
+  bool on = true;
+  while (phase_start < horizon) {
+    const double phase_len =
+        rng.exponential(1.0 / (on ? on_mean : off_mean));
+    const double phase_end = phase_start + phase_len;
+    if (on) {
+      for (double t = phase_start + rng.exponential(burst_rate);
+           t < phase_end && t < horizon; t += rng.exponential(burst_rate)) {
+        times.push_back(t);
+      }
+    }
+    phase_start = phase_end;
+    on = !on;
+  }
+  return times;
+}
+
+void validate(const WorkloadConfig& config) {
+  if (config.rate_per_sec <= 0.0) {
+    throw std::invalid_argument("load: rate_per_sec must be > 0");
+  }
+  if (config.duration_sec <= 0.0) {
+    throw std::invalid_argument("load: duration_sec must be > 0");
+  }
+  if (config.hit_ratio < 0.0 || config.hit_ratio > 1.0) {
+    throw std::invalid_argument("load: hit_ratio must be in [0, 1]");
+  }
+  if (config.hit_ratio > 0.0 && config.hot_models == 0) {
+    throw std::invalid_argument("load: hit_ratio > 0 needs hot_models > 0");
+  }
+  if (config.arrivals == ArrivalKind::bursty &&
+      (config.burst_on_sec <= 0.0 || config.burst_off_sec <= 0.0)) {
+    throw std::invalid_argument("load: bursty phases must be > 0");
+  }
+  if (config.model_vars == 0) {
+    throw std::invalid_argument("load: model_vars must be > 0");
+  }
+  for (const auto& spec : config.clients) {
+    if (spec.mix_weight <= 0.0) {
+      throw std::invalid_argument("load: client mix_weight must be > 0");
+    }
+    if (spec.deadline_jitter < 0.0 || spec.deadline_jitter > 1.0) {
+      throw std::invalid_argument("load: deadline_jitter must be in [0, 1]");
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::poisson: return "poisson";
+    case ArrivalKind::bursty: return "bursty";
+  }
+  return "?";
+}
+
+bool parse_arrival_kind(const std::string& text, ArrivalKind* out) {
+  if (text == "poisson") {
+    *out = ArrivalKind::poisson;
+    return true;
+  }
+  if (text == "bursty") {
+    *out = ArrivalKind::bursty;
+    return true;
+  }
+  return false;
+}
+
+Schedule generate_schedule(const WorkloadConfig& config) {
+  validate(config);
+  Schedule schedule;
+  schedule.config = config;
+  if (schedule.config.clients.empty()) {
+    schedule.config.clients.push_back(ClientSpec{});
+  }
+  const auto& clients = schedule.config.clients;
+
+  Rng arrival_rng(derive_seed(config.seed, kArrivalStream));
+  Rng mix_rng(derive_seed(config.seed, kMixStream));
+  Rng model_rng(derive_seed(config.seed, kModelStream));
+  Rng deadline_rng(derive_seed(config.seed, kDeadlineStream));
+
+  const auto times =
+      config.arrivals == ArrivalKind::poisson
+          ? poisson_arrivals(arrival_rng, config.rate_per_sec,
+                             config.duration_sec)
+          : bursty_arrivals(arrival_rng, config.rate_per_sec,
+                            config.duration_sec, config.burst_on_sec,
+                            config.burst_off_sec);
+
+  double total_weight = 0.0;
+  for (const auto& spec : clients) total_weight += spec.mix_weight;
+
+  schedule.jobs.reserve(times.size());
+  std::uint64_t fresh_counter = 0;
+  for (const double t : times) {
+    ScheduledJob job;
+    job.arrival_sec = t;
+    // Weighted client pick: walk the cumulative mix.
+    double pick = mix_rng.uniform() * total_weight;
+    std::uint32_t index = 0;
+    for (; index + 1 < clients.size(); ++index) {
+      pick -= clients[index].mix_weight;
+      if (pick < 0.0) break;
+    }
+    job.client = index;
+    const auto& spec = clients[index];
+    job.priority = spec.priority;
+    job.hot = config.hit_ratio > 0.0 && model_rng.bernoulli(config.hit_ratio);
+    job.model_seed =
+        job.hot
+            ? derive_seed(config.seed ^ kHotSalt,
+                          model_rng.uniform_int(
+                              static_cast<std::uint64_t>(config.hot_models)))
+            : derive_seed(config.seed ^ kFreshSalt, fresh_counter++);
+    if (spec.deadline_mean_ms > 0) {
+      const double mean = static_cast<double>(spec.deadline_mean_ms);
+      const double lo = mean * (1.0 - spec.deadline_jitter);
+      const double hi = mean * (1.0 + spec.deadline_jitter);
+      const double drawn =
+          spec.deadline_jitter > 0.0 ? deadline_rng.uniform(lo, hi) : mean;
+      job.deadline_ms = drawn < 1.0 ? 1u : static_cast<std::uint32_t>(drawn);
+    }
+    schedule.jobs.push_back(job);
+  }
+  return schedule;
+}
+
+qubo::QuboModel materialize_model(const WorkloadConfig& config,
+                                  const ScheduledJob& job) {
+  return mvc::generate_random_mvc(config.model_vars, config.model_density,
+                                  job.model_seed)
+      .to_qubo(2.0);
+}
+
+}  // namespace qross::load

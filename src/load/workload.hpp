@@ -1,0 +1,95 @@
+#pragma once
+
+// Deterministic open-loop workload generation.
+//
+// A Schedule is the full arrival plan for one load-replay run: WHEN each
+// job arrives (Poisson or bursty on-off arrivals), WHO submits it (a
+// weighted client mix with per-client priority and deadline distributions),
+// and WHAT it asks for (a repeated "hot" model that the server's result
+// cache will recognise, or a fresh fingerprint it has never seen —
+// hit_ratio sets the split).
+//
+// Everything is sampled from qross::Rng streams derived from one seed, so a
+// given (config, seed) pair reproduces the identical schedule bit-for-bit:
+// same arrival times, same client assignment, same model seeds, same
+// deadlines.  The replayer (replayer.hpp) fires this plan against a live
+// server; the generator itself never touches the network.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qubo/model.hpp"
+
+namespace qross::load {
+
+enum class ArrivalKind : std::uint8_t {
+  poisson,  ///< exponential inter-arrivals at rate_per_sec
+  bursty,   ///< exponential on/off phases; arrivals only during ON phases,
+            ///< at a rate scaled so the LONG-RUN mean is still rate_per_sec
+};
+
+const char* to_string(ArrivalKind kind);
+bool parse_arrival_kind(const std::string& text, ArrivalKind* out);
+
+/// One traffic source in the mix.  `mix_weight` is its share of arrivals
+/// (relative to the other specs); the server-side fair-share weight is a
+/// separate knob (qrossd --client-weight) — a "greedy" profile is a large
+/// mix_weight here, a "polite" one a small weight and/or a deadline.
+struct ClientSpec {
+  std::string client_id = "load";
+  double mix_weight = 1.0;
+  std::int32_t priority = 0;
+  /// Mean relative deadline; 0 = jobs carry no deadline.
+  std::uint32_t deadline_mean_ms = 0;
+  /// Uniform jitter as a fraction of the mean: deadlines are sampled from
+  /// [mean*(1-j), mean*(1+j)].  Ignored when deadline_mean_ms == 0.
+  double deadline_jitter = 0.0;
+};
+
+struct WorkloadConfig {
+  ArrivalKind arrivals = ArrivalKind::poisson;
+  double rate_per_sec = 100.0;  ///< long-run mean arrival rate, all clients
+  double duration_sec = 1.0;    ///< schedule horizon (open-loop offered load)
+  /// Bursty shape: mean ON / OFF phase lengths (exponentially distributed).
+  double burst_on_sec = 0.05;
+  double burst_off_sec = 0.05;
+  /// Fraction of jobs that reuse a hot model seed (equal fingerprints →
+  /// server cache hits / coalescing); the rest get fresh seeds.
+  double hit_ratio = 0.0;
+  std::size_t hot_models = 4;  ///< size of the hot working set
+  /// Model shape shared by every job (fingerprints differ only by seed).
+  std::size_t model_vars = 32;
+  double model_density = 0.08;
+  /// Empty = one default client ("load", weight 1, no deadline).
+  std::vector<ClientSpec> clients;
+  std::uint64_t seed = 1;
+};
+
+struct ScheduledJob {
+  double arrival_sec = 0.0;    ///< offset from the replay clock's zero
+  std::uint32_t client = 0;    ///< index into WorkloadConfig::clients
+  std::uint64_t model_seed = 0;
+  bool hot = false;            ///< model_seed drawn from the hot set
+  std::int32_t priority = 0;
+  std::uint32_t deadline_ms = 0;  ///< relative; 0 = none
+};
+
+struct Schedule {
+  WorkloadConfig config;           ///< normalised (clients never empty)
+  std::vector<ScheduledJob> jobs;  ///< sorted by arrival_sec
+};
+
+/// Builds the full arrival plan.  Deterministic: equal configs (including
+/// seed) produce bit-for-bit equal schedules.  Throws std::invalid_argument
+/// on nonsensical knobs (rate/duration <= 0, hit_ratio outside [0,1],
+/// non-positive mix weights, bursty phases <= 0).
+Schedule generate_schedule(const WorkloadConfig& config);
+
+/// The QUBO a scheduled job submits: an MVC instance generated from the
+/// job's model_seed with the config's shape.  Hot jobs share seeds, so
+/// their models — and thus their server-side fingerprints — are identical.
+qubo::QuboModel materialize_model(const WorkloadConfig& config,
+                                  const ScheduledJob& job);
+
+}  // namespace qross::load

@@ -704,4 +704,61 @@ std::vector<ErrorFrame> Client::take_errors() {
   return drained;
 }
 
+int Client::drain_buffered_frames(std::string* error) {
+  int handled = 0;
+  Frame f;
+  while (true) {
+    const auto status = in_.next(&f);
+    if (status == FrameBuffer::Status::need_more) return handled;
+    if (status != FrameBuffer::Status::frame) {
+      if (error != nullptr) *error = "malformed frame from server";
+      sock_.close();
+      return -1;
+    }
+    handle_incoming(f);
+    ++handled;
+  }
+}
+
+bool Client::poll(int timeout_ms, std::string* error) {
+  if (!sock_.valid()) {
+    if (error != nullptr) *error = "connection lost";
+    return false;
+  }
+  // Serve what's already buffered before touching the socket.
+  const int buffered = drain_buffered_frames(error);
+  if (buffered < 0) return false;
+  if (buffered > 0) return true;
+  std::uint8_t buf[65536];
+  const long n = sock_.recv_some(buf, sizeof(buf), timeout_ms);
+  if (n == -2) return true;  // quiet socket: a timeout is not an error here
+  if (n <= 0) {
+    if (error != nullptr) *error = "connection lost";
+    sock_.close();
+    return false;
+  }
+  in_.append(buf, static_cast<std::size_t>(n));
+  return drain_buffered_frames(error) >= 0;
+}
+
+std::vector<ResultFrame> Client::take_ready_results() {
+  std::vector<ResultFrame> drained;
+  drained.reserve(results_.size());
+  for (auto& [tag, result] : results_) {
+    retry_wanted_.erase(tag);
+    retry_attempts_.erase(tag);
+    drained.push_back(std::move(result));
+  }
+  results_.clear();
+  return drained;
+}
+
+void Client::forget(std::uint64_t tag) {
+  pending_.erase(tag);
+  results_.erase(tag);
+  updates_.erase(tag);
+  retry_wanted_.erase(tag);
+  retry_attempts_.erase(tag);
+}
+
 }  // namespace qross::net

@@ -237,7 +237,35 @@ class Client {
   /// (e.g. kErrUnknownTag); drained by the caller.
   std::vector<ErrorFrame> take_errors();
 
+  // --- open-loop pumping (src/load/ replayer interface) -----------------
+  //
+  // An open-loop caller owns its own arrival schedule: it must never block
+  // on one tag (wait_result) or let the client resubmit refused jobs behind
+  // its back — a shed job IS the measurement.  These three calls expose the
+  // frame pump directly: poll() routes whatever arrives within a bounded
+  // wait, take_ready_results() drains every buffered terminal frame, and
+  // forget() drops client-side state for tags the caller classified itself
+  // (e.g. a quota refusal counted as shed) so nothing is ever resubmitted.
+
+  /// One bounded pump step: routes every frame that arrives within
+  /// timeout_ms, waiting on no particular tag and never redialling or
+  /// resubmitting.  True on progress OR a quiet timeout; false only when
+  /// the connection is lost or the stream is malformed (*error filled).
+  bool poll(int timeout_ms, std::string* error = nullptr);
+
+  /// Drains every buffered terminal ResultFrame (any tag), in tag order,
+  /// clearing the drained tags' pending/retry bookkeeping.
+  std::vector<ResultFrame> take_ready_results();
+
+  /// Drops all client-side state for `tag` (pending job, buffered result,
+  /// status updates, retry bookkeeping).  For tags that will never be
+  /// waited on.
+  void forget(std::uint64_t tag);
+
  private:
+  /// Decodes and routes every complete frame already buffered in in_.
+  /// Returns the number handled, or -1 on a malformed stream.
+  int drain_buffered_frames(std::string* error);
   bool send_frame(std::uint32_t type, std::span<const std::uint8_t> payload);
   /// Reads until `stop_type` (or a Result/TuneResult / retryable refusal
   /// for `stop_tag`) arrives, the timeout expires, or the connection

@@ -21,6 +21,10 @@
 #include "io/cache_store.hpp"
 #include "io/snapshot.hpp"
 
+#include "load/replayer.hpp"
+#include "load/report.hpp"
+#include "load/workload.hpp"
+
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/server.hpp"

@@ -79,4 +79,24 @@ check "remote tune: unknown strategy exits 2" 2 "unknown strategy" \
 check "remote tune: unreachable server exits 1" 1 "cannot connect" \
   "$cli" remote tune --server unix:"$tmpdir/none.sock" --cities 6
 
+# `load` contract: workload/flag errors exit 2 before any socket is dialled;
+# --dry-run needs no server at all (schedule inspection is offline); only a
+# well-formed replay that fails to dial exits 1.
+check "load: unknown flag exits 2" 2 "unknown option" \
+  "$cli" load --badflag 1
+check "load: missing --server exits 2" 2 "missing required option --server" \
+  "$cli" load --rate 100
+check "load: bad --arrivals exits 2" 2 "must be poisson or bursty" \
+  "$cli" load --arrivals sideways --dry-run
+check "load: malformed --clients entry exits 2" 2 "malformed --clients" \
+  "$cli" load --clients =3 --dry-run
+check "load: malformed --clients weight exits 2" 2 "malformed --clients weight" \
+  "$cli" load --clients a=x --dry-run
+check "load: non-positive rate exits 2" 2 "rate_per_sec must be > 0" \
+  "$cli" load --rate 0 --dry-run
+check "load: dry run needs no server, exits 0" 0 "arrivals over" \
+  "$cli" load --dry-run --rate 50 --duration 0.1 --seed 3
+check "load: unreachable server exits 1" 1 "connect failed" \
+  "$cli" load --server unix:"$tmpdir/none.sock" --rate 50 --duration 0.1
+
 exit "$failures"

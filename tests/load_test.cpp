@@ -1,0 +1,328 @@
+// Tests for src/load/: the arrival-schedule generator's determinism and
+// statistics, and the open-loop replayer end-to-end against an in-process
+// server on loopback TCP.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "load/replayer.hpp"
+#include "load/report.hpp"
+#include "load/workload.hpp"
+#include "net/server.hpp"
+#include "service/fingerprint.hpp"
+#include "service/solve_service.hpp"
+
+namespace qross::load {
+namespace {
+
+WorkloadConfig two_client_config() {
+  WorkloadConfig config;
+  config.rate_per_sec = 500.0;
+  config.duration_sec = 2.0;
+  config.hit_ratio = 0.3;
+  config.hot_models = 4;
+  config.seed = 42;
+  ClientSpec greedy;
+  greedy.client_id = "greedy";
+  greedy.mix_weight = 3.0;
+  ClientSpec polite;
+  polite.client_id = "polite";
+  polite.mix_weight = 1.0;
+  polite.priority = 1;
+  polite.deadline_mean_ms = 100;
+  polite.deadline_jitter = 0.2;
+  config.clients = {greedy, polite};
+  return config;
+}
+
+void expect_identical(const Schedule& a, const Schedule& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    // Bit-for-bit: exact double equality is the point.
+    EXPECT_EQ(a.jobs[i].arrival_sec, b.jobs[i].arrival_sec) << i;
+    EXPECT_EQ(a.jobs[i].client, b.jobs[i].client) << i;
+    EXPECT_EQ(a.jobs[i].model_seed, b.jobs[i].model_seed) << i;
+    EXPECT_EQ(a.jobs[i].hot, b.jobs[i].hot) << i;
+    EXPECT_EQ(a.jobs[i].priority, b.jobs[i].priority) << i;
+    EXPECT_EQ(a.jobs[i].deadline_ms, b.jobs[i].deadline_ms) << i;
+  }
+}
+
+TEST(LoadScheduleTest, PoissonScheduleIsBitForBitReproducible) {
+  const auto config = two_client_config();
+  expect_identical(generate_schedule(config), generate_schedule(config));
+}
+
+TEST(LoadScheduleTest, BurstyScheduleIsBitForBitReproducible) {
+  auto config = two_client_config();
+  config.arrivals = ArrivalKind::bursty;
+  config.burst_on_sec = 0.04;
+  config.burst_off_sec = 0.06;
+  expect_identical(generate_schedule(config), generate_schedule(config));
+}
+
+TEST(LoadScheduleTest, DifferentSeedsProduceDifferentSchedules) {
+  auto config = two_client_config();
+  const auto a = generate_schedule(config);
+  config.seed = 43;
+  const auto b = generate_schedule(config);
+  ASSERT_FALSE(a.jobs.empty());
+  ASSERT_FALSE(b.jobs.empty());
+  EXPECT_NE(a.jobs.front().arrival_sec, b.jobs.front().arrival_sec);
+}
+
+TEST(LoadScheduleTest, PoissonInterArrivalMeanMatchesRate) {
+  WorkloadConfig config;
+  config.rate_per_sec = 2000.0;
+  config.duration_sec = 10.0;
+  config.seed = 7;
+  const auto schedule = generate_schedule(config);
+  ASSERT_GT(schedule.jobs.size(), 1000u);
+  double previous = 0.0;
+  double total_gap = 0.0;
+  for (const auto& job : schedule.jobs) {
+    EXPECT_GE(job.arrival_sec, previous);  // sorted
+    EXPECT_LT(job.arrival_sec, config.duration_sec);
+    total_gap += job.arrival_sec - previous;
+    previous = job.arrival_sec;
+  }
+  const double mean_gap =
+      total_gap / static_cast<double>(schedule.jobs.size());
+  EXPECT_NEAR(mean_gap, 1.0 / config.rate_per_sec,
+              0.05 / config.rate_per_sec);
+}
+
+TEST(LoadScheduleTest, BurstyLongRunRateMatchesConfigured) {
+  WorkloadConfig config;
+  config.arrivals = ArrivalKind::bursty;
+  config.rate_per_sec = 1000.0;
+  config.duration_sec = 50.0;  // hundreds of on/off phases → tight mean
+  config.burst_on_sec = 0.05;
+  config.burst_off_sec = 0.05;
+  config.seed = 9;
+  const auto schedule = generate_schedule(config);
+  const double realized_rate =
+      static_cast<double>(schedule.jobs.size()) / config.duration_sec;
+  // Phase-length randomness makes bursty counts noisier than Poisson; 15%
+  // is ~3 sigma at this horizon.
+  EXPECT_NEAR(realized_rate, config.rate_per_sec,
+              0.15 * config.rate_per_sec);
+  // And the arrivals must actually be bursty: with a 50% duty cycle, some
+  // inter-arrival gap should span an OFF phase (≫ the in-burst mean gap).
+  double max_gap = 0.0;
+  double previous = 0.0;
+  for (const auto& job : schedule.jobs) {
+    max_gap = std::max(max_gap, job.arrival_sec - previous);
+    previous = job.arrival_sec;
+  }
+  EXPECT_GT(max_gap, 10.0 / config.rate_per_sec);
+}
+
+TEST(LoadScheduleTest, ClientMixFollowsWeights) {
+  auto config = two_client_config();  // greedy 3 : polite 1
+  config.rate_per_sec = 2000.0;
+  config.duration_sec = 10.0;
+  const auto schedule = generate_schedule(config);
+  std::size_t greedy = 0;
+  for (const auto& job : schedule.jobs) {
+    if (job.client == 0) ++greedy;
+  }
+  const double share =
+      static_cast<double>(greedy) / static_cast<double>(schedule.jobs.size());
+  EXPECT_NEAR(share, 0.75, 0.03);
+}
+
+TEST(LoadScheduleTest, DeadlinesRespectMeanAndJitterBounds) {
+  const auto schedule = generate_schedule(two_client_config());
+  std::size_t with_deadline = 0;
+  for (const auto& job : schedule.jobs) {
+    if (job.client == 0) {
+      EXPECT_EQ(job.deadline_ms, 0u);  // greedy spec has none
+      EXPECT_EQ(job.priority, 0);
+    } else {
+      // polite: mean 100, jitter 0.2 → [80, 120]
+      EXPECT_GE(job.deadline_ms, 80u);
+      EXPECT_LE(job.deadline_ms, 120u);
+      EXPECT_EQ(job.priority, 1);
+      ++with_deadline;
+    }
+  }
+  EXPECT_GT(with_deadline, 0u);
+}
+
+TEST(LoadScheduleTest, HotJobsDrawFromSmallSeedSetFreshAreUnique) {
+  const auto schedule = generate_schedule(two_client_config());
+  std::set<std::uint64_t> hot_seeds;
+  std::set<std::uint64_t> fresh_seeds;
+  std::size_t hot = 0;
+  std::size_t fresh = 0;
+  for (const auto& job : schedule.jobs) {
+    if (job.hot) {
+      hot_seeds.insert(job.model_seed);
+      ++hot;
+    } else {
+      fresh_seeds.insert(job.model_seed);
+      ++fresh;
+    }
+  }
+  EXPECT_LE(hot_seeds.size(), schedule.config.hot_models);
+  EXPECT_EQ(fresh_seeds.size(), fresh);  // never repeats
+  const double hot_share = static_cast<double>(hot) /
+                           static_cast<double>(schedule.jobs.size());
+  EXPECT_NEAR(hot_share, schedule.config.hit_ratio, 0.05);
+  // Equal model seeds materialize byte-identical models — the property that
+  // turns hit_ratio into server-side cache hits.
+  const ScheduledJob* first_hot = nullptr;
+  for (const auto& job : schedule.jobs) {
+    if (!job.hot) continue;
+    if (first_hot == nullptr) {
+      first_hot = &job;
+    } else if (job.model_seed == first_hot->model_seed) {
+      const auto a = materialize_model(schedule.config, *first_hot);
+      const auto b = materialize_model(schedule.config, job);
+      EXPECT_EQ(service::fingerprint_model(a), service::fingerprint_model(b));
+      break;
+    }
+  }
+}
+
+TEST(LoadScheduleTest, InvalidConfigsThrow) {
+  WorkloadConfig config;
+  config.rate_per_sec = 0.0;
+  EXPECT_THROW(generate_schedule(config), std::invalid_argument);
+  config = WorkloadConfig{};
+  config.hit_ratio = 1.5;
+  EXPECT_THROW(generate_schedule(config), std::invalid_argument);
+  config = WorkloadConfig{};
+  config.arrivals = ArrivalKind::bursty;
+  config.burst_on_sec = 0.0;
+  EXPECT_THROW(generate_schedule(config), std::invalid_argument);
+  config = WorkloadConfig{};
+  config.clients.push_back(ClientSpec{});
+  config.clients.back().mix_weight = -1.0;
+  EXPECT_THROW(generate_schedule(config), std::invalid_argument);
+}
+
+TEST(LoadScheduleTest, EmptyClientListGetsDefaultClient) {
+  WorkloadConfig config;
+  config.rate_per_sec = 200.0;
+  config.duration_sec = 0.5;
+  const auto schedule = generate_schedule(config);
+  ASSERT_EQ(schedule.config.clients.size(), 1u);
+  for (const auto& job : schedule.jobs) EXPECT_EQ(job.client, 0u);
+}
+
+// --- end-to-end replay over loopback TCP ------------------------------------
+
+struct LiveServer {
+  service::SolveService svc;
+  net::Server server;
+
+  explicit LiveServer(const service::ServiceConfig& config)
+      : svc(config), server(svc, listen_config()) {
+    std::string error;
+    if (!server.start(&error)) {
+      ADD_FAILURE() << "server start failed: " << error;
+    }
+  }
+  ~LiveServer() { server.stop(); }
+
+  static net::ServerConfig listen_config() {
+    net::ServerConfig config;
+    config.listen.push_back(*net::Endpoint::parse("tcp:127.0.0.1:0"));
+    return config;
+  }
+  net::Endpoint endpoint() const { return server.endpoints().front(); }
+};
+
+TEST(LoadReplayTest, AccountsEveryScheduledJobAgainstLiveServer) {
+  service::ServiceConfig service_config;
+  service_config.num_workers = 2;
+  service_config.cache_capacity = 64;
+  LiveServer live(service_config);
+
+  WorkloadConfig workload;
+  workload.rate_per_sec = 300.0;
+  workload.duration_sec = 0.3;
+  workload.hit_ratio = 0.5;
+  workload.hot_models = 2;
+  workload.model_vars = 24;
+  workload.seed = 5;
+  ClientSpec a;
+  a.client_id = "alpha";
+  ClientSpec b;
+  b.client_id = "beta";
+  workload.clients = {a, b};
+  const auto schedule = generate_schedule(workload);
+  ASSERT_GT(schedule.jobs.size(), 20u);
+
+  ReplayConfig replay_config;
+  replay_config.server = live.endpoint();
+  replay_config.num_replicas = 2;
+  replay_config.num_sweeps = 5;
+  const auto result = replay(schedule, replay_config);
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.records.size(), schedule.jobs.size());
+
+  const auto summary = summarize(schedule, result);
+  EXPECT_EQ(summary.counts.jobs, schedule.jobs.size());
+  // No quotas, generous drain: everything must be served.
+  EXPECT_EQ(summary.counts.ok, schedule.jobs.size());
+  EXPECT_EQ(summary.counts.lost, 0u);
+  EXPECT_EQ(summary.counts.shed, 0u);
+  // Half the traffic reuses 2 hot models — the server's cache must see it.
+  EXPECT_GT(summary.counts.cache_hits, 0u);
+  EXPECT_GT(summary.latency.p95_ms, 0.0);
+  EXPECT_GE(summary.latency.p99_ms, summary.latency.p50_ms);
+  ASSERT_EQ(summary.clients.size(), 2u);
+  EXPECT_EQ(summary.clients[0].counts.jobs + summary.clients[1].counts.jobs,
+            summary.counts.jobs);
+  for (const auto& record : result.records) {
+    EXPECT_GE(record.submitted_sec, 0.0);
+    EXPECT_GE(record.completed_sec, record.submitted_sec);
+    // Open-loop: submission happens at (or just after) the scheduled time,
+    // never before.
+    EXPECT_GE(record.submitted_sec, record.scheduled_sec);
+  }
+}
+
+TEST(LoadReplayTest, OverloadAgainstTightQuotasShedsAndStillServes) {
+  service::ServiceConfig service_config;
+  service_config.num_workers = 1;
+  service_config.cache_capacity = 0;  // every admitted job pays a solver run
+  service_config.max_queued_per_client = 2;
+  service_config.max_inflight_per_client = 4;
+  LiveServer live(service_config);
+
+  WorkloadConfig workload;
+  workload.rate_per_sec = 500.0;
+  workload.duration_sec = 0.4;
+  workload.model_vars = 64;
+  workload.seed = 11;
+  const auto schedule = generate_schedule(workload);
+
+  ReplayConfig replay_config;
+  replay_config.server = live.endpoint();
+  // Heavy-enough jobs: ~128k flip evaluations each (~100ms on one worker)
+  // keeps 1-worker capacity far below the offered 500/s on any machine, so
+  // shedding is guaranteed — while staying cheap enough that the <=4
+  // inflight jobs at window end drain promptly even under ASAN/TSAN.
+  replay_config.num_replicas = 8;
+  replay_config.num_sweeps = 250;
+  replay_config.drain_timeout_sec = 120;
+  const auto result = replay(schedule, replay_config);
+  ASSERT_TRUE(result.ok()) << result.error;
+
+  const auto summary = summarize(schedule, result);
+  EXPECT_EQ(summary.counts.jobs, schedule.jobs.size());
+  EXPECT_GT(summary.counts.shed, 0u);   // quotas actually shed
+  EXPECT_GT(summary.counts.ok, 0u);     // but the server kept serving
+  EXPECT_EQ(summary.counts.lost, 0u);   // and every refusal was classified
+  EXPECT_EQ(summary.counts.failed, 0u);
+}
+
+}  // namespace
+}  // namespace qross::load

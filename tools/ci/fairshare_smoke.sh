@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Fair-share admission smoke: quotas + greedy/polite clients.
+#
+# qrossd with a per-client inflight cap of 2 and a single worker: a greedy
+# client flooding 12 submits over one connection gets kErrQuotaExceeded on
+# the overflow (failed jobs, exit 1, NOT retried), while a fresh polite
+# client still completes everything; the rejections must be visible in
+# `remote metrics`.  The `|| test $? -eq 1` tolerates exactly the expected
+# exit code — a usage error (2) or crash still fails the script.
+#
+# Usage: tools/ci/fairshare_smoke.sh [BUILD_DIR]   (default: current dir)
+set -euo pipefail
+cd "${1:-.}"
+rm -rf fairshare
+
+./qross_cli generate --count 2 --cities 6 --out-dir fairshare/instances --seed 13
+printf 'fairshare/instances/uniform_0.tsp 25\nfairshare/instances/uniform_1.tsp 25\n' > fairshare/jobs.txt
+./qrossd --listen unix:fairshare/qrossd.sock --workers 1 \
+  --max-inflight-per-client 2 --client-weight greedy=1 \
+  > fairshare/daemon.log 2>&1 &
+echo $! > fairshare/daemon.pid
+for i in $(seq 1 50); do [ -S fairshare/qrossd.sock ] && break; sleep 0.1; done
+test -S fairshare/qrossd.sock
+./qross_cli remote batch --server unix:fairshare/qrossd.sock --client-id greedy \
+  --jobs fairshare/jobs.txt --solver da --replicas 4 --sweeps 20 --repeat 6 \
+  2>fairshare/greedy.err | tee fairshare/greedy.txt || test $? -eq 1
+grep -qE ' [1-9][0-9]* failed' fairshare/greedy.txt
+grep -q 'server error 11' fairshare/greedy.err
+./qross_cli remote batch --server unix:fairshare/qrossd.sock --client-id polite \
+  --jobs fairshare/jobs.txt --solver da --replicas 4 --sweeps 20 | tee fairshare/polite.txt
+grep -q ' 0 failed' fairshare/polite.txt
+./qross_cli remote metrics --server unix:fairshare/qrossd.sock | tee fairshare/metrics.txt
+grep -qE 'admission: [1-9][0-9]* submissions rejected' fairshare/metrics.txt
+grep -q 'greedy' fairshare/metrics.txt
+grep -q 'polite' fairshare/metrics.txt
+kill -TERM "$(cat fairshare/daemon.pid)"
+wait "$(cat fairshare/daemon.pid)"
+grep -q 'clean drain' fairshare/daemon.log

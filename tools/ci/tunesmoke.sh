@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tuning-as-a-service smoke: remote tune with warm replay.
+#
+# Two-process proof of the paper's product over the wire: train a small
+# tuner, serve it from qrossd (--tuner), and run the SAME `remote tune`
+# session twice against the one daemon.  Determinism contract: everything but
+# the final summary line (which carries wall time) must be byte-identical
+# across runs, and the second session must replay entirely from the warm
+# solve cache — "0 solver invocations" — while the first did real solver
+# work.  The corpus sink must hold the completed sessions' rows afterwards.
+#
+# Usage: tools/ci/tunesmoke.sh [BUILD_DIR]   (default: current dir)
+set -euo pipefail
+cd "${1:-.}"
+rm -rf tunesmoke
+
+./qross_cli generate --count 4 --cities 6 --out-dir tunesmoke/instances --seed 17
+./qross_cli train --instances tunesmoke/instances --out tunesmoke/tuner.qross \
+  --solver da --replicas 4 --sweeps 10
+./qrossd --listen unix:tunesmoke/qrossd.sock --workers 2 \
+  --tuner tunesmoke/tuner.qross --tune-corpus tunesmoke/corpus.csv \
+  --cache-file tunesmoke/cache.qsnap > tunesmoke/daemon.log 2>&1 &
+echo $! > tunesmoke/daemon.pid
+for i in $(seq 1 50); do [ -S tunesmoke/qrossd.sock ] && break; sleep 0.1; done
+test -S tunesmoke/qrossd.sock
+./qross_cli remote tune --server unix:tunesmoke/qrossd.sock \
+  --cities 6 --instance-seed 3 --trials 6 --seed 5 --solver da | tee tunesmoke/run1.txt
+./qross_cli remote tune --server unix:tunesmoke/qrossd.sock \
+  --cities 6 --instance-seed 3 --trials 6 --seed 5 --solver da | tee tunesmoke/run2.txt
+sed '$d' tunesmoke/run1.txt > tunesmoke/session1.txt
+sed '$d' tunesmoke/run2.txt > tunesmoke/session2.txt
+test -s tunesmoke/session1.txt
+diff tunesmoke/session1.txt tunesmoke/session2.txt
+grep -qE ' [1-9][0-9]* solver invocations' tunesmoke/run1.txt
+grep -q ' 0 solver invocations' tunesmoke/run2.txt
+./qross_cli remote metrics --server unix:tunesmoke/qrossd.sock | tee tunesmoke/metrics.txt
+kill -TERM "$(cat tunesmoke/daemon.pid)"
+wait "$(cat tunesmoke/daemon.pid)"
+grep -q 'clean drain' tunesmoke/daemon.log
+test -s tunesmoke/corpus.csv
+cat tunesmoke/daemon.log

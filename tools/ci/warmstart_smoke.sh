@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Cross-run warm start smoke: two qross_cli processes, one cache file.
+#
+# The second process must replay the first one's batches bit-identically from
+# the persisted snapshot: identical result tables, zero solver invocations.
+#
+# Usage: tools/ci/warmstart_smoke.sh [BUILD_DIR]   (default: current dir)
+set -euo pipefail
+cd "${1:-.}"
+rm -rf warmstart
+
+./qross_cli generate --count 2 --cities 6 --out-dir warmstart/instances --seed 7
+printf 'warmstart/instances/uniform_0.tsp 25\nwarmstart/instances/uniform_1.tsp 25\n' > warmstart/jobs.txt
+./qross_cli batch --jobs warmstart/jobs.txt --cache-file warmstart/cache.qsnap \
+  --solver da --replicas 4 --sweeps 20 | tee warmstart/run1.txt
+./qross_cli batch --jobs warmstart/jobs.txt --cache-file warmstart/cache.qsnap \
+  --solver da --replicas 4 --sweeps 20 | tee warmstart/run2.txt
+awk '/^[0-9]/ {print $1, $NF}' warmstart/run1.txt > warmstart/energies1.txt
+awk '/^[0-9]/ {print $1, $NF}' warmstart/run2.txt > warmstart/energies2.txt
+diff warmstart/energies1.txt warmstart/energies2.txt
+grep -q ' 0 solver invocations' warmstart/run2.txt
+grep -q ' 2 loaded' warmstart/run2.txt
+./qross_cli cache info --file warmstart/cache.qsnap

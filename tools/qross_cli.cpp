@@ -96,6 +96,19 @@ commands:
   trace    --server EP [--out FILE] [--timeout-ms T] [--client-id NAME]
            (the daemon's trace buffer as Chrome trace-event JSON — stdout
             by default; view in chrome://tracing or ui.perfetto.dev)
+  load     --server EP [--rate R] [--duration S] [--arrivals poisson|bursty]
+           [--burst-on-ms N] [--burst-off-ms N] [--clients NAME=W[,NAME=W...]]
+           [--deadline-ms D] [--deadline-jitter J] [--hit-ratio H]
+           [--hot-models N] [--vars N] [--density X] [--solver NAME]
+           [--replicas B] [--sweeps N] [--seed S] [--connect-timeout-ms T]
+           [--drain-timeout-ms T] [--json PATH] [--dry-run]
+           (open-loop load replay: fires a seeded arrival schedule at a
+            running qrossd regardless of completions and reports outcome
+            counts, shed rate and latency quantiles; each --clients entry
+            is one connection under that identity, with arrivals split by
+            weight; --dry-run prints the schedule instead of replaying it —
+            identical flags print an identical schedule; --json writes a
+            machine-readable summary for scripts)
 
 common options:
   --seed S      RNG master seed (default 1)
@@ -927,6 +940,130 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+// Open-loop load replay against a running daemon (see src/load/).  The
+// schedule is generated client-side from the flags — deterministically, so
+// --dry-run twice with the same flags prints byte-identical plans — and
+// fired on the clock; results are classified ok/shed/expired/failed/lost
+// and summarized.  --json writes the summary for scripts (loadsmoke in CI
+// asserts on it).
+int cmd_load(const Args& args) {
+  require_known_flags(
+      args, {"server", "rate", "duration", "arrivals", "burst-on-ms",
+             "burst-off-ms", "clients", "deadline-ms", "deadline-jitter",
+             "hit-ratio", "hot-models", "vars", "density", "solver",
+             "replicas", "sweeps", "seed", "connect-timeout-ms",
+             "drain-timeout-ms", "json", "dry-run"});
+  load::WorkloadConfig workload;
+  workload.rate_per_sec = std::stod(get_or(args, "rate", "100"));
+  workload.duration_sec = std::stod(get_or(args, "duration", "1"));
+  if (!load::parse_arrival_kind(get_or(args, "arrivals", "poisson"),
+                                &workload.arrivals)) {
+    usage("--arrivals must be poisson or bursty");
+  }
+  workload.burst_on_sec = std::stod(get_or(args, "burst-on-ms", "50")) / 1e3;
+  workload.burst_off_sec = std::stod(get_or(args, "burst-off-ms", "50")) / 1e3;
+  workload.hit_ratio = std::stod(get_or(args, "hit-ratio", "0"));
+  workload.hot_models = std::stoul(get_or(args, "hot-models", "4"));
+  workload.model_vars = std::stoul(get_or(args, "vars", "32"));
+  workload.model_density = std::stod(get_or(args, "density", "0.08"));
+  workload.seed = std::stoull(get_or(args, "seed", "1"));
+  const auto deadline_ms =
+      static_cast<std::uint32_t>(std::stoul(get_or(args, "deadline-ms", "0")));
+  const auto deadline_jitter = std::stod(get_or(args, "deadline-jitter", "0.2"));
+  const std::string clients_spec = get_or(args, "clients", "");
+  if (!clients_spec.empty()) {
+    std::stringstream stream(clients_spec);
+    std::string part;
+    while (std::getline(stream, part, ',')) {
+      load::ClientSpec client;
+      const auto eq = part.find('=');
+      client.client_id = eq == std::string::npos ? part : part.substr(0, eq);
+      if (client.client_id.empty()) {
+        fail_input("malformed --clients entry: '" + part +
+                   "' (want NAME or NAME=WEIGHT)");
+      }
+      if (eq != std::string::npos) {
+        try {
+          client.mix_weight = std::stod(part.substr(eq + 1));
+        } catch (const std::exception&) {
+          fail_input("malformed --clients weight in '" + part + "'");
+        }
+      }
+      client.deadline_mean_ms = deadline_ms;
+      client.deadline_jitter = deadline_jitter;
+      workload.clients.push_back(std::move(client));
+    }
+  } else if (deadline_ms > 0) {
+    load::ClientSpec client;
+    client.deadline_mean_ms = deadline_ms;
+    client.deadline_jitter = deadline_jitter;
+    workload.clients.push_back(std::move(client));
+  }
+
+  load::Schedule schedule;
+  try {
+    schedule = load::generate_schedule(workload);
+  } catch (const std::invalid_argument& e) {
+    fail_input(e.what());
+  }
+
+  if (args.contains("dry-run")) {
+    // The plan, not the replay: arrival_us client priority deadline_ms
+    // hot/fresh model_seed.  Same flags → byte-identical output, which is
+    // how CI proves schedule determinism without touching a server.
+    std::printf("# %zu arrivals over %.3f s (%s, rate %.1f/s, seed %llu)\n",
+                schedule.jobs.size(), schedule.config.duration_sec,
+                load::to_string(schedule.config.arrivals),
+                schedule.config.rate_per_sec,
+                static_cast<unsigned long long>(schedule.config.seed));
+    for (const auto& job : schedule.jobs) {
+      std::printf("%10.0f %-12s prio %-3d deadline %-6u %-5s %016llx\n",
+                  job.arrival_sec * 1e6,
+                  schedule.config.clients[job.client].client_id.c_str(),
+                  job.priority, job.deadline_ms, job.hot ? "hot" : "fresh",
+                  static_cast<unsigned long long>(job.model_seed));
+    }
+    return 0;
+  }
+
+  const std::string server = require(args, "server");
+  const auto endpoint = net::Endpoint::parse(server);
+  if (!endpoint.has_value()) {
+    usage(("cannot parse --server endpoint: " + server).c_str());
+  }
+  load::ReplayConfig replay_config;
+  replay_config.server = *endpoint;
+  replay_config.solver = get_or(args, "solver", "da");
+  (void)make_cli_solver(replay_config.solver);  // exit 2 on unknown name
+  replay_config.num_replicas = static_cast<std::uint32_t>(
+      std::stoul(get_or(args, "replicas", "2")));
+  replay_config.num_sweeps =
+      static_cast<std::uint32_t>(std::stoul(get_or(args, "sweeps", "10")));
+  replay_config.solve_seed = workload.seed;
+  replay_config.connect_timeout_ms =
+      static_cast<int>(std::stol(get_or(args, "connect-timeout-ms", "5000")));
+  replay_config.drain_timeout_sec =
+      std::stod(get_or(args, "drain-timeout-ms", "30000")) / 1e3;
+
+  const auto result = load::replay(schedule, replay_config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: load replay failed: %s\n",
+                 result.error.c_str());
+    return 1;
+  }
+  const auto summary = load::summarize(schedule, result);
+  load::print_summary(stdout, summary);
+  if (args.contains("json")) {
+    const std::string path = args.at("json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) fail_input("cannot write --json " + path);
+    load::write_summary_json(f, summary);
+    std::fclose(f);
+    std::printf("summary written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -951,6 +1088,9 @@ int main(int argc, char** argv) {
       usage(("unknown remote action: " + action).c_str());
     }
     if (command == "trace") return cmd_trace(parse_args(argc, argv, 2));
+    if (command == "load") {
+      return cmd_load(parse_args(argc, argv, 2, {"dry-run"}));
+    }
     const Args args = parse_args(argc, argv, 2);
     if (command == "generate") return cmd_generate(args);
     if (command == "sweep") return cmd_sweep(args);
