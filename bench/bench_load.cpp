@@ -74,6 +74,11 @@ constexpr double kLoadRegressionTolerance = 0.40;
 struct CurveRow {
   load::ArrivalKind arrivals = load::ArrivalKind::poisson;
   double rate_fraction = 0.0;
+  /// True for the deadline-heavy mix: EVERY client submits with a tight
+  /// deadline, at a rate past capacity — the row that puts a non-zero
+  /// `expired_rate` in the committed curves (informational, never gated:
+  /// its rate_fraction is above kGatedFractionMax by construction).
+  bool deadline_heavy = false;
   load::LoadSummary summary;
 };
 
@@ -129,7 +134,8 @@ double measure_capacity(const net::Endpoint& endpoint) {
 }
 
 CurveRow run_row(const net::Endpoint& endpoint, load::ArrivalKind arrivals,
-                 double fraction, double capacity) {
+                 double fraction, double capacity,
+                 bool deadline_heavy = false) {
   load::WorkloadConfig workload;
   workload.arrivals = arrivals;
   workload.rate_per_sec = fraction * capacity;
@@ -150,10 +156,21 @@ CurveRow run_row(const net::Endpoint& endpoint, load::ArrivalKind arrivals,
   polite.mix_weight = 1.0;
   polite.deadline_mean_ms = 250;
   polite.deadline_jitter = 0.2;
+  if (deadline_heavy) {
+    // Deadline-heavy mix: the flooding client submits with deadlines too,
+    // tight enough that past-capacity queueing blows through them — the
+    // queue-expiry path (`expired` without a solver invocation) shows up in
+    // the committed curves instead of only in unit tests.
+    greedy.deadline_mean_ms = 150;
+    greedy.deadline_jitter = 0.3;
+    polite.deadline_mean_ms = 150;
+    polite.deadline_jitter = 0.3;
+  }
   workload.clients = {greedy, polite};
   // Distinct stream per row so curves don't share arrival randomness.
   workload.seed = derive_seed(
-      kSeed, (arrivals == load::ArrivalKind::bursty ? 100 : 0) +
+      kSeed, (deadline_heavy ? 1000 : 0) +
+                 (arrivals == load::ArrivalKind::bursty ? 100 : 0) +
                  static_cast<std::uint64_t>(fraction * 100.0));
 
   const auto schedule = load::generate_schedule(workload);
@@ -173,14 +190,17 @@ CurveRow run_row(const net::Endpoint& endpoint, load::ArrivalKind arrivals,
   CurveRow row;
   row.arrivals = arrivals;
   row.rate_fraction = fraction;
+  row.deadline_heavy = deadline_heavy;
   row.summary = load::summarize(schedule, result);
   std::fprintf(stderr,
-               "%-7s %.2fx  offered %7.1f/s  ok %5.1f%%  shed %5.1f%%  "
-               "p50 %7.2f  p95 %7.2f  p99 %7.2f ms\n",
+               "%-7s %.2fx%s  offered %7.1f/s  ok %5.1f%%  shed %5.1f%%  "
+               "expired %5.1f%%  p50 %7.2f  p95 %7.2f  p99 %7.2f ms\n",
                load::to_string(arrivals), fraction,
+               deadline_heavy ? " (deadline-heavy)" : "",
                row.summary.offered_per_sec,
                100.0 * row.summary.counts.ok_ratio(),
                100.0 * row.summary.counts.shed_rate(),
+               100.0 * row.summary.counts.expired_rate(),
                row.summary.latency.p50_ms, row.summary.latency.p95_ms,
                row.summary.latency.p99_ms);
   return row;
@@ -210,13 +230,15 @@ void write_load_json(const std::string& path, double capacity,
     std::fprintf(
         f,
         "    {\"arrivals\": \"%s\", \"rate_fraction\": %.2f, "
+        "\"mix\": \"%s\", "
         "\"offered_per_sec\": %.1f, \"jobs\": %zu, "
         "\"completed_per_sec\": %.1f, \"ok_ratio\": %.4f, "
         "\"shed_rate\": %.4f, \"expired_rate\": %.4f, "
         "\"cache_hits\": %zu, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
         "\"p99_ms\": %.3f, \"greedy_p95_ms\": %.3f, "
         "\"polite_p95_ms\": %.3f, \"polite_greedy_p95_ratio\": %.3f}%s\n",
-        load::to_string(row.arrivals), row.rate_fraction, s.offered_per_sec,
+        load::to_string(row.arrivals), row.rate_fraction,
+        row.deadline_heavy ? "deadline_heavy" : "standard", s.offered_per_sec,
         s.counts.jobs, s.completed_per_sec, s.counts.ok_ratio(),
         s.counts.shed_rate(), s.counts.expired_rate(), s.counts.cache_hits,
         s.latency.p50_ms, s.latency.p95_ms, s.latency.p99_ms, greedy_p95,
@@ -382,6 +404,11 @@ int main(int argc, char** argv) {
       rows.push_back(run_row(endpoint, kind, fraction, capacity));
     }
   }
+  // Deadline-heavy overload row at a unique rate_fraction (1.5x, so the
+  // baseline matcher — keyed on arrivals + fraction — never confuses it
+  // with a standard row).  Above kGatedFractionMax, hence informational.
+  rows.push_back(run_row(endpoint, load::ArrivalKind::poisson, 1.5, capacity,
+                         /*deadline_heavy=*/true));
   server.stop();
 
   write_load_json(out_dir + "/BENCH_load.json", capacity, rows);

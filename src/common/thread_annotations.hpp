@@ -1,0 +1,122 @@
+#pragma once
+
+/// Clang Thread Safety Analysis shims + annotated mutex wrappers.
+///
+/// The locking discipline of every subsystem (which member a mutex guards,
+/// which helpers assume the lock is held, which paths must NOT hold it) is
+/// written into the types via these macros, and clang's `-Wthread-safety`
+/// turns that into a compile-time proof over all paths — the Release-tidy CI
+/// lane builds with `-Werror=thread-safety`, so a lock-discipline violation
+/// is a build break, not a TSAN lottery ticket.  On GCC every macro expands
+/// to nothing and the wrappers are zero-cost shells around the std types.
+///
+/// Usage pattern:
+///
+///   mutable Mutex m_;
+///   int value_ GUARDED_BY(m_);              // only touched under m_
+///   void bump_locked() REQUIRES(m_);        // caller must hold m_
+///   void bump() EXCLUDES(m_) {              // caller must NOT hold m_
+///     MutexLock lock(m_);
+///     bump_locked();
+///   }
+///
+/// Condition-variable waits go through `MutexLock::native()` — the analysis
+/// does not model the wait's release/reacquire, which is sound: the
+/// capability is held on both sides of the call.  Wait predicates that read
+/// guarded members must be written as explicit `while` loops around the
+/// wait, NOT as lambda predicates: clang analyses a lambda body as a
+/// separate function that holds no capabilities, so a predicate lambda
+/// reading a GUARDED_BY member is (correctly) rejected.
+
+#include <mutex>
+
+#if defined(__clang__)
+#define QROSS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define QROSS_THREAD_ANNOTATION(x)  // GCC: annotations compile away
+#endif
+
+/// A type that is a lockable capability (mutex wrappers below).
+#define CAPABILITY(x) QROSS_THREAD_ANNOTATION(capability(x))
+
+/// An RAII type whose lifetime holds a capability (MutexLock below).
+#define SCOPED_CAPABILITY QROSS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member data that may only be read or written while holding the capability.
+#define GUARDED_BY(x) QROSS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded (the pointer itself is not).
+#define PT_GUARDED_BY(x) QROSS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while holding the capability.
+#define REQUIRES(...) \
+  QROSS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the capability and holds it on return.
+#define ACQUIRE(...) QROSS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define RELEASE(...) QROSS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when returning `value`.
+#define TRY_ACQUIRE(value, ...) \
+  QROSS_THREAD_ANNOTATION(try_acquire_capability(value, __VA_ARGS__))
+
+/// Function that must be called WITHOUT holding the capability — the
+/// annotation that turns "journal append happens outside the service lock"
+/// and "notify hooks never run under the reactor mutex" into checked facts.
+#define EXCLUDES(...) QROSS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the given capability.
+#define RETURN_CAPABILITY(x) QROSS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for the rare pattern the analysis cannot express (e.g. a
+/// load-time lambda running before the object is shared).  Every use site
+/// carries a comment justifying why it is safe.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  QROSS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace qross {
+
+/// `std::mutex` annotated as a capability.  Drop-in: same lock/unlock
+/// surface, plus `native()` for APIs that demand the raw std type.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The wrapped mutex, for interop the analysis does not model.
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock over `Mutex`, annotated as a scoped capability.  Re-lockable
+/// (`unlock()`/`lock()`) for leader/follower hand-offs, and `native()`
+/// exposes the underlying `std::unique_lock` for condition-variable waits.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) ACQUIRE(m) : lock_(m.native()) {}
+  ~MutexLock() RELEASE() = default;  // unique_lock no-ops if already unlocked
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() ACQUIRE() { lock_.lock(); }
+  void unlock() RELEASE() { lock_.unlock(); }
+
+  /// For `std::condition_variable::wait*` only.  Manual lock state changes
+  /// through this handle would desynchronise the analysis — don't.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace qross

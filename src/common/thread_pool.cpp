@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   task_available_.notify_all();
@@ -28,7 +28,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   QROSS_ASSERT(task != nullptr);
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     QROSS_ASSERT_MSG(!stopping_, "submit after shutdown");
     tasks_.push(std::move(task));
     ++in_flight_;
@@ -37,8 +37,10 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  // Explicit loop, not a predicate lambda: the analysis treats a lambda as
+  // an unlocked context, while here `in_flight_` is read under the lock.
+  while (in_flight_ != 0) idle_.wait(lock.native());
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -59,15 +61,15 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) task_available_.wait(lock.native());
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0) idle_.notify_all();
     }

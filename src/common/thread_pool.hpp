@@ -8,10 +8,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace qross {
 
@@ -28,25 +29,26 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueues a task.  Tasks must not throw; exceptions terminate.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mutex_);
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// With a single worker this degenerates to a sequential loop.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
   std::condition_variable task_available_;
   std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  std::size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace qross

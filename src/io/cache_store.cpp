@@ -115,7 +115,7 @@ CacheStore::CacheStore(CacheStoreConfig config) : config_(std::move(config)) {}
 
 std::size_t CacheStore::load(
     const std::function<void(CacheEntry entry)>& sink) {
-  std::lock_guard lock(m_);
+  MutexLock lock(m_);
   FileScan snapshot = scan_file(config_.path);
   FileScan journal = scan_file(journal_path());
   load_skipped_ = snapshot.skipped + journal.skipped;
@@ -131,17 +131,17 @@ std::size_t CacheStore::load(
 }
 
 std::size_t CacheStore::load_skipped() const {
-  std::lock_guard lock(m_);
+  MutexLock lock(m_);
   return load_skipped_;
 }
 
 bool CacheStore::version_rejected() const {
-  std::lock_guard lock(m_);
+  MutexLock lock(m_);
   return version_rejected_;
 }
 
 bool CacheStore::append(const CacheEntry& entry) {
-  std::lock_guard lock(m_);
+  MutexLock lock(m_);
   if (!journal_.is_open()) {
     if (!repair_journal_tail_locked()) return false;
     journal_.open(journal_path(),
@@ -166,7 +166,7 @@ bool CacheStore::append(const CacheEntry& entry) {
 }
 
 std::size_t CacheStore::compact() {
-  std::lock_guard lock(m_);
+  MutexLock lock(m_);
   return compact_locked();
 }
 
@@ -249,7 +249,7 @@ std::size_t CacheStore::compact_locked() {
 }
 
 void CacheStore::clear() {
-  std::lock_guard lock(m_);
+  MutexLock lock(m_);
   if (journal_.is_open()) journal_.close();
   std::remove(config_.path.c_str());
   std::remove((config_.path + ".tmp").c_str());
@@ -257,7 +257,7 @@ void CacheStore::clear() {
 }
 
 CacheStoreInfo CacheStore::info() {
-  std::lock_guard lock(m_);
+  MutexLock lock(m_);
   if (journal_.is_open()) journal_.flush();
   FileScan snapshot = scan_file(config_.path);
   FileScan journal = scan_file(journal_path());

@@ -29,9 +29,9 @@
 #include <fstream>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "qubo/batch.hpp"
 #include "service/fingerprint.hpp"
 
@@ -82,45 +82,47 @@ class CacheStore {
   /// oldest-to-newest (duplicate keys are delivered in order; an LRU
   /// `put` naturally keeps the newest).  Returns the number delivered.
   /// Corrupt input is skipped, never thrown.
-  std::size_t load(const std::function<void(CacheEntry entry)>& sink);
+  std::size_t load(const std::function<void(CacheEntry entry)>& sink)
+      EXCLUDES(m_);
 
   /// Records skipped by the most recent load() — corrupt, truncated, or
   /// undecodable.
-  std::size_t load_skipped() const;
+  std::size_t load_skipped() const EXCLUDES(m_);
   /// True when the most recent load() refused a future-version snapshot.
-  bool version_rejected() const;
+  bool version_rejected() const EXCLUDES(m_);
 
   /// Appends one entry to the journal and flushes it to the OS.  The first
   /// append repairs a torn journal tail (crash recovery) so the new record
   /// stays framed.  Returns false on I/O failure or a future-version
   /// journal (the entry is then simply not persisted).
-  bool append(const CacheEntry& entry);
+  bool append(const CacheEntry& entry) EXCLUDES(m_);
 
   /// Merges snapshot + journal (newest record per key wins), applies the
   /// eviction budget (newest entries kept), atomically rewrites the
   /// snapshot, and removes the journal.  Returns the entry count kept.
-  std::size_t compact();
+  std::size_t compact() EXCLUDES(m_);
 
   /// Removes snapshot, journal, and any leftover temp file.
-  void clear();
+  void clear() EXCLUDES(m_);
 
   /// Scans both files and reports their state; read-only.
-  CacheStoreInfo info();
+  CacheStoreInfo info() EXCLUDES(m_);
 
  private:
-  std::size_t compact_locked();
+  std::size_t compact_locked() REQUIRES(m_);
   /// Truncates a torn tail off the journal before the first append of this
   /// store's lifetime, so post-crash appends stay framed (a record written
   /// after a torn tail would otherwise be unreadable and silently dropped
   /// by the next compaction).  False = the journal must not be appended to
   /// (written by a newer format version).
-  bool repair_journal_tail_locked();
+  bool repair_journal_tail_locked() REQUIRES(m_);
 
-  mutable std::mutex m_;
-  CacheStoreConfig config_;
-  std::ofstream journal_;  // opened lazily by append(), closed by compact()
-  std::size_t load_skipped_ = 0;
-  bool version_rejected_ = false;
+  mutable Mutex m_;
+  CacheStoreConfig config_;  ///< immutable after construction
+  /// Opened lazily by append(), closed by compact().
+  std::ofstream journal_ GUARDED_BY(m_);
+  std::size_t load_skipped_ GUARDED_BY(m_) = 0;
+  bool version_rejected_ GUARDED_BY(m_) = false;
 };
 
 }  // namespace qross::io

@@ -4,9 +4,9 @@
 #include <chrono>
 #include <latch>
 #include <map>
-#include <mutex>
 #include <thread>
 
+#include "common/thread_annotations.hpp"
 #include "net/client.hpp"
 
 namespace qross::load {
@@ -65,7 +65,10 @@ ReplayResult replay(const Schedule& schedule, const ReplayConfig& config) {
   std::latch ready(static_cast<std::ptrdiff_t>(clients.size()));
   std::latch go(1);
   Clock::time_point start{};
-  std::mutex error_mutex;
+  // Function-local, captured by the worker lambdas; annotations cannot
+  // express a guard relationship for the local `result.error` it protects,
+  // but the annotated type still feeds the lock sites into the analysis.
+  Mutex error_mutex;
 
   auto worker = [&](std::uint32_t client_index) {
     const auto& my_jobs = slices[client_index];
@@ -99,7 +102,7 @@ ReplayResult replay(const Schedule& schedule, const ReplayConfig& config) {
     std::string error;
     const bool connected = client.connect(&error);
     if (!connected) {
-      const std::lock_guard<std::mutex> lock(error_mutex);
+      const MutexLock lock(error_mutex);
       if (result.error.empty()) {
         result.error = "client '" + clients[client_index].client_id +
                        "' connect failed: " + error;
@@ -148,7 +151,7 @@ ReplayResult replay(const Schedule& schedule, const ReplayConfig& config) {
     };
 
     const auto fail_connection = [&](const std::string& why) {
-      const std::lock_guard<std::mutex> lock(error_mutex);
+      const MutexLock lock(error_mutex);
       if (result.error.empty()) {
         result.error = "client '" + clients[client_index].client_id +
                        "' connection failed mid-replay: " + why;

@@ -6,7 +6,6 @@
 #include <fcntl.h>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <poll.h>
 #include <sys/socket.h>
 #include <thread>
@@ -14,6 +13,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/thread_annotations.hpp"
 #include "io/binary.hpp"
 #include "obs/log.hpp"
 #include "service/tune_service.hpp"
@@ -87,15 +87,33 @@ struct Server::Impl {
 
   /// Completion hooks outlive the server when cancelled kernels finish
   /// late; they reach the Impl only through this null-able indirection.
+  /// Hooks call deliver() — never touch `impl` directly — so the guard is
+  /// enforced at the one place the pointer is read.
   struct CompletionSink {
-    std::mutex m;
-    Impl* impl = nullptr;  // nulled by stop() after the reactor joined
+    Mutex m;
+    Impl* impl GUARDED_BY(m) = nullptr;  // nulled by stop() after the join
+
+    void deliver(std::uint64_t conn_id, std::uint64_t tag, bool tune)
+        EXCLUDES(m) {
+      MutexLock lock(m);
+      if (impl != nullptr) impl->on_complete(conn_id, tag, tune);
+    }
+
+    /// Severs the indirection; any hook mid-deliver finishes first (it
+    /// holds m), so after this returns no hook can reach the Impl.
+    void detach() EXCLUDES(m) {
+      MutexLock lock(m);
+      impl = nullptr;
+    }
   };
 
   Impl(service::SolveService& svc, ServerConfig cfg)
       : service(svc), config(std::move(cfg)) {
     sink = std::make_shared<CompletionSink>();
-    sink->impl = this;
+    {
+      MutexLock lock(sink->m);
+      sink->impl = this;
+    }
     ctr_frames_sent = obs::registry().counter(
         "qross_net_frames_sent_total", "Frames queued to peers");
     ctr_frames_received = obs::registry().counter(
@@ -111,8 +129,9 @@ struct Server::Impl {
   int wake_read = -1;
   int wake_write = -1;
   std::thread reactor;
+  /// Owner-thread-only: start()/drain()/stop() are driven by the thread
+  /// that owns the Server (qrossd's main/signal path), never the reactor.
   bool started = false;
-  bool stopped = false;
 
   // Cross-thread state (reactor <-> public API / completion hooks).
   struct Completion {
@@ -120,15 +139,17 @@ struct Server::Impl {
     std::uint64_t tag = 0;
     bool tune = false;  ///< progress/terminal of a tune session, not a job
   };
-  mutable std::mutex m;
+  mutable Mutex m;
   std::condition_variable cv;
-  std::vector<Completion> completions;
-  bool stop_requested = false;
-  bool draining = false;
-  bool drain_done = false;
-  ServerStats stats;
+  std::vector<Completion> completions GUARDED_BY(m);
+  bool stop_requested GUARDED_BY(m) = false;
+  bool draining GUARDED_BY(m) = false;
+  bool drain_done GUARDED_BY(m) = false;
+  bool stopped GUARDED_BY(m) = false;
+  ServerStats stats GUARDED_BY(m);
 
-  // Reactor-thread-only state.
+  // Reactor-thread-only state (stop() touches it only after the join, when
+  // the reactor is gone — single-threaded again, so no guard applies).
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns;
   std::uint64_t next_conn_id = 1;
 
@@ -150,9 +171,9 @@ struct Server::Impl {
   /// job.hpp contract).  Tune hooks are persistent (one enqueue per trial
   /// plus the terminal one); the reactor dedups via PendingTune::reported.
   void on_complete(std::uint64_t conn_id, std::uint64_t tag,
-                   bool tune = false) {
+                   bool tune = false) EXCLUDES(m) {
     {
-      std::lock_guard lock(m);
+      MutexLock lock(m);
       completions.push_back({conn_id, tag, tune});
     }
     wake();
@@ -161,7 +182,7 @@ struct Server::Impl {
   // --- frame output -----------------------------------------------------
 
   void queue_frame(Connection* conn, std::uint32_t type,
-                   std::span<const std::uint8_t> payload) {
+                   std::span<const std::uint8_t> payload) EXCLUDES(m) {
     ctr_frames_sent->inc();
     std::vector<std::uint8_t> bytes;
     {
@@ -170,7 +191,7 @@ struct Server::Impl {
     }
     conn->out.insert(conn->out.end(), bytes.begin(), bytes.end());
     {
-      std::lock_guard lock(m);
+      MutexLock lock(m);
       ++stats.frames_sent;
     }
     flush_out(conn);
@@ -181,7 +202,7 @@ struct Server::Impl {
   /// protocol error — those rejections have their own counters
   /// (ServiceMetrics::admission_rejected, ServerStats rejection fields).
   void queue_refusal(Connection* conn, std::uint64_t tag, std::uint32_t code,
-                     const std::string& message) {
+                     const std::string& message) EXCLUDES(m) {
     ErrorFrame error;
     error.tag = tag;
     error.code = code;
@@ -190,11 +211,11 @@ struct Server::Impl {
   }
 
   void queue_error(Connection* conn, std::uint64_t tag, std::uint32_t code,
-                   const std::string& message) {
+                   const std::string& message) EXCLUDES(m) {
     // Count BEFORE the frame departs: a peer that has seen the Error frame
     // must see the counter too (tests and operators correlate the two).
     {
-      std::lock_guard lock(m);
+      MutexLock lock(m);
       ++stats.protocol_errors;
     }
     queue_refusal(conn, tag, code, message);
@@ -227,7 +248,7 @@ struct Server::Impl {
 
   // --- request handling -------------------------------------------------
 
-  void handle_submit(Connection* conn, const Frame& f) {
+  void handle_submit(Connection* conn, const Frame& f) EXCLUDES(m) {
     SubmitJobFrame submit;
     // std::exception, not just DecodeError: a decoder slip (bad_alloc from
     // a hostile size that passed the sanity bounds, length_error, ...)
@@ -297,7 +318,7 @@ struct Server::Impl {
     conn->jobs.emplace(submit.tag, std::move(job));
     ++conn->submitted;
     {
-      std::lock_guard lock(m);
+      MutexLock lock(m);
       ++stats.submits;
     }
     if (submit.stream_status && !handle.finished()) {
@@ -313,12 +334,11 @@ struct Server::Impl {
     const auto conn_id = conn->id;
     const auto tag = submit.tag;
     handle.notify([sink_ref, conn_id, tag] {
-      std::lock_guard lock(sink_ref->m);
-      if (sink_ref->impl != nullptr) sink_ref->impl->on_complete(conn_id, tag);
+      sink_ref->deliver(conn_id, tag, /*tune=*/false);
     });
   }
 
-  void handle_submit_tune(Connection* conn, const Frame& f) {
+  void handle_submit_tune(Connection* conn, const Frame& f) EXCLUDES(m) {
     SubmitTuneFrame submit;
     try {
       obs::ScopedSpan span("frame_decode", "net");
@@ -396,7 +416,7 @@ struct Server::Impl {
     conn->tunes.emplace(submit.tag, std::move(pending));
     ++conn->submitted;
     {
-      std::lock_guard lock(m);
+      MutexLock lock(m);
       ++stats.tune_submits;
     }
     // Persistent hook: one wakeup per completed trial, one more at the
@@ -405,17 +425,14 @@ struct Server::Impl {
     const auto conn_id = conn->id;
     const auto tag = submit.tag;
     handle.notify([sink_ref, conn_id, tag] {
-      std::lock_guard lock(sink_ref->m);
-      if (sink_ref->impl != nullptr) {
-        sink_ref->impl->on_complete(conn_id, tag, /*tune=*/true);
-      }
+      sink_ref->deliver(conn_id, tag, /*tune=*/true);
     });
   }
 
-  void handle_frame(Connection* conn, const Frame& f) {
+  void handle_frame(Connection* conn, const Frame& f) EXCLUDES(m) {
     ctr_frames_received->inc();
     {
-      std::lock_guard lock(m);
+      MutexLock lock(m);
       ++stats.frames_received;
     }
     if (!conn->handshaken) {
@@ -497,7 +514,7 @@ struct Server::Impl {
         // notify path once the session thread reaches its stop boundary.
         it->second.handle.cancel();
         ++conn->cancels;
-        std::lock_guard lock(m);
+        MutexLock lock(m);
         ++stats.tune_cancels;
         return;
       }
@@ -517,7 +534,7 @@ struct Server::Impl {
         }
         it->second.handle.cancel();
         ++conn->cancels;
-        std::lock_guard lock(m);
+        MutexLock lock(m);
         ++stats.cancels;
         return;
       }
@@ -525,7 +542,7 @@ struct Server::Impl {
         MetricsFrame metrics;
         metrics.service = service.metrics();
         {
-          std::lock_guard lock(m);
+          MutexLock lock(m);
           metrics.connections_accepted = stats.connections_accepted;
           metrics.connections_active = stats.connections_active;
           metrics.protocol_errors = stats.protocol_errors;
@@ -567,7 +584,7 @@ struct Server::Impl {
     }
   }
 
-  void send_result(Connection* conn, std::uint64_t tag) {
+  void send_result(Connection* conn, std::uint64_t tag) EXCLUDES(m) {
     const auto it = conn->jobs.find(tag);
     if (it == conn->jobs.end()) return;  // tag already retired
     const service::JobHandle handle = it->second.handle;
@@ -591,7 +608,7 @@ struct Server::Impl {
       obs::ScopedSpan span("result_flush", "net", handle.id(), trace_id);
       queue_frame(conn, io::kRecordNetResult, encode_result(result));
     }
-    std::lock_guard lock(m);
+    MutexLock lock(m);
     ++stats.results_sent;
   }
 
@@ -599,7 +616,7 @@ struct Server::Impl {
   /// session is terminal — the TuneResult frame.  Idempotent per wakeup:
   /// the persistent hook enqueues one completion per trial, and `reported`
   /// makes each event go out exactly once.
-  void send_tune_progress(Connection* conn, std::uint64_t tag) {
+  void send_tune_progress(Connection* conn, std::uint64_t tag) EXCLUDES(m) {
     const auto it = conn->tunes.find(tag);
     if (it == conn->tunes.end()) return;  // tag already retired
     PendingTune& pending = it->second;
@@ -657,13 +674,13 @@ struct Server::Impl {
       obs::ScopedSpan span("tune_result_flush", "net", handle.id(), trace_id);
       queue_frame(conn, io::kRecordNetTuneResult, encode_tune_result(result));
     }
-    std::lock_guard lock(m);
+    MutexLock lock(m);
     ++stats.tune_results_sent;
   }
 
   // --- connection lifecycle ---------------------------------------------
 
-  void close_connection(std::uint64_t id) {
+  void close_connection(std::uint64_t id) EXCLUDES(m) {
     const auto it = conns.find(id);
     if (it == conns.end()) return;
     Connection* conn = it->second.get();
@@ -687,13 +704,13 @@ struct Server::Impl {
                     {"cancelled_jobs", std::to_string(cancelled)},
                     {"cancelled_tunes", std::to_string(cancelled_tunes)}});
     conns.erase(it);
-    std::lock_guard lock(m);
+    MutexLock lock(m);
     stats.disconnect_cancelled_jobs += cancelled;
     stats.disconnect_cancelled_tunes += cancelled_tunes;
     stats.connections_active = conns.size();
   }
 
-  void accept_pending(const Socket& listener) {
+  void accept_pending(const Socket& listener) EXCLUDES(m) {
     while (true) {
       const int fd = ::accept(listener.fd(), nullptr, nullptr);
       if (fd < 0) {
@@ -722,7 +739,7 @@ struct Server::Impl {
           sent += static_cast<std::size_t>(n);
         }
         ::close(fd);
-        std::lock_guard lock(m);
+        MutexLock lock(m);
         ++stats.connections_rejected_full;
         continue;
       }
@@ -733,7 +750,7 @@ struct Server::Impl {
       conns[id]->in = FrameBuffer(config.max_frame_bytes);
       obs::log_event(obs::LogLevel::info, "conn_open",
                      {{"conn", std::to_string(id)}});
-      std::lock_guard lock(m);
+      MutexLock lock(m);
       ++stats.connections_accepted;
       stats.connections_active = conns.size();
     }
@@ -741,7 +758,7 @@ struct Server::Impl {
 
   /// Reads everything available; returns false when the connection should
   /// be torn down after its out buffer flushes.
-  bool read_ready(Connection* conn) {
+  bool read_ready(Connection* conn) EXCLUDES(m) {
     std::uint8_t buf[65536];
     bool saw_eof = false;
     while (true) {
@@ -795,7 +812,7 @@ struct Server::Impl {
 
   /// queued→running transitions for stream_status jobs (poll-driven; the
   /// terminal transition arrives through the completion hook instead).
-  void stream_status_tick(Connection* conn) {
+  void stream_status_tick(Connection* conn) EXCLUDES(m) {
     for (auto& [tag, job] : conn->jobs) {
       if (!job.stream_status) continue;
       const auto status = job.handle.status();
@@ -811,20 +828,33 @@ struct Server::Impl {
     }
   }
 
-  bool is_draining() const {
-    std::lock_guard lock(m);
+  bool is_draining() const EXCLUDES(m) {
+    MutexLock lock(m);
     return draining;
+  }
+
+  /// Blocks until the reactor reports the drain finished (or the server
+  /// stopped underneath us); true iff drained within `deadline`.
+  bool wait_drained(std::chrono::milliseconds deadline) EXCLUDES(m) {
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    MutexLock lock(m);
+    while (!drain_done && !stopped) {
+      if (cv.wait_until(lock.native(), until) == std::cv_status::timeout) {
+        return drain_done || stopped;
+      }
+    }
+    return true;
   }
 
   // --- the reactor ------------------------------------------------------
 
-  void reactor_loop() {
+  void reactor_loop() EXCLUDES(m) {
     std::vector<pollfd> fds;
     std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = not a conn)
     while (true) {
       bool drain_now = false;
       {
-        std::lock_guard lock(m);
+        MutexLock lock(m);
         if (stop_requested) break;
         drain_now = draining;
       }
@@ -867,7 +897,7 @@ struct Server::Impl {
       // Deliver completed jobs' Result frames and tune sessions' progress.
       std::vector<Completion> done;
       {
-        std::lock_guard lock(m);
+        MutexLock lock(m);
         done.swap(completions);
       }
       for (const auto& c : done) {
@@ -924,7 +954,7 @@ struct Server::Impl {
           }
         }
         if (complete) {
-          std::lock_guard lock(m);
+          MutexLock lock(m);
           if (!drain_done) {
             drain_done = true;
             cv.notify_all();
@@ -982,20 +1012,18 @@ std::vector<Endpoint> Server::endpoints() const { return impl_->bound; }
 bool Server::drain(std::chrono::milliseconds deadline) {
   if (!impl_->started) return true;
   {
-    std::lock_guard lock(impl_->m);
+    MutexLock lock(impl_->m);
     impl_->draining = true;
   }
   impl_->wake();
-  std::unique_lock lock(impl_->m);
-  return impl_->cv.wait_for(lock, deadline, [&] {
-    return impl_->drain_done || impl_->stopped;
-  });
+  return impl_->wait_drained(deadline);
 }
 
 void Server::stop() {
-  if (!impl_->started || impl_->stopped) return;
+  if (!impl_->started) return;
   {
-    std::lock_guard lock(impl_->m);
+    MutexLock lock(impl_->m);
+    if (impl_->stopped) return;
     impl_->stop_requested = true;
   }
   impl_->wake();
@@ -1003,10 +1031,7 @@ void Server::stop() {
   // From here no other thread touches the connection table.  Null the hook
   // indirection FIRST: a kernel finishing late must find no Impl, and the
   // sink mutex makes any hook mid-delivery finish before we tear down.
-  {
-    std::lock_guard lock(impl_->sink->m);
-    impl_->sink->impl = nullptr;
-  }
+  impl_->sink->detach();
   std::vector<std::uint64_t> ids;
   ids.reserve(impl_->conns.size());
   for (const auto& [id, conn] : impl_->conns) ids.push_back(id);
@@ -1022,13 +1047,15 @@ void Server::stop() {
       ::unlink(endpoint.path.c_str());
     }
   }
-  std::lock_guard lock(impl_->m);
-  impl_->stopped = true;
+  {
+    MutexLock lock(impl_->m);
+    impl_->stopped = true;
+  }
   impl_->cv.notify_all();
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard lock(impl_->m);
+  MutexLock lock(impl_->m);
   return impl_->stats;
 }
 

@@ -74,14 +74,14 @@ Registry::Entry& Registry::entry_locked(const std::string& name, Kind kind,
 }
 
 Counter* Registry::counter(const std::string& name, const std::string& help) {
-  std::lock_guard<std::mutex> lock(m_);
+  MutexLock lock(m_);
   Entry& e = entry_locked(name, Kind::counter, help);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return e.counter.get();
 }
 
 Gauge* Registry::gauge(const std::string& name, const std::string& help) {
-  std::lock_guard<std::mutex> lock(m_);
+  MutexLock lock(m_);
   Entry& e = entry_locked(name, Kind::gauge, help);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return e.gauge.get();
@@ -90,7 +90,7 @@ Gauge* Registry::gauge(const std::string& name, const std::string& help) {
 Histogram* Registry::histogram(const std::string& name,
                                std::vector<double> bounds,
                                const std::string& help) {
-  std::lock_guard<std::mutex> lock(m_);
+  MutexLock lock(m_);
   // Validate the bounds BEFORE touching the map: a throwing constructor must
   // not leave a half-registered entry behind for render_prometheus to trip on.
   auto built = std::make_unique<Histogram>(bounds);
@@ -105,7 +105,7 @@ Histogram* Registry::histogram(const std::string& name,
 }
 
 std::string Registry::render_prometheus() const {
-  std::lock_guard<std::mutex> lock(m_);
+  MutexLock lock(m_);
   std::string out;
   out.reserve(entries_.size() * 128);
   for (const auto& [name, e] : entries_) {

@@ -15,9 +15,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace qross::obs {
 
@@ -77,15 +78,17 @@ class Registry {
  public:
   /// Registers (or fetches) an instrument.  Pointers stay valid for the
   /// registry's lifetime.  `help` is recorded on first registration.
-  Counter* counter(const std::string& name, const std::string& help = "");
-  Gauge* gauge(const std::string& name, const std::string& help = "");
+  Counter* counter(const std::string& name, const std::string& help = "")
+      EXCLUDES(m_);
+  Gauge* gauge(const std::string& name, const std::string& help = "")
+      EXCLUDES(m_);
   Histogram* histogram(const std::string& name, std::vector<double> bounds,
-                       const std::string& help = "");
+                       const std::string& help = "") EXCLUDES(m_);
 
   /// Prometheus text exposition: `# HELP` / `# TYPE` lines, cumulative
   /// histogram `_bucket{le=...}` series ending in `le="+Inf"`, `_sum`,
   /// `_count`.  Metric families sorted by name.
-  std::string render_prometheus() const;
+  std::string render_prometheus() const EXCLUDES(m_);
 
  private:
   enum class Kind { counter, gauge, histogram };
@@ -98,10 +101,12 @@ class Registry {
   };
 
   Entry& entry_locked(const std::string& name, Kind kind,
-                      const std::string& help);
+                      const std::string& help) REQUIRES(m_);
 
-  mutable std::mutex m_;
-  std::map<std::string, Entry> entries_;  // sorted → stable exposition order
+  mutable Mutex m_;
+  /// Sorted → stable exposition order.  The map is guarded; the instruments
+  /// it owns are atomics-only and updated lock-free through stable pointers.
+  std::map<std::string, Entry> entries_ GUARDED_BY(m_);
 };
 
 /// Process-global registry (leaked, like the trace recorder, so instrumented

@@ -75,7 +75,7 @@ TraceRecorder& TraceRecorder::instance() {
 
 void TraceRecorder::enable(std::size_t capacity) {
   {
-    std::lock_guard<std::mutex> lock(m_);
+    MutexLock lock(m_);
     if (capacity != 0 && capacity != capacity_) {
       capacity_ = capacity;
       ring_.clear();
@@ -91,7 +91,7 @@ void TraceRecorder::disable() {
 }
 
 void TraceRecorder::clear() {
-  std::lock_guard<std::mutex> lock(m_);
+  MutexLock lock(m_);
   ring_.clear();
   total_ = 0;
 }
@@ -123,7 +123,7 @@ void TraceRecorder::record_instant(const char* name, const char* cat,
   ev.a1 = a1;
   ev.tid = this_thread_id();
   ev.kind = EventKind::instant;
-  std::lock_guard<std::mutex> lock(m_);
+  MutexLock lock(m_);
   push_locked(ev);
 }
 
@@ -143,12 +143,12 @@ void TraceRecorder::record_span(const char* name, const char* cat,
   ev.a1 = a1;
   ev.tid = this_thread_id();
   ev.kind = EventKind::span;
-  std::lock_guard<std::mutex> lock(m_);
+  MutexLock lock(m_);
   push_locked(ev);
 }
 
 std::vector<TraceEvent> TraceRecorder::snapshot() const {
-  std::lock_guard<std::mutex> lock(m_);
+  MutexLock lock(m_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (total_ <= capacity_ || ring_.size() < capacity_) {
@@ -164,17 +164,17 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
 }
 
 std::uint64_t TraceRecorder::recorded() const {
-  std::lock_guard<std::mutex> lock(m_);
+  MutexLock lock(m_);
   return total_;
 }
 
 std::uint64_t TraceRecorder::evicted() const {
-  std::lock_guard<std::mutex> lock(m_);
+  MutexLock lock(m_);
   return total_ <= capacity_ ? 0 : total_ - capacity_;
 }
 
 std::size_t TraceRecorder::capacity() const {
-  std::lock_guard<std::mutex> lock(m_);
+  MutexLock lock(m_);
   return capacity_;
 }
 

@@ -21,9 +21,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace qross::obs {
 
@@ -53,30 +54,33 @@ class TraceRecorder {
   /// instrumented destructors running during static teardown stay safe.
   static TraceRecorder& instance();
 
-  /// The one hot-path check: a relaxed atomic load.
+  /// The one hot-path check: a relaxed atomic load.  `enabled_` is an
+  /// atomic, NOT guarded by m_ — the disabled path must never touch the
+  /// ring mutex, which is why every recording entry point is EXCLUDES(m_):
+  /// the lock is taken only after this check passes.
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Enables recording.  `capacity` = 0 keeps the current ring capacity.
-  void enable(std::size_t capacity = 0);
+  void enable(std::size_t capacity = 0) EXCLUDES(m_);
   void disable();  ///< stops recording; the buffer is kept for dumping
-  void clear();    ///< drops buffered events and resets counters
+  void clear() EXCLUDES(m_);  ///< drops buffered events and resets counters
 
   void record_instant(const char* name, const char* cat, std::uint64_t a0 = 0,
-                      std::uint64_t a1 = 0);
+                      std::uint64_t a1 = 0) EXCLUDES(m_);
   /// Records a completed span from explicit timestamps (supports spans whose
   /// start predates the call, e.g. queue-wait measured at dispatch).
   void record_span(const char* name, const char* cat, Clock::time_point start,
                    Clock::time_point end, std::uint64_t a0 = 0,
-                   std::uint64_t a1 = 0);
+                   std::uint64_t a1 = 0) EXCLUDES(m_);
 
   /// Buffered events, oldest first.
-  std::vector<TraceEvent> snapshot() const;
+  std::vector<TraceEvent> snapshot() const EXCLUDES(m_);
 
   /// Exact monotonic counters — `recorded() - evicted()` is the buffered
   /// count, and both keep counting across ring wrap-around.
-  std::uint64_t recorded() const;
-  std::uint64_t evicted() const;
-  std::size_t capacity() const;
+  std::uint64_t recorded() const EXCLUDES(m_);
+  std::uint64_t evicted() const EXCLUDES(m_);
+  std::size_t capacity() const EXCLUDES(m_);
 
   Clock::time_point epoch() const { return epoch_; }
 
@@ -84,15 +88,15 @@ class TraceRecorder {
   explicit TraceRecorder(std::size_t capacity);
 
   std::uint64_t since_epoch_ns(Clock::time_point tp) const;
-  void push_locked(const TraceEvent& ev);
+  void push_locked(const TraceEvent& ev) REQUIRES(m_);
 
   std::atomic<bool> enabled_{false};
   Clock::time_point epoch_;
 
-  mutable std::mutex m_;
-  std::vector<TraceEvent> ring_;  // guarded by m_
-  std::size_t capacity_;          // guarded by m_
-  std::uint64_t total_ = 0;       // events ever recorded; guarded by m_
+  mutable Mutex m_;
+  std::vector<TraceEvent> ring_ GUARDED_BY(m_);
+  std::size_t capacity_ GUARDED_BY(m_);
+  std::uint64_t total_ GUARDED_BY(m_) = 0;  ///< events ever recorded
 };
 
 /// RAII span: captures the start time at construction and records on

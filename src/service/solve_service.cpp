@@ -7,12 +7,12 @@
 #include <deque>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/thread_annotations.hpp"
 #include "io/cache_store.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -96,20 +96,24 @@ struct JobState {
   std::weak_ptr<ServiceCore> core;
   std::weak_ptr<ExecState> exec;
 
-  mutable std::mutex m;
+  mutable Mutex m;
   mutable std::condition_variable cv;
-  JobStatus status = JobStatus::queued;
-  bool wants_cancel = false;  // cancelled while running; completes on exit
-  JobResult result;
+  JobStatus status GUARDED_BY(m) = JobStatus::queued;
+  /// cancelled while running; completes on exit
+  bool wants_cancel GUARDED_BY(m) = false;
+  JobResult result GUARDED_BY(m);
   /// One-shot completion hook (JobHandle::notify); fired by finish_job after
   /// the terminal transition, outside this job's lock but possibly inside
   /// the service lock — see the notify() contract in job.hpp.
-  std::function<void()> on_terminal;
+  std::function<void()> on_terminal GUARDED_BY(m);
 };
 
 // One solver execution, shared by every job whose fingerprint coalesced
 // onto it.  All fields are guarded by ServiceCore::m except the stop token
 // and `deadline_hit`, which the kernel's sweep callback touches lock-free.
+// (The guard is another object's mutex reached through a weak_ptr, which
+// thread-safety annotations cannot express as a GUARDED_BY path — the
+// invariant is enforced by ServiceCore's REQUIRES(m) helpers instead.)
 struct ExecState {
   Fingerprint key;
   solvers::SolverPtr solver;
@@ -210,9 +214,7 @@ struct ServiceCore {
       store = std::make_unique<io::CacheStore>(store_config);
       // Warm fill, oldest to newest: put() keeps the newest duplicate and
       // leaves the most recent entries most-recently-used in the LRU.
-      store->load([this](io::CacheEntry entry) {
-        cache.put(entry.key, std::move(entry.batch));
-      });
+      store->load([this](io::CacheEntry entry) { warm_fill(std::move(entry)); });
       // Report what the LRU RETAINED, not what the file delivered: a
       // snapshot larger than cache_capacity warm-fills only the newest
       // entries, and claiming more would promise hits that cannot happen.
@@ -234,11 +236,20 @@ struct ServiceCore {
     if (store && cache_stored > 0) store->compact();
   }
 
+  /// Warm-fill callback target.  It runs inside the constructor, before any
+  /// other thread can see this object — but it is reached through a lambda,
+  /// which the thread-safety analysis treats as an ordinary unlocked
+  /// function (the constructor exemption does not extend into lambdas), so
+  /// the check is opted out for this one line.
+  void warm_fill(io::CacheEntry entry) NO_THREAD_SAFETY_ANALYSIS {
+    cache.put(entry.key, std::move(entry.batch));
+  }
+
   ServiceConfig config;
 
-  mutable std::mutex m;
-  bool shutting_down = false;
-  std::uint64_t next_job_id = 1;
+  mutable Mutex m;
+  bool shutting_down GUARDED_BY(m) = false;
+  std::uint64_t next_job_id GUARDED_BY(m) = 1;
 
   // --- fair-share ready queue ----------------------------------------------
   //
@@ -266,7 +277,7 @@ struct ServiceCore {
     std::vector<std::string> ring;  ///< keys with entries, round-robin order
     std::size_t rr = 0;
   };
-  std::map<int, Band, std::greater<int>> bands;
+  std::map<int, Band, std::greater<int>> bands GUARDED_BY(m);
 
   /// Per-client admission + scheduling bookkeeping.  Ordered so the metrics
   /// snapshot lists clients deterministically.
@@ -280,13 +291,14 @@ struct ServiceCore {
     std::uint64_t rejected_inflight = 0;
     std::uint64_t rejected_queued = 0;
   };
-  std::map<std::string, ClientState> clients;
-  std::uint64_t admission_rejected = 0;
+  std::map<std::string, ClientState> clients GUARDED_BY(m);
+  std::uint64_t admission_rejected GUARDED_BY(m) = 0;
 
   static double clamp_weight(double weight) {
     return std::min(100.0, std::max(0.01, weight));
   }
 
+  // config is immutable after construction, so this needs no lock.
   double configured_weight(const std::string& id) const {
     const auto it = config.client_weights.find(id);
     return clamp_weight(it != config.client_weights.end()
@@ -294,7 +306,7 @@ struct ServiceCore {
                             : config.default_client_weight);
   }
 
-  ClientState& client_state(const std::string& id) {
+  ClientState& client_state(const std::string& id) REQUIRES(m) {
     auto it = clients.find(id);
     if (it != clients.end()) return it->second;
     if (config.max_client_rows > 0 &&
@@ -329,12 +341,12 @@ struct ServiceCore {
 
   /// Weight of a scheduling key WITHOUT materialising a ClientState (the
   /// shared fair_share-off key must not show up as a metrics row).
-  double lane_weight(const std::string& key) const {
+  double lane_weight(const std::string& key) const REQUIRES(m) {
     const auto it = clients.find(key);
     return it != clients.end() ? it->second.weight : configured_weight(key);
   }
 
-  void push_ready(const std::shared_ptr<ExecState>& exec) {
+  void push_ready(const std::shared_ptr<ExecState>& exec) REQUIRES(m) {
     Band& band = bands[exec->priority];
     const std::string key = sched_key(*exec);
     ClientLane& lane = band.lanes[key];
@@ -348,7 +360,7 @@ struct ServiceCore {
   /// Next live execution of one band under deficit round robin, or null
   /// when the band holds none.  Stale entries are dropped without consuming
   /// credit; a lane that empties resets its deficit (standard DRR).
-  std::shared_ptr<ExecState> pop_from_band(Band& band) {
+  std::shared_ptr<ExecState> pop_from_band(Band& band) REQUIRES(m) {
     while (!band.ring.empty()) {
       if (band.rr >= band.ring.size()) band.rr = 0;
       const std::string key = band.ring[band.rr];
@@ -403,7 +415,7 @@ struct ServiceCore {
   /// globally; fairness applies within a band).  Drained bands are erased —
   /// which also resets their lanes' deficits, exactly DRR's empty-queue
   /// rule.
-  std::shared_ptr<ExecState> pop_ready() {
+  std::shared_ptr<ExecState> pop_ready() REQUIRES(m) {
     for (auto it = bands.begin(); it != bands.end();) {
       if (auto exec = pop_from_band(it->second)) return exec;
       it = bands.erase(it);
@@ -412,35 +424,37 @@ struct ServiceCore {
   }
 
   std::unordered_map<Fingerprint, std::shared_ptr<ExecState>, FingerprintHash>
-      inflight;
+      inflight GUARDED_BY(m);
   // Every execution currently inside a solver kernel — including
   // bypass_cache ones, which never appear in `inflight` — so shutdown()
   // can stop-signal them all.
-  std::vector<std::shared_ptr<ExecState>> running_execs;
-  ResultCache cache;
+  std::vector<std::shared_ptr<ExecState>> running_execs GUARDED_BY(m);
+  ResultCache cache GUARDED_BY(m);
   /// Persistent backing of `cache` (null without cache_path).  Internally
   /// synchronised — appends and flushes run OUTSIDE `m`, so disk I/O never
-  /// blocks submits or metrics.
+  /// blocks submits or metrics.  The pointer itself is written once at
+  /// construction and never reseated, so it is deliberately NOT guarded —
+  /// keeping it readable on the journal path is the whole point.
   std::unique_ptr<io::CacheStore> store;
-  std::size_t cache_loaded = 0;
-  std::size_t cache_stored = 0;
-  std::size_t cache_load_skipped = 0;
-  std::size_t startup_evictions = 0;
+  std::size_t cache_loaded GUARDED_BY(m) = 0;
+  std::size_t cache_stored GUARDED_BY(m) = 0;
+  std::size_t cache_load_skipped GUARDED_BY(m) = 0;
+  std::size_t startup_evictions GUARDED_BY(m) = 0;
 
-  std::size_t queue_depth = 0;
-  std::size_t running = 0;
-  std::size_t submitted = 0;
-  std::size_t completed = 0;
-  std::size_t cancelled = 0;
-  std::size_t expired = 0;
-  std::size_t failed = 0;
-  std::size_t coalesced = 0;
-  std::size_t solver_invocations = 0;
-  LatencyReservoir wait_reservoir;
-  LatencyReservoir run_reservoir;
+  std::size_t queue_depth GUARDED_BY(m) = 0;
+  std::size_t running GUARDED_BY(m) = 0;
+  std::size_t submitted GUARDED_BY(m) = 0;
+  std::size_t completed GUARDED_BY(m) = 0;
+  std::size_t cancelled GUARDED_BY(m) = 0;
+  std::size_t expired GUARDED_BY(m) = 0;
+  std::size_t failed GUARDED_BY(m) = 0;
+  std::size_t coalesced GUARDED_BY(m) = 0;
+  std::size_t solver_invocations GUARDED_BY(m) = 0;
+  LatencyReservoir wait_reservoir GUARDED_BY(m);
+  LatencyReservoir run_reservoir GUARDED_BY(m);
   Clock::time_point started_at;
   /// Trailing ~60 s completion rate (guarded by `m`, like the reservoirs).
-  SlidingWindowRate recent_rate;
+  SlidingWindowRate recent_rate GUARDED_BY(m);
 
   // Registry instruments (process-global; see the constructor).  Updated
   // with atomics only — safe under or outside `m`.
@@ -464,17 +478,18 @@ struct ServiceCore {
 
   /// Mirrors queue_depth/running into the registry gauges.  Called at every
   /// mutation site (all hold `m`).
-  void sync_gauges() {
+  void sync_gauges() REQUIRES(m) {
     g_queue_depth->set(static_cast<double>(queue_depth));
     g_running->set(static_cast<double>(running));
   }
 
   /// Moves `job` to the terminal state in `result` (caller holds `m`).
   /// Returns false when the job already finished through another path.
-  bool finish_job(const std::shared_ptr<JobState>& job, JobResult result) {
+  bool finish_job(const std::shared_ptr<JobState>& job, JobResult result)
+      REQUIRES(m) {
     std::function<void()> hook;
     {
-      std::lock_guard job_lock(job->m);
+      MutexLock job_lock(job->m);
       if (is_terminal(job->status)) return false;
       wait_reservoir.record(result.wait_ms);
       h_queue_wait->observe(result.wait_ms);
@@ -523,22 +538,22 @@ struct ServiceCore {
   }
 
   bool job_live(const std::shared_ptr<JobState>& job) const {
-    std::lock_guard job_lock(job->m);
+    MutexLock job_lock(job->m);
     return !is_terminal(job->status);
   }
 
   bool job_wants_cancel(const std::shared_ptr<JobState>& job) const {
-    std::lock_guard job_lock(job->m);
+    MutexLock job_lock(job->m);
     return job->wants_cancel;
   }
 
-  void drop_inflight(const std::shared_ptr<ExecState>& exec) {
+  void drop_inflight(const std::shared_ptr<ExecState>& exec) REQUIRES(m) {
     const auto it = inflight.find(exec->key);
     if (it != inflight.end() && it->second == exec) inflight.erase(it);
   }
 
-  void cancel_job(const std::shared_ptr<JobState>& job);
-  void run_one();
+  void cancel_job(const std::shared_ptr<JobState>& job) EXCLUDES(m);
+  void run_one() EXCLUDES(m);
 
   /// Per-job stop tokens the running execution polls each sweep: a
   /// signalled token is that job's cancellation and is routed through
@@ -560,8 +575,8 @@ struct ServiceCore {
   /// kernel is stop-signalled instead and the completion path attaches the
   /// partial batch.  Updates exec->next_deadline_ns for the lock-free sweep
   /// check.
-  void expire_due_jobs(ExecState* exec) {
-    std::lock_guard lock(m);
+  void expire_due_jobs(ExecState* exec) EXCLUDES(m) {
+    MutexLock lock(m);
     auto& watch = exec->watch;
     const auto now = Clock::now();
     while (!watch.empty() && watch.front().first <= now) {
@@ -596,7 +611,7 @@ struct ServiceCore {
 };
 
 void ServiceCore::cancel_job(const std::shared_ptr<JobState>& job) {
-  std::lock_guard lock(m);
+  MutexLock lock(m);
   if (!job_live(job)) return;
   const auto exec = job->exec.lock();
   if (!exec || exec->phase == ExecState::Phase::finished) {
@@ -649,7 +664,7 @@ void ServiceCore::cancel_job(const std::shared_ptr<JobState>& job) {
     finish_job(job, std::move(r));
   } else {
     {
-      std::lock_guard job_lock(job->m);
+      MutexLock job_lock(job->m);
       job->wants_cancel = true;
     }
     exec->stop.request_stop();
@@ -660,7 +675,7 @@ void ServiceCore::run_one() {
   std::shared_ptr<ExecState> exec;
   const auto tokens = std::make_shared<TokenWatch>();
   {
-    std::lock_guard lock(m);
+    MutexLock lock(m);
     while (auto candidate = pop_ready()) {
       const auto now = Clock::now();
       // Deadline triage: jobs already past their deadline complete as
@@ -704,7 +719,7 @@ void ServiceCore::run_one() {
       auto& tracer = obs::TraceRecorder::instance();
       for (const auto& job : candidate->subscribers) {
         {
-          std::lock_guard job_lock(job->m);
+          MutexLock job_lock(job->m);
           if (!is_terminal(job->status)) job->status = JobStatus::running;
         }
         if (tracer.enabled()) {
@@ -799,7 +814,7 @@ void ServiceCore::run_one() {
   const double run_ms = ms_between(exec->started_at, finished_at);
   bool persist = false;
   {
-    std::lock_guard lock(m);
+    MutexLock lock(m);
     --running;
     sync_gauges();
     exec->phase = ExecState::Phase::finished;
@@ -858,7 +873,7 @@ void ServiceCore::run_one() {
     h_journal->observe(ms_between(append_start, Clock::now()));
     if (appended) {
       ctr_journal_appends->inc();
-      std::lock_guard lock(m);
+      MutexLock lock(m);
       ++cache_stored;
     }
   }
@@ -878,27 +893,33 @@ std::uint64_t JobHandle::id() const {
 
 JobStatus JobHandle::status() const {
   QROSS_REQUIRE(valid(), "empty job handle");
-  std::lock_guard lock(state_->m);
+  MutexLock lock(state_->m);
   return state_->status;
 }
 
 JobResult JobHandle::wait() const {
   QROSS_REQUIRE(valid(), "empty job handle");
-  std::unique_lock lock(state_->m);
-  state_->cv.wait(lock, [&] { return is_terminal(state_->status); });
+  MutexLock lock(state_->m);
+  while (!is_terminal(state_->status)) state_->cv.wait(lock.native());
   return state_->result;
 }
 
 bool JobHandle::wait_for(std::chrono::milliseconds timeout) const {
   QROSS_REQUIRE(valid(), "empty job handle");
-  std::unique_lock lock(state_->m);
-  return state_->cv.wait_for(lock, timeout,
-                             [&] { return is_terminal(state_->status); });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(state_->m);
+  while (!is_terminal(state_->status)) {
+    if (state_->cv.wait_until(lock.native(), deadline) ==
+        std::cv_status::timeout) {
+      return is_terminal(state_->status);
+    }
+  }
+  return true;
 }
 
 JobResult JobHandle::result() const {
   QROSS_REQUIRE(valid(), "empty job handle");
-  std::lock_guard lock(state_->m);
+  MutexLock lock(state_->m);
   QROSS_REQUIRE(is_terminal(state_->status), "job not finished");
   return state_->result;
 }
@@ -907,7 +928,7 @@ void JobHandle::notify(std::function<void()> fn) const {
   QROSS_REQUIRE(valid(), "empty job handle");
   bool fire_now = false;
   {
-    std::lock_guard lock(state_->m);
+    MutexLock lock(state_->m);
     if (is_terminal(state_->status)) {
       fire_now = true;
     } else {
@@ -955,7 +976,7 @@ JobHandle SolveService::submit(solvers::SolverPtr solver,
 
   bool schedule = false;
   {
-    std::lock_guard lock(core_->m);
+    MutexLock lock(core_->m);
     if (core_->shutting_down) {
       throw AdmissionError(AdmissionErrorKind::shutting_down,
                            "service is shutting down; submission refused");
@@ -1048,7 +1069,7 @@ JobHandle SolveService::submit(solvers::SolverPtr solver,
       core_->ctr_coalesced->inc();
       if (join->phase == detail::ExecState::Phase::running) {
         {
-          std::lock_guard job_lock(job->m);
+          MutexLock job_lock(job->m);
           job->status = JobStatus::running;
         }
         if (job->deadline) {
@@ -1107,7 +1128,7 @@ JobHandle SolveService::submit(solvers::SolverPtr solver,
 }
 
 ServiceMetrics SolveService::metrics() const {
-  std::lock_guard lock(core_->m);
+  MutexLock lock(core_->m);
   ServiceMetrics s;
   s.workers = pool_.size();
   s.queue_depth = core_->queue_depth;
@@ -1164,7 +1185,7 @@ std::size_t SolveService::flush_cache() {
 }
 
 void SolveService::shutdown() {
-  std::lock_guard lock(core_->m);
+  MutexLock lock(core_->m);
   core_->shutting_down = true;
   const auto now = Clock::now();
   // pop_ready drains every band (skipping stale/dead entries itself), so

@@ -34,15 +34,19 @@ struct TuneSessionState {
   std::string client_id;
   std::uint64_t trace_id = 0;
 
-  mutable std::mutex mutex;
+  mutable Mutex mutex;
   std::condition_variable cv;
-  TuneSessionStatus status = TuneSessionStatus::running;
-  std::vector<core::TuneTrialEvent> events;  ///< events[i].index == i
-  core::TuneOutcome outcome;
-  std::string error;
-  double wall_ms = 0.0;
-  std::function<void()> hook;
+  TuneSessionStatus status GUARDED_BY(mutex) = TuneSessionStatus::running;
+  /// events[i].index == i
+  std::vector<core::TuneTrialEvent> events GUARDED_BY(mutex);
+  core::TuneOutcome outcome GUARDED_BY(mutex);
+  std::string error GUARDED_BY(mutex);
+  double wall_ms GUARDED_BY(mutex) = 0.0;
+  std::function<void()> hook GUARDED_BY(mutex);
 
+  // Lock-free by design: `invocations` is bumped from inside probe solves
+  // and `stop` is the cooperative cancellation token — neither may depend
+  // on the session mutex.
   std::atomic<std::uint64_t> invocations{0};
   solvers::StopToken stop = solvers::StopToken::create();
 };
@@ -91,28 +95,35 @@ std::uint64_t TuneHandle::id() const {
 
 TuneSessionStatus TuneHandle::status() const {
   QROSS_REQUIRE(state_ != nullptr, "empty tune handle");
-  std::lock_guard lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   return state_->status;
 }
 
 TuneSessionResult TuneHandle::wait() const {
   QROSS_REQUIRE(state_ != nullptr, "empty tune handle");
-  std::unique_lock lock(state_->mutex);
-  state_->cv.wait(lock, [&] { return is_terminal(state_->status); });
-  lock.unlock();
+  {
+    MutexLock lock(state_->mutex);
+    while (!is_terminal(state_->status)) state_->cv.wait(lock.native());
+  }
   return result();
 }
 
 bool TuneHandle::wait_for(std::chrono::milliseconds timeout) const {
   QROSS_REQUIRE(state_ != nullptr, "empty tune handle");
-  std::unique_lock lock(state_->mutex);
-  return state_->cv.wait_for(lock, timeout,
-                             [&] { return is_terminal(state_->status); });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(state_->mutex);
+  while (!is_terminal(state_->status)) {
+    if (state_->cv.wait_until(lock.native(), deadline) ==
+        std::cv_status::timeout) {
+      return is_terminal(state_->status);
+    }
+  }
+  return true;
 }
 
 TuneSessionResult TuneHandle::result() const {
   QROSS_REQUIRE(state_ != nullptr, "empty tune handle");
-  std::lock_guard lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   QROSS_REQUIRE(is_terminal(state_->status), "session not finished");
   TuneSessionResult result;
   result.status = state_->status;
@@ -127,7 +138,7 @@ TuneSessionResult TuneHandle::result() const {
 std::vector<core::TuneTrialEvent> TuneHandle::events_since(
     std::size_t from) const {
   QROSS_REQUIRE(state_ != nullptr, "empty tune handle");
-  std::lock_guard lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   if (from >= state_->events.size()) return {};
   return {state_->events.begin() + static_cast<std::ptrdiff_t>(from),
           state_->events.end()};
@@ -137,7 +148,7 @@ void TuneHandle::notify(std::function<void()> fn) const {
   QROSS_REQUIRE(state_ != nullptr, "empty tune handle");
   std::function<void()> fire;
   {
-    std::lock_guard lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     if (fn != nullptr &&
         (!state_->events.empty() || is_terminal(state_->status))) {
       fire = fn;
@@ -163,7 +174,7 @@ TuneService::~TuneService() {
   shutdown();
   std::vector<Session> sessions;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     sessions.swap(sessions_);
   }
   for (auto& session : sessions) {
@@ -172,7 +183,7 @@ TuneService::~TuneService() {
 }
 
 void TuneService::shutdown() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   shutting_down_ = true;
   for (auto& session : sessions_) session.state->stop.request_stop();
 }
@@ -182,7 +193,7 @@ TuneHandle TuneService::submit(tsp::TspInstance instance,
                                core::TuneOptions options,
                                TuneSubmitOptions submit) {
   QROSS_REQUIRE(solver != nullptr, "solver required");
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (shutting_down_) {
     throw AdmissionError(AdmissionErrorKind::shutting_down,
                          "tune service is shutting down");
@@ -225,7 +236,7 @@ void TuneService::run_session(std::shared_ptr<detail::TuneSessionState> state,
   options.on_trial = [state](const core::TuneTrialEvent& event) {
     std::function<void()> hook;
     {
-      std::lock_guard lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->events.push_back(event);
       hook = state->hook;
     }
@@ -254,7 +265,7 @@ void TuneService::run_session(std::shared_ptr<detail::TuneSessionState> state,
   if (final_status == TuneSessionStatus::done && !config_.corpus_path.empty()) {
     std::vector<core::TuneTrialEvent> events;
     {
-      std::lock_guard lock(state->mutex);
+      MutexLock lock(state->mutex);
       events = state->events;
     }
     append_corpus(*state, instance, events);
@@ -264,7 +275,7 @@ void TuneService::run_session(std::shared_ptr<detail::TuneSessionState> state,
   // terminal this thread never touches the service mutex again, so
   // reap_locked() may join it while holding that mutex.
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     switch (final_status) {
       case TuneSessionStatus::done: ++sessions_done_; break;
       case TuneSessionStatus::cancelled: ++sessions_cancelled_; break;
@@ -275,7 +286,7 @@ void TuneService::run_session(std::shared_ptr<detail::TuneSessionState> state,
 
   std::function<void()> hook;
   {
-    std::lock_guard lock(state->mutex);
+    MutexLock lock(state->mutex);
     state->outcome = std::move(outcome);
     state->error = std::move(error);
     state->wall_ms = std::chrono::duration<double, std::milli>(
@@ -308,7 +319,7 @@ void TuneService::append_corpus(
     dataset.rows.push_back(row);
   }
 
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::error_code ec;
   const bool need_header =
       !std::filesystem::exists(config_.corpus_path, ec) ||
@@ -323,7 +334,7 @@ void TuneService::reap_locked() {
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     bool terminal = false;
     {
-      std::lock_guard lock(it->state->mutex);
+      MutexLock lock(it->state->mutex);
       terminal = is_terminal(it->state->status);
     }
     if (terminal) {
@@ -338,14 +349,14 @@ void TuneService::reap_locked() {
 TuneServiceMetrics TuneService::metrics() const {
   TuneServiceMetrics metrics;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     metrics.sessions_started = sessions_started_;
     metrics.sessions_done = sessions_done_;
     metrics.sessions_cancelled = sessions_cancelled_;
     metrics.sessions_failed = sessions_failed_;
     metrics.corpus_rows_appended = corpus_rows_;
     for (const auto& session : sessions_) {
-      std::lock_guard state_lock(session.state->mutex);
+      MutexLock state_lock(session.state->mutex);
       if (!is_terminal(session.state->status)) ++metrics.sessions_active;
     }
   }

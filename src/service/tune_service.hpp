@@ -36,11 +36,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "problems/tsp/instance.hpp"
 #include "qross/facade.hpp"
 #include "service/solve_service.hpp"
@@ -162,46 +162,50 @@ class TuneService {
   /// is the caller's.  Throws AdmissionError: shutting_down after
   /// shutdown(), session_quota (retryable) at max_sessions.
   TuneHandle submit(tsp::TspInstance instance, solvers::SolverPtr solver,
-                    core::TuneOptions options, TuneSubmitOptions submit = {});
+                    core::TuneOptions options, TuneSubmitOptions submit = {})
+      EXCLUDES(mutex_);
 
   const core::QrossTuner& tuner() const { return tuner_; }
   /// The shared cross-session inference combiner (for benches/tests).
   const surrogate::BatchedSurrogate& evaluator() const { return batched_; }
 
-  TuneServiceMetrics metrics() const;
+  TuneServiceMetrics metrics() const EXCLUDES(mutex_);
 
   /// Idempotent early teardown: refuses new sessions and cancels live ones;
   /// does not wait (the destructor joins).
-  void shutdown();
+  void shutdown() EXCLUDES(mutex_);
 
  private:
+  /// Session-thread body; tune() runs unlocked (it is the long part), the
+  /// service mutex is taken only for the terminal counter bump.
   void run_session(std::shared_ptr<detail::TuneSessionState> state,
                    tsp::TspInstance instance, solvers::SolverPtr solver,
-                   core::TuneOptions options);
+                   core::TuneOptions options) EXCLUDES(mutex_);
   void append_corpus(const detail::TuneSessionState& state,
                      const tsp::TspInstance& instance,
-                     const std::vector<core::TuneTrialEvent>& events);
+                     const std::vector<core::TuneTrialEvent>& events)
+      EXCLUDES(mutex_);
   /// Joins threads of terminal sessions and drops them from the live list.
-  void reap_locked();
+  void reap_locked() REQUIRES(mutex_);
 
   core::QrossTuner tuner_;
   SolveService* solve_;
   TuneServiceConfig config_;
   surrogate::BatchedSurrogate batched_;
 
-  mutable std::mutex mutex_;  // guards sessions_, counters, corpus file
+  mutable Mutex mutex_;  // guards sessions_, counters, corpus file
   struct Session {
     std::shared_ptr<detail::TuneSessionState> state;
     std::thread worker;
   };
-  std::vector<Session> sessions_;
-  bool shutting_down_ = false;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t sessions_started_ = 0;
-  std::uint64_t sessions_done_ = 0;
-  std::uint64_t sessions_cancelled_ = 0;
-  std::uint64_t sessions_failed_ = 0;
-  std::uint64_t corpus_rows_ = 0;
+  std::vector<Session> sessions_ GUARDED_BY(mutex_);
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
+  std::uint64_t next_id_ GUARDED_BY(mutex_) = 1;
+  std::uint64_t sessions_started_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t sessions_done_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t sessions_cancelled_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t sessions_failed_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t corpus_rows_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace qross::service

@@ -26,20 +26,22 @@ std::vector<SurrogatePrediction> BatchedSurrogate::predict_sweep(
 }
 
 BatchedSurrogate::Stats BatchedSurrogate::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void BatchedSurrogate::evaluate(std::span<const SurrogateRequest> rows,
                                 SurrogatePrediction* out) const {
   Pending self{rows, out, false, nullptr};
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.calls;
   stats_.rows += rows.size();
   queue_.push_back(&self);
   if (leader_active_) {
     // A leader is mid-drain; it will pick this entry up on its next loop.
-    cv_.wait(lock, [&] { return self.done; });
+    // (`self.done` is this frame's own flag, written by the leader under
+    // mutex_ — held here across every wait return.)
+    while (!self.done) cv_.wait(lock.native());
     if (self.error) std::rethrow_exception(self.error);
     return;
   }

@@ -25,9 +25,9 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "surrogate/model.hpp"
 
 namespace qross::surrogate {
@@ -59,7 +59,7 @@ class BatchedSurrogate final : public SurrogateEvaluator {
     std::uint64_t combined_rows = 0;
     std::uint64_t max_rows_per_pass = 0;
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mutex_);
 
  private:
   struct Pending {
@@ -70,15 +70,20 @@ class BatchedSurrogate final : public SurrogateEvaluator {
   };
 
   /// Enqueues `rows`, runs or waits for a combined pass, fills `out`.
+  /// The leader's predict_batch pass runs with mutex_ RELEASED (that is
+  /// what lets followers pile up behind it); the scoped lock's
+  /// unlock()/lock() hand-off keeps the analysis tracking the hold state.
   void evaluate(std::span<const SurrogateRequest> rows,
-                SurrogatePrediction* out) const;
+                SurrogatePrediction* out) const EXCLUDES(mutex_);
 
   const SolverSurrogate* inner_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   mutable std::condition_variable cv_;
-  mutable std::vector<Pending*> queue_;
-  mutable bool leader_active_ = false;
-  mutable Stats stats_;
+  /// Queued entries point at callers' stack frames; a Pending's fields are
+  /// written under mutex_ until `done` is published.
+  mutable std::vector<Pending*> queue_ GUARDED_BY(mutex_);
+  mutable bool leader_active_ GUARDED_BY(mutex_) = false;
+  mutable Stats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace qross::surrogate

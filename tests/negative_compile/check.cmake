@@ -1,0 +1,63 @@
+# Negative-compile driver for the thread-safety annotations, run as a CTest
+# script (cmake -P) on Clang builds only — GCC compiles the annotations away,
+# so there is nothing to prove there.
+#
+# Expected variables (passed with -D on the ctest command line):
+#   PROBE    — absolute path to thread_safety_probe.cpp
+#   INCLUDE  — absolute path to the src/ include root
+#   COMPILER — the C++ compiler to invoke (the configured CMAKE_CXX_COMPILER)
+#   WORKDIR  — scratch directory for compiler droppings
+#
+# Three compiles, all with -Werror=thread-safety:
+#   1. positive control (no defines)   → must SUCCEED
+#   2. -DTEST_GUARDED_BY               → must FAIL with a thread-safety note
+#   3. -DTEST_REQUIRES                 → must FAIL with a thread-safety note
+#
+# The failure variants additionally grep the diagnostic text: a probe that
+# fails to compile for an unrelated reason (syntax rot, missing header) must
+# not masquerade as the analysis firing.
+
+foreach(var PROBE INCLUDE COMPILER WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "negative_compile/check.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+set(base_flags -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety
+    "-I${INCLUDE}")
+
+# 1. Positive control: the probe must be a valid program.
+execute_process(
+  COMMAND "${COMPILER}" ${base_flags} "${PROBE}"
+  WORKING_DIRECTORY "${WORKDIR}"
+  RESULT_VARIABLE control_rc
+  ERROR_VARIABLE control_err)
+if(NOT control_rc EQUAL 0)
+  message(FATAL_ERROR
+          "positive control failed to compile — the probe is broken, not the "
+          "analysis:\n${control_err}")
+endif()
+
+# 2./3. Each seeded violation must be rejected BY THE ANALYSIS.
+foreach(violation TEST_GUARDED_BY TEST_REQUIRES)
+  execute_process(
+    COMMAND "${COMPILER}" ${base_flags} "-D${violation}" "${PROBE}"
+    WORKING_DIRECTORY "${WORKDIR}"
+    RESULT_VARIABLE violation_rc
+    ERROR_VARIABLE violation_err)
+  if(violation_rc EQUAL 0)
+    message(FATAL_ERROR
+            "-D${violation} compiled cleanly: the thread-safety analysis is "
+            "not enforcing the annotations")
+  endif()
+  if(NOT violation_err MATCHES "thread-safety|requires holding|guarded_by")
+    message(FATAL_ERROR
+            "-D${violation} failed for a reason other than the thread-safety "
+            "analysis:\n${violation_err}")
+  endif()
+  message(STATUS "-D${violation} rejected as expected")
+endforeach()
+
+message(STATUS "negative-compile checks passed")

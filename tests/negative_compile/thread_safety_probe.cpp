@@ -1,0 +1,66 @@
+// Negative-compile probe for the thread-safety annotations.
+//
+// Compiled three ways by tests/negative_compile/check.cmake (registered as
+// the `negative_compile_thread_safety` CTest entry on Clang builds):
+//
+//   * no defines          — the positive control; must COMPILE: proves the
+//     probe itself is well-formed, so the rejections below mean the
+//     analysis fired, not that the file is broken;
+//   * -DTEST_GUARDED_BY   — reads a GUARDED_BY member without holding the
+//     lock; must be REJECTED under -Werror=thread-safety;
+//   * -DTEST_REQUIRES     — calls a REQUIRES(m) helper unlocked; must be
+//     REJECTED under -Werror=thread-safety.
+//
+// If either violation variant ever compiles, the annotations have silently
+// stopped being enforced (macro shim broken, flags dropped) and the CTest
+// entry fails — that is the whole point of this file.
+
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+using qross::Mutex;
+using qross::MutexLock;
+
+class Probe {
+ public:
+  int read_locked() EXCLUDES(m_) {
+    MutexLock lock(m_);
+    return value_;
+  }
+
+  int read_unlocked_guarded() EXCLUDES(m_) {
+#if defined(TEST_GUARDED_BY)
+    return value_;  // unlocked read of a GUARDED_BY member: must not compile
+#else
+    MutexLock lock(m_);
+    return value_;
+#endif
+  }
+
+  int call_requires_helper() EXCLUDES(m_) {
+#if defined(TEST_REQUIRES)
+    return bump_locked();  // REQUIRES(m_) helper called unlocked: must fail
+#else
+    MutexLock lock(m_);
+    return bump_locked();
+#endif
+  }
+
+ private:
+  int bump_locked() REQUIRES(m_) { return ++value_; }
+
+  Mutex m_;
+  int value_ GUARDED_BY(m_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Probe probe;
+  return probe.read_locked() + probe.read_unlocked_guarded() +
+                 probe.call_requires_helper() ==
+             3
+         ? 0
+         : 1;
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Static-analysis smoke: the same one command CI's Release-tidy lane runs.
+#
+#   tools/ci/lintsmoke.sh [build-dir]
+#
+# Three stages, each degrading gracefully so the script is useful on boxes
+# without the clang toolchain (the protocol linter needs only python3):
+#
+#   1. protocol_lint.py + its seeded-violation self-test — the wire contract
+#      (frame ids, error codes, append-only payload fields) vs PROTOCOL.md;
+#   2. the thread-safety negative-compile proof (clang++ only: GCC compiles
+#      the annotations away, so there is nothing to prove there);
+#   3. clang-tidy over src/ using the build dir's compilation database and
+#      the committed .clang-tidy baseline (advisory findings; fails only on
+#      error-severity diagnostics, i.e. code that does not compile).
+set -euo pipefail
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+cd "$repo_root"
+
+echo "== protocol lint =="
+python3 tools/lint/protocol_lint.py --repo "$repo_root"
+python3 tools/lint/protocol_lint.py --repo "$repo_root" --self-test
+
+echo "== thread-safety negative-compile proof =="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake \
+    -DPROBE="$repo_root/tests/negative_compile/thread_safety_probe.cpp" \
+    -DINCLUDE="$repo_root/src" \
+    -DCOMPILER="$(command -v clang++)" \
+    -DWORKDIR="$repo_root/$build_dir/negative_compile" \
+    -P "$repo_root/tests/negative_compile/check.cmake"
+else
+  echo "lintsmoke: clang++ not found; skipping the negative-compile proof" >&2
+fi
+
+echo "== clang-tidy baseline =="
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lintsmoke: clang-tidy not found; skipping the tidy baseline" >&2
+elif [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "lintsmoke: $build_dir/compile_commands.json missing — configure with" >&2
+  echo "  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON  to run the tidy baseline" >&2
+else
+  # xargs propagates any non-zero clang-tidy exit (error-severity findings),
+  # and -P fans the translation units across cores.
+  find src -name '*.cpp' -print0 |
+    xargs -0 -n 4 -P "$(nproc)" clang-tidy -p "$build_dir" --quiet
+  echo "lintsmoke: clang-tidy baseline clean (advisory findings above, if any)"
+fi
+
+echo "lintsmoke: OK"

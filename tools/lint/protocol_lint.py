@@ -1,0 +1,384 @@
+#!/usr/bin/env python3
+"""Protocol-contract linter: cross-checks the wire protocol against its docs.
+
+The qross wire contract lives in three places that must never drift:
+
+  * src/io/snapshot.hpp     — the frame-type numbers (kRecordNet* constants)
+  * src/net/protocol.hpp    — the ErrorCode enum and the *Frame payload structs
+  * PROTOCOL.md             — the human-readable frame and error-code tables
+
+plus one committed manifest this tool owns:
+
+  * tools/lint/protocol_fields.json — the ordered field list of every payload
+    struct, the append-only baseline.
+
+Checks (exit 1 on any failure):
+  1. every kRecordNet* constant appears in PROTOCOL.md's frame table with the
+     same number, and vice versa (name = constant minus the kRecordNet prefix);
+  2. no frame number is reused, in either the header or the table;
+  3. every ErrorCode enumerator appears in PROTOCOL.md's error table with the
+     same number, and vice versa; no error number reused;
+  4. append-only payloads: each struct's current field list must extend the
+     committed manifest — a removed, renamed, or reordered field fails; new
+     fields are only accepted after `--update` re-records the manifest (so the
+     extension itself is a reviewed diff).
+
+`--update` rewrites the manifest, but refuses anything that is not a pure
+append relative to the committed file — the guard cannot be steamrolled by
+regenerating.  `--self-test` seeds known violations into temp copies of the
+inputs and asserts each one is caught; CI runs it so the linter itself cannot
+silently rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+import tempfile
+
+SNAPSHOT_HPP = "src/io/snapshot.hpp"
+PROTOCOL_HPP = "src/net/protocol.hpp"
+PROTOCOL_MD = "PROTOCOL.md"
+FIELDS_JSON = "tools/lint/protocol_fields.json"
+
+RECORD_RE = re.compile(r"^\s*kRecordNet(\w+)\s*=\s*(\d+)\s*,")
+ERROR_RE = re.compile(r"^\s*(kErr\w+)\s*=\s*(\d+)\s*,")
+STRUCT_RE = re.compile(r"^struct\s+(\w+Frame)\s*\{")
+# A field line: declaration ending in `;`, optionally with a default.  The
+# captured name is the identifier right before `=`, `{`, or `;`.
+FIELD_RE = re.compile(r"^\s*[\w:<>,\s*&]+?[\s&*](\w+)\s*(?:=[^;]*|\{[^;]*\})?;")
+MD_FRAME_RE = re.compile(r"^\|\s*(\d+)\s*\|\s*(\w+)\s*\|\s*(?:c→s|s→c|c->s|s->c)\s*\|")
+MD_ERROR_RE = re.compile(r"^\|\s*(\d+)\s*\|\s*(kErr\w+)\s*\|")
+
+
+class LintError(Exception):
+    pass
+
+
+def fail(errors: list[str], message: str) -> None:
+    errors.append(message)
+
+
+def parse_record_types(text: str) -> dict[str, int]:
+    """kRecordNet* constants, name (without prefix) → number."""
+    out: dict[str, int] = {}
+    for line in text.splitlines():
+        m = RECORD_RE.match(line)
+        if m:
+            out[m.group(1)] = int(m.group(2))
+    return out
+
+
+def parse_error_codes(text: str) -> dict[str, int]:
+    """ErrorCode enumerators, full name → number."""
+    out: dict[str, int] = {}
+    in_enum = False
+    for line in text.splitlines():
+        if re.match(r"^enum\s+ErrorCode", line):
+            in_enum = True
+            continue
+        if in_enum:
+            if line.startswith("};"):
+                break
+            m = ERROR_RE.match(line)
+            if m:
+                out[m.group(1)] = int(m.group(2))
+    return out
+
+
+def parse_frame_fields(text: str) -> dict[str, list[str]]:
+    """Top-level `struct *Frame` payload structs, name → ordered field names.
+
+    Nested structs/enums (TuneResultFrame::Trial) contribute no fields of
+    their own; a member OF nested type (`std::vector<Trial> trials`) does.
+    The generic `Frame` carrier struct is not a payload and is skipped by the
+    \\w+Frame pattern requiring a prefix.
+    """
+    out: dict[str, list[str]] = {}
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        m = STRUCT_RE.match(lines[i])
+        if not m:
+            i += 1
+            continue
+        name = m.group(1)
+        fields: list[str] = []
+        depth = 1
+        i += 1
+        while i < len(lines) and depth > 0:
+            line = lines[i]
+            stripped = line.strip()
+            opens = line.count("{")
+            closes = line.count("}")
+            if depth == 1 and not stripped.startswith(("//", "/*", "*")):
+                # Nested type declarations open a scope; their members are
+                # counted only when the nested type is used as a field.
+                if not re.match(r"^\s*(struct|enum|class|union)\b", line):
+                    fm = FIELD_RE.match(line)
+                    if fm and "(" not in line.split("=")[0].split(";")[0]:
+                        fields.append(fm.group(1))
+            depth += opens - closes
+            i += 1
+        out[name] = fields
+    return out
+
+
+def parse_md_table(text: str, row_re: re.Pattern) -> list[tuple[int, str]]:
+    return [
+        (int(m.group(1)), m.group(2))
+        for m in (row_re.match(line) for line in text.splitlines())
+        if m
+    ]
+
+
+def check_tree(root: pathlib.Path) -> list[str]:
+    errors: list[str] = []
+    snapshot = (root / SNAPSHOT_HPP).read_text()
+    protocol = (root / PROTOCOL_HPP).read_text()
+    md = (root / PROTOCOL_MD).read_text()
+
+    # --- frames: header vs doc table ---------------------------------------
+    records = parse_record_types(snapshot)
+    if not records:
+        fail(errors, f"{SNAPSHOT_HPP}: no kRecordNet* constants found")
+    md_frames = parse_md_table(md, MD_FRAME_RE)
+    if not md_frames:
+        fail(errors, f"{PROTOCOL_MD}: no frame-table rows matched")
+
+    numbers: dict[int, str] = {}
+    for name, number in records.items():
+        if number in numbers:
+            fail(errors,
+                 f"{SNAPSHOT_HPP}: frame number {number} reused by "
+                 f"kRecordNet{numbers[number]} and kRecordNet{name}")
+        numbers[number] = name
+
+    md_by_name = {}
+    md_numbers: dict[int, str] = {}
+    for number, name in md_frames:
+        if name in md_by_name:
+            fail(errors, f"{PROTOCOL_MD}: frame '{name}' documented twice")
+        if number in md_numbers:
+            fail(errors,
+                 f"{PROTOCOL_MD}: frame number {number} reused by "
+                 f"{md_numbers[number]} and {name}")
+        md_by_name[name] = number
+        md_numbers[number] = name
+
+    for name, number in sorted(records.items(), key=lambda kv: kv[1]):
+        if name not in md_by_name:
+            fail(errors,
+                 f"{PROTOCOL_MD}: frame {name} (= {number}) is in "
+                 f"{SNAPSHOT_HPP} but missing from the frame table")
+        elif md_by_name[name] != number:
+            fail(errors,
+                 f"frame {name}: {SNAPSHOT_HPP} says {number}, "
+                 f"{PROTOCOL_MD} says {md_by_name[name]}")
+    for name, number in md_by_name.items():
+        if name not in records:
+            fail(errors,
+                 f"{PROTOCOL_MD}: frame {name} (= {number}) documented but "
+                 f"there is no kRecordNet{name} in {SNAPSHOT_HPP}")
+
+    # --- error codes: header vs doc table ----------------------------------
+    codes = parse_error_codes(protocol)
+    if not codes:
+        fail(errors, f"{PROTOCOL_HPP}: no ErrorCode enumerators found")
+    md_errors = parse_md_table(md, MD_ERROR_RE)
+    if not md_errors:
+        fail(errors, f"{PROTOCOL_MD}: no error-table rows matched")
+
+    code_numbers: dict[int, str] = {}
+    for name, number in codes.items():
+        if number in code_numbers:
+            fail(errors,
+                 f"{PROTOCOL_HPP}: error number {number} reused by "
+                 f"{code_numbers[number]} and {name}")
+        code_numbers[number] = name
+
+    md_codes = {}
+    for number, name in md_errors:
+        if name in md_codes:
+            fail(errors, f"{PROTOCOL_MD}: error '{name}' documented twice")
+        md_codes[name] = number
+
+    for name, number in sorted(codes.items(), key=lambda kv: kv[1]):
+        if name not in md_codes:
+            fail(errors,
+                 f"{PROTOCOL_MD}: {name} (= {number}) is in {PROTOCOL_HPP} "
+                 f"but missing from the error table")
+        elif md_codes[name] != number:
+            fail(errors,
+                 f"error {name}: {PROTOCOL_HPP} says {number}, "
+                 f"{PROTOCOL_MD} says {md_codes[name]}")
+    for name, number in md_codes.items():
+        if name not in codes:
+            fail(errors,
+                 f"{PROTOCOL_MD}: error {name} (= {number}) documented but "
+                 f"absent from the ErrorCode enum")
+
+    # --- payload structs: append-only vs the committed manifest -------------
+    fields = parse_frame_fields(protocol)
+    if not fields:
+        fail(errors, f"{PROTOCOL_HPP}: no *Frame payload structs found")
+    manifest_path = root / FIELDS_JSON
+    if not manifest_path.exists():
+        fail(errors,
+             f"{FIELDS_JSON} missing — run protocol_lint.py --update once to "
+             f"record the baseline")
+        return errors
+    manifest = json.loads(manifest_path.read_text())
+
+    for struct, committed in manifest.items():
+        current = fields.get(struct)
+        if current is None:
+            fail(errors,
+                 f"{PROTOCOL_HPP}: struct {struct} was removed but is in the "
+                 f"committed manifest — wire payloads are append-only within "
+                 f"a version")
+            continue
+        if current[: len(committed)] != committed:
+            fail(errors,
+                 f"{struct}: field list no longer extends the committed "
+                 f"manifest — payloads are append-only within a version.\n"
+                 f"  committed: {committed}\n"
+                 f"  current:   {current}")
+        elif len(current) > len(committed):
+            fail(errors,
+                 f"{struct}: new appended field(s) "
+                 f"{current[len(committed):]} — run protocol_lint.py --update "
+                 f"and commit the manifest so the extension is reviewed")
+    for struct in fields:
+        if struct not in manifest:
+            fail(errors,
+                 f"{struct}: new payload struct not in {FIELDS_JSON} — run "
+                 f"protocol_lint.py --update and commit the manifest")
+    return errors
+
+
+def update_manifest(root: pathlib.Path) -> int:
+    fields = parse_frame_fields((root / PROTOCOL_HPP).read_text())
+    manifest_path = root / FIELDS_JSON
+    if manifest_path.exists():
+        committed = json.loads(manifest_path.read_text())
+        for struct, old in committed.items():
+            new = fields.get(struct)
+            if new is None:
+                print(f"refusing --update: struct {struct} was removed "
+                      f"(append-only contract)", file=sys.stderr)
+                return 1
+            if new[: len(old)] != old:
+                print(f"refusing --update: {struct} reorders or removes "
+                      f"committed fields (append-only contract)\n"
+                      f"  committed: {old}\n  current:   {new}",
+                      file=sys.stderr)
+                return 1
+    manifest_path.parent.mkdir(parents=True, exist_ok=True)
+    manifest_path.write_text(
+        json.dumps(fields, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {manifest_path} ({len(fields)} structs)")
+    return 0
+
+
+def self_test(root: pathlib.Path) -> int:
+    """Seeds violations into temp copies and asserts each one is caught."""
+    import shutil
+
+    def clone(into: pathlib.Path) -> pathlib.Path:
+        for rel in (SNAPSHOT_HPP, PROTOCOL_HPP, PROTOCOL_MD, FIELDS_JSON):
+            dst = into / rel
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy(root / rel, dst)
+        return into
+
+    def mutate(rel: str, old: str, new: str, tree: pathlib.Path) -> None:
+        path = tree / rel
+        text = path.read_text()
+        if old not in text:
+            raise LintError(f"self-test seed '{old}' not found in {rel}")
+        path.write_text(text.replace(old, new, 1))
+
+    cases = [
+        ("frame id mutated in the header",
+         SNAPSHOT_HPP, "kRecordNetResult = 22", "kRecordNetResult = 42"),
+        ("frame id reused in the header",
+         SNAPSHOT_HPP, "kRecordNetCancelJob = 21", "kRecordNetCancelJob = 20"),
+        ("frame row dropped from the doc",
+         PROTOCOL_MD, "| 21 | CancelJob | c→s | `tag` |", ""),
+        ("error code renumbered in the header",
+         PROTOCOL_HPP, "kErrDraining = 8", "kErrDraining = 88"),
+        ("error row name drifted in the doc",
+         PROTOCOL_MD, "| 9 | kErrHandshakeRequired |", "| 9 | kErrMustHello |"),
+        ("wire field removed from a payload struct",
+         PROTOCOL_HPP, "  bool cache_hit = false;\n", ""),
+        ("wire fields reordered in a payload struct",
+         PROTOCOL_HPP,
+         "  bool cache_hit = false;\n  bool coalesced = false;",
+         "  bool coalesced = false;\n  bool cache_hit = false;"),
+    ]
+
+    clean_errors = check_tree(root)
+    if clean_errors:
+        print("self-test aborted: the CURRENT tree does not pass:",
+              file=sys.stderr)
+        for e in clean_errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for label, rel, old, new in cases:
+        with tempfile.TemporaryDirectory(prefix="protocol_lint_") as tmp:
+            tree = clone(pathlib.Path(tmp))
+            try:
+                mutate(rel, old, new, tree)
+            except LintError as exc:
+                print(f"FAIL [{label}]: {exc}", file=sys.stderr)
+                failures += 1
+                continue
+            caught = check_tree(tree)
+            if caught:
+                print(f"ok   [{label}]: caught ({caught[0].splitlines()[0]})")
+            else:
+                print(f"FAIL [{label}]: seeded violation NOT caught",
+                      file=sys.stderr)
+                failures += 1
+    if failures:
+        print(f"self-test: {failures}/{len(cases)} cases missed",
+              file=sys.stderr)
+        return 1
+    print(f"self-test: all {len(cases)} seeded violations caught")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parents[2],
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--update", action="store_true",
+                        help="re-record the append-only field manifest")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify seeded violations are caught")
+    args = parser.parse_args()
+
+    if args.update:
+        return update_manifest(args.repo)
+    if args.self_test:
+        return self_test(args.repo)
+    errors = check_tree(args.repo)
+    for e in errors:
+        print(f"protocol_lint: {e}", file=sys.stderr)
+    if errors:
+        print(f"protocol_lint: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print("protocol_lint: frame table, error table, and payload manifest all "
+          "consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
